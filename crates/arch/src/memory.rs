@@ -1,0 +1,160 @@
+//! Memory-hierarchy model.
+//!
+//! A small analytic cache model: levels with capacity, bandwidth and
+//! latency; a working set streams from the innermost level that holds
+//! it. PIM nodes collapse the hierarchy — their "L2" *is* the DRAM row
+//! buffer — which is how they dodge the memory wall.
+
+/// One level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Level {
+    pub name: &'static str,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Access latency in seconds.
+    pub latency: f64,
+}
+
+/// An inclusive cache hierarchy, innermost first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryHierarchy {
+    levels: Vec<Level>,
+}
+
+impl MemoryHierarchy {
+    /// Levels must be ordered innermost (smallest, fastest) outward.
+    pub fn new(levels: Vec<Level>) -> Self {
+        assert!(!levels.is_empty(), "hierarchy needs at least one level");
+        for w in levels.windows(2) {
+            assert!(
+                w[0].capacity <= w[1].capacity && w[0].latency <= w[1].latency,
+                "levels must grow outward"
+            );
+        }
+        MemoryHierarchy { levels }
+    }
+
+    /// A 2002 commodity hierarchy: L1 / L2 / DRAM.
+    pub fn commodity_2002() -> Self {
+        MemoryHierarchy::new(vec![
+            Level {
+                name: "L1",
+                capacity: 16 * 1024,
+                bandwidth: 32e9,
+                latency: 1e-9,
+            },
+            Level {
+                name: "L2",
+                capacity: 512 * 1024,
+                bandwidth: 8e9,
+                latency: 8e-9,
+            },
+            Level {
+                name: "DRAM",
+                capacity: 1 << 30,
+                bandwidth: 2.1e9,
+                latency: 150e-9,
+            },
+        ])
+    }
+
+    /// A PIM hierarchy: logic sits in the DRAM, so the "memory" level is
+    /// row-buffer-fast and there is little between it and the registers.
+    pub fn pim() -> Self {
+        MemoryHierarchy::new(vec![
+            Level {
+                name: "row-buffer",
+                capacity: 64 * 1024,
+                bandwidth: 40e9,
+                latency: 2e-9,
+            },
+            Level {
+                name: "on-die-DRAM",
+                capacity: 512 << 20,
+                bandwidth: 30e9,
+                latency: 30e-9,
+            },
+        ])
+    }
+
+    /// The innermost level whose capacity holds `working_set`, or the
+    /// outermost if nothing does.
+    pub fn serving_level(&self, working_set: u64) -> &Level {
+        self.levels
+            .iter()
+            .find(|l| l.capacity >= working_set)
+            .unwrap_or_else(|| self.levels.last().expect("nonempty"))
+    }
+
+    /// Streaming bandwidth seen by a working set of the given size.
+    pub fn effective_bandwidth(&self, working_set: u64) -> f64 {
+        self.serving_level(working_set).bandwidth
+    }
+
+    /// Dependent-access latency seen by a working set.
+    pub fn effective_latency(&self, working_set: u64) -> f64 {
+        self.serving_level(working_set).latency
+    }
+
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_level_selection() {
+        let h = MemoryHierarchy::commodity_2002();
+        assert_eq!(h.serving_level(1024).name, "L1");
+        assert_eq!(h.serving_level(100 * 1024).name, "L2");
+        assert_eq!(h.serving_level(10 << 20).name, "DRAM");
+        // Bigger than everything: outermost.
+        assert_eq!(h.serving_level(1 << 40).name, "DRAM");
+    }
+
+    #[test]
+    fn bandwidth_and_latency_cliff() {
+        let h = MemoryHierarchy::commodity_2002();
+        assert!(h.effective_bandwidth(1024) > 10.0 * h.effective_bandwidth(16 << 20));
+        assert!(h.effective_latency(16 << 20) > 50.0 * h.effective_latency(1024));
+    }
+
+    #[test]
+    fn pim_has_no_dram_cliff() {
+        let pim = MemoryHierarchy::pim();
+        let pc = MemoryHierarchy::commodity_2002();
+        let ws = 64 << 20; // bigger than any cache
+        assert!(pim.effective_bandwidth(ws) > 10.0 * pc.effective_bandwidth(ws));
+        assert!(pim.effective_latency(ws) < pc.effective_latency(ws) / 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grow outward")]
+    fn misordered_levels_rejected() {
+        MemoryHierarchy::new(vec![
+            Level {
+                name: "big",
+                capacity: 1 << 30,
+                bandwidth: 1e9,
+                latency: 1e-7,
+            },
+            Level {
+                name: "small",
+                capacity: 1024,
+                bandwidth: 1e10,
+                latency: 1e-9,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_hierarchy_rejected() {
+        MemoryHierarchy::new(vec![]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cluster-level projections: the keynote's trans-Petaflops question.
+//!
+//! Given a node architecture and a procurement constraint (fixed budget
+//! or fixed power envelope), project the cluster's aggregate peak,
+//! memory, power, footprint, and cost per GFLOPS across the decade, and
+//! find the year each track crosses 1 PFLOPS.
+
+use crate::device::Projection;
+use crate::node::{NodeKind, NodeModel};
+use serde::{Deserialize, Serialize};
+
+/// Procurement constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// Spend at most this many dollars on nodes.
+    Budget(f64),
+    /// Draw at most this many watts.
+    Power(f64),
+    /// Install at most this many racks.
+    Racks(u32),
+}
+
+/// One year's cluster-level numbers for a node track.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPoint {
+    pub year: u32,
+    pub kind: NodeKind,
+    pub nodes: u64,
+    /// Aggregate peak FLOP/s.
+    pub peak_flops: f64,
+    /// Aggregate memory, bytes.
+    pub memory: f64,
+    /// Total power, watts.
+    pub power: f64,
+    /// Racks occupied.
+    pub racks: f64,
+    /// Total cost, dollars.
+    pub cost: f64,
+}
+
+impl ClusterPoint {
+    pub fn dollars_per_gflops(&self) -> f64 {
+        self.cost / (self.peak_flops / 1e9)
+    }
+
+    pub fn peak_tflops(&self) -> f64 {
+        self.peak_flops / 1e12
+    }
+}
+
+/// Build the cluster a constraint affords in `year` on the given track.
+pub fn cluster_at(
+    proj: &Projection,
+    kind: NodeKind,
+    constraint: Constraint,
+    year: u32,
+) -> ClusterPoint {
+    let node = NodeModel::build(kind, &proj.at(year));
+    let nodes = match constraint {
+        Constraint::Budget(b) => (b / node.cost).floor() as u64,
+        Constraint::Power(w) => (w / node.power).floor() as u64,
+        Constraint::Racks(r) => (r as u64) * node.per_rack as u64,
+    };
+    ClusterPoint {
+        year,
+        kind,
+        nodes,
+        peak_flops: nodes as f64 * node.flops,
+        memory: nodes as f64 * node.mem_capacity,
+        power: nodes as f64 * node.power,
+        racks: nodes as f64 / node.per_rack as f64,
+        cost: nodes as f64 * node.cost,
+    }
+}
+
+/// The full curve over an inclusive year range.
+pub fn curve(
+    proj: &Projection,
+    kind: NodeKind,
+    constraint: Constraint,
+    years: std::ops::RangeInclusive<u32>,
+) -> Vec<ClusterPoint> {
+    years.map(|y| cluster_at(proj, kind, constraint, y)).collect()
+}
+
+/// First year (searching 2002..=2020) the track reaches `target` FLOP/s
+/// under the constraint, if any.
+pub fn crossover_year(
+    proj: &Projection,
+    kind: NodeKind,
+    constraint: Constraint,
+    target: f64,
+) -> Option<u32> {
+    (2002..=2020).find(|&y| cluster_at(proj, kind, constraint, y).peak_flops >= target)
+}
+
+/// One petaflops, the keynote's "trans-Petaflops regime" threshold.
+pub const PETAFLOPS: f64 = 1e15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proj() -> Projection {
+        Projection::default()
+    }
+
+    #[test]
+    fn budget_cluster_2002_is_plausible() {
+        // $1M of 2002 PC nodes: ~500 nodes, ~2.4 TFLOPS peak — the scale
+        // of a mid-list Beowulf of the day.
+        let c = cluster_at(&proj(), NodeKind::Pc, Constraint::Budget(1e6), 2002);
+        assert_eq!(c.nodes, 500);
+        assert!((2.0..3.0).contains(&c.peak_tflops()), "{}", c.peak_tflops());
+        assert!(c.power > 100_000.0); // ~125 kW
+    }
+
+    #[test]
+    fn peak_grows_along_the_curve() {
+        let pts = curve(&proj(), NodeKind::Pc, Constraint::Budget(1e6), 2002..=2010);
+        assert_eq!(pts.len(), 9);
+        for w in pts.windows(2) {
+            assert!(w[1].peak_flops > w[0].peak_flops);
+        }
+        // Cost per GFLOPS falls.
+        assert!(pts[8].dollars_per_gflops() < pts[0].dollars_per_gflops() / 10.0);
+    }
+
+    #[test]
+    fn blade_track_crosses_petaflops_before_pc_under_racks() {
+        // Fixed 100-rack machine room: density decides.
+        let c = Constraint::Racks(100);
+        let pc = crossover_year(&proj(), NodeKind::Pc, c, PETAFLOPS);
+        let blade = crossover_year(&proj(), NodeKind::Blade, c, PETAFLOPS);
+        let (pc, blade) = (pc.expect("pc crosses by 2020"), blade.expect("blade crosses"));
+        assert!(blade < pc, "blade {blade} vs pc {pc}");
+    }
+
+    #[test]
+    fn cmp_track_crosses_petaflops_before_pc_under_budget() {
+        let c = Constraint::Budget(10e6);
+        let pc = crossover_year(&proj(), NodeKind::Pc, c, PETAFLOPS).expect("pc");
+        let cmp = crossover_year(&proj(), NodeKind::SmpOnChip, c, PETAFLOPS).expect("cmp");
+        assert!(cmp < pc, "cmp {cmp} vs pc {pc}");
+        // And the crossing lands within the keynote's "this decade".
+        assert!((2002..=2012).contains(&cmp), "cmp year {cmp}");
+    }
+
+    #[test]
+    fn power_constrained_track_favors_efficient_nodes() {
+        let c = Constraint::Power(2e6); // a 2 MW machine room
+        let y = 2008;
+        let pc = cluster_at(&proj(), NodeKind::Pc, c, y);
+        let pim = cluster_at(&proj(), NodeKind::Pim, c, y);
+        let blade = cluster_at(&proj(), NodeKind::Blade, c, y);
+        assert!(blade.peak_flops > pc.peak_flops);
+        // PIM fields far more nodes under the cap.
+        assert!(pim.nodes > 2 * pc.nodes);
+    }
+
+    #[test]
+    fn crossover_none_when_target_unreachable() {
+        let c = Constraint::Budget(1_000.0); // one node's worth
+        assert_eq!(
+            crossover_year(&proj(), NodeKind::Pc, c, 1e30),
+            None
+        );
+    }
+
+    #[test]
+    fn curves_are_deterministic_and_serializable() {
+        let pts = curve(&proj(), NodeKind::Blade, Constraint::Budget(1e6), 2002..=2004);
+        let json = serde_json::to_string(&pts).unwrap();
+        let back: Vec<ClusterPoint> = serde_json::from_str(&json).unwrap();
+        assert_eq!(pts, back);
+    }
+}

@@ -1,0 +1,124 @@
+//! Roofline performance model, extended with a latency term for
+//! dependent random access.
+//!
+//! Attainable performance on a node is the minimum of three ceilings:
+//!
+//! * the compute roof (peak flops),
+//! * the bandwidth roof (intensity × memory bandwidth),
+//! * for kernels with dependent random accesses, the latency roof
+//!   (`mlp / latency` accesses per second, each worth
+//!   `intensity × access_bytes` flops).
+//!
+//! Experiment F4 evaluates the kernel suite on each node model with this
+//! function; the PIM's bandwidth and latency advantages and the CMP's
+//! bandwidth starvation fall directly out.
+
+use crate::kernels::Kernel;
+use crate::node::NodeModel;
+
+/// Bytes per random access (one cache line's useful payload for GUPS).
+const RANDOM_ACCESS_BYTES: f64 = 16.0;
+
+/// Memory-level parallelism a 2002-class core sustains on dependent
+/// random access (outstanding misses).
+const MLP: f64 = 4.0;
+
+/// Attainable FLOP/s of `kernel` on `node`.
+pub fn attainable(node: &NodeModel, kernel: &Kernel) -> f64 {
+    let compute_roof = node.flops;
+    let bandwidth_roof = kernel.intensity * node.mem_bw;
+    let streaming = compute_roof.min(bandwidth_roof);
+    if kernel.random_fraction == 0.0 {
+        return streaming;
+    }
+    // Latency roof for the random portion.
+    let accesses_per_sec = MLP / node.mem_latency;
+    let latency_roof = accesses_per_sec * RANDOM_ACCESS_BYTES * kernel.intensity;
+    // Weight the random and streaming portions by time share.
+    let f = kernel.random_fraction;
+    1.0 / (f / latency_roof.min(streaming) + (1.0 - f) / streaming)
+}
+
+/// Fraction of peak achieved (the "efficiency" column of F4).
+pub fn efficiency(node: &NodeModel, kernel: &Kernel) -> f64 {
+    attainable(node, kernel) / node.flops
+}
+
+/// The intensity at which a node transitions from bandwidth-bound to
+/// compute-bound (the roofline knee).
+pub fn knee(node: &NodeModel) -> f64 {
+    node.flops / node.mem_bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Projection;
+    use crate::kernels::{DAXPY, DGEMM, GUPS, STENCIL7, SUITE};
+    use crate::node::{NodeKind, NodeModel};
+
+    fn node(kind: NodeKind, year: u32) -> NodeModel {
+        NodeModel::build(kind, &Projection::default().at(year))
+    }
+
+    #[test]
+    fn attainable_never_exceeds_peak() {
+        for year in [2002, 2005, 2008] {
+            for kind in NodeKind::ALL {
+                let n = node(kind, year);
+                for k in &SUITE {
+                    let a = attainable(&n, k);
+                    assert!(a > 0.0 && a <= n.flops * (1.0 + 1e-9), "{kind:?} {}", k.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dgemm_is_compute_bound_daxpy_bandwidth_bound() {
+        let n = node(NodeKind::Pc, 2002);
+        assert!((attainable(&n, &DGEMM) - n.flops).abs() / n.flops < 1e-9);
+        let daxpy = attainable(&n, &DAXPY);
+        assert!((daxpy - DAXPY.intensity * n.mem_bw).abs() / daxpy < 1e-9);
+        assert!(daxpy < 0.2 * n.flops);
+    }
+
+    #[test]
+    fn pim_wins_low_intensity_cmp_wins_dgemm() {
+        let d = 2006;
+        let pim = node(NodeKind::Pim, d);
+        let cmp = node(NodeKind::SmpOnChip, d);
+        let pc = node(NodeKind::Pc, d);
+        assert!(attainable(&pim, &DAXPY) > 3.0 * attainable(&pc, &DAXPY));
+        assert!(attainable(&pim, &GUPS) > 3.0 * attainable(&pc, &GUPS));
+        assert!(attainable(&cmp, &DGEMM) > 2.0 * attainable(&pc, &DGEMM));
+        assert!(attainable(&cmp, &DGEMM) > attainable(&pim, &DGEMM));
+    }
+
+    #[test]
+    fn memory_wall_widens_over_time_on_pc_track() {
+        // DAXPY efficiency on the plain-PC track decays with years —
+        // the keynote's "more of the same, only faster" critique.
+        let e02 = efficiency(&node(NodeKind::Pc, 2002), &DAXPY);
+        let e08 = efficiency(&node(NodeKind::Pc, 2008), &DAXPY);
+        assert!(e08 < 0.5 * e02, "{e02} -> {e08}");
+    }
+
+    #[test]
+    fn gups_latency_bound_not_bandwidth_bound() {
+        let n = node(NodeKind::Pc, 2002);
+        let latency_roof = 4.0 / n.mem_latency * 16.0 * GUPS.intensity;
+        let a = attainable(&n, &GUPS);
+        assert!(a <= latency_roof * 1.01);
+        // The pure-bandwidth estimate would be higher.
+        assert!(GUPS.intensity * n.mem_bw > a);
+    }
+
+    #[test]
+    fn knee_matches_balance() {
+        let n = node(NodeKind::Pc, 2002);
+        assert!((knee(&n) - n.flops / n.mem_bw).abs() < 1e-12);
+        // Kernels below the knee are bandwidth-bound.
+        assert!(STENCIL7.intensity < knee(&node(NodeKind::Pc, 2008)));
+    }
+}

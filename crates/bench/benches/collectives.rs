@@ -1,0 +1,82 @@
+//! Criterion: collective algorithms, both executable (8 real ranks) and
+//! simulated (256 modeled nodes) — the F3 companion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polaris::prelude::*;
+use polaris_collectives::prelude::*;
+use polaris_simnet::link::Generation;
+use polaris_simnet::network::Network;
+use polaris_simnet::topology::{Topology, TopologyKind};
+use std::hint::black_box;
+
+fn bench_executable_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce-8ranks");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (algo, name) in [
+        (AllreduceAlgo::RecursiveDoubling, "recursive-doubling"),
+        (AllreduceAlgo::Ring, "ring"),
+        (AllreduceAlgo::ReduceBcast, "reduce+bcast"),
+    ] {
+        for elems in [8usize, 8192] {
+            group.bench_with_input(
+                BenchmarkId::new(name, elems * 8),
+                &elems,
+                |b, &elems| {
+                    b.iter(|| {
+                        let (out, _) = Cluster::builder().nodes(8).run(move |mut ctx| {
+                            let mut data = vec![ctx.rank() as u64; elems];
+                            for _ in 0..10 {
+                                allreduce_with(ctx.endpoint(), algo, ReduceOp::Sum, &mut data);
+                            }
+                            data[0]
+                        });
+                        black_box(out)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_simulated_collectives(c: &mut Criterion) {
+    // Measures the simulator's own throughput: how fast we can evaluate
+    // a 256-node collective (useful when sweeping design spaces).
+    let mut group = c.benchmark_group("simulate-256nodes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (coll, name) in [
+        (
+            Collective::Allreduce(AllreduceAlgo::Ring),
+            "allreduce-ring-1MiB",
+        ),
+        (
+            Collective::Allreduce(AllreduceAlgo::RecursiveDoubling),
+            "allreduce-rd-1MiB",
+        ),
+        (Collective::AlltoallPairwise, "alltoall-64KiB"),
+    ] {
+        let bytes = if name.contains("alltoall") { 64 << 10 } else { 1 << 20 };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut net = Network::new(
+                    Topology::new(TopologyKind::Crossbar { hosts: 256 }),
+                    Generation::InfiniBand4x.link_model(),
+                );
+                black_box(simulate_collective(
+                    &mut net,
+                    coll,
+                    bytes,
+                    ExecParams::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executable_allreduce, bench_simulated_collectives);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion: point-to-point wall-clock on the executable stack.
+//!
+//! Measures per-message cost of the three protocols at three sizes on
+//! the in-process fabric. Absolute numbers reflect this host's memcpy
+//! speed; the *ordering* (rendezvous ≥ eager ≥ sockets for large
+//! payloads, reversed for tiny ones) is the reproduced result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polaris_msg::prelude::*;
+use polaris_nic::prelude::Fabric;
+use std::hint::black_box;
+
+/// One duplex message iteration on a single-threaded two-rank world.
+fn roundtrip(ep0: &mut Endpoint, ep1: &mut Endpoint, bytes: usize) {
+    let rbuf = ep1.alloc(bytes).expect("alloc");
+    let rreq = ep1.irecv(MatchSpec::exact(0, 1), rbuf).expect("irecv");
+    let sbuf = ep0.alloc(bytes).expect("alloc");
+    let sreq = ep0.isend(1, 1, sbuf).expect("isend");
+    let (rbuf, info) = loop {
+        ep0.progress();
+        if let Some(done) = ep1.test_recv(rreq).expect("recv") {
+            break done;
+        }
+    };
+    black_box(info.len);
+    let sbuf = ep0.wait_send(sreq).expect("send");
+    ep0.release(sbuf);
+    ep1.release(rbuf);
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2p");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (proto, name) in [
+        (Protocol::Sockets, "sockets"),
+        (Protocol::Eager, "eager"),
+        (Protocol::Rendezvous, "rendezvous"),
+    ] {
+        for bytes in [256usize, 16 * 1024, 1 << 20] {
+            if proto == Protocol::Eager && bytes > 16 * 1024 {
+                continue; // beyond the bounce-buffer capacity
+            }
+            let fabric = Fabric::new();
+            let mut eps = Endpoint::create_world(&fabric, 2, MsgConfig::with_protocol(proto))
+                .expect("world");
+            let mut ep1 = eps.pop().unwrap();
+            let mut ep0 = eps.pop().unwrap();
+            group.throughput(Throughput::Bytes(bytes as u64));
+            group.bench_with_input(
+                BenchmarkId::new(name, bytes),
+                &bytes,
+                |b, &bytes| b.iter(|| roundtrip(&mut ep0, &mut ep1, bytes)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_small_message_latency(c: &mut Criterion) {
+    // The headline latency comparison: 8-byte messages.
+    let mut group = c.benchmark_group("p2p-8B-latency");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (proto, name) in [
+        (Protocol::Sockets, "sockets"),
+        (Protocol::Eager, "eager"),
+        (Protocol::Rendezvous, "rendezvous"),
+    ] {
+        let fabric = Fabric::new();
+        let mut eps =
+            Endpoint::create_world(&fabric, 2, MsgConfig::with_protocol(proto)).expect("world");
+        let mut ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        group.bench_function(name, |b| b.iter(|| roundtrip(&mut ep0, &mut ep1, 8)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_small_message_latency);
+criterion_main!(benches);

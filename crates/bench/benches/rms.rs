@@ -1,0 +1,58 @@
+//! Criterion: resource-management throughput — scheduler decisions per
+//! second and checkpoint Monte-Carlo speed (the T2/F6 companions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polaris_rms::prelude::*;
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler-3000-jobs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let cfg = WorkloadConfig {
+        mean_interarrival: 120.0,
+        ..WorkloadConfig::default()
+    };
+    let jobs = generate(&cfg, 3000, 7);
+    for policy in [Policy::Fcfs, Policy::EasyBackfill] {
+        group.bench_with_input(
+            BenchmarkId::new("policy", format!("{policy:?}")),
+            &policy,
+            |b, &policy| b.iter(|| black_box(simulate(64, policy, &jobs))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_mc(c: &mut Criterion) {
+    let params = CheckpointParams {
+        checkpoint_cost: 120.0,
+        restart_cost: 300.0,
+        system_mtbf: 3_600.0,
+    };
+    c.bench_function("checkpoint-mc-40days", |b| {
+        b.iter(|| {
+            black_box(simulate_checkpointing(
+                &params,
+                40.0 * 86_400.0,
+                params.young_interval(),
+                9,
+            ))
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let cfg = WorkloadConfig::default();
+    c.bench_function("workload-gen-10k-jobs", |b| {
+        b.iter(|| black_box(generate(&cfg, 10_000, 1)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_checkpoint_mc,
+    bench_workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! A2 — ablation: the eager/rendezvous switch point. Sweeps the
+//! protocol threshold in the analytic model per generation, and
+//! cross-checks one point against the executable stack's wall clock.
+
+use crate::table::{si_bytes, Table};
+use polaris_msg::config::{MsgConfig, Protocol, RendezvousMode};
+use polaris_msg::endpoint::Endpoint;
+use polaris_msg::match_engine::MatchSpec;
+use polaris_msg::model::{eager_rendezvous_crossover, p2p_time, HostParams};
+use polaris_nic::prelude::Fabric;
+use polaris_simnet::link::Generation;
+
+pub fn generate() -> Vec<Table> {
+    let host = HostParams::default();
+    let mut t = Table::new(
+        "A2",
+        "eager/rendezvous crossover size by generation (model)",
+        &["generation", "crossover", "eager@x/2-us", "rndv@x/2-us", "eager@2x-us", "rndv@2x-us"],
+    );
+    for g in Generation::ALL {
+        let link = g.link_model();
+        let x = eager_rendezvous_crossover(&link, 2, RendezvousMode::Read, &host);
+        let tt = |b: u64, p: Protocol| {
+            format!(
+                "{:.1}",
+                p2p_time(&link, 2, b, p, RendezvousMode::Read, &host).as_us()
+            )
+        };
+        t.row(vec![
+            g.name().to_string(),
+            si_bytes(x),
+            tt(x / 2, Protocol::Eager),
+            tt(x / 2, Protocol::Rendezvous),
+            tt(x * 2, Protocol::Eager),
+            tt(x * 2, Protocol::Rendezvous),
+        ]);
+    }
+    t.note("expected: crossover shrinks as links get faster (copies dominate sooner)");
+
+    // Executable cross-check: measure real wall time per message for the
+    // two protocols across sizes and find where rendezvous starts
+    // winning on this host.
+    let mut real = Table::new(
+        "A2b",
+        "executable stack: ns/message, eager vs rendezvous (this host)",
+        &["size", "eager-ns", "rendezvous-ns"],
+    );
+    for exp in [6u32, 10, 14, 18, 22] {
+        let bytes = 1usize << exp;
+        let eager = if bytes <= 16 * 1024 {
+            Some(measure(Protocol::Eager, bytes))
+        } else {
+            None
+        };
+        let rndv = measure(Protocol::Rendezvous, bytes);
+        real.row(vec![
+            si_bytes(bytes as u64),
+            eager.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into()),
+            format!("{rndv:.0}"),
+        ]);
+    }
+    real.note("in-process fabric: absolute numbers are host memcpy speeds, the shape is the point");
+    vec![t, real]
+}
+
+/// Wall-clock nanoseconds per message, single-threaded duplex world.
+fn measure(proto: Protocol, bytes: usize) -> f64 {
+    let fabric = Fabric::new();
+    let mut eps = Endpoint::create_world(&fabric, 2, MsgConfig::with_protocol(proto))
+        .expect("bench world");
+    let mut ep1 = eps.pop().expect("two endpoints");
+    let mut ep0 = eps.pop().expect("two endpoints");
+    let iters = (1 << 24) / bytes.max(1024) + 8;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        let rbuf = ep1.alloc(bytes).expect("alloc");
+        let rreq = ep1.irecv(MatchSpec::exact(0, 1), rbuf).expect("irecv");
+        let sbuf = ep0.alloc(bytes).expect("alloc");
+        let sreq = ep0.isend(1, 1, sbuf).expect("isend");
+        let (rbuf, _) = loop {
+            ep0.progress();
+            if let Some(done) = ep1.test_recv(rreq).expect("recv") {
+                break done;
+            }
+        };
+        let sbuf = ep0.wait_send(sreq).expect("send");
+        ep0.release(sbuf);
+        ep1.release(rbuf);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_shrinks_with_faster_links() {
+        let tables = generate();
+        let rows = &tables[0].rows;
+        // Fast Ethernet's crossover is the largest.
+        let parse = |s: &str| -> u64 {
+            if let Some(x) = s.strip_suffix("MiB") {
+                x.parse::<u64>().unwrap() << 20
+            } else if let Some(x) = s.strip_suffix("KiB") {
+                x.parse::<u64>().unwrap() << 10
+            } else {
+                s.strip_suffix('B').unwrap().parse().unwrap()
+            }
+        };
+        let fe = parse(&rows[0][1]);
+        let ib = parse(&rows[3][1]);
+        assert!(fe > ib, "FastEthernet {fe} vs InfiniBand {ib}");
+    }
+}

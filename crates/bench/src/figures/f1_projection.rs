@@ -1,0 +1,103 @@
+//! F1 — "performance, capacity, power, size, and cost curves … toward
+//! the trans-Petaflops performance regime".
+//!
+//! Cluster-level projections 2002→2010 for each node-architecture track
+//! under a fixed $10M budget, plus the year each track crosses 1 PFLOPS
+//! under budget, power, and floor-space constraints.
+
+use crate::table::{f1, f2, f3, Table};
+use polaris_arch::prelude::*;
+
+pub fn generate() -> Vec<Table> {
+    let proj = Projection::default();
+    let budget = Constraint::Budget(10e6);
+
+    let mut curves = Table::new(
+        "F1",
+        "cluster curves under a $10M budget, by node track",
+        &[
+            "year", "track", "nodes", "peak-TF", "mem-TB", "power-kW", "racks", "$/GF",
+        ],
+    );
+    for year in (2002..=2010).step_by(2) {
+        for kind in NodeKind::ALL {
+            let c = cluster_at(&proj, kind, budget, year);
+            curves.row(vec![
+                year.to_string(),
+                kind.name().to_string(),
+                c.nodes.to_string(),
+                f2(c.peak_tflops()),
+                f1(c.memory / 1e12),
+                f1(c.power / 1e3),
+                f1(c.racks),
+                f2(c.dollars_per_gflops()),
+            ]);
+        }
+    }
+    curves.note("anchor: 2002 commodity node (4.8 GF, 2.1 GB/s, $2000, 250 W)");
+    curves.note("expected shape: CMP/blade tracks pull ahead of plain PCs late in the decade");
+
+    let mut crossing = Table::new(
+        "F1b",
+        "first year each track reaches 1 PFLOPS, by constraint",
+        &["track", "$10M budget", "2 MW power", "100 racks"],
+    );
+    let constraints = [
+        Constraint::Budget(10e6),
+        Constraint::Power(2e6),
+        Constraint::Racks(100),
+    ];
+    for kind in NodeKind::ALL {
+        let mut cells = vec![kind.name().to_string()];
+        for c in constraints {
+            let y = crossover_year(&proj, kind, c, PETAFLOPS)
+                .map(|y| y.to_string())
+                .unwrap_or_else(|| ">2020".into());
+            cells.push(y);
+        }
+        crossing.row(cells);
+    }
+    crossing.note("the keynote's claim: trans-Petaflops arrives within the decade only off the plain-PC track");
+
+    let mut balance = Table::new(
+        "F1c",
+        "machine balance (bytes/flop) by track — the memory wall",
+        &["year", "pc-1u", "blade", "smp-on-chip", "pim"],
+    );
+    for year in (2002..=2010).step_by(2) {
+        let d = proj.at(year);
+        let mut cells = vec![year.to_string()];
+        for kind in NodeKind::ALL {
+            cells.push(f3(NodeModel::build(kind, &d).bytes_per_flop()));
+        }
+        balance.row(cells);
+    }
+    vec![curves, crossing, balance]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_shape() {
+        let tables = generate();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows.len(), 5 * 4); // 5 years x 4 tracks
+        assert_eq!(tables[1].rows.len(), 4);
+        // Every track crosses a petaflops under the budget by 2020.
+        for row in &tables[1].rows {
+            assert_ne!(row[1], ">2020", "{row:?}");
+        }
+    }
+
+    #[test]
+    fn pim_balance_dominates_every_year() {
+        let tables = generate();
+        for row in &tables[2].rows {
+            let pc: f64 = row[1].parse().unwrap();
+            let pim: f64 = row[4].parse().unwrap();
+            assert!(pim > pc * 10.0);
+        }
+    }
+}

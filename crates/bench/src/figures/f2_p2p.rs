@@ -1,0 +1,131 @@
+//! F2 — point-to-point latency and bandwidth versus message size, per
+//! protocol and interconnect generation (simulated 2002-era time), and
+//! T1 — the headline small-message / peak-bandwidth summary table.
+
+use crate::table::{si_bytes, Table};
+use polaris_msg::config::{Protocol, RendezvousMode};
+use polaris_msg::model::{p2p_bandwidth, p2p_time, HostParams};
+use polaris_simnet::link::Generation;
+
+const HOPS: u32 = 2; // node - switch - node
+const PROTOCOLS: [(Protocol, &str); 3] = [
+    (Protocol::Sockets, "sockets"),
+    (Protocol::Eager, "eager"),
+    (Protocol::Rendezvous, "rendezvous"),
+];
+
+pub fn generate() -> Vec<Table> {
+    let host = HostParams::default();
+    let sizes: Vec<u64> = (0..12).map(|i| 16u64 << (2 * i)).collect(); // 16B..64MiB
+
+    let mut headers: Vec<String> = vec!["generation".into(), "protocol".into()];
+    headers.extend(sizes.iter().map(|&b| si_bytes(b)));
+    let mut lat = Table::new_owned("F2a", "one-way latency (us) vs message size", headers.clone());
+    for g in Generation::ALL {
+        let link = g.link_model();
+        for (p, name) in PROTOCOLS {
+            let mut cells = vec![g.name().to_string(), name.to_string()];
+            for &b in &sizes {
+                let t = p2p_time(&link, HOPS, b, p, RendezvousMode::Read, &host);
+                cells.push(format!("{:.1}", t.as_us()));
+            }
+            lat.row(cells);
+        }
+    }
+    lat.note("expected: user-level beats sockets 2-10x at small sizes; rendezvous wins large");
+
+    let mut bw = Table::new_owned("F2b", "effective bandwidth (MB/s) vs message size", headers);
+    for g in Generation::ALL {
+        let link = g.link_model();
+        for (p, name) in PROTOCOLS {
+            let mut cells = vec![g.name().to_string(), name.to_string()];
+            for &b in &sizes {
+                let v = p2p_bandwidth(&link, HOPS, b, p, RendezvousMode::Read, &host) / 1e6;
+                cells.push(format!("{v:.0}"));
+            }
+            bw.row(cells);
+        }
+    }
+    bw.note("expected: sockets plateaus at its per-MTU overhead + copy bound, rendezvous reaches link rate");
+
+    let mut t1 = Table::new(
+        "T1",
+        "headline numbers: 8B latency and 4MiB bandwidth",
+        &[
+            "generation",
+            "sockets-us",
+            "eager-us",
+            "rndv-us",
+            "sockets-MB/s",
+            "eager-MB/s",
+            "rndv-MB/s",
+            "link-MB/s",
+        ],
+    );
+    for g in Generation::ALL {
+        let link = g.link_model();
+        let t = |p| {
+            format!(
+                "{:.1}",
+                p2p_time(&link, HOPS, 8, p, RendezvousMode::Read, &host).as_us()
+            )
+        };
+        let b = |p| {
+            format!(
+                "{:.0}",
+                p2p_bandwidth(&link, HOPS, 4 << 20, p, RendezvousMode::Read, &host) / 1e6
+            )
+        };
+        t1.row(vec![
+            g.name().to_string(),
+            t(Protocol::Sockets),
+            t(Protocol::Eager),
+            t(Protocol::Rendezvous),
+            b(Protocol::Sockets),
+            b(Protocol::Eager),
+            b(Protocol::Rendezvous),
+            format!("{:.0}", link.bandwidth_bps as f64 / 1e6),
+        ]);
+    }
+    t1.note("2002 host: 1 GB/s copies, 5us syscall, 15us interrupt, 0.5us user-level overhead");
+    vec![lat, bw, t1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_hold() {
+        let tables = generate();
+        let t1 = &tables[2];
+        assert_eq!(t1.rows.len(), 5);
+        for row in &t1.rows {
+            let sockets_us: f64 = row[1].parse().unwrap();
+            let eager_us: f64 = row[2].parse().unwrap();
+            assert!(eager_us < sockets_us, "user-level must win: {row:?}");
+            let sockets_bw: f64 = row[4].parse().unwrap();
+            let rndv_bw: f64 = row[6].parse().unwrap();
+            let link_bw: f64 = row[7].parse().unwrap();
+            assert!(rndv_bw >= sockets_bw, "{row:?}");
+            assert!(rndv_bw <= link_bw * 1.001);
+        }
+        // On InfiniBand, rendezvous approaches link rate; sockets do not.
+        let ib = t1.rows.iter().find(|r| r[0] == "infiniband-4x").unwrap();
+        let sockets_bw: f64 = ib[4].parse().unwrap();
+        let rndv_bw: f64 = ib[6].parse().unwrap();
+        assert!(rndv_bw > 900.0, "{rndv_bw}");
+        assert!(sockets_bw < 400.0, "{sockets_bw}");
+    }
+
+    #[test]
+    fn latency_rows_monotone_in_size() {
+        let tables = generate();
+        for row in &tables[0].rows {
+            let vals: Vec<f64> = row[2..].iter().map(|s| s.parse().unwrap()).collect();
+            for w in vals.windows(2) {
+                assert!(w[1] >= w[0] * 0.999, "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! F3 — collective scaling "as system scale explodes": completion time
+//! versus node count for the algorithm variants, on a simulated
+//! InfiniBand fat-tree (large node counts use a crossbar approximation
+//! to keep route tables small).
+
+use crate::table::Table;
+use polaris_collectives::prelude::*;
+use polaris_simnet::link::Generation;
+use polaris_simnet::network::Network;
+use polaris_simnet::topology::{Topology, TopologyKind};
+
+fn net(p: u32) -> Network {
+    // Fat tree where a k fits exactly, crossbar (ideal full-bisection
+    // approximation) otherwise.
+    let topo = match p {
+        16 => Topology::new(TopologyKind::FatTree { k: 4 }),
+        128 => Topology::new(TopologyKind::FatTree { k: 8 }),
+        1024 => Topology::new(TopologyKind::FatTree { k: 16 }),
+        _ => Topology::new(TopologyKind::Crossbar { hosts: p }),
+    };
+    Network::new(topo, Generation::InfiniBand4x.link_model())
+}
+
+const SCALES: [u32; 5] = [4, 16, 64, 256, 1024];
+
+pub fn generate() -> Vec<Table> {
+    let params = ExecParams::default();
+
+    let mut barrier = Table::new(
+        "F3a",
+        "barrier time (us) vs nodes",
+        &["nodes", "dissemination", "tree"],
+    );
+    for p in SCALES {
+        let d = simulate_collective(
+            &mut net(p),
+            Collective::Barrier(BarrierAlgo::Dissemination),
+            0,
+            params,
+        );
+        let t = simulate_collective(&mut net(p), Collective::Barrier(BarrierAlgo::Tree), 0, params);
+        barrier.row(vec![
+            p.to_string(),
+            format!("{:.1}", d.completion.as_us()),
+            format!("{:.1}", t.completion.as_us()),
+        ]);
+    }
+    barrier.note("expected: O(log p) growth; dissemination flatter (one round-trip per stage)");
+
+    let mut allreduce_small = Table::new(
+        "F3b",
+        "allreduce 64B time (us) vs nodes",
+        &["nodes", "recursive-doubling", "ring", "reduce+bcast"],
+    );
+    let mut allreduce_large = Table::new(
+        "F3c",
+        "allreduce 4MiB time (ms) vs nodes",
+        &["nodes", "recursive-doubling", "ring", "reduce+bcast"],
+    );
+    for p in SCALES {
+        let run = |algo, bytes| {
+            simulate_collective(&mut net(p), Collective::Allreduce(algo), bytes, params)
+                .completion
+        };
+        allreduce_small.row(vec![
+            p.to_string(),
+            format!("{:.1}", run(AllreduceAlgo::RecursiveDoubling, 64).as_us()),
+            format!("{:.1}", run(AllreduceAlgo::Ring, 64).as_us()),
+            format!("{:.1}", run(AllreduceAlgo::ReduceBcast, 64).as_us()),
+        ]);
+        allreduce_large.row(vec![
+            p.to_string(),
+            format!("{:.2}", run(AllreduceAlgo::RecursiveDoubling, 4 << 20).as_ms()),
+            format!("{:.2}", run(AllreduceAlgo::Ring, 4 << 20).as_ms()),
+            format!("{:.2}", run(AllreduceAlgo::ReduceBcast, 4 << 20).as_ms()),
+        ]);
+    }
+    allreduce_small.note("expected: recursive doubling wins small vectors (log p rounds)");
+    allreduce_large.note("expected: ring wins large vectors (bandwidth-optimal 2n(p-1)/p)");
+
+    let mut bcast = Table::new(
+        "F3d",
+        "bcast 1MiB time (ms) vs nodes",
+        &["nodes", "binomial", "scatter+allgather"],
+    );
+    for p in SCALES {
+        let b = simulate_collective(
+            &mut net(p),
+            Collective::Bcast(BcastAlgo::Binomial),
+            1 << 20,
+            params,
+        );
+        let s = simulate_collective(
+            &mut net(p),
+            Collective::Bcast(BcastAlgo::ScatterAllgather),
+            1 << 20,
+            params,
+        );
+        bcast.row(vec![
+            p.to_string(),
+            format!("{:.2}", b.completion.as_ms()),
+            format!("{:.2}", s.completion.as_ms()),
+        ]);
+    }
+    bcast.note("expected: binomial's n·log p loses to scatter+allgather's 2n at scale");
+
+    vec![barrier, allreduce_small, allreduce_large, bcast]
+}
+
+/// Helper for SimDuration -> ms used above.
+trait AsMs {
+    fn as_ms(&self) -> f64;
+}
+
+impl AsMs for polaris_simnet::time::SimDuration {
+    fn as_ms(&self) -> f64 {
+        self.as_secs() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_scales_sub_linearly() {
+        let tables = generate();
+        let barrier = &tables[0];
+        let first: f64 = barrier.rows[0][1].parse().unwrap();
+        let last: f64 = barrier.rows.last().unwrap()[1].parse().unwrap();
+        // 4 -> 4096 nodes is 1024x; dissemination grows ~6x (2 -> 12 rounds).
+        assert!(last / first < 20.0, "barrier must scale ~log p: {first} -> {last}");
+    }
+
+    #[test]
+    fn algorithm_tradeoffs_visible_at_scale() {
+        let tables = generate();
+        let small = tables[1].rows.last().unwrap();
+        let rd: f64 = small[1].parse().unwrap();
+        let ring: f64 = small[2].parse().unwrap();
+        assert!(rd < ring, "small vectors: rd {rd} must beat ring {ring}");
+        let large = tables[2].rows.last().unwrap();
+        let rd: f64 = large[1].parse().unwrap();
+        let ring: f64 = large[2].parse().unwrap();
+        assert!(ring < rd, "large vectors: ring {ring} must beat rd {rd}");
+        let bcast = tables[3].rows.last().unwrap();
+        let binomial: f64 = bcast[1].parse().unwrap();
+        let vdg: f64 = bcast[2].parse().unwrap();
+        assert!(vdg < binomial, "scatter+allgather {vdg} must beat binomial {binomial}");
+    }
+}

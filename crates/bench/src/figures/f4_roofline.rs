@@ -1,0 +1,92 @@
+//! F4 — "blade technology, system and SMP on a chip, processor in
+//! memory": attainable kernel performance by node architecture, on the
+//! latency-extended roofline.
+
+use crate::table::Table;
+use polaris_arch::prelude::*;
+
+pub fn generate() -> Vec<Table> {
+    let proj = Projection::default();
+    let mut out = Vec::new();
+    for year in [2002u32, 2006] {
+        let d = proj.at(year);
+        let mut t = Table::new(
+            &format!("F4-{year}"),
+            &format!("attainable GFLOPS by kernel and node track, {year} devices"),
+            &["kernel", "intensity", "pc-1u", "blade", "smp-on-chip", "pim", "best"],
+        );
+        for k in &SUITE {
+            let per: Vec<(NodeKind, f64)> = NodeKind::ALL
+                .iter()
+                .map(|&kind| {
+                    let n = NodeModel::build(kind, &d);
+                    (kind, attainable(&n, k) / 1e9)
+                })
+                .collect();
+            let best = per
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("nonempty");
+            let mut cells = vec![k.name.to_string(), format!("{:.3}", k.intensity)];
+            cells.extend(per.iter().map(|(_, g)| format!("{g:.2}")));
+            cells.push(best.0.name().to_string());
+            t.row(cells);
+        }
+        t.note("expected: PIM wins low-intensity kernels (daxpy/gups), CMP wins dgemm");
+        out.push(t);
+    }
+
+    // Efficiency decay on the plain-PC track: the keynote's "more of the
+    // same, only faster" critique, quantified.
+    let mut eff = Table::new(
+        "F4c",
+        "fraction of peak achieved on the plain-PC track, by year",
+        &["kernel", "2002", "2004", "2006", "2008", "2010"],
+    );
+    for k in &SUITE {
+        let mut cells = vec![k.name.to_string()];
+        for year in (2002..=2010).step_by(2) {
+            let n = NodeModel::build(NodeKind::Pc, &proj.at(year));
+            cells.push(format!("{:.3}", efficiency(&n, k)));
+        }
+        eff.row(cells);
+    }
+    eff.note("expected: memory-bound kernels' efficiency collapses as flops outgrow bandwidth");
+    out.push(eff);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winners_match_the_keynote_story() {
+        let tables = generate();
+        let t2006 = &tables[1];
+        let find = |name: &str| {
+            t2006
+                .rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(find("daxpy").last().unwrap().as_str(), "pim");
+        assert_eq!(find("gups").last().unwrap().as_str(), "pim");
+        assert_eq!(find("dgemm-blocked").last().unwrap().as_str(), "smp-on-chip");
+    }
+
+    #[test]
+    fn pc_efficiency_declines_for_memory_bound_kernels() {
+        let tables = generate();
+        let eff = tables.last().unwrap();
+        let daxpy = eff.rows.iter().find(|r| r[0] == "daxpy").unwrap();
+        let e2002: f64 = daxpy[1].parse().unwrap();
+        let e2010: f64 = daxpy[5].parse().unwrap();
+        assert!(e2010 < e2002 / 2.0, "{e2002} -> {e2010}");
+        // Compute-bound dgemm stays at peak throughout.
+        let dgemm = eff.rows.iter().find(|r| r[0] == "dgemm-blocked").unwrap();
+        let e2010: f64 = dgemm[5].parse().unwrap();
+        assert!(e2010 > 0.99);
+    }
+}

@@ -1,0 +1,131 @@
+//! F6 — fault recovery: wasted-work fraction versus checkpoint interval
+//! at several machine scales, with the Young/Daly optima marked, plus
+//! the completion-time inflation of not checkpointing at all.
+
+use crate::table::Table;
+use polaris_rms::prelude::*;
+
+/// 1000-hour per-node MTBF: respectable 2002 commodity hardware.
+const NODE_MTBF: f64 = 3.6e6;
+
+pub fn generate() -> Vec<Table> {
+    let mut waste = Table::new(
+        "F6a",
+        "wasted-work % vs checkpoint interval, by machine scale",
+        &[
+            "nodes",
+            "sys-MTBF-h",
+            "tau/8",
+            "tau/2",
+            "tau*",
+            "tau*2",
+            "tau*8",
+            "young-s",
+            "daly-s",
+        ],
+    );
+    for nodes in [128u32, 1024, 8192] {
+        let failures = FailureModel { node_mtbf: NODE_MTBF };
+        let params = CheckpointParams {
+            checkpoint_cost: 120.0,
+            restart_cost: 300.0,
+            system_mtbf: failures.system_mtbf(nodes),
+        };
+        let young = params.young_interval();
+        let work = 40.0 * 86_400.0; // a long campaign, to tame MC noise
+        let sim = |tau: f64| {
+            let mut acc = 0.0;
+            for seed in 0..6 {
+                acc += simulate_checkpointing(&params, work, tau, seed).waste_fraction();
+            }
+            format!("{:.1}", acc / 6.0 * 100.0)
+        };
+        waste.row(vec![
+            nodes.to_string(),
+            format!("{:.2}", params.system_mtbf / 3_600.0),
+            sim(young / 8.0),
+            sim(young / 2.0),
+            sim(young),
+            sim(young * 2.0),
+            sim(young * 8.0),
+            format!("{young:.0}"),
+            format!("{:.0}", params.daly_interval()),
+        ]);
+    }
+    waste.note("columns are simulated waste at multiples of the Young interval tau*");
+    waste.note("expected: minimum near tau*; optimum interval shrinks as scale grows");
+
+    let mut inflation = Table::new(
+        "F6b",
+        "8-hour job completion inflation vs width (1000h node MTBF)",
+        &["nodes", "restart-from-scratch", "checkpoint-30min"],
+    );
+    let failures = FailureModel { node_mtbf: NODE_MTBF };
+    let ckpt = CheckpointParams {
+        checkpoint_cost: 120.0,
+        restart_cost: 300.0,
+        system_mtbf: 0.0, // per-run value comes from the failure model
+    };
+    for width in [16u32, 64, 256, 1024] {
+        let scratch = mean_inflation(
+            &failures,
+            &ckpt,
+            RecoveryPolicy::RestartFromScratch,
+            width,
+            8.0 * 3_600.0,
+            20,
+        );
+        let with = mean_inflation(
+            &failures,
+            &ckpt,
+            RecoveryPolicy::CheckpointRestart { interval_s: 1800 },
+            width,
+            8.0 * 3_600.0,
+            20,
+        );
+        inflation.row(vec![
+            width.to_string(),
+            format!("{scratch:.2}x"),
+            format!("{with:.2}x"),
+        ]);
+    }
+    inflation.note("expected: scratch restart diverges super-linearly with width");
+    vec![waste, inflation]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_sits_near_young_interval() {
+        let tables = generate();
+        for row in &tables[0].rows {
+            let vals: Vec<f64> = row[2..7].iter().map(|s| s.parse().unwrap()).collect();
+            let at_star = vals[2];
+            // tau* must beat both extremes.
+            assert!(at_star <= vals[0], "{row:?}");
+            assert!(at_star <= vals[4], "{row:?}");
+        }
+    }
+
+    #[test]
+    fn young_interval_shrinks_with_scale() {
+        let tables = generate();
+        let youngs: Vec<f64> = tables[0]
+            .rows
+            .iter()
+            .map(|r| r[7].parse().unwrap())
+            .collect();
+        assert!(youngs.windows(2).all(|w| w[1] < w[0]), "{youngs:?}");
+    }
+
+    #[test]
+    fn scratch_restart_diverges() {
+        let tables = generate();
+        let last = tables[1].rows.last().unwrap();
+        let scratch: f64 = last[1].trim_end_matches('x').parse().unwrap();
+        let with: f64 = last[2].trim_end_matches('x').parse().unwrap();
+        assert!(scratch > 5.0 * with, "scratch {scratch} vs ckpt {with}");
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per experiment in the EXPERIMENTS.md index; each exposes
+//! `generate() -> Vec<Table>`.
+
+pub mod a2_threshold;
+pub mod f1_projection;
+pub mod f2_p2p;
+pub mod f3_collectives;
+pub mod f4_roofline;
+pub mod f5_halo;
+pub mod f6_checkpoint;
+pub mod f7_optical;
+pub mod f8_decade;
+pub mod f9_placement;
+pub mod f10_sustained;
+pub mod t2_rms;

@@ -1,0 +1,76 @@
+//! T2 — resource management: FCFS versus EASY backfill on synthetic
+//! workloads at several load levels.
+
+use crate::table::Table;
+use polaris_rms::prelude::*;
+
+const NODES: u32 = 64;
+const JOBS: usize = 3000;
+
+pub fn generate() -> Vec<Table> {
+    let mut t = Table::new(
+        "T2",
+        "batch scheduling on 64 nodes, 3000 jobs, light to heavy load",
+        &[
+            "interarrival-s",
+            "policy",
+            "util-%",
+            "mean-wait-s",
+            "p95-wait-s",
+            "bsld",
+        ],
+    );
+    for inter in [1800.0f64, 900.0, 450.0] {
+        let cfg = WorkloadConfig {
+            mean_interarrival: inter,
+            ..WorkloadConfig::default()
+        };
+        let jobs = generate_jobs(&cfg);
+        for policy in [
+            Policy::Fcfs,
+            Policy::ConservativeBackfill,
+            Policy::EasyBackfill,
+        ] {
+            let m = run_and_summarize(NODES, policy, &jobs);
+            t.row(vec![
+                format!("{inter:.0}"),
+                format!("{policy:?}"),
+                format!("{:.1}", m.utilization * 100.0),
+                format!("{:.0}", m.mean_wait),
+                format!("{:.0}", m.p95_wait),
+                format!("{:.1}", m.mean_bounded_slowdown),
+            ]);
+        }
+    }
+    t.note("expected: both backfillers beat FCFS; EASY packs most aggressively");
+    vec![t]
+}
+
+fn generate_jobs(cfg: &WorkloadConfig) -> Vec<Job> {
+    polaris_rms::workload::generate(cfg, JOBS, 2002)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backfill_wins_at_every_load_level() {
+        let tables = generate();
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 9);
+        for trio in rows.chunks(3) {
+            let fcfs_wait: f64 = trio[0][3].parse().unwrap();
+            let cons_wait: f64 = trio[1][3].parse().unwrap();
+            let easy_wait: f64 = trio[2][3].parse().unwrap();
+            assert!(
+                easy_wait <= fcfs_wait && cons_wait <= fcfs_wait,
+                "backfill must not increase mean wait: {trio:?}"
+            );
+        }
+        // At the heaviest load EASY's improvement is substantial.
+        let fcfs: f64 = rows[6][3].parse().unwrap();
+        let easy: f64 = rows[8][3].parse().unwrap();
+        assert!(easy < fcfs * 0.8, "heavy load: {easy} vs {fcfs}");
+    }
+}

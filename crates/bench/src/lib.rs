@@ -1,0 +1,33 @@
+//! # polaris-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! constructed evaluation (see DESIGN.md / EXPERIMENTS.md): the
+//! `figures` binary prints the tables and dumps machine-readable JSON to
+//! `target/figures/`, and the Criterion benches under `benches/` measure
+//! the executable stack's wall-clock behaviour.
+
+pub mod figures;
+pub mod table;
+
+use table::Table;
+
+/// A figure/table generator.
+pub type Generator = fn() -> Vec<Table>;
+
+/// All experiments, in index order, as (id, generator) pairs.
+pub fn all_experiments() -> Vec<(&'static str, Generator)> {
+    vec![
+        ("f1", figures::f1_projection::generate),
+        ("f2", figures::f2_p2p::generate),
+        ("f3", figures::f3_collectives::generate),
+        ("f4", figures::f4_roofline::generate),
+        ("f5", figures::f5_halo::generate),
+        ("t2", figures::t2_rms::generate),
+        ("f6", figures::f6_checkpoint::generate),
+        ("f7", figures::f7_optical::generate),
+        ("f8", figures::f8_decade::generate),
+        ("f9", figures::f9_placement::generate),
+        ("f10", figures::f10_sustained::generate),
+        ("a2", figures::a2_threshold::generate),
+    ]
+}

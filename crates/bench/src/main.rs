@@ -1,0 +1,38 @@
+//! `figures` — regenerate the evaluation tables.
+//!
+//! Usage: `cargo run --release -p polaris-bench -- [all|f1|f2|f3|f4|f5|t2|f6|f7|a2]...`
+//!
+//! Prints each table and writes `target/figures/<id>.json`.
+
+use polaris_bench::all_experiments;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        all_experiments().iter().map(|(id, _)| id.to_string()).collect()
+    } else {
+        args
+    };
+    let out_dir = PathBuf::from("target/figures");
+    let mut ran = 0;
+    for (id, gen) in all_experiments() {
+        if !wanted.iter().any(|w| w.eq_ignore_ascii_case(id)) {
+            continue;
+        }
+        ran += 1;
+        let t0 = std::time::Instant::now();
+        for table in gen() {
+            table.print();
+            if let Err(e) = table.save_json(&out_dir) {
+                eprintln!("warning: could not save {}: {e}", table.id);
+            }
+        }
+        eprintln!("[{id} regenerated in {:?}]\n", t0.elapsed());
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id(s) {wanted:?}; known: f1 f2 f3 f4 f5 t2 f6 f7 f8 f9 f10 a2 all");
+        std::process::exit(2);
+    }
+    eprintln!("JSON series written to {}", out_dir.display());
+}

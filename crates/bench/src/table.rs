@@ -1,0 +1,157 @@
+//! Result tables: aligned console rendering plus JSON export so plots
+//! can be regenerated from `target/figures/*.json`.
+
+use serde::Serialize;
+
+/// One table or figure's data series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. "F2" or "T1".
+    pub id: String,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (parameters, expected shape).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn new_owned(id: &str, title: &str, headers: Vec<String>) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged row in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write `<dir>/<id>.json`.
+    pub fn save_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("serialize"))
+    }
+}
+
+/// Format helpers shared by the figure generators.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+pub fn si_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{}MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KiB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("T9", "demo", &["a", "long-header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["100".into(), "x".into(), "yyyy".into()]);
+        t.note("a note");
+        let r = t.render();
+        assert!(r.contains("T9 — demo"));
+        assert!(r.contains("long-header"));
+        assert!(r.contains("note: a note"));
+        // All data lines have the same width.
+        let lines: Vec<&str> = r.lines().skip(1).take(4).collect();
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("T9", "demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn si_bytes_formatting() {
+        assert_eq!(si_bytes(8), "8B");
+        assert_eq!(si_bytes(2048), "2KiB");
+        assert_eq!(si_bytes(4 << 20), "4MiB");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("F0", "json", &["x"]);
+        t.row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("polaris-bench-test");
+        t.save_json(&dir).unwrap();
+        let s = std::fs::read_to_string(dir.join("f0.json")).unwrap();
+        assert!(s.contains("\"id\": \"F0\""));
+    }
+}

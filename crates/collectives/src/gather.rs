@@ -1,0 +1,172 @@
+//! Gather and scatter (rooted redistribution).
+
+use crate::bcast::chunk_range;
+use crate::comm::{Comm, COLL_TAG_BASE};
+
+const TAG_G: u64 = COLL_TAG_BASE + 10;
+const TAG_S: u64 = COLL_TAG_BASE + 11;
+
+/// Gather equal-size contributions to `root`. Every rank passes its
+/// `mine` slice; the root's `out` (len = p · mine.len()) receives rank
+/// i's bytes at offset i·mine.len(). Non-root `out` is untouched.
+///
+/// Linear algorithm: the root's inbound link is the bottleneck whatever
+/// the schedule, so a tree buys little for gather of equal chunks.
+pub fn gather_linear<C: Comm>(comm: &mut C, root: u32, mine: &[u8], out: &mut [u8]) {
+    let p = comm.size();
+    let rank = comm.rank();
+    let n = mine.len();
+    if rank == root {
+        assert_eq!(out.len(), n * p as usize, "gather output size");
+        out[root as usize * n..root as usize * n + n].copy_from_slice(mine);
+        for i in 0..p {
+            if i == root {
+                continue;
+            }
+            let got = comm.recv_bytes(i, TAG_G, n);
+            out[i as usize * n..i as usize * n + n].copy_from_slice(&got);
+        }
+    } else {
+        comm.send_bytes(root, TAG_G, mine);
+    }
+}
+
+/// Gather up a binomial tree: log p rounds; each rank forwards its
+/// accumulated subtree block. Latency-optimal for small contributions.
+/// Requires power-of-two-friendly block bookkeeping, handled via
+/// relative ranks; works for any p.
+pub fn gather_binomial<C: Comm>(comm: &mut C, root: u32, mine: &[u8], out: &mut [u8]) {
+    let p = comm.size();
+    let rank = comm.rank();
+    let n = mine.len();
+    if p == 1 {
+        out[..n].copy_from_slice(mine);
+        return;
+    }
+    let rel = (rank + p - root) % p;
+    // Accumulate this rank's subtree contiguously in relative order.
+    let mut acc = mine.to_vec();
+    let mut mask = 1u32;
+    while mask < p {
+        if rel & mask == 0 {
+            let child_rel = rel | mask;
+            if child_rel < p {
+                let child = (child_rel + root) % p;
+                // The child's subtree spans min(mask, p - child_rel) ranks.
+                let span = mask.min(p - child_rel) as usize;
+                let got = comm.recv_bytes(child, TAG_G, span * n);
+                acc.extend_from_slice(&got);
+            }
+        } else {
+            let parent = ((rel - mask) + root) % p;
+            comm.send_bytes(parent, TAG_G, &acc);
+            return;
+        }
+        mask <<= 1;
+    }
+    // Root: `acc` is in relative order; rotate into absolute order.
+    assert_eq!(acc.len(), n * p as usize);
+    for r in 0..p {
+        let abs = (r + root) % p;
+        out[abs as usize * n..abs as usize * n + n]
+            .copy_from_slice(&acc[r as usize * n..r as usize * n + n]);
+    }
+}
+
+/// Scatter near-equal chunks of `data` (valid at root; len arbitrary)
+/// from `root`; returns this rank's chunk.
+pub fn scatter_linear<C: Comm>(comm: &mut C, root: u32, data: &[u8], total: usize) -> Vec<u8> {
+    let p = comm.size();
+    let rank = comm.rank();
+    if rank == root {
+        assert_eq!(data.len(), total, "root must hold the full buffer");
+        let mut mine = Vec::new();
+        for i in 0..p {
+            let (start, len) = chunk_range(total, p, i);
+            if i == root {
+                mine = data[start..start + len].to_vec();
+            } else {
+                comm.send_bytes(i, TAG_S, &data[start..start + len]);
+            }
+        }
+        mine
+    } else {
+        let (_, len) = chunk_range(total, p, rank);
+        comm.recv_bytes(root, TAG_S, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_world;
+    use polaris_msg::prelude::MsgConfig;
+
+    fn rank_block(r: u32, n: usize) -> Vec<u8> {
+        (0..n).map(|i| (r as usize * 100 + i) as u8).collect()
+    }
+
+    fn check_gather(binomial: bool, p: u32, root: u32, n: usize) {
+        let out = run_world(p, MsgConfig::default(), move |mut ep| {
+            let mine = rank_block(ep.rank(), n);
+            let mut out = vec![0u8; n * p as usize];
+            if binomial {
+                gather_binomial(&mut ep, root, &mine, &mut out);
+            } else {
+                gather_linear(&mut ep, root, &mine, &mut out);
+            }
+            out
+        });
+        let rootbuf = &out[root as usize];
+        for r in 0..p {
+            assert_eq!(
+                &rootbuf[r as usize * n..r as usize * n + n],
+                &rank_block(r, n)[..],
+                "rank {r} block wrong (binomial={binomial}, p={p}, root={root})"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_gather_various() {
+        for p in [1, 2, 3, 5, 8] {
+            check_gather(false, p, 0, 16);
+        }
+        check_gather(false, 5, 3, 16);
+    }
+
+    #[test]
+    fn binomial_gather_various() {
+        for p in [1, 2, 3, 4, 5, 7, 8, 9] {
+            check_gather(true, p, 0, 16);
+        }
+        check_gather(true, 6, 2, 16);
+        check_gather(true, 8, 7, 16);
+    }
+
+    #[test]
+    fn scatter_roundtrips_with_gather() {
+        let p = 5;
+        let total = 10_007; // ragged chunks
+        let out = run_world(p, MsgConfig::default(), move |mut ep| {
+            let data: Vec<u8> = if ep.rank() == 1 {
+                (0..total).map(|i| (i % 251) as u8).collect()
+            } else {
+                vec![]
+            };
+            scatter_linear(&mut ep, 1, &data, total)
+        });
+        let mut reassembled = Vec::new();
+        for chunk in out {
+            reassembled.extend_from_slice(&chunk);
+        }
+        let expect: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        assert_eq!(reassembled, expect);
+    }
+
+    #[test]
+    fn zero_size_contributions() {
+        check_gather(false, 4, 0, 0);
+        check_gather(true, 4, 0, 0);
+    }
+}

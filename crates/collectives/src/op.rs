@@ -1,0 +1,179 @@
+//! Elements and reduction operators for collectives.
+
+/// A fixed-size element that can cross the wire.
+pub trait Elem: Copy + Default + PartialEq + std::fmt::Debug + Send + 'static {
+    const SIZE: usize;
+    fn write_to(&self, out: &mut [u8]);
+    fn read_from(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_elem {
+    ($t:ty, $n:expr) => {
+        impl Elem for $t {
+            const SIZE: usize = $n;
+            #[inline]
+            fn write_to(&self, out: &mut [u8]) {
+                out[..$n].copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_from(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..$n].try_into().unwrap())
+            }
+        }
+    };
+}
+
+impl_elem!(u32, 4);
+impl_elem!(u64, 8);
+impl_elem!(i32, 4);
+impl_elem!(i64, 8);
+impl_elem!(f32, 4);
+impl_elem!(f64, 8);
+
+/// Serialize a slice of elements.
+pub fn to_bytes<T: Elem>(xs: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; xs.len() * T::SIZE];
+    for (i, x) in xs.iter().enumerate() {
+        x.write_to(&mut out[i * T::SIZE..]);
+    }
+    out
+}
+
+/// Deserialize a slice of elements. Panics if `buf` is not a whole number
+/// of elements.
+pub fn from_bytes<T: Elem>(buf: &[u8]) -> Vec<T> {
+    assert_eq!(buf.len() % T::SIZE, 0, "ragged element buffer");
+    buf.chunks_exact(T::SIZE).map(T::read_from).collect()
+}
+
+/// The reduction operators (the MPI set relevant to the experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+    BitAnd,
+    BitOr,
+    BitXor,
+}
+
+/// Types a [`ReduceOp`] can combine.
+pub trait Reducible: Elem {
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reducible_int {
+    ($t:ty) => {
+        impl Reducible for $t {
+            #[inline]
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::BitAnd => a & b,
+                    ReduceOp::BitOr => a | b,
+                    ReduceOp::BitXor => a ^ b,
+                }
+            }
+        }
+    };
+}
+
+macro_rules! impl_reducible_float {
+    ($t:ty) => {
+        impl Reducible for $t {
+            #[inline]
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::BitAnd | ReduceOp::BitOr | ReduceOp::BitXor => {
+                        panic!("bitwise reduction is undefined for floating point")
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_reducible_int!(u32);
+impl_reducible_int!(u64);
+impl_reducible_int!(i32);
+impl_reducible_int!(i64);
+impl_reducible_float!(f32);
+impl_reducible_float!(f64);
+
+/// Reduce `src` into `acc` element-wise.
+pub fn reduce_into<T: Reducible>(op: ReduceOp, acc: &mut [T], src: &[T]) {
+    assert_eq!(acc.len(), src.len(), "reduction length mismatch");
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a = T::reduce(op, *a, *s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_all_types() {
+        let u: Vec<u64> = vec![0, 1, u64::MAX, 42];
+        assert_eq!(from_bytes::<u64>(&to_bytes(&u)), u);
+        let f: Vec<f64> = vec![0.0, -1.5, f64::MAX, 1e-300];
+        assert_eq!(from_bytes::<f64>(&to_bytes(&f)), f);
+        let i: Vec<i32> = vec![i32::MIN, -1, 0, i32::MAX];
+        assert_eq!(from_bytes::<i32>(&to_bytes(&i)), i);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_buffer_panics() {
+        from_bytes::<u64>(&[0u8; 7]);
+    }
+
+    #[test]
+    fn integer_reductions() {
+        assert_eq!(u64::reduce(ReduceOp::Sum, 3, 4), 7);
+        assert_eq!(u64::reduce(ReduceOp::Prod, 3, 4), 12);
+        assert_eq!(u64::reduce(ReduceOp::Min, 3, 4), 3);
+        assert_eq!(u64::reduce(ReduceOp::Max, 3, 4), 4);
+        assert_eq!(u64::reduce(ReduceOp::BitAnd, 0b110, 0b011), 0b010);
+        assert_eq!(u64::reduce(ReduceOp::BitOr, 0b110, 0b011), 0b111);
+        assert_eq!(u64::reduce(ReduceOp::BitXor, 0b110, 0b011), 0b101);
+        // Wrapping, not panicking.
+        assert_eq!(u64::reduce(ReduceOp::Sum, u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn float_reductions() {
+        assert_eq!(f64::reduce(ReduceOp::Sum, 1.5, 2.5), 4.0);
+        assert_eq!(f64::reduce(ReduceOp::Prod, 2.0, 3.0), 6.0);
+        assert_eq!(f64::reduce(ReduceOp::Min, -1.0, 1.0), -1.0);
+        assert_eq!(f64::reduce(ReduceOp::Max, -1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwise")]
+    fn float_bitwise_panics() {
+        f64::reduce(ReduceOp::BitXor, 1.0, 2.0);
+    }
+
+    #[test]
+    fn reduce_into_elementwise() {
+        let mut acc = vec![1u64, 2, 3];
+        reduce_into(ReduceOp::Sum, &mut acc, &[10, 20, 30]);
+        assert_eq!(acc, vec![11, 22, 33]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn reduce_into_checks_length() {
+        let mut acc = vec![1u64];
+        reduce_into(ReduceOp::Sum, &mut acc, &[1, 2]);
+    }
+}

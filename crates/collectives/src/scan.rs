@@ -1,0 +1,134 @@
+//! Prefix reductions (scan).
+
+use crate::comm::{Comm, COLL_TAG_BASE};
+use crate::op::{from_bytes, reduce_into, to_bytes, Reducible, ReduceOp};
+
+const TAG: u64 = COLL_TAG_BASE + 60;
+
+/// Inclusive scan: rank r ends with `op` applied over ranks 0..=r.
+///
+/// Distance-doubling (Hillis–Steele) schedule: ⌈log₂ p⌉ rounds; in round
+/// k rank r sends its running prefix to r + 2^k and folds in the prefix
+/// from r − 2^k. All [`ReduceOp`]s are associative and commutative, which
+/// this schedule requires.
+pub fn scan_inclusive<C: Comm, T: Reducible>(comm: &mut C, op: ReduceOp, data: &mut [T]) {
+    let p = comm.size();
+    let rank = comm.rank();
+    if p <= 1 {
+        return;
+    }
+    let bytes = data.len() * T::SIZE;
+    let mut dist = 1u32;
+    let mut round = 0u64;
+    while dist < p {
+        let sends = rank + dist < p;
+        let recvs = rank >= dist;
+        match (sends, recvs) {
+            (true, true) => {
+                let got: Vec<T> = from_bytes(&comm.sendrecv_bytes(
+                    rank + dist,
+                    &to_bytes(data),
+                    rank - dist,
+                    TAG + round,
+                    bytes,
+                ));
+                reduce_into(op, data, &got);
+            }
+            (true, false) => comm.send_bytes(rank + dist, TAG + round, &to_bytes(data)),
+            (false, true) => {
+                let got: Vec<T> = from_bytes(&comm.recv_bytes(rank - dist, TAG + round, bytes));
+                reduce_into(op, data, &got);
+            }
+            (false, false) => {}
+        }
+        dist <<= 1;
+        round += 1;
+    }
+}
+
+/// Exclusive scan: rank r ends with `op` over ranks 0..r; rank 0 gets
+/// `identity`. Implemented as an inclusive scan followed by a
+/// right-shift of results.
+pub fn scan_exclusive<C: Comm, T: Reducible>(
+    comm: &mut C,
+    op: ReduceOp,
+    data: &mut [T],
+    identity: T,
+) {
+    let p = comm.size();
+    let rank = comm.rank();
+    let bytes = data.len() * T::SIZE;
+    scan_inclusive(comm, op, data);
+    // Shift: rank r sends its inclusive prefix to r+1, receives r-1's.
+    let sends = rank + 1 < p;
+    let recvs = rank > 0;
+    let incoming: Option<Vec<T>> = match (sends, recvs) {
+        (true, true) => Some(from_bytes(&comm.sendrecv_bytes(
+            rank + 1,
+            &to_bytes(data),
+            rank - 1,
+            TAG + 99,
+            bytes,
+        ))),
+        (true, false) => {
+            comm.send_bytes(rank + 1, TAG + 99, &to_bytes(data));
+            None
+        }
+        (false, true) => Some(from_bytes(&comm.recv_bytes(rank - 1, TAG + 99, bytes))),
+        (false, false) => None,
+    };
+    match incoming {
+        Some(prev) => data.copy_from_slice(&prev),
+        None => data.fill(identity),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_world;
+    use polaris_msg::prelude::MsgConfig;
+
+    #[test]
+    fn inclusive_sum_scan() {
+        for p in [1, 2, 3, 5, 8, 9] {
+            let out = run_world(p, MsgConfig::default(), |mut ep| {
+                let mut data = vec![(ep.rank() + 1) as u64, 1u64];
+                scan_inclusive(&mut ep, ReduceOp::Sum, &mut data);
+                data
+            });
+            for (r, d) in out.iter().enumerate() {
+                let r = r as u64;
+                assert_eq!(d[0], (r + 1) * (r + 2) / 2, "p={p} rank {r}");
+                assert_eq!(d[1], r + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_sum_scan() {
+        for p in [1, 2, 4, 7] {
+            let out = run_world(p, MsgConfig::default(), |mut ep| {
+                let mut data = vec![(ep.rank() + 1) as u64];
+                scan_exclusive(&mut ep, ReduceOp::Sum, &mut data, 0);
+                data[0]
+            });
+            for (r, v) in out.iter().enumerate() {
+                let r = r as u64;
+                assert_eq!(*v, r * (r + 1) / 2, "p={p} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_scan() {
+        // Values zig-zag; the prefix max is monotone.
+        let out = run_world(6, MsgConfig::default(), |mut ep| {
+            let vals = [3i64, 1, 4, 1, 5, 2];
+            let mut data = vec![vals[ep.rank() as usize]];
+            scan_inclusive(&mut ep, ReduceOp::Max, &mut data);
+            data[0]
+        });
+        assert_eq!(out, vec![3, 3, 4, 4, 5, 5]);
+    }
+}

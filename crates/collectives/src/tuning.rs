@@ -1,0 +1,125 @@
+//! Algorithm selection by message size and rank count — the decision
+//! logic a production library ships so users need not pick by hand.
+
+use crate::allgather::AllgatherAlgo;
+use crate::allreduce::AllreduceAlgo;
+use crate::barrier::BarrierAlgo;
+use crate::bcast::BcastAlgo;
+use crate::comm::Comm;
+use crate::op::{Reducible, ReduceOp};
+
+/// Tunable switch points (bytes). Defaults follow the usual MPI-library
+/// heuristics; the F3 bench sweeps around them.
+#[derive(Debug, Clone, Copy)]
+pub struct Tuning {
+    /// Bcast switches from binomial to scatter+allgather at this size.
+    pub bcast_large: usize,
+    /// Allreduce switches from recursive doubling to ring at this size.
+    pub allreduce_large: usize,
+    /// Allgather switches from Bruck to ring at this per-rank size.
+    pub allgather_large: usize,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            bcast_large: 64 * 1024,
+            allreduce_large: 64 * 1024,
+            allgather_large: 32 * 1024,
+        }
+    }
+}
+
+impl Tuning {
+    pub fn pick_bcast(&self, bytes: usize, p: u32) -> BcastAlgo {
+        if p >= 8 && bytes >= self.bcast_large {
+            BcastAlgo::ScatterAllgather
+        } else {
+            BcastAlgo::Binomial
+        }
+    }
+
+    pub fn pick_allreduce(&self, bytes: usize, p: u32) -> AllreduceAlgo {
+        if p >= 4 && bytes >= self.allreduce_large {
+            AllreduceAlgo::Ring
+        } else {
+            AllreduceAlgo::RecursiveDoubling
+        }
+    }
+
+    pub fn pick_allgather(&self, block_bytes: usize, _p: u32) -> AllgatherAlgo {
+        if block_bytes >= self.allgather_large {
+            AllgatherAlgo::Ring
+        } else {
+            AllgatherAlgo::Bruck
+        }
+    }
+
+    pub fn pick_barrier(&self, _p: u32) -> BarrierAlgo {
+        BarrierAlgo::Dissemination
+    }
+}
+
+/// Tuned entry points mirroring the MPI surface.
+pub fn barrier<C: Comm>(comm: &mut C) {
+    let algo = Tuning::default().pick_barrier(comm.size());
+    crate::barrier::barrier_with(comm, algo);
+}
+
+pub fn bcast<C: Comm>(comm: &mut C, root: u32, data: &mut [u8]) {
+    let algo = Tuning::default().pick_bcast(data.len(), comm.size());
+    crate::bcast::bcast_with(comm, algo, root, data);
+}
+
+pub fn allreduce<C: Comm, T: Reducible>(comm: &mut C, op: ReduceOp, data: &mut [T]) {
+    let algo = Tuning::default().pick_allreduce(data.len() * T::SIZE, comm.size());
+    crate::allreduce::allreduce_with(comm, algo, op, data);
+}
+
+pub fn allgather<C: Comm>(comm: &mut C, mine: &[u8], out: &mut [u8]) {
+    let algo = Tuning::default().pick_allgather(mine.len(), comm.size());
+    crate::allgather::allgather_with(comm, algo, mine, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_world;
+    use polaris_msg::prelude::MsgConfig;
+
+    #[test]
+    fn selection_respects_thresholds() {
+        let t = Tuning::default();
+        assert_eq!(t.pick_bcast(100, 16), BcastAlgo::Binomial);
+        assert_eq!(t.pick_bcast(1 << 20, 16), BcastAlgo::ScatterAllgather);
+        // Small worlds stay on the tree regardless of size.
+        assert_eq!(t.pick_bcast(1 << 20, 4), BcastAlgo::Binomial);
+        assert_eq!(t.pick_allreduce(64, 64), AllreduceAlgo::RecursiveDoubling);
+        assert_eq!(t.pick_allreduce(1 << 20, 64), AllreduceAlgo::Ring);
+        assert_eq!(t.pick_allgather(100, 8), AllgatherAlgo::Bruck);
+        assert_eq!(t.pick_allgather(1 << 20, 8), AllgatherAlgo::Ring);
+    }
+
+    #[test]
+    fn tuned_entry_points_are_correct() {
+        let out = run_world(4, MsgConfig::default(), |mut ep| {
+            barrier(&mut ep);
+            let mut b = vec![0u8; 100];
+            if ep.rank() == 0 {
+                b.fill(7);
+            }
+            bcast(&mut ep, 0, &mut b);
+            let mut v = vec![1u64; 4];
+            allreduce(&mut ep, ReduceOp::Sum, &mut v);
+            let mine = [ep.rank() as u8; 3];
+            let mut all = vec![0u8; 12];
+            allgather(&mut ep, &mine, &mut all);
+            (b[50], v[0], all)
+        });
+        for (r, (b, v, all)) in out.into_iter().enumerate() {
+            assert_eq!(b, 7, "rank {r} bcast");
+            assert_eq!(v, 4, "rank {r} allreduce");
+            assert_eq!(all, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        }
+    }
+}

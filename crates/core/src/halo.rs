@@ -1,0 +1,368 @@
+//! 2-D Jacobi heat diffusion with halo exchange — the canonical
+//! communication-bound cluster workload, used by experiment F5 and the
+//! `heat_diffusion` example.
+//!
+//! The global `n × n` interior is split over a near-square process grid.
+//! Each rank owns a local block with one ghost cell of padding; per
+//! iteration it exchanges halo rows/columns with its four neighbours and
+//! relaxes. The top global boundary is held at 1.0 (a hot edge), the
+//! rest at 0.0.
+
+use crate::runtime::NodeCtx;
+use polaris_collectives::op::{from_bytes, to_bytes, ReduceOp};
+
+const TAG_E: u64 = 0x4a01; // data moving east
+const TAG_W: u64 = 0x4a02;
+const TAG_N: u64 = 0x4a03; // data moving toward smaller y
+const TAG_S: u64 = 0x4a04;
+const TAG_GATHER: u64 = 0x4a05;
+
+/// Split `p` ranks into a near-square `(px, py)` grid with `px·py == p`.
+pub fn process_grid(p: u32) -> (u32, u32) {
+    let mut best = (1u32, p);
+    for px in 1..=p {
+        if p.is_multiple_of(px) {
+            let py = p / px;
+            if px.abs_diff(py) < best.0.abs_diff(best.1) {
+                best = (px, py);
+            }
+        }
+    }
+    best
+}
+
+/// Jacobi problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiConfig {
+    /// Global interior is `n × n`.
+    pub n: usize,
+    pub iters: u32,
+}
+
+/// One rank's block of the domain.
+struct Block {
+    /// Local interior width/height.
+    lx: usize,
+    ly: usize,
+    /// Process-grid coordinates.
+    cx: u32,
+    cy: u32,
+    px: u32,
+    py: u32,
+    /// (lx+2) × (ly+2) row-major including ghosts.
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl Block {
+    fn idx(&self, x: usize, y: usize) -> usize {
+        y * (self.lx + 2) + x
+    }
+
+    fn neighbor(&self, dx: i64, dy: i64) -> Option<u32> {
+        let nx = self.cx as i64 + dx;
+        let ny = self.cy as i64 + dy;
+        if nx < 0 || ny < 0 || nx >= self.px as i64 || ny >= self.py as i64 {
+            None
+        } else {
+            Some(ny as u32 * self.px + nx as u32)
+        }
+    }
+
+    /// Apply the fixed physical boundary into ghost cells on domain edges.
+    fn apply_boundary(&mut self) {
+        let (lx, ly) = (self.lx, self.ly);
+        if self.cy == 0 {
+            // Top edge of the global domain is hot.
+            for x in 0..lx + 2 {
+                let i = self.idx(x, 0);
+                self.cur[i] = 1.0;
+            }
+        }
+        if self.cy == self.py - 1 {
+            for x in 0..lx + 2 {
+                let i = self.idx(x, ly + 1);
+                self.cur[i] = 0.0;
+            }
+        }
+        if self.cx == 0 {
+            for y in 1..ly + 1 {
+                let i = self.idx(0, y);
+                self.cur[i] = 0.0;
+            }
+        }
+        if self.cx == self.px - 1 {
+            for y in 1..ly + 1 {
+                let i = self.idx(lx + 1, y);
+                self.cur[i] = 0.0;
+            }
+        }
+    }
+}
+
+/// Exchange the four halos for the current iteration.
+fn exchange_halos(ctx: &mut NodeCtx, b: &mut Block) {
+    let ep = ctx.endpoint();
+    let (lx, ly) = (b.lx, b.ly);
+    // Gather boundary data to send.
+    let east_col: Vec<f64> = (1..ly + 1).map(|y| b.cur[b.idx(lx, y)]).collect();
+    let west_col: Vec<f64> = (1..ly + 1).map(|y| b.cur[b.idx(1, y)]).collect();
+    let north_row: Vec<f64> = (1..lx + 1).map(|x| b.cur[b.idx(x, 1)]).collect();
+    let south_row: Vec<f64> = (1..lx + 1).map(|x| b.cur[b.idx(x, ly)]).collect();
+
+    // Post all sends first (nonblocking), then receive, then reap.
+    let mut reqs = Vec::new();
+    let mut post = |ep: &mut polaris_msg::prelude::Endpoint,
+                    to: Option<u32>,
+                    tag: u64,
+                    data: &[f64]| {
+        if let Some(dst) = to {
+            let bytes = to_bytes(data);
+            let mut buf = ep.alloc(bytes.len()).expect("halo send buffer");
+            buf.fill_from(&bytes);
+            reqs.push(ep.isend(dst, tag, buf).expect("halo isend"));
+        }
+    };
+    post(ep, b.neighbor(1, 0), TAG_E, &east_col);
+    post(ep, b.neighbor(-1, 0), TAG_W, &west_col);
+    post(ep, b.neighbor(0, -1), TAG_N, &north_row);
+    post(ep, b.neighbor(0, 1), TAG_S, &south_row);
+
+    let recv_from = |ep: &mut polaris_msg::prelude::Endpoint,
+                     from: Option<u32>,
+                     tag: u64,
+                     count: usize|
+     -> Option<Vec<f64>> {
+        from.map(|src| {
+            let buf = ep.alloc(count * 8).expect("halo recv buffer");
+            let (buf, info) = ep
+                .recv(polaris_msg::prelude::MatchSpec::exact(src, tag), buf)
+                .expect("halo recv");
+            assert_eq!(info.len, count * 8, "halo size mismatch");
+            let v = from_bytes::<f64>(buf.as_slice());
+            ep.release(buf);
+            v
+        })
+    };
+    // Data moving east arrives from the west neighbour, etc.
+    let from_west = recv_from(ep, b.neighbor(-1, 0), TAG_E, ly);
+    let from_east = recv_from(ep, b.neighbor(1, 0), TAG_W, ly);
+    let from_south = recv_from(ep, b.neighbor(0, 1), TAG_N, lx);
+    let from_north = recv_from(ep, b.neighbor(0, -1), TAG_S, lx);
+    for r in reqs {
+        let buf = ep.wait_send(r).expect("halo send completion");
+        ep.release(buf);
+    }
+    // Scatter received halos into ghost cells.
+    if let Some(v) = from_west {
+        for (y, val) in v.into_iter().enumerate() {
+            let i = b.idx(0, y + 1);
+            b.cur[i] = val;
+        }
+    }
+    if let Some(v) = from_east {
+        for (y, val) in v.into_iter().enumerate() {
+            let i = b.idx(lx + 1, y + 1);
+            b.cur[i] = val;
+        }
+    }
+    if let Some(v) = from_north {
+        for (x, val) in v.into_iter().enumerate() {
+            let i = b.idx(x + 1, 0);
+            b.cur[i] = val;
+        }
+    }
+    if let Some(v) = from_south {
+        for (x, val) in v.into_iter().enumerate() {
+            let i = b.idx(x + 1, ly + 1);
+            b.cur[i] = val;
+        }
+    }
+}
+
+/// Run the parallel Jacobi solve; returns the full `n × n` grid on rank 0
+/// (empty elsewhere) and the final global residual on every rank.
+pub fn run_parallel(ctx: &mut NodeCtx, cfg: JacobiConfig) -> (Vec<f64>, f64) {
+    let p = ctx.size();
+    let (px, py) = process_grid(p);
+    assert!(
+        cfg.n.is_multiple_of(px as usize) && cfg.n.is_multiple_of(py as usize),
+        "n = {} must divide evenly over the {px}×{py} grid",
+        cfg.n
+    );
+    let rank = ctx.rank();
+    let (cx, cy) = (rank % px, rank / px);
+    let lx = cfg.n / px as usize;
+    let ly = cfg.n / py as usize;
+    let mut b = Block {
+        lx,
+        ly,
+        cx,
+        cy,
+        px,
+        py,
+        cur: vec![0.0; (lx + 2) * (ly + 2)],
+        next: vec![0.0; (lx + 2) * (ly + 2)],
+    };
+    b.apply_boundary();
+    let mut residual = 0.0f64;
+    for _ in 0..cfg.iters {
+        exchange_halos(ctx, &mut b);
+        b.apply_boundary();
+        let mut local_res = 0.0f64;
+        for y in 1..ly + 1 {
+            for x in 1..lx + 1 {
+                let v = 0.25
+                    * (b.cur[b.idx(x - 1, y)]
+                        + b.cur[b.idx(x + 1, y)]
+                        + b.cur[b.idx(x, y - 1)]
+                        + b.cur[b.idx(x, y + 1)]);
+                let i = b.idx(x, y);
+                local_res += (v - b.cur[i]).abs();
+                b.next[i] = v;
+            }
+        }
+        std::mem::swap(&mut b.cur, &mut b.next);
+        residual = local_res;
+    }
+    let mut res = vec![residual];
+    ctx.allreduce(ReduceOp::Sum, &mut res);
+    // Gather the interior to rank 0.
+    let interior: Vec<f64> = (1..ly + 1)
+        .flat_map(|y| (1..lx + 1).map(move |x| (x, y)))
+        .map(|(x, y)| b.cur[b.idx(x, y)])
+        .collect();
+    let full = if rank == 0 {
+        let mut grid = vec![0.0f64; cfg.n * cfg.n];
+        place_block(&mut grid, cfg.n, &interior, 0, px, lx, ly);
+        for src in 1..p {
+            let (v, _) = ctx
+                .recv(src, TAG_GATHER, lx * ly * 8)
+                .expect("gather block");
+            let vals = from_bytes::<f64>(&v);
+            place_block(&mut grid, cfg.n, &vals, src, px, lx, ly);
+        }
+        grid
+    } else {
+        ctx.send(0, TAG_GATHER, &to_bytes(&interior))
+            .expect("gather send");
+        Vec::new()
+    };
+    (full, res[0])
+}
+
+fn place_block(grid: &mut [f64], n: usize, vals: &[f64], rank: u32, px: u32, lx: usize, ly: usize) {
+    let cx = (rank % px) as usize;
+    let cy = (rank / px) as usize;
+    for (i, &v) in vals.iter().enumerate() {
+        let x = cx * lx + i % lx;
+        let y = cy * ly + i / lx;
+        grid[y * n + x] = v;
+    }
+}
+
+/// Serial reference implementation with identical arithmetic.
+pub fn run_serial(cfg: JacobiConfig) -> (Vec<f64>, f64) {
+    let n = cfg.n;
+    let w = n + 2;
+    let mut cur = vec![0.0f64; w * w];
+    let mut next = vec![0.0f64; w * w];
+    // Hot top edge.
+    for x in 0..w {
+        cur[x] = 1.0;
+        next[x] = 1.0;
+    }
+    let mut residual = 0.0f64;
+    for _ in 0..cfg.iters {
+        let mut local_res = 0.0;
+        for y in 1..n + 1 {
+            for x in 1..n + 1 {
+                let v = 0.25
+                    * (cur[y * w + x - 1]
+                        + cur[y * w + x + 1]
+                        + cur[(y - 1) * w + x]
+                        + cur[(y + 1) * w + x]);
+                local_res += (v - cur[y * w + x]).abs();
+                next[y * w + x] = v;
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+        residual = local_res;
+    }
+    let mut interior = Vec::with_capacity(n * n);
+    for y in 1..n + 1 {
+        interior.extend_from_slice(&cur[y * w + 1..y * w + n + 1]);
+    }
+    (interior, residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Cluster;
+
+    #[test]
+    fn process_grid_is_near_square_and_exact() {
+        assert_eq!(process_grid(1), (1, 1));
+        assert_eq!(process_grid(4), (2, 2));
+        assert_eq!(process_grid(6), (2, 3));
+        assert_eq!(process_grid(12), (3, 4));
+        let (px, py) = process_grid(7);
+        assert_eq!(px * py, 7);
+    }
+
+    #[test]
+    fn serial_heat_diffuses_downward() {
+        let (grid, res) = run_serial(JacobiConfig { n: 16, iters: 200 });
+        // Top interior row is hottest, bottom coldest.
+        let top: f64 = grid[..16].iter().sum();
+        let bottom: f64 = grid[16 * 15..].iter().sum();
+        assert!(top > 10.0 * bottom.max(1e-30));
+        assert!(res > 0.0);
+    }
+
+    fn check_parallel_matches_serial(p: u32, n: usize, iters: u32) {
+        let cfg = JacobiConfig { n, iters };
+        let (serial, serial_res) = run_serial(cfg);
+        let (mut out, _) = Cluster::builder()
+            .nodes(p)
+            .run(move |mut ctx| run_parallel(&mut ctx, cfg));
+        let (parallel, par_res) = out.remove(0);
+        let max_diff = serial
+            .iter()
+            .zip(&parallel)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            max_diff < 1e-12,
+            "p={p}: parallel diverges from serial by {max_diff}"
+        );
+        assert!(
+            (serial_res - par_res).abs() < 1e-9,
+            "residuals differ: {serial_res} vs {par_res}"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_various_grids() {
+        check_parallel_matches_serial(1, 12, 30);
+        check_parallel_matches_serial(2, 12, 30);
+        check_parallel_matches_serial(4, 12, 30);
+        check_parallel_matches_serial(6, 12, 30);
+    }
+
+    #[test]
+    fn nine_ranks_three_by_three() {
+        check_parallel_matches_serial(9, 18, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn indivisible_grid_is_rejected() {
+        // 10 does not divide over a 1x3 grid.
+        let cfg = JacobiConfig { n: 10, iters: 1 };
+        let (_out, _) = Cluster::builder()
+            .nodes(3)
+            .run(move |mut ctx| run_parallel(&mut ctx, cfg));
+    }
+}

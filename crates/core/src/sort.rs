@@ -1,0 +1,250 @@
+//! Parallel sample sort — the second proxy application (alongside the
+//! Jacobi halo solver): an all-to-all-bound workload, where the Jacobi
+//! solver is neighbour-bound. Used by the `sample_sort` example.
+//!
+//! Classic regular-sampling sort: local sort → regular samples →
+//! splitters via gather+bcast → bucket partition → variable all-to-all
+//! exchange → local merge. The result is globally sorted across ranks
+//! (rank i's largest key ≤ rank i+1's smallest).
+
+use crate::runtime::NodeCtx;
+use polaris_collectives::op::{from_bytes, to_bytes};
+
+const TAG_COUNT: u64 = 0x5a01;
+const TAG_DATA: u64 = 0x5a10; // + round
+const TAG_SAMPLE: u64 = 0x5a02;
+const TAG_SPLIT: u64 = 0x5a03;
+
+/// Sort `keys` across all ranks; returns this rank's globally ordered
+/// shard (shard sizes vary with the data distribution).
+pub fn sample_sort(ctx: &mut NodeCtx, mut keys: Vec<u64>) -> Vec<u64> {
+    let p = ctx.size();
+    let rank = ctx.rank();
+    if p == 1 {
+        keys.sort_unstable();
+        return keys;
+    }
+    // 1. Local sort.
+    keys.sort_unstable();
+    // 2. Regular sampling: p samples per rank at even positions.
+    let samples: Vec<u64> = if keys.is_empty() {
+        Vec::new()
+    } else {
+        (0..p as usize)
+            .map(|i| keys[(i * keys.len()) / p as usize])
+            .collect()
+    };
+    // Gather samples to rank 0 (variable sizes: send count then data).
+    let splitters: Vec<u64> = if rank == 0 {
+        let mut all = samples;
+        for src in 1..p {
+            let (bytes, _) = ctx
+                .recv(src, TAG_SAMPLE, p as usize * 8)
+                .expect("sample gather");
+            all.extend(from_bytes::<u64>(&bytes));
+        }
+        all.sort_unstable();
+        // p-1 splitters at regular positions.
+        let mut sp = Vec::with_capacity(p as usize - 1);
+        if !all.is_empty() {
+            for i in 1..p as usize {
+                sp.push(all[(i * all.len()) / p as usize]);
+            }
+        } else {
+            sp = vec![0; p as usize - 1];
+        }
+        sp
+    } else {
+        ctx.send(0, TAG_SAMPLE, &to_bytes(&samples))
+            .expect("sample send");
+        vec![0; p as usize - 1]
+    };
+    let mut split_bytes = to_bytes(&splitters);
+    ctx.bcast(0, &mut split_bytes);
+    let splitters: Vec<u64> = from_bytes(&split_bytes);
+
+    // 3. Partition into p buckets (keys already sorted: find boundaries).
+    let mut bounds = Vec::with_capacity(p as usize + 1);
+    bounds.push(0usize);
+    for &s in &splitters {
+        bounds.push(keys.partition_point(|&k| k <= s));
+    }
+    bounds.push(keys.len());
+    // partition_point over increasing splitters is monotone; enforce it
+    // for safety with duplicated splitters.
+    for i in 1..bounds.len() {
+        if bounds[i] < bounds[i - 1] {
+            bounds[i] = bounds[i - 1];
+        }
+    }
+
+    // 4. Exchange bucket sizes (fixed-size alltoall), then the variable
+    // buckets pairwise.
+    let my_counts: Vec<u64> = (0..p as usize)
+        .map(|i| (bounds[i + 1] - bounds[i]) as u64)
+        .collect();
+    let mut incoming_counts = vec![0u64; p as usize];
+    {
+        let send = to_bytes(&my_counts);
+        let mut recv = vec![0u8; 8 * p as usize];
+        polaris_collectives::alltoall::alltoall_pairwise(
+            ctx.endpoint(),
+            &send,
+            &mut recv,
+            8,
+        );
+        let _ = TAG_COUNT; // counts travel via the collective above
+        for (i, c) in from_bytes::<u64>(&recv).into_iter().enumerate() {
+            incoming_counts[i] = c;
+        }
+    }
+    let mut shard: Vec<u64> =
+        Vec::with_capacity(incoming_counts.iter().sum::<u64>() as usize);
+    // Keep own bucket.
+    shard.extend_from_slice(&keys[bounds[rank as usize]..bounds[rank as usize + 1]]);
+    for r in 1..p {
+        let dst = (rank + r) % p;
+        let src = (rank + p - r) % p;
+        let block = to_bytes(&keys[bounds[dst as usize]..bounds[dst as usize + 1]]);
+        let got = ctx.sendrecv(
+            dst,
+            &block,
+            src,
+            TAG_DATA + r as u64,
+            incoming_counts[src as usize] as usize * 8,
+        );
+        shard.extend(from_bytes::<u64>(&got));
+    }
+    let _ = TAG_SPLIT;
+
+    // 5. Local sort of the shard (received runs are sorted; a k-way
+    // merge would be the optimization — plain sort keeps it clear).
+    shard.sort_unstable();
+    shard
+}
+
+/// Check global sortedness: every rank's shard is sorted and shard
+/// boundaries are ordered across ranks. Returns (total_len, checksum)
+/// so callers can verify the permutation property.
+pub fn verify_sorted(ctx: &mut NodeCtx, shard: &[u64]) -> (u64, u64) {
+    assert!(shard.windows(2).all(|w| w[0] <= w[1]), "shard unsorted");
+    let p = ctx.size();
+    // Share (min, max, len, checksum) with everyone.
+    let mine = [
+        shard.first().copied().unwrap_or(u64::MAX),
+        shard.last().copied().unwrap_or(0),
+        shard.len() as u64,
+        shard
+            .iter()
+            .fold(0u64, |a, &k| a.wrapping_add(k).rotate_left(1)),
+    ];
+    let mut all = vec![0u8; 32 * p as usize];
+    ctx.allgather(&to_bytes(&mine), &mut all);
+    let rows: Vec<u64> = from_bytes(&all);
+    let mut total = 0u64;
+    let mut checksum = 0u64;
+    let mut prev_max = 0u64;
+    for r in 0..p as usize {
+        let (min, max, len, sum) = (rows[4 * r], rows[4 * r + 1], rows[4 * r + 2], rows[4 * r + 3]);
+        total += len;
+        checksum = checksum.wrapping_add(sum);
+        if len > 0 {
+            assert!(min >= prev_max, "rank {r} overlaps its predecessor");
+            prev_max = max;
+        }
+    }
+    (total, checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Cluster;
+
+    fn run_sort(p: u32, per_rank: usize, seed: u64) {
+        let (out, _) = Cluster::builder().nodes(p).run(move |mut ctx| {
+            // Deterministic pseudo-random keys per rank.
+            let mut x = seed ^ (ctx.rank() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let keys: Vec<u64> = (0..per_rank)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                })
+                .collect();
+            let input_sum = keys
+                .iter()
+                .fold(0u64, |a, &k| a.wrapping_add(k));
+            let shard = sample_sort(&mut ctx, keys);
+            let (total, _) = verify_sorted(&mut ctx, &shard);
+            let shard_sum = shard.iter().fold(0u64, |a, &k| a.wrapping_add(k));
+            (input_sum, shard_sum, shard.len(), total)
+        });
+        let input_total: u64 = out.iter().map(|(i, _, _, _)| *i).fold(0, u64::wrapping_add);
+        let output_total: u64 = out.iter().map(|(_, s, _, _)| *s).fold(0, u64::wrapping_add);
+        assert_eq!(input_total, output_total, "keys must be a permutation");
+        let n: usize = out.iter().map(|(_, _, l, _)| *l).sum();
+        assert_eq!(n, per_rank * p as usize);
+        assert!(out.iter().all(|(_, _, _, t)| *t == n as u64));
+    }
+
+    #[test]
+    fn sorts_across_various_world_sizes() {
+        for p in [1, 2, 3, 4, 8] {
+            run_sort(p, 500, 42);
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_and_empty_ranks() {
+        let (out, _) = Cluster::builder().nodes(4).run(|mut ctx| {
+            let keys = if ctx.rank() == 2 {
+                vec![] // one rank contributes nothing
+            } else {
+                vec![7u64; 100] // everyone else all-duplicates
+            };
+            let shard = sample_sort(&mut ctx, keys);
+            verify_sorted(&mut ctx, &shard);
+            shard.len()
+        });
+        assert_eq!(out.iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed_inputs() {
+        for p in [2u32, 5] {
+            let (out, _) = Cluster::builder().nodes(p).run(move |mut ctx| {
+                let base = ctx.rank() as u64 * 1000;
+                let keys: Vec<u64> = (0..1000u64).map(|i| base + i).collect();
+                let shard = sample_sort(&mut ctx, keys);
+                let (total, _) = verify_sorted(&mut ctx, &shard);
+                total
+            });
+            assert!(out.iter().all(|&t| t == 1000 * p as u64));
+        }
+    }
+
+    #[test]
+    fn load_balance_is_reasonable_on_uniform_keys() {
+        let p = 4u32;
+        let per_rank = 4000usize;
+        let (out, _) = Cluster::builder().nodes(p).run(move |mut ctx| {
+            let mut x = (ctx.rank() as u64 + 1) * 0x2545_f491_4f6c_dd1d;
+            let keys: Vec<u64> = (0..per_rank)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x
+                })
+                .collect();
+            sample_sort(&mut ctx, keys).len()
+        });
+        let ideal = per_rank;
+        for (r, len) in out.iter().enumerate() {
+            assert!(
+                (*len as f64) < 2.0 * ideal as f64 && (*len as f64) > 0.4 * ideal as f64,
+                "rank {r} shard {len} vs ideal {ideal}"
+            );
+        }
+    }
+}

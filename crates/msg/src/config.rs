@@ -1,0 +1,195 @@
+//! Messaging-layer configuration.
+
+use std::time::Duration;
+
+/// Which point-to-point protocol an endpoint uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Copy into pre-registered bounce buffers and send two-sided. One
+    /// host copy on each side; lowest latency for small messages.
+    Eager,
+    /// RTS/CTS handshake followed by one-sided RDMA straight between the
+    /// user buffers: zero host copies. Best for large messages.
+    Rendezvous,
+    /// Pick eager below `eager_threshold`, rendezvous at or above it.
+    Auto,
+    /// The 2002 kernel-sockets model: MTU segmentation, two extra copies
+    /// per side, and per-segment syscall/interrupt overheads. The
+    /// baseline the user-level protocols are compared against.
+    Sockets,
+}
+
+/// How the rendezvous data transfer is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RendezvousMode {
+    /// Receiver pulls with RDMA read, then sends FIN (default: one
+    /// handshake message).
+    Read,
+    /// Receiver replies CTS; sender pushes with RDMA-write-immediate
+    /// (two handshake messages, but the write path is faster on some
+    /// hardware).
+    Write,
+}
+
+/// Endpoint configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgConfig {
+    pub protocol: Protocol,
+    pub rendezvous_mode: RendezvousMode,
+    /// Payload size at or above which `Auto` switches to rendezvous.
+    pub eager_threshold: usize,
+    /// Payload capacity of one eager bounce buffer.
+    pub eager_buf_size: usize,
+    /// Bounce buffers pre-posted per peer (the receive window).
+    pub eager_bufs_per_peer: usize,
+    /// Send-side bounce pool size (shared across peers).
+    pub send_pool_size: usize,
+    /// MTU used by the sockets baseline's segmentation.
+    pub sockets_mtu: usize,
+    /// Modeled cost of one syscall (sockets baseline); implemented as a
+    /// calibrated busy-wait so wall-clock benches reflect it. Zero
+    /// disables the model (the default, so tests run fast).
+    pub syscall_overhead: Duration,
+    /// Modeled cost of taking one receive interrupt (sockets baseline).
+    pub interrupt_overhead: Duration,
+    /// Buffer-pool (registration cache) capacity in buffers; 0 disables
+    /// reuse so every `alloc` registers fresh memory (ablation A1).
+    pub reg_cache_capacity: usize,
+    /// Use one shared receive queue per endpoint instead of per-peer
+    /// receive windows: receive memory becomes O(srq_bufs) instead of
+    /// O(peers x eager_bufs_per_peer) — essential at exploding scale.
+    pub use_srq: bool,
+    /// Pooled receive buffers when `use_srq` is set.
+    pub srq_bufs: usize,
+}
+
+impl Default for MsgConfig {
+    fn default() -> Self {
+        MsgConfig {
+            protocol: Protocol::Auto,
+            rendezvous_mode: RendezvousMode::Read,
+            eager_threshold: 16 * 1024,
+            eager_buf_size: 16 * 1024,
+            eager_bufs_per_peer: 16,
+            send_pool_size: 64,
+            sockets_mtu: 1500,
+            syscall_overhead: Duration::ZERO,
+            interrupt_overhead: Duration::ZERO,
+            reg_cache_capacity: 64,
+            use_srq: false,
+            srq_bufs: 128,
+        }
+    }
+}
+
+impl MsgConfig {
+    /// A configuration that forces one protocol for every message size.
+    pub fn with_protocol(protocol: Protocol) -> Self {
+        MsgConfig {
+            protocol,
+            ..Self::default()
+        }
+    }
+
+    /// The protocol actually used for a payload of `len` bytes.
+    pub fn protocol_for(&self, len: usize) -> Protocol {
+        match self.protocol {
+            Protocol::Auto => {
+                if len < self.eager_threshold {
+                    Protocol::Eager
+                } else {
+                    Protocol::Rendezvous
+                }
+            }
+            p => p,
+        }
+    }
+
+    /// Validate internal consistency; called by endpoint construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.eager_buf_size < crate::envelope::HEADER_LEN {
+            return Err(format!(
+                "eager_buf_size {} smaller than header {}",
+                self.eager_buf_size,
+                crate::envelope::HEADER_LEN
+            ));
+        }
+        if self.eager_bufs_per_peer == 0 {
+            return Err("eager_bufs_per_peer must be nonzero".into());
+        }
+        if self.send_pool_size == 0 {
+            return Err("send_pool_size must be nonzero".into());
+        }
+        if self.sockets_mtu == 0 {
+            return Err("sockets_mtu must be nonzero".into());
+        }
+        if self.use_srq && self.srq_bufs == 0 {
+            return Err("srq_bufs must be nonzero when use_srq is set".into());
+        }
+        if self.protocol == Protocol::Eager || self.protocol == Protocol::Auto {
+            // Bounce buffers are allocated `eager_buf_size + HEADER_LEN`
+            // bytes, so the largest eager payload is `eager_buf_size`.
+            if self.eager_threshold > self.eager_buf_size {
+                return Err(format!(
+                    "eager_threshold {} exceeds eager_buf_size {}",
+                    self.eager_threshold, self.eager_buf_size
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(MsgConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn auto_picks_by_threshold() {
+        let c = MsgConfig::default();
+        assert_eq!(c.protocol_for(0), Protocol::Eager);
+        assert_eq!(c.protocol_for(c.eager_threshold - 1), Protocol::Eager);
+        assert_eq!(c.protocol_for(c.eager_threshold), Protocol::Rendezvous);
+    }
+
+    #[test]
+    fn forced_protocol_ignores_size() {
+        let c = MsgConfig::with_protocol(Protocol::Sockets);
+        assert_eq!(c.protocol_for(1), Protocol::Sockets);
+        assert_eq!(c.protocol_for(1 << 30), Protocol::Sockets);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let c = MsgConfig {
+            eager_bufs_per_peer: 0,
+            ..MsgConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let base = MsgConfig::default();
+        let c = MsgConfig {
+            eager_threshold: base.eager_buf_size + 1,
+            ..base
+        };
+        assert!(c.validate().is_err());
+
+        let c = MsgConfig {
+            eager_buf_size: 4,
+            ..MsgConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = MsgConfig {
+            use_srq: true,
+            srq_bufs: 0,
+            ..MsgConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

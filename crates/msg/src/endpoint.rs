@@ -1,0 +1,1418 @@
+//! The messaging endpoint: one per rank, tying tag matching and the
+//! eager / rendezvous / sockets protocols to the virtual NIC.
+//!
+//! # Protocols
+//!
+//! * **Eager** — the payload is copied into a pre-registered bounce
+//!   buffer behind a 48-byte envelope and sent two-sided. One host copy
+//!   on each side. Sends complete locally (buffered semantics).
+//! * **Rendezvous** — the envelope (RTS) advertises the sender's
+//!   registered buffer; the receiver either pulls with RDMA read and
+//!   FINs (read mode) or advertises its own buffer (CTS) for the sender
+//!   to push with RDMA-write-immediate (write mode). Zero host copies:
+//!   the only data movement is the fabric DMA, straight between user
+//!   buffers.
+//! * **Sockets** — the 2002 kernel-path model: MTU segmentation, two
+//!   extra copies per side (user ↔ socket buffer ↔ driver), and optional
+//!   calibrated busy-waits standing in for syscall and interrupt costs.
+//!
+//! # Progress
+//!
+//! An endpoint is owned and progressed by its node's thread. All
+//! completion processing happens in [`Endpoint::progress`], which the
+//! blocking helpers call in a spin loop. Data lands in the CQ from peer
+//! threads (the virtual NIC executes transfers on the posting thread),
+//! and the CQ's internal lock provides the happens-before edge.
+
+use crate::buffer::{BufferPool, MsgBuf, PoolStats};
+use crate::config::{MsgConfig, Protocol, RendezvousMode};
+use crate::envelope::{Envelope, HEADER_LEN};
+use crate::match_engine::{MatchEngine, MatchSpec};
+use polaris_nic::prelude::*;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Request identifier returned by the nonblocking operations.
+pub type ReqId = u64;
+
+/// Completion record of a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvInfo {
+    pub src: u32,
+    pub tag: u64,
+    pub len: usize,
+}
+
+/// Messaging-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgError {
+    /// Incoming message exceeds the posted buffer's capacity.
+    Truncated { incoming: usize, capacity: usize },
+    /// Underlying NIC failure.
+    Nic(NicError),
+    /// Timed out in a blocking wait.
+    Timeout,
+    /// The request id is unknown or already consumed.
+    UnknownRequest(ReqId),
+    /// Payload too large for the eager protocol's bounce buffers.
+    TooLargeForEager { len: usize, max: usize },
+    /// The peer rank's endpoint failed (crashed or was failed by test
+    /// injection); pending and future operations toward it error out.
+    PeerFailed(u32),
+    /// This endpoint has been failed; no further operations are legal.
+    EndpointDown,
+    /// Configuration rejected.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for MsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgError::Truncated { incoming, capacity } => {
+                write!(f, "message of {incoming} bytes truncated to {capacity}")
+            }
+            MsgError::Nic(e) => write!(f, "nic: {e}"),
+            MsgError::Timeout => write!(f, "timed out"),
+            MsgError::UnknownRequest(r) => write!(f, "unknown request {r}"),
+            MsgError::TooLargeForEager { len, max } => {
+                write!(f, "{len} bytes exceeds eager capacity {max}")
+            }
+            MsgError::PeerFailed(r) => write!(f, "peer rank {r} failed"),
+            MsgError::EndpointDown => write!(f, "this endpoint has been failed"),
+            MsgError::BadConfig(s) => write!(f, "bad config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MsgError {}
+
+impl From<NicError> for MsgError {
+    fn from(e: NicError) -> Self {
+        MsgError::Nic(e)
+    }
+}
+
+pub type MsgResult<T> = Result<T, MsgError>;
+
+/// Per-endpoint traffic and copy accounting. Host copies are the copies
+/// the zero-copy design eliminates; the fabric's DMA counter lives in
+/// [`FabricStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_received: u64,
+    pub bytes_received: u64,
+    pub host_copies: u64,
+    pub host_copy_bytes: u64,
+    pub eager_sends: u64,
+    pub rendezvous_sends: u64,
+    pub sockets_segments: u64,
+    pub unexpected_arrivals: u64,
+    /// Send-bounce slots allocated beyond the configured pool (bursts).
+    pub tx_pool_growth: u64,
+}
+
+// wr_id encoding: kind in the top byte, payload below.
+const K_RX: u64 = 1 << 56;
+const K_TX_BOUNCE: u64 = 2 << 56;
+const K_RDMA_READ: u64 = 3 << 56;
+const K_RDMA_WRITE: u64 = 4 << 56;
+const K_GATHER: u64 = 5 << 56;
+const KIND_MASK: u64 = 0xff << 56;
+const PAYLOAD_MASK: u64 = !KIND_MASK;
+
+/// Sentinel "peer" marking a receive buffer from the shared pool.
+const SRQ_PEER: u32 = 0xff_ffff;
+
+fn rx_wr_id(peer: u32, idx: u32) -> u64 {
+    K_RX | ((peer as u64) << 24) | idx as u64
+}
+
+fn rx_decode(wr_id: u64) -> (u32, u32) {
+    let p = wr_id & PAYLOAD_MASK;
+    ((p >> 24) as u32, (p & 0xff_ffff) as u32)
+}
+
+/// What an unmatched arrival parks in the match engine.
+enum Parked {
+    /// Eager (or reassembled sockets) data copied off the bounce buffer.
+    /// `extra_copies` accounts for the kernel-side copies the sockets
+    /// model already performed on this payload.
+    Data { data: Vec<u8>, extra_copies: u64 },
+    /// A rendezvous RTS: no data moved yet — the zero-copy property
+    /// holds even for unexpected messages.
+    Rts { len: u64, msg_id: u64, rkey: u64 },
+}
+
+enum SendState {
+    /// Completed; buffer ready to hand back.
+    Done(MsgBuf),
+    /// The destination failed mid-flight; the buffer (when still owned
+    /// locally) is recycled when the caller reaps the error.
+    Failed { buf: Option<MsgBuf>, peer: u32 },
+    /// Rendezvous-read: waiting for the receiver's FIN.
+    AwaitFin { buf: MsgBuf, dst: u32 },
+    /// Rendezvous-write: waiting for the receiver's CTS.
+    AwaitCts { buf: MsgBuf, dst: u32 },
+    /// Rendezvous-write: RDMA write posted, waiting for its completion.
+    WriteInflight { dst: u32 },
+    /// Rendezvous-write: completed while the buffer was still registered
+    /// in `WriteInflight`; buffer parked here.
+    WriteDone(MsgBuf),
+    /// Gather-eager: the NIC reads the user buffer's blocks directly;
+    /// the buffer and the header slot are held until the send completes.
+    GatherInflight { buf: MsgBuf, slot: usize, dst: u32 },
+}
+
+enum RecvState {
+    /// Posted, unmatched; buffer parked here.
+    Posted { buf: MsgBuf },
+    /// Rendezvous read in flight.
+    Reading {
+        buf: MsgBuf,
+        src: u32,
+        tag: u64,
+        len: usize,
+        msg_id: u64,
+    },
+    /// Rendezvous write expected (CTS sent); waiting for the immediate.
+    AwaitWrite {
+        buf: MsgBuf,
+        src: u32,
+        tag: u64,
+        len: usize,
+    },
+    /// Finished.
+    Done(MsgBuf, MsgResult<RecvInfo>),
+}
+
+struct PeerState {
+    qp: QueuePair,
+    /// Eager receive bounce buffers, indexed by the slot in the wr_id.
+    /// Empty in SRQ mode (buffers live in the shared pool instead).
+    rx_bufs: Vec<MemoryRegion>,
+}
+
+/// Sockets-baseline reassembly state for one inbound message.
+struct SockAssembly {
+    src: u32,
+    tag: u64,
+    total: usize,
+    got: usize,
+    data: Vec<u8>,
+}
+
+/// A messaging endpoint for one rank.
+pub struct Endpoint {
+    rank: u32,
+    size: u32,
+    nic: Nic,
+    pd: ProtectionDomain,
+    cq: CompletionQueue,
+    cfg: MsgConfig,
+    peers: Vec<PeerState>,
+    /// Shared receive pool (when `cfg.use_srq`): the queue plus its flat
+    /// buffer table, indexed by the wr_id slot.
+    srq: Option<(SharedReceiveQueue, Vec<MemoryRegion>)>,
+    pool: BufferPool,
+    /// Send bounce slots; `None` while in flight.
+    tx_slots: Vec<Option<MemoryRegion>>,
+    tx_free: Vec<usize>,
+    matcher: MatchEngine<ReqId, Parked>,
+    sends: HashMap<ReqId, SendState>,
+    recvs: HashMap<ReqId, RecvState>,
+    /// Rendezvous-write handle -> recv request.
+    write_pending: HashMap<u32, ReqId>,
+    /// Rendezvous-write sender buffers, keyed by msg_id, held while the
+    /// RDMA write is in flight.
+    write_bufs: HashMap<u64, MsgBuf>,
+    /// Original user buffers for layout sends that fell back to
+    /// pack+rendezvous: returned in place of the packed staging buffer.
+    sends_return_original: HashMap<u64, MsgBuf>,
+    next_handle: u32,
+    sock_assembly: HashMap<u64, SockAssembly>,
+    next_req: u64,
+    /// Peers known to have failed (via detect_failures or explicit mark).
+    failed_peers: std::collections::HashSet<u32>,
+    /// Whether this endpoint itself has been failed.
+    down: bool,
+    stats: EndpointStats,
+    /// Scratch "kernel buffer" for the sockets model's extra copies.
+    kstage: Vec<u8>,
+}
+
+impl Endpoint {
+    /// Build the full set of endpoints for an `n`-rank job on `fabric`.
+    /// This performs the out-of-band bootstrap: one QP per ordered pair,
+    /// all-to-all connected, eager buffers pre-posted.
+    pub fn create_world(fabric: &Fabric, n: u32, cfg: MsgConfig) -> MsgResult<Vec<Endpoint>> {
+        cfg.validate().map_err(MsgError::BadConfig)?;
+        let mut eps: Vec<Endpoint> = Vec::with_capacity(n as usize);
+        for rank in 0..n {
+            let nic = fabric.create_nic();
+            let pd = nic.alloc_pd();
+            let cq = CompletionQueue::new(
+                (cfg.eager_bufs_per_peer * n as usize + cfg.send_pool_size) * 4 + 1024,
+            );
+            let srq = if cfg.use_srq {
+                let srq = nic.create_srq();
+                let bufs = (0..cfg.srq_bufs)
+                    .map(|_| nic.register(pd, cfg.eager_buf_size + HEADER_LEN))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some((srq, bufs))
+            } else {
+                None
+            };
+            let mut peers = Vec::with_capacity(n as usize);
+            for _peer in 0..n {
+                let qp = match &srq {
+                    Some((srq, _)) => nic.create_qp_with_srq(pd, &cq, &cq, srq)?,
+                    None => nic.create_qp(pd, &cq, &cq)?,
+                };
+                let rx_bufs = if cfg.use_srq {
+                    Vec::new()
+                } else {
+                    (0..cfg.eager_bufs_per_peer)
+                        .map(|_| nic.register(pd, cfg.eager_buf_size + HEADER_LEN))
+                        .collect::<Result<Vec<_>, _>>()?
+                };
+                peers.push(PeerState { qp, rx_bufs });
+            }
+            let mut tx_slots = Vec::with_capacity(cfg.send_pool_size);
+            let mut tx_free = Vec::with_capacity(cfg.send_pool_size);
+            for i in 0..cfg.send_pool_size {
+                tx_slots.push(Some(nic.register(pd, cfg.eager_buf_size + HEADER_LEN)?));
+                tx_free.push(i);
+            }
+            let pool = BufferPool::new(nic.clone(), pd, cfg.reg_cache_capacity);
+            eps.push(Endpoint {
+                rank,
+                size: n,
+                nic,
+                pd,
+                cq,
+                cfg,
+                peers,
+                srq,
+                pool,
+                tx_slots,
+                tx_free,
+                matcher: MatchEngine::new(),
+                sends: HashMap::new(),
+                recvs: HashMap::new(),
+                write_pending: HashMap::new(),
+                write_bufs: HashMap::new(),
+                sends_return_original: HashMap::new(),
+                next_handle: 0,
+                sock_assembly: HashMap::new(),
+                next_req: 1,
+                failed_peers: std::collections::HashSet::new(),
+                down: false,
+                stats: EndpointStats::default(),
+                kstage: Vec::new(),
+            });
+        }
+        // Connect every ordered pair once: ep[i].qp[j] <-> ep[j].qp[i].
+        for i in 0..n as usize {
+            for j in i..n as usize {
+                if i == j {
+                    let qp = eps[i].peers[i].qp.clone();
+                    fabric.connect(&qp, &qp)?;
+                } else {
+                    let a = eps[i].peers[j].qp.clone();
+                    let b = eps[j].peers[i].qp.clone();
+                    fabric.connect(&a, &b)?;
+                }
+            }
+        }
+        // Pre-post the eager receive windows (per-peer or shared pool).
+        for ep in &eps {
+            match &ep.srq {
+                Some((srq, bufs)) => {
+                    for (idx, mr) in bufs.iter().enumerate() {
+                        srq.post_recv(RecvWr::new(
+                            rx_wr_id(SRQ_PEER, idx as u32),
+                            vec![Sge::whole(mr)],
+                        ))?;
+                    }
+                }
+                None => {
+                    for (peer, ps) in ep.peers.iter().enumerate() {
+                        for (idx, mr) in ps.rx_bufs.iter().enumerate() {
+                            ps.qp.post_recv(RecvWr::new(
+                                rx_wr_id(peer as u32, idx as u32),
+                                vec![Sge::whole(mr)],
+                            ))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(eps)
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    pub fn config(&self) -> &MsgConfig {
+        &self.cfg
+    }
+
+    /// The underlying NIC (for direct verbs access alongside messaging).
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    /// The endpoint's protection domain.
+    pub fn pd(&self) -> ProtectionDomain {
+        self.pd
+    }
+
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Allocate a registered message buffer (through the registration
+    /// cache).
+    pub fn alloc(&mut self, len: usize) -> MsgResult<MsgBuf> {
+        Ok(self.pool.alloc(len)?)
+    }
+
+    /// Return a buffer to the registration cache.
+    pub fn release(&mut self, buf: MsgBuf) {
+        self.pool.free(buf);
+    }
+
+    /// Nonblocking send: the buffer is consumed and handed back by
+    /// [`Endpoint::wait_send`].
+    pub fn isend(&mut self, dst: u32, tag: u64, buf: MsgBuf) -> MsgResult<ReqId> {
+        assert!(dst < self.size, "destination rank out of range");
+        self.check_up()?;
+        if self.failed_peers.contains(&dst) {
+            return Err(MsgError::PeerFailed(dst));
+        }
+        let req = self.next_req;
+        self.next_req += 1;
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += buf.len() as u64;
+        match self.cfg.protocol_for(buf.len()) {
+            Protocol::Eager => self.send_eager(dst, tag, buf, req)?,
+            Protocol::Rendezvous => self.send_rendezvous(dst, tag, buf, req)?,
+            Protocol::Sockets => self.send_sockets(dst, tag, buf, req)?,
+            Protocol::Auto => unreachable!("protocol_for resolves Auto"),
+        }
+        Ok(req)
+    }
+
+    /// Nonblocking receive into `buf`; matching per `spec`.
+    pub fn irecv(&mut self, spec: MatchSpec, buf: MsgBuf) -> MsgResult<ReqId> {
+        self.check_up()?;
+        if let Some(src) = spec.src {
+            if self.failed_peers.contains(&src) {
+                return Err(MsgError::PeerFailed(src));
+            }
+        }
+        let req = self.next_req;
+        self.next_req += 1;
+        if let Some(un) = self.matcher.post_recv(spec, req) {
+            let (src, tag) = (un.src, un.tag);
+            match un.payload {
+                Parked::Data { data, extra_copies } => {
+                    self.stats.host_copies += extra_copies;
+                    self.deliver_data(req, buf, src, tag, &data);
+                }
+                Parked::Rts { len, msg_id, rkey } => {
+                    self.start_rendezvous_recv(req, buf, src, tag, len, msg_id, rkey)?;
+                }
+            }
+        } else {
+            self.recvs.insert(req, RecvState::Posted { buf });
+        }
+        Ok(req)
+    }
+
+    /// Has a matching message arrived (without consuming it)?
+    pub fn probe(&mut self, spec: MatchSpec) -> Option<(u32, u64)> {
+        self.progress();
+        self.matcher.probe(spec)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance
+    // ------------------------------------------------------------------
+
+    /// Fail this endpoint: all of its queue pairs enter the error state
+    /// (flushing posted work) and further operations return
+    /// [`MsgError::EndpointDown`]. Peers observe the failure through
+    /// [`Endpoint::detect_failures`] or flushed completions. Used for
+    /// failure injection; a real node crash has the same fabric-visible
+    /// effect.
+    pub fn fail(&mut self) {
+        self.down = true;
+        for ps in &self.peers {
+            ps.qp.set_error();
+        }
+    }
+
+    /// Whether `peer`'s endpoint is operational, per the fabric.
+    pub fn peer_alive(&self, peer: u32) -> bool {
+        if self.failed_peers.contains(&peer) {
+            return false;
+        }
+        self.peers[peer as usize].qp.peer_alive().unwrap_or(false)
+    }
+
+    /// Poll every peer's liveness (the messaging-level analogue of a
+    /// heartbeat sweep) and fail over pending work toward dead peers.
+    /// Returns the ranks newly discovered dead.
+    pub fn detect_failures(&mut self) -> Vec<u32> {
+        let mut newly = Vec::new();
+        for peer in 0..self.size {
+            if peer == self.rank || self.failed_peers.contains(&peer) {
+                continue;
+            }
+            if self.peers[peer as usize].qp.peer_alive() == Some(false) {
+                newly.push(peer);
+            }
+        }
+        for &p in &newly {
+            self.mark_peer_failed(p);
+        }
+        newly
+    }
+
+    /// Declare `peer` failed (e.g. from an external failure detector):
+    /// every pending send toward it and receive from it completes with
+    /// [`MsgError::PeerFailed`]; future operations naming it fail fast.
+    pub fn mark_peer_failed(&mut self, peer: u32) {
+        if !self.failed_peers.insert(peer) {
+            return;
+        }
+        // Fail in-flight sends toward the peer.
+        let send_reqs: Vec<ReqId> = self
+            .sends
+            .iter()
+            .filter(|(_, st)| match st {
+                SendState::AwaitFin { dst, .. }
+                | SendState::AwaitCts { dst, .. }
+                | SendState::WriteInflight { dst }
+                | SendState::GatherInflight { dst, .. } => *dst == peer,
+                _ => false,
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        for req in send_reqs {
+            let buf = match self.sends.remove(&req) {
+                Some(SendState::AwaitFin { buf, .. })
+                | Some(SendState::AwaitCts { buf, .. }) => Some(buf),
+                Some(SendState::GatherInflight { buf, slot, .. }) => {
+                    // Do NOT recycle the slot: the gather send may still
+                    // be parked at a live-but-suspected peer, and a
+                    // reused slot would corrupt that parked message's
+                    // header. The slot returns via its own CQE if the
+                    // send ever completes; otherwise it is retired.
+                    let _ = slot;
+                    Some(buf)
+                }
+                Some(SendState::WriteInflight { .. }) => self.write_bufs.remove(&req),
+                _ => None,
+            };
+            self.sends.insert(req, SendState::Failed { buf, peer });
+        }
+        // Fail in-flight receives from the peer.
+        let recv_reqs: Vec<ReqId> = self
+            .recvs
+            .iter()
+            .filter(|(_, st)| match st {
+                RecvState::Reading { src, .. } | RecvState::AwaitWrite { src, .. } => {
+                    *src == peer
+                }
+                _ => false,
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        for req in recv_reqs {
+            match self.recvs.remove(&req) {
+                Some(RecvState::Reading { buf, .. })
+                | Some(RecvState::AwaitWrite { buf, .. }) => {
+                    self.recvs
+                        .insert(req, RecvState::Done(buf, Err(MsgError::PeerFailed(peer))));
+                }
+                _ => {}
+            }
+        }
+        // Posted receives that can only ever match the dead peer.
+        let cancelled = self
+            .matcher
+            .cancel_posted(|spec| spec.src == Some(peer));
+        for req in cancelled {
+            if let Some(RecvState::Posted { buf }) = self.recvs.remove(&req) {
+                self.recvs
+                    .insert(req, RecvState::Done(buf, Err(MsgError::PeerFailed(peer))));
+            }
+        }
+    }
+
+    fn check_up(&self) -> MsgResult<()> {
+        if self.down {
+            Err(MsgError::EndpointDown)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Drive the protocol engine: drain completions and advance state.
+    /// Returns the number of completions processed.
+    pub fn progress(&mut self) -> usize {
+        let cqes = match self.cq.poll(64) {
+            Ok(c) => c,
+            Err(_) => return 0,
+        };
+        let n = cqes.len();
+        for cqe in cqes {
+            self.handle_cqe(cqe);
+        }
+        n
+    }
+
+    /// Nonblocking completion check for a send: drives progress once and
+    /// returns the buffer if the send has finished.
+    pub fn test_send(&mut self, req: ReqId) -> MsgResult<Option<MsgBuf>> {
+        self.progress();
+        match self.sends.get(&req) {
+            Some(SendState::Done(_)) | Some(SendState::WriteDone(_)) => {
+                match self.sends.remove(&req) {
+                    Some(SendState::Done(b)) | Some(SendState::WriteDone(b)) => {
+                        Ok(Some(self.finish_send_buf(req, b)))
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Some(SendState::Failed { .. }) => {
+                let Some(SendState::Failed { buf, peer }) = self.sends.remove(&req) else {
+                    unreachable!()
+                };
+                if let Some(b) = buf {
+                    self.pool.free(b);
+                }
+                self.sends_return_original.remove(&req);
+                Err(MsgError::PeerFailed(peer))
+            }
+            Some(_) => Ok(None),
+            None => Err(MsgError::UnknownRequest(req)),
+        }
+    }
+
+    /// Nonblocking completion check for a receive.
+    pub fn test_recv(&mut self, req: ReqId) -> MsgResult<Option<(MsgBuf, RecvInfo)>> {
+        self.progress();
+        if matches!(self.recvs.get(&req), Some(RecvState::Done(..))) {
+            let Some(RecvState::Done(buf, result)) = self.recvs.remove(&req) else {
+                unreachable!()
+            };
+            return match result {
+                Ok(info) => Ok(Some((buf, info))),
+                Err(e) => {
+                    self.pool.free(buf);
+                    Err(e)
+                }
+            };
+        }
+        if self.recvs.contains_key(&req) {
+            Ok(None)
+        } else {
+            Err(MsgError::UnknownRequest(req))
+        }
+    }
+
+    /// Block until a send completes, returning the buffer.
+    pub fn wait_send(&mut self, req: ReqId) -> MsgResult<MsgBuf> {
+        self.wait_send_timeout(req, Duration::from_secs(30))
+    }
+
+    pub fn wait_send_timeout(&mut self, req: ReqId, timeout: Duration) -> MsgResult<MsgBuf> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.sends.get(&req) {
+                Some(SendState::Done(_)) | Some(SendState::WriteDone(_)) => {
+                    return match self.sends.remove(&req) {
+                        Some(SendState::Done(b)) | Some(SendState::WriteDone(b)) => {
+                            Ok(self.finish_send_buf(req, b))
+                        }
+                        _ => unreachable!(),
+                    };
+                }
+                Some(SendState::Failed { .. }) => {
+                    let Some(SendState::Failed { buf, peer }) = self.sends.remove(&req) else {
+                        unreachable!()
+                    };
+                    if let Some(b) = buf {
+                        self.pool.free(b);
+                    }
+                    self.sends_return_original.remove(&req);
+                    return Err(MsgError::PeerFailed(peer));
+                }
+                None => return Err(MsgError::UnknownRequest(req)),
+                _ => {}
+            }
+            if self.progress() == 0 {
+                if Instant::now() >= deadline {
+                    return Err(MsgError::Timeout);
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Block until a receive completes, returning the buffer and info.
+    pub fn wait_recv(&mut self, req: ReqId) -> MsgResult<(MsgBuf, RecvInfo)> {
+        self.wait_recv_timeout(req, Duration::from_secs(30))
+    }
+
+    pub fn wait_recv_timeout(
+        &mut self,
+        req: ReqId,
+        timeout: Duration,
+    ) -> MsgResult<(MsgBuf, RecvInfo)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if matches!(self.recvs.get(&req), Some(RecvState::Done(..))) {
+                let Some(RecvState::Done(buf, result)) = self.recvs.remove(&req) else {
+                    unreachable!()
+                };
+                return match result {
+                    Ok(info) => Ok((buf, info)),
+                    Err(e) => {
+                        self.pool.free(buf);
+                        Err(e)
+                    }
+                };
+            }
+            if !self.recvs.contains_key(&req) {
+                return Err(MsgError::UnknownRequest(req));
+            }
+            if self.progress() == 0 {
+                if Instant::now() >= deadline {
+                    return Err(MsgError::Timeout);
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Wait for every send in `reqs` (in order), returning the buffers.
+    pub fn waitall_sends(&mut self, reqs: Vec<ReqId>) -> MsgResult<Vec<MsgBuf>> {
+        reqs.into_iter().map(|r| self.wait_send(r)).collect()
+    }
+
+    /// Wait for every receive in `reqs` (in order).
+    pub fn waitall_recvs(&mut self, reqs: Vec<ReqId>) -> MsgResult<Vec<(MsgBuf, RecvInfo)>> {
+        reqs.into_iter().map(|r| self.wait_recv(r)).collect()
+    }
+
+    /// Wait until *any* of the given receives completes; returns its
+    /// index in `reqs` along with the result. The completed request is
+    /// removed from the slice's semantics (callers typically
+    /// `swap_remove` it).
+    pub fn waitany_recv(
+        &mut self,
+        reqs: &[ReqId],
+        timeout: Duration,
+    ) -> MsgResult<(usize, MsgBuf, RecvInfo)> {
+        assert!(!reqs.is_empty(), "waitany on an empty set");
+        let deadline = Instant::now() + timeout;
+        loop {
+            for (i, &r) in reqs.iter().enumerate() {
+                if let Some((buf, info)) = self.test_recv(r)? {
+                    return Ok((i, buf, info));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(MsgError::Timeout);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Blocking convenience: send a buffer, get it back on completion.
+    pub fn send(&mut self, dst: u32, tag: u64, buf: MsgBuf) -> MsgResult<MsgBuf> {
+        let req = self.isend(dst, tag, buf)?;
+        self.wait_send(req)
+    }
+
+    /// Blocking convenience: receive into a buffer.
+    pub fn recv(&mut self, spec: MatchSpec, buf: MsgBuf) -> MsgResult<(MsgBuf, RecvInfo)> {
+        let req = self.irecv(spec, buf)?;
+        self.wait_recv(req)
+    }
+
+    /// Copy-in convenience: sends an unregistered slice (one extra copy,
+    /// by definition — use `alloc` + `send` for zero-copy).
+    pub fn send_slice(&mut self, dst: u32, tag: u64, data: &[u8]) -> MsgResult<()> {
+        let mut buf = self.alloc(data.len())?;
+        buf.fill_from(data);
+        self.count_copy(data.len());
+        let buf = self.send(dst, tag, buf)?;
+        self.release(buf);
+        Ok(())
+    }
+
+    /// Copy-out convenience: receive into a fresh vector.
+    pub fn recv_vec(&mut self, spec: MatchSpec, max_len: usize) -> MsgResult<(Vec<u8>, RecvInfo)> {
+        let buf = self.alloc(max_len)?;
+        let (buf, info) = self.recv(spec, buf)?;
+        let mut v = buf.to_vec();
+        v.truncate(info.len);
+        self.count_copy(info.len);
+        self.release(buf);
+        Ok((v, info))
+    }
+
+    // ------------------------------------------------------------------
+    // Eager protocol
+    // ------------------------------------------------------------------
+
+    fn send_eager(&mut self, dst: u32, tag: u64, buf: MsgBuf, req: ReqId) -> MsgResult<()> {
+        if buf.len() > self.cfg.eager_buf_size {
+            return Err(MsgError::TooLargeForEager {
+                len: buf.len(),
+                max: self.cfg.eager_buf_size,
+            });
+        }
+        self.stats.eager_sends += 1;
+        let slot = self.acquire_tx_slot()?;
+        let mr = self.tx_slots[slot].take().expect("slot acquired");
+        let env = Envelope::Eager {
+            src: self.rank,
+            tag,
+            len: buf.len() as u64,
+        };
+        mr.write_at(0, &env.encode())?;
+        // Host copy #1: user buffer -> bounce buffer.
+        mr.write_at(HEADER_LEN, buf.as_slice())?;
+        self.count_copy(buf.len());
+        let wire_len = HEADER_LEN + buf.len();
+        self.peers[dst as usize].qp.post_send(SendWr::Send {
+            wr_id: K_TX_BOUNCE | slot as u64,
+            sges: vec![Sge {
+                mr: mr.clone(),
+                offset: 0,
+                len: wire_len,
+            }],
+            imm: None,
+        })?;
+        self.tx_slots[slot] = Some(mr);
+        // Buffered semantics: the user's buffer is free immediately.
+        self.sends.insert(req, SendState::Done(buf));
+        Ok(())
+    }
+
+    /// Zero-copy noncontiguous send: the NIC gathers `layout`'s blocks
+    /// straight out of the user buffer (no pack copy). The receiver sees
+    /// an ordinary contiguous eager message of `layout.total_len()`
+    /// bytes. Falls back to pack + rendezvous above the eager limit.
+    ///
+    /// Unlike plain eager, the buffer is NOT free at return — the NIC
+    /// references it until the send completion — so this send completes
+    /// like a rendezvous: reap it with [`Endpoint::wait_send`].
+    pub fn isend_layout(
+        &mut self,
+        dst: u32,
+        tag: u64,
+        buf: MsgBuf,
+        layout: &crate::datatype::Layout,
+    ) -> MsgResult<ReqId> {
+        assert!(dst < self.size, "destination rank out of range");
+        layout
+            .validate(buf.len())
+            .map_err(MsgError::BadConfig)?;
+        let total = layout.total_len();
+        let req = self.next_req;
+        self.next_req += 1;
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += total as u64;
+        if total > self.cfg.eager_buf_size {
+            // Pack (one copy) and ship rendezvous.
+            let packed = layout.pack(buf.as_slice());
+            self.count_copy(total);
+            let mut pbuf = self.pool.alloc(total)?;
+            pbuf.fill_from(&packed);
+            self.count_copy(total);
+            self.send_rendezvous(dst, tag, pbuf, req)?;
+            // The caller's buffer is no longer needed.
+            self.sends_return_original.insert(req, buf);
+            return Ok(req);
+        }
+        self.stats.eager_sends += 1;
+        let slot = self.acquire_tx_slot()?;
+        let mr = self.tx_slots[slot].take().expect("slot acquired");
+        let env = Envelope::Eager {
+            src: self.rank,
+            tag,
+            len: total as u64,
+        };
+        mr.write_at(0, &env.encode())?;
+        let mut sges = vec![Sge {
+            mr: mr.clone(),
+            offset: 0,
+            len: HEADER_LEN,
+        }];
+        for (off, len) in layout.blocks() {
+            if len > 0 {
+                sges.push(Sge {
+                    mr: buf.region().clone(),
+                    offset: off,
+                    len,
+                });
+            }
+        }
+        self.peers[dst as usize].qp.post_send(SendWr::Send {
+            wr_id: K_GATHER | req,
+            sges,
+            imm: None,
+        })?;
+        self.tx_slots[slot] = Some(mr);
+        self.sends
+            .insert(req, SendState::GatherInflight { buf, slot, dst });
+        Ok(req)
+    }
+
+    // ------------------------------------------------------------------
+    // Rendezvous protocol
+    // ------------------------------------------------------------------
+
+    fn send_rendezvous(&mut self, dst: u32, tag: u64, buf: MsgBuf, req: ReqId) -> MsgResult<()> {
+        self.stats.rendezvous_sends += 1;
+        let env = Envelope::Rts {
+            src: self.rank,
+            tag,
+            len: buf.len() as u64,
+            msg_id: req,
+            rkey: buf.rkey().0,
+        };
+        self.send_ctrl(dst, env)?;
+        let state = match self.cfg.rendezvous_mode {
+            RendezvousMode::Read => SendState::AwaitFin { buf, dst },
+            RendezvousMode::Write => SendState::AwaitCts { buf, dst },
+        };
+        self.sends.insert(req, state);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)] // the RTS carries exactly this state
+    fn start_rendezvous_recv(
+        &mut self,
+        req: ReqId,
+        buf: MsgBuf,
+        src: u32,
+        tag: u64,
+        len: u64,
+        msg_id: u64,
+        rkey: u64,
+    ) -> MsgResult<()> {
+        let len = len as usize;
+        if len > buf.capacity() {
+            // Refuse the transfer; still FIN so the sender unblocks.
+            self.send_ctrl(src, Envelope::Fin { msg_id })?;
+            self.recvs.insert(
+                req,
+                RecvState::Done(
+                    buf,
+                    Err(MsgError::Truncated {
+                        incoming: len,
+                        capacity: 0,
+                    }),
+                ),
+            );
+            return Ok(());
+        }
+        match self.cfg.rendezvous_mode {
+            RendezvousMode::Read => {
+                if len == 0 {
+                    self.send_ctrl(src, Envelope::Fin { msg_id })?;
+                    let mut buf = buf;
+                    buf.set_len(0);
+                    self.finish_recv(req, buf, Ok(RecvInfo { src, tag, len: 0 }));
+                    return Ok(());
+                }
+                self.peers[src as usize].qp.post_send(SendWr::RdmaRead {
+                    wr_id: K_RDMA_READ | req,
+                    sges: vec![Sge {
+                        mr: buf.region().clone(),
+                        offset: 0,
+                        len,
+                    }],
+                    remote: RemoteAddr {
+                        node: NodeId(src),
+                        rkey: Rkey(rkey),
+                        offset: 0,
+                    },
+                })?;
+                self.recvs.insert(
+                    req,
+                    RecvState::Reading {
+                        buf,
+                        src,
+                        tag,
+                        len,
+                        msg_id,
+                    },
+                );
+            }
+            RendezvousMode::Write => {
+                let handle = self.next_handle;
+                self.next_handle = self.next_handle.wrapping_add(1);
+                self.write_pending.insert(handle, req);
+                self.send_ctrl(
+                    src,
+                    Envelope::Cts {
+                        msg_id,
+                        rkey: buf.rkey().0,
+                        handle,
+                    },
+                )?;
+                self.recvs
+                    .insert(req, RecvState::AwaitWrite { buf, src, tag, len });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Sockets baseline
+    // ------------------------------------------------------------------
+
+    fn send_sockets(&mut self, dst: u32, tag: u64, buf: MsgBuf, req: ReqId) -> MsgResult<()> {
+        let total = buf.len();
+        let mtu = self.cfg.sockets_mtu.min(self.cfg.eager_buf_size);
+        let mut offset = 0usize;
+        loop {
+            let len = (total - offset).min(mtu);
+            spin_for(self.cfg.syscall_overhead);
+            // Kernel copy #1: user -> socket buffer.
+            self.kstage.clear();
+            self.kstage
+                .extend_from_slice(&buf.as_slice()[offset..offset + len]);
+            self.count_copy(len);
+            let slot = self.acquire_tx_slot()?;
+            let mr = self.tx_slots[slot].take().expect("slot acquired");
+            let env = Envelope::SockSeg {
+                src: self.rank,
+                tag,
+                msg_id: req,
+                total: total as u64,
+                offset: offset as u64,
+                len: len as u64,
+            };
+            mr.write_at(0, &env.encode())?;
+            // Kernel copy #2: socket buffer -> driver ring.
+            mr.write_at(HEADER_LEN, &self.kstage)?;
+            self.count_copy(len);
+            self.stats.sockets_segments += 1;
+            self.peers[dst as usize].qp.post_send(SendWr::Send {
+                wr_id: K_TX_BOUNCE | slot as u64,
+                sges: vec![Sge {
+                    mr: mr.clone(),
+                    offset: 0,
+                    len: HEADER_LEN + len,
+                }],
+                imm: None,
+            })?;
+            self.tx_slots[slot] = Some(mr);
+            offset += len;
+            if offset >= total {
+                break;
+            }
+        }
+        self.sends.insert(req, SendState::Done(buf));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Completion handling
+    // ------------------------------------------------------------------
+
+    fn handle_cqe(&mut self, cqe: Cqe) {
+        match cqe.wr_id & KIND_MASK {
+            K_RX => match cqe.opcode {
+                CqeOpcode::Recv => self.handle_rx(cqe),
+                CqeOpcode::RecvRdmaImm => {
+                    // A rendezvous write landed; the consumed bounce recv
+                    // must be re-posted.
+                    let (peer, idx) = rx_decode(cqe.wr_id);
+                    self.repost_rx(peer, idx);
+                    let handle = cqe.imm.expect("write-imm carries handle");
+                    if let Some(req) = self.write_pending.remove(&handle) {
+                        if let Some(RecvState::AwaitWrite { mut buf, src, tag, len }) =
+                            self.recvs.remove(&req)
+                        {
+                            buf.set_len(len);
+                            self.stats.msgs_received += 1;
+                            self.stats.bytes_received += len as u64;
+                            self.recvs.insert(
+                                req,
+                                RecvState::Done(buf, Ok(RecvInfo { src, tag, len })),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            },
+            K_TX_BOUNCE => {
+                let slot = (cqe.wr_id & PAYLOAD_MASK) as usize;
+                self.tx_free.push(slot);
+            }
+            K_RDMA_READ => {
+                let req = cqe.wr_id & PAYLOAD_MASK;
+                if let Some(RecvState::Reading {
+                    mut buf,
+                    src,
+                    tag,
+                    len,
+                    msg_id,
+                }) = self.recvs.remove(&req)
+                {
+                    let result = if cqe.status == CqeStatus::Success {
+                        buf.set_len(len);
+                        self.stats.msgs_received += 1;
+                        self.stats.bytes_received += len as u64;
+                        Ok(RecvInfo { src, tag, len })
+                    } else {
+                        Err(MsgError::Nic(NicError::Timeout))
+                    };
+                    let _ = self.send_ctrl(src, Envelope::Fin { msg_id });
+                    self.recvs.insert(req, RecvState::Done(buf, result));
+                }
+            }
+            K_GATHER => {
+                let req = cqe.wr_id & PAYLOAD_MASK;
+                // Check before removing: the request may have moved to
+                // `Failed` (peer marked dead) and must stay reapable.
+                if matches!(self.sends.get(&req), Some(SendState::GatherInflight { .. })) {
+                    if let Some(SendState::GatherInflight { buf, slot, .. }) =
+                        self.sends.remove(&req)
+                    {
+                        self.tx_free.push(slot);
+                        self.sends.insert(req, SendState::Done(buf));
+                    }
+                }
+            }
+            K_RDMA_WRITE => {
+                let req = cqe.wr_id & PAYLOAD_MASK;
+                if matches!(self.sends.get(&req), Some(SendState::WriteInflight { .. })) {
+                    // Buffer was stashed when the write was posted.
+                    if let Some(buf) = self.write_bufs.remove(&req) {
+                        self.sends.insert(req, SendState::WriteDone(buf));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn rx_buffer(&self, peer: u32, idx: u32) -> MemoryRegion {
+        if peer == SRQ_PEER {
+            self.srq.as_ref().expect("SRQ slot without SRQ").1[idx as usize].clone()
+        } else {
+            self.peers[peer as usize].rx_bufs[idx as usize].clone()
+        }
+    }
+
+    fn handle_rx(&mut self, cqe: Cqe) {
+        let (peer, idx) = rx_decode(cqe.wr_id);
+        let mr = self.rx_buffer(peer, idx);
+        let mut header = [0u8; HEADER_LEN];
+        mr.read_at(0, &mut header).expect("bounce header");
+        let env = Envelope::decode(&header).expect("valid envelope");
+        match env {
+            Envelope::Eager { src, tag, len } => {
+                let len = len as usize;
+                if let Some(req) = self.matcher.arrive(src, tag) {
+                    if let Some(RecvState::Posted { buf }) = self.recvs.remove(&req) {
+                        self.deliver_from_mr(req, buf, src, tag, &mr, len);
+                    }
+                } else {
+                    self.stats.unexpected_arrivals += 1;
+                    let mut data = vec![0u8; len];
+                    mr.read_at(HEADER_LEN, &mut data).expect("bounce payload");
+                    self.count_copy(len);
+                    self.matcher.park(
+                        src,
+                        tag,
+                        Parked::Data {
+                            data,
+                            extra_copies: 0,
+                        },
+                    );
+                }
+            }
+            Envelope::Rts {
+                src,
+                tag,
+                len,
+                msg_id,
+                rkey,
+            } => {
+                if let Some(req) = self.matcher.arrive(src, tag) {
+                    if let Some(RecvState::Posted { buf }) = self.recvs.remove(&req) {
+                        let _ = self.start_rendezvous_recv(req, buf, src, tag, len, msg_id, rkey);
+                    }
+                } else {
+                    self.stats.unexpected_arrivals += 1;
+                    self.matcher.park(src, tag, Parked::Rts { len, msg_id, rkey });
+                }
+            }
+            Envelope::Cts {
+                msg_id,
+                rkey,
+                handle,
+            } => {
+                // Check before removing: the request may have moved to
+                // `Failed` (peer marked dead) and must stay reapable.
+                if matches!(self.sends.get(&msg_id), Some(SendState::AwaitCts { .. })) {
+                    let Some(SendState::AwaitCts { buf, dst }) = self.sends.remove(&msg_id)
+                    else {
+                        unreachable!()
+                    };
+                    let len = buf.len();
+                    let r = self.peers[dst as usize].qp.post_send(SendWr::RdmaWriteImm {
+                        wr_id: K_RDMA_WRITE | msg_id,
+                        sges: vec![Sge {
+                            mr: buf.region().clone(),
+                            offset: 0,
+                            len,
+                        }],
+                        remote: RemoteAddr {
+                            node: NodeId(dst),
+                            rkey: Rkey(rkey),
+                            offset: 0,
+                        },
+                        imm: handle,
+                    });
+                    match r {
+                        Ok(()) => {
+                            self.write_bufs.insert(msg_id, buf);
+                            self.sends
+                                .insert(msg_id, SendState::WriteInflight { dst });
+                        }
+                        Err(_) => {
+                            self.sends.insert(msg_id, SendState::Done(buf));
+                        }
+                    }
+                }
+            }
+            Envelope::Fin { msg_id } => {
+                if matches!(self.sends.get(&msg_id), Some(SendState::AwaitFin { .. })) {
+                    let Some(SendState::AwaitFin { buf, .. }) = self.sends.remove(&msg_id)
+                    else {
+                        unreachable!()
+                    };
+                    self.sends.insert(msg_id, SendState::Done(buf));
+                }
+            }
+            Envelope::SockSeg {
+                src,
+                tag,
+                msg_id,
+                total,
+                offset,
+                len,
+            } => {
+                spin_for(self.cfg.interrupt_overhead);
+                let total = total as usize;
+                let key = ((src as u64) << 48) ^ msg_id;
+                let asm = self.sock_assembly.entry(key).or_insert_with(|| SockAssembly {
+                    src,
+                    tag,
+                    total,
+                    got: 0,
+                    data: vec![0u8; total],
+                });
+                let (off, len) = (offset as usize, len as usize);
+                // Kernel copy: driver ring -> socket buffer.
+                mr.read_at(HEADER_LEN, &mut asm.data[off..off + len])
+                    .expect("segment payload");
+                asm.got += len;
+                let done = asm.got >= asm.total || asm.total == 0;
+                self.count_copy(len);
+                if done {
+                    let asm = self.sock_assembly.remove(&key).expect("present");
+                    if let Some(req) = self.matcher.arrive(asm.src, asm.tag) {
+                        if let Some(RecvState::Posted { buf }) = self.recvs.remove(&req) {
+                            // Final copy: socket buffer -> user.
+                            self.deliver_data(req, buf, asm.src, asm.tag, &asm.data);
+                        }
+                    } else {
+                        self.stats.unexpected_arrivals += 1;
+                        self.matcher.park(
+                            asm.src,
+                            asm.tag,
+                            Parked::Data {
+                                data: asm.data,
+                                extra_copies: 0,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.repost_rx(peer, idx);
+    }
+
+    /// Complete a receive by copying from a bounce region (eager path).
+    fn deliver_from_mr(
+        &mut self,
+        req: ReqId,
+        mut buf: MsgBuf,
+        src: u32,
+        tag: u64,
+        mr: &MemoryRegion,
+        len: usize,
+    ) {
+        if len > buf.capacity() {
+            self.finish_recv(
+                req,
+                buf,
+                Err(MsgError::Truncated {
+                    incoming: len,
+                    capacity: 0,
+                }),
+            );
+            return;
+        }
+        buf.set_len(len);
+        // Host copy #2: bounce buffer -> user buffer.
+        mr.read_at(HEADER_LEN, buf.as_mut_slice()).expect("payload");
+        self.count_copy(len);
+        self.stats.msgs_received += 1;
+        self.stats.bytes_received += len as u64;
+        self.finish_recv(req, buf, Ok(RecvInfo { src, tag, len }));
+    }
+
+    /// Complete a receive by copying from an owned byte vector
+    /// (unexpected-eager and sockets paths).
+    fn deliver_data(&mut self, req: ReqId, mut buf: MsgBuf, src: u32, tag: u64, data: &[u8]) {
+        if data.len() > buf.capacity() {
+            self.finish_recv(
+                req,
+                buf,
+                Err(MsgError::Truncated {
+                    incoming: data.len(),
+                    capacity: 0,
+                }),
+            );
+            return;
+        }
+        buf.fill_from(data);
+        self.count_copy(data.len());
+        self.stats.msgs_received += 1;
+        self.stats.bytes_received += data.len() as u64;
+        self.finish_recv(
+            req,
+            buf,
+            Ok(RecvInfo {
+                src,
+                tag,
+                len: data.len(),
+            }),
+        );
+    }
+
+    fn finish_recv(&mut self, req: ReqId, buf: MsgBuf, result: MsgResult<RecvInfo>) {
+        self.recvs.insert(req, RecvState::Done(buf, result));
+    }
+
+    fn repost_rx(&mut self, peer: u32, idx: u32) {
+        if peer == SRQ_PEER {
+            let (srq, bufs) = self.srq.as_ref().expect("SRQ slot without SRQ");
+            srq.post_recv(RecvWr::new(
+                rx_wr_id(SRQ_PEER, idx),
+                vec![Sge::whole(&bufs[idx as usize])],
+            ))
+            .expect("repost pooled recv");
+        } else {
+            let ps = &self.peers[peer as usize];
+            let mr = &ps.rx_bufs[idx as usize];
+            ps.qp
+                .post_recv(RecvWr::new(rx_wr_id(peer, idx), vec![Sge::whole(mr)]))
+                .expect("repost bounce recv");
+        }
+    }
+
+    /// Send a header-only control message through the bounce path.
+    fn send_ctrl(&mut self, dst: u32, env: Envelope) -> MsgResult<()> {
+        let slot = self.acquire_tx_slot()?;
+        let mr = self.tx_slots[slot].take().expect("slot acquired");
+        mr.write_at(0, &env.encode())?;
+        self.peers[dst as usize].qp.post_send(SendWr::Send {
+            wr_id: K_TX_BOUNCE | slot as u64,
+            sges: vec![Sge {
+                mr: mr.clone(),
+                offset: 0,
+                len: HEADER_LEN,
+            }],
+            imm: None,
+        })?;
+        self.tx_slots[slot] = Some(mr);
+        Ok(())
+    }
+
+    fn acquire_tx_slot(&mut self) -> MsgResult<usize> {
+        if let Some(s) = self.tx_free.pop() {
+            return Ok(s);
+        }
+        // Try to recycle completed slots first.
+        self.progress();
+        if let Some(s) = self.tx_free.pop() {
+            return Ok(s);
+        }
+        // Burst exceeds the configured window: grow the pool instead of
+        // blocking (a blocked sender cannot progress a single-threaded
+        // peer, and the virtual NIC's send queue is unbounded anyway).
+        // Slots recycle through the free list once their sends complete.
+        let mr = self
+            .nic
+            .register(self.pd, self.cfg.eager_buf_size + HEADER_LEN)?;
+        self.tx_slots.push(Some(mr));
+        self.stats.tx_pool_growth += 1;
+        Ok(self.tx_slots.len() - 1)
+    }
+
+    /// Resolve the buffer a completed send hands back: layout sends that
+    /// fell back to pack+rendezvous return the caller's original buffer
+    /// and recycle the packed staging buffer internally.
+    fn finish_send_buf(&mut self, req: ReqId, b: MsgBuf) -> MsgBuf {
+        if let Some(orig) = self.sends_return_original.remove(&req) {
+            self.pool.free(b);
+            orig
+        } else {
+            b
+        }
+    }
+
+    fn count_copy(&mut self, bytes: usize) {
+        self.stats.host_copies += 1;
+        self.stats.host_copy_bytes += bytes as u64;
+    }
+}
+
+/// Calibrated busy-wait used by the sockets overhead model.
+fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}

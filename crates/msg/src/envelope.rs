@@ -1,0 +1,215 @@
+//! Wire envelopes: the fixed-size headers that precede eager payloads and
+//! carry the rendezvous handshake.
+//!
+//! Encoding is a hand-rolled fixed layout (48 bytes, little-endian): the
+//! header is on the critical path of every small message, so it must cost
+//! a handful of stores, not a serializer.
+
+/// Bytes every envelope occupies on the wire.
+pub const HEADER_LEN: usize = 48;
+
+/// Message envelope types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Envelope {
+    /// Eager data message: payload of `len` bytes follows the header in
+    /// the same bounce buffer.
+    Eager { src: u32, tag: u64, len: u64 },
+    /// Rendezvous request-to-send: the payload stays in the sender's
+    /// registered buffer, advertised by `rkey`.
+    Rts {
+        src: u32,
+        tag: u64,
+        len: u64,
+        msg_id: u64,
+        rkey: u64,
+    },
+    /// Rendezvous clear-to-send (write mode): the receiver advertises its
+    /// buffer; `handle` comes back in the write's immediate data.
+    Cts {
+        msg_id: u64,
+        rkey: u64,
+        handle: u32,
+    },
+    /// Rendezvous finished (read mode): the receiver has pulled the data.
+    Fin { msg_id: u64 },
+    /// One MTU segment of the sockets baseline. `offset` locates the
+    /// segment's payload within the full message of `total` bytes.
+    SockSeg {
+        src: u32,
+        tag: u64,
+        msg_id: u64,
+        total: u64,
+        offset: u64,
+        len: u64,
+    },
+}
+
+const T_EAGER: u8 = 1;
+const T_RTS: u8 = 2;
+const T_CTS: u8 = 3;
+const T_FIN: u8 = 4;
+const T_SOCKSEG: u8 = 5;
+
+impl Envelope {
+    /// Serialize into a 48-byte header.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        match *self {
+            Envelope::Eager { src, tag, len } => {
+                b[0] = T_EAGER;
+                b[4..8].copy_from_slice(&src.to_le_bytes());
+                b[8..16].copy_from_slice(&tag.to_le_bytes());
+                b[16..24].copy_from_slice(&len.to_le_bytes());
+            }
+            Envelope::Rts {
+                src,
+                tag,
+                len,
+                msg_id,
+                rkey,
+            } => {
+                b[0] = T_RTS;
+                b[4..8].copy_from_slice(&src.to_le_bytes());
+                b[8..16].copy_from_slice(&tag.to_le_bytes());
+                b[16..24].copy_from_slice(&len.to_le_bytes());
+                b[24..32].copy_from_slice(&msg_id.to_le_bytes());
+                b[32..40].copy_from_slice(&rkey.to_le_bytes());
+            }
+            Envelope::Cts {
+                msg_id,
+                rkey,
+                handle,
+            } => {
+                b[0] = T_CTS;
+                b[4..8].copy_from_slice(&handle.to_le_bytes());
+                b[24..32].copy_from_slice(&msg_id.to_le_bytes());
+                b[32..40].copy_from_slice(&rkey.to_le_bytes());
+            }
+            Envelope::Fin { msg_id } => {
+                b[0] = T_FIN;
+                b[24..32].copy_from_slice(&msg_id.to_le_bytes());
+            }
+            Envelope::SockSeg {
+                src,
+                tag,
+                msg_id,
+                total,
+                offset,
+                len,
+            } => {
+                b[0] = T_SOCKSEG;
+                b[4..8].copy_from_slice(&src.to_le_bytes());
+                b[8..16].copy_from_slice(&tag.to_le_bytes());
+                b[16..24].copy_from_slice(&len.to_le_bytes());
+                b[24..32].copy_from_slice(&msg_id.to_le_bytes());
+                b[32..40].copy_from_slice(&total.to_le_bytes());
+                b[40..48].copy_from_slice(&offset.to_le_bytes());
+            }
+        }
+        b
+    }
+
+    /// Parse a header. Returns `None` for unknown types or truncation.
+    pub fn decode(b: &[u8]) -> Option<Envelope> {
+        if b.len() < HEADER_LEN {
+            return None;
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(b[i..i + 4].try_into().unwrap());
+        let u64_at = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        Some(match b[0] {
+            T_EAGER => Envelope::Eager {
+                src: u32_at(4),
+                tag: u64_at(8),
+                len: u64_at(16),
+            },
+            T_RTS => Envelope::Rts {
+                src: u32_at(4),
+                tag: u64_at(8),
+                len: u64_at(16),
+                msg_id: u64_at(24),
+                rkey: u64_at(32),
+            },
+            T_CTS => Envelope::Cts {
+                msg_id: u64_at(24),
+                rkey: u64_at(32),
+                handle: u32_at(4),
+            },
+            T_FIN => Envelope::Fin { msg_id: u64_at(24) },
+            T_SOCKSEG => Envelope::SockSeg {
+                src: u32_at(4),
+                tag: u64_at(8),
+                len: u64_at(16),
+                msg_id: u64_at(24),
+                total: u64_at(32),
+                offset: u64_at(40),
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(e: Envelope) {
+        let b = e.encode();
+        assert_eq!(Envelope::decode(&b), Some(e));
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Envelope::Eager {
+            src: 3,
+            tag: u64::MAX,
+            len: 12345,
+        });
+        roundtrip(Envelope::Rts {
+            src: 1,
+            tag: 7,
+            len: 1 << 40,
+            msg_id: 0xdead_beef_cafe,
+            rkey: 42,
+        });
+        roundtrip(Envelope::Cts {
+            msg_id: 9,
+            rkey: 10,
+            handle: u32::MAX,
+        });
+        roundtrip(Envelope::Fin { msg_id: 0 });
+        roundtrip(Envelope::SockSeg {
+            src: 2,
+            tag: 5,
+            msg_id: 77,
+            total: 100_000,
+            offset: 98_500,
+            len: 1500,
+        });
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut b = [0u8; HEADER_LEN];
+        b[0] = 99;
+        assert_eq!(Envelope::decode(&b), None);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let e = Envelope::Fin { msg_id: 1 };
+        let b = e.encode();
+        assert_eq!(Envelope::decode(&b[..HEADER_LEN - 1]), None);
+    }
+
+    #[test]
+    fn decode_ignores_trailing_payload() {
+        let e = Envelope::Eager {
+            src: 1,
+            tag: 2,
+            len: 3,
+        };
+        let mut wire = e.encode().to_vec();
+        wire.extend_from_slice(b"payload");
+        assert_eq!(Envelope::decode(&wire), Some(e));
+    }
+}

@@ -1,0 +1,817 @@
+//! # polaris-msg
+//!
+//! Polaris's primary contribution: a **user-level zero-copy messaging
+//! library** over the virtual RDMA NIC — the "supporting software" layer
+//! the CLUSTER 2002 keynote says will define commodity clusters beyond
+//! Moore's law, built the way the post-2002 interconnect generation
+//! (VIA → InfiniBand) made possible: protocol processing in user space,
+//! data moved by the NIC directly between registered application buffers.
+//!
+//! Three interchangeable protocols (see [`config::Protocol`]) let the
+//! benchmarks reproduce the classic comparison:
+//!
+//! | protocol   | host copies | per-message cost        | best for   |
+//! |------------|-------------|--------------------------|------------|
+//! | sockets    | 4           | syscalls + per-MTU work  | (baseline) |
+//! | eager      | 2           | one envelope             | small msgs |
+//! | rendezvous | **0**       | handshake (RTS/CTS/FIN)  | large msgs |
+//!
+//! ```
+//! use polaris_msg::prelude::*;
+//! use polaris_nic::prelude::Fabric;
+//!
+//! let fabric = Fabric::new();
+//! let mut eps = Endpoint::create_world(&fabric, 2, MsgConfig::default()).unwrap();
+//! let mut ep1 = eps.pop().unwrap();
+//! let mut ep0 = eps.pop().unwrap();
+//!
+//! let mut buf = ep0.alloc(5).unwrap();
+//! buf.fill_from(b"hello");
+//! let req = ep0.isend(1, 7, buf).unwrap();
+//!
+//! let rbuf = ep1.alloc(64).unwrap();
+//! let (rbuf, info) = ep1.recv(MatchSpec::exact(0, 7), rbuf).unwrap();
+//! assert_eq!(&rbuf.as_slice()[..info.len], b"hello");
+//!
+//! let buf = ep0.wait_send(req).unwrap();
+//! ep0.release(buf);
+//! ```
+
+pub mod buffer;
+pub mod config;
+pub mod datatype;
+pub mod endpoint;
+pub mod envelope;
+pub mod match_engine;
+pub mod model;
+
+pub mod prelude {
+    pub use crate::buffer::{BufferPool, MsgBuf, PoolStats};
+    pub use crate::config::{MsgConfig, Protocol, RendezvousMode};
+    pub use crate::datatype::Layout;
+    pub use crate::endpoint::{Endpoint, EndpointStats, MsgError, MsgResult, RecvInfo, ReqId};
+    pub use crate::match_engine::MatchSpec;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{MsgConfig, Protocol, RendezvousMode};
+    use crate::endpoint::{Endpoint, MsgError};
+    use crate::match_engine::MatchSpec;
+    use polaris_nic::prelude::Fabric;
+
+    /// Two endpoints driven from one thread: the virtual NIC executes
+    /// transfers synchronously, so this is fully deterministic.
+    fn world(n: u32, cfg: MsgConfig) -> (Fabric, Vec<Endpoint>) {
+        let fabric = Fabric::new();
+        let eps = Endpoint::create_world(&fabric, n, cfg).unwrap();
+        (fabric, eps)
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    /// Single-threaded roundtrip: interleaves progress on both endpoints
+    /// so that protocols needing sender participation (rendezvous-write)
+    /// also complete.
+    fn roundtrip_with(cfg: MsgConfig, len: usize) {
+        let (_fabric, mut eps) = world(2, cfg);
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let data = payload(len);
+        let mut buf = ep0.alloc(len).unwrap();
+        buf.fill_from(&data);
+        let sreq = ep0.isend(1, 42, buf).unwrap();
+        let rbuf = ep1.alloc(len.max(1)).unwrap();
+        let rreq = ep1.irecv(MatchSpec::exact(0, 42), rbuf).unwrap();
+        let mut sdone = None;
+        let mut rdone = None;
+        for _ in 0..10_000 {
+            if sdone.is_none() {
+                sdone = ep0.test_send(sreq).unwrap();
+            }
+            if rdone.is_none() {
+                rdone = ep1.test_recv(rreq).unwrap();
+            }
+            if sdone.is_some() && rdone.is_some() {
+                break;
+            }
+        }
+        let sbuf = sdone.expect("send completed");
+        let (rbuf, info) = rdone.expect("recv completed");
+        assert_eq!(info.src, 0);
+        assert_eq!(info.tag, 42);
+        assert_eq!(info.len, len);
+        assert_eq!(rbuf.as_slice(), &data[..]);
+        ep0.release(sbuf);
+        ep1.release(rbuf);
+    }
+
+    #[test]
+    fn eager_roundtrip_various_sizes() {
+        for len in [0, 1, 7, 100, 4096, 16 * 1024 - 1] {
+            roundtrip_with(MsgConfig::with_protocol(Protocol::Eager), len);
+        }
+    }
+
+    #[test]
+    fn rendezvous_read_roundtrip_various_sizes() {
+        let cfg = MsgConfig::with_protocol(Protocol::Rendezvous);
+        for len in [0, 1, 100, 64 * 1024, 1 << 20] {
+            roundtrip_with(cfg, len);
+        }
+    }
+
+    #[test]
+    fn rendezvous_write_roundtrip_various_sizes() {
+        let mut cfg = MsgConfig::with_protocol(Protocol::Rendezvous);
+        cfg.rendezvous_mode = RendezvousMode::Write;
+        for len in [0, 1, 100, 64 * 1024, 1 << 20] {
+            roundtrip_with(cfg, len);
+        }
+    }
+
+    #[test]
+    fn sockets_roundtrip_various_sizes() {
+        let cfg = MsgConfig::with_protocol(Protocol::Sockets);
+        for len in [0, 1, 1499, 1500, 1501, 100_000] {
+            roundtrip_with(cfg, len);
+        }
+    }
+
+    #[test]
+    fn auto_switches_protocol_at_threshold() {
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let small = ep0.alloc(100).unwrap();
+        let r1 = ep0.isend(1, 1, small).unwrap();
+        let big = ep0.alloc(1 << 20).unwrap();
+        let r2 = ep0.isend(1, 2, big).unwrap();
+        assert_eq!(ep0.stats().eager_sends, 1);
+        assert_eq!(ep0.stats().rendezvous_sends, 1);
+        for (tag, len) in [(1u64, 100usize), (2, 1 << 20)] {
+            let rb = ep1.alloc(len).unwrap();
+            let (rb, info) = ep1.recv(MatchSpec::exact(0, tag), rb).unwrap();
+            assert_eq!(info.len, len);
+            ep1.release(rb);
+        }
+        let b1 = ep0.wait_send(r1).unwrap();
+        ep0.release(b1);
+        let b2 = ep0.wait_send(r2).unwrap();
+        ep0.release(b2);
+    }
+
+    #[test]
+    fn rendezvous_is_zero_copy_and_eager_is_not() {
+        // The central claim of the paper-hint: verify copy counts.
+        let len = 256 * 1024;
+        // Rendezvous: zero host copies, payload DMA'd exactly once.
+        let (fabric, mut eps) = world(2, MsgConfig::with_protocol(Protocol::Rendezvous));
+        {
+            let (e1, rest) = eps.split_at_mut(1);
+            let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+            let rbuf = ep1.alloc(len).unwrap();
+            let rreq = ep1.irecv(MatchSpec::exact(0, 1), rbuf).unwrap();
+            let mut sbuf = ep0.alloc(len).unwrap();
+            sbuf.fill_from(&payload(len));
+            let before_copies = ep0.stats().host_copies + ep1.stats().host_copies;
+            let dma_before = fabric.stats().dma_bytes;
+            let sreq = ep0.isend(1, 1, sbuf).unwrap();
+            let (rbuf, _) = ep1.wait_recv(rreq).unwrap();
+            ep0.wait_send(sreq).unwrap();
+            let copies = ep0.stats().host_copies + ep1.stats().host_copies - before_copies;
+            assert_eq!(copies, 0, "rendezvous must not copy on the host");
+            // Payload crossed the fabric exactly once (controls are
+            // header-only and move 48-byte envelopes).
+            let dma = fabric.stats().dma_bytes - dma_before;
+            assert!(
+                dma >= len as u64 && dma < len as u64 + 1024,
+                "dma bytes = {dma}"
+            );
+            ep1.release(rbuf);
+        }
+        // Eager: exactly two host copies of the payload.
+        let (_fabric, mut eps) = world(2, MsgConfig::with_protocol(Protocol::Eager));
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let len = 8 * 1024;
+        let rbuf = ep1.alloc(len).unwrap();
+        let rreq = ep1.irecv(MatchSpec::exact(0, 1), rbuf).unwrap();
+        let mut sbuf = ep0.alloc(len).unwrap();
+        sbuf.fill_from(&payload(len));
+        let sreq = ep0.isend(1, 1, sbuf).unwrap();
+        ep1.wait_recv(rreq).unwrap();
+        ep0.wait_send(sreq).unwrap();
+        let copies = ep0.stats().host_copies + ep1.stats().host_copies;
+        assert_eq!(copies, 2, "eager copies once per side");
+        // Sockets: four host copies.
+        let (_fabric, mut eps) = world(2, MsgConfig::with_protocol(Protocol::Sockets));
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let rbuf = ep1.alloc(len).unwrap();
+        let rreq = ep1.irecv(MatchSpec::exact(0, 1), rbuf).unwrap();
+        let mut sbuf = ep0.alloc(len).unwrap();
+        sbuf.fill_from(&payload(len));
+        let sreq = ep0.isend(1, 1, sbuf).unwrap();
+        ep1.wait_recv(rreq).unwrap();
+        ep0.wait_send(sreq).unwrap();
+        let copy_bytes = ep0.stats().host_copy_bytes + ep1.stats().host_copy_bytes;
+        assert_eq!(copy_bytes, 4 * len as u64, "sockets copies twice per side");
+    }
+
+    #[test]
+    fn unexpected_messages_match_later_recvs() {
+        for proto in [Protocol::Eager, Protocol::Rendezvous, Protocol::Sockets] {
+            let (_f, mut eps) = world(2, MsgConfig::with_protocol(proto));
+            let (e1, rest) = eps.split_at_mut(1);
+            let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+            let len = 8 * 1024;
+            let data = payload(len);
+            let mut sbuf = ep0.alloc(len).unwrap();
+            sbuf.fill_from(&data);
+            let sreq = ep0.isend(1, 5, sbuf).unwrap();
+            // Let the message arrive before any receive is posted.
+            ep1.progress();
+            let rbuf = ep1.alloc(len).unwrap();
+            let (rbuf, info) = ep1.recv(MatchSpec::exact(0, 5), rbuf).unwrap();
+            assert_eq!(info.len, len, "protocol {proto:?}");
+            assert_eq!(rbuf.as_slice(), &data[..]);
+            ep0.wait_send(sreq).unwrap();
+            assert!(ep1.stats().unexpected_arrivals >= 1);
+        }
+    }
+
+    #[test]
+    fn unexpected_rendezvous_stays_zero_copy() {
+        let (_f, mut eps) = world(2, MsgConfig::with_protocol(Protocol::Rendezvous));
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let len = 128 * 1024;
+        let mut sbuf = ep0.alloc(len).unwrap();
+        sbuf.fill_from(&payload(len));
+        let sreq = ep0.isend(1, 5, sbuf).unwrap();
+        ep1.progress(); // RTS parks; no data moves
+        let rbuf = ep1.alloc(len).unwrap();
+        let (rbuf, info) = ep1.recv(MatchSpec::exact(0, 5), rbuf).unwrap();
+        assert_eq!(info.len, len);
+        assert_eq!(
+            ep0.stats().host_copies + ep1.stats().host_copies,
+            0,
+            "zero-copy even when unexpected"
+        );
+        ep0.wait_send(sreq).unwrap();
+        ep1.release(rbuf);
+    }
+
+    #[test]
+    fn wildcard_receive_reports_actual_source_and_tag() {
+        let (_f, mut eps) = world(3, MsgConfig::default());
+        let (a, rest) = eps.split_at_mut(1);
+        let (b, c) = rest.split_at_mut(1);
+        let (ep0, ep1, ep2) = (&mut a[0], &mut b[0], &mut c[0]);
+        let mut buf = ep2.alloc(4).unwrap();
+        buf.fill_from(b"from");
+        let s1 = ep2.isend(1, 99, buf).unwrap();
+        let _ = ep0; // rank 0 is idle in this test
+        let rb = ep1.alloc(16).unwrap();
+        let (rb, info) = ep1.recv(MatchSpec::any(), rb).unwrap();
+        assert_eq!(info.src, 2);
+        assert_eq!(info.tag, 99);
+        ep2.wait_send(s1).unwrap();
+        ep1.release(rb);
+    }
+
+    #[test]
+    fn messages_do_not_overtake_within_a_tag() {
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let mut reqs = vec![];
+        for i in 0..20u8 {
+            let mut b = ep0.alloc(1).unwrap();
+            b.fill_from(&[i]);
+            reqs.push(ep0.isend(1, 3, b).unwrap());
+        }
+        for i in 0..20u8 {
+            let rb = ep1.alloc(1).unwrap();
+            let (rb, _) = ep1.recv(MatchSpec::exact(0, 3), rb).unwrap();
+            assert_eq!(rb.as_slice(), &[i], "message order must be preserved");
+            ep1.release(rb);
+        }
+        for r in reqs {
+            ep0.wait_send(r).unwrap();
+        }
+    }
+
+    #[test]
+    fn mixed_eager_and_rendezvous_preserve_tag_order() {
+        // A small (eager) then large (rendezvous) message on the same
+        // tag must still match posted receives in send order.
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let mut small = ep0.alloc(8).unwrap();
+        small.fill_from(b"smallone");
+        let big_len = 256 * 1024;
+        let mut big = ep0.alloc(big_len).unwrap();
+        big.fill_from(&payload(big_len));
+        let r1 = ep0.isend(1, 7, small).unwrap();
+        let r2 = ep0.isend(1, 7, big).unwrap();
+        let rb = ep1.alloc(big_len).unwrap();
+        let (rb, i1) = ep1.recv(MatchSpec::exact(0, 7), rb).unwrap();
+        assert_eq!(i1.len, 8);
+        let rb2 = ep1.alloc(big_len).unwrap();
+        let (_rb2, i2) = ep1.recv(MatchSpec::exact(0, 7), rb2).unwrap();
+        assert_eq!(i2.len, big_len);
+        ep0.wait_send(r1).unwrap();
+        ep0.wait_send(r2).unwrap();
+        ep1.release(rb);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let (_f, mut eps) = world(1, MsgConfig::default());
+        let ep = &mut eps[0];
+        let mut b = ep.alloc(11).unwrap();
+        b.fill_from(b"to myself!!");
+        let sreq = ep.isend(0, 0, b).unwrap();
+        let rb = ep.alloc(16).unwrap();
+        let (rb, info) = ep.recv(MatchSpec::exact(0, 0), rb).unwrap();
+        assert_eq!(info.len, 11);
+        assert_eq!(rb.as_slice(), b"to myself!!");
+        ep.wait_send(sreq).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_reported_not_corrupted() {
+        let (_f, mut eps) = world(2, MsgConfig::with_protocol(Protocol::Rendezvous));
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let mut sbuf = ep0.alloc(1024).unwrap();
+        sbuf.fill_from(&payload(1024));
+        let sreq = ep0.isend(1, 1, sbuf).unwrap();
+        let small = ep1.alloc(16).unwrap();
+        let req = ep1.irecv(MatchSpec::exact(0, 1), small).unwrap();
+        let err = ep1.wait_recv(req).unwrap_err();
+        assert!(matches!(err, MsgError::Truncated { incoming: 1024, .. }));
+        // The sender still completes (FIN is sent on refusal).
+        ep0.wait_send(sreq).unwrap();
+    }
+
+    #[test]
+    fn many_outstanding_sends_backpressure_cleanly() {
+        let (_f, mut eps) = world(2, MsgConfig::with_protocol(Protocol::Eager));
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        // More sends than bounce buffers + tx slots: the sender must
+        // recycle via progress without deadlocking.
+        let n = 500u64;
+        let mut reqs = vec![];
+        for i in 0..n {
+            let mut b = ep0.alloc(64).unwrap();
+            b.fill_from(&i.to_le_bytes());
+            // Receiver drains as we go (single-threaded interleave).
+            if i % 7 == 0 {
+                ep1.progress();
+            }
+            reqs.push(ep0.isend(1, 1, b).unwrap());
+        }
+        for i in 0..n {
+            let rb = ep1.alloc(64).unwrap();
+            let (rb, info) = ep1.recv(MatchSpec::exact(0, 1), rb).unwrap();
+            assert_eq!(info.len, 8);
+            assert_eq!(&rb.as_slice()[..8], &i.to_le_bytes());
+            ep1.release(rb);
+        }
+        for r in reqs {
+            let b = ep0.wait_send(r).unwrap();
+            ep0.release(b);
+        }
+    }
+
+    #[test]
+    fn probe_sees_pending_message() {
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        assert_eq!(ep1.probe(MatchSpec::any()), None);
+        let mut b = ep0.alloc(4).unwrap();
+        b.fill_from(b"peek");
+        let sreq = ep0.isend(1, 77, b).unwrap();
+        assert_eq!(ep1.probe(MatchSpec::any()), Some((0, 77)));
+        assert_eq!(ep1.probe(MatchSpec::exact(0, 78)), None);
+        let rb = ep1.alloc(8).unwrap();
+        ep1.recv(MatchSpec::exact(0, 77), rb).unwrap();
+        ep0.wait_send(sreq).unwrap();
+    }
+
+    #[test]
+    fn send_slice_and_recv_vec_convenience() {
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        ep0.send_slice(1, 9, b"easy mode").unwrap();
+        let (v, info) = ep1.recv_vec(MatchSpec::exact(0, 9), 64).unwrap();
+        assert_eq!(v, b"easy mode");
+        assert_eq!(info.tag, 9);
+    }
+
+    #[test]
+    fn registration_cache_reuses_buffers() {
+        let (_f, mut eps) = world(1, MsgConfig::default());
+        let ep = &mut eps[0];
+        let b = ep.alloc(4096).unwrap();
+        ep.release(b);
+        let b2 = ep.alloc(4000).unwrap();
+        ep.release(b2);
+        assert_eq!(ep.pool_stats().hits, 1);
+        assert_eq!(ep.pool_stats().misses, 1);
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let mut b = ep0.alloc(100).unwrap();
+        b.fill_from(&payload(100));
+        let s = ep0.isend(1, 1, b).unwrap();
+        let rb = ep1.alloc(100).unwrap();
+        ep1.recv(MatchSpec::any(), rb).unwrap();
+        ep0.wait_send(s).unwrap();
+        assert_eq!(ep0.stats().msgs_sent, 1);
+        assert_eq!(ep0.stats().bytes_sent, 100);
+        assert_eq!(ep1.stats().msgs_received, 1);
+        assert_eq!(ep1.stats().bytes_received, 100);
+    }
+
+    #[test]
+    fn eager_rejects_oversized_payload() {
+        let (_f, mut eps) = world(2, MsgConfig::with_protocol(Protocol::Eager));
+        let ep0 = &mut eps[0];
+        let b = ep0.alloc(1 << 20).unwrap();
+        let err = ep0.isend(1, 1, b).unwrap_err();
+        assert!(matches!(err, MsgError::TooLargeForEager { .. }));
+    }
+
+    #[test]
+    fn wait_on_unknown_request_errors() {
+        let (_f, mut eps) = world(1, MsgConfig::default());
+        let ep = &mut eps[0];
+        assert!(matches!(
+            ep.wait_send(9999),
+            Err(MsgError::UnknownRequest(9999))
+        ));
+        assert!(matches!(
+            ep.wait_recv(9999),
+            Err(MsgError::UnknownRequest(9999))
+        ));
+    }
+
+    #[test]
+    fn waitall_and_waitany_complete_request_sets() {
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        // Post three receives, satisfy them out of order.
+        let reqs: Vec<_> = (0..3u64)
+            .map(|tag| {
+                let b = ep1.alloc(8).unwrap();
+                ep1.irecv(MatchSpec::exact(0, tag), b).unwrap()
+            })
+            .collect();
+        let mut sends = Vec::new();
+        for tag in [2u64, 0, 1] {
+            let mut b = ep0.alloc(8).unwrap();
+            b.fill_from(&tag.to_le_bytes());
+            sends.push(ep0.isend(1, tag, b).unwrap());
+        }
+        // waitany picks the first completed (all are complete; index 0).
+        let (idx, buf, info) = ep1
+            .waitany_recv(&reqs, std::time::Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(buf.as_slice().try_into().unwrap()), info.tag);
+        let mut remaining = reqs;
+        remaining.swap_remove(idx);
+        let done = ep1.waitall_recvs(remaining).unwrap();
+        assert_eq!(done.len(), 2);
+        for (b, i) in &done {
+            assert_eq!(u64::from_le_bytes(b.as_slice().try_into().unwrap()), i.tag);
+        }
+        let bufs = ep0.waitall_sends(sends).unwrap();
+        assert_eq!(bufs.len(), 3);
+    }
+
+    #[test]
+    fn interleaved_sockets_messages_reassemble_independently() {
+        // Two multi-segment sockets messages on different tags from the
+        // same sender must reassemble without cross-talk even though
+        // their segments interleave on the wire.
+        let cfg = MsgConfig::with_protocol(Protocol::Sockets);
+        let (_f, mut eps) = world(2, cfg);
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let a = payload(10_000);
+        let b: Vec<u8> = payload(7_000).iter().map(|x| x ^ 0xff).collect();
+        let mut ba = ep0.alloc(a.len()).unwrap();
+        ba.fill_from(&a);
+        let mut bb = ep0.alloc(b.len()).unwrap();
+        bb.fill_from(&b);
+        let r1 = ep0.isend(1, 1, ba).unwrap();
+        let r2 = ep0.isend(1, 2, bb).unwrap();
+        // Receive in reverse tag order.
+        let rb = ep1.alloc(b.len()).unwrap();
+        let (rb, info) = ep1.recv(MatchSpec::exact(0, 2), rb).unwrap();
+        assert_eq!(info.len, b.len());
+        assert_eq!(rb.as_slice(), &b[..]);
+        let ra = ep1.alloc(a.len()).unwrap();
+        let (ra, info) = ep1.recv(MatchSpec::exact(0, 1), ra).unwrap();
+        assert_eq!(info.len, a.len());
+        assert_eq!(ra.as_slice(), &a[..]);
+        ep0.wait_send(r1).unwrap();
+        ep0.wait_send(r2).unwrap();
+        ep1.release(ra);
+        ep1.release(rb);
+    }
+
+    #[test]
+    fn srq_mode_runs_all_protocols() {
+        for proto in [Protocol::Eager, Protocol::Rendezvous, Protocol::Sockets] {
+            let mut cfg = MsgConfig::with_protocol(proto);
+            cfg.use_srq = true;
+            cfg.srq_bufs = 32;
+            for len in [0usize, 100, 8 * 1024, 100_000] {
+                if proto == Protocol::Eager && len > 16 * 1024 {
+                    continue;
+                }
+                roundtrip_with(cfg, len);
+            }
+        }
+    }
+
+    #[test]
+    fn srq_backpressure_survives_a_flood() {
+        // Far more in-flight messages than pooled buffers: parked
+        // inbounds must drain as the receiver reposts.
+        let mut cfg = MsgConfig::with_protocol(Protocol::Eager);
+        cfg.use_srq = true;
+        cfg.srq_bufs = 4;
+        cfg.send_pool_size = 128;
+        let (_f, mut eps) = world(2, cfg);
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let n = 100u64;
+        let mut reqs = vec![];
+        for i in 0..n {
+            let mut b = ep0.alloc(8).unwrap();
+            b.fill_from(&i.to_le_bytes());
+            reqs.push(ep0.isend(1, 1, b).unwrap());
+        }
+        for i in 0..n {
+            let rb = ep1.alloc(8).unwrap();
+            let (rb, _) = ep1.recv(MatchSpec::exact(0, 1), rb).unwrap();
+            assert_eq!(u64::from_le_bytes(rb.as_slice().try_into().unwrap()), i);
+            ep1.release(rb);
+        }
+        for r in reqs {
+            let b = ep0.wait_send(r).unwrap();
+            ep0.release(b);
+        }
+    }
+
+    #[test]
+    fn srq_cuts_receive_memory_at_scale() {
+        // The scalability claim, measured: 12 ranks all-to-all with
+        // per-peer windows vs one shared pool.
+        let per_peer_cfg = MsgConfig::default();
+        let srq_cfg = MsgConfig {
+            use_srq: true,
+            srq_bufs: 32,
+            ..MsgConfig::default()
+        };
+        let p = 12;
+        let run = |cfg: MsgConfig| {
+            let fabric = Fabric::new();
+            let _eps = Endpoint::create_world(&fabric, p, cfg).unwrap();
+            fabric.stats().registered_bytes
+        };
+        let per_peer = run(per_peer_cfg);
+        let srq = run(srq_cfg);
+        // Per-peer: p * p * 16 bufs; SRQ: p * 32 bufs (plus identical
+        // send pools in both). Expect a large reduction.
+        assert!(
+            srq < per_peer / 2,
+            "SRQ {srq} bytes should be far below per-peer {per_peer} bytes"
+        );
+    }
+
+    #[test]
+    fn failed_peer_is_detected_and_pending_work_errors_out() {
+        let (_f, mut eps) = world(3, MsgConfig::with_protocol(Protocol::Rendezvous));
+        let mut ep2 = eps.pop().unwrap();
+        let mut ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        // ep0 starts a rendezvous toward ep1 (parks at AwaitFin since
+        // ep1 never posts a receive) and a receive from ep1.
+        let mut sbuf = ep0.alloc(100_000).unwrap();
+        sbuf.fill_from(&payload(100_000));
+        let sreq = ep0.isend(1, 1, sbuf).unwrap();
+        let rbuf = ep0.alloc(64).unwrap();
+        let rreq = ep0.irecv(MatchSpec::exact(1, 2), rbuf).unwrap();
+        assert!(ep0.peer_alive(1));
+        // ep1 dies.
+        ep1.fail();
+        assert!(!ep0.peer_alive(1));
+        let dead = ep0.detect_failures();
+        assert_eq!(dead, vec![1]);
+        // Pending work toward the corpse errors out.
+        assert!(matches!(ep0.wait_send(sreq), Err(MsgError::PeerFailed(1))));
+        assert!(matches!(ep0.wait_recv(rreq), Err(MsgError::PeerFailed(1))));
+        // Future operations fail fast.
+        let b = ep0.alloc(8).unwrap();
+        assert!(matches!(ep0.isend(1, 1, b), Err(MsgError::PeerFailed(1))));
+        // The dead endpoint refuses work.
+        let b = ep1.alloc(8).unwrap();
+        assert!(matches!(ep1.isend(0, 1, b), Err(MsgError::EndpointDown)));
+        // Traffic between survivors is unaffected.
+        let mut b = ep0.alloc(5).unwrap();
+        b.fill_from(b"alive");
+        let s = ep0.isend(2, 9, b).unwrap();
+        let rb = ep2.alloc(8).unwrap();
+        let (rb, info) = ep2.recv(MatchSpec::exact(0, 9), rb).unwrap();
+        assert_eq!(info.len, 5);
+        assert_eq!(rb.as_slice(), b"alive");
+        ep0.wait_send(s).unwrap();
+    }
+
+    #[test]
+    fn late_fin_after_manual_failure_mark_keeps_request_reapable() {
+        // A rendezvous send is in flight (AwaitFin); the app marks the
+        // peer failed (e.g. a false-positive detector); the peer is in
+        // fact alive and its FIN arrives late. The request must still
+        // reap as PeerFailed — not vanish into UnknownRequest.
+        let (_f, mut eps) = world(2, MsgConfig::with_protocol(Protocol::Rendezvous));
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let mut sbuf = ep0.alloc(100_000).unwrap();
+        sbuf.fill_from(&payload(100_000));
+        let sreq = ep0.isend(1, 1, sbuf).unwrap();
+        ep0.mark_peer_failed(1);
+        // The live peer receives the RTS and completes the transfer,
+        // which lands a FIN in ep0's completion queue.
+        let rbuf = ep1.alloc(100_000).unwrap();
+        let (rbuf, info) = ep1.recv(MatchSpec::exact(0, 1), rbuf).unwrap();
+        assert_eq!(info.len, 100_000);
+        ep1.release(rbuf);
+        // Reaping must report the failure, not lose the request.
+        assert!(matches!(ep0.wait_send(sreq), Err(MsgError::PeerFailed(1))));
+    }
+
+    #[test]
+    fn failure_cancels_only_receives_bound_to_the_corpse() {
+        let (_f, mut eps) = world(3, MsgConfig::default());
+        let mut ep2 = eps.pop().unwrap();
+        let mut ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        // Wildcard recv and a recv from the (future) corpse.
+        let wild = ep0.alloc(16).unwrap();
+        let wild_req = ep0
+            .irecv(MatchSpec { src: None, tag: Some(7) }, wild)
+            .unwrap();
+        let bound = ep0.alloc(16).unwrap();
+        let bound_req = ep0.irecv(MatchSpec::exact(1, 7), bound).unwrap();
+        ep1.fail();
+        ep0.detect_failures();
+        assert!(matches!(
+            ep0.wait_recv(bound_req),
+            Err(MsgError::PeerFailed(1))
+        ));
+        // The wildcard receive is still live; a survivor satisfies it.
+        let mut b = ep2.alloc(4).unwrap();
+        b.fill_from(b"ping");
+        let s = ep2.isend(0, 7, b).unwrap();
+        let (rb, info) = ep0.wait_recv(wild_req).unwrap();
+        assert_eq!(info.src, 2);
+        assert_eq!(rb.as_slice(), b"ping");
+        ep2.wait_send(s).unwrap();
+    }
+
+    #[test]
+    fn gather_eager_sends_noncontiguous_without_copies() {
+        use crate::datatype::Layout;
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        // A strided layout: 4 blocks of 3 bytes every 8 bytes.
+        let layout = Layout::Strided {
+            offset: 1,
+            count: 4,
+            block_len: 3,
+            stride: 8,
+        };
+        let mut buf = ep0.alloc(64).unwrap();
+        buf.set_len(40);
+        for (i, b) in buf.as_mut_slice().iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let expect = layout.pack(buf.as_slice());
+        let before = ep0.stats().host_copies;
+        let sreq = ep0.isend_layout(1, 5, buf, &layout).unwrap();
+        // The gather path adds no sender-side host copies.
+        assert_eq!(ep0.stats().host_copies, before);
+        let rb = ep1.alloc(64).unwrap();
+        let (rb, info) = ep1.recv(MatchSpec::exact(0, 5), rb).unwrap();
+        assert_eq!(info.len, 12);
+        assert_eq!(rb.as_slice(), &expect[..]);
+        let sbuf = ep0.wait_send(sreq).unwrap();
+        assert_eq!(sbuf.len(), 40, "original buffer returned");
+        ep0.release(sbuf);
+        ep1.release(rb);
+    }
+
+    #[test]
+    fn layout_send_falls_back_to_rendezvous_above_eager_limit() {
+        use crate::datatype::Layout;
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let n = 200_000usize;
+        let layout = Layout::Contiguous { len: n };
+        let mut buf = ep0.alloc(n).unwrap();
+        buf.fill_from(&payload(n));
+        let expect = buf.to_vec();
+        let sreq = ep0.isend_layout(1, 6, buf, &layout).unwrap();
+        let rb = ep1.alloc(n).unwrap();
+        let (rb, info) = ep1.recv(MatchSpec::exact(0, 6), rb).unwrap();
+        assert_eq!(info.len, n);
+        assert_eq!(rb.as_slice(), &expect[..]);
+        let orig = ep0.wait_send(sreq).unwrap();
+        assert_eq!(orig.len(), n, "caller gets the original buffer back");
+        assert_eq!(ep0.stats().rendezvous_sends, 1);
+        ep0.release(orig);
+        ep1.release(rb);
+    }
+
+    #[test]
+    fn layout_send_rejects_out_of_bounds_layout() {
+        use crate::datatype::Layout;
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let ep0 = &mut eps[0];
+        let buf = ep0.alloc(16).unwrap();
+        let layout = Layout::Strided {
+            offset: 0,
+            count: 4,
+            block_len: 8,
+            stride: 8,
+        };
+        let err = ep0.isend_layout(1, 1, buf, &layout).unwrap_err();
+        assert!(matches!(err, MsgError::BadConfig(_)));
+    }
+
+    #[test]
+    fn cross_thread_ping_pong_all_protocols() {
+        let mut write_mode = MsgConfig::with_protocol(Protocol::Rendezvous);
+        write_mode.rendezvous_mode = RendezvousMode::Write;
+        let configs = [
+            MsgConfig::with_protocol(Protocol::Eager),
+            MsgConfig::with_protocol(Protocol::Rendezvous),
+            write_mode,
+            MsgConfig::with_protocol(Protocol::Sockets),
+        ];
+        for cfg in configs {
+            let proto = cfg.protocol;
+            let (_f, mut eps) = world(2, cfg);
+            let ep1 = eps.pop().unwrap();
+            let mut ep0 = eps.pop().unwrap();
+            let iters = 50;
+            let len = 2048;
+            let h = std::thread::spawn(move || {
+                let mut ep1 = ep1;
+                for _ in 0..iters {
+                    let rb = ep1.alloc(len).unwrap();
+                    let (rb, info) = ep1.recv(MatchSpec::exact(0, 1), rb).unwrap();
+                    let mut reply = ep1.alloc(info.len).unwrap();
+                    reply.fill_from(rb.as_slice());
+                    let reply = ep1.send(0, 2, reply).unwrap();
+                    ep1.release(reply);
+                    ep1.release(rb);
+                }
+            });
+            let data = payload(len);
+            for _ in 0..iters {
+                let mut b = ep0.alloc(len).unwrap();
+                b.fill_from(&data);
+                let b = ep0.send(1, 1, b).unwrap();
+                ep0.release(b);
+                let rb = ep0.alloc(len).unwrap();
+                let (rb, info) = ep0.recv(MatchSpec::exact(1, 2), rb).unwrap();
+                assert_eq!(info.len, len);
+                assert_eq!(rb.as_slice(), &data[..], "echo mismatch under {proto:?}");
+                ep0.release(rb);
+            }
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Completion queues.
+//!
+//! Work completes asynchronously; the application learns about it by
+//! polling (latency-optimal, burns a core) or blocking (frees the core,
+//! pays a wakeup) on a [`CompletionQueue`]. Both modes are exercised by
+//! the A3 ablation.
+
+use crate::error::{NicError, Result};
+use crate::types::QpNum;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Completion status, mirroring the interesting subset of IB statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqeStatus {
+    Success,
+    /// Local SGE exceeded its memory region.
+    LocalProtectionError,
+    /// The remote rkey/bounds check failed.
+    RemoteAccessError,
+    /// The work request was flushed because the QP entered the error
+    /// state before it executed.
+    Flushed,
+}
+
+/// What kind of work completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqeOpcode {
+    Send,
+    Recv,
+    /// A receive consumed by an RDMA-write-with-immediate.
+    RecvRdmaImm,
+    RdmaWrite,
+    RdmaRead,
+    Atomic,
+}
+
+/// A completion-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cqe {
+    pub wr_id: u64,
+    pub status: CqeStatus,
+    pub opcode: CqeOpcode,
+    /// Payload bytes moved (valid on success).
+    pub byte_len: usize,
+    /// Immediate data, if the sender attached any.
+    pub imm: Option<u32>,
+    /// The local QP this completion belongs to.
+    pub qp: QpNum,
+}
+
+struct CqInner {
+    queue: Mutex<VecDeque<Cqe>>,
+    cond: Condvar,
+    capacity: usize,
+    overflowed: Mutex<bool>,
+    /// Number of completions ever delivered (stats / ablations).
+    delivered: AtomicU64,
+}
+
+/// A completion queue handle. Cloning shares the queue.
+#[derive(Clone)]
+pub struct CompletionQueue {
+    inner: Arc<CqInner>,
+}
+
+impl CompletionQueue {
+    /// Create a CQ holding at most `capacity` outstanding completions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CQ capacity must be nonzero");
+        CompletionQueue {
+            inner: Arc::new(CqInner {
+                queue: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+                cond: Condvar::new(),
+                capacity,
+                overflowed: Mutex::new(false),
+                delivered: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Push a completion (NIC side). Overflow latches an error that
+    /// surfaces on the next poll, as real hardware raises a fatal event.
+    pub(crate) fn push(&self, cqe: Cqe) {
+        let mut q = self.inner.queue.lock();
+        if q.len() >= self.inner.capacity {
+            *self.inner.overflowed.lock() = true;
+            return;
+        }
+        q.push_back(cqe);
+        self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.inner.cond.notify_all();
+    }
+
+    fn check_overflow(&self) -> Result<()> {
+        if *self.inner.overflowed.lock() {
+            Err(NicError::CqOverflow)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Non-blocking poll of up to `max` completions.
+    pub fn poll(&self, max: usize) -> Result<Vec<Cqe>> {
+        self.check_overflow()?;
+        let mut q = self.inner.queue.lock();
+        let n = max.min(q.len());
+        Ok(q.drain(..n).collect())
+    }
+
+    /// Non-blocking poll of a single completion.
+    pub fn poll_one(&self) -> Result<Option<Cqe>> {
+        self.check_overflow()?;
+        Ok(self.inner.queue.lock().pop_front())
+    }
+
+    /// Busy-poll until a completion arrives or `timeout` elapses.
+    /// This is the latency-optimal mode.
+    pub fn spin_one(&self, timeout: Duration) -> Result<Cqe> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(c) = self.poll_one()? {
+                return Ok(c);
+            }
+            if Instant::now() >= deadline {
+                return Err(NicError::Timeout);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Block on a condition variable until a completion arrives or
+    /// `timeout` elapses. This is the core-friendly mode.
+    pub fn wait_one(&self, timeout: Duration) -> Result<Cqe> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.queue.lock();
+        loop {
+            self.check_overflow_locked()?;
+            if let Some(c) = q.pop_front() {
+                return Ok(c);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NicError::Timeout);
+            }
+            if self
+                .inner
+                .cond
+                .wait_until(&mut q, deadline)
+                .timed_out()
+            {
+                return match q.pop_front() {
+                    Some(c) => Ok(c),
+                    None => Err(NicError::Timeout),
+                };
+            }
+        }
+    }
+
+    fn check_overflow_locked(&self) -> Result<()> {
+        if *self.inner.overflowed.lock() {
+            Err(NicError::CqOverflow)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Completions currently waiting to be reaped.
+    pub fn depth(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Total completions ever delivered to this CQ.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for CompletionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionQueue")
+            .field("depth", &self.depth())
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn cqe(wr_id: u64) -> Cqe {
+        Cqe {
+            wr_id,
+            status: CqeStatus::Success,
+            opcode: CqeOpcode::Send,
+            byte_len: 0,
+            imm: None,
+            qp: QpNum(0),
+        }
+    }
+
+    #[test]
+    fn poll_drains_fifo() {
+        let cq = CompletionQueue::new(16);
+        for i in 0..5 {
+            cq.push(cqe(i));
+        }
+        let got = cq.poll(3).unwrap();
+        assert_eq!(got.iter().map(|c| c.wr_id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(cq.depth(), 2);
+        assert_eq!(cq.poll(10).unwrap().len(), 2);
+        assert!(cq.poll_one().unwrap().is_none());
+        assert_eq!(cq.delivered(), 5);
+    }
+
+    #[test]
+    fn overflow_latches_error() {
+        let cq = CompletionQueue::new(2);
+        cq.push(cqe(0));
+        cq.push(cqe(1));
+        cq.push(cqe(2)); // lost
+        assert_eq!(cq.poll(10), Err(NicError::CqOverflow));
+    }
+
+    #[test]
+    fn wait_one_wakes_on_push() {
+        let cq = CompletionQueue::new(4);
+        let cq2 = cq.clone();
+        let h = thread::spawn(move || cq2.wait_one(Duration::from_secs(5)).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        cq.push(cqe(77));
+        assert_eq!(h.join().unwrap().wr_id, 77);
+    }
+
+    #[test]
+    fn wait_one_times_out() {
+        let cq = CompletionQueue::new(4);
+        let r = cq.wait_one(Duration::from_millis(10));
+        assert_eq!(r, Err(NicError::Timeout));
+    }
+
+    #[test]
+    fn spin_one_sees_completion_from_another_thread() {
+        let cq = CompletionQueue::new(4);
+        let cq2 = cq.clone();
+        let h = thread::spawn(move || cq2.spin_one(Duration::from_secs(5)).unwrap());
+        thread::sleep(Duration::from_millis(5));
+        cq.push(cqe(5));
+        assert_eq!(h.join().unwrap().wr_id, 5);
+    }
+
+    #[test]
+    fn spin_one_times_out() {
+        let cq = CompletionQueue::new(4);
+        assert_eq!(
+            cq.spin_one(Duration::from_millis(5)),
+            Err(NicError::Timeout)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        CompletionQueue::new(0);
+    }
+}

@@ -1,0 +1,809 @@
+//! The shared-memory fabric: NIC creation, out-of-band connection setup,
+//! rkey resolution, and fabric-wide DMA accounting.
+//!
+//! One [`Fabric`] represents a cluster's interconnect. Each node owns a
+//! [`Nic`], through which it allocates protection domains, registers
+//! memory, and creates queue pairs. `Fabric::connect` is the out-of-band
+//! channel real deployments implement over Ethernet or a job launcher.
+//!
+//! The DMA counters are how the zero-copy experiments are *verified*
+//! rather than merely asserted: tests check that the rendezvous path
+//! moves each payload byte exactly once while the eager and sockets
+//! paths move it two and four times respectively.
+
+use crate::cq::CompletionQueue;
+use crate::error::{NicError, Result};
+use crate::mr::{MemoryRegion, MrInner, ProtectionDomain};
+use crate::qp::{QpInner, QpState, QueuePair, RecvState};
+use crate::srq::SharedReceiveQueue;
+use crate::types::{NodeId, PdId, QpNum, Rkey};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Fabric-wide data-movement statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FabricStats {
+    /// Individual DMA operations executed.
+    pub dma_ops: u64,
+    /// Payload bytes moved by DMA.
+    pub dma_bytes: u64,
+    /// Memory registrations performed across all NICs.
+    pub registrations: u64,
+    /// Bytes pinned by those registrations.
+    pub registered_bytes: u64,
+}
+
+pub(crate) struct NicInner {
+    node: NodeId,
+    next_pd: AtomicU32,
+    next_qp: AtomicU32,
+    mrs: RwLock<HashMap<Rkey, Weak<MrInner>>>,
+    qps: RwLock<HashMap<QpNum, Arc<QpInner>>>,
+}
+
+pub(crate) struct FabricInner {
+    nodes: RwLock<HashMap<NodeId, Arc<NicInner>>>,
+    next_node: AtomicU32,
+    dma_ops: AtomicU64,
+    dma_bytes: AtomicU64,
+    registrations: AtomicU64,
+    registered_bytes: AtomicU64,
+}
+
+impl FabricInner {
+    pub(crate) fn lookup_qp(&self, node: NodeId, qp: QpNum) -> Result<Arc<QpInner>> {
+        let nodes = self.nodes.read();
+        let nic = nodes.get(&node).ok_or(NicError::UnknownNode(node))?;
+        let qps = nic.qps.read();
+        qps.get(&qp).cloned().ok_or(NicError::NotConnected(qp))
+    }
+
+    pub(crate) fn lookup_mr(&self, node: NodeId, rkey: Rkey) -> Result<Arc<MrInner>> {
+        let nodes = self.nodes.read();
+        let nic = nodes.get(&node).ok_or(NicError::UnknownNode(node))?;
+        let mrs = nic.mrs.read();
+        mrs.get(&rkey)
+            .and_then(Weak::upgrade)
+            .ok_or(NicError::BadRkey(rkey))
+    }
+
+    pub(crate) fn count_dma(&self, bytes: u64) {
+        self.dma_ops.fetch_add(1, Ordering::Relaxed);
+        self.dma_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// The cluster fabric handle. Cloning shares the fabric.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fabric {
+    pub fn new() -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                nodes: RwLock::new(HashMap::new()),
+                next_node: AtomicU32::new(0),
+                dma_ops: AtomicU64::new(0),
+                dma_bytes: AtomicU64::new(0),
+                registrations: AtomicU64::new(0),
+                registered_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Attach a new NIC (node) to the fabric, assigning the next rank.
+    pub fn create_nic(&self) -> Nic {
+        let id = NodeId(self.inner.next_node.fetch_add(1, Ordering::Relaxed));
+        let nic = Arc::new(NicInner {
+            node: id,
+            next_pd: AtomicU32::new(0),
+            next_qp: AtomicU32::new(0),
+            mrs: RwLock::new(HashMap::new()),
+            qps: RwLock::new(HashMap::new()),
+        });
+        self.inner.nodes.write().insert(id, nic.clone());
+        Nic {
+            inner: nic,
+            fabric: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Connect two queue pairs (the out-of-band exchange). Both must be
+    /// in `Init`; both end up in `Rts`.
+    pub fn connect(&self, a: &QueuePair, b: &QueuePair) -> Result<()> {
+        for qp in [a, b] {
+            let st = qp.state();
+            if st != QpState::Init {
+                return Err(NicError::InvalidQpState {
+                    qp: qp.num(),
+                    state: match st {
+                        QpState::Reset => "Reset",
+                        QpState::Init => "Init",
+                        QpState::Rts => "Rts",
+                        QpState::Error => "Error",
+                    },
+                });
+            }
+        }
+        *a.inner.peer.lock() = Some((b.node(), b.num()));
+        *b.inner.peer.lock() = Some((a.node(), a.num()));
+        *a.inner.state.lock() = QpState::Rts;
+        *b.inner.state.lock() = QpState::Rts;
+        Ok(())
+    }
+
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            dma_ops: self.inner.dma_ops.load(Ordering::Relaxed),
+            dma_bytes: self.inner.dma_bytes.load(Ordering::Relaxed),
+            registrations: self.inner.registrations.load(Ordering::Relaxed),
+            registered_bytes: self.inner.registered_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.read().len()
+    }
+}
+
+/// A node's NIC handle.
+#[derive(Clone)]
+pub struct Nic {
+    inner: Arc<NicInner>,
+    fabric: Weak<FabricInner>,
+}
+
+impl Nic {
+    pub fn node_id(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Allocate a protection domain.
+    pub fn alloc_pd(&self) -> ProtectionDomain {
+        ProtectionDomain {
+            node: self.inner.node,
+            id: PdId(self.inner.next_pd.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+
+    /// Register (allocate + pin) `len` bytes of DMA-able memory in `pd`.
+    pub fn register(&self, pd: ProtectionDomain, len: usize) -> Result<MemoryRegion> {
+        if pd.node != self.inner.node {
+            return Err(NicError::PdMismatch);
+        }
+        let fabric = self.fabric.upgrade().ok_or(NicError::FabricDown)?;
+        let mr = MemoryRegion::allocate(pd, len);
+        self.inner
+            .mrs
+            .write()
+            .insert(mr.rkey(), Arc::downgrade(&mr.inner));
+        fabric.registrations.fetch_add(1, Ordering::Relaxed);
+        fabric
+            .registered_bytes
+            .fetch_add(len as u64, Ordering::Relaxed);
+        Ok(mr)
+    }
+
+    /// Register a region and copy `data` into it.
+    pub fn register_from(&self, pd: ProtectionDomain, data: &[u8]) -> Result<MemoryRegion> {
+        let mr = self.register(pd, data.len())?;
+        mr.write_at(0, data)?;
+        Ok(mr)
+    }
+
+    /// Create a queue pair in the `Init` state.
+    pub fn create_qp(
+        &self,
+        pd: ProtectionDomain,
+        send_cq: &CompletionQueue,
+        recv_cq: &CompletionQueue,
+    ) -> Result<QueuePair> {
+        self.create_qp_inner(pd, send_cq, recv_cq, None)
+    }
+
+    /// Create a queue pair whose receives come from a shared receive
+    /// queue instead of a per-QP posted list.
+    pub fn create_qp_with_srq(
+        &self,
+        pd: ProtectionDomain,
+        send_cq: &CompletionQueue,
+        recv_cq: &CompletionQueue,
+        srq: &SharedReceiveQueue,
+    ) -> Result<QueuePair> {
+        self.create_qp_inner(pd, send_cq, recv_cq, Some(srq.clone()))
+    }
+
+    /// Create a shared receive queue on this NIC.
+    pub fn create_srq(&self) -> SharedReceiveQueue {
+        SharedReceiveQueue::new(self.fabric.clone())
+    }
+
+    fn create_qp_inner(
+        &self,
+        pd: ProtectionDomain,
+        send_cq: &CompletionQueue,
+        recv_cq: &CompletionQueue,
+        srq: Option<SharedReceiveQueue>,
+    ) -> Result<QueuePair> {
+        if pd.node != self.inner.node {
+            return Err(NicError::PdMismatch);
+        }
+        let num = QpNum(self.inner.next_qp.fetch_add(1, Ordering::Relaxed));
+        let qp = Arc::new(QpInner {
+            num,
+            node: self.inner.node,
+            pd,
+            sq_cq: send_cq.clone(),
+            rq_cq: recv_cq.clone(),
+            state: Mutex::new(QpState::Init),
+            peer: Mutex::new(None),
+            recv: Mutex::new(RecvState {
+                posted: VecDeque::new(),
+                inbound: VecDeque::new(),
+            }),
+            srq,
+            fabric: self.fabric.clone(),
+        });
+        self.inner.qps.write().insert(num, qp.clone());
+        Ok(QueuePair { inner: qp })
+    }
+
+    /// Drop the NIC's record of a memory region, invalidating its rkey
+    /// for future remote access (existing handles keep the memory alive).
+    pub fn deregister(&self, mr: &MemoryRegion) {
+        self.inner.mrs.write().remove(&mr.rkey());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::{CqeOpcode, CqeStatus};
+    use crate::types::RemoteAddr;
+    use crate::wr::{RecvWr, SendWr, Sge};
+    use std::time::Duration;
+
+    struct Pair {
+        fabric: Fabric,
+        a: QueuePair,
+        b: QueuePair,
+        nic_a: Nic,
+        nic_b: Nic,
+        pd_a: ProtectionDomain,
+        pd_b: ProtectionDomain,
+        cq_a: CompletionQueue,
+        cq_b: CompletionQueue,
+    }
+
+    fn pair() -> Pair {
+        let fabric = Fabric::new();
+        let nic_a = fabric.create_nic();
+        let nic_b = fabric.create_nic();
+        let pd_a = nic_a.alloc_pd();
+        let pd_b = nic_b.alloc_pd();
+        let cq_a = CompletionQueue::new(128);
+        let cq_b = CompletionQueue::new(128);
+        let a = nic_a.create_qp(pd_a, &cq_a, &cq_a).unwrap();
+        let b = nic_b.create_qp(pd_b, &cq_b, &cq_b).unwrap();
+        fabric.connect(&a, &b).unwrap();
+        Pair {
+            fabric,
+            a,
+            b,
+            nic_a,
+            nic_b,
+            pd_a,
+            pd_b,
+            cq_a,
+            cq_b,
+        }
+    }
+
+    #[test]
+    fn send_recv_moves_data_once() {
+        let p = pair();
+        let src = p.nic_a.register_from(p.pd_a, b"ping!").unwrap();
+        let dst = p.nic_b.register(p.pd_b, 32).unwrap();
+        p.b
+            .post_recv(RecvWr::new(1, vec![Sge::whole(&dst)]))
+            .unwrap();
+        p.a
+            .post_send(SendWr::Send {
+                wr_id: 2,
+                sges: vec![Sge::whole(&src)],
+                imm: Some(99),
+            })
+            .unwrap();
+        let rx = p.cq_b.wait_one(Duration::from_secs(1)).unwrap();
+        assert_eq!(rx.status, CqeStatus::Success);
+        assert_eq!(rx.opcode, CqeOpcode::Recv);
+        assert_eq!(rx.byte_len, 5);
+        assert_eq!(rx.imm, Some(99));
+        assert_eq!(rx.wr_id, 1);
+        let tx = p.cq_a.wait_one(Duration::from_secs(1)).unwrap();
+        assert_eq!(tx.wr_id, 2);
+        assert_eq!(tx.status, CqeStatus::Success);
+        assert_eq!(dst.to_vec(0, 5).unwrap(), b"ping!");
+        let stats = p.fabric.stats();
+        assert_eq!(stats.dma_ops, 1);
+        assert_eq!(stats.dma_bytes, 5);
+    }
+
+    #[test]
+    fn unmatched_send_parks_until_recv_posted() {
+        let p = pair();
+        let src = p.nic_a.register_from(p.pd_a, b"late").unwrap();
+        p.a
+            .post_send(SendWr::Send {
+                wr_id: 1,
+                sges: vec![Sge::whole(&src)],
+                imm: None,
+            })
+            .unwrap();
+        // No completion yet on either side.
+        assert!(p.cq_a.poll_one().unwrap().is_none());
+        assert_eq!(p.b.recv_depths(), (0, 1));
+        let dst = p.nic_b.register(p.pd_b, 8).unwrap();
+        p.b
+            .post_recv(RecvWr::new(2, vec![Sge::whole(&dst)]))
+            .unwrap();
+        assert_eq!(dst.to_vec(0, 4).unwrap(), b"late");
+        assert!(p.cq_a.poll_one().unwrap().is_some());
+        assert!(p.cq_b.poll_one().unwrap().is_some());
+    }
+
+    #[test]
+    fn sends_match_receives_in_order() {
+        let p = pair();
+        let dst1 = p.nic_b.register(p.pd_b, 8).unwrap();
+        let dst2 = p.nic_b.register(p.pd_b, 8).unwrap();
+        p.b
+            .post_recv(RecvWr::new(10, vec![Sge::whole(&dst1)]))
+            .unwrap();
+        p.b
+            .post_recv(RecvWr::new(11, vec![Sge::whole(&dst2)]))
+            .unwrap();
+        for (i, msg) in [b"first..." as &[u8], b"second.."].iter().enumerate() {
+            let src = p.nic_a.register_from(p.pd_a, msg).unwrap();
+            p.a
+                .post_send(SendWr::Send {
+                    wr_id: i as u64,
+                    sges: vec![Sge::whole(&src)],
+                    imm: None,
+                })
+                .unwrap();
+        }
+        let r1 = p.cq_b.poll_one().unwrap().unwrap();
+        let r2 = p.cq_b.poll_one().unwrap().unwrap();
+        assert_eq!(r1.wr_id, 10);
+        assert_eq!(r2.wr_id, 11);
+        assert_eq!(dst1.to_vec(0, 8).unwrap(), b"first...");
+        assert_eq!(dst2.to_vec(0, 8).unwrap(), b"second..");
+    }
+
+    #[test]
+    fn rdma_write_is_one_sided() {
+        let p = pair();
+        let src = p.nic_a.register_from(p.pd_a, b"onesided").unwrap();
+        let dst = p.nic_b.register(p.pd_b, 16).unwrap();
+        p.a
+            .post_send(SendWr::RdmaWrite {
+                wr_id: 5,
+                sges: vec![Sge::whole(&src)],
+                remote: RemoteAddr {
+                    node: p.b.node(),
+                    rkey: dst.rkey(),
+                    offset: 4,
+                },
+            })
+            .unwrap();
+        let c = p.cq_a.wait_one(Duration::from_secs(1)).unwrap();
+        assert_eq!(c.status, CqeStatus::Success);
+        assert_eq!(c.opcode, CqeOpcode::RdmaWrite);
+        // The target CPU saw nothing.
+        assert!(p.cq_b.poll_one().unwrap().is_none());
+        assert_eq!(dst.to_vec(4, 8).unwrap(), b"onesided");
+    }
+
+    #[test]
+    fn rdma_write_imm_notifies_receiver() {
+        let p = pair();
+        let src = p.nic_a.register_from(p.pd_a, b"notify").unwrap();
+        let dst = p.nic_b.register(p.pd_b, 16).unwrap();
+        let note = p.nic_b.register(p.pd_b, 0).unwrap();
+        p.b
+            .post_recv(RecvWr::new(7, vec![Sge::whole(&note)]))
+            .unwrap();
+        p.a
+            .post_send(SendWr::RdmaWriteImm {
+                wr_id: 6,
+                sges: vec![Sge::whole(&src)],
+                remote: RemoteAddr {
+                    node: p.b.node(),
+                    rkey: dst.rkey(),
+                    offset: 0,
+                },
+                imm: 0xfeed,
+            })
+            .unwrap();
+        let rx = p.cq_b.wait_one(Duration::from_secs(1)).unwrap();
+        assert_eq!(rx.opcode, CqeOpcode::RecvRdmaImm);
+        assert_eq!(rx.imm, Some(0xfeed));
+        assert_eq!(rx.byte_len, 6);
+        assert_eq!(dst.to_vec(0, 6).unwrap(), b"notify");
+    }
+
+    #[test]
+    fn rdma_read_pulls_remote_data() {
+        let p = pair();
+        let remote_src = p.nic_b.register_from(p.pd_b, b"pull me!").unwrap();
+        let local_dst = p.nic_a.register(p.pd_a, 8).unwrap();
+        p.a
+            .post_send(SendWr::RdmaRead {
+                wr_id: 9,
+                sges: vec![Sge::whole(&local_dst)],
+                remote: RemoteAddr {
+                    node: p.b.node(),
+                    rkey: remote_src.rkey(),
+                    offset: 0,
+                },
+            })
+            .unwrap();
+        let c = p.cq_a.wait_one(Duration::from_secs(1)).unwrap();
+        assert_eq!(c.status, CqeStatus::Success);
+        assert_eq!(c.opcode, CqeOpcode::RdmaRead);
+        assert_eq!(local_dst.to_vec(0, 8).unwrap(), b"pull me!");
+    }
+
+    #[test]
+    fn bad_rkey_yields_remote_access_error() {
+        let p = pair();
+        let src = p.nic_a.register_from(p.pd_a, b"x").unwrap();
+        p.a
+            .post_send(SendWr::RdmaWrite {
+                wr_id: 1,
+                sges: vec![Sge::whole(&src)],
+                remote: RemoteAddr {
+                    node: p.b.node(),
+                    rkey: Rkey(0xdead),
+                    offset: 0,
+                },
+            })
+            .unwrap();
+        let c = p.cq_a.poll_one().unwrap().unwrap();
+        assert_eq!(c.status, CqeStatus::RemoteAccessError);
+    }
+
+    #[test]
+    fn deregistered_rkey_is_rejected() {
+        let p = pair();
+        let src = p.nic_a.register_from(p.pd_a, b"x").unwrap();
+        let dst = p.nic_b.register(p.pd_b, 8).unwrap();
+        let rkey = dst.rkey();
+        p.nic_b.deregister(&dst);
+        p.a
+            .post_send(SendWr::RdmaWrite {
+                wr_id: 1,
+                sges: vec![Sge::whole(&src)],
+                remote: RemoteAddr {
+                    node: p.b.node(),
+                    rkey,
+                    offset: 0,
+                },
+            })
+            .unwrap();
+        let c = p.cq_a.poll_one().unwrap().unwrap();
+        assert_eq!(c.status, CqeStatus::RemoteAccessError);
+    }
+
+    #[test]
+    fn remote_bounds_violation_fails_cleanly() {
+        let p = pair();
+        let src = p.nic_a.register_from(p.pd_a, &[0u8; 32]).unwrap();
+        let dst = p.nic_b.register(p.pd_b, 16).unwrap();
+        p.a
+            .post_send(SendWr::RdmaWrite {
+                wr_id: 1,
+                sges: vec![Sge::whole(&src)],
+                remote: RemoteAddr {
+                    node: p.b.node(),
+                    rkey: dst.rkey(),
+                    offset: 0,
+                },
+            })
+            .unwrap();
+        let c = p.cq_a.poll_one().unwrap().unwrap();
+        assert_eq!(c.status, CqeStatus::RemoteAccessError);
+        // Nothing was written.
+        assert_eq!(dst.to_vec(0, 16).unwrap(), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn truncating_send_errors_both_sides() {
+        let p = pair();
+        let src = p.nic_a.register_from(p.pd_a, &[7u8; 64]).unwrap();
+        let dst = p.nic_b.register(p.pd_b, 16).unwrap();
+        p.b
+            .post_recv(RecvWr::new(1, vec![Sge::whole(&dst)]))
+            .unwrap();
+        p.a
+            .post_send(SendWr::Send {
+                wr_id: 2,
+                sges: vec![Sge::whole(&src)],
+                imm: None,
+            })
+            .unwrap();
+        assert_eq!(
+            p.cq_b.poll_one().unwrap().unwrap().status,
+            CqeStatus::LocalProtectionError
+        );
+        assert_eq!(
+            p.cq_a.poll_one().unwrap().unwrap().status,
+            CqeStatus::RemoteAccessError
+        );
+    }
+
+    #[test]
+    fn fetch_add_and_compare_swap() {
+        let p = pair();
+        let counter = p.nic_b.register(p.pd_b, 8).unwrap();
+        counter.write_at(0, &5u64.to_le_bytes()).unwrap();
+        let old = p.nic_a.register(p.pd_a, 8).unwrap();
+        let remote = RemoteAddr {
+            node: p.b.node(),
+            rkey: counter.rkey(),
+            offset: 0,
+        };
+        p.a
+            .post_send(SendWr::FetchAdd {
+                wr_id: 1,
+                local: Sge::whole(&old),
+                remote,
+                add: 10,
+            })
+            .unwrap();
+        let c = p.cq_a.poll_one().unwrap().unwrap();
+        assert_eq!(c.status, CqeStatus::Success);
+        assert_eq!(
+            u64::from_le_bytes(old.to_vec(0, 8).unwrap().try_into().unwrap()),
+            5
+        );
+        assert_eq!(
+            u64::from_le_bytes(counter.to_vec(0, 8).unwrap().try_into().unwrap()),
+            15
+        );
+        // CAS success.
+        p.a
+            .post_send(SendWr::CompareSwap {
+                wr_id: 2,
+                local: Sge::whole(&old),
+                remote,
+                expect: 15,
+                swap: 100,
+            })
+            .unwrap();
+        p.cq_a.poll_one().unwrap().unwrap();
+        assert_eq!(
+            u64::from_le_bytes(counter.to_vec(0, 8).unwrap().try_into().unwrap()),
+            100
+        );
+        // CAS failure leaves the value alone but reports the old value.
+        p.a
+            .post_send(SendWr::CompareSwap {
+                wr_id: 3,
+                local: Sge::whole(&old),
+                remote,
+                expect: 15,
+                swap: 0,
+            })
+            .unwrap();
+        p.cq_a.poll_one().unwrap().unwrap();
+        assert_eq!(
+            u64::from_le_bytes(old.to_vec(0, 8).unwrap().try_into().unwrap()),
+            100
+        );
+        assert_eq!(
+            u64::from_le_bytes(counter.to_vec(0, 8).unwrap().try_into().unwrap()),
+            100
+        );
+    }
+
+    #[test]
+    fn atomic_requires_aligned_8_bytes() {
+        let p = pair();
+        let small = p.nic_a.register(p.pd_a, 4).unwrap();
+        let remote = RemoteAddr {
+            node: p.b.node(),
+            rkey: Rkey(1),
+            offset: 0,
+        };
+        let r = p.a.post_send(SendWr::FetchAdd {
+            wr_id: 1,
+            local: Sge::whole(&small),
+            remote,
+            add: 1,
+        });
+        assert_eq!(r, Err(NicError::BadAtomicBuffer));
+        let ok = p.nic_a.register(p.pd_a, 8).unwrap();
+        let misaligned = RemoteAddr {
+            node: p.b.node(),
+            rkey: Rkey(1),
+            offset: 3,
+        };
+        let r = p.a.post_send(SendWr::FetchAdd {
+            wr_id: 1,
+            local: Sge::whole(&ok),
+            remote: misaligned,
+            add: 1,
+        });
+        assert_eq!(r, Err(NicError::BadAtomicBuffer));
+    }
+
+    #[test]
+    fn post_before_connect_is_rejected() {
+        let fabric = Fabric::new();
+        let nic = fabric.create_nic();
+        let pd = nic.alloc_pd();
+        let cq = CompletionQueue::new(8);
+        let qp = nic.create_qp(pd, &cq, &cq).unwrap();
+        let mr = nic.register(pd, 8).unwrap();
+        // Recv pre-posting in Init is allowed.
+        assert!(qp.post_recv(RecvWr::new(1, vec![Sge::whole(&mr)])).is_ok());
+        // Sends are not.
+        let r = qp.post_send(SendWr::Send {
+            wr_id: 1,
+            sges: vec![Sge::whole(&mr)],
+            imm: None,
+        });
+        assert!(matches!(r, Err(NicError::InvalidQpState { .. })));
+    }
+
+    #[test]
+    fn pd_mismatch_rejected_at_post() {
+        let p = pair();
+        let other_pd = p.nic_a.alloc_pd();
+        let mr = p.nic_a.register(other_pd, 8).unwrap();
+        let r = p.a.post_send(SendWr::Send {
+            wr_id: 1,
+            sges: vec![Sge::whole(&mr)],
+            imm: None,
+        });
+        assert_eq!(r, Err(NicError::PdMismatch));
+    }
+
+    #[test]
+    fn error_state_flushes_receives_and_sends() {
+        let p = pair();
+        let dst = p.nic_b.register(p.pd_b, 8).unwrap();
+        p.b
+            .post_recv(RecvWr::new(1, vec![Sge::whole(&dst)]))
+            .unwrap();
+        p.b.set_error();
+        let c = p.cq_b.poll_one().unwrap().unwrap();
+        assert_eq!(c.status, CqeStatus::Flushed);
+        assert_eq!(c.wr_id, 1);
+        // A send toward the dead QP flushes locally.
+        let src = p.nic_a.register_from(p.pd_a, b"x").unwrap();
+        p.a
+            .post_send(SendWr::Send {
+                wr_id: 2,
+                sges: vec![Sge::whole(&src)],
+                imm: None,
+            })
+            .unwrap();
+        let c = p.cq_a.poll_one().unwrap().unwrap();
+        assert_eq!(c.status, CqeStatus::Flushed);
+    }
+
+    #[test]
+    fn scatter_gather_across_multiple_sges() {
+        let p = pair();
+        let a1 = p.nic_a.register_from(p.pd_a, b"abcd").unwrap();
+        let a2 = p.nic_a.register_from(p.pd_a, b"efgh").unwrap();
+        let d1 = p.nic_b.register(p.pd_b, 3).unwrap();
+        let d2 = p.nic_b.register(p.pd_b, 5).unwrap();
+        p.b
+            .post_recv(RecvWr::new(1, vec![Sge::whole(&d1), Sge::whole(&d2)]))
+            .unwrap();
+        p.a
+            .post_send(SendWr::Send {
+                wr_id: 2,
+                sges: vec![Sge::whole(&a1), Sge::whole(&a2)],
+                imm: None,
+            })
+            .unwrap();
+        assert_eq!(d1.to_vec(0, 3).unwrap(), b"abc");
+        assert_eq!(d2.to_vec(0, 5).unwrap(), b"defgh");
+    }
+
+    #[test]
+    fn cross_thread_ping_pong() {
+        let p = pair();
+        let iterations = 200;
+        let nic_b = p.nic_b.clone();
+        let pd_b = p.pd_b;
+        let b = p.b.clone();
+        let cq_b = p.cq_b.clone();
+        let t = std::thread::spawn(move || {
+            let buf = nic_b.register(pd_b, 8).unwrap();
+            let reply = nic_b.register(pd_b, 8).unwrap();
+            for i in 0..iterations {
+                buf.write_at(0, &[0u8; 8]).unwrap();
+                nic_b_post_recv(&b, &buf, i);
+                let c = cq_b.wait_one(Duration::from_secs(5)).unwrap();
+                assert_eq!(c.opcode, CqeOpcode::Recv);
+                reply.write_at(0, &buf.to_vec(0, 8).unwrap()).unwrap();
+                b.post_send(SendWr::Send {
+                    wr_id: 1000 + i,
+                    sges: vec![Sge::whole(&reply)],
+                    imm: None,
+                })
+                .unwrap();
+                // Reap the send completion.
+                let c = cq_b.wait_one(Duration::from_secs(5)).unwrap();
+                assert_eq!(c.opcode, CqeOpcode::Send);
+            }
+        });
+        let out = p.nic_a.register(p.pd_a, 8).unwrap();
+        let back = p.nic_a.register(p.pd_a, 8).unwrap();
+        for i in 0..iterations {
+            out.write_at(0, &i.to_le_bytes()).unwrap();
+            p.a
+                .post_recv(RecvWr::new(i, vec![Sge::whole(&back)]))
+                .unwrap();
+            p.a
+                .post_send(SendWr::Send {
+                    wr_id: 500 + i,
+                    sges: vec![Sge::whole(&out)],
+                    imm: None,
+                })
+                .unwrap();
+            let mut got_recv = false;
+            for _ in 0..2 {
+                let c = p.cq_a.wait_one(Duration::from_secs(5)).unwrap();
+                if c.opcode == CqeOpcode::Recv {
+                    got_recv = true;
+                    assert_eq!(
+                        u64::from_le_bytes(back.to_vec(0, 8).unwrap().try_into().unwrap()),
+                        i
+                    );
+                }
+            }
+            assert!(got_recv);
+        }
+        t.join().unwrap();
+    }
+
+    fn nic_b_post_recv(qp: &QueuePair, mr: &MemoryRegion, wr_id: u64) {
+        qp.post_recv(RecvWr::new(wr_id, vec![Sge::whole(mr)])).unwrap();
+    }
+
+    #[test]
+    fn node_ids_are_sequential() {
+        let f = Fabric::new();
+        assert_eq!(f.create_nic().node_id(), NodeId(0));
+        assert_eq!(f.create_nic().node_id(), NodeId(1));
+        assert_eq!(f.node_count(), 2);
+    }
+
+    #[test]
+    fn registration_stats_accumulate() {
+        let p = pair();
+        let before = p.fabric.stats();
+        p.nic_a.register(p.pd_a, 4096).unwrap();
+        let after = p.fabric.stats();
+        assert_eq!(after.registrations, before.registrations + 1);
+        assert_eq!(after.registered_bytes, before.registered_bytes + 4096);
+    }
+}

@@ -1,0 +1,640 @@
+//! Queue pairs: the reliable-connected endpoints of the virtual NIC.
+//!
+//! A [`QueuePair`] follows the IB verbs life cycle (`Reset → Init → Rts`,
+//! with `Error` reachable from anywhere). Work posted to the send queue is
+//! executed synchronously by the posting thread — the "NIC processor" is
+//! borrowed from the caller — which keeps the fabric deterministic while
+//! preserving the verbs completion semantics: every send-queue work
+//! request produces exactly one completion on the send CQ, every consumed
+//! receive produces one on the receive CQ, and one-sided RDMA touches the
+//! target's memory without involving its CPU.
+
+use crate::cq::{CompletionQueue, Cqe, CqeOpcode, CqeStatus};
+use crate::error::{NicError, Result};
+use crate::fabric::FabricInner;
+use crate::srq::SharedReceiveQueue;
+use crate::mr::ProtectionDomain;
+use crate::types::{NodeId, QpNum, RemoteAddr};
+use crate::wr::{sge_len, RecvWr, SendWr, Sge};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+
+/// Queue-pair state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpState {
+    /// Freshly created; nothing may be posted.
+    Reset,
+    /// Receives may be posted (pre-posting before connect is the normal
+    /// pattern); sends may not.
+    Init,
+    /// Connected: fully operational.
+    Rts,
+    /// Broken: all work flushes.
+    Error,
+}
+
+impl QpState {
+    fn name(self) -> &'static str {
+        match self {
+            QpState::Reset => "Reset",
+            QpState::Init => "Init",
+            QpState::Rts => "Rts",
+            QpState::Error => "Error",
+        }
+    }
+}
+
+/// An inbound message parked at the target waiting for a receive to be
+/// posted (the virtual equivalent of infinite RNR retry).
+pub(crate) enum Inbound {
+    /// A two-sided send: the sender's gather list is held (keeping its
+    /// regions alive) until a receive arrives to scatter into.
+    Send {
+        sges: Vec<Sge>,
+        imm: Option<u32>,
+        sender_cq: CompletionQueue,
+        sender_qp: QpNum,
+        sender_wr_id: u64,
+    },
+    /// An RDMA-write-with-immediate whose data already landed; only the
+    /// notification (and receive consumption) is pending.
+    WriteImm {
+        byte_len: usize,
+        imm: u32,
+        sender_cq: CompletionQueue,
+        sender_qp: QpNum,
+        sender_wr_id: u64,
+    },
+}
+
+/// Receive-side state guarded by one lock so that match decisions are
+/// atomic: either a send finds a receive, or it parks — never both.
+pub(crate) struct RecvState {
+    pub(crate) posted: VecDeque<RecvWr>,
+    pub(crate) inbound: VecDeque<Inbound>,
+}
+
+pub(crate) struct QpInner {
+    pub(crate) num: QpNum,
+    pub(crate) node: NodeId,
+    pub(crate) pd: ProtectionDomain,
+    pub(crate) sq_cq: CompletionQueue,
+    pub(crate) rq_cq: CompletionQueue,
+    pub(crate) state: Mutex<QpState>,
+    /// (peer node, peer qp) once connected.
+    pub(crate) peer: Mutex<Option<(NodeId, QpNum)>>,
+    pub(crate) recv: Mutex<RecvState>,
+    /// When attached, receives come from the shared pool instead of the
+    /// per-QP queue.
+    pub(crate) srq: Option<SharedReceiveQueue>,
+    pub(crate) fabric: Weak<FabricInner>,
+}
+
+/// A reliable-connected queue pair handle.
+#[derive(Clone)]
+pub struct QueuePair {
+    pub(crate) inner: Arc<QpInner>,
+}
+
+impl QueuePair {
+    pub fn num(&self) -> QpNum {
+        self.inner.num
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    pub fn state(&self) -> QpState {
+        *self.inner.state.lock()
+    }
+
+    pub fn pd(&self) -> ProtectionDomain {
+        self.inner.pd
+    }
+
+    /// The CQ receiving send-queue completions.
+    pub fn send_cq(&self) -> &CompletionQueue {
+        &self.inner.sq_cq
+    }
+
+    /// The CQ receiving receive-queue completions.
+    pub fn recv_cq(&self) -> &CompletionQueue {
+        &self.inner.rq_cq
+    }
+
+    /// Peer coordinates once connected.
+    pub fn peer(&self) -> Option<(NodeId, QpNum)> {
+        *self.inner.peer.lock()
+    }
+
+    /// Whether the connected peer QP is currently operational: `None`
+    /// if unconnected or the fabric is gone, otherwise whether the peer
+    /// is not in the error state. This is the liveness signal failure
+    /// detectors build on.
+    pub fn peer_alive(&self) -> Option<bool> {
+        let (node, num) = (*self.inner.peer.lock())?;
+        let fabric = self.inner.fabric.upgrade()?;
+        let peer = fabric.lookup_qp(node, num).ok()?;
+        let state = *peer.state.lock();
+        Some(state != QpState::Error)
+    }
+
+    /// Post a receive. Legal in `Init` (pre-posting) and `Rts`.
+    /// QPs attached to an SRQ must post to the SRQ instead.
+    pub fn post_recv(&self, wr: RecvWr) -> Result<()> {
+        if self.inner.srq.is_some() {
+            return Err(NicError::UsesSrq(self.num()));
+        }
+        let state = self.state();
+        if !matches!(state, QpState::Init | QpState::Rts) {
+            return Err(NicError::InvalidQpState {
+                qp: self.num(),
+                state: state.name(),
+            });
+        }
+        for sge in &wr.sges {
+            if sge.mr.pd() != self.inner.pd {
+                return Err(NicError::PdMismatch);
+            }
+            sge.mr.inner.check_bounds(sge.offset, sge.len)?;
+        }
+        let fabric = self.fabric()?;
+        let mut rs = self.inner.recv.lock();
+        if let Some(inbound) = rs.inbound.pop_front() {
+            // A sender is already parked: match immediately.
+            drop_guard_deliver(&self.inner, inbound, wr, &fabric);
+        } else {
+            rs.posted.push_back(wr);
+        }
+        Ok(())
+    }
+
+    /// Post a send-queue work request. Legal only in `Rts`.
+    pub fn post_send(&self, wr: SendWr) -> Result<()> {
+        let state = self.state();
+        if state != QpState::Rts {
+            return Err(NicError::InvalidQpState {
+                qp: self.num(),
+                state: state.name(),
+            });
+        }
+        self.validate_local(&wr)?;
+        let fabric = self.fabric()?;
+        let (peer_node, peer_qp) = self.peer().ok_or(NicError::NotConnected(self.num()))?;
+        let peer = fabric.lookup_qp(peer_node, peer_qp)?;
+        if *peer.state.lock() == QpState::Error {
+            // Retry exhaustion on real hardware: flush locally.
+            self.complete_send(&wr, CqeStatus::Flushed, 0);
+            return Ok(());
+        }
+        match wr {
+            SendWr::Send {
+                wr_id,
+                sges,
+                imm,
+            } => {
+                let inbound = Inbound::Send {
+                    sges,
+                    imm,
+                    sender_cq: self.inner.sq_cq.clone(),
+                    sender_qp: self.inner.num,
+                    sender_wr_id: wr_id,
+                };
+                if let Some(srq) = &peer.srq {
+                    srq.handle_inbound(&peer, inbound, &fabric);
+                } else {
+                    let mut rs = peer.recv.lock();
+                    if let Some(recv) = rs.posted.pop_front() {
+                        drop_guard_deliver(&peer, inbound, recv, &fabric);
+                    } else {
+                        rs.inbound.push_back(inbound);
+                    }
+                }
+            }
+            SendWr::RdmaWrite {
+                wr_id,
+                sges,
+                remote,
+            } => {
+                let n = self.rdma_write(&fabric, &peer, &sges, remote, wr_id)?;
+                if let Some(n) = n {
+                    self.push_sq(Cqe {
+                        wr_id,
+                        status: CqeStatus::Success,
+                        opcode: CqeOpcode::RdmaWrite,
+                        byte_len: n,
+                        imm: None,
+                        qp: self.inner.num,
+                    });
+                }
+            }
+            SendWr::RdmaWriteImm {
+                wr_id,
+                sges,
+                remote,
+                imm,
+            } => {
+                let n = self.rdma_write(&fabric, &peer, &sges, remote, wr_id)?;
+                if let Some(n) = n {
+                    // Data is in place; consume (or park for) a receive.
+                    let inbound = Inbound::WriteImm {
+                        byte_len: n,
+                        imm,
+                        sender_cq: self.inner.sq_cq.clone(),
+                        sender_qp: self.inner.num,
+                        sender_wr_id: wr_id,
+                    };
+                    if let Some(srq) = &peer.srq {
+                        srq.handle_inbound(&peer, inbound, &fabric);
+                    } else {
+                        let mut rs = peer.recv.lock();
+                        if let Some(recv) = rs.posted.pop_front() {
+                            drop_guard_deliver(&peer, inbound, recv, &fabric);
+                        } else {
+                            rs.inbound.push_back(inbound);
+                        }
+                    }
+                }
+            }
+            SendWr::RdmaRead {
+                wr_id,
+                sges,
+                remote,
+            } => {
+                let total = sge_len(&sges);
+                match fabric.lookup_mr(peer_node, remote.rkey) {
+                    Ok(mr) => {
+                        if mr.check_bounds(remote.offset, total).is_err() {
+                            self.push_sq(Cqe {
+                                wr_id,
+                                status: CqeStatus::RemoteAccessError,
+                                opcode: CqeOpcode::RdmaRead,
+                                byte_len: 0,
+                                imm: None,
+                                qp: self.inner.num,
+                            });
+                        } else {
+                            let mut off = remote.offset;
+                            for sge in &sges {
+                                // SAFETY: bounds checked above and at post
+                                // validation; ownership contract covers
+                                // concurrent access.
+                                unsafe {
+                                    std::ptr::copy_nonoverlapping(
+                                        mr.ptr().add(off),
+                                        sge.mr.inner.ptr().add(sge.offset),
+                                        sge.len,
+                                    );
+                                }
+                                off += sge.len;
+                            }
+                            fabric.count_dma(total as u64);
+                            self.push_sq(Cqe {
+                                wr_id,
+                                status: CqeStatus::Success,
+                                opcode: CqeOpcode::RdmaRead,
+                                byte_len: total,
+                                imm: None,
+                                qp: self.inner.num,
+                            });
+                        }
+                    }
+                    Err(_) => self.push_sq(Cqe {
+                        wr_id,
+                        status: CqeStatus::RemoteAccessError,
+                        opcode: CqeOpcode::RdmaRead,
+                        byte_len: 0,
+                        imm: None,
+                        qp: self.inner.num,
+                    }),
+                }
+            }
+            SendWr::CompareSwap {
+                wr_id,
+                local,
+                remote,
+                expect,
+                swap,
+            } => {
+                self.remote_atomic(&fabric, peer_node, wr_id, local, remote, |old| {
+                    if old == expect {
+                        Some(swap)
+                    } else {
+                        None
+                    }
+                })?;
+            }
+            SendWr::FetchAdd {
+                wr_id,
+                local,
+                remote,
+                add,
+            } => {
+                self.remote_atomic(&fabric, peer_node, wr_id, local, remote, |old| {
+                    Some(old.wrapping_add(add))
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Force the QP into the error state, flushing posted receives.
+    pub fn set_error(&self) {
+        *self.inner.state.lock() = QpState::Error;
+        let mut rs = self.inner.recv.lock();
+        for wr in rs.posted.drain(..) {
+            self.inner.rq_cq.push(Cqe {
+                wr_id: wr.wr_id,
+                status: CqeStatus::Flushed,
+                opcode: CqeOpcode::Recv,
+                byte_len: 0,
+                imm: None,
+                qp: self.inner.num,
+            });
+        }
+        rs.inbound.clear();
+    }
+
+    /// Receives currently posted and inbound messages currently parked.
+    pub fn recv_depths(&self) -> (usize, usize) {
+        let rs = self.inner.recv.lock();
+        (rs.posted.len(), rs.inbound.len())
+    }
+
+    fn fabric(&self) -> Result<Arc<FabricInner>> {
+        self.inner.fabric.upgrade().ok_or(NicError::FabricDown)
+    }
+
+    fn validate_local(&self, wr: &SendWr) -> Result<()> {
+        let check = |sges: &[Sge]| -> Result<()> {
+            for sge in sges {
+                if sge.mr.pd() != self.inner.pd {
+                    return Err(NicError::PdMismatch);
+                }
+                sge.mr.inner.check_bounds(sge.offset, sge.len)?;
+            }
+            Ok(())
+        };
+        match wr {
+            SendWr::Send { sges, .. }
+            | SendWr::RdmaWrite { sges, .. }
+            | SendWr::RdmaWriteImm { sges, .. }
+            | SendWr::RdmaRead { sges, .. } => check(sges),
+            SendWr::CompareSwap { local, remote, .. }
+            | SendWr::FetchAdd { local, remote, .. } => {
+                check(std::slice::from_ref(local))?;
+                if local.len != 8 || remote.offset % 8 != 0 {
+                    return Err(NicError::BadAtomicBuffer);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn complete_send(&self, wr: &SendWr, status: CqeStatus, byte_len: usize) {
+        let opcode = match wr {
+            SendWr::Send { .. } => CqeOpcode::Send,
+            SendWr::RdmaWrite { .. } | SendWr::RdmaWriteImm { .. } => CqeOpcode::RdmaWrite,
+            SendWr::RdmaRead { .. } => CqeOpcode::RdmaRead,
+            SendWr::CompareSwap { .. } | SendWr::FetchAdd { .. } => CqeOpcode::Atomic,
+        };
+        self.push_sq(Cqe {
+            wr_id: wr.wr_id(),
+            status,
+            opcode,
+            byte_len,
+            imm: None,
+            qp: self.inner.num,
+        });
+    }
+
+    fn push_sq(&self, cqe: Cqe) {
+        self.inner.sq_cq.push(cqe);
+    }
+
+    /// Execute the data movement of an RDMA write. Returns `Ok(Some(n))`
+    /// on success, `Ok(None)` if an error completion was generated.
+    fn rdma_write(
+        &self,
+        fabric: &Arc<FabricInner>,
+        _peer: &Arc<QpInner>,
+        sges: &[Sge],
+        remote: RemoteAddr,
+        wr_id: u64,
+    ) -> Result<Option<usize>> {
+        let total = sge_len(sges);
+        let mr = match fabric.lookup_mr(remote.node, remote.rkey) {
+            Ok(mr) => mr,
+            Err(_) => {
+                self.push_sq(Cqe {
+                    wr_id,
+                    status: CqeStatus::RemoteAccessError,
+                    opcode: CqeOpcode::RdmaWrite,
+                    byte_len: 0,
+                    imm: None,
+                    qp: self.inner.num,
+                });
+                return Ok(None);
+            }
+        };
+        if mr.check_bounds(remote.offset, total).is_err() {
+            self.push_sq(Cqe {
+                wr_id,
+                status: CqeStatus::RemoteAccessError,
+                opcode: CqeOpcode::RdmaWrite,
+                byte_len: 0,
+                imm: None,
+                qp: self.inner.num,
+            });
+            return Ok(None);
+        }
+        let mut off = remote.offset;
+        for sge in sges {
+            // SAFETY: both sides bounds-checked; ownership contract covers
+            // concurrent access.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    sge.mr.inner.ptr().add(sge.offset),
+                    mr.ptr().add(off),
+                    sge.len,
+                );
+            }
+            off += sge.len;
+        }
+        fabric.count_dma(total as u64);
+        Ok(Some(total))
+    }
+
+    fn remote_atomic(
+        &self,
+        fabric: &Arc<FabricInner>,
+        peer_node: NodeId,
+        wr_id: u64,
+        local: Sge,
+        remote: RemoteAddr,
+        op: impl FnOnce(u64) -> Option<u64>,
+    ) -> Result<()> {
+        let fail = |qp: &Self| {
+            qp.push_sq(Cqe {
+                wr_id,
+                status: CqeStatus::RemoteAccessError,
+                opcode: CqeOpcode::Atomic,
+                byte_len: 0,
+                imm: None,
+                qp: qp.inner.num,
+            })
+        };
+        let mr = match fabric.lookup_mr(peer_node, remote.rkey) {
+            Ok(mr) => mr,
+            Err(_) => {
+                fail(self);
+                return Ok(());
+            }
+        };
+        if mr.check_bounds(remote.offset, 8).is_err() {
+            fail(self);
+            return Ok(());
+        }
+        let old = {
+            let _g = mr.atomic_lock.lock();
+            // SAFETY: bounds checked; atomicity provided by the lock.
+            unsafe {
+                let p = mr.ptr().add(remote.offset) as *mut u64;
+                let old = p.read_unaligned();
+                if let Some(new) = op(old) {
+                    p.write_unaligned(new);
+                }
+                old
+            }
+        };
+        local.mr.write_at(local.offset, &old.to_le_bytes())?;
+        fabric.count_dma(8);
+        self.push_sq(Cqe {
+            wr_id,
+            status: CqeStatus::Success,
+            opcode: CqeOpcode::Atomic,
+            byte_len: 8,
+            imm: None,
+            qp: self.inner.num,
+        });
+        Ok(())
+    }
+}
+
+/// Deliver a matched (inbound, receive) pair at the receiver `rx`.
+///
+/// Named for the invariant that callers must still hold (or have just
+/// released) the receiver's recv lock such that the match decision was
+/// atomic; the copy itself happens outside any sender-side locks.
+pub(crate) fn drop_guard_deliver(
+    rx: &Arc<QpInner>,
+    inbound: Inbound,
+    recv: RecvWr,
+    fabric: &Arc<FabricInner>,
+) {
+    match inbound {
+        Inbound::Send {
+            sges,
+            imm,
+            sender_cq,
+            sender_qp,
+            sender_wr_id,
+        } => {
+            let total = sge_len(&sges);
+            if total > recv.capacity() {
+                rx.rq_cq.push(Cqe {
+                    wr_id: recv.wr_id,
+                    status: CqeStatus::LocalProtectionError,
+                    opcode: CqeOpcode::Recv,
+                    byte_len: 0,
+                    imm: None,
+                    qp: rx.num,
+                });
+                sender_cq.push(Cqe {
+                    wr_id: sender_wr_id,
+                    status: CqeStatus::RemoteAccessError,
+                    opcode: CqeOpcode::Send,
+                    byte_len: 0,
+                    imm: None,
+                    qp: sender_qp,
+                });
+                return;
+            }
+            // Gather from the sender's regions, scatter into the
+            // receiver's: this is the fabric "DMA", the single copy of
+            // the two-sided path.
+            scatter_gather(&sges, &recv.sges);
+            fabric.count_dma(total as u64);
+            rx.rq_cq.push(Cqe {
+                wr_id: recv.wr_id,
+                status: CqeStatus::Success,
+                opcode: CqeOpcode::Recv,
+                byte_len: total,
+                imm,
+                qp: rx.num,
+            });
+            sender_cq.push(Cqe {
+                wr_id: sender_wr_id,
+                status: CqeStatus::Success,
+                opcode: CqeOpcode::Send,
+                byte_len: total,
+                imm: None,
+                qp: sender_qp,
+            });
+        }
+        Inbound::WriteImm {
+            byte_len,
+            imm,
+            sender_cq,
+            sender_qp,
+            sender_wr_id,
+        } => {
+            rx.rq_cq.push(Cqe {
+                wr_id: recv.wr_id,
+                status: CqeStatus::Success,
+                opcode: CqeOpcode::RecvRdmaImm,
+                byte_len,
+                imm: Some(imm),
+                qp: rx.num,
+            });
+            sender_cq.push(Cqe {
+                wr_id: sender_wr_id,
+                status: CqeStatus::Success,
+                opcode: CqeOpcode::RdmaWrite,
+                byte_len,
+                imm: None,
+                qp: sender_qp,
+            });
+        }
+    }
+}
+
+/// Copy `src` gather list into `dst` scatter list, byte-exact.
+fn scatter_gather(src: &[Sge], dst: &[Sge]) {
+    let mut di = 0;
+    let mut doff = 0;
+    for s in src {
+        let mut soff = 0;
+        while soff < s.len {
+            let d = &dst[di];
+            let n = (s.len - soff).min(d.len - doff);
+            // SAFETY: callers bounds-checked both lists against their
+            // regions; ownership contract covers concurrency.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    s.mr.inner.ptr().add(s.offset + soff),
+                    d.mr.inner.ptr().add(d.offset + doff),
+                    n,
+                );
+            }
+            soff += n;
+            doff += n;
+            if doff == d.len {
+                di += 1;
+                doff = 0;
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Shared receive queues.
+//!
+//! With per-QP receive buffering, an endpoint's eager-buffer memory grows
+//! linearly with the number of peers — at the keynote's "exploding"
+//! scales, thousands of peers times a per-peer window is gigabytes of
+//! pinned memory per node. An SRQ lets all of a node's QPs consume
+//! receives from one shared pool, making receive memory O(inflight)
+//! instead of O(peers). Inbound messages that find the pool empty park
+//! (in arrival order, preserving per-sender FIFO) until a buffer is
+//! posted — the virtual equivalent of RNR retry.
+
+use crate::cq::{Cqe, CqeOpcode, CqeStatus};
+use crate::error::{NicError, Result};
+use crate::fabric::FabricInner;
+use crate::qp::{drop_guard_deliver, Inbound, QpInner};
+use crate::wr::RecvWr;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+
+pub(crate) struct SrqState {
+    pub(crate) posted: VecDeque<RecvWr>,
+    /// Inbound work parked for want of a buffer, with the receiving QP
+    /// it belongs to (completion routing).
+    pub(crate) parked: VecDeque<(Weak<QpInner>, Inbound)>,
+}
+
+pub(crate) struct SrqInner {
+    pub(crate) state: Mutex<SrqState>,
+    fabric: Weak<FabricInner>,
+}
+
+/// A shared receive queue handle. Attach to QPs at creation via
+/// [`crate::fabric::Nic::create_qp_with_srq`].
+#[derive(Clone)]
+pub struct SharedReceiveQueue {
+    pub(crate) inner: Arc<SrqInner>,
+}
+
+impl SharedReceiveQueue {
+    pub(crate) fn new(fabric: Weak<FabricInner>) -> Self {
+        SharedReceiveQueue {
+            inner: Arc::new(SrqInner {
+                state: Mutex::new(SrqState {
+                    posted: VecDeque::new(),
+                    parked: VecDeque::new(),
+                }),
+                fabric,
+            }),
+        }
+    }
+
+    /// Post a receive buffer to the shared pool. If inbound work is
+    /// parked, the oldest is delivered immediately (on the posting
+    /// thread, like every transfer in the virtual NIC).
+    pub fn post_recv(&self, wr: RecvWr) -> Result<()> {
+        let fabric = self.inner.fabric.upgrade().ok_or(NicError::FabricDown)?;
+        let mut st = self.inner.state.lock();
+        // Drain the oldest parked inbound whose QP is still alive.
+        while let Some((qp_weak, _)) = st.parked.front() {
+            match qp_weak.upgrade() {
+                Some(qp) => {
+                    let (_, inbound) = st.parked.pop_front().expect("front exists");
+                    drop_guard_deliver(&qp, inbound, wr, &fabric);
+                    return Ok(());
+                }
+                None => {
+                    st.parked.pop_front();
+                }
+            }
+        }
+        st.posted.push_back(wr);
+        Ok(())
+    }
+
+    /// Buffers currently available and messages currently parked.
+    pub fn depths(&self) -> (usize, usize) {
+        let st = self.inner.state.lock();
+        (st.posted.len(), st.parked.len())
+    }
+
+    /// Handle an inbound message for `rx` (a QP attached to this SRQ):
+    /// deliver with a pooled buffer or park.
+    pub(crate) fn handle_inbound(
+        &self,
+        rx: &Arc<QpInner>,
+        inbound: Inbound,
+        fabric: &Arc<FabricInner>,
+    ) {
+        let mut st = self.inner.state.lock();
+        if let Some(recv) = st.posted.pop_front() {
+            drop_guard_deliver(rx, inbound, recv, fabric);
+        } else {
+            st.parked.push_back((Arc::downgrade(rx), inbound));
+        }
+    }
+
+    /// Flush all posted buffers (error/teardown): each produces a
+    /// flushed completion on `cq_of` the owning QP is unknown for pool
+    /// buffers, so the caller supplies the CQ to notify.
+    pub fn flush_to(&self, cq: &crate::cq::CompletionQueue) {
+        let mut st = self.inner.state.lock();
+        for wr in st.posted.drain(..) {
+            cq.push(Cqe {
+                wr_id: wr.wr_id,
+                status: CqeStatus::Flushed,
+                opcode: CqeOpcode::Recv,
+                byte_len: 0,
+                imm: None,
+                qp: crate::types::QpNum(u32::MAX),
+            });
+        }
+        st.parked.clear();
+    }
+}
+
+impl std::fmt::Debug for SharedReceiveQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (posted, parked) = self.depths();
+        f.debug_struct("SharedReceiveQueue")
+            .field("posted", &posted)
+            .field("parked", &parked)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::time::Duration;
+
+    type SrqWorld = (
+        Fabric,
+        Nic,
+        Vec<QueuePair>,
+        Vec<(Nic, QueuePair)>,
+        SharedReceiveQueue,
+        CompletionQueue,
+    );
+
+    /// Three senders, one receiver with an SRQ shared by all three QPs.
+    fn world() -> SrqWorld {
+        let fabric = Fabric::new();
+        let rx_nic = fabric.create_nic();
+        let rx_pd = rx_nic.alloc_pd();
+        let rx_cq = CompletionQueue::new(64);
+        let srq = rx_nic.create_srq();
+        let mut rx_qps = Vec::new();
+        let mut senders = Vec::new();
+        for _ in 0..3 {
+            let rx_qp = rx_nic
+                .create_qp_with_srq(rx_pd, &rx_cq, &rx_cq, &srq)
+                .unwrap();
+            let tx_nic = fabric.create_nic();
+            let tx_pd = tx_nic.alloc_pd();
+            let tx_cq = CompletionQueue::new(64);
+            let tx_qp = tx_nic.create_qp(tx_pd, &tx_cq, &tx_cq).unwrap();
+            fabric.connect(&rx_qp, &tx_qp).unwrap();
+            rx_qps.push(rx_qp);
+            senders.push((tx_nic, tx_qp));
+        }
+        (fabric, rx_nic, rx_qps, senders, srq, rx_cq)
+    }
+
+    #[test]
+    fn one_pool_serves_many_peers() {
+        let (_f, rx_nic, rx_qps, senders, srq, rx_cq) = world();
+        let rx_pd = rx_qps[0].pd();
+        // Post two pooled buffers for three senders.
+        let bufs: Vec<MemoryRegion> =
+            (0..2).map(|_| rx_nic.register(rx_pd, 64).unwrap()).collect();
+        for (i, mr) in bufs.iter().enumerate() {
+            srq.post_recv(RecvWr::new(i as u64, vec![Sge::whole(mr)])).unwrap();
+        }
+        // All three senders fire.
+        for (i, (nic, qp)) in senders.iter().enumerate() {
+            let src = nic
+                .register_from(qp.pd(), format!("msg{i}").as_bytes())
+                .unwrap();
+            qp.post_send(SendWr::Send {
+                wr_id: 100 + i as u64,
+                sges: vec![Sge::whole(&src)],
+                imm: None,
+            })
+            .unwrap();
+        }
+        // Two delivered, one parked.
+        let c1 = rx_cq.wait_one(Duration::from_secs(1)).unwrap();
+        let c2 = rx_cq.wait_one(Duration::from_secs(1)).unwrap();
+        assert_eq!(c1.opcode, CqeOpcode::Recv);
+        assert_ne!(c1.qp, c2.qp, "completions route to the right QP");
+        let (posted, parked) = srq.depths();
+        assert_eq!((posted, parked), (0, 1));
+        // Posting one more buffer drains the parked message.
+        let late = rx_nic.register(rx_pd, 64).unwrap();
+        srq.post_recv(RecvWr::new(9, vec![Sge::whole(&late)])).unwrap();
+        let c3 = rx_cq.wait_one(Duration::from_secs(1)).unwrap();
+        assert_eq!(c3.wr_id, 9);
+        assert_eq!(late.to_vec(0, 4).unwrap(), b"msg2");
+        assert_eq!(srq.depths(), (0, 0));
+    }
+
+    #[test]
+    fn qp_with_srq_rejects_direct_post_recv() {
+        let (_f, rx_nic, rx_qps, _senders, _srq, _cq) = world();
+        let mr = rx_nic.register(rx_qps[0].pd(), 8).unwrap();
+        let err = rx_qps[0]
+            .post_recv(RecvWr::new(1, vec![Sge::whole(&mr)]))
+            .unwrap_err();
+        assert!(matches!(err, NicError::UsesSrq(_)));
+    }
+
+    #[test]
+    fn parked_messages_drain_in_arrival_order() {
+        let (_f, rx_nic, rx_qps, senders, srq, rx_cq) = world();
+        let rx_pd = rx_qps[0].pd();
+        // No buffers posted: all three park in order.
+        for (i, (nic, qp)) in senders.iter().enumerate() {
+            let src = nic.register_from(qp.pd(), &[i as u8]).unwrap();
+            qp.post_send(SendWr::Send {
+                wr_id: i as u64,
+                sges: vec![Sge::whole(&src)],
+                imm: None,
+            })
+            .unwrap();
+        }
+        assert_eq!(srq.depths(), (0, 3));
+        for i in 0..3u64 {
+            let mr = rx_nic.register(rx_pd, 8).unwrap();
+            srq.post_recv(RecvWr::new(i, vec![Sge::whole(&mr)])).unwrap();
+            let c = rx_cq.wait_one(Duration::from_secs(1)).unwrap();
+            assert_eq!(c.wr_id, i);
+            assert_eq!(mr.to_vec(0, 1).unwrap(), vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn flush_produces_flushed_completions() {
+        let (_f, rx_nic, rx_qps, _senders, srq, rx_cq) = world();
+        let rx_pd = rx_qps[0].pd();
+        let mr = rx_nic.register(rx_pd, 8).unwrap();
+        srq.post_recv(RecvWr::new(7, vec![Sge::whole(&mr)])).unwrap();
+        srq.flush_to(&rx_cq);
+        let c = rx_cq.wait_one(Duration::from_secs(1)).unwrap();
+        assert_eq!(c.status, CqeStatus::Flushed);
+        assert_eq!(c.wr_id, 7);
+        assert_eq!(srq.depths(), (0, 0));
+    }
+}

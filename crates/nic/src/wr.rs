@@ -1,0 +1,184 @@
+//! Work requests: what applications post to queue pairs.
+
+use crate::mr::MemoryRegion;
+use crate::types::RemoteAddr;
+
+/// A scatter/gather element: a range within a registered region.
+#[derive(Debug, Clone)]
+pub struct Sge {
+    pub mr: MemoryRegion,
+    pub offset: usize,
+    pub len: usize,
+}
+
+impl Sge {
+    pub fn new(mr: &MemoryRegion, offset: usize, len: usize) -> Self {
+        Sge {
+            mr: mr.clone(),
+            offset,
+            len,
+        }
+    }
+
+    /// The whole region as one element.
+    pub fn whole(mr: &MemoryRegion) -> Self {
+        Sge {
+            mr: mr.clone(),
+            offset: 0,
+            len: mr.len(),
+        }
+    }
+}
+
+/// Total byte length of a gather list.
+pub fn sge_len(sges: &[Sge]) -> usize {
+    sges.iter().map(|s| s.len).sum()
+}
+
+/// A send-queue work request.
+#[derive(Debug, Clone)]
+pub enum SendWr {
+    /// Two-sided send; consumes a posted receive at the peer. `imm`
+    /// travels in the completion the peer reaps.
+    Send {
+        wr_id: u64,
+        sges: Vec<Sge>,
+        imm: Option<u32>,
+    },
+    /// One-sided RDMA write into the peer's memory; the peer's CPU is not
+    /// involved and sees no completion.
+    RdmaWrite {
+        wr_id: u64,
+        sges: Vec<Sge>,
+        remote: RemoteAddr,
+    },
+    /// RDMA write that additionally consumes a posted receive at the peer
+    /// and delivers `imm` in its completion — the standard way to notify
+    /// the peer that a one-sided transfer finished.
+    RdmaWriteImm {
+        wr_id: u64,
+        sges: Vec<Sge>,
+        remote: RemoteAddr,
+        imm: u32,
+    },
+    /// One-sided RDMA read from the peer's memory into local regions.
+    RdmaRead {
+        wr_id: u64,
+        sges: Vec<Sge>,
+        remote: RemoteAddr,
+    },
+    /// 8-byte remote compare-and-swap; the prior remote value lands in
+    /// the local buffer.
+    CompareSwap {
+        wr_id: u64,
+        local: Sge,
+        remote: RemoteAddr,
+        expect: u64,
+        swap: u64,
+    },
+    /// 8-byte remote fetch-and-add; the prior remote value lands in the
+    /// local buffer.
+    FetchAdd {
+        wr_id: u64,
+        local: Sge,
+        remote: RemoteAddr,
+        add: u64,
+    },
+}
+
+impl SendWr {
+    pub fn wr_id(&self) -> u64 {
+        match self {
+            SendWr::Send { wr_id, .. }
+            | SendWr::RdmaWrite { wr_id, .. }
+            | SendWr::RdmaWriteImm { wr_id, .. }
+            | SendWr::RdmaRead { wr_id, .. }
+            | SendWr::CompareSwap { wr_id, .. }
+            | SendWr::FetchAdd { wr_id, .. } => *wr_id,
+        }
+    }
+
+    /// Payload bytes this request moves.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            SendWr::Send { sges, .. }
+            | SendWr::RdmaWrite { sges, .. }
+            | SendWr::RdmaWriteImm { sges, .. }
+            | SendWr::RdmaRead { sges, .. } => sge_len(sges),
+            SendWr::CompareSwap { .. } | SendWr::FetchAdd { .. } => 8,
+        }
+    }
+}
+
+/// A receive-queue work request: scatter targets for an inbound send.
+#[derive(Debug, Clone)]
+pub struct RecvWr {
+    pub wr_id: u64,
+    pub sges: Vec<Sge>,
+}
+
+impl RecvWr {
+    pub fn new(wr_id: u64, sges: Vec<Sge>) -> Self {
+        RecvWr { wr_id, sges }
+    }
+
+    pub fn capacity(&self) -> usize {
+        sge_len(&self.sges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mr::{MemoryRegion, ProtectionDomain};
+    use crate::types::{NodeId, PdId, Rkey};
+
+    fn mr(len: usize) -> MemoryRegion {
+        MemoryRegion::allocate(
+            ProtectionDomain {
+                node: NodeId(0),
+                id: PdId(0),
+            },
+            len,
+        )
+    }
+
+    #[test]
+    fn sge_helpers() {
+        let m = mr(100);
+        let s = Sge::whole(&m);
+        assert_eq!(s.len, 100);
+        assert_eq!(sge_len(&[Sge::new(&m, 0, 10), Sge::new(&m, 50, 20)]), 30);
+    }
+
+    #[test]
+    fn wr_accessors() {
+        let m = mr(64);
+        let wr = SendWr::Send {
+            wr_id: 42,
+            sges: vec![Sge::whole(&m)],
+            imm: Some(7),
+        };
+        assert_eq!(wr.wr_id(), 42);
+        assert_eq!(wr.byte_len(), 64);
+        let atomic = SendWr::FetchAdd {
+            wr_id: 1,
+            local: Sge::new(&m, 0, 8),
+            remote: RemoteAddr {
+                node: NodeId(1),
+                rkey: Rkey(9),
+                offset: 0,
+            },
+            add: 5,
+        };
+        assert_eq!(atomic.byte_len(), 8);
+    }
+
+    #[test]
+    fn recv_capacity_sums_sges() {
+        let m = mr(128);
+        let r = RecvWr::new(3, vec![Sge::new(&m, 0, 64), Sge::new(&m, 64, 64)]);
+        assert_eq!(r.capacity(), 128);
+        assert_eq!(r.wr_id, 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Heartbeat failure detection.
+//!
+//! Nodes emit heartbeats every `period`; a monitor declares a node dead
+//! after `missed_threshold` consecutive periods without one. The model
+//! accounts for heartbeat transit delay and answers the two questions a
+//! deployment cares about: how fast is a real crash detected, and how
+//! often does a slow-but-alive node get declared dead (false positive)?
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Heartbeat period, seconds.
+    pub period: f64,
+    /// Consecutive missed heartbeats before declaring death.
+    pub missed_threshold: u32,
+    /// Median one-way heartbeat delay, seconds.
+    pub delay_median: f64,
+    /// Log-std-dev of the heartbeat delay (heavy tail knob).
+    pub delay_sigma: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            period: 1.0,
+            missed_threshold: 3,
+            delay_median: 0.001,
+            delay_sigma: 0.5,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The timeout after the last heard heartbeat at which death is
+    /// declared.
+    pub fn timeout(&self) -> f64 {
+        self.period * self.missed_threshold as f64
+    }
+
+    /// Worst-case detection latency for a crash: the node may die just
+    /// after emitting a heartbeat, which then takes `delay` to arrive.
+    pub fn worst_case_detection(&self) -> f64 {
+        self.timeout() + self.period
+    }
+}
+
+/// Result of a detection experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionStats {
+    pub trials: u32,
+    pub mean_latency: f64,
+    pub max_latency: f64,
+    /// Fraction of healthy intervals mistaken for death.
+    pub false_positive_rate: f64,
+}
+
+/// Monte-Carlo a crash at a uniformly random phase of the heartbeat
+/// cycle and measure when the detector fires; also measure how often a
+/// healthy node's delayed heartbeats trip the detector over
+/// `healthy_beats` beats. Deterministic in `seed`.
+pub fn evaluate(cfg: &DetectorConfig, trials: u32, healthy_beats: u32, seed: u64) -> DetectionStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let delay = LogNormal::new(cfg.delay_median.ln(), cfg.delay_sigma).expect("valid lognormal");
+    // Crash-detection latency: the node crashes at phase φ after its
+    // last heartbeat; that heartbeat arrived at (−φ + d). The detector
+    // fires timeout after the last arrival.
+    let mut total = 0.0;
+    let mut max = 0.0f64;
+    for i in 0..trials {
+        let phase = (i as f64 + 0.5) / trials as f64 * cfg.period;
+        let d: f64 = delay.sample(&mut rng);
+        let latency = cfg.timeout() + phase + d;
+        total += latency;
+        max = max.max(latency);
+    }
+    // False positives: consecutive heartbeat arrivals more than timeout
+    // apart despite the node being alive.
+    let mut fp = 0u32;
+    let mut last_arrival = 0.0f64;
+    for beat in 1..=healthy_beats {
+        let t = beat as f64 * cfg.period + delay.sample(&mut rng);
+        if t - last_arrival > cfg.timeout() {
+            fp += 1;
+        }
+        last_arrival = last_arrival.max(t);
+    }
+    DetectionStats {
+        trials,
+        mean_latency: total / trials as f64,
+        max_latency: max,
+        false_positive_rate: fp as f64 / healthy_beats as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_math() {
+        let c = DetectorConfig::default();
+        assert_eq!(c.timeout(), 3.0);
+        assert_eq!(c.worst_case_detection(), 4.0);
+    }
+
+    #[test]
+    fn detection_latency_bounded_by_theory() {
+        let c = DetectorConfig::default();
+        let s = evaluate(&c, 1000, 1000, 42);
+        assert!(s.mean_latency >= c.timeout());
+        // Mean crash phase is period/2 past the last beat.
+        assert!(
+            (s.mean_latency - (c.timeout() + c.period / 2.0)).abs() < 0.1,
+            "mean {}",
+            s.mean_latency
+        );
+        assert!(s.max_latency <= c.worst_case_detection() + 1.0);
+    }
+
+    #[test]
+    fn healthy_node_rarely_declared_dead() {
+        let c = DetectorConfig::default();
+        let s = evaluate(&c, 10, 100_000, 7);
+        assert_eq!(s.false_positive_rate, 0.0, "ms delays vs 3s timeout");
+    }
+
+    #[test]
+    fn aggressive_timeout_with_slow_network_false_positives() {
+        let c = DetectorConfig {
+            period: 0.1,
+            missed_threshold: 1,
+            delay_median: 0.05,
+            delay_sigma: 1.5, // heavy tail
+        };
+        let s = evaluate(&c, 10, 100_000, 7);
+        assert!(
+            s.false_positive_rate > 0.001,
+            "heavy-tailed delays must trip a 100ms timeout: {}",
+            s.false_positive_rate
+        );
+    }
+
+    #[test]
+    fn longer_threshold_trades_latency_for_accuracy() {
+        let fast = DetectorConfig {
+            missed_threshold: 1,
+            ..DetectorConfig::default()
+        };
+        let slow = DetectorConfig {
+            missed_threshold: 10,
+            ..DetectorConfig::default()
+        };
+        let sf = evaluate(&fast, 100, 10_000, 1);
+        let ss = evaluate(&slow, 100, 10_000, 1);
+        assert!(ss.mean_latency > sf.mean_latency * 2.0);
+        assert!(ss.false_positive_rate <= sf.false_positive_rate);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = DetectorConfig::default();
+        assert_eq!(evaluate(&c, 100, 100, 9), evaluate(&c, 100, 100, 9));
+    }
+}

@@ -1,0 +1,30 @@
+//! # polaris-rms
+//!
+//! Resource management and fault recovery: the keynote's claim that "the
+//! software tools to manage [exploding-scale clusters] will take on new
+//! responsibilities", made executable. Batch scheduling (FCFS vs EASY
+//! backfill, experiment T2), synthetic workload generation, heartbeat
+//! failure detection, and checkpoint/restart with Young/Daly interval
+//! analysis (experiment F6).
+
+pub mod alloc;
+pub mod checkpoint;
+pub mod health;
+pub mod job;
+pub mod recovery;
+pub mod sched;
+pub mod timeline;
+pub mod workload;
+
+pub mod prelude {
+    pub use crate::alloc::{mean_neighbor_hops, mean_pairwise_hops, NodePool, Placement};
+    pub use crate::checkpoint::{
+        simulate_checkpointing, waste_sweep, CheckpointParams, McResult,
+    };
+    pub use crate::health::{evaluate as evaluate_detector, DetectionStats, DetectorConfig};
+    pub use crate::job::{Job, JobOutcome, ScheduleMetrics};
+    pub use crate::recovery::{mean_inflation, run_job, RecoveryOutcome, RecoveryPolicy};
+    pub use crate::sched::{run_and_summarize, simulate, Policy};
+    pub use crate::timeline::Timeline;
+    pub use crate::workload::{generate, FailureModel, WorkloadConfig};
+}

@@ -1,0 +1,431 @@
+//! Batch-scheduler simulation: FCFS, EASY and conservative backfill.
+//!
+//! The keynote's "resource management" responsibility. An event-driven
+//! simulation of a space-shared cluster: jobs arrive, wait in a queue,
+//! run on a rigid node allocation for their actual runtime, and leave.
+//! Three policies:
+//!
+//! * **FCFS** — start the head of the queue whenever it fits; nothing
+//!   may pass it. Simple, fair, and poor at packing.
+//! * **EASY backfill** — the head gets a *reservation* at the earliest
+//!   time enough nodes free up (using user estimates); any later job may
+//!   jump ahead if it fits on idle nodes *without delaying that
+//!   reservation*. The classic utilization win, reproduced as T2.
+//! * **Conservative backfill** — every queued job holds a reservation in
+//!   arrival order; a job may start early only if it delays none of
+//!   them. More predictable waits, less aggressive packing.
+
+use crate::job::{Job, JobOutcome, ScheduleMetrics};
+use crate::timeline::Timeline;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    Fcfs,
+    /// Reservation for the queue head only; anything may backfill that
+    /// does not delay it (aggressive, the production default).
+    EasyBackfill,
+    /// A reservation for *every* queued job, in arrival order; backfill
+    /// only where no reservation is delayed (predictable, less packing).
+    ConservativeBackfill,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    job: Job,
+    start: f64,
+    /// When the scheduler believes the job ends (start + estimate).
+    est_end: f64,
+    /// When it actually ends.
+    end: f64,
+}
+
+/// Simulate `jobs` (sorted by arrival) on `nodes` nodes under `policy`.
+/// Returns one outcome per job.
+pub fn simulate(nodes: u32, policy: Policy, jobs: &[Job]) -> Vec<JobOutcome> {
+    assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    assert!(
+        jobs.iter().all(|j| j.width <= nodes),
+        "a job wider than the machine never starts"
+    );
+    let mut queue: VecDeque<Job> = VecDeque::new();
+    let mut running: Vec<Running> = Vec::new();
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+    let mut next_arrival = 0usize;
+    let mut free = nodes;
+
+    loop {
+        // Advance to the next event: an arrival or a completion.
+        let t_arr = jobs.get(next_arrival).map(|j| j.arrival);
+        let t_done = running
+            .iter()
+            .map(|r| r.end)
+            .min_by(|a, b| a.total_cmp(b));
+        let now = match (t_arr, t_done) {
+            (None, None) => break,
+            (Some(a), None) => a,
+            (None, Some(d)) => d,
+            (Some(a), Some(d)) => a.min(d),
+        };
+        // Process completions at `now`.
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].end <= now {
+                let r = running.swap_remove(i);
+                free += r.job.width;
+                outcomes.push(JobOutcome {
+                    id: r.job.id,
+                    arrival: r.job.arrival,
+                    start: r.start,
+                    finish: r.end,
+                    width: r.job.width,
+                    runtime: r.job.runtime,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        // Process arrivals at `now`.
+        while next_arrival < jobs.len() && jobs[next_arrival].arrival <= now {
+            queue.push_back(jobs[next_arrival]);
+            next_arrival += 1;
+        }
+        schedule_pass(policy, now, &mut queue, &mut running, &mut free);
+    }
+    outcomes.sort_by_key(|o| o.id);
+    outcomes
+}
+
+fn start(now: f64, job: Job, running: &mut Vec<Running>, free: &mut u32) {
+    debug_assert!(*free >= job.width);
+    *free -= job.width;
+    running.push(Running {
+        job,
+        start: now,
+        est_end: now + job.estimate,
+        end: now + job.runtime,
+    });
+}
+
+fn schedule_pass(
+    policy: Policy,
+    now: f64,
+    queue: &mut VecDeque<Job>,
+    running: &mut Vec<Running>,
+    free: &mut u32,
+) {
+    // Start queue heads while they fit (common to both policies).
+    while let Some(&head) = queue.front() {
+        if head.width <= *free {
+            queue.pop_front();
+            start(now, head, running, free);
+        } else {
+            break;
+        }
+    }
+    if policy == Policy::Fcfs || queue.is_empty() {
+        return;
+    }
+    if policy == Policy::ConservativeBackfill {
+        conservative_pass(now, queue, running, free);
+        return;
+    }
+    // EASY: reserve for the head, then backfill behind it.
+    let head = *queue.front().expect("nonempty");
+    // When can the head start? Walk estimated completions in time order,
+    // accumulating freed nodes.
+    let mut ends: Vec<(f64, u32)> = running.iter().map(|r| (r.est_end, r.job.width)).collect();
+    ends.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut avail = *free;
+    let mut shadow = now;
+    let mut extra = 0u32; // nodes idle at shadow time beyond the head's need
+    for (t, w) in ends {
+        if avail >= head.width {
+            break;
+        }
+        avail += w;
+        shadow = t;
+    }
+    if avail >= head.width {
+        extra = avail - head.width;
+    }
+    // Backfill: any queued job (after the head) that fits free nodes now
+    // and either finishes (by estimate) before the shadow time or uses
+    // only nodes the reservation does not need.
+    let mut idx = 1;
+    while idx < queue.len() {
+        let cand = queue[idx];
+        let fits_now = cand.width <= *free;
+        let respects_reservation =
+            now + cand.estimate <= shadow || cand.width <= extra.min(*free);
+        if fits_now && respects_reservation {
+            queue.remove(idx);
+            start(now, cand, running, free);
+            if cand.width <= extra {
+                extra -= cand.width;
+            }
+            // A started job may change nothing for earlier candidates;
+            // continue scanning from the same index.
+        } else {
+            idx += 1;
+        }
+    }
+}
+
+/// How deep into the queue conservative backfill looks per pass.
+/// Production schedulers bound this scan: reservations beyond a few
+/// dozen queue positions cost quadratic work and almost never start a
+/// job (jobs deeper in the queue stay queued, which is safe — strictly
+/// *more* conservative).
+const CONSERVATIVE_DEPTH: usize = 32;
+
+/// Conservative backfill: give each queued job (in arrival order, up to
+/// [`CONSERVATIVE_DEPTH`]) a reservation on an availability timeline
+/// built from running jobs' estimated ends; start exactly those whose
+/// reservation is "now".
+fn conservative_pass(
+    now: f64,
+    queue: &mut VecDeque<Job>,
+    running: &mut Vec<Running>,
+    free: &mut u32,
+) {
+    let mut tl = Timeline::new(now, *free);
+    for r in running.iter() {
+        tl.release_at(r.est_end, r.job.width);
+    }
+    let mut idx = 0;
+    while idx < queue.len().min(CONSERVATIVE_DEPTH) {
+        let job = queue[idx];
+        let start_at = tl.earliest_fit(job.width, job.estimate);
+        if start_at <= now && job.width <= *free {
+            queue.remove(idx);
+            start(now, job, running, free);
+            tl.commit(now, job.estimate, job.width);
+            // Restart placement: earlier reservations are unaffected
+            // (we only consumed a window that fit), later ones must be
+            // recomputed against the updated timeline anyway, which the
+            // continuing loop does naturally.
+        } else {
+            tl.commit(start_at.min(f64::MAX), job.estimate, job.width);
+            idx += 1;
+        }
+    }
+}
+
+/// Convenience: simulate and summarize.
+pub fn run_and_summarize(nodes: u32, policy: Policy, jobs: &[Job]) -> ScheduleMetrics {
+    ScheduleMetrics::from_outcomes(&simulate(nodes, policy, jobs), nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, WorkloadConfig};
+
+    fn job(id: u64, width: u32, runtime: f64, est: f64, arrival: f64) -> Job {
+        Job::new(id, width, runtime, est, arrival)
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let out = simulate(4, Policy::Fcfs, &[job(0, 2, 100.0, 100.0, 5.0)]);
+        assert_eq!(out[0].start, 5.0);
+        assert_eq!(out[0].finish, 105.0);
+    }
+
+    #[test]
+    fn fcfs_never_reorders() {
+        // Wide job blocks; a tiny job behind it must wait under FCFS.
+        let jobs = [
+            job(0, 4, 100.0, 100.0, 0.0), // occupies everything
+            job(1, 4, 100.0, 100.0, 1.0), // must wait for all 4
+            job(2, 1, 10.0, 10.0, 2.0),   // could fit, FCFS says no
+        ];
+        let out = simulate(4, Policy::Fcfs, &jobs);
+        assert_eq!(out[1].start, 100.0);
+        assert!(out[2].start >= 200.0, "tiny job must not pass the queue head");
+    }
+
+    #[test]
+    fn easy_backfills_the_tiny_job() {
+        let jobs = [
+            job(0, 3, 100.0, 100.0, 0.0), // leaves one node idle
+            job(1, 4, 100.0, 100.0, 1.0), // head: must wait until t=100
+            job(2, 1, 10.0, 10.0, 2.0),   // fits the idle node, ends by 12
+        ];
+        let out = simulate(4, Policy::EasyBackfill, &jobs);
+        // Job 2 fits in the hole while job 1 waits for nodes — allowed
+        // because its estimate ends before the head's reservation.
+        assert_eq!(out[2].start, 2.0);
+        // And the head was not delayed.
+        assert_eq!(out[1].start, 100.0);
+        // FCFS, by contrast, leaves the hole empty.
+        let fcfs = simulate(4, Policy::Fcfs, &jobs);
+        assert!(fcfs[2].start >= 100.0);
+    }
+
+    #[test]
+    fn easy_never_delays_the_reservation() {
+        // A backfill candidate whose estimate exceeds the shadow window
+        // and which would eat reserved nodes must NOT start.
+        let jobs = [
+            job(0, 3, 100.0, 100.0, 0.0), // 3 of 4 nodes busy until 100
+            job(1, 2, 50.0, 50.0, 1.0),   // head: needs 2, waits for t=100
+            job(2, 1, 500.0, 500.0, 2.0), // fits the idle node but runs long
+        ];
+        let out = simulate(4, Policy::EasyBackfill, &jobs);
+        // Candidate would hold its node until 502 — but the head only
+        // needs 2 nodes and 1 is beyond its reservation? Head needs 2:
+        // at t=100, 3 nodes free; reservation consumes 2, extra = 1 once
+        // job 0 ends, but at submit time extra counts nodes beyond the
+        // head's need *at shadow*: avail(4) - width(2) = 2... candidate
+        // width 1 <= extra, so it may run on the spare node.
+        assert_eq!(out[2].start, 2.0);
+        // Head still starts exactly at its reservation.
+        assert_eq!(out[1].start, 100.0);
+    }
+
+    #[test]
+    fn easy_blocks_backfill_that_would_delay_head() {
+        // All nodes needed by the head at shadow time: extra = 0, long
+        // candidate must wait.
+        let jobs = [
+            job(0, 4, 100.0, 100.0, 0.0),
+            job(1, 4, 50.0, 50.0, 1.0),   // head needs the whole machine
+            job(2, 1, 500.0, 500.0, 2.0), // would delay the head
+        ];
+        let out = simulate(4, Policy::EasyBackfill, &jobs);
+        assert_eq!(out[1].start, 100.0, "head must not be delayed");
+        assert!(out[2].start >= 150.0, "long candidate must not backfill");
+    }
+
+    #[test]
+    fn conservative_blocks_backfill_that_delays_any_reservation() {
+        // j2 fits the idle node and respects the HEAD's reservation (so
+        // EASY lets it run), but it would push the already-queued j3's
+        // reservation from t=150 past t=300 — conservative holds it back.
+        // (Arrival order matters: j3 must be queued before j2 arrives.)
+        let jobs = [
+            job(0, 3, 100.0, 100.0, 0.0), // 3 of 4 nodes until 100
+            job(1, 2, 50.0, 50.0, 1.0),   // head: reserved at 100
+            job(3, 4, 50.0, 50.0, 2.0),   // whole machine; reserved 150
+            job(2, 1, 300.0, 300.0, 3.0), // long; fits the idle node
+        ];
+        let easy = simulate(4, Policy::EasyBackfill, &jobs);
+        assert_eq!(easy[2].start, 3.0, "EASY backfills the long job");
+        assert!(easy[3].start >= 290.0, "...delaying the wide job");
+        let cons = simulate(4, Policy::ConservativeBackfill, &jobs);
+        assert!(cons[2].start >= 150.0, "conservative holds the long job");
+        assert_eq!(cons[3].start, 150.0, "wide job's reservation honoured");
+    }
+
+    #[test]
+    fn conservative_still_backfills_harmless_jobs() {
+        let jobs = [
+            job(0, 3, 100.0, 100.0, 0.0),
+            job(1, 4, 100.0, 100.0, 1.0), // head reserved at 100
+            job(2, 1, 10.0, 10.0, 2.0),   // ends long before 100
+        ];
+        let out = simulate(4, Policy::ConservativeBackfill, &jobs);
+        assert_eq!(out[2].start, 2.0);
+        assert_eq!(out[1].start, 100.0);
+    }
+
+    #[test]
+    fn policy_ordering_on_realistic_load() {
+        let cfg = WorkloadConfig {
+            mean_interarrival: 120.0,
+            ..WorkloadConfig::default()
+        };
+        let jobs = generate(&cfg, 400, 17);
+        let fcfs = run_and_summarize(64, Policy::Fcfs, &jobs);
+        let cons = run_and_summarize(64, Policy::ConservativeBackfill, &jobs);
+        let easy = run_and_summarize(64, Policy::EasyBackfill, &jobs);
+        // Both backfillers beat FCFS; EASY packs at least as well as
+        // conservative on makespan.
+        assert!(cons.mean_wait < fcfs.mean_wait);
+        assert!(easy.mean_wait < fcfs.mean_wait);
+        assert!(easy.makespan <= cons.makespan * 1.05);
+    }
+
+    #[test]
+    fn work_is_conserved_under_both_policies() {
+        let jobs = generate(&WorkloadConfig::default(), 300, 5);
+        for policy in [
+            Policy::Fcfs,
+            Policy::EasyBackfill,
+            Policy::ConservativeBackfill,
+        ] {
+            let out = simulate(64, policy, &jobs);
+            assert_eq!(out.len(), jobs.len());
+            for (o, j) in out.iter().zip(jobs.iter()) {
+                assert_eq!(o.id, j.id);
+                assert!(o.start >= j.arrival, "{policy:?} started before arrival");
+                assert!((o.finish - o.start - j.runtime).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn node_capacity_never_exceeded() {
+        // Reconstruct node usage over time from outcomes.
+        let jobs = generate(&WorkloadConfig::default(), 300, 6);
+        for policy in [
+            Policy::Fcfs,
+            Policy::EasyBackfill,
+            Policy::ConservativeBackfill,
+        ] {
+            let out = simulate(64, policy, &jobs);
+            let mut events: Vec<(f64, i64)> = Vec::new();
+            for o in &out {
+                events.push((o.start, o.width as i64));
+                events.push((o.finish, -(o.width as i64)));
+            }
+            events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut used = 0i64;
+            for (_, delta) in events {
+                used += delta;
+                assert!(used <= 64, "{policy:?} oversubscribed: {used}");
+                assert!(used >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn backfill_improves_throughput_on_realistic_load() {
+        // Heavier load than default so queues form.
+        let cfg = WorkloadConfig {
+            mean_interarrival: 120.0,
+            ..WorkloadConfig::default()
+        };
+        let jobs = generate(&cfg, 1000, 42);
+        let fcfs = run_and_summarize(64, Policy::Fcfs, &jobs);
+        let easy = run_and_summarize(64, Policy::EasyBackfill, &jobs);
+        assert!(
+            easy.mean_wait < fcfs.mean_wait * 0.9,
+            "backfill should cut waits: easy {} vs fcfs {}",
+            easy.mean_wait,
+            fcfs.mean_wait
+        );
+        assert!(easy.makespan <= fcfs.makespan * 1.001);
+        assert!(easy.utilization >= fcfs.utilization * 0.999);
+    }
+
+    #[test]
+    fn fcfs_order_is_strict_by_start_time() {
+        let jobs = generate(&WorkloadConfig::default(), 200, 8);
+        let out = simulate(64, Policy::Fcfs, &jobs);
+        // Under FCFS, start times are non-decreasing in arrival order.
+        for w in out.windows(2) {
+            assert!(w[0].start <= w[1].start + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the machine")]
+    fn oversized_job_rejected() {
+        simulate(4, Policy::Fcfs, &[job(0, 8, 10.0, 10.0, 0.0)]);
+    }
+}

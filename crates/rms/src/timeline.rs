@@ -1,0 +1,131 @@
+//! Availability timeline: piecewise-constant free-node count over future
+//! time, used by conservative backfill to place reservations.
+
+/// Node availability from a reference time onward, as a base level plus
+/// step changes at future instants.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    origin: f64,
+    base: i64,
+    /// (time, delta) steps, kept sorted by time.
+    steps: Vec<(f64, i64)>,
+}
+
+impl Timeline {
+    pub fn new(origin: f64, free_now: u32) -> Self {
+        Timeline {
+            origin,
+            base: free_now as i64,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Add `width` nodes back at `time` (a running job's estimated end).
+    pub fn release_at(&mut self, time: f64, width: u32) {
+        self.add_step(time, width as i64);
+    }
+
+    fn add_step(&mut self, time: f64, delta: i64) {
+        let time = time.max(self.origin);
+        let pos = self
+            .steps
+            .partition_point(|&(t, _)| t <= time);
+        self.steps.insert(pos, (time, delta));
+    }
+
+    /// Free nodes at time `t` (t >= origin).
+    pub fn avail_at(&self, t: f64) -> i64 {
+        self.base
+            + self
+                .steps
+                .iter()
+                .take_while(|&&(st, _)| st <= t)
+                .map(|&(_, d)| d)
+                .sum::<i64>()
+    }
+
+    /// Earliest time >= origin at which `width` nodes stay free for
+    /// `duration` seconds.
+    pub fn earliest_fit(&self, width: u32, duration: f64) -> f64 {
+        let w = width as i64;
+        let mut candidates = vec![self.origin];
+        candidates.extend(self.steps.iter().map(|&(t, _)| t));
+        candidates.sort_by(|a, b| a.total_cmp(b));
+        candidates.dedup();
+        'outer: for &start in &candidates {
+            if start < self.origin {
+                continue;
+            }
+            if self.avail_at(start) < w {
+                continue;
+            }
+            // Availability may dip inside the window.
+            let end = start + duration;
+            for &(t, _) in &self.steps {
+                if t > start && t < end && self.avail_at(t) < w {
+                    continue 'outer;
+                }
+            }
+            return start;
+        }
+        // Beyond the last step everything is free again at base + sum.
+        f64::INFINITY
+    }
+
+    /// Reserve `width` nodes over `[start, start + duration)`.
+    pub fn commit(&mut self, start: f64, duration: f64, width: u32) {
+        self.add_step(start, -(width as i64));
+        self.add_step(start + duration, width as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline_fits_immediately() {
+        let tl = Timeline::new(10.0, 4);
+        assert_eq!(tl.avail_at(10.0), 4);
+        assert_eq!(tl.earliest_fit(4, 100.0), 10.0);
+        assert_eq!(tl.earliest_fit(5, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn releases_open_windows() {
+        let mut tl = Timeline::new(0.0, 1);
+        tl.release_at(100.0, 3);
+        assert_eq!(tl.avail_at(0.0), 1);
+        assert_eq!(tl.avail_at(100.0), 4);
+        assert_eq!(tl.earliest_fit(1, 10.0), 0.0);
+        assert_eq!(tl.earliest_fit(2, 10.0), 100.0);
+    }
+
+    #[test]
+    fn commit_blocks_the_window() {
+        let mut tl = Timeline::new(0.0, 4);
+        tl.commit(0.0, 50.0, 4);
+        assert_eq!(tl.avail_at(0.0), 0);
+        assert_eq!(tl.avail_at(50.0), 4);
+        assert_eq!(tl.earliest_fit(2, 10.0), 50.0);
+    }
+
+    #[test]
+    fn dips_inside_the_window_are_respected() {
+        let mut tl = Timeline::new(0.0, 4);
+        // A reservation occupies 3 nodes during [20, 40).
+        tl.commit(20.0, 20.0, 3);
+        // A 2-node job of 30s cannot start at 0 (dip at 20) nor at 20;
+        // earliest is 40.
+        assert_eq!(tl.earliest_fit(2, 30.0), 40.0);
+        // But a 1-node job fits right away.
+        assert_eq!(tl.earliest_fit(1, 30.0), 0.0);
+    }
+
+    #[test]
+    fn steps_before_origin_clamp() {
+        let mut tl = Timeline::new(100.0, 0);
+        tl.release_at(50.0, 2); // already released in the past
+        assert_eq!(tl.avail_at(100.0), 2);
+    }
+}

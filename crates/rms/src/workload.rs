@@ -1,0 +1,179 @@
+//! Synthetic workload generation.
+//!
+//! Substitution note (DESIGN.md): production job traces are not
+//! available here, so we generate workloads with the three properties
+//! that drive scheduler behaviour in the trace literature
+//! (Lublin–Feitelson): Poisson-ish arrivals, log-uniform runtimes
+//! spanning seconds to a day, and power-of-two-biased widths. User
+//! estimates overestimate runtimes by a uniform factor, which is what
+//! gives EASY backfill its holes to fill.
+
+use crate::job::Job;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal, Uniform};
+use serde::{Deserialize, Serialize};
+
+/// Workload generator parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Mean inter-arrival time, seconds.
+    pub mean_interarrival: f64,
+    /// Log-normal runtime: mean of ln(runtime).
+    pub runtime_mu: f64,
+    /// Log-normal runtime: std-dev of ln(runtime).
+    pub runtime_sigma: f64,
+    /// Maximum job width as a power of two exponent (width ≤ 2^this).
+    pub max_width_log2: u32,
+    /// Probability a width is an exact power of two.
+    pub pow2_fraction: f64,
+    /// Estimates are runtime × U(1, this).
+    pub max_overestimate: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mean_interarrival: 600.0, // ~144 jobs/day
+            runtime_mu: 6.5,          // median ~11 min
+            runtime_sigma: 1.8,
+            max_width_log2: 6, // up to 64 nodes
+            pow2_fraction: 0.75,
+            max_overestimate: 5.0,
+        }
+    }
+}
+
+/// Generate `n` jobs deterministically from `seed`.
+pub fn generate(cfg: &WorkloadConfig, n: usize, seed: u64) -> Vec<Job> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inter = Exp::new(1.0 / cfg.mean_interarrival).expect("positive rate");
+    let runtime = LogNormal::new(cfg.runtime_mu, cfg.runtime_sigma).expect("valid lognormal");
+    let over = Uniform::new(1.0, cfg.max_overestimate).expect("range");
+    let mut t = 0.0;
+    (0..n)
+        .map(|i| {
+            t += inter.sample(&mut rng);
+            let r: f64 = runtime.sample(&mut rng).clamp(1.0, 86_400.0);
+            let e = r * over.sample(&mut rng);
+            let exp = rng.random_range(0..=cfg.max_width_log2);
+            let width = if rng.random_bool(cfg.pow2_fraction) {
+                1u32 << exp
+            } else {
+                rng.random_range(1..=(1u32 << cfg.max_width_log2))
+            };
+            Job::new(i as u64, width, r, e, t)
+        })
+        .collect()
+}
+
+/// Per-node failure model: exponential time-to-failure (constant hazard),
+/// the standard first-order assumption for commodity parts.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FailureModel {
+    /// Per-node mean time between failures, seconds.
+    pub node_mtbf: f64,
+}
+
+impl FailureModel {
+    /// System MTBF for `nodes` independent nodes.
+    pub fn system_mtbf(&self, nodes: u32) -> f64 {
+        self.node_mtbf / nodes.max(1) as f64
+    }
+
+    /// Sample failure times of the whole system within `[0, horizon)`.
+    pub fn sample_failures(&self, nodes: u32, horizon: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let exp = Exp::new(1.0 / self.system_mtbf(nodes)).expect("positive rate");
+        let mut t = 0.0;
+        let mut out = Vec::new();
+        loop {
+            t += exp.sample(&mut rng);
+            if t >= horizon {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(generate(&cfg, 50, 7), generate(&cfg, 50, 7));
+        assert_ne!(generate(&cfg, 50, 7), generate(&cfg, 50, 8));
+    }
+
+    #[test]
+    fn arrivals_increase_and_average_out() {
+        let cfg = WorkloadConfig::default();
+        let jobs = generate(&cfg, 2000, 42);
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+        let mean = jobs.last().unwrap().arrival / jobs.len() as f64;
+        assert!(
+            (cfg.mean_interarrival * 0.9..cfg.mean_interarrival * 1.1).contains(&mean),
+            "mean interarrival {mean}"
+        );
+    }
+
+    #[test]
+    fn widths_bounded_and_pow2_biased() {
+        let cfg = WorkloadConfig::default();
+        let jobs = generate(&cfg, 2000, 1);
+        let max = 1u32 << cfg.max_width_log2;
+        assert!(jobs.iter().all(|j| (1..=max).contains(&j.width)));
+        let pow2 = jobs.iter().filter(|j| j.width.is_power_of_two()).count();
+        assert!(
+            pow2 as f64 / jobs.len() as f64 > 0.6,
+            "power-of-two bias missing: {pow2}/{}",
+            jobs.len()
+        );
+    }
+
+    #[test]
+    fn estimates_cover_runtimes() {
+        let jobs = generate(&WorkloadConfig::default(), 500, 3);
+        assert!(jobs.iter().all(|j| j.estimate >= j.runtime));
+        // And genuinely overestimate on average.
+        let mean_ratio: f64 =
+            jobs.iter().map(|j| j.estimate / j.runtime).sum::<f64>() / jobs.len() as f64;
+        assert!(mean_ratio > 1.5, "ratio {mean_ratio}");
+    }
+
+    #[test]
+    fn runtimes_span_decades() {
+        let jobs = generate(&WorkloadConfig::default(), 2000, 9);
+        let min = jobs.iter().map(|j| j.runtime).fold(f64::MAX, f64::min);
+        let max = jobs.iter().map(|j| j.runtime).fold(0.0, f64::max);
+        assert!(min < 60.0, "short jobs exist: {min}");
+        assert!(max > 3_600.0, "long jobs exist: {max}");
+    }
+
+    #[test]
+    fn system_mtbf_scales_inversely() {
+        let f = FailureModel { node_mtbf: 1e6 };
+        assert_eq!(f.system_mtbf(1), 1e6);
+        assert_eq!(f.system_mtbf(1000), 1e3);
+    }
+
+    #[test]
+    fn failure_sampling_rate_is_calibrated() {
+        let f = FailureModel { node_mtbf: 1e5 };
+        let horizon = 1e6;
+        let fails = f.sample_failures(100, horizon, 11);
+        // Expected: horizon / (1e5/100) = 1000 failures.
+        assert!(
+            (800..1200).contains(&fails.len()),
+            "failures {}",
+            fails.len()
+        );
+        assert!(fails.windows(2).all(|w| w[0] <= w[1]));
+        assert!(fails.iter().all(|&t| t < horizon));
+    }
+}

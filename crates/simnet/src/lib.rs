@@ -1,0 +1,54 @@
+//! # polaris-simnet
+//!
+//! Deterministic discrete-event simulation of commodity-cluster
+//! interconnects: the substrate under Polaris's scaling experiments.
+//!
+//! The crate provides three layers:
+//!
+//! 1. **Engine** ([`engine`], [`event`], [`time`]): a minimal
+//!    event-queue/clock/dispatch core with picosecond resolution and
+//!    bit-reproducible tie-breaking.
+//! 2. **Interconnect models** ([`link`], [`topology`]): parameterized
+//!    link models with presets for the interconnect generations the
+//!    CLUSTER 2002 keynote names (Fast Ethernet through InfiniBand and
+//!    optical switching), and routed topologies (crossbar, ring, torus,
+//!    fat tree).
+//! 3. **Network simulators**: a fast flow-level contention model
+//!    ([`network`]) used at scale, a packet-level output-queued reference
+//!    ([`switch`], [`packet`]) used to validate it, and an optical
+//!    circuit-switching model ([`circuit`]).
+//!
+//! ```
+//! use polaris_simnet::prelude::*;
+//!
+//! let topo = Topology::new(TopologyKind::FatTree { k: 4 });
+//! let mut net = Network::new(topo, Generation::InfiniBand4x.link_model());
+//! let d = net.transfer(SimTime::ZERO, 0, 15, 64 * 1024);
+//! assert!(d.arrival > SimTime::ZERO);
+//! ```
+
+pub mod circuit;
+pub mod engine;
+pub mod event;
+pub mod link;
+pub mod network;
+pub mod packet;
+pub mod packetnet;
+pub mod rng;
+pub mod stats;
+pub mod switch;
+pub mod time;
+pub mod topology;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::circuit::{CircuitConfig, CircuitNetwork};
+    pub use crate::engine::{run, RunStats, Scheduler, World};
+    pub use crate::link::{Generation, LinkId, LinkModel};
+    pub use crate::network::{Delivery, LossConfig, Network};
+    pub use crate::packetnet::{simulate_packets, Completion, Injection};
+    pub use crate::rng::SplitMix64;
+    pub use crate::stats::{Log2Histogram, Summary};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{Topology, TopologyKind, Vertex};
+}

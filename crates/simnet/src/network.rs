@@ -1,0 +1,318 @@
+//! Flow-level network model with per-link contention.
+//!
+//! [`Network`] charges each message's serialization time against every
+//! link on its route, tracking per-link `busy_until` horizons. It is the
+//! fast model used by the scaling experiments (thousands of nodes);
+//! `switch.rs` holds a packet-level reference model used to validate its
+//! behaviour in the small.
+//!
+//! Callers must present transfers in non-decreasing time order (the
+//! discrete-event executors do this by construction); the model then
+//! yields deterministic, contention-aware delivery times.
+
+use crate::link::{LinkModel, LinkState};
+use crate::rng::SplitMix64;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// Result of presenting one transfer to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the last byte arrives at the destination NIC.
+    pub arrival: SimTime,
+    /// Whether loss injection dropped the message (arrival is then the
+    /// time the loss would have been detected at the sender's timeout).
+    pub dropped: bool,
+}
+
+/// Loss-injection configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LossConfig {
+    /// Probability that a given message is dropped.
+    pub drop_prob: f64,
+    /// Seed for the deterministic drop stream.
+    pub seed: u64,
+}
+
+/// Bandwidth used for rank-local (loopback) transfers: a 2002-era memory
+/// copy, 2 GB/s.
+const LOCAL_COPY_BPS: u64 = 2_000_000_000;
+
+pub struct Network {
+    topo: Topology,
+    model: LinkModel,
+    links: Vec<LinkState>,
+    loss: Option<(f64, SplitMix64)>,
+    transfers: u64,
+    payload_bytes: u64,
+    dropped: u64,
+}
+
+impl Network {
+    pub fn new(topo: Topology, model: LinkModel) -> Self {
+        let n = topo.link_count();
+        Network {
+            topo,
+            model,
+            links: vec![LinkState::default(); n],
+            loss: None,
+            transfers: 0,
+            payload_bytes: 0,
+            dropped: 0,
+        }
+    }
+
+    pub fn with_loss(mut self, cfg: LossConfig) -> Self {
+        self.loss = Some((cfg.drop_prob, SplitMix64::new(cfg.seed)));
+        self
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn model(&self) -> &LinkModel {
+        &self.model
+    }
+
+    /// Present a transfer of `bytes` payload from `src` to `dst` starting
+    /// at `now`; returns the contention-aware delivery time.
+    pub fn transfer(&mut self, now: SimTime, src: u32, dst: u32, bytes: u64) -> Delivery {
+        self.transfers += 1;
+        self.payload_bytes += bytes;
+        if src == dst {
+            // Loopback: a local memory copy, never on the wire.
+            let t = SimDuration::from_secs_f64(bytes as f64 / LOCAL_COPY_BPS as f64);
+            return Delivery {
+                arrival: now + t,
+                dropped: false,
+            };
+        }
+        if let Some((p, rng)) = &mut self.loss {
+            if rng.chance(*p) {
+                self.dropped += 1;
+                // The sender learns of the loss only after a timeout;
+                // model that as the nominal delivery time (retransmission
+                // policy layers on top).
+                let nominal = now + self.model.message_time(bytes, self.topo.hops(src, dst));
+                return Delivery {
+                    arrival: nominal,
+                    dropped: true,
+                };
+            }
+        }
+        let route = self.topo.route(src, dst);
+        let hops = route.len() as u32;
+        let ser = self.model.serialize_payload(bytes);
+        let wire_bytes = self.model.wire_bytes(bytes);
+        // Per-hop forwarding cost of the message head: for cut-through the
+        // head moves on after the header is through; store-and-forward
+        // re-serializes the first packet.
+        let fwd = if self.model.cut_through {
+            self.model.serialize(self.model.header_bytes as u64)
+        } else {
+            self.model
+                .serialize(bytes.min(self.model.mtu as u64) + self.model.header_bytes as u64)
+        };
+        let hop_lat = SimDuration::from_ps(self.model.hop_latency);
+        // Walk the route charging occupancy; `extra` accumulates queueing
+        // delay beyond the uncontended schedule.
+        let mut extra = SimDuration::ZERO;
+        for (i, link) in route.iter().enumerate() {
+            let nominal_head = now + extra + (hop_lat + fwd).saturating_mul(i as u64);
+            let st = &mut self.links[link.0 as usize];
+            let start = nominal_head.max(st.busy_until);
+            extra += start.since(nominal_head);
+            st.busy_until = start + ser;
+            st.bytes_carried += wire_bytes;
+            st.busy_time += ser;
+        }
+        let arrival = now + extra + self.model.message_time(bytes, hops);
+        Delivery {
+            arrival,
+            dropped: false,
+        }
+    }
+
+    /// Uncontended transfer time (does not disturb link state).
+    pub fn nominal_time(&self, src: u32, dst: u32, bytes: u64) -> SimDuration {
+        if src == dst {
+            SimDuration::from_secs_f64(bytes as f64 / LOCAL_COPY_BPS as f64)
+        } else {
+            self.model.message_time(bytes, self.topo.hops(src, dst))
+        }
+    }
+
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Peak link utilization over the interval `[0, horizon]`.
+    pub fn peak_link_utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.links
+            .iter()
+            .map(|l| l.busy_time.as_ps() as f64 / horizon.as_ps() as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total bytes carried across all links (payload + headers, counted
+    /// once per traversed link).
+    pub fn total_link_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes_carried).sum()
+    }
+
+    /// Reset link occupancy but keep topology/model (new experiment run).
+    pub fn reset(&mut self) {
+        for l in &mut self.links {
+            *l = LinkState::default();
+        }
+        self.transfers = 0;
+        self.payload_bytes = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Generation;
+    use crate::topology::TopologyKind;
+
+    fn net(kind: TopologyKind, g: Generation) -> Network {
+        Network::new(Topology::new(kind), g.link_model())
+    }
+
+    #[test]
+    fn uncontended_matches_analytic_model() {
+        let mut n = net(
+            TopologyKind::Crossbar { hosts: 4 },
+            Generation::InfiniBand4x,
+        );
+        let d = n.transfer(SimTime::ZERO, 0, 1, 4096);
+        let expect = n.model().message_time(4096, 2);
+        assert_eq!(d.arrival, SimTime::ZERO + expect);
+        assert!(!d.dropped);
+    }
+
+    #[test]
+    fn loopback_is_fast_and_off_the_wire() {
+        let mut n = net(TopologyKind::Crossbar { hosts: 4 }, Generation::FastEthernet);
+        let d = n.transfer(SimTime::ZERO, 2, 2, 1 << 20);
+        assert!(d.arrival < SimTime::ZERO + n.model().message_time(1 << 20, 2));
+        assert_eq!(n.total_link_bytes(), 0);
+    }
+
+    #[test]
+    fn contention_serializes_same_destination() {
+        let mut n = net(
+            TopologyKind::Crossbar { hosts: 4 },
+            Generation::GigabitEthernet,
+        );
+        let bytes = 1 << 20;
+        // Two senders target node 0 at the same instant: the second must
+        // wait roughly a full serialization on the shared downlink.
+        let d1 = n.transfer(SimTime::ZERO, 1, 0, bytes);
+        let d2 = n.transfer(SimTime::ZERO, 2, 0, bytes);
+        let ser = n.model().serialize_payload(bytes);
+        assert!(d2.arrival.since(d1.arrival) >= SimDuration::from_ps(ser.as_ps() * 9 / 10));
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interfere() {
+        let mut n = net(
+            TopologyKind::Crossbar { hosts: 8 },
+            Generation::GigabitEthernet,
+        );
+        let d1 = n.transfer(SimTime::ZERO, 0, 1, 1 << 20);
+        let d2 = n.transfer(SimTime::ZERO, 2, 3, 1 << 20);
+        assert_eq!(d1.arrival, d2.arrival);
+    }
+
+    #[test]
+    fn later_transfer_on_free_link_is_unaffected() {
+        let mut n = net(
+            TopologyKind::Crossbar { hosts: 4 },
+            Generation::GigabitEthernet,
+        );
+        n.transfer(SimTime::ZERO, 0, 1, 1 << 20);
+        let late = SimTime::ZERO + SimDuration::from_secs(1);
+        let d = n.transfer(late, 0, 1, 4096);
+        assert_eq!(d.arrival, late + n.model().message_time(4096, 2));
+    }
+
+    #[test]
+    fn loss_injection_is_deterministic_and_calibrated() {
+        let mk = || {
+            net(TopologyKind::Ring { hosts: 4 }, Generation::Myrinet2000).with_loss(LossConfig {
+                drop_prob: 0.2,
+                seed: 99,
+            })
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut drops = 0;
+        for i in 0..1000 {
+            let t = SimTime(i * 1_000_000);
+            let da = a.transfer(t, 0, 1, 100);
+            let db = b.transfer(t, 0, 1, 100);
+            assert_eq!(da, db);
+            if da.dropped {
+                drops += 1;
+            }
+        }
+        assert!((150..250).contains(&drops), "drops = {drops}");
+        assert_eq!(a.dropped(), drops);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut n = net(TopologyKind::Ring { hosts: 4 }, Generation::Myrinet2000);
+        n.transfer(SimTime::ZERO, 0, 2, 1000);
+        assert_eq!(n.transfers(), 1);
+        assert_eq!(n.payload_bytes(), 1000);
+        assert!(n.total_link_bytes() >= 2 * 1000); // two hops
+        n.reset();
+        assert_eq!(n.transfers(), 0);
+        assert_eq!(n.total_link_bytes(), 0);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one_under_saturation() {
+        let mut n = net(
+            TopologyKind::Crossbar { hosts: 2 },
+            Generation::FastEthernet,
+        );
+        let mut t = SimTime::ZERO;
+        for _ in 0..50 {
+            let d = n.transfer(t, 0, 1, 1 << 16);
+            t = d.arrival;
+        }
+        let u = n.peak_link_utilization(t);
+        assert!(u > 0.5 && u <= 1.0, "utilization = {u}");
+    }
+
+    #[test]
+    fn faster_generation_delivers_sooner() {
+        for (slow, fast) in [
+            (Generation::FastEthernet, Generation::GigabitEthernet),
+            (Generation::GigabitEthernet, Generation::InfiniBand4x),
+        ] {
+            let mut a = net(TopologyKind::Crossbar { hosts: 2 }, slow);
+            let mut b = net(TopologyKind::Crossbar { hosts: 2 }, fast);
+            let da = a.transfer(SimTime::ZERO, 0, 1, 1 << 16);
+            let db = b.transfer(SimTime::ZERO, 0, 1, 1 << 16);
+            assert!(db.arrival < da.arrival);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Packets and message segmentation for the packet-level reference model.
+
+use crate::link::LinkModel;
+
+/// One packet of a segmented message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Message this packet belongs to.
+    pub msg_id: u64,
+    /// Source host rank.
+    pub src: u32,
+    /// Destination host rank.
+    pub dst: u32,
+    /// Payload bytes in this packet.
+    pub payload: u32,
+    /// Sequence number within the message, starting at 0.
+    pub seq: u32,
+    /// True for the final packet of the message.
+    pub last: bool,
+}
+
+impl Packet {
+    /// Bytes this packet occupies on the wire under `model`.
+    pub fn wire_bytes(&self, model: &LinkModel) -> u64 {
+        self.payload as u64 + model.header_bytes as u64
+    }
+}
+
+/// Segment a message into MTU-sized packets. A zero-byte message still
+/// produces one (empty) packet so that control messages exist on the wire.
+pub fn segment(msg_id: u64, src: u32, dst: u32, bytes: u64, model: &LinkModel) -> Vec<Packet> {
+    let mtu = model.mtu as u64;
+    let npkts = model.packets_for(bytes);
+    (0..npkts)
+        .map(|i| {
+            let off = i * mtu;
+            let payload = if bytes == 0 {
+                0
+            } else {
+                (bytes - off).min(mtu) as u32
+            };
+            Packet {
+                msg_id,
+                src,
+                dst,
+                payload,
+                seq: i as u32,
+                last: i + 1 == npkts,
+            }
+        })
+        .collect()
+}
+
+/// Tracks reassembly of segmented messages at a receiver.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    inflight: std::collections::HashMap<u64, (u64, bool)>, // msg_id -> (bytes, saw_last)
+}
+
+/// A fully reassembled message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reassembled {
+    pub msg_id: u64,
+    pub src: u32,
+    pub bytes: u64,
+}
+
+impl Reassembler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account one arriving packet; returns the completed message if this
+    /// packet finishes it. Packets of one message must arrive in order
+    /// (the simulated fabrics preserve per-flow ordering).
+    pub fn push(&mut self, pkt: Packet) -> Option<Reassembled> {
+        let entry = self.inflight.entry(pkt.msg_id).or_insert((0, false));
+        entry.0 += pkt.payload as u64;
+        entry.1 |= pkt.last;
+        if entry.1 {
+            let (bytes, _) = self.inflight.remove(&pkt.msg_id).expect("entry exists");
+            Some(Reassembled {
+                msg_id: pkt.msg_id,
+                src: pkt.src,
+                bytes,
+            })
+        } else {
+            None
+        }
+    }
+
+    pub fn pending(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Generation;
+
+    #[test]
+    fn segmentation_covers_payload_exactly() {
+        let m = Generation::GigabitEthernet.link_model();
+        for bytes in [0u64, 1, 1499, 1500, 1501, 10_000, 1 << 20] {
+            let pkts = segment(1, 0, 1, bytes, &m);
+            let total: u64 = pkts.iter().map(|p| p.payload as u64).sum();
+            assert_eq!(total, bytes);
+            assert_eq!(pkts.len() as u64, m.packets_for(bytes));
+            assert!(pkts.last().unwrap().last);
+            assert_eq!(pkts.iter().filter(|p| p.last).count(), 1);
+            for (i, p) in pkts.iter().enumerate() {
+                assert_eq!(p.seq as usize, i);
+                assert!(p.payload <= m.mtu);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_byte_message_is_one_empty_packet() {
+        let m = Generation::Myrinet2000.link_model();
+        let pkts = segment(7, 2, 3, 0, &m);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].payload, 0);
+        assert!(pkts[0].last);
+    }
+
+    #[test]
+    fn reassembly_roundtrip() {
+        let m = Generation::InfiniBand4x.link_model();
+        let pkts = segment(42, 5, 6, 10_000, &m);
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for p in pkts {
+            if let Some(msg) = r.push(p) {
+                done = Some(msg);
+            }
+        }
+        let msg = done.expect("message completes");
+        assert_eq!(msg.msg_id, 42);
+        assert_eq!(msg.src, 5);
+        assert_eq!(msg.bytes, 10_000);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_messages_reassemble_independently() {
+        let m = Generation::GigabitEthernet.link_model();
+        let a = segment(1, 0, 9, 3000, &m);
+        let b = segment(2, 1, 9, 3000, &m);
+        let mut r = Reassembler::new();
+        let mut finished = vec![];
+        for (pa, pb) in a.into_iter().zip(b) {
+            if let Some(x) = r.push(pa) {
+                finished.push(x.msg_id);
+            }
+            if let Some(x) = r.push(pb) {
+                finished.push(x.msg_id);
+            }
+        }
+        assert_eq!(finished, vec![1, 2]);
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let m = Generation::GigabitEthernet.link_model();
+        let p = segment(1, 0, 1, 100, &m).pop().unwrap();
+        assert_eq!(p.wire_bytes(&m), 100 + m.header_bytes as u64);
+    }
+}

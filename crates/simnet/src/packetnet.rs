@@ -1,0 +1,326 @@
+//! Packet-level simulation over arbitrary routed topologies.
+//!
+//! The general-topology companion to `switch.rs`'s single crossbar:
+//! every packet traverses its route link by link through output-queued
+//! switches, with per-link FIFO serialization, cut-through or
+//! store-and-forward forwarding, and per-hop propagation. This is the
+//! highest-fidelity network model in the crate; its role is to validate
+//! the fast flow-level model (`network.rs`) on multi-hop topologies —
+//! the cross-validation tests at the bottom are the deliverable.
+
+use crate::engine::{run, Scheduler, World};
+use crate::link::{LinkId, LinkModel};
+use crate::packet::{segment, Packet, Reassembler};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// A message to inject.
+#[derive(Debug, Clone, Copy)]
+pub struct Injection {
+    pub at: SimTime,
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+}
+
+/// A completed message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    pub msg_id: u64,
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+    pub at: SimTime,
+}
+
+/// A packet annotated with its route progress.
+#[derive(Debug, Clone)]
+struct RoutedPacket {
+    pkt: Packet,
+    route: std::sync::Arc<Vec<LinkId>>,
+    /// Index of the link this packet is queued on / traversing.
+    hop: usize,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A packet is ready to contend for the link at its current hop.
+    Enqueue(RoutedPacket),
+    /// The link finished serializing its current packet.
+    LinkFree(LinkId),
+    /// A packet's tail fully arrived at the final host.
+    Deliver(RoutedPacket),
+}
+
+struct PacketNet {
+    topo: Topology,
+    model: LinkModel,
+    queues: Vec<VecDeque<RoutedPacket>>,
+    busy: Vec<bool>,
+    reasm: Reassembler,
+    meta: std::collections::HashMap<u64, (u32, u32)>, // msg_id -> (src, dst)
+    completions: Vec<Completion>,
+}
+
+impl PacketNet {
+    fn ser(&self, pkt: &Packet) -> SimDuration {
+        self.model.serialize(pkt.wire_bytes(&self.model))
+    }
+
+    fn fwd_delay(&self, pkt: &Packet) -> SimDuration {
+        // How long after a link starts serializing before the next hop
+        // can begin: cut-through forwards once the header is through,
+        // store-and-forward only after the whole packet.
+        let hdr = self.model.serialize(self.model.header_bytes as u64);
+        let lat = SimDuration::from_ps(self.model.hop_latency);
+        if self.model.cut_through {
+            hdr + lat
+        } else {
+            self.ser(pkt) + lat
+        }
+    }
+
+    /// Start serializing the head packet of `link` if idle.
+    fn try_start(&mut self, sched: &mut Scheduler<Ev>, link: LinkId) {
+        let li = link.0 as usize;
+        if self.busy[li] {
+            return;
+        }
+        let Some(rp) = self.queues[li].pop_front() else {
+            return;
+        };
+        self.busy[li] = true;
+        let ser = self.ser(&rp.pkt);
+        let fwd = self.fwd_delay(&rp.pkt);
+        let lat = SimDuration::from_ps(self.model.hop_latency);
+        sched.after(ser, Ev::LinkFree(link));
+        let last_hop = rp.hop + 1 == rp.route.len();
+        if last_hop {
+            // Tail arrives at the destination host after full
+            // serialization plus propagation.
+            let mut done = rp;
+            done.hop += 1;
+            sched.after(ser + lat, Ev::Deliver(done));
+        } else {
+            let mut next = rp;
+            next.hop += 1;
+            sched.after(fwd, Ev::Enqueue(next));
+        }
+    }
+}
+
+impl World for PacketNet {
+    type Event = Ev;
+
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        match ev {
+            Ev::Enqueue(rp) => {
+                let link = rp.route[rp.hop];
+                self.queues[link.0 as usize].push_back(rp);
+                self.try_start(sched, link);
+            }
+            Ev::LinkFree(link) => {
+                self.busy[link.0 as usize] = false;
+                self.try_start(sched, link);
+            }
+            Ev::Deliver(rp) => {
+                if let Some(msg) = self.reasm.push(rp.pkt) {
+                    let (src, dst) = self.meta[&msg.msg_id];
+                    self.completions.push(Completion {
+                        msg_id: msg.msg_id,
+                        src,
+                        dst,
+                        bytes: msg.bytes,
+                        at: sched.now(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Simulate `injections` at packet granularity; returns completions
+/// sorted by arrival time. Loopback (src == dst) is not modeled here —
+/// it never touches the network.
+pub fn simulate_packets(
+    topo: Topology,
+    model: LinkModel,
+    injections: &[Injection],
+) -> Vec<Completion> {
+    let n_links = topo.link_count();
+    let mut world = PacketNet {
+        topo,
+        model,
+        queues: (0..n_links).map(|_| VecDeque::new()).collect(),
+        busy: vec![false; n_links],
+        reasm: Reassembler::new(),
+        meta: std::collections::HashMap::new(),
+        completions: Vec::new(),
+    };
+    let mut sched = Scheduler::new();
+    for (id, inj) in injections.iter().enumerate() {
+        assert_ne!(inj.src, inj.dst, "loopback is not a network transfer");
+        let route = std::sync::Arc::new(world.topo.route(inj.src, inj.dst));
+        world.meta.insert(id as u64, (inj.src, inj.dst));
+        for pkt in segment(id as u64, inj.src, inj.dst, inj.bytes, &world.model) {
+            sched.at(
+                inj.at,
+                Ev::Enqueue(RoutedPacket {
+                    pkt,
+                    route: std::sync::Arc::clone(&route),
+                    hop: 0,
+                }),
+            );
+        }
+    }
+    run(&mut world, &mut sched, None);
+    let mut done = world.completions;
+    done.sort_by_key(|c| (c.at, c.msg_id));
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Generation;
+    use crate::network::Network;
+    use crate::topology::TopologyKind;
+
+    fn inj(src: u32, dst: u32, bytes: u64) -> Injection {
+        Injection {
+            at: SimTime::ZERO,
+            src,
+            dst,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn single_transfer_matches_analytic_time() {
+        for g in [Generation::GigabitEthernet, Generation::InfiniBand4x] {
+            let m = g.link_model();
+            for (kind, src, dst) in [
+                (TopologyKind::FatTree { k: 4 }, 0u32, 15u32), // 6 hops
+                (TopologyKind::Torus2D { w: 4, h: 4 }, 0, 5),  // 2 hops
+                (TopologyKind::Ring { hosts: 8 }, 0, 3),       // 3 hops
+            ] {
+                let topo = Topology::new(kind);
+                let hops = topo.hops(src, dst);
+                let bytes = 20_000u64;
+                let done = simulate_packets(topo, m, &[inj(src, dst, bytes)]);
+                assert_eq!(done.len(), 1);
+                let sim = done[0].at.since(SimTime::ZERO);
+                let analytic = m.message_time(bytes, hops);
+                let ratio = sim.as_secs() / analytic.as_secs();
+                assert!(
+                    (0.8..1.3).contains(&ratio),
+                    "{g:?} {kind:?}: packet {sim} vs analytic {analytic} (ratio {ratio})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_fat_tree_downlink_halves_throughput() {
+        let m = Generation::InfiniBand4x.link_model();
+        let bytes = 1 << 20;
+        let solo = simulate_packets(
+            Topology::new(TopologyKind::FatTree { k: 4 }),
+            m,
+            &[inj(4, 0, bytes)],
+        );
+        let pair = simulate_packets(
+            Topology::new(TopologyKind::FatTree { k: 4 }),
+            m,
+            &[inj(4, 0, bytes), inj(8, 0, bytes)],
+        );
+        let ratio = pair.last().unwrap().at.as_secs() / solo[0].at.as_secs();
+        assert!(
+            (1.7..2.3).contains(&ratio),
+            "two flows into one host: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn disjoint_torus_neighbors_do_not_contend() {
+        // Every even host sends one hop east simultaneously: all links
+        // disjoint, so all complete in one uncontended transfer time.
+        let m = Generation::Myrinet2000.link_model();
+        let topo = Topology::new(TopologyKind::Torus2D { w: 4, h: 4 });
+        let injections: Vec<Injection> = (0..16u32)
+            .filter(|h| h % 2 == 0)
+            .map(|h| {
+                let row = h / 4;
+                inj(h, row * 4 + (h + 1) % 4, 50_000)
+            })
+            .collect();
+        let done = simulate_packets(topo, m, &injections);
+        assert_eq!(done.len(), injections.len());
+        let first = done[0].at;
+        let last = done.last().unwrap().at;
+        assert_eq!(first, last, "disjoint transfers must not serialize");
+    }
+
+    #[test]
+    fn flow_model_tracks_packet_model_under_congestion() {
+        // The deliverable: the fast flow model agrees with the
+        // packet-level reference on a congested fat tree within 35%.
+        let m = Generation::GigabitEthernet.link_model();
+        let mk_topo = || Topology::new(TopologyKind::FatTree { k: 4 });
+        let bytes = 256 * 1024;
+        // Incast: 6 senders, one receiver.
+        let injections: Vec<Injection> =
+            (1..7u32).map(|s| inj(s + 8, 2, bytes)).collect();
+        let pkt = simulate_packets(mk_topo(), m, &injections);
+        let t_pkt = pkt.last().unwrap().at.as_secs();
+        let mut flow = Network::new(mk_topo(), m);
+        let t_flow = injections
+            .iter()
+            .map(|i| flow.transfer(i.at, i.src, i.dst, i.bytes).arrival.as_secs())
+            .fold(0.0, f64::max);
+        let ratio = t_flow / t_pkt;
+        assert!(
+            (0.65..1.35).contains(&ratio),
+            "flow {t_flow} vs packet {t_pkt}: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn interleaved_messages_all_complete() {
+        let m = Generation::InfiniBand4x.link_model();
+        let topo = Topology::new(TopologyKind::FatTree { k: 4 });
+        let injections: Vec<Injection> = (0..16u32)
+            .flat_map(|s| (0..16u32).filter(move |&d| d != s).map(move |d| inj(s, d, 4096)))
+            .collect();
+        let done = simulate_packets(topo, m, &injections);
+        assert_eq!(done.len(), 16 * 15, "every message must be delivered");
+        // Per-destination arrival counts are uniform.
+        let mut per_dst = [0u32; 16];
+        for c in &done {
+            per_dst[c.dst as usize] += 1;
+        }
+        assert!(per_dst.iter().all(|&c| c == 15));
+    }
+
+    #[test]
+    fn cut_through_beats_store_and_forward_multihop() {
+        let mut sf = Generation::Myrinet2000.link_model();
+        sf.cut_through = false;
+        let ct = Generation::Myrinet2000.link_model();
+        let mk = || Topology::new(TopologyKind::Ring { hosts: 16 });
+        let far = 8u32; // 8 hops around the ring
+        let t_ct = simulate_packets(mk(), ct, &[inj(0, far, 4096)])[0].at;
+        let t_sf = simulate_packets(mk(), sf, &[inj(0, far, 4096)])[0].at;
+        assert!(t_ct < t_sf, "cut-through {t_ct} vs s&f {t_sf}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = Generation::GigabitEthernet.link_model();
+        let injections: Vec<Injection> = (0..8u32).map(|s| inj(s, (s + 3) % 16, 30_000)).collect();
+        let a = simulate_packets(Topology::new(TopologyKind::FatTree { k: 4 }), m, &injections);
+        let b = simulate_packets(Topology::new(TopologyKind::FatTree { k: 4 }), m, &injections);
+        assert_eq!(a, b);
+    }
+}

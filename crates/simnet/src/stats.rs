@@ -1,0 +1,218 @@
+//! Measurement helpers: streaming summaries and log-scale histograms.
+
+use crate::time::SimDuration;
+
+/// Streaming mean/min/max/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sample variance (n-1 denominator); zero for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Power-of-two bucketed histogram for latencies/sizes spanning decades.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    /// buckets[i] counts values v with 2^i <= v < 2^(i+1); buckets[0]
+    /// also counts 0.
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: vec![0; 64],
+            total: 0,
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Value at or below which `q` (0..=1) of samples fall, reported as
+    /// the upper bound of the containing bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Nonempty buckets as (lower_bound, count) pairs.
+    pub fn nonempty(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        // Population variance is 4.0; sample variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let mut s = Summary::new();
+        s.record(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        let ne = h.nonempty();
+        // 0 and 1 share bucket 0; 2,3 in bucket [2,4); 4,7 in [4,8); 8 in
+        // [8,16); 1024 alone.
+        assert_eq!(ne, vec![(0, 2), (2, 2), (4, 2), (8, 1), (1024, 1)]);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8,16)
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(0.99), 15);
+        assert!(h.quantile(1.0) >= 1 << 20);
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_handles_max_value() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

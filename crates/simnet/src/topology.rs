@@ -1,0 +1,463 @@
+//! Cluster interconnect topologies and deterministic routing.
+//!
+//! A topology is an explicit directed graph over host and switch vertices
+//! with analytic (table-free) routing: crossbar, ring, 2-D/3-D torus with
+//! dimension-order routing, and a k-ary fat tree with destination-based
+//! upstream spreading (D-mod-k). Routes are returned as sequences of
+//! [`LinkId`]s so the contention model can charge occupancy per link.
+
+use crate::link::LinkId;
+use std::collections::HashMap;
+
+/// A vertex in the interconnect graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vertex {
+    /// A compute node (host), identified by rank.
+    Host(u32),
+    /// A switch, identified by a topology-specific index.
+    Switch(u32),
+}
+
+/// Topology construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// All hosts attached to one ideal crossbar switch.
+    Crossbar { hosts: u32 },
+    /// Bidirectional ring of hosts (direct network, no switches).
+    Ring { hosts: u32 },
+    /// 2-D torus, `w * h` hosts, dimension-order (X then Y) routing.
+    Torus2D { w: u32, h: u32 },
+    /// 3-D torus, `x * y * z` hosts, dimension-order routing.
+    Torus3D { x: u32, y: u32, z: u32 },
+    /// k-ary fat tree (k even): `k^3/4` hosts, three switch tiers.
+    FatTree { k: u32 },
+}
+
+/// An explicit interconnect graph with routing.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kind: TopologyKind,
+    hosts: u32,
+    /// Directed edges: (from, to), indexed by LinkId.
+    links: Vec<(Vertex, Vertex)>,
+    /// (from, to) -> LinkId.
+    index: HashMap<(Vertex, Vertex), LinkId>,
+}
+
+impl Topology {
+    pub fn new(kind: TopologyKind) -> Self {
+        let mut t = Topology {
+            kind,
+            hosts: 0,
+            links: Vec::new(),
+            index: HashMap::new(),
+        };
+        match kind {
+            TopologyKind::Crossbar { hosts } => {
+                assert!(hosts >= 1);
+                t.hosts = hosts;
+                for h in 0..hosts {
+                    t.add_bidi(Vertex::Host(h), Vertex::Switch(0));
+                }
+            }
+            TopologyKind::Ring { hosts } => {
+                assert!(hosts >= 2, "ring needs at least two hosts");
+                t.hosts = hosts;
+                for h in 0..hosts {
+                    t.add_bidi(Vertex::Host(h), Vertex::Host((h + 1) % hosts));
+                }
+            }
+            TopologyKind::Torus2D { w, h } => {
+                assert!(w >= 2 && h >= 2, "torus dims must be >= 2");
+                t.hosts = w * h;
+                for y in 0..h {
+                    for x in 0..w {
+                        let me = y * w + x;
+                        let east = y * w + (x + 1) % w;
+                        let north = ((y + 1) % h) * w + x;
+                        t.add_bidi(Vertex::Host(me), Vertex::Host(east));
+                        t.add_bidi(Vertex::Host(me), Vertex::Host(north));
+                    }
+                }
+            }
+            TopologyKind::Torus3D { x, y, z } => {
+                assert!(x >= 2 && y >= 2 && z >= 2);
+                t.hosts = x * y * z;
+                let id = |i: u32, j: u32, k: u32| (k * y + j) * x + i;
+                for k in 0..z {
+                    for j in 0..y {
+                        for i in 0..x {
+                            let me = id(i, j, k);
+                            t.add_bidi(Vertex::Host(me), Vertex::Host(id((i + 1) % x, j, k)));
+                            t.add_bidi(Vertex::Host(me), Vertex::Host(id(i, (j + 1) % y, k)));
+                            t.add_bidi(Vertex::Host(me), Vertex::Host(id(i, j, (k + 1) % z)));
+                        }
+                    }
+                }
+            }
+            TopologyKind::FatTree { k } => {
+                assert!(k >= 2 && k % 2 == 0, "fat tree arity must be even");
+                let half = k / 2;
+                t.hosts = k * half * half;
+                // Switch numbering: edge switches [0, k*half), aggregation
+                // switches [k*half, 2*k*half), core switches
+                // [2*k*half, 2*k*half + half*half).
+                let edge = |pod: u32, e: u32| Vertex::Switch(pod * half + e);
+                let agg = |pod: u32, a: u32| Vertex::Switch(k * half + pod * half + a);
+                let core = |c: u32| Vertex::Switch(2 * k * half + c);
+                for pod in 0..k {
+                    for e in 0..half {
+                        for p in 0..half {
+                            let hst = (pod * half + e) * half + p;
+                            t.add_bidi(Vertex::Host(hst), edge(pod, e));
+                        }
+                        for a in 0..half {
+                            t.add_bidi(edge(pod, e), agg(pod, a));
+                        }
+                    }
+                    for a in 0..half {
+                        for up in 0..half {
+                            // Aggregation switch `a` connects to core
+                            // switches a*half..a*half+half.
+                            t.add_bidi(agg(pod, a), core(a * half + up));
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    fn add_bidi(&mut self, a: Vertex, b: Vertex) {
+        // Idempotent: a torus dimension of width 2 wraps +1 and -1 to the
+        // same neighbour; we model that as a single (shared) cable pair.
+        for (x, y) in [(a, b), (b, a)] {
+            if self.index.contains_key(&(x, y)) {
+                continue;
+            }
+            let id = LinkId(self.links.len() as u32);
+            self.links.push((x, y));
+            self.index.insert((x, y), id);
+        }
+    }
+
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    pub fn hosts(&self) -> u32 {
+        self.hosts
+    }
+
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn link_endpoints(&self, id: LinkId) -> (Vertex, Vertex) {
+        self.links[id.0 as usize]
+    }
+
+    fn link(&self, from: Vertex, to: Vertex) -> LinkId {
+        *self
+            .index
+            .get(&(from, to))
+            .unwrap_or_else(|| panic!("no link {from:?} -> {to:?}"))
+    }
+
+    /// Convert a vertex path to the links along it.
+    fn path_links(&self, path: &[Vertex]) -> Vec<LinkId> {
+        path.windows(2).map(|w| self.link(w[0], w[1])).collect()
+    }
+
+    /// The deterministic route from host `src` to host `dst` as links.
+    /// `src == dst` yields an empty route (loopback never hits the wire).
+    pub fn route(&self, src: u32, dst: u32) -> Vec<LinkId> {
+        assert!(src < self.hosts && dst < self.hosts, "rank out of range");
+        if src == dst {
+            return Vec::new();
+        }
+        let path = self.vertex_route(src, dst);
+        self.path_links(&path)
+    }
+
+    /// Number of links on the route (0 for loopback).
+    pub fn hops(&self, src: u32, dst: u32) -> u32 {
+        if src == dst {
+            0
+        } else {
+            self.vertex_route(src, dst).len() as u32 - 1
+        }
+    }
+
+    fn vertex_route(&self, src: u32, dst: u32) -> Vec<Vertex> {
+        match self.kind {
+            TopologyKind::Crossbar { .. } => {
+                vec![Vertex::Host(src), Vertex::Switch(0), Vertex::Host(dst)]
+            }
+            TopologyKind::Ring { hosts } => {
+                let fwd = (dst + hosts - src) % hosts;
+                let bwd = (src + hosts - dst) % hosts;
+                let mut path = vec![Vertex::Host(src)];
+                let mut cur = src;
+                if fwd <= bwd {
+                    for _ in 0..fwd {
+                        cur = (cur + 1) % hosts;
+                        path.push(Vertex::Host(cur));
+                    }
+                } else {
+                    for _ in 0..bwd {
+                        cur = (cur + hosts - 1) % hosts;
+                        path.push(Vertex::Host(cur));
+                    }
+                }
+                path
+            }
+            TopologyKind::Torus2D { w, h } => {
+                let mut path = vec![Vertex::Host(src)];
+                let (mut x, mut y) = (src % w, src / w);
+                let (dx, dy) = (dst % w, dst / w);
+                while x != dx {
+                    x = step_toward(x, dx, w);
+                    path.push(Vertex::Host(y * w + x));
+                }
+                while y != dy {
+                    y = step_toward(y, dy, h);
+                    path.push(Vertex::Host(y * w + x));
+                }
+                path
+            }
+            TopologyKind::Torus3D { x: wx, y: wy, z: wz } => {
+                let coord = |n: u32| (n % wx, (n / wx) % wy, n / (wx * wy));
+                let id = |i: u32, j: u32, k: u32| (k * wy + j) * wx + i;
+                let mut path = vec![Vertex::Host(src)];
+                let (mut i, mut j, mut k) = coord(src);
+                let (di, dj, dk) = coord(dst);
+                while i != di {
+                    i = step_toward(i, di, wx);
+                    path.push(Vertex::Host(id(i, j, k)));
+                }
+                while j != dj {
+                    j = step_toward(j, dj, wy);
+                    path.push(Vertex::Host(id(i, j, k)));
+                }
+                while k != dk {
+                    k = step_toward(k, dk, wz);
+                    path.push(Vertex::Host(id(i, j, k)));
+                }
+                path
+            }
+            TopologyKind::FatTree { k } => {
+                let half = k / 2;
+                let pod_of = |hst: u32| hst / (half * half);
+                let edge_of = |hst: u32| (hst / half) % half;
+                let (sp, se) = (pod_of(src), edge_of(src));
+                let (dp, de) = (pod_of(dst), edge_of(dst));
+                let edge = |pod: u32, e: u32| Vertex::Switch(pod * half + e);
+                let agg = |pod: u32, a: u32| Vertex::Switch(k * half + pod * half + a);
+                let core = |c: u32| Vertex::Switch(2 * k * half + c);
+                let mut path = vec![Vertex::Host(src), edge(sp, se)];
+                if sp == dp && se == de {
+                    // Same edge switch.
+                } else if sp == dp {
+                    // Up to an aggregation switch chosen by destination
+                    // (D-mod-k spreading), back down.
+                    let a = dst % half;
+                    path.push(agg(sp, a));
+                    path.push(edge(dp, de));
+                } else {
+                    // Up through agg and core, down the destination pod.
+                    let a = dst % half;
+                    let c = a * half + (dst / half) % half;
+                    path.push(agg(sp, a));
+                    path.push(core(c));
+                    path.push(agg(dp, a));
+                    path.push(edge(dp, de));
+                }
+                path.push(Vertex::Host(dst));
+                path
+            }
+        }
+    }
+
+    /// Network diameter in links (max hops over all host pairs). Computed
+    /// analytically per topology kind.
+    pub fn diameter(&self) -> u32 {
+        match self.kind {
+            TopologyKind::Crossbar { .. } => 2,
+            TopologyKind::Ring { hosts } => hosts / 2,
+            TopologyKind::Torus2D { w, h } => w / 2 + h / 2,
+            TopologyKind::Torus3D { x, y, z } => x / 2 + y / 2 + z / 2,
+            TopologyKind::FatTree { .. } => 6,
+        }
+    }
+
+    /// Links crossing a balanced bisection (a capacity measure used by the
+    /// scaling analyses).
+    pub fn bisection_links(&self) -> u32 {
+        match self.kind {
+            TopologyKind::Crossbar { hosts } => hosts, // ideal
+            TopologyKind::Ring { .. } => 4,            // 2 cables, both directions
+            TopologyKind::Torus2D { w, h } => {
+                // Cut across the smaller dimension: 2 cables per row/col
+                // crossing, both directions.
+                4 * w.min(h)
+            }
+            TopologyKind::Torus3D { x, y, z } => {
+                let (a, b, c) = (x.max(y).max(z), 0, 0);
+                let _ = (b, c);
+                // Cut perpendicular to the largest dimension.
+                let plane = (x * y * z) / a;
+                4 * plane
+            }
+            TopologyKind::FatTree { k } => k * k * k / 4, // full bisection
+        }
+    }
+}
+
+#[inline]
+fn step_toward(cur: u32, dst: u32, width: u32) -> u32 {
+    // One hop along the shorter direction around a ring of `width`.
+    let fwd = (dst + width - cur) % width;
+    let bwd = (cur + width - dst) % width;
+    if fwd <= bwd {
+        (cur + 1) % width
+    } else {
+        (cur + width - 1) % width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_topologies() -> Vec<Topology> {
+        vec![
+            Topology::new(TopologyKind::Crossbar { hosts: 9 }),
+            Topology::new(TopologyKind::Ring { hosts: 8 }),
+            Topology::new(TopologyKind::Ring { hosts: 7 }),
+            Topology::new(TopologyKind::Torus2D { w: 4, h: 3 }),
+            Topology::new(TopologyKind::Torus3D { x: 2, y: 3, z: 2 }),
+            Topology::new(TopologyKind::FatTree { k: 4 }),
+        ]
+    }
+
+    #[test]
+    fn routes_connect_all_pairs() {
+        for t in all_topologies() {
+            for s in 0..t.hosts() {
+                for d in 0..t.hosts() {
+                    let r = t.route(s, d);
+                    if s == d {
+                        assert!(r.is_empty());
+                        continue;
+                    }
+                    // Route starts at src, ends at dst, and is contiguous.
+                    let (first_from, _) = t.link_endpoints(r[0]);
+                    let (_, last_to) = t.link_endpoints(*r.last().unwrap());
+                    assert_eq!(first_from, Vertex::Host(s), "{:?}", t.kind());
+                    assert_eq!(last_to, Vertex::Host(d), "{:?}", t.kind());
+                    for w in r.windows(2) {
+                        let (_, a_to) = t.link_endpoints(w[0]);
+                        let (b_from, _) = t.link_endpoints(w[1]);
+                        assert_eq!(a_to, b_from, "discontinuous route");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_bounded_by_diameter() {
+        for t in all_topologies() {
+            let dia = t.diameter();
+            for s in 0..t.hosts() {
+                for d in 0..t.hosts() {
+                    assert!(
+                        t.hops(s, d) <= dia,
+                        "{:?}: hops({s},{d})={} > diameter {dia}",
+                        t.kind(),
+                        t.hops(s, d)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_takes_shorter_direction() {
+        let t = Topology::new(TopologyKind::Ring { hosts: 8 });
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(0, 7), 1);
+        assert_eq!(t.hops(0, 4), 4);
+        assert_eq!(t.hops(1, 6), 3);
+    }
+
+    #[test]
+    fn crossbar_is_always_two_hops() {
+        let t = Topology::new(TopologyKind::Crossbar { hosts: 5 });
+        for s in 0..5 {
+            for d in 0..5 {
+                if s != d {
+                    assert_eq!(t.hops(s, d), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus2d_dimension_order_hop_count() {
+        let t = Topology::new(TopologyKind::Torus2D { w: 4, h: 4 });
+        // (0,0) -> (2,1): 2 X hops + 1 Y hop.
+        assert_eq!(t.hops(0, 4 + 2), 3);
+        // Wraparound: (0,0) -> (3,0) is 1 hop backwards.
+        assert_eq!(t.hops(0, 3), 1);
+    }
+
+    #[test]
+    fn fat_tree_host_count_and_hop_classes() {
+        let t = Topology::new(TopologyKind::FatTree { k: 4 });
+        assert_eq!(t.hosts(), 16);
+        // Same edge switch: host 0 and 1 -> 2 hops.
+        assert_eq!(t.hops(0, 1), 2);
+        // Same pod, different edge: host 0 and 2 -> 4 hops.
+        assert_eq!(t.hops(0, 2), 4);
+        // Different pods: 6 hops.
+        assert_eq!(t.hops(0, 15), 6);
+    }
+
+    #[test]
+    fn fat_tree_has_full_bisection() {
+        let t = Topology::new(TopologyKind::FatTree { k: 4 });
+        assert_eq!(t.bisection_links(), 16);
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_unique() {
+        for t in all_topologies() {
+            let n = t.link_count();
+            let mut seen = vec![false; n];
+            for s in 0..t.hosts() {
+                for d in 0..t.hosts() {
+                    for l in t.route(s, d) {
+                        seen[l.0 as usize] = true;
+                    }
+                }
+            }
+            // Every link id is in range; most links are used by some route.
+            assert!(seen.iter().filter(|&&s| s).count() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn out_of_range_rank_panics() {
+        let t = Topology::new(TopologyKind::Ring { hosts: 4 });
+        t.route(0, 9);
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let t = Topology::new(TopologyKind::FatTree { k: 4 });
+        assert_eq!(t.route(3, 12), t.route(3, 12));
+    }
+}

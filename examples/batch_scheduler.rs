@@ -1,0 +1,108 @@
+//! Operate a cluster's batch queue: generate a realistic workload, run
+//! it under FCFS and EASY backfill, then size the checkpoint interval
+//! for the widest jobs — the keynote's "resource management and fault
+//! recovery" responsibilities end to end.
+//!
+//! Run with: `cargo run --release --example batch_scheduler [nodes] [jobs]`
+
+use polaris_rms::prelude::*;
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let njobs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+
+    // A loaded machine: jobs arrive every ~2 minutes on average.
+    let wl = WorkloadConfig {
+        mean_interarrival: 120.0,
+        ..WorkloadConfig::default()
+    };
+    let jobs = generate(&wl, njobs, 2002);
+    println!(
+        "workload: {njobs} jobs over {:.1} days, widths 1..{}, runtimes 1s..1day",
+        jobs.last().unwrap().arrival / 86_400.0,
+        1 << wl.max_width_log2
+    );
+
+    println!("\nscheduling {njobs} jobs on {nodes} nodes:");
+    println!(
+        "{:<15} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "makespan h", "util %", "mean wait s", "p95 wait s", "bsld"
+    );
+    for policy in [
+        Policy::Fcfs,
+        Policy::ConservativeBackfill,
+        Policy::EasyBackfill,
+    ] {
+        let m = run_and_summarize(nodes, policy, &jobs);
+        println!(
+            "{:<15} {:>12.1} {:>12.1} {:>12.0} {:>12.0} {:>10.1}",
+            format!("{policy:?}"),
+            m.makespan / 3_600.0,
+            m.utilization * 100.0,
+            m.mean_wait,
+            m.p95_wait,
+            m.mean_bounded_slowdown
+        );
+    }
+
+    // Fault recovery: what checkpoint interval should a full-machine,
+    // 24-hour job use on 1000-hour-MTBF hardware?
+    let failures = FailureModel { node_mtbf: 3.6e6 };
+    let params = CheckpointParams {
+        checkpoint_cost: 120.0,
+        restart_cost: 300.0,
+        system_mtbf: failures.system_mtbf(nodes),
+    };
+    println!(
+        "\nfault recovery for a {nodes}-node job (system MTBF {:.1} h):",
+        params.system_mtbf / 3_600.0
+    );
+    println!(
+        "  Young interval = {:.0}s, Daly interval = {:.0}s",
+        params.young_interval(),
+        params.daly_interval()
+    );
+    println!("  interval  analytic-waste  simulated-waste");
+    let young = params.young_interval();
+    for tau in [young / 8.0, young / 2.0, young, young * 2.0, young * 8.0] {
+        let analytic = params.waste_fraction(tau);
+        let sim = simulate_checkpointing(&params, 86_400.0 * 4.0, tau, 42).waste_fraction();
+        println!("  {tau:>7.0}s  {:>13.1}%  {:>14.1}%", analytic * 100.0, sim * 100.0);
+    }
+
+    // And the cost of NOT checkpointing, by width.
+    println!("\ncompletion-time inflation of a 8-hour job without checkpoints:");
+    let ckpt = CheckpointParams {
+        checkpoint_cost: 120.0,
+        restart_cost: 300.0,
+        system_mtbf: 0.0,
+    };
+    for width in [16u32, 64, 256, 1024] {
+        let scratch = mean_inflation(
+            &failures,
+            &ckpt,
+            RecoveryPolicy::RestartFromScratch,
+            width,
+            8.0 * 3600.0,
+            20,
+        );
+        let with_ckpt = mean_inflation(
+            &failures,
+            &ckpt,
+            RecoveryPolicy::CheckpointRestart { interval_s: 1800 },
+            width,
+            8.0 * 3600.0,
+            20,
+        );
+        println!(
+            "  {width:>5} nodes: restart-from-scratch {scratch:>6.2}x   checkpoint/restart {with_ckpt:>5.2}x"
+        );
+    }
+    println!("\nbatch_scheduler OK");
+}

@@ -1,0 +1,60 @@
+//! Design the trans-Petaflops machine: the keynote's projection exercise
+//! as a tool. Given a budget (or power / floor-space cap), show what
+//! each node-architecture track delivers year by year, and when each
+//! crosses 1 PFLOPS.
+//!
+//! Run with: `cargo run --release --example cluster_projection [budget_musd]`
+
+use polaris_arch::prelude::*;
+
+fn main() {
+    let budget_musd: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let constraint = Constraint::Budget(budget_musd * 1e6);
+    let proj = Projection::default();
+
+    println!("cluster projection under a ${budget_musd}M node budget (2002 device anchor)\n");
+    println!(
+        "{:<6} {:<12} {:>9} {:>12} {:>10} {:>10} {:>9} {:>12}",
+        "year", "node", "nodes", "peak TF", "mem TB", "power kW", "racks", "$/GFLOPS"
+    );
+    for year in (2002..=2010).step_by(2) {
+        for kind in NodeKind::ALL {
+            let c = cluster_at(&proj, kind, constraint, year);
+            println!(
+                "{:<6} {:<12} {:>9} {:>12.2} {:>10.1} {:>10.0} {:>9.1} {:>12.2}",
+                year,
+                kind.name(),
+                c.nodes,
+                c.peak_tflops(),
+                c.memory / 1e12,
+                c.power / 1e3,
+                c.racks,
+                c.dollars_per_gflops()
+            );
+        }
+        println!();
+    }
+
+    println!("first year each track reaches 1 PFLOPS under the budget:");
+    for kind in NodeKind::ALL {
+        match crossover_year(&proj, kind, constraint, PETAFLOPS) {
+            Some(y) => println!("  {:<12} -> {y}", kind.name()),
+            None => println!("  {:<12} -> not by 2020", kind.name()),
+        }
+    }
+
+    println!("\nnode balance (bytes/flop) — the memory wall by track:");
+    for year in [2002, 2006, 2010] {
+        let d = proj.at(year);
+        print!("  {year}:");
+        for kind in NodeKind::ALL {
+            let n = NodeModel::build(kind, &d);
+            print!("  {}={:.3}", kind.name(), n.bytes_per_flop());
+        }
+        println!();
+    }
+    println!("\ncluster_projection OK");
+}

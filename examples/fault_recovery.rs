@@ -1,0 +1,124 @@
+//! Fault recovery end to end: a rank dies mid-job, the survivors detect
+//! it at the messaging layer and abort cleanly instead of hanging, and
+//! the resource-management layer decides how to restart — the keynote's
+//! "fault recovery … new responsibilities" as one running story.
+//!
+//! Run with: `cargo run --release --example fault_recovery`
+
+use polaris::prelude::*;
+use polaris_msg::prelude::MsgError;
+use polaris_rms::prelude::*;
+use std::time::Duration;
+
+const STEPS: u32 = 100;
+const FAIL_AT: u32 = 40;
+const CKPT_EVERY: u32 = 25;
+const VICTIM: u32 = 2;
+
+fn main() {
+    println!("running a 4-rank iterative job; rank {VICTIM} will die at step {FAIL_AT}\n");
+    let (outcomes, _) = Cluster::builder().nodes(4).run(|mut ctx| {
+        let rank = ctx.rank();
+        let p = ctx.size();
+        let next = (rank + 1) % p;
+        let prev = (rank + p - 1) % p;
+        let mut acc = rank as u64;
+        let mut last_ckpt = 0u32;
+        for step in 0..STEPS {
+            if rank == VICTIM && step == FAIL_AT {
+                // Simulated node crash: all this rank's QPs error out.
+                ctx.endpoint().fail();
+                return (step, last_ckpt, acc, "died");
+            }
+            // "Checkpoint" every CKPT_EVERY steps (modeled, instant).
+            if step % CKPT_EVERY == 0 {
+                last_ckpt = step;
+            }
+            // One ring exchange per step, with failure-aware waits.
+            acc = acc.wrapping_mul(31).wrapping_add(step as u64);
+            let ep = ctx.endpoint();
+            let mut sbuf = match ep.alloc(8) {
+                Ok(b) => b,
+                Err(_) => return (step, last_ckpt, acc, "aborted"),
+            };
+            sbuf.fill_from(&acc.to_le_bytes());
+            let sreq = match ep.isend(next, 1, sbuf) {
+                Ok(r) => r,
+                Err(MsgError::PeerFailed(_)) => return (step, last_ckpt, acc, "aborted"),
+                Err(e) => panic!("unexpected send error: {e}"),
+            };
+            let rbuf = ep.alloc(8).unwrap();
+            let rreq = ep.irecv(MatchSpec::exact(prev, 1), rbuf).unwrap();
+            // Failure-aware wait: on timeout, sweep for dead peers and
+            // either convert to a clean abort or keep waiting.
+            let mut aborted = false;
+            loop {
+                match ep.wait_recv_timeout(rreq, Duration::from_millis(100)) {
+                    Ok((rb, _)) => {
+                        ep.release(rb);
+                        break;
+                    }
+                    Err(MsgError::Timeout) => {
+                        // Sweep for dead peers. Any failure aborts the
+                        // job: with a rank gone the ring can never make
+                        // progress again, even if our own neighbours are
+                        // alive (they will abort too — the cascade is
+                        // how a rigid job drains).
+                        if !ep.detect_failures().is_empty() {
+                            let dead = !ep.peer_alive(VICTIM);
+                            eprintln!(
+                                "rank {rank}: failure sweep at step {step} (victim dead: {dead})"
+                            );
+                            aborted = true;
+                            break;
+                        }
+                    }
+                    Err(MsgError::PeerFailed(r)) => {
+                        eprintln!("rank {rank}: detected failure of rank {r} at step {step}");
+                        aborted = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected recv error: {e}"),
+                }
+            }
+            match ep.wait_send_timeout(sreq, Duration::from_millis(100)) {
+                Ok(b) => ep.release(b),
+                Err(_) => aborted = true,
+            }
+            if aborted {
+                return (step, last_ckpt, acc, "aborted");
+            }
+        }
+        (STEPS, last_ckpt, acc, "finished")
+    });
+
+    println!("\nper-rank outcome:");
+    for (r, (step, ckpt, _, status)) in outcomes.iter().enumerate() {
+        println!("  rank {r}: {status} at step {step} (last checkpoint: step {ckpt})");
+    }
+    let survivors_aborted = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| *r as u32 != VICTIM)
+        .all(|(_, (_, _, _, s))| *s == "aborted");
+    assert!(survivors_aborted, "survivors must abort, not hang");
+
+    // The RMS layer's view: was checkpointing worth it for this job?
+    let lost_without = FAIL_AT;
+    let lost_with = FAIL_AT - (FAIL_AT / CKPT_EVERY) * CKPT_EVERY;
+    println!("\nwork lost to the failure: {lost_without} steps without checkpoints, {lost_with} with");
+
+    let failures = FailureModel { node_mtbf: 3.6e6 };
+    let params = CheckpointParams {
+        checkpoint_cost: 120.0,
+        restart_cost: 300.0,
+        system_mtbf: failures.system_mtbf(4),
+    };
+    println!(
+        "for a real 4-node job (1000h node MTBF): Young interval = {:.0}s, \
+         expected waste at that interval = {:.2}%",
+        params.young_interval(),
+        params.waste_fraction(params.young_interval()) * 100.0
+    );
+    println!("\nfault_recovery OK");
+}

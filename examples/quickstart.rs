@@ -1,0 +1,82 @@
+//! Quickstart: bring up an in-process cluster, move data three ways
+//! (copy-convenience, zero-copy rendezvous, collectives), and inspect
+//! the copy accounting that backs Polaris's zero-copy claim.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use polaris::prelude::*;
+
+fn main() {
+    // --- 1. An SPMD hello: four ranks, tuned collectives. -------------
+    let (sums, _) = Cluster::builder().nodes(4).run(|mut ctx| {
+        let mut v = vec![(ctx.rank() + 1) as u64];
+        ctx.allreduce(ReduceOp::Sum, &mut v);
+        v[0]
+    });
+    println!("allreduce(1+2+3+4) on every rank -> {sums:?}");
+    assert!(sums.iter().all(|&s| s == 10));
+
+    // --- 2. Point-to-point, the convenient way (one copy in/out). -----
+    let (echoed, _) = Cluster::builder().nodes(2).run(|mut ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 7, b"hello, polaris").unwrap();
+            String::new()
+        } else {
+            let (bytes, info) = ctx.recv(0, 7, 64).unwrap();
+            println!(
+                "rank 1 got {} bytes from rank {} (tag {})",
+                info.len, info.src, info.tag
+            );
+            String::from_utf8(bytes).unwrap()
+        }
+    });
+    println!("echo: {:?}", echoed[1]);
+
+    // --- 3. Zero-copy: registered buffers + rendezvous. ----------------
+    // Force the rendezvous protocol and verify on the fabric counters
+    // that a 1 MiB payload crossed with ZERO host copies: the virtual
+    // NIC moved it straight between the two registered buffers.
+    let cfg = MsgConfig::with_protocol(Protocol::Rendezvous);
+    let (copies, stats) = Cluster::builder().nodes(2).messaging(cfg).run(|mut ctx| {
+        let len = 1 << 20;
+        if ctx.rank() == 0 {
+            let mut buf = ctx.alloc(len).unwrap();
+            buf.as_mut_slice().fill(0xAB);
+            let ep = ctx.endpoint();
+            let req = ep.isend(1, 1, buf).unwrap();
+            let buf = ep.wait_send(req).unwrap();
+            ep.release(buf);
+        } else {
+            let buf = ctx.alloc(len).unwrap();
+            let ep = ctx.endpoint();
+            let (buf, info) = ep.recv(MatchSpec::exact(0, 1), buf).unwrap();
+            assert_eq!(info.len, len);
+            assert!(buf.as_slice().iter().all(|&b| b == 0xAB));
+            ep.release(buf);
+        }
+        ctx.endpoint().stats().host_copies
+    });
+    println!(
+        "rendezvous 1 MiB: host copies per rank = {copies:?}, fabric DMA bytes = {}",
+        stats.dma_bytes
+    );
+    assert_eq!(copies, vec![0, 0], "zero-copy means zero host copies");
+
+    // --- 4. The same transfer over the 2002 sockets model. -------------
+    let cfg = MsgConfig::with_protocol(Protocol::Sockets);
+    let (copy_bytes, _) = Cluster::builder().nodes(2).messaging(cfg).run(|mut ctx| {
+        let len = 1 << 20;
+        if ctx.rank() == 0 {
+            ctx.send(1, 1, &vec![1u8; len]).unwrap();
+        } else {
+            ctx.recv(0, 1, len).unwrap();
+        }
+        ctx.endpoint().stats().host_copy_bytes
+    });
+    let total: u64 = copy_bytes.iter().sum();
+    println!(
+        "sockets 1 MiB: host copy traffic = {:.1} MiB (the copies zero-copy eliminates)",
+        total as f64 / (1 << 20) as f64
+    );
+    println!("quickstart OK");
+}

@@ -1,0 +1,6 @@
+//! Umbrella package hosting Polaris's runnable examples (`examples/`)
+//! and cross-crate integration tests (`tests/`). The library surface
+//! simply re-exports the stack; depend on the component crates directly
+//! in real projects.
+
+pub use polaris::prelude;

