@@ -1,0 +1,226 @@
+//! F11 — goodput and tail latency under packet loss, with and without
+//! the reliable-delivery layer, per interconnect generation.
+//!
+//! A seeded [`FaultInjector`] judges every simulated transfer, exactly
+//! as the executable fault plane does at the NIC level, so the whole
+//! table is a deterministic function of the fault-plan seeds: running
+//! the experiment twice replays the identical loss pattern and produces
+//! bit-identical rows (the property the chaos-replay CI job asserts).
+//!
+//! The model mirrors the executable stack's semantics: a dropped frame
+//! surfaces an error completion at the sender (fast retransmit, one
+//! extra wire crossing), a dropped ACK costs a duplicate data frame
+//! that the receiver's dedup window absorbs, and a frame that exhausts
+//! the retry budget escalates to peer failure instead of retrying
+//! forever.
+
+use crate::table::Table;
+use polaris_msg::config::{Protocol, RendezvousMode};
+use polaris_msg::model::{p2p_time, HostParams};
+use polaris_simnet::fault::{FaultInjector, FaultPlan, FaultVerdict};
+use polaris_simnet::link::{Generation, LinkId};
+use polaris_simnet::time::SimTime;
+
+const HOPS: u32 = 2; // node - switch - node
+const MSGS: usize = 2000;
+const BYTES: u64 = 4096;
+/// Matches `Reliability::default().max_retries` in polaris-msg.
+const MAX_RETRIES: u32 = 8;
+const LOSS_RATES: [f64; 6] = [0.0, 0.001, 0.01, 0.05, 0.1, 0.5];
+
+/// Outcome of pushing the message stream through one lossy channel.
+struct RunStats {
+    delivered: usize,
+    budget_failed: usize,
+    retransmissions: u64,
+    total_ps: u64,
+    /// Per-delivered-message latency, picoseconds.
+    latencies: Vec<u64>,
+}
+
+impl RunStats {
+    fn goodput_mbps(&self) -> f64 {
+        if self.total_ps == 0 {
+            return 0.0;
+        }
+        (self.delivered as f64 * BYTES as f64) / (self.total_ps as f64 * 1e-12) / 1e6
+    }
+
+    fn p99_us(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * 0.99) as usize;
+        v[idx] as f64 * 1e-6
+    }
+}
+
+/// Serialize `MSGS` eager messages through a channel whose per-transfer
+/// fate the injector decides; `reliable` adds ACKs, fast retransmit on
+/// error completions, dedup of ACK-loss duplicates, and the bounded
+/// retry budget.
+fn run(gen: Generation, loss: f64, reliable: bool, seed: u64) -> RunStats {
+    let link = gen.link_model();
+    let host = HostParams::default();
+    let base = p2p_time(
+        &link,
+        HOPS,
+        BYTES,
+        Protocol::Eager,
+        RendezvousMode::Read,
+        &host,
+    )
+    .as_ps();
+    // An ACK is a header-only frame on the return path.
+    let ack = p2p_time(&link, HOPS, 0, Protocol::Eager, RendezvousMode::Read, &host).as_ps();
+    let mut inj = FaultInjector::new(FaultPlan::new(seed).uniform_drop(loss));
+    let route = [LinkId(0)];
+
+    let mut now: u64 = 0;
+    let mut stats = RunStats {
+        delivered: 0,
+        budget_failed: 0,
+        retransmissions: 0,
+        total_ps: 0,
+        latencies: Vec::with_capacity(MSGS),
+    };
+    for _ in 0..MSGS {
+        let start = now;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            now += base; // one wire crossing, delivered or not
+            match inj.judge(SimTime(now), 0, 1, &route) {
+                FaultVerdict::Deliver | FaultVerdict::DeliverCorrupted => {
+                    // Corruption is caught by the ICRC and behaves like a
+                    // drop for an unreliable channel; with drop-only
+                    // plans the corrupted arm never fires here.
+                    if reliable {
+                        match inj.judge(SimTime(now), 1, 0, &route) {
+                            FaultVerdict::Deliver | FaultVerdict::DeliverCorrupted => now += ack,
+                            FaultVerdict::Drop(_) => {
+                                // Lost ACK: the sender retransmits once
+                                // more; the receiver's dedup window eats
+                                // the duplicate. Costs wire time only.
+                                now += base;
+                                stats.retransmissions += 1;
+                            }
+                        }
+                    }
+                    stats.delivered += 1;
+                    stats.latencies.push(now - start);
+                    break;
+                }
+                FaultVerdict::Drop(_) => {
+                    if !reliable {
+                        break; // silently lost
+                    }
+                    if attempts > MAX_RETRIES {
+                        // Budget exhausted: escalate to peer-failure
+                        // handling instead of retrying forever.
+                        stats.budget_failed += 1;
+                        break;
+                    }
+                    // The NIC surfaced an error completion; the next
+                    // attempt goes out on the following progress tick.
+                    stats.retransmissions += 1;
+                }
+            }
+        }
+    }
+    stats.total_ps = now;
+    stats
+}
+
+pub fn generate() -> Vec<Table> {
+    let mut t = Table::new(
+        "F11",
+        "goodput and p99 latency vs loss rate, raw vs reliable delivery",
+        &[
+            "generation",
+            "loss",
+            "mode",
+            "goodput-MB/s",
+            "delivered-%",
+            "p99-us",
+            "retrans",
+            "budget-failed",
+        ],
+    );
+    for (gi, g) in Generation::ALL.into_iter().enumerate() {
+        for (li, &loss) in LOSS_RATES.iter().enumerate() {
+            let seed = 0xF11_5EED ^ ((gi as u64) << 16) ^ (li as u64);
+            for (reliable, mode) in [(false, "raw"), (true, "reliable")] {
+                let s = run(g, loss, reliable, seed);
+                t.row(vec![
+                    g.name().to_string(),
+                    format!("{loss}"),
+                    mode.to_string(),
+                    format!("{:.1}", s.goodput_mbps()),
+                    format!("{:.1}", 100.0 * s.delivered as f64 / MSGS as f64),
+                    format!("{:.1}", s.p99_us()),
+                    format!("{}", s.retransmissions),
+                    format!("{}", s.budget_failed),
+                ]);
+            }
+        }
+    }
+    t.note("expected: raw loses loss-rate of traffic; reliable delivers 100% below the budget cliff, paying a bounded p99 tail");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_for<'a>(t: &'a Table, gen: &str, loss: &str, mode: &str) -> Vec<&'a Vec<String>> {
+        t.rows
+            .iter()
+            .filter(|r| r[0] == gen && r[1] == loss && r[2] == mode)
+            .collect()
+    }
+
+    #[test]
+    fn shapes_hold() {
+        let tables = generate();
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), Generation::ALL.len() * LOSS_RATES.len() * 2);
+        for g in Generation::ALL {
+            let name = g.name();
+            // Lossless: both modes deliver everything, nothing retransmits.
+            for mode in ["raw", "reliable"] {
+                let r = rows_for(t, name, "0", mode)[0];
+                assert_eq!(r[4], "100.0", "{name} {mode} lossless delivery");
+                assert_eq!(r[7], "0");
+            }
+            // 10% loss: raw drops ~10%, reliable still delivers everything.
+            let raw = rows_for(t, name, "0.1", "raw")[0];
+            let raw_pct: f64 = raw[4].parse().unwrap();
+            assert!((85.0..=95.0).contains(&raw_pct), "{name} raw: {raw_pct}");
+            let rel = rows_for(t, name, "0.1", "reliable")[0];
+            assert_eq!(rel[4], "100.0", "{name} reliable under 10% loss");
+            let retrans: u64 = rel[6].parse().unwrap();
+            assert!(retrans > 0, "{name}: loss must force retransmissions");
+            // The retransmit tail shows up in p99.
+            let raw_p99: f64 = raw[5].parse().unwrap();
+            let rel_p99: f64 = rel[5].parse().unwrap();
+            assert!(rel_p99 > raw_p99, "{name}: {rel_p99} vs {raw_p99}");
+            // 50% loss: the bounded budget starts escalating to failure
+            // instead of retrying forever.
+            let cliff = rows_for(t, name, "0.5", "reliable")[0];
+            let failed: u64 = cliff[7].parse().unwrap();
+            assert!(failed > 0, "{name}: budget cliff must appear at 50% loss");
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        // The entire experiment is a function of the fault-plan seeds:
+        // regenerating must replay the identical loss pattern.
+        let a = generate();
+        let b = generate();
+        assert_eq!(a[0].rows, b[0].rows);
+    }
+}

@@ -12,4 +12,5 @@ pub mod f7_optical;
 pub mod f8_decade;
 pub mod f9_placement;
 pub mod f10_sustained;
+pub mod f11_chaos;
 pub mod t2_rms;

@@ -28,6 +28,7 @@ pub fn all_experiments() -> Vec<(&'static str, Generator)> {
         ("f8", figures::f8_decade::generate),
         ("f9", figures::f9_placement::generate),
         ("f10", figures::f10_sustained::generate),
+        ("f11", figures::f11_chaos::generate),
         ("a2", figures::a2_threshold::generate),
     ]
 }

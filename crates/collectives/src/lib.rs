@@ -17,6 +17,7 @@ pub mod alltoall;
 pub mod barrier;
 pub mod bcast;
 pub mod comm;
+pub mod ft;
 pub mod gather;
 pub mod op;
 pub mod reduce;
@@ -33,6 +34,7 @@ pub mod prelude {
     pub use crate::barrier::{barrier_with, BarrierAlgo};
     pub use crate::bcast::{bcast_with, BcastAlgo};
     pub use crate::comm::{Comm, TracingComm};
+    pub use crate::ft::{ft_allreduce, ft_bcast, FtComm, FtError, FtReport};
     pub use crate::gather::{gather_binomial, gather_linear, scatter_linear};
     pub use crate::op::{Elem, Reducible, ReduceOp};
     pub use crate::reduce::reduce_binomial;

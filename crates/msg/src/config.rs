@@ -31,6 +31,51 @@ pub enum RendezvousMode {
     Write,
 }
 
+/// Reliable-delivery configuration (off by default).
+///
+/// When enabled, every protocol frame the endpoint sends two-sided
+/// carries a per-peer sequence number; the receiver acknowledges,
+/// deduplicates, and reorders frames, and the sender retransmits on
+/// error completions (fast path) or timer expiry, with exponential
+/// backoff plus deterministic jitter. A frame that exhausts
+/// `max_retries` escalates to `mark_peer_failed`, so transient faults
+/// heal transparently and persistent ones become clean
+/// [`MsgError::PeerFailed`](crate::endpoint::MsgError) errors.
+#[derive(Debug, Clone, Copy)]
+pub struct Reliability {
+    pub enabled: bool,
+    /// First retransmission timeout; doubles per retry up to `rto_max`.
+    pub rto_initial: Duration,
+    pub rto_max: Duration,
+    /// Retransmissions allowed per frame before the peer is declared
+    /// failed.
+    pub max_retries: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for Reliability {
+    fn default() -> Self {
+        Reliability {
+            enabled: false,
+            rto_initial: Duration::from_millis(2),
+            rto_max: Duration::from_millis(50),
+            max_retries: 8,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl Reliability {
+    /// Reliability on, with the default timer settings.
+    pub fn on() -> Self {
+        Reliability {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// Endpoint configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct MsgConfig {
@@ -61,6 +106,8 @@ pub struct MsgConfig {
     pub use_srq: bool,
     /// Pooled receive buffers when `use_srq` is set.
     pub srq_bufs: usize,
+    /// Reliable-delivery layer (sequence numbers, ACKs, retransmission).
+    pub reliability: Reliability,
 }
 
 impl Default for MsgConfig {
@@ -78,6 +125,7 @@ impl Default for MsgConfig {
             reg_cache_capacity: 64,
             use_srq: false,
             srq_bufs: 128,
+            reliability: Reliability::default(),
         }
     }
 }
@@ -125,6 +173,14 @@ impl MsgConfig {
         }
         if self.use_srq && self.srq_bufs == 0 {
             return Err("srq_bufs must be nonzero when use_srq is set".into());
+        }
+        if self.reliability.enabled {
+            if self.reliability.max_retries == 0 {
+                return Err("reliability.max_retries must be nonzero".into());
+            }
+            if self.reliability.rto_initial.is_zero() {
+                return Err("reliability.rto_initial must be nonzero".into());
+            }
         }
         if self.protocol == Protocol::Eager || self.protocol == Protocol::Auto {
             // Bounce buffers are allocated `eager_buf_size + HEADER_LEN`
@@ -191,5 +247,23 @@ mod tests {
             ..MsgConfig::default()
         };
         assert!(c.validate().is_err());
+
+        let c = MsgConfig {
+            reliability: Reliability {
+                max_retries: 0,
+                ..Reliability::on()
+            },
+            ..MsgConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn reliability_on_is_valid() {
+        let c = MsgConfig {
+            reliability: Reliability::on(),
+            ..MsgConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 }

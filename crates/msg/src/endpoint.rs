@@ -26,10 +26,11 @@
 
 use crate::buffer::{BufferPool, MsgBuf, PoolStats};
 use crate::config::{MsgConfig, Protocol, RendezvousMode};
-use crate::envelope::{Envelope, HEADER_LEN};
+use crate::envelope::{rel_seq, rel_src, stamp_rel, Envelope, HEADER_LEN};
 use crate::match_engine::{MatchEngine, MatchSpec};
 use polaris_nic::prelude::*;
-use std::collections::HashMap;
+use polaris_simnet::rng::SplitMix64;
+use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
 /// Request identifier returned by the nonblocking operations.
@@ -111,6 +112,12 @@ pub struct EndpointStats {
     pub unexpected_arrivals: u64,
     /// Send-bounce slots allocated beyond the configured pool (bursts).
     pub tx_pool_growth: u64,
+    /// Frames retransmitted by the reliability layer (timer or fast).
+    pub rel_retransmits: u64,
+    /// Duplicate frames discarded by receive-side dedup.
+    pub rel_dups: u64,
+    /// Acknowledgement frames sent.
+    pub rel_acks: u64,
 }
 
 // wr_id encoding: kind in the top byte, payload below.
@@ -194,6 +201,32 @@ struct PeerState {
     rx_bufs: Vec<MemoryRegion>,
 }
 
+/// A reliable frame awaiting acknowledgement.
+struct PendingTx {
+    /// Full frame bytes (header + payload) for retransmission.
+    frame: Vec<u8>,
+    /// When the retransmission timer fires next.
+    deadline: Instant,
+    /// Current (backed-off) retransmission timeout.
+    rto: Duration,
+    retries: u32,
+}
+
+/// Per-peer reliability state: the TX window toward the peer and the RX
+/// dedup/reorder state for frames from it.
+#[derive(Default)]
+struct PeerRel {
+    /// Sequence number the next reliable frame toward this peer gets
+    /// (the stream starts at 1; 0 marks unreliable frames).
+    next_seq: u64,
+    /// Unacknowledged frames, by sequence number.
+    pending: BTreeMap<u64, PendingTx>,
+    /// Highest sequence processed in order from this peer.
+    rx_cum: u64,
+    /// Frames that arrived ahead of a gap, parked until it fills.
+    rx_ooo: BTreeMap<u64, Vec<u8>>,
+}
+
 /// Sockets-baseline reassembly state for one inbound message.
 struct SockAssembly {
     src: u32,
@@ -237,6 +270,13 @@ pub struct Endpoint {
     failed_peers: std::collections::HashSet<u32>,
     /// Whether this endpoint itself has been failed.
     down: bool,
+    /// Per-peer reliability state (allocated only when enabled).
+    rel: Vec<PeerRel>,
+    /// Reliable frames in flight by tx slot, for fast retransmission
+    /// when the fabric reports the frame lost (error completion).
+    tx_slot_rel: HashMap<usize, (u32, u64)>,
+    /// Deterministic jitter for retransmission backoff.
+    rel_rng: SplitMix64,
     stats: EndpointStats,
     /// Scratch "kernel buffer" for the sockets model's extra copies.
     kstage: Vec<u8>,
@@ -309,6 +349,13 @@ impl Endpoint {
                 next_req: 1,
                 failed_peers: std::collections::HashSet::new(),
                 down: false,
+                rel: if cfg.reliability.enabled {
+                    (0..n).map(|_| PeerRel::default()).collect()
+                } else {
+                    Vec::new()
+                },
+                tx_slot_rel: HashMap::new(),
+                rel_rng: SplitMix64::new(cfg.reliability.jitter_seed ^ rank as u64),
                 stats: EndpointStats::default(),
                 kstage: Vec::new(),
             });
@@ -571,8 +618,9 @@ impl Endpoint {
         }
     }
 
-    /// Drive the protocol engine: drain completions and advance state.
-    /// Returns the number of completions processed.
+    /// Drive the protocol engine: drain completions, advance state, and
+    /// (when reliability is on) sweep retransmission timers. Returns the
+    /// number of completions processed.
     pub fn progress(&mut self) -> usize {
         let cqes = match self.cq.poll(64) {
             Ok(c) => c,
@@ -581,6 +629,9 @@ impl Endpoint {
         let n = cqes.len();
         for cqe in cqes {
             self.handle_cqe(cqe);
+        }
+        if self.cfg.reliability.enabled && !self.down {
+            self.rel_tick();
         }
         n
     }
@@ -790,13 +841,21 @@ impl Endpoint {
             });
         }
         self.stats.eager_sends += 1;
-        let slot = self.acquire_tx_slot()?;
-        let mr = self.tx_slots[slot].take().expect("slot acquired");
         let env = Envelope::Eager {
             src: self.rank,
             tag,
             len: buf.len() as u64,
         };
+        if self.cfg.reliability.enabled {
+            // Host copy #1: user buffer -> retransmittable frame.
+            let frame = self.rel_frame(dst, env, buf.as_slice());
+            self.count_copy(buf.len());
+            self.post_rel_frame(dst, frame)?;
+            self.sends.insert(req, SendState::Done(buf));
+            return Ok(());
+        }
+        let slot = self.acquire_tx_slot()?;
+        let mr = self.tx_slots[slot].take().expect("slot acquired");
         mr.write_at(0, &env.encode())?;
         // Host copy #1: user buffer -> bounce buffer.
         mr.write_at(HEADER_LEN, buf.as_slice())?;
@@ -854,13 +913,23 @@ impl Endpoint {
             return Ok(req);
         }
         self.stats.eager_sends += 1;
-        let slot = self.acquire_tx_slot()?;
-        let mr = self.tx_slots[slot].take().expect("slot acquired");
         let env = Envelope::Eager {
             src: self.rank,
             tag,
             len: total as u64,
         };
+        if self.cfg.reliability.enabled {
+            // Reliability needs a retransmittable frame copy, so the
+            // zero-copy gather degrades to pack-and-send (one copy).
+            let packed = layout.pack(buf.as_slice());
+            self.count_copy(total);
+            let frame = self.rel_frame(dst, env, &packed);
+            self.post_rel_frame(dst, frame)?;
+            self.sends.insert(req, SendState::Done(buf));
+            return Ok(req);
+        }
+        let slot = self.acquire_tx_slot()?;
+        let mr = self.tx_slots[slot].take().expect("slot acquired");
         mr.write_at(0, &env.encode())?;
         let mut sges = vec![Sge {
             mr: mr.clone(),
@@ -1004,8 +1073,6 @@ impl Endpoint {
             self.kstage
                 .extend_from_slice(&buf.as_slice()[offset..offset + len]);
             self.count_copy(len);
-            let slot = self.acquire_tx_slot()?;
-            let mr = self.tx_slots[slot].take().expect("slot acquired");
             let env = Envelope::SockSeg {
                 src: self.rank,
                 tag,
@@ -1014,6 +1081,22 @@ impl Endpoint {
                 offset: offset as u64,
                 len: len as u64,
             };
+            if self.cfg.reliability.enabled {
+                let seg = std::mem::take(&mut self.kstage);
+                let frame = self.rel_frame(dst, env, &seg);
+                self.kstage = seg;
+                // Kernel copy #2: socket buffer -> driver ring.
+                self.count_copy(len);
+                self.stats.sockets_segments += 1;
+                self.post_rel_frame(dst, frame)?;
+                offset += len;
+                if offset >= total {
+                    break;
+                }
+                continue;
+            }
+            let slot = self.acquire_tx_slot()?;
+            let mr = self.tx_slots[slot].take().expect("slot acquired");
             mr.write_at(0, &env.encode())?;
             // Kernel copy #2: socket buffer -> driver ring.
             mr.write_at(HEADER_LEN, &self.kstage)?;
@@ -1071,6 +1154,22 @@ impl Endpoint {
             K_TX_BOUNCE => {
                 let slot = (cqe.wr_id & PAYLOAD_MASK) as usize;
                 self.tx_free.push(slot);
+                if let Some((peer, seq)) = self.tx_slot_rel.remove(&slot) {
+                    if cqe.status != CqeStatus::Success && !self.failed_peers.contains(&peer) {
+                        // The fabric reported the frame lost (retry
+                        // exhaustion / flush): retransmit immediately
+                        // instead of waiting out the RTO.
+                        let exhausted = self.rel[peer as usize]
+                            .pending
+                            .get(&seq)
+                            .is_some_and(|p| p.retries >= self.cfg.reliability.max_retries);
+                        if exhausted {
+                            self.rel_fail_peer(peer);
+                        } else {
+                            let _ = self.retransmit(peer, seq);
+                        }
+                    }
+                }
             }
             K_RDMA_READ => {
                 let req = cqe.wr_id & PAYLOAD_MASK;
@@ -1130,6 +1229,28 @@ impl Endpoint {
 
     fn handle_rx(&mut self, cqe: Cqe) {
         let (peer, idx) = rx_decode(cqe.wr_id);
+        if cqe.status == CqeStatus::Flushed {
+            // Our own QP died (endpoint failed); nothing to repost.
+            return;
+        }
+        if cqe.status != CqeStatus::Success {
+            // Corrupted arrival (e.g. ChecksumError): the buffer is
+            // untrusted. Drop it; the sender's reliability layer (or its
+            // own error completion) repairs the loss.
+            self.repost_rx(peer, idx);
+            return;
+        }
+        if self.cfg.reliability.enabled {
+            // Copy the frame off the bounce buffer so it can be reposted
+            // immediately and out-of-order frames can be parked.
+            let mut frame = vec![0u8; cqe.byte_len.max(HEADER_LEN)];
+            self.rx_buffer(peer, idx)
+                .read_at(0, &mut frame)
+                .expect("bounce frame");
+            self.repost_rx(peer, idx);
+            self.handle_reliable_frame(frame);
+            return;
+        }
         let mr = self.rx_buffer(peer, idx);
         let mut header = [0u8; HEADER_LEN];
         mr.read_at(0, &mut header).expect("bounce header");
@@ -1162,62 +1283,16 @@ impl Endpoint {
                 len,
                 msg_id,
                 rkey,
-            } => {
-                if let Some(req) = self.matcher.arrive(src, tag) {
-                    if let Some(RecvState::Posted { buf }) = self.recvs.remove(&req) {
-                        let _ = self.start_rendezvous_recv(req, buf, src, tag, len, msg_id, rkey);
-                    }
-                } else {
-                    self.stats.unexpected_arrivals += 1;
-                    self.matcher.park(src, tag, Parked::Rts { len, msg_id, rkey });
-                }
-            }
+            } => self.on_rts(src, tag, len, msg_id, rkey),
             Envelope::Cts {
                 msg_id,
                 rkey,
                 handle,
-            } => {
-                // Check before removing: the request may have moved to
-                // `Failed` (peer marked dead) and must stay reapable.
-                if matches!(self.sends.get(&msg_id), Some(SendState::AwaitCts { .. })) {
-                    let Some(SendState::AwaitCts { buf, dst }) = self.sends.remove(&msg_id)
-                    else {
-                        unreachable!()
-                    };
-                    let len = buf.len();
-                    let r = self.peers[dst as usize].qp.post_send(SendWr::RdmaWriteImm {
-                        wr_id: K_RDMA_WRITE | msg_id,
-                        sges: vec![Sge {
-                            mr: buf.region().clone(),
-                            offset: 0,
-                            len,
-                        }],
-                        remote: RemoteAddr {
-                            node: NodeId(dst),
-                            rkey: Rkey(rkey),
-                            offset: 0,
-                        },
-                        imm: handle,
-                    });
-                    match r {
-                        Ok(()) => {
-                            self.write_bufs.insert(msg_id, buf);
-                            self.sends
-                                .insert(msg_id, SendState::WriteInflight { dst });
-                        }
-                        Err(_) => {
-                            self.sends.insert(msg_id, SendState::Done(buf));
-                        }
-                    }
-                }
-            }
-            Envelope::Fin { msg_id } => {
-                if matches!(self.sends.get(&msg_id), Some(SendState::AwaitFin { .. })) {
-                    let Some(SendState::AwaitFin { buf, .. }) = self.sends.remove(&msg_id)
-                    else {
-                        unreachable!()
-                    };
-                    self.sends.insert(msg_id, SendState::Done(buf));
+            } => self.on_cts(msg_id, rkey, handle),
+            Envelope::Fin { msg_id } => self.on_fin(msg_id),
+            Envelope::Ack { src, acked, cum } => {
+                if self.cfg.reliability.enabled {
+                    self.handle_ack(src, acked, cum);
                 }
             }
             Envelope::SockSeg {
@@ -1267,6 +1342,202 @@ impl Endpoint {
             }
         }
         self.repost_rx(peer, idx);
+    }
+
+    /// A rendezvous RTS arrived.
+    fn on_rts(&mut self, src: u32, tag: u64, len: u64, msg_id: u64, rkey: u64) {
+        if let Some(req) = self.matcher.arrive(src, tag) {
+            if let Some(RecvState::Posted { buf }) = self.recvs.remove(&req) {
+                let _ = self.start_rendezvous_recv(req, buf, src, tag, len, msg_id, rkey);
+            }
+        } else {
+            self.stats.unexpected_arrivals += 1;
+            self.matcher.park(src, tag, Parked::Rts { len, msg_id, rkey });
+        }
+    }
+
+    /// A rendezvous-write CTS arrived: push the payload.
+    fn on_cts(&mut self, msg_id: u64, rkey: u64, handle: u32) {
+        // Check before removing: the request may have moved to
+        // `Failed` (peer marked dead) and must stay reapable.
+        if matches!(self.sends.get(&msg_id), Some(SendState::AwaitCts { .. })) {
+            let Some(SendState::AwaitCts { buf, dst }) = self.sends.remove(&msg_id) else {
+                unreachable!()
+            };
+            let len = buf.len();
+            let r = self.peers[dst as usize].qp.post_send(SendWr::RdmaWriteImm {
+                wr_id: K_RDMA_WRITE | msg_id,
+                sges: vec![Sge {
+                    mr: buf.region().clone(),
+                    offset: 0,
+                    len,
+                }],
+                remote: RemoteAddr {
+                    node: NodeId(dst),
+                    rkey: Rkey(rkey),
+                    offset: 0,
+                },
+                imm: handle,
+            });
+            match r {
+                Ok(()) => {
+                    self.write_bufs.insert(msg_id, buf);
+                    self.sends.insert(msg_id, SendState::WriteInflight { dst });
+                }
+                Err(_) => {
+                    self.sends.insert(msg_id, SendState::Done(buf));
+                }
+            }
+        }
+    }
+
+    /// A rendezvous-read FIN arrived: the receiver pulled the data.
+    fn on_fin(&mut self, msg_id: u64) {
+        if matches!(self.sends.get(&msg_id), Some(SendState::AwaitFin { .. })) {
+            let Some(SendState::AwaitFin { buf, .. }) = self.sends.remove(&msg_id) else {
+                unreachable!()
+            };
+            self.sends.insert(msg_id, SendState::Done(buf));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reliability layer (RX side)
+    // ------------------------------------------------------------------
+
+    /// Dedup, reorder, acknowledge, and dispatch one received frame.
+    fn handle_reliable_frame(&mut self, frame: Vec<u8>) {
+        let Some(env) = Envelope::decode(&frame) else {
+            return; // unparseable frame: drop; the sender retransmits
+        };
+        if let Envelope::Ack { src, acked, cum } = env {
+            self.handle_ack(src, acked, cum);
+            return;
+        }
+        let seq = rel_seq(&frame);
+        if seq == 0 {
+            // Unsequenced frame (peer running without reliability).
+            self.process_frame(&frame);
+            return;
+        }
+        let src = rel_src(&frame);
+        let rel = &mut self.rel[src as usize];
+        if seq <= rel.rx_cum || rel.rx_ooo.contains_key(&seq) {
+            // Duplicate: its ACK was lost, so re-ACK and drop.
+            self.stats.rel_dups += 1;
+            self.send_ack(src, seq);
+            return;
+        }
+        if seq != rel.rx_cum + 1 {
+            // A gap precedes this frame: park it until the gap fills, so
+            // delivery stays in order even across retransmissions.
+            rel.rx_ooo.insert(seq, frame);
+            self.send_ack(src, seq);
+            return;
+        }
+        rel.rx_cum = seq;
+        self.send_ack(src, seq);
+        self.process_frame(&frame);
+        // The gap may have been the only thing holding back later
+        // frames; drain them in order.
+        loop {
+            let rel = &mut self.rel[src as usize];
+            let next = rel.rx_cum + 1;
+            let Some(parked) = rel.rx_ooo.remove(&next) else {
+                break;
+            };
+            rel.rx_cum = next;
+            self.process_frame(&parked);
+        }
+    }
+
+    /// Dispatch one in-order frame (header + payload as a byte slice).
+    fn process_frame(&mut self, frame: &[u8]) {
+        let Some(env) = Envelope::decode(frame) else {
+            return;
+        };
+        match env {
+            Envelope::Eager { src, tag, len } => {
+                let len = len as usize;
+                let payload = &frame[HEADER_LEN..HEADER_LEN + len];
+                if let Some(req) = self.matcher.arrive(src, tag) {
+                    if let Some(RecvState::Posted { buf }) = self.recvs.remove(&req) {
+                        self.deliver_data(req, buf, src, tag, payload);
+                    }
+                } else {
+                    self.stats.unexpected_arrivals += 1;
+                    let data = payload.to_vec();
+                    self.count_copy(len);
+                    self.matcher.park(
+                        src,
+                        tag,
+                        Parked::Data {
+                            data,
+                            extra_copies: 0,
+                        },
+                    );
+                }
+            }
+            Envelope::Rts {
+                src,
+                tag,
+                len,
+                msg_id,
+                rkey,
+            } => self.on_rts(src, tag, len, msg_id, rkey),
+            Envelope::Cts {
+                msg_id,
+                rkey,
+                handle,
+            } => self.on_cts(msg_id, rkey, handle),
+            Envelope::Fin { msg_id } => self.on_fin(msg_id),
+            Envelope::Ack { src, acked, cum } => self.handle_ack(src, acked, cum),
+            Envelope::SockSeg {
+                src,
+                tag,
+                msg_id,
+                total,
+                offset,
+                len,
+            } => {
+                spin_for(self.cfg.interrupt_overhead);
+                let total = total as usize;
+                let key = ((src as u64) << 48) ^ msg_id;
+                let asm = self.sock_assembly.entry(key).or_insert_with(|| SockAssembly {
+                    src,
+                    tag,
+                    total,
+                    got: 0,
+                    data: vec![0u8; total],
+                });
+                let (off, len) = (offset as usize, len as usize);
+                // Kernel copy: driver ring -> socket buffer.
+                asm.data[off..off + len]
+                    .copy_from_slice(&frame[HEADER_LEN..HEADER_LEN + len]);
+                asm.got += len;
+                let done = asm.got >= asm.total || asm.total == 0;
+                self.count_copy(len);
+                if done {
+                    let asm = self.sock_assembly.remove(&key).expect("present");
+                    if let Some(req) = self.matcher.arrive(asm.src, asm.tag) {
+                        if let Some(RecvState::Posted { buf }) = self.recvs.remove(&req) {
+                            // Final copy: socket buffer -> user.
+                            self.deliver_data(req, buf, asm.src, asm.tag, &asm.data);
+                        }
+                    } else {
+                        self.stats.unexpected_arrivals += 1;
+                        self.matcher.park(
+                            asm.src,
+                            asm.tag,
+                            Parked::Data {
+                                data: asm.data,
+                                extra_copies: 0,
+                            },
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Complete a receive by copying from a bounce region (eager path).
@@ -1350,21 +1621,169 @@ impl Endpoint {
     }
 
     /// Send a header-only control message through the bounce path.
+    /// Reliable when the reliability layer is on (the rendezvous
+    /// handshake must survive loss like any data frame).
     fn send_ctrl(&mut self, dst: u32, env: Envelope) -> MsgResult<()> {
-        let slot = self.acquire_tx_slot()?;
+        if self.cfg.reliability.enabled {
+            let frame = self.rel_frame(dst, env, &[]);
+            return self.post_rel_frame(dst, frame);
+        }
+        self.post_frame(dst, &env.encode(), None)
+    }
+
+    // ------------------------------------------------------------------
+    // Reliability layer (TX side)
+    // ------------------------------------------------------------------
+
+    /// Build a sequenced, retransmittable frame: encoded envelope with
+    /// the reliability trailer stamped, followed by `payload`.
+    fn rel_frame(&mut self, dst: u32, env: Envelope, payload: &[u8]) -> Vec<u8> {
+        let rel = &mut self.rel[dst as usize];
+        rel.next_seq += 1;
+        let seq = rel.next_seq;
+        let mut header = env.encode();
+        stamp_rel(&mut header, seq, self.rank);
+        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        frame.extend_from_slice(&header);
+        frame.extend_from_slice(payload);
+        frame
+    }
+
+    /// Post a sequenced frame and register it for retransmission.
+    fn post_rel_frame(&mut self, dst: u32, frame: Vec<u8>) -> MsgResult<()> {
+        let seq = rel_seq(&frame);
+        let rto = self.jittered(self.cfg.reliability.rto_initial);
+        self.post_frame(dst, &frame, Some(seq))?;
+        self.rel[dst as usize].pending.insert(
+            seq,
+            PendingTx {
+                frame,
+                deadline: Instant::now() + rto,
+                rto: self.cfg.reliability.rto_initial,
+                retries: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Post raw frame bytes through a bounce slot. `rel` ties the slot to
+    /// a (peer, seq) so an error completion can fast-retransmit.
+    fn post_frame(&mut self, dst: u32, frame: &[u8], rel: Option<u64>) -> MsgResult<()> {
+        let slot = self.acquire_tx_slot_quiet()?;
         let mr = self.tx_slots[slot].take().expect("slot acquired");
-        mr.write_at(0, &env.encode())?;
-        self.peers[dst as usize].qp.post_send(SendWr::Send {
+        mr.write_at(0, frame)?;
+        if let Some(seq) = rel {
+            self.tx_slot_rel.insert(slot, (dst, seq));
+        }
+        let r = self.peers[dst as usize].qp.post_send(SendWr::Send {
             wr_id: K_TX_BOUNCE | slot as u64,
             sges: vec![Sge {
                 mr: mr.clone(),
                 offset: 0,
-                len: HEADER_LEN,
+                len: frame.len(),
             }],
             imm: None,
-        })?;
+        });
         self.tx_slots[slot] = Some(mr);
-        Ok(())
+        if r.is_err() {
+            self.tx_slot_rel.remove(&slot);
+            self.tx_free.push(slot);
+        }
+        Ok(r?)
+    }
+
+    /// Add deterministic jitter (up to +25%) to a timeout so synchronized
+    /// peers do not retransmit in lockstep.
+    fn jittered(&mut self, d: Duration) -> Duration {
+        let quarter = (d.as_micros() as u64 / 4).max(1);
+        d + Duration::from_micros(self.rel_rng.next_below(quarter))
+    }
+
+    /// Retransmit a pending frame (timer expiry or fast path), applying
+    /// exponential backoff. No-op if the frame was acknowledged meanwhile.
+    fn retransmit(&mut self, peer: u32, seq: u64) -> MsgResult<()> {
+        let rto_max = self.cfg.reliability.rto_max;
+        let Some(p) = self.rel[peer as usize].pending.get_mut(&seq) else {
+            return Ok(());
+        };
+        p.retries += 1;
+        p.rto = (p.rto * 2).min(rto_max);
+        let rto = p.rto;
+        let frame = p.frame.clone();
+        let deadline = Instant::now() + self.jittered(rto);
+        self.rel[peer as usize]
+            .pending
+            .get_mut(&seq)
+            .expect("still pending")
+            .deadline = deadline;
+        self.stats.rel_retransmits += 1;
+        self.post_frame(peer, &frame, Some(seq))
+    }
+
+    /// Sweep retransmission timers; escalate exhausted budgets to peer
+    /// failure.
+    fn rel_tick(&mut self) {
+        let now = Instant::now();
+        let max_retries = self.cfg.reliability.max_retries;
+        let mut due: Vec<(u32, u64)> = Vec::new();
+        let mut dead: Vec<u32> = Vec::new();
+        for peer in 0..self.size {
+            if self.failed_peers.contains(&peer) {
+                continue;
+            }
+            for (&seq, p) in &self.rel[peer as usize].pending {
+                if p.deadline > now {
+                    continue;
+                }
+                if p.retries >= max_retries {
+                    dead.push(peer);
+                    break;
+                }
+                due.push((peer, seq));
+            }
+        }
+        for peer in dead {
+            self.rel_fail_peer(peer);
+        }
+        for (peer, seq) in due {
+            if !self.failed_peers.contains(&peer) {
+                let _ = self.retransmit(peer, seq);
+            }
+        }
+    }
+
+    /// The retry budget toward `peer` is exhausted: drop its window and
+    /// declare it failed.
+    fn rel_fail_peer(&mut self, peer: u32) {
+        self.rel[peer as usize].pending.clear();
+        self.mark_peer_failed(peer);
+    }
+
+    /// An ACK from `src`: retire the specific frame and everything at or
+    /// below the cumulative watermark.
+    fn handle_ack(&mut self, src: u32, acked: u64, cum: u64) {
+        let rel = &mut self.rel[src as usize];
+        rel.pending.remove(&acked);
+        while let Some((&seq, _)) = rel.pending.first_key_value() {
+            if seq > cum {
+                break;
+            }
+            rel.pending.remove(&seq);
+        }
+    }
+
+    /// Acknowledge frame `seq` from `src` (always, including duplicates:
+    /// the peer's earlier ACK may have been lost).
+    fn send_ack(&mut self, src: u32, seq: u64) {
+        let env = Envelope::Ack {
+            src: self.rank,
+            acked: seq,
+            cum: self.rel[src as usize].rx_cum,
+        };
+        self.stats.rel_acks += 1;
+        // ACKs are unsequenced and never retransmitted; a lost ACK is
+        // repaired by the sender's timer and our dedup.
+        let _ = self.post_frame(src, &env.encode(), None);
     }
 
     fn acquire_tx_slot(&mut self) -> MsgResult<usize> {
@@ -1373,6 +1792,15 @@ impl Endpoint {
         }
         // Try to recycle completed slots first.
         self.progress();
+        if let Some(s) = self.tx_free.pop() {
+            return Ok(s);
+        }
+        self.acquire_tx_slot_quiet()
+    }
+
+    /// Slot acquisition that never recurses into `progress` (used from
+    /// completion handling and the retransmission path).
+    fn acquire_tx_slot_quiet(&mut self) -> MsgResult<usize> {
         if let Some(s) = self.tx_free.pop() {
             return Ok(s);
         }

@@ -1,12 +1,41 @@
 //! Wire envelopes: the fixed-size headers that precede eager payloads and
 //! carry the rendezvous handshake.
 //!
-//! Encoding is a hand-rolled fixed layout (48 bytes, little-endian): the
+//! Encoding is a hand-rolled fixed layout (64 bytes, little-endian): the
 //! header is on the critical path of every small message, so it must cost
 //! a handful of stores, not a serializer.
+//!
+//! The last 16 bytes are the **reliability trailer**: a per-peer sequence
+//! number at `[48..56]` and the sender's rank at `[56..60]`, stamped by
+//! [`stamp_rel`] when the endpoint's reliability layer is enabled. A zero
+//! sequence number marks an unreliable frame (the default; ACKs are also
+//! unsequenced so they can never recurse).
 
 /// Bytes every envelope occupies on the wire.
-pub const HEADER_LEN: usize = 48;
+pub const HEADER_LEN: usize = 64;
+
+/// Offset of the reliability sequence number within the header.
+pub const REL_SEQ_OFF: usize = 48;
+
+/// Offset of the reliability source-rank field within the header.
+pub const REL_SRC_OFF: usize = 56;
+
+/// Stamp the reliability trailer onto an encoded header: `seq` is the
+/// frame's per-peer sequence number (nonzero), `src` the sending rank.
+pub fn stamp_rel(header: &mut [u8; HEADER_LEN], seq: u64, src: u32) {
+    header[REL_SEQ_OFF..REL_SEQ_OFF + 8].copy_from_slice(&seq.to_le_bytes());
+    header[REL_SRC_OFF..REL_SRC_OFF + 4].copy_from_slice(&src.to_le_bytes());
+}
+
+/// Read a frame's reliability sequence number (0 = unreliable frame).
+pub fn rel_seq(frame: &[u8]) -> u64 {
+    u64::from_le_bytes(frame[REL_SEQ_OFF..REL_SEQ_OFF + 8].try_into().unwrap())
+}
+
+/// Read a frame's reliability source rank.
+pub fn rel_src(frame: &[u8]) -> u32 {
+    u32::from_le_bytes(frame[REL_SRC_OFF..REL_SRC_OFF + 4].try_into().unwrap())
+}
 
 /// Message envelope types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +71,10 @@ pub enum Envelope {
         offset: u64,
         len: u64,
     },
+    /// Reliability acknowledgement: `src` acknowledges receiving frame
+    /// `acked` and every frame up to and including `cum` (cumulative).
+    /// ACK frames are themselves unsequenced.
+    Ack { src: u32, acked: u64, cum: u64 },
 }
 
 const T_EAGER: u8 = 1;
@@ -49,6 +82,7 @@ const T_RTS: u8 = 2;
 const T_CTS: u8 = 3;
 const T_FIN: u8 = 4;
 const T_SOCKSEG: u8 = 5;
+const T_ACK: u8 = 6;
 
 impl Envelope {
     /// Serialize into a 48-byte header.
@@ -105,6 +139,12 @@ impl Envelope {
                 b[32..40].copy_from_slice(&total.to_le_bytes());
                 b[40..48].copy_from_slice(&offset.to_le_bytes());
             }
+            Envelope::Ack { src, acked, cum } => {
+                b[0] = T_ACK;
+                b[4..8].copy_from_slice(&src.to_le_bytes());
+                b[8..16].copy_from_slice(&acked.to_le_bytes());
+                b[16..24].copy_from_slice(&cum.to_le_bytes());
+            }
         }
         b
     }
@@ -143,6 +183,11 @@ impl Envelope {
                 total: u64_at(32),
                 offset: u64_at(40),
             },
+            T_ACK => Envelope::Ack {
+                src: u32_at(4),
+                acked: u64_at(8),
+                cum: u64_at(16),
+            },
             _ => return None,
         })
     }
@@ -177,6 +222,11 @@ mod tests {
             handle: u32::MAX,
         });
         roundtrip(Envelope::Fin { msg_id: 0 });
+        roundtrip(Envelope::Ack {
+            src: 9,
+            acked: 1 << 50,
+            cum: 77,
+        });
         roundtrip(Envelope::SockSeg {
             src: 2,
             tag: 5,
@@ -199,6 +249,17 @@ mod tests {
         let e = Envelope::Fin { msg_id: 1 };
         let b = e.encode();
         assert_eq!(Envelope::decode(&b[..HEADER_LEN - 1]), None);
+    }
+
+    #[test]
+    fn reliability_trailer_roundtrips_and_defaults_to_unreliable() {
+        let mut b = Envelope::Fin { msg_id: 3 }.encode();
+        assert_eq!(rel_seq(&b), 0, "unstamped frames are unreliable");
+        stamp_rel(&mut b, 0x0123_4567_89ab_cdef, 42);
+        assert_eq!(rel_seq(&b), 0x0123_4567_89ab_cdef);
+        assert_eq!(rel_src(&b), 42);
+        // The trailer does not disturb the envelope body.
+        assert_eq!(Envelope::decode(&b), Some(Envelope::Fin { msg_id: 3 }));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod model;
 
 pub mod prelude {
     pub use crate::buffer::{BufferPool, MsgBuf, PoolStats};
-    pub use crate::config::{MsgConfig, Protocol, RendezvousMode};
+    pub use crate::config::{MsgConfig, Protocol, Reliability, RendezvousMode};
     pub use crate::datatype::Layout;
     pub use crate::endpoint::{Endpoint, EndpointStats, MsgError, MsgResult, RecvInfo, ReqId};
     pub use crate::match_engine::MatchSpec;
@@ -55,10 +55,10 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
-    use crate::config::{MsgConfig, Protocol, RendezvousMode};
+    use crate::config::{MsgConfig, Protocol, Reliability, RendezvousMode};
     use crate::endpoint::{Endpoint, MsgError};
     use crate::match_engine::MatchSpec;
-    use polaris_nic::prelude::Fabric;
+    use polaris_nic::prelude::{ChaosParams, Fabric};
 
     /// Two endpoints driven from one thread: the virtual NIC executes
     /// transfers synchronously, so this is fully deterministic.
@@ -813,5 +813,354 @@ mod tests {
             }
             h.join().unwrap();
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Reliability layer
+    // ------------------------------------------------------------------
+
+    fn reliable(proto: Protocol) -> MsgConfig {
+        MsgConfig {
+            reliability: Reliability::on(),
+            ..MsgConfig::with_protocol(proto)
+        }
+    }
+
+    #[test]
+    fn reliable_roundtrips_on_clean_fabric() {
+        // The sequencing/ACK machinery must be invisible when nothing
+        // goes wrong, for every protocol.
+        for len in [0, 1, 1000, 4096] {
+            roundtrip_with(reliable(Protocol::Eager), len);
+        }
+        for len in [0, 1, 64 * 1024, 1 << 20] {
+            roundtrip_with(reliable(Protocol::Rendezvous), len);
+        }
+        let mut cfg = reliable(Protocol::Rendezvous);
+        cfg.rendezvous_mode = RendezvousMode::Write;
+        roundtrip_with(cfg, 100_000);
+        for len in [0, 1499, 100_000] {
+            roundtrip_with(reliable(Protocol::Sockets), len);
+        }
+    }
+
+    #[test]
+    fn reliable_delivery_is_exactly_once_over_lossy_fabric() {
+        const N: usize = 100;
+        const LEN: usize = 256;
+        let (fabric, mut eps) = world(2, reliable(Protocol::Eager));
+        fabric.set_chaos(ChaosParams::drop_only(0xC0FFEE, 0.10));
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+
+        let msg = |i: usize| -> Vec<u8> { (0..LEN).map(|j| (i * 131 + j * 31 + 7) as u8).collect() };
+        let mut rreqs = Vec::new();
+        for _ in 0..N {
+            let rb = ep1.alloc(LEN).unwrap();
+            rreqs.push(ep1.irecv(MatchSpec::exact(0, 7), rb).unwrap());
+        }
+        for i in 0..N {
+            let mut b = ep0.alloc(LEN).unwrap();
+            b.fill_from(&msg(i));
+            let sreq = ep0.isend(1, 7, b).unwrap();
+            let sb = ep0.wait_send(sreq).unwrap();
+            ep0.release(sb);
+        }
+
+        let mut results: Vec<Option<_>> = (0..N).map(|_| None).collect();
+        let mut done = 0;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        while done < N {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "delivery stalled at {done}/{N} over 10% loss"
+            );
+            ep0.progress();
+            ep1.progress();
+            for (i, req) in rreqs.iter().enumerate() {
+                if results[i].is_none() {
+                    if let Some(r) = ep1.test_recv(*req).unwrap() {
+                        results[i] = Some(r);
+                        done += 1;
+                    }
+                }
+            }
+        }
+        for (i, r) in results.into_iter().enumerate() {
+            let (rb, info) = r.unwrap();
+            assert_eq!(info.len, LEN);
+            assert_eq!(rb.as_slice(), &msg(i)[..], "message {i} corrupted or reordered");
+            ep1.release(rb);
+        }
+        let drops = fabric.chaos_stats().unwrap().drops;
+        assert!(drops > 0, "10% loss should have dropped something");
+        assert!(
+            ep0.stats().rel_retransmits > 0,
+            "dropped frames must be retransmitted"
+        );
+        assert_eq!(
+            ep1.stats().msgs_received,
+            N as u64,
+            "every message delivered exactly once"
+        );
+    }
+
+    #[test]
+    fn reliable_delivery_heals_corruption() {
+        const N: usize = 50;
+        const LEN: usize = 512;
+        let (fabric, mut eps) = world(2, reliable(Protocol::Eager));
+        fabric.set_chaos(ChaosParams {
+            seed: 11,
+            drop_prob: 0.0,
+            corrupt_prob: 0.2,
+        });
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let data = payload(LEN);
+        let mut rreqs = Vec::new();
+        for _ in 0..N {
+            let rb = ep1.alloc(LEN).unwrap();
+            rreqs.push(ep1.irecv(MatchSpec::exact(0, 3), rb).unwrap());
+        }
+        for _ in 0..N {
+            let mut b = ep0.alloc(LEN).unwrap();
+            b.fill_from(&data);
+            let sreq = ep0.isend(1, 3, b).unwrap();
+            let sb = ep0.wait_send(sreq).unwrap();
+            ep0.release(sb);
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        for req in &rreqs {
+            loop {
+                assert!(std::time::Instant::now() < deadline, "corruption healing stalled");
+                ep0.progress();
+                if let Some((rb, info)) = ep1.test_recv(*req).unwrap() {
+                    assert_eq!(info.len, LEN);
+                    // Corrupted frames failed their ICRC, were dropped, and
+                    // were retransmitted: the user never sees a flipped byte.
+                    assert_eq!(rb.as_slice(), &data[..]);
+                    ep1.release(rb);
+                    break;
+                }
+            }
+        }
+        assert!(fabric.chaos_stats().unwrap().corruptions > 0);
+        assert!(ep0.stats().rel_retransmits > 0);
+    }
+
+    #[test]
+    fn reliable_lossy_roundtrip_all_protocols() {
+        for (proto, len) in [
+            (Protocol::Eager, 4096),
+            (Protocol::Rendezvous, 64 * 1024),
+            (Protocol::Sockets, 50_000),
+        ] {
+            let (fabric, mut eps) = world(2, reliable(proto));
+            fabric.set_chaos(ChaosParams::drop_only(0xBAD5EED, 0.20));
+            let (e1, rest) = eps.split_at_mut(1);
+            let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+            let data = payload(len);
+            let mut b = ep0.alloc(len).unwrap();
+            b.fill_from(&data);
+            let sreq = ep0.isend(1, 5, b).unwrap();
+            let rb = ep1.alloc(len).unwrap();
+            let rreq = ep1.irecv(MatchSpec::exact(0, 5), rb).unwrap();
+            let mut sdone = None;
+            let mut rdone = None;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            while sdone.is_none() || rdone.is_none() {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "{proto:?} roundtrip stalled under 20% loss"
+                );
+                // Buffered sends complete before delivery, so the sender
+                // must keep progressing for retransmissions to fire.
+                ep0.progress();
+                ep1.progress();
+                if sdone.is_none() {
+                    sdone = ep0.test_send(sreq).unwrap();
+                }
+                if rdone.is_none() {
+                    rdone = ep1.test_recv(rreq).unwrap();
+                }
+            }
+            let (rb, info) = rdone.unwrap();
+            assert_eq!(info.len, len);
+            assert_eq!(rb.as_slice(), &data[..], "{proto:?} payload under loss");
+            ep0.release(sdone.unwrap());
+            ep1.release(rb);
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_escalates_to_peer_failed() {
+        let (fabric, mut eps) = world(2, reliable(Protocol::Rendezvous));
+        // Total blackout: every RTS (re)transmission is dropped, so the
+        // retry budget runs out and the peer is declared dead.
+        fabric.set_chaos(ChaosParams::drop_only(3, 1.0));
+        let ep0 = &mut eps[0];
+        let mut b = ep0.alloc(4096).unwrap();
+        b.fill_from(&payload(4096));
+        let sreq = ep0.isend(1, 9, b).unwrap();
+        let err = ep0.wait_send_timeout(sreq, std::time::Duration::from_secs(10));
+        assert!(
+            matches!(err, Err(MsgError::PeerFailed(1))),
+            "expected PeerFailed(1), got {err:?}"
+        );
+        assert!(ep0.stats().rel_retransmits >= 8, "budget must be spent first");
+        // The corpse stays dead: later traffic fails fast.
+        let b2 = ep0.alloc(8).unwrap();
+        assert!(matches!(ep0.isend(1, 9, b2), Err(MsgError::PeerFailed(1))));
+    }
+
+    #[test]
+    fn reliable_duplicates_are_suppressed() {
+        // Corrupting ACKs (they are the only traffic flowing back) forces
+        // the sender to retransmit frames the receiver already has; the
+        // dedup window must absorb them.
+        const N: usize = 30;
+        const LEN: usize = 64;
+        let (fabric, mut eps) = world(2, reliable(Protocol::Eager));
+        fabric.set_chaos(ChaosParams {
+            seed: 99,
+            drop_prob: 0.15,
+            corrupt_prob: 0.15,
+        });
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        let data = payload(LEN);
+        let mut rreqs = Vec::new();
+        for _ in 0..N {
+            let rb = ep1.alloc(LEN).unwrap();
+            rreqs.push(ep1.irecv(MatchSpec::exact(0, 1), rb).unwrap());
+        }
+        for _ in 0..N {
+            let mut b = ep0.alloc(LEN).unwrap();
+            b.fill_from(&data);
+            let sreq = ep0.isend(1, 1, b).unwrap();
+            let sb = ep0.wait_send(sreq).unwrap();
+            ep0.release(sb);
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        for req in &rreqs {
+            loop {
+                assert!(std::time::Instant::now() < deadline, "dedup drive stalled");
+                ep0.progress();
+                if let Some((rb, _)) = ep1.test_recv(*req).unwrap() {
+                    assert_eq!(rb.as_slice(), &data[..]);
+                    ep1.release(rb);
+                    break;
+                }
+            }
+        }
+        assert_eq!(ep1.stats().msgs_received, N as u64, "no duplicate deliveries");
+    }
+
+    // --- failure-handling edge cases ----------------------------------
+
+    #[test]
+    fn peer_failure_mid_rendezvous_fails_the_pending_send() {
+        // The sender is parked in AwaitCts — RTS delivered, but the
+        // receiver never posts a matching recv, so no CTS ever comes.
+        let mut cfg = MsgConfig::with_protocol(Protocol::Rendezvous);
+        cfg.rendezvous_mode = RendezvousMode::Write;
+        let (_f, mut eps) = world(2, cfg);
+        let (e1, rest) = eps.split_at_mut(1);
+        let ep0 = &mut e1[0];
+        let _ep1 = &rest[0];
+        let mut b = ep0.alloc(4096).unwrap();
+        b.fill_from(&payload(4096));
+        let req = ep0.isend(1, 9, b).unwrap();
+        ep0.progress();
+        assert!(matches!(ep0.test_send(req), Ok(None)), "stuck awaiting CTS");
+
+        ep0.mark_peer_failed(1);
+        assert_eq!(ep0.wait_send(req).unwrap_err(), MsgError::PeerFailed(1));
+        // The request was reaped by the error: a second query is a
+        // protocol error, not a second PeerFailed.
+        assert_eq!(ep0.test_send(req).unwrap_err(), MsgError::UnknownRequest(req));
+        // Future operations naming the dead peer fail fast.
+        let b2 = ep0.alloc(16).unwrap();
+        assert_eq!(ep0.isend(1, 9, b2).unwrap_err(), MsgError::PeerFailed(1));
+    }
+
+    #[test]
+    fn gather_slot_is_retired_not_recycled_on_peer_failure() {
+        use crate::datatype::Layout;
+        // One bounce slot, reliability off, so the zero-copy gather path
+        // is exercised and slot accounting is observable via pool growth.
+        let mut cfg = MsgConfig::with_protocol(Protocol::Eager);
+        cfg.send_pool_size = 1;
+        let (_f, mut eps) = world(3, cfg);
+        let (e1, rest) = eps.split_at_mut(1);
+        let (r1, r2) = rest.split_at_mut(1);
+        let (ep0, _ep1, ep2) = (&mut e1[0], &mut r1[0], &mut r2[0]);
+
+        let layout = Layout::Contiguous { len: 64 };
+        let mut buf = ep0.alloc(64).unwrap();
+        buf.fill_from(&payload(64));
+        let req = ep0.isend_layout(1, 5, buf, &layout).unwrap();
+        // Mark before any progress: the request is still GatherInflight.
+        ep0.mark_peer_failed(1);
+        assert_eq!(ep0.wait_send(req).unwrap_err(), MsgError::PeerFailed(1));
+        assert_eq!(ep0.stats().tx_pool_growth, 0);
+
+        // The retired slot must NOT come back through the gather CQE: the
+        // next eager send is forced to grow the pool instead of reusing
+        // it, and still goes through cleanly to a live peer.
+        let mut b = ep0.alloc(32).unwrap();
+        b.fill_from(&payload(32));
+        let sreq = ep0.isend(2, 6, b).unwrap();
+        assert_eq!(
+            ep0.stats().tx_pool_growth,
+            1,
+            "slot parked at the dead peer stays retired"
+        );
+        let rb = ep2.alloc(32).unwrap();
+        let rreq = ep2.irecv(MatchSpec::exact(0, 6), rb).unwrap();
+        let (rb, info) = ep2.wait_recv(rreq).unwrap();
+        assert_eq!(info.len, 32);
+        assert_eq!(rb.as_slice(), &payload(32)[..]);
+        ep2.release(rb);
+        let sb = ep0.wait_send(sreq).unwrap();
+        ep0.release(sb);
+    }
+
+    #[test]
+    fn detect_failures_and_double_mark_are_idempotent() {
+        let (_f, mut eps) = world(2, MsgConfig::default());
+        let (e1, rest) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e1[0], &mut rest[0]);
+        // One recv pinned to the doomed peer, one wildcard.
+        let rb = ep0.alloc(64).unwrap();
+        let pinned = ep0.irecv(MatchSpec::exact(1, 3), rb).unwrap();
+        let rb2 = ep0.alloc(64).unwrap();
+        let wild = ep0.irecv(MatchSpec::any(), rb2).unwrap();
+
+        ep1.fail();
+        assert_eq!(ep0.detect_failures(), vec![1]);
+        // A second sweep and an explicit re-mark are both no-ops.
+        assert!(ep0.detect_failures().is_empty());
+        ep0.mark_peer_failed(1);
+        assert!(!ep0.peer_alive(1));
+
+        // The pinned recv fails exactly once, then is unknown.
+        assert_eq!(ep0.test_recv(pinned).unwrap_err(), MsgError::PeerFailed(1));
+        assert_eq!(
+            ep0.test_recv(pinned).unwrap_err(),
+            MsgError::UnknownRequest(pinned)
+        );
+        // The wildcard recv is NOT cancelled: it could still match a
+        // message from some other (live) source.
+        assert!(matches!(ep0.test_recv(wild), Ok(None)));
+        // New operations naming the dead peer fail fast, in both roles.
+        let b = ep0.alloc(8).unwrap();
+        assert_eq!(ep0.isend(1, 1, b).unwrap_err(), MsgError::PeerFailed(1));
+        let b = ep0.alloc(8).unwrap();
+        assert_eq!(
+            ep0.irecv(MatchSpec::exact(1, 1), b).unwrap_err(),
+            MsgError::PeerFailed(1)
+        );
     }
 }

@@ -24,6 +24,14 @@ pub enum CqeStatus {
     /// The work request was flushed because the QP entered the error
     /// state before it executed.
     Flushed,
+    /// Transport retries exhausted without an ack: the packet (or its
+    /// ack) was lost on the wire. Injected by the fabric chaos layer;
+    /// the message was *not* delivered.
+    RetryExceeded,
+    /// The payload arrived but its invariant CRC check failed
+    /// (corruption on the wire). Receive-side status; the buffer
+    /// contents must not be trusted.
+    ChecksumError,
 }
 
 /// What kind of work completed.

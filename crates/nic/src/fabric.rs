@@ -11,6 +11,7 @@
 //! moves each payload byte exactly once while the eager and sockets
 //! paths move it two and four times respectively.
 
+use crate::chaos::{ChaosParams, ChaosState, ChaosStats, ChaosVerdict};
 use crate::cq::CompletionQueue;
 use crate::error::{NicError, Result};
 use crate::mr::{MemoryRegion, MrInner, ProtectionDomain};
@@ -51,6 +52,8 @@ pub(crate) struct FabricInner {
     dma_bytes: AtomicU64,
     registrations: AtomicU64,
     registered_bytes: AtomicU64,
+    /// Fault injection for two-sided sends; `None` = healthy fabric.
+    chaos: Mutex<Option<ChaosState>>,
 }
 
 impl FabricInner {
@@ -73,6 +76,12 @@ impl FabricInner {
     pub(crate) fn count_dma(&self, bytes: u64) {
         self.dma_ops.fetch_add(1, Ordering::Relaxed);
         self.dma_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Chaos verdict for one two-sided send, plus whether chaos is on
+    /// at all (so the send path can skip CRC work on healthy fabrics).
+    pub(crate) fn chaos_judge(&self) -> Option<ChaosVerdict> {
+        self.chaos.lock().as_mut().map(ChaosState::judge)
     }
 }
 
@@ -98,8 +107,26 @@ impl Fabric {
                 dma_bytes: AtomicU64::new(0),
                 registrations: AtomicU64::new(0),
                 registered_bytes: AtomicU64::new(0),
+                chaos: Mutex::new(None),
             }),
         }
+    }
+
+    /// Arm deterministic fault injection on every two-sided send
+    /// crossing this fabric (see [`crate::chaos`]). Replaces any
+    /// previous chaos configuration and resets its counters.
+    pub fn set_chaos(&self, params: ChaosParams) {
+        *self.inner.chaos.lock() = Some(ChaosState::new(params));
+    }
+
+    /// Disarm fault injection.
+    pub fn clear_chaos(&self) {
+        *self.inner.chaos.lock() = None;
+    }
+
+    /// Counters of injected faults, if chaos is armed.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.inner.chaos.lock().as_ref().map(ChaosState::stats)
     }
 
     /// Attach a new NIC (node) to the fabric, assigning the next rank.
@@ -787,6 +814,122 @@ mod tests {
 
     fn nic_b_post_recv(qp: &QueuePair, mr: &MemoryRegion, wr_id: u64) {
         qp.post_recv(RecvWr::new(wr_id, vec![Sge::whole(mr)])).unwrap();
+    }
+
+    #[test]
+    fn chaos_drop_surfaces_retry_exceeded_to_sender_only() {
+        let p = pair();
+        // drop_prob = 1.0: every send dies on the wire.
+        p.fabric.set_chaos(ChaosParams::drop_only(7, 1.0));
+        let src = p.nic_a.register_from(p.pd_a, b"lost").unwrap();
+        let dst = p.nic_b.register(p.pd_b, 8).unwrap();
+        p.b.post_recv(RecvWr::new(1, vec![Sge::whole(&dst)])).unwrap();
+        p.a.post_send(SendWr::Send {
+            wr_id: 2,
+            sges: vec![Sge::whole(&src)],
+            imm: None,
+        })
+        .unwrap();
+        let tx = p.cq_a.poll_one().unwrap().unwrap();
+        assert_eq!(tx.status, CqeStatus::RetryExceeded);
+        assert_eq!(tx.wr_id, 2);
+        // Nothing reached the receiver; its recv is still posted.
+        assert!(p.cq_b.poll_one().unwrap().is_none());
+        assert_eq!(p.b.recv_depths(), (1, 0));
+        assert_eq!(dst.to_vec(0, 4).unwrap(), vec![0u8; 4]);
+        assert_eq!(p.fabric.chaos_stats().unwrap().drops, 1);
+    }
+
+    #[test]
+    fn chaos_corruption_fails_icrc_on_both_sides() {
+        let p = pair();
+        p.fabric.set_chaos(ChaosParams { seed: 7, drop_prob: 0.0, corrupt_prob: 1.0 });
+        let src = p.nic_a.register_from(p.pd_a, b"fragile!").unwrap();
+        let dst = p.nic_b.register(p.pd_b, 8).unwrap();
+        p.b.post_recv(RecvWr::new(1, vec![Sge::whole(&dst)])).unwrap();
+        p.a.post_send(SendWr::Send {
+            wr_id: 2,
+            sges: vec![Sge::whole(&src)],
+            imm: None,
+        })
+        .unwrap();
+        let rx = p.cq_b.poll_one().unwrap().unwrap();
+        assert_eq!(rx.status, CqeStatus::ChecksumError);
+        assert_eq!(rx.byte_len, 0);
+        let tx = p.cq_a.poll_one().unwrap().unwrap();
+        assert_eq!(tx.status, CqeStatus::RetryExceeded);
+        // The payload landed damaged: exactly one byte differs.
+        let got = dst.to_vec(0, 8).unwrap();
+        let diff = got.iter().zip(b"fragile!").filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 1);
+        assert_eq!(p.fabric.chaos_stats().unwrap().corruptions, 1);
+    }
+
+    #[test]
+    fn chaos_armed_clean_sends_pass_icrc() {
+        let p = pair();
+        p.fabric.set_chaos(ChaosParams { seed: 7, drop_prob: 0.0, corrupt_prob: 0.0 });
+        let src = p.nic_a.register_from(p.pd_a, b"verified").unwrap();
+        let dst = p.nic_b.register(p.pd_b, 8).unwrap();
+        p.b.post_recv(RecvWr::new(1, vec![Sge::whole(&dst)])).unwrap();
+        p.a.post_send(SendWr::Send {
+            wr_id: 2,
+            sges: vec![Sge::whole(&src)],
+            imm: None,
+        })
+        .unwrap();
+        assert_eq!(p.cq_b.poll_one().unwrap().unwrap().status, CqeStatus::Success);
+        assert_eq!(p.cq_a.poll_one().unwrap().unwrap().status, CqeStatus::Success);
+        assert_eq!(dst.to_vec(0, 8).unwrap(), b"verified");
+        p.fabric.clear_chaos();
+        assert!(p.fabric.chaos_stats().is_none());
+    }
+
+    #[test]
+    fn chaos_verdicts_replay_identically_across_fabrics() {
+        let run = |seed: u64| -> Vec<CqeStatus> {
+            let p = pair();
+            p.fabric.set_chaos(ChaosParams { seed, drop_prob: 0.3, corrupt_prob: 0.3 });
+            let src = p.nic_a.register_from(p.pd_a, b"replayme").unwrap();
+            let dst = p.nic_b.register(p.pd_b, 8).unwrap();
+            (0..100)
+                .map(|i| {
+                    p.b.post_recv(RecvWr::new(i, vec![Sge::whole(&dst)])).unwrap();
+                    p.a.post_send(SendWr::Send {
+                        wr_id: 1000 + i,
+                        sges: vec![Sge::whole(&src)],
+                        imm: None,
+                    })
+                    .unwrap();
+                    p.cq_a.poll_one().unwrap().unwrap().status
+                })
+                .collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b);
+        assert!(a.contains(&CqeStatus::RetryExceeded));
+        assert!(a.contains(&CqeStatus::Success));
+    }
+
+    #[test]
+    fn chaos_spares_one_sided_rdma() {
+        let p = pair();
+        p.fabric.set_chaos(ChaosParams { seed: 3, drop_prob: 1.0, corrupt_prob: 0.0 });
+        let src = p.nic_a.register_from(p.pd_a, b"immune").unwrap();
+        let dst = p.nic_b.register(p.pd_b, 8).unwrap();
+        p.a.post_send(SendWr::RdmaWrite {
+            wr_id: 1,
+            sges: vec![Sge::whole(&src)],
+            remote: RemoteAddr {
+                node: p.b.node(),
+                rkey: dst.rkey(),
+                offset: 0,
+            },
+        })
+        .unwrap();
+        assert_eq!(p.cq_a.poll_one().unwrap().unwrap().status, CqeStatus::Success);
+        assert_eq!(dst.to_vec(0, 6).unwrap(), b"immune");
     }
 
     #[test]

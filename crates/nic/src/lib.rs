@@ -34,6 +34,7 @@
 //! assert_eq!(dst.to_vec(0, 5).unwrap(), b"hello");
 //! ```
 
+pub mod chaos;
 pub mod cq;
 pub mod error;
 pub mod fabric;
@@ -44,6 +45,7 @@ pub mod types;
 pub mod wr;
 
 pub mod prelude {
+    pub use crate::chaos::{crc32, ChaosParams, ChaosStats, ChaosVerdict};
     pub use crate::cq::{CompletionQueue, Cqe, CqeOpcode, CqeStatus};
     pub use crate::error::{NicError, Result as NicResult};
     pub use crate::fabric::{Fabric, FabricStats, Nic};

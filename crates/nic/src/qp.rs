@@ -56,6 +56,12 @@ pub(crate) enum Inbound {
         sender_cq: CompletionQueue,
         sender_qp: QpNum,
         sender_wr_id: u64,
+        /// Invariant CRC computed over the payload at post time; only
+        /// carried when the fabric's chaos layer is armed.
+        icrc: Option<u32>,
+        /// Chaos verdict: flip a byte in flight so the receiver's ICRC
+        /// check fails.
+        corrupt: bool,
     },
     /// An RDMA-write-with-immediate whose data already landed; only the
     /// notification (and receive consumption) is pending.
@@ -195,12 +201,35 @@ impl QueuePair {
                 sges,
                 imm,
             } => {
+                // Chaos layer: two-sided sends ride the lossy wire.
+                let (icrc, corrupt) = match fabric.chaos_judge() {
+                    None => (None, false),
+                    Some(crate::chaos::ChaosVerdict::Drop) => {
+                        // Lost on the wire; transport retries exhaust
+                        // and the sender learns via an error CQE.
+                        self.push_sq(Cqe {
+                            wr_id,
+                            status: CqeStatus::RetryExceeded,
+                            opcode: CqeOpcode::Send,
+                            byte_len: 0,
+                            imm: None,
+                            qp: self.inner.num,
+                        });
+                        return Ok(());
+                    }
+                    Some(verdict) => (
+                        Some(crate::chaos::crc32(&gather_bytes(&sges))),
+                        verdict == crate::chaos::ChaosVerdict::Corrupt,
+                    ),
+                };
                 let inbound = Inbound::Send {
                     sges,
                     imm,
                     sender_cq: self.inner.sq_cq.clone(),
                     sender_qp: self.inner.num,
                     sender_wr_id: wr_id,
+                    icrc,
+                    corrupt,
                 };
                 if let Some(srq) = &peer.srq {
                     srq.handle_inbound(&peer, inbound, &fabric);
@@ -541,6 +570,8 @@ pub(crate) fn drop_guard_deliver(
             sender_cq,
             sender_qp,
             sender_wr_id,
+            icrc,
+            corrupt,
         } => {
             let total = sge_len(&sges);
             if total > recv.capacity() {
@@ -567,6 +598,35 @@ pub(crate) fn drop_guard_deliver(
             // the two-sided path.
             scatter_gather(&sges, &recv.sges);
             fabric.count_dma(total as u64);
+            if corrupt && total > 0 {
+                flip_byte(&recv.sges, total / 2);
+            }
+            // ICRC check (chaos runs only): recompute over what landed
+            // and compare with what the sender stamped.
+            if let Some(expect) = icrc {
+                let got = crate::chaos::crc32(&read_scatter(&recv.sges, total));
+                if got != expect {
+                    rx.rq_cq.push(Cqe {
+                        wr_id: recv.wr_id,
+                        status: CqeStatus::ChecksumError,
+                        opcode: CqeOpcode::Recv,
+                        byte_len: 0,
+                        imm: None,
+                        qp: rx.num,
+                    });
+                    // The receiver NACKs the bad packet; the sender's
+                    // retries exhaust.
+                    sender_cq.push(Cqe {
+                        wr_id: sender_wr_id,
+                        status: CqeStatus::RetryExceeded,
+                        opcode: CqeOpcode::Send,
+                        byte_len: 0,
+                        imm: None,
+                        qp: sender_qp,
+                    });
+                    return;
+                }
+            }
             rx.rq_cq.push(Cqe {
                 wr_id: recv.wr_id,
                 status: CqeStatus::Success,
@@ -608,6 +668,49 @@ pub(crate) fn drop_guard_deliver(
                 qp: sender_qp,
             });
         }
+    }
+}
+
+/// Gather a scatter list's bytes into one contiguous buffer (ICRC input).
+fn gather_bytes(sges: &[Sge]) -> Vec<u8> {
+    read_scatter(sges, sge_len(sges))
+}
+
+/// Read the first `total` bytes spanned by a scatter list.
+fn read_scatter(sges: &[Sge], total: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(total);
+    let mut left = total;
+    for s in sges {
+        if left == 0 {
+            break;
+        }
+        let n = s.len.min(left);
+        // SAFETY: callers bounds-checked the list against its regions;
+        // ownership contract covers concurrency.
+        unsafe {
+            let p = s.mr.inner.ptr().add(s.offset);
+            out.extend_from_slice(std::slice::from_raw_parts(p, n));
+        }
+        left -= n;
+    }
+    out
+}
+
+/// Flip one byte at logical offset `at` within a scatter list: wire
+/// corruption injected by the chaos layer.
+fn flip_byte(sges: &[Sge], at: usize) {
+    let mut off = at;
+    for s in sges {
+        if off < s.len {
+            // SAFETY: offset is within the SGE, which the caller
+            // bounds-checked against its region.
+            unsafe {
+                let p = s.mr.inner.ptr().add(s.offset + off);
+                *p ^= 0x5A;
+            }
+            return;
+        }
+        off -= s.len;
     }
 }
 

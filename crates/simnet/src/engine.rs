@@ -100,7 +100,9 @@ pub fn run<W: World>(
                 };
             }
         }
-        let (time, event) = sched.queue.pop().expect("peeked event must pop");
+        // `peek_time` just returned `Some`, but stay panic-free on the
+        // hot path: an empty queue simply ends the run.
+        let Some((time, event)) = sched.queue.pop() else { break };
         debug_assert!(time >= sched.now, "clock must be monotone");
         sched.now = time;
         world.handle(sched, event);

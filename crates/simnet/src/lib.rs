@@ -29,7 +29,9 @@
 
 pub mod circuit;
 pub mod engine;
+pub mod error;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod network;
 pub mod packet;
@@ -44,6 +46,11 @@ pub mod topology;
 pub mod prelude {
     pub use crate::circuit::{CircuitConfig, CircuitNetwork};
     pub use crate::engine::{run, RunStats, Scheduler, World};
+    pub use crate::error::SimError;
+    pub use crate::fault::{
+        DropCause, FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule,
+        FaultScope, FaultVerdict,
+    };
     pub use crate::link::{Generation, LinkId, LinkModel};
     pub use crate::network::{Delivery, LossConfig, Network};
     pub use crate::packetnet::{simulate_packets, Completion, Injection};

@@ -10,8 +10,8 @@
 //! discrete-event executors do this by construction); the model then
 //! yields deterministic, contention-aware delivery times.
 
+use crate::fault::{FaultEvent, FaultInjector, FaultPlan, FaultVerdict};
 use crate::link::{LinkModel, LinkState};
-use crate::rng::SplitMix64;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 
@@ -20,9 +20,13 @@ use crate::topology::Topology;
 pub struct Delivery {
     /// When the last byte arrives at the destination NIC.
     pub arrival: SimTime,
-    /// Whether loss injection dropped the message (arrival is then the
+    /// Whether fault injection dropped the message (arrival is then the
     /// time the loss would have been detected at the sender's timeout).
     pub dropped: bool,
+    /// Whether the payload arrived damaged (a CRC check at the
+    /// receiver would fail; the NIC layer surfaces this as an error
+    /// completion).
+    pub corrupted: bool,
 }
 
 /// Loss-injection configuration.
@@ -42,10 +46,11 @@ pub struct Network {
     topo: Topology,
     model: LinkModel,
     links: Vec<LinkState>,
-    loss: Option<(f64, SplitMix64)>,
+    faults: Option<FaultInjector>,
     transfers: u64,
     payload_bytes: u64,
     dropped: u64,
+    corrupted: u64,
 }
 
 impl Network {
@@ -55,16 +60,36 @@ impl Network {
             topo,
             model,
             links: vec![LinkState::default(); n],
-            loss: None,
+            faults: None,
             transfers: 0,
             payload_bytes: 0,
             dropped: 0,
+            corrupted: 0,
         }
     }
 
-    pub fn with_loss(mut self, cfg: LossConfig) -> Self {
-        self.loss = Some((cfg.drop_prob, SplitMix64::new(cfg.seed)));
+    /// Attach a [`FaultPlan`]: every subsequent transfer is judged by
+    /// its deterministic injector, and injected events accumulate in
+    /// [`Network::fault_log`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultInjector::new(plan));
         self
+    }
+
+    /// Uniform i.i.d. loss — kept as a convenience wrapper over
+    /// [`Network::with_faults`] for the single-knob callers.
+    pub fn with_loss(self, cfg: LossConfig) -> Self {
+        self.with_faults(FaultPlan::new(cfg.seed).uniform_drop(cfg.drop_prob))
+    }
+
+    /// Replay log of every fault injected so far (empty without a plan).
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map_or(&[], |f| f.log())
+    }
+
+    /// Whether `node` is crashed under the attached plan at `now`.
+    pub fn node_crashed(&self, node: u32, now: SimTime) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.node_crashed(node, now))
     }
 
     pub fn topology(&self) -> &Topology {
@@ -81,27 +106,39 @@ impl Network {
         self.transfers += 1;
         self.payload_bytes += bytes;
         if src == dst {
-            // Loopback: a local memory copy, never on the wire.
+            // Loopback: a local memory copy, never on the wire and
+            // exempt from fault injection.
             let t = SimDuration::from_secs_f64(bytes as f64 / LOCAL_COPY_BPS as f64);
             return Delivery {
                 arrival: now + t,
                 dropped: false,
+                corrupted: false,
             };
         }
-        if let Some((p, rng)) = &mut self.loss {
-            if rng.chance(*p) {
-                self.dropped += 1;
-                // The sender learns of the loss only after a timeout;
-                // model that as the nominal delivery time (retransmission
-                // policy layers on top).
-                let nominal = now + self.model.message_time(bytes, self.topo.hops(src, dst));
-                return Delivery {
-                    arrival: nominal,
-                    dropped: true,
-                };
+        let route = self.topo.route(src, dst);
+        let mut corrupted = false;
+        if let Some(inj) = &mut self.faults {
+            match inj.judge(now, src, dst, &route) {
+                FaultVerdict::Deliver => {}
+                FaultVerdict::DeliverCorrupted => {
+                    self.corrupted += 1;
+                    corrupted = true;
+                }
+                FaultVerdict::Drop(_) => {
+                    self.dropped += 1;
+                    // The sender learns of the loss only after a timeout;
+                    // model that as the nominal delivery time
+                    // (retransmission policy layers on top).
+                    let nominal =
+                        now + self.model.message_time(bytes, self.topo.hops(src, dst));
+                    return Delivery {
+                        arrival: nominal,
+                        dropped: true,
+                        corrupted: false,
+                    };
+                }
             }
         }
-        let route = self.topo.route(src, dst);
         let hops = route.len() as u32;
         let ser = self.model.serialize_payload(bytes);
         let wire_bytes = self.model.wire_bytes(bytes);
@@ -131,6 +168,7 @@ impl Network {
         Delivery {
             arrival,
             dropped: false,
+            corrupted,
         }
     }
 
@@ -155,6 +193,10 @@ impl Network {
         self.dropped
     }
 
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+
     /// Peak link utilization over the interval `[0, horizon]`.
     pub fn peak_link_utilization(&self, horizon: SimTime) -> f64 {
         if horizon == SimTime::ZERO {
@@ -172,14 +214,19 @@ impl Network {
         self.links.iter().map(|l| l.bytes_carried).sum()
     }
 
-    /// Reset link occupancy but keep topology/model (new experiment run).
+    /// Reset link occupancy and rewind the fault injector, but keep
+    /// topology/model/plan (new experiment run; replays are identical).
     pub fn reset(&mut self) {
         for l in &mut self.links {
             *l = LinkState::default();
         }
+        if let Some(inj) = &mut self.faults {
+            inj.reset();
+        }
         self.transfers = 0;
         self.payload_bytes = 0;
         self.dropped = 0;
+        self.corrupted = 0;
     }
 }
 
@@ -273,6 +320,49 @@ mod tests {
         }
         assert!((150..250).contains(&drops), "drops = {drops}");
         assert_eq!(a.dropped(), drops);
+    }
+
+    #[test]
+    fn fault_plan_replay_is_bit_identical() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new(1234)
+            .uniform_drop(0.05)
+            .corrupt(0.05)
+            .flap_link(0, SimTime(10_000_000), 5_000_000, 20_000_000);
+        let run = |n: &mut Network| {
+            let mut out = Vec::new();
+            for i in 0..500u64 {
+                out.push(n.transfer(SimTime(i * 1_000_000), 0, 1, 512));
+            }
+            out
+        };
+        let mut a = net(TopologyKind::Ring { hosts: 4 }, Generation::Myrinet2000)
+            .with_faults(plan.clone());
+        let first = run(&mut a);
+        let log1 = a.fault_log().to_vec();
+        assert!(a.dropped() > 0 && a.corrupted() > 0);
+        // Same plan in a fresh network: identical deliveries and log.
+        let mut b = net(TopologyKind::Ring { hosts: 4 }, Generation::Myrinet2000)
+            .with_faults(plan);
+        assert_eq!(run(&mut b), first);
+        assert_eq!(b.fault_log(), &log1[..]);
+        // reset() rewinds the injector too.
+        a.reset();
+        assert_eq!(run(&mut a), first);
+        assert_eq!(a.fault_log(), &log1[..]);
+    }
+
+    #[test]
+    fn crashed_node_loses_all_traffic() {
+        use crate::fault::FaultPlan;
+        let crash_at = SimTime(1_000_000);
+        let mut n = net(TopologyKind::Crossbar { hosts: 4 }, Generation::InfiniBand4x)
+            .with_faults(FaultPlan::new(1).crash_node(2, crash_at));
+        assert!(!n.transfer(SimTime::ZERO, 0, 2, 64).dropped);
+        assert!(n.transfer(crash_at, 0, 2, 64).dropped);
+        assert!(n.transfer(crash_at, 2, 3, 64).dropped);
+        assert!(!n.transfer(crash_at, 0, 1, 64).dropped);
+        assert!(n.node_crashed(2, crash_at));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! sharing, saturation throughput) matches a first-principles simulation.
 
 use crate::engine::{run, Scheduler, World};
+use crate::error::SimError;
 use crate::link::LinkModel;
 use crate::packet::{segment, Packet, Reassembled, Reassembler};
 use crate::time::{SimDuration, SimTime};
@@ -51,6 +52,9 @@ pub struct CrossbarSim {
     reasm: Reassembler,
     completions: Vec<Completion>,
     next_msg_id: u64,
+    /// First invariant violation observed, if any; once set the model
+    /// stops scheduling work and the run drains.
+    error: Option<SimError>,
 }
 
 impl CrossbarSim {
@@ -63,6 +67,7 @@ impl CrossbarSim {
             reasm: Reassembler::new(),
             completions: Vec::new(),
             next_msg_id: 0,
+            error: None,
         }
     }
 
@@ -97,21 +102,30 @@ impl CrossbarSim {
     pub fn completions(&self) -> &[Completion] {
         &self.completions
     }
+
+    /// First invariant violation observed during the run, if any.
+    pub fn error(&self) -> Option<SimError> {
+        self.error
+    }
 }
 
 impl World for CrossbarSim {
     type Event = SwEvent;
 
     fn handle(&mut self, sched: &mut Scheduler<SwEvent>, event: SwEvent) {
+        if self.error.is_some() {
+            return;
+        }
         match event {
             SwEvent::ArriveAtSwitch(pkt) => {
                 self.out_queue[pkt.dst as usize].push_back(pkt);
                 self.start_output(sched, pkt.dst);
             }
             SwEvent::OutputDone(port) => {
-                let pkt = self.out_queue[port as usize]
-                    .pop_front()
-                    .expect("output completed with empty queue");
+                let Some(pkt) = self.out_queue[port as usize].pop_front() else {
+                    self.error = Some(SimError::EmptyOutputQueue { port });
+                    return;
+                };
                 self.out_busy[port as usize] = false;
                 if let Some(msg) = self.reasm.push(pkt) {
                     self.completions.push(Completion {
@@ -127,14 +141,23 @@ impl World for CrossbarSim {
 }
 
 /// Run a packet-level crossbar simulation of the given injections and
-/// return completions sorted by time.
+/// return completions sorted by time, or the first model invariant
+/// violation.
 pub fn simulate_crossbar(
     ports: u32,
     model: LinkModel,
     injections: &[Injection],
-) -> Vec<Completion> {
+) -> Result<Vec<Completion>, SimError> {
     let mut world = CrossbarSim::new(ports, model);
     let mut sched = Scheduler::new();
+    for inj in injections {
+        if inj.src >= ports || inj.dst >= ports {
+            return Err(SimError::PortOutOfRange {
+                port: inj.src.max(inj.dst),
+                ports,
+            });
+        }
+    }
     // Injections are applied up front: input-link occupancy ensures the
     // wire is shared correctly even for same-time injections.
     let mut sorted: Vec<Injection> = injections.to_vec();
@@ -143,9 +166,12 @@ pub fn simulate_crossbar(
         world.inject(&mut sched, inj);
     }
     run(&mut world, &mut sched, None);
+    if let Some(e) = world.error {
+        return Err(e);
+    }
     let mut done = world.completions;
     done.sort_by_key(|c| c.at);
-    done
+    Ok(done)
 }
 
 #[cfg(test)]
@@ -169,7 +195,7 @@ mod tests {
                 dst: 1,
                 bytes: 6000,
             }],
-        );
+        ).unwrap();
         assert_eq!(done.len(), 1);
         let analytic = m.message_time(6000, 2);
         let sim = done[0].at.since(SimTime::ZERO);
@@ -196,7 +222,7 @@ mod tests {
                 dst: 2,
                 bytes,
             }],
-        );
+        ).unwrap();
         let pair = simulate_crossbar(
             4,
             m,
@@ -214,7 +240,7 @@ mod tests {
                     bytes,
                 },
             ],
-        );
+        ).unwrap();
         let t_solo = solo[0].at.as_secs();
         let t_pair = pair.last().unwrap().at.as_secs();
         let ratio = t_pair / t_solo;
@@ -245,7 +271,7 @@ mod tests {
                     bytes,
                 },
             ],
-        );
+        ).unwrap();
         // Both finish within ~one message serialization of each other:
         // packets interleave in the output queue rather than one flow
         // starving the other.
@@ -277,7 +303,7 @@ mod tests {
                     bytes: 100_000,
                 },
             ],
-        );
+        ).unwrap();
         assert_eq!(done[0].at, done[1].at);
     }
 
@@ -299,7 +325,7 @@ mod tests {
                 bytes,
             })
             .collect();
-        let pkt_done = simulate_crossbar(senders + 1, m, &injections);
+        let pkt_done = simulate_crossbar(senders + 1, m, &injections).unwrap();
         let t_pkt = pkt_done.last().unwrap().at.as_secs();
 
         let mut flow = Network::new(
@@ -315,5 +341,22 @@ mod tests {
             (0.75..1.25).contains(&ratio),
             "flow {t_flow} vs packet {t_pkt}: ratio {ratio}"
         );
+    }
+
+    #[test]
+    fn out_of_range_port_is_a_typed_error_not_a_panic() {
+        let err = simulate_crossbar(
+            2,
+            gige(),
+            &[Injection {
+                at: SimTime::ZERO,
+                src: 0,
+                dst: 5,
+                bytes: 64,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::PortOutOfRange { port: 5, ports: 2 });
+        assert!(err.to_string().contains("out of range"));
     }
 }

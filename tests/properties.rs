@@ -140,7 +140,7 @@ proptest! {
 
 fn arb_layout() -> impl Strategy<Value = (Layout, usize)> {
     prop_oneof![
-        (0usize..200).prop_map(|len| (Layout::Contiguous { len }, 256)),
+        (0usize..200).prop_map(|len| (Layout::Contiguous { len }, 256usize)),
         (0usize..8, 1usize..9, 0usize..16).prop_map(|(count, block, gap)| {
             let stride = block + gap;
             (

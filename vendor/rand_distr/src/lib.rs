@@ -1,0 +1,181 @@
+//! Offline stand-in for `rand_distr`: the `Exp`, `LogNormal`, `Normal`
+//! and `Uniform` distributions used by the RMS workload and failure
+//! models, over the vendored `rand` shim. Constructors validate their
+//! parameters and return `Result`, matching the upstream 0.5 API.
+
+use rand::RngCore;
+
+/// Mirrors `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A parameter was non-finite, non-positive, or the range was empty.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidParameter(what) => write!(f, "invalid distribution parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error::InvalidParameter("Exp rate must be finite and positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u avoids ln(0).
+        -(1.0 - rng.next_f64()).ln() / self.lambda
+    }
+}
+
+/// Normal distribution (Box–Muller; one variate per call keeps the
+/// stream a pure function of draw count, which replay depends on).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error::InvalidParameter(
+                "Normal mean/std_dev must be finite, std_dev non-negative",
+            ))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Uniform over `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    low: f64,
+    span: f64,
+}
+
+impl Uniform {
+    pub fn new(low: f64, high: f64) -> Result<Self, Error> {
+        if low.is_finite() && high.is_finite() && low < high {
+            Ok(Uniform {
+                low,
+                span: high - low,
+            })
+        } else {
+            Err(Error::InvalidParameter("Uniform range must be finite and non-empty"))
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + self.span * rng.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn mean_of(dist: &impl Distribution<f64>, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(0.5).unwrap();
+        let m = mean_of(&d, 20_000);
+        assert!((m - 2.0).abs() < 0.1, "mean = {m}");
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 3.0).abs() < 0.1, "mean = {m}");
+        assert!((v - 4.0).abs() < 0.2, "var = {v}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        // Median of LogNormal(mu, sigma) is exp(mu).
+        let d = LogNormal::new(2.0f64.ln(), 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median - 2.0).abs() < 0.15, "median = {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(1.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..3.0).contains(&x));
+        }
+        assert!((mean_of(&d, 20_000) - 2.0).abs() < 0.05);
+        assert!(Uniform::new(3.0, 3.0).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's visitor architecture is far more than this workspace
+//! needs, and the build environment cannot download crates. This shim
+//! keeps the *usage* surface — `#[derive(Serialize, Deserialize)]` plus
+//! `serde_json::{to_string, to_string_pretty, from_str}` — on top of a
+//! simple value-tree data model:
+//!
+//! - [`Serialize::to_value`] renders a type into a [`value::Value`];
+//! - [`Deserialize::from_value`] rebuilds the type from one.
+//!
+//! The derive macros (in `serde_derive`) generate these impls for plain
+//! structs with named fields and for enums with unit, tuple and struct
+//! variants — the shapes that appear in this repository. Encoding
+//! conventions match upstream serde's JSON defaults (externally tagged
+//! enums), so serialized output looks like what real serde would emit.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error: a human-readable path/description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub mod value {
+    use super::DeError;
+
+    /// The serialization data model: a JSON-shaped tree. `Object`
+    /// preserves insertion order so output is deterministic.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        I64(i64),
+        U64(u64),
+        F64(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Look up a field of an `Object`, with a descriptive error
+        /// otherwise.
+        pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+            match self {
+                Value::Object(fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+                other => Err(DeError(format!(
+                    "expected object with field `{name}`, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::I64(_) | Value::U64(_) => "integer",
+                Value::F64(_) => "number",
+                Value::Str(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+    }
+}
+
+use value::Value;
+
+/// Render `self` into the data-model tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a data-model tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::U64(x) => *x,
+                    Value::I64(x) if *x >= 0 => *x as u64,
+                    other => {
+                        return Err(DeError(format!(
+                            concat!("expected ", stringify!($t), ", got {}"),
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError(format!(concat!("value {} out of range for ", stringify!($t)), raw))
+                })
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match v {
+                    Value::I64(x) => *x,
+                    Value::U64(x) if *x <= i64::MAX as u64 => *x as i64,
+                    other => {
+                        return Err(DeError(format!(
+                            concat!("expected ", stringify!($t), ", got {}"),
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError(format!(concat!("value {} out of range for ", stringify!($t)), raw))
+                })
+            }
+        }
+    )*};
+}
+
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(x) => Ok(*x as f64),
+            Value::U64(x) => Ok(*x as f64),
+            other => Err(DeError(format!("expected f64, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn range_checks_enforced() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(v.field("a").unwrap(), &Value::U64(1));
+        assert!(v.field("b").is_err());
+        assert!(Value::Null.field("a").is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! Hand-rolled `Serialize`/`Deserialize` derive macros for the vendored
+//! serde shim. With no network access there is no `syn`/`quote`, so the
+//! input item is parsed directly from the `proc_macro` token stream and
+//! the impl is generated as a source string.
+//!
+//! Supported shapes — the ones appearing in this workspace:
+//! - structs with named fields,
+//! - enums with unit variants, tuple variants, and struct variants.
+//!
+//! Not supported (compile error): generics, tuple/unit structs, unions,
+//! and `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Number of unnamed payload fields.
+    Tuple(usize),
+    /// Named payload fields.
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let src = match (&item, mode) {
+                (Item::Struct { name, fields }, Mode::Serialize) => gen_struct_ser(name, fields),
+                (Item::Struct { name, fields }, Mode::Deserialize) => gen_struct_de(name, fields),
+                (Item::Enum { name, variants }, Mode::Serialize) => gen_enum_ser(name, variants),
+                (Item::Enum { name, variants }, Mode::Deserialize) => gen_enum_de(name, variants),
+            };
+            src.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+/// Parse the derive input far enough to know the item's name and the
+/// names/arities of its fields or variants.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Outer attributes and visibility precede the keyword.
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("serde shim derive: unsupported item keyword `{s}`"));
+            }
+            other => return Err(format!("serde shim derive: unexpected token {other:?}")),
+        }
+    };
+
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected item name, got {other:?}")),
+    };
+
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "serde shim derive: `{name}` must have a braced body (tuple/unit items unsupported), got {other:?}"
+            ));
+        }
+    };
+
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Split a brace-group body into the field names of a named-field list.
+/// Types are skipped token-wise (angle-bracket depth tracked so commas
+/// inside `Foo<A, B>` don't split fields).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes (incl. doc comments) and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            return Err(format!("serde shim derive: expected field name, got {tok:?}"));
+        };
+        fields.push(field.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{field}`, got {other:?}"
+                ));
+            }
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes / doc comments.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tok else {
+            return Err(format!("serde shim derive: expected variant name, got {tok:?}"));
+        };
+        let name = vname.to_string();
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                toks.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                toks.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        let mut angle_depth = 0i32;
+        while let Some(t) = toks.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {}
+            }
+            toks.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// Count comma-separated entries at the top level of a token stream
+/// (angle-bracket aware; trailing comma tolerated).
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in body {
+        any = true;
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_struct_ser(name: &str, fields: &[String]) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n\
+                 ::serde::value::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::value::Value::Str(::std::string::String::from({vn:?})),"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                let payload = if *arity == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "::serde::value::Value::Array(::std::vec![{}])",
+                        items.join(",")
+                    )
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::value::Value::Object(::std::vec![(::std::string::String::from({vn:?}), {payload})]),",
+                    binds.join(",")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => ::serde::value::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::value::Value::Object(::std::vec![{}]))]),",
+                    fields.join(","),
+                    entries.join(",")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as Value::Str(name); data variants as a
+    // single-key object {name: payload} (externally tagged, like serde).
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                unit_arms.push_str(&format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),"));
+            }
+            VariantShape::Tuple(arity) => {
+                let body = if *arity == 1 {
+                    format!(
+                        "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?))"
+                    )
+                } else {
+                    let mut items = String::new();
+                    for i in 0..*arity {
+                        items.push_str(&format!(
+                            "::serde::Deserialize::from_value(&items[{i}])?,"
+                        ));
+                    }
+                    format!(
+                        "match payload {{\n\
+                             ::serde::value::Value::Array(items) if items.len() == {arity} =>\n\
+                                 ::std::result::Result::Ok({name}::{vn}({items})),\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                 ::std::format!(\"variant {name}::{vn} expects {arity} values, got {{}}\", other.kind()))),\n\
+                         }}"
+                    )
+                };
+                keyed_arms.push_str(&format!("{vn:?} => {{ {body} }},"));
+            }
+            VariantShape::Struct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(payload.field({f:?})?)?,"
+                    ));
+                }
+                keyed_arms.push_str(&format!(
+                    "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                             ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::value::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (key, payload) = &fields[0];\n\
+                         match key.as_str() {{\n\
+                             {keyed_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                         ::std::format!(\"expected {name} variant, got {{}}\", other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
