@@ -13,7 +13,12 @@ use crate::table::Table;
 use polaris_arch::prelude::*;
 use polaris_msg::config::{Protocol, RendezvousMode};
 use polaris_msg::model::{p2p_time, HostParams};
+use polaris_obs::Obs;
 use polaris_simnet::link::{Generation, LinkModel};
+
+/// Registry series backing the figure.
+pub const PEAK_TF: &str = "f10_peak_tf";
+pub const SUSTAINED_FRAC: &str = "f10_sustained_frac";
 
 const NODES: f64 = 1024.0;
 /// Local subdomain: 128³ double-precision cells.
@@ -58,6 +63,10 @@ fn sustained_fraction(year: u32, kind: NodeKind, protocol: Protocol) -> f64 {
 }
 
 pub fn generate() -> Vec<Table> {
+    generate_with(&Obs::new())
+}
+
+pub fn generate_with(obs: &Obs) -> Vec<Table> {
     let mut t = Table::new(
         "F10",
         "sustained/peak for a 128^3-per-node stencil on 1024 nodes",
@@ -71,16 +80,31 @@ pub fn generate() -> Vec<Table> {
         ],
     );
     for year in (2002..=2010).step_by(2) {
+        let ys = year.to_string();
         for kind in [NodeKind::Pc, NodeKind::SmpOnChip, NodeKind::Pim] {
             let node = NodeModel::build(kind, &Projection::default().at(year));
-            let peak_tf = node.flops * NODES / 1e12;
-            let f_sock = sustained_fraction(year, kind, Protocol::Sockets);
-            let f_zc = sustained_fraction(year, kind, Protocol::Auto);
+            // Publish into the registry, then render the row from
+            // registry reads only — exports and figure cannot diverge.
+            let base = [("track", kind.name()), ("year", ys.as_str())];
+            obs.gauge(PEAK_TF, &base).set(node.flops * NODES / 1e12);
+            for (proto, p) in [("sockets", Protocol::Sockets), ("zerocopy", Protocol::Auto)] {
+                let labels = [("proto", proto), ("track", kind.name()), ("year", ys.as_str())];
+                obs.gauge(SUSTAINED_FRAC, &labels)
+                    .set(sustained_fraction(year, kind, p));
+            }
+            let peak_tf = obs.registry.gauge_value(PEAK_TF, &base);
+            let frac = |proto: &str| {
+                obs.registry.gauge_value(
+                    SUSTAINED_FRAC,
+                    &[("proto", proto), ("track", kind.name()), ("year", ys.as_str())],
+                )
+            };
+            let f_zc = frac("zerocopy");
             t.row(vec![
-                year.to_string(),
+                ys.clone(),
                 kind.name().to_string(),
                 format!("{peak_tf:.1}"),
-                format!("{f_sock:.3}"),
+                format!("{:.3}", frac("sockets")),
                 format!("{f_zc:.3}"),
                 format!("{:.2}", peak_tf * f_zc),
             ]);

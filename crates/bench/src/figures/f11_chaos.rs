@@ -17,51 +17,34 @@
 use crate::table::Table;
 use polaris_msg::config::{Protocol, RendezvousMode};
 use polaris_msg::model::{p2p_time, HostParams};
+use polaris_obs::Obs;
 use polaris_simnet::fault::{FaultInjector, FaultPlan, FaultVerdict};
 use polaris_simnet::link::{Generation, LinkId};
 use polaris_simnet::time::SimTime;
 
 const HOPS: u32 = 2; // node - switch - node
-const MSGS: usize = 2000;
+pub const MSGS: usize = 2000;
 const BYTES: u64 = 4096;
 /// Matches `Reliability::default().max_retries` in polaris-msg.
 const MAX_RETRIES: u32 = 8;
-const LOSS_RATES: [f64; 6] = [0.0, 0.001, 0.01, 0.05, 0.1, 0.5];
+pub const LOSS_RATES: [f64; 6] = [0.0, 0.001, 0.01, 0.05, 0.1, 0.5];
 
-/// Outcome of pushing the message stream through one lossy channel.
-struct RunStats {
-    delivered: usize,
-    budget_failed: usize,
-    retransmissions: u64,
-    total_ps: u64,
-    /// Per-delivered-message latency, picoseconds.
-    latencies: Vec<u64>,
-}
-
-impl RunStats {
-    fn goodput_mbps(&self) -> f64 {
-        if self.total_ps == 0 {
-            return 0.0;
-        }
-        (self.delivered as f64 * BYTES as f64) / (self.total_ps as f64 * 1e-12) / 1e6
-    }
-
-    fn p99_us(&self) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        let mut v = self.latencies.clone();
-        v.sort_unstable();
-        let idx = ((v.len() - 1) as f64 * 0.99) as usize;
-        v[idx] as f64 * 1e-6
-    }
-}
+/// All per-scenario tallies live in the metrics registry under these
+/// series, labelled `{gen, loss, mode}` — the table below is rendered
+/// purely from registry reads, so anything the figure shows is also on
+/// the wire for the exporters (and for the golden-trace test).
+pub const DELIVERED: &str = "f11_delivered_total";
+pub const RETRANS: &str = "f11_retransmits_total";
+pub const BUDGET_FAILED: &str = "f11_budget_failed_total";
+pub const LATENCY_PS: &str = "f11_latency_ps";
+pub const TOTAL_PS: &str = "f11_total_ps";
 
 /// Serialize `MSGS` eager messages through a channel whose per-transfer
 /// fate the injector decides; `reliable` adds ACKs, fast retransmit on
 /// error completions, dedup of ACK-loss duplicates, and the bounded
-/// retry budget.
-fn run(gen: Generation, loss: f64, reliable: bool, seed: u64) -> RunStats {
+/// retry budget. All outcomes are recorded against `obs` under
+/// `labels`; the injector also traces every injected fault.
+fn run(obs: &Obs, labels: &[(&str, &str)], gen: Generation, loss: f64, reliable: bool, seed: u64) {
     let link = gen.link_model();
     let host = HostParams::default();
     let base = p2p_time(
@@ -76,16 +59,15 @@ fn run(gen: Generation, loss: f64, reliable: bool, seed: u64) -> RunStats {
     // An ACK is a header-only frame on the return path.
     let ack = p2p_time(&link, HOPS, 0, Protocol::Eager, RendezvousMode::Read, &host).as_ps();
     let mut inj = FaultInjector::new(FaultPlan::new(seed).uniform_drop(loss));
+    inj.set_obs(obs.clone());
     let route = [LinkId(0)];
 
+    let delivered = obs.counter(DELIVERED, labels);
+    let retransmissions = obs.counter(RETRANS, labels);
+    let budget_failed = obs.counter(BUDGET_FAILED, labels);
+    let latency = obs.histogram(LATENCY_PS, labels);
+
     let mut now: u64 = 0;
-    let mut stats = RunStats {
-        delivered: 0,
-        budget_failed: 0,
-        retransmissions: 0,
-        total_ps: 0,
-        latencies: Vec::with_capacity(MSGS),
-    };
     for _ in 0..MSGS {
         let start = now;
         let mut attempts = 0u32;
@@ -105,12 +87,12 @@ fn run(gen: Generation, loss: f64, reliable: bool, seed: u64) -> RunStats {
                                 // more; the receiver's dedup window eats
                                 // the duplicate. Costs wire time only.
                                 now += base;
-                                stats.retransmissions += 1;
+                                retransmissions.inc();
                             }
                         }
                     }
-                    stats.delivered += 1;
-                    stats.latencies.push(now - start);
+                    delivered.inc();
+                    latency.record(now - start);
                     break;
                 }
                 FaultVerdict::Drop(_) => {
@@ -120,21 +102,40 @@ fn run(gen: Generation, loss: f64, reliable: bool, seed: u64) -> RunStats {
                     if attempts > MAX_RETRIES {
                         // Budget exhausted: escalate to peer-failure
                         // handling instead of retrying forever.
-                        stats.budget_failed += 1;
+                        budget_failed.inc();
                         break;
                     }
                     // The NIC surfaced an error completion; the next
                     // attempt goes out on the following progress tick.
-                    stats.retransmissions += 1;
+                    retransmissions.inc();
                 }
             }
         }
     }
-    stats.total_ps = now;
-    stats
+    obs.gauge(TOTAL_PS, labels).set(now as f64);
 }
 
 pub fn generate() -> Vec<Table> {
+    generate_with(&Obs::new())
+}
+
+/// The pinned scenario the golden-trace test replays: a single cell of
+/// the F11 grid (gigabit ethernet, 5% uniform loss, reliable delivery,
+/// fixed seed), small enough for its full fault trace to fit the
+/// recorder ring. Changing anything on this path invalidates the
+/// committed snapshots under `tests/golden/` — regenerate them
+/// deliberately, never casually.
+pub fn golden_scenario(obs: &Obs) {
+    let g = Generation::GigabitEthernet;
+    let labels = [("gen", g.name()), ("loss", "0.05"), ("mode", "reliable")];
+    run(obs, &labels, g, 0.05, true, 0xF11_5EED);
+}
+
+/// Run the full F11 grid against a caller-supplied observability plane
+/// (expected fresh — counters are cumulative) and render the table from
+/// registry reads only. The golden-trace test drives this directly to
+/// assert byte-identical exports across same-seed runs.
+pub fn generate_with(obs: &Obs) -> Vec<Table> {
     let mut t = Table::new(
         "F11",
         "goodput and p99 latency vs loss rate, raw vs reliable delivery",
@@ -152,17 +153,31 @@ pub fn generate() -> Vec<Table> {
     for (gi, g) in Generation::ALL.into_iter().enumerate() {
         for (li, &loss) in LOSS_RATES.iter().enumerate() {
             let seed = 0xF11_5EED ^ ((gi as u64) << 16) ^ (li as u64);
+            let loss_s = format!("{loss}");
             for (reliable, mode) in [(false, "raw"), (true, "reliable")] {
-                let s = run(g, loss, reliable, seed);
+                let labels = [("gen", g.name()), ("loss", loss_s.as_str()), ("mode", mode)];
+                run(obs, &labels, g, loss, reliable, seed);
+                // Render the row purely from what the registry holds.
+                let reg = &obs.registry;
+                let delivered = reg.counter_value(DELIVERED, &labels);
+                let retrans = reg.counter_value(RETRANS, &labels);
+                let failed = reg.counter_value(BUDGET_FAILED, &labels);
+                let total_ps = reg.gauge_value(TOTAL_PS, &labels);
+                let p99_ps = obs.histogram(LATENCY_PS, &labels).quantile(0.99);
+                let goodput = if total_ps == 0.0 {
+                    0.0
+                } else {
+                    (delivered as f64 * BYTES as f64) / (total_ps * 1e-12) / 1e6
+                };
                 t.row(vec![
                     g.name().to_string(),
-                    format!("{loss}"),
+                    loss_s.clone(),
                     mode.to_string(),
-                    format!("{:.1}", s.goodput_mbps()),
-                    format!("{:.1}", 100.0 * s.delivered as f64 / MSGS as f64),
-                    format!("{:.1}", s.p99_us()),
-                    format!("{}", s.retransmissions),
-                    format!("{}", s.budget_failed),
+                    format!("{goodput:.1}"),
+                    format!("{:.1}", 100.0 * delivered as f64 / MSGS as f64),
+                    format!("{:.1}", p99_ps as f64 * 1e-6),
+                    format!("{retrans}"),
+                    format!("{failed}"),
                 ]);
             }
         }

@@ -5,6 +5,7 @@
 use crate::table::{si_bytes, Table};
 use polaris_msg::config::{Protocol, RendezvousMode};
 use polaris_msg::model::{p2p_bandwidth, p2p_time, HostParams};
+use polaris_obs::Obs;
 use polaris_simnet::link::Generation;
 
 const HOPS: u32 = 2; // node - switch - node
@@ -14,8 +15,23 @@ const PROTOCOLS: [(Protocol, &str); 3] = [
     (Protocol::Rendezvous, "rendezvous"),
 ];
 
+/// Registry series backing the figure: every cell is published as a
+/// gauge first and the table is rendered from registry reads.
+pub const LATENCY_US: &str = "f2_latency_us";
+pub const BANDWIDTH_MBPS: &str = "f2_bandwidth_mbps";
+
 pub fn generate() -> Vec<Table> {
+    generate_with(&Obs::new())
+}
+
+pub fn generate_with(obs: &Obs) -> Vec<Table> {
     let host = HostParams::default();
+    // Publish-then-read: the gauge is the only channel between the model
+    // and the rendered cell, so exports always agree with the figure.
+    let publish = |name: &str, labels: &[(&str, &str)], v: f64| -> f64 {
+        obs.gauge(name, labels).set(v);
+        obs.registry.gauge_value(name, labels)
+    };
     let sizes: Vec<u64> = (0..12).map(|i| 16u64 << (2 * i)).collect(); // 16B..64MiB
 
     let mut headers: Vec<String> = vec!["generation".into(), "protocol".into()];
@@ -26,8 +42,11 @@ pub fn generate() -> Vec<Table> {
         for (p, name) in PROTOCOLS {
             let mut cells = vec![g.name().to_string(), name.to_string()];
             for &b in &sizes {
+                let bs = b.to_string();
+                let labels = [("bytes", bs.as_str()), ("gen", g.name()), ("proto", name)];
                 let t = p2p_time(&link, HOPS, b, p, RendezvousMode::Read, &host);
-                cells.push(format!("{:.1}", t.as_us()));
+                let v = publish(LATENCY_US, &labels, t.as_us());
+                cells.push(format!("{v:.1}"));
             }
             lat.row(cells);
         }
@@ -40,7 +59,10 @@ pub fn generate() -> Vec<Table> {
         for (p, name) in PROTOCOLS {
             let mut cells = vec![g.name().to_string(), name.to_string()];
             for &b in &sizes {
-                let v = p2p_bandwidth(&link, HOPS, b, p, RendezvousMode::Read, &host) / 1e6;
+                let bs = b.to_string();
+                let labels = [("bytes", bs.as_str()), ("gen", g.name()), ("proto", name)];
+                let raw = p2p_bandwidth(&link, HOPS, b, p, RendezvousMode::Read, &host) / 1e6;
+                let v = publish(BANDWIDTH_MBPS, &labels, raw);
                 cells.push(format!("{v:.0}"));
             }
             bw.row(cells);
@@ -64,26 +86,24 @@ pub fn generate() -> Vec<Table> {
     );
     for g in Generation::ALL {
         let link = g.link_model();
-        let t = |p| {
-            format!(
-                "{:.1}",
-                p2p_time(&link, HOPS, 8, p, RendezvousMode::Read, &host).as_us()
-            )
+        let t = |p, name: &str| {
+            let labels = [("bytes", "8"), ("gen", g.name()), ("proto", name)];
+            let us = p2p_time(&link, HOPS, 8, p, RendezvousMode::Read, &host).as_us();
+            format!("{:.1}", publish(LATENCY_US, &labels, us))
         };
-        let b = |p| {
-            format!(
-                "{:.0}",
-                p2p_bandwidth(&link, HOPS, 4 << 20, p, RendezvousMode::Read, &host) / 1e6
-            )
+        let b = |p, name: &str| {
+            let labels = [("bytes", "4194304"), ("gen", g.name()), ("proto", name)];
+            let raw = p2p_bandwidth(&link, HOPS, 4 << 20, p, RendezvousMode::Read, &host) / 1e6;
+            format!("{:.0}", publish(BANDWIDTH_MBPS, &labels, raw))
         };
         t1.row(vec![
             g.name().to_string(),
-            t(Protocol::Sockets),
-            t(Protocol::Eager),
-            t(Protocol::Rendezvous),
-            b(Protocol::Sockets),
-            b(Protocol::Eager),
-            b(Protocol::Rendezvous),
+            t(Protocol::Sockets, "sockets"),
+            t(Protocol::Eager, "eager"),
+            t(Protocol::Rendezvous, "rendezvous"),
+            b(Protocol::Sockets, "sockets"),
+            b(Protocol::Eager, "eager"),
+            b(Protocol::Rendezvous, "rendezvous"),
             format!("{:.0}", link.bandwidth_bps as f64 / 1e6),
         ]);
     }

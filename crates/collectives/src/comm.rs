@@ -48,6 +48,15 @@ pub trait Comm {
     ) -> Vec<T> {
         from_bytes(&self.sendrecv_bytes(dst, &to_bytes(xs), src, tag, count * T::SIZE))
     }
+
+    /// Flight-recorder hook: a collective algorithm phase begins. The
+    /// default is a no-op so plain transports and tests need no wiring;
+    /// `Endpoint` forwards to its observability plane.
+    fn obs_enter(&mut self, _algo: &'static str, _fields: &[(&'static str, u64)]) {}
+
+    /// Flight-recorder hook: the phase opened by the matching
+    /// [`Comm::obs_enter`] ends.
+    fn obs_exit(&mut self, _algo: &'static str, _fields: &[(&'static str, u64)]) {}
 }
 
 impl Comm for Endpoint {
@@ -92,6 +101,14 @@ impl Comm for Endpoint {
         let sbuf = self.wait_send(sreq).expect("collective send completion");
         self.release(sbuf);
         out
+    }
+
+    fn obs_enter(&mut self, algo: &'static str, fields: &[(&'static str, u64)]) {
+        self.obs_coll_enter(algo, fields);
+    }
+
+    fn obs_exit(&mut self, algo: &'static str, fields: &[(&'static str, u64)]) {
+        self.obs_coll_exit(algo, fields);
     }
 }
 
@@ -162,5 +179,13 @@ impl<C: Comm> Comm for TracingComm<'_, C> {
             bytes: v.len() as u64,
         });
         v
+    }
+
+    fn obs_enter(&mut self, algo: &'static str, fields: &[(&'static str, u64)]) {
+        self.inner.obs_enter(algo, fields);
+    }
+
+    fn obs_exit(&mut self, algo: &'static str, fields: &[(&'static str, u64)]) {
+        self.inner.obs_exit(algo, fields);
     }
 }

@@ -29,6 +29,7 @@ use crate::config::{MsgConfig, Protocol, RendezvousMode};
 use crate::envelope::{rel_seq, rel_src, stamp_rel, Envelope, HEADER_LEN};
 use crate::match_engine::{MatchEngine, MatchSpec};
 use polaris_nic::prelude::*;
+use polaris_obs::{Counter, Obs, Subject};
 use polaris_simnet::rng::SplitMix64;
 use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
@@ -236,6 +237,41 @@ struct SockAssembly {
     data: Vec<u8>,
 }
 
+/// Per-endpoint observability: cached rank-labelled counters plus a
+/// logical event clock for the flight recorder. The executable stack
+/// runs on wall-clock RTO timers, so trace timestamps here are a
+/// deterministic per-endpoint operation count, not wall time (see
+/// docs/TRACE_SCHEMA.md).
+struct EpObs {
+    obs: Obs,
+    clock: u64,
+    /// Collective-operation epoch: incremented per span opened via
+    /// [`Endpoint::obs_coll_enter`], keying `Subject::Collective`.
+    coll_epoch: u64,
+    retransmits: Counter,
+    acks: Counter,
+    dups: Counter,
+    eager: Counter,
+    rendezvous: Counter,
+}
+
+impl EpObs {
+    fn instant(&mut self, subject: Subject, name: &'static str, fields: &[(&'static str, u64)]) {
+        self.clock += 1;
+        self.obs.instant(self.clock, subject, name, fields);
+    }
+
+    fn enter(&mut self, subject: Subject, name: &'static str, fields: &[(&'static str, u64)]) {
+        self.clock += 1;
+        self.obs.enter(self.clock, subject, name, fields);
+    }
+
+    fn exit(&mut self, subject: Subject, name: &'static str, fields: &[(&'static str, u64)]) {
+        self.clock += 1;
+        self.obs.exit(self.clock, subject, name, fields);
+    }
+}
+
 /// A messaging endpoint for one rank.
 pub struct Endpoint {
     rank: u32,
@@ -280,6 +316,8 @@ pub struct Endpoint {
     stats: EndpointStats,
     /// Scratch "kernel buffer" for the sockets model's extra copies.
     kstage: Vec<u8>,
+    /// Observability plane; `None` = unobserved.
+    obs: Option<EpObs>,
 }
 
 impl Endpoint {
@@ -358,6 +396,7 @@ impl Endpoint {
                 rel_rng: SplitMix64::new(cfg.reliability.jitter_seed ^ rank as u64),
                 stats: EndpointStats::default(),
                 kstage: Vec::new(),
+                obs: None,
             });
         }
         // Connect every ordered pair once: ep[i].qp[j] <-> ep[j].qp[i].
@@ -401,6 +440,59 @@ impl Endpoint {
 
     pub fn rank(&self) -> u32 {
         self.rank
+    }
+
+    /// Attach an observability plane: match-engine hits/parks, eager vs
+    /// rendezvous protocol choices, and the reliability layer's
+    /// retransmit/ACK/dedup activity all land in the registry under
+    /// `msg_*{rank}`, with retransmits and rendezvous phases also traced
+    /// in the flight recorder.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let r = self.rank.to_string();
+        let labels: [(&str, &str); 1] = [("rank", &r)];
+        self.matcher.set_obs(
+            obs.counter("msg_match_hits_total", &labels),
+            obs.counter("msg_match_parked_total", &labels),
+        );
+        self.obs = Some(EpObs {
+            clock: 0,
+            coll_epoch: 0,
+            retransmits: obs.counter("msg_retransmits_total", &labels),
+            acks: obs.counter("msg_acks_total", &labels),
+            dups: obs.counter("msg_dups_total", &labels),
+            eager: obs.counter("msg_eager_total", &labels),
+            rendezvous: obs.counter("msg_rendezvous_total", &labels),
+            obs,
+        });
+    }
+
+    /// Open a collective-algorithm phase span. Each call starts a new
+    /// collective epoch on this rank; pair with
+    /// [`Endpoint::obs_coll_exit`]. Also bumps
+    /// `coll_ops_total{rank,algo}`. No-op when unobserved.
+    pub fn obs_coll_enter(&mut self, algo: &'static str, fields: &[(&'static str, u64)]) {
+        let rank = self.rank;
+        if let Some(o) = &mut self.obs {
+            o.coll_epoch += 1;
+            let epoch = o.coll_epoch;
+            o.obs
+                .counter(
+                    "coll_ops_total",
+                    &[("algo", algo), ("rank", &rank.to_string())],
+                )
+                .inc();
+            o.enter(Subject::Collective { rank, epoch }, algo, fields);
+        }
+    }
+
+    /// Close the span opened by the most recent
+    /// [`Endpoint::obs_coll_enter`] on this rank.
+    pub fn obs_coll_exit(&mut self, algo: &'static str, fields: &[(&'static str, u64)]) {
+        let rank = self.rank;
+        if let Some(o) = &mut self.obs {
+            let epoch = o.coll_epoch;
+            o.exit(Subject::Collective { rank, epoch }, algo, fields);
+        }
     }
 
     pub fn size(&self) -> u32 {
@@ -841,6 +933,9 @@ impl Endpoint {
             });
         }
         self.stats.eager_sends += 1;
+        if let Some(o) = &mut self.obs {
+            o.eager.inc();
+        }
         let env = Envelope::Eager {
             src: self.rank,
             tag,
@@ -913,6 +1008,9 @@ impl Endpoint {
             return Ok(req);
         }
         self.stats.eager_sends += 1;
+        if let Some(o) = &mut self.obs {
+            o.eager.inc();
+        }
         let env = Envelope::Eager {
             src: self.rank,
             tag,
@@ -962,6 +1060,16 @@ impl Endpoint {
 
     fn send_rendezvous(&mut self, dst: u32, tag: u64, buf: MsgBuf, req: ReqId) -> MsgResult<()> {
         self.stats.rendezvous_sends += 1;
+        let rank = self.rank;
+        if let Some(o) = &mut self.obs {
+            o.rendezvous.inc();
+            // Span: RTS opens, FIN (or CTS-write completion) closes.
+            o.enter(
+                Subject::Peer { rank, peer: dst },
+                "rendezvous",
+                &[("msg_id", req), ("bytes", buf.len() as u64)],
+            );
+        }
         let env = Envelope::Rts {
             src: self.rank,
             tag,
@@ -1388,16 +1496,34 @@ impl Endpoint {
                     self.sends.insert(msg_id, SendState::Done(buf));
                 }
             }
+            let rank = self.rank;
+            if let Some(o) = &mut self.obs {
+                // Write-mode sender: the CTS hand-off ends its part of
+                // the protocol (the write is one-sided from here).
+                o.exit(
+                    Subject::Peer { rank, peer: dst },
+                    "rendezvous",
+                    &[("msg_id", msg_id), ("phase", 1)],
+                );
+            }
         }
     }
 
     /// A rendezvous-read FIN arrived: the receiver pulled the data.
     fn on_fin(&mut self, msg_id: u64) {
         if matches!(self.sends.get(&msg_id), Some(SendState::AwaitFin { .. })) {
-            let Some(SendState::AwaitFin { buf, .. }) = self.sends.remove(&msg_id) else {
+            let Some(SendState::AwaitFin { buf, dst }) = self.sends.remove(&msg_id) else {
                 unreachable!()
             };
             self.sends.insert(msg_id, SendState::Done(buf));
+            let rank = self.rank;
+            if let Some(o) = &mut self.obs {
+                o.exit(
+                    Subject::Peer { rank, peer: dst },
+                    "rendezvous",
+                    &[("msg_id", msg_id), ("phase", 2)],
+                );
+            }
         }
     }
 
@@ -1425,6 +1551,9 @@ impl Endpoint {
         if seq <= rel.rx_cum || rel.rx_ooo.contains_key(&seq) {
             // Duplicate: its ACK was lost, so re-ACK and drop.
             self.stats.rel_dups += 1;
+            if let Some(o) = &mut self.obs {
+                o.dups.inc();
+            }
             self.send_ack(src, seq);
             return;
         }
@@ -1717,6 +1846,17 @@ impl Endpoint {
             .expect("still pending")
             .deadline = deadline;
         self.stats.rel_retransmits += 1;
+        let rank = self.rank;
+        if let Some(o) = &mut self.obs {
+            o.retransmits.inc();
+            // The RTO timeline: each point carries the backed-off RTO
+            // so a trace shows the exponential escalation per frame.
+            o.instant(
+                Subject::Peer { rank, peer },
+                "retransmit",
+                &[("seq", seq), ("rto_us", rto.as_micros() as u64)],
+            );
+        }
         self.post_frame(peer, &frame, Some(seq))
     }
 
@@ -1781,6 +1921,9 @@ impl Endpoint {
             cum: self.rel[src as usize].rx_cum,
         };
         self.stats.rel_acks += 1;
+        if let Some(o) = &mut self.obs {
+            o.acks.inc();
+        }
         // ACKs are unsequenced and never retransmitted; a lost ACK is
         // repaired by the sender's timer and our dedup.
         let _ = self.post_frame(src, &env.encode(), None);

@@ -19,6 +19,7 @@ use crate::qp::{QpInner, QpState, QueuePair, RecvState};
 use crate::srq::SharedReceiveQueue;
 use crate::types::{NodeId, PdId, QpNum, Rkey};
 use parking_lot::{Mutex, RwLock};
+use polaris_obs::{Counter, Obs};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -45,6 +46,33 @@ pub(crate) struct NicInner {
     qps: RwLock<HashMap<QpNum, Arc<QpInner>>>,
 }
 
+/// Fabric-wide observability hooks: the shared plane plus counter
+/// handles cached once at attach time so hot paths pay one atomic add,
+/// not a registry lookup.
+pub(crate) struct FabObs {
+    pub(crate) obs: Obs,
+    dma_ops: Counter,
+    dma_bytes: Counter,
+    cqe_ok: Counter,
+    cqe_err: Counter,
+    chaos_drops: Counter,
+    chaos_corruptions: Counter,
+}
+
+impl FabObs {
+    fn new(obs: Obs) -> Self {
+        FabObs {
+            dma_ops: obs.counter("nic_dma_ops_total", &[]),
+            dma_bytes: obs.counter("nic_dma_bytes_total", &[]),
+            cqe_ok: obs.counter("nic_cqe_total", &[("status", "ok")]),
+            cqe_err: obs.counter("nic_cqe_total", &[("status", "err")]),
+            chaos_drops: obs.counter("nic_chaos_drops_total", &[]),
+            chaos_corruptions: obs.counter("nic_chaos_corruptions_total", &[]),
+            obs,
+        }
+    }
+}
+
 pub(crate) struct FabricInner {
     nodes: RwLock<HashMap<NodeId, Arc<NicInner>>>,
     next_node: AtomicU32,
@@ -54,6 +82,8 @@ pub(crate) struct FabricInner {
     registered_bytes: AtomicU64,
     /// Fault injection for two-sided sends; `None` = healthy fabric.
     chaos: Mutex<Option<ChaosState>>,
+    /// Observability plane; `None` = unobserved (zero overhead).
+    obs: RwLock<Option<Arc<FabObs>>>,
 }
 
 impl FabricInner {
@@ -76,12 +106,48 @@ impl FabricInner {
     pub(crate) fn count_dma(&self, bytes: u64) {
         self.dma_ops.fetch_add(1, Ordering::Relaxed);
         self.dma_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(fo) = &*self.obs.read() {
+            fo.dma_ops.inc();
+            fo.dma_bytes.add(bytes);
+        }
+    }
+
+    pub(crate) fn obs(&self) -> Option<Arc<FabObs>> {
+        self.obs.read().clone()
+    }
+
+    /// Bump the fabric-wide completion counters (`nic_cqe_total`).
+    /// Every CQE push in the crate funnels through here exactly once,
+    /// which is what lets tests reconcile error CQEs against the chaos
+    /// layer's injection counts.
+    pub(crate) fn count_cqe(&self, ok: bool) {
+        if let Some(fo) = &*self.obs.read() {
+            if ok {
+                fo.cqe_ok.inc();
+            } else {
+                fo.cqe_err.inc();
+            }
+        }
     }
 
     /// Chaos verdict for one two-sided send, plus whether chaos is on
     /// at all (so the send path can skip CRC work on healthy fabrics).
     pub(crate) fn chaos_judge(&self) -> Option<ChaosVerdict> {
-        self.chaos.lock().as_mut().map(ChaosState::judge)
+        let verdict = self.chaos.lock().as_mut().map(ChaosState::judge);
+        match verdict {
+            Some(ChaosVerdict::Drop) => {
+                if let Some(fo) = &*self.obs.read() {
+                    fo.chaos_drops.inc();
+                }
+            }
+            Some(ChaosVerdict::Corrupt) => {
+                if let Some(fo) = &*self.obs.read() {
+                    fo.chaos_corruptions.inc();
+                }
+            }
+            _ => {}
+        }
+        verdict
     }
 }
 
@@ -108,8 +174,16 @@ impl Fabric {
                 registrations: AtomicU64::new(0),
                 registered_bytes: AtomicU64::new(0),
                 chaos: Mutex::new(None),
+                obs: RwLock::new(None),
             }),
         }
+    }
+
+    /// Attach an observability plane. DMA, completion, and chaos
+    /// counters land in the registry under `nic_*`; QPs created after
+    /// this call additionally get per-QP `nic_qp_*{node,qp}` series.
+    pub fn set_obs(&self, obs: Obs) {
+        *self.inner.obs.write() = Some(Arc::new(FabObs::new(obs)));
     }
 
     /// Arm deterministic fault injection on every two-sided send
@@ -267,6 +341,11 @@ impl Nic {
             return Err(NicError::PdMismatch);
         }
         let num = QpNum(self.inner.next_qp.fetch_add(1, Ordering::Relaxed));
+        let qp_obs = self
+            .fabric
+            .upgrade()
+            .and_then(|f| f.obs())
+            .map(|fo| crate::qp::QpObs::new(&fo.obs, self.inner.node, num));
         let qp = Arc::new(QpInner {
             num,
             node: self.inner.node,
@@ -281,6 +360,7 @@ impl Nic {
             }),
             srq,
             fabric: self.fabric.clone(),
+            obs: qp_obs,
         });
         self.inner.qps.write().insert(num, qp.clone());
         Ok(QueuePair { inner: qp })

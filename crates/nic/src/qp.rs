@@ -17,6 +17,7 @@ use crate::mr::ProtectionDomain;
 use crate::types::{NodeId, QpNum, RemoteAddr};
 use crate::wr::{sge_len, RecvWr, SendWr, Sge};
 use parking_lot::Mutex;
+use polaris_obs::{Counter, Obs};
 use std::collections::VecDeque;
 use std::sync::{Arc, Weak};
 
@@ -81,6 +82,32 @@ pub(crate) struct RecvState {
     pub(crate) inbound: VecDeque<Inbound>,
 }
 
+/// Per-QP observability counters, labelled `{node,qp}`. Created at QP
+/// creation time when the fabric has an attached plane; handles are
+/// cached so the data path pays one atomic add per event.
+pub(crate) struct QpObs {
+    wqe_posted: Counter,
+    cqe_ok: Counter,
+    cqe_err: Counter,
+    rdma_ops: Counter,
+    bytes: Counter,
+}
+
+impl QpObs {
+    pub(crate) fn new(obs: &Obs, node: NodeId, qp: QpNum) -> Self {
+        let n = node.0.to_string();
+        let q = qp.0.to_string();
+        let labels: [(&str, &str); 2] = [("node", &n), ("qp", &q)];
+        QpObs {
+            wqe_posted: obs.counter("nic_qp_wqe_total", &labels),
+            cqe_ok: obs.counter("nic_qp_cqe_total", &[("node", &n), ("qp", &q), ("status", "ok")]),
+            cqe_err: obs.counter("nic_qp_cqe_total", &[("node", &n), ("qp", &q), ("status", "err")]),
+            rdma_ops: obs.counter("nic_qp_rdma_total", &labels),
+            bytes: obs.counter("nic_qp_bytes_total", &labels),
+        }
+    }
+}
+
 pub(crate) struct QpInner {
     pub(crate) num: QpNum,
     pub(crate) node: NodeId,
@@ -95,6 +122,31 @@ pub(crate) struct QpInner {
     /// per-QP queue.
     pub(crate) srq: Option<SharedReceiveQueue>,
     pub(crate) fabric: Weak<FabricInner>,
+    pub(crate) obs: Option<QpObs>,
+}
+
+impl QpInner {
+    /// Account one completion against this QP's counters and the
+    /// fabric-wide `nic_cqe_total`; call exactly once per CQE pushed.
+    pub(crate) fn note_cqe(&self, status: CqeStatus, byte_len: usize) {
+        if let Some(o) = &self.obs {
+            if status == CqeStatus::Success {
+                o.cqe_ok.inc();
+                o.bytes.add(byte_len as u64);
+            } else {
+                o.cqe_err.inc();
+            }
+        }
+        if let Some(f) = self.fabric.upgrade() {
+            f.count_cqe(status == CqeStatus::Success);
+        }
+    }
+
+    pub(crate) fn note_wqe(&self) {
+        if let Some(o) = &self.obs {
+            o.wqe_posted.inc();
+        }
+    }
 }
 
 /// A reliable-connected queue pair handle.
@@ -167,6 +219,7 @@ impl QueuePair {
             sge.mr.inner.check_bounds(sge.offset, sge.len)?;
         }
         let fabric = self.fabric()?;
+        self.inner.note_wqe();
         let mut rs = self.inner.recv.lock();
         if let Some(inbound) = rs.inbound.pop_front() {
             // A sender is already parked: match immediately.
@@ -188,6 +241,12 @@ impl QueuePair {
         }
         self.validate_local(&wr)?;
         let fabric = self.fabric()?;
+        self.inner.note_wqe();
+        if let Some(o) = &self.inner.obs {
+            if !matches!(wr, SendWr::Send { .. }) {
+                o.rdma_ops.inc();
+            }
+        }
         let (peer_node, peer_qp) = self.peer().ok_or(NicError::NotConnected(self.num()))?;
         let peer = fabric.lookup_qp(peer_node, peer_qp)?;
         if *peer.state.lock() == QpState::Error {
@@ -374,6 +433,7 @@ impl QueuePair {
         *self.inner.state.lock() = QpState::Error;
         let mut rs = self.inner.recv.lock();
         for wr in rs.posted.drain(..) {
+            self.inner.note_cqe(CqeStatus::Flushed, 0);
             self.inner.rq_cq.push(Cqe {
                 wr_id: wr.wr_id,
                 status: CqeStatus::Flushed,
@@ -440,6 +500,7 @@ impl QueuePair {
     }
 
     fn push_sq(&self, cqe: Cqe) {
+        self.inner.note_cqe(cqe.status, cqe.byte_len);
         self.inner.sq_cq.push(cqe);
     }
 
@@ -575,6 +636,7 @@ pub(crate) fn drop_guard_deliver(
         } => {
             let total = sge_len(&sges);
             if total > recv.capacity() {
+                rx.note_cqe(CqeStatus::LocalProtectionError, 0);
                 rx.rq_cq.push(Cqe {
                     wr_id: recv.wr_id,
                     status: CqeStatus::LocalProtectionError,
@@ -583,6 +645,7 @@ pub(crate) fn drop_guard_deliver(
                     imm: None,
                     qp: rx.num,
                 });
+                fabric.count_cqe(false);
                 sender_cq.push(Cqe {
                     wr_id: sender_wr_id,
                     status: CqeStatus::RemoteAccessError,
@@ -606,6 +669,7 @@ pub(crate) fn drop_guard_deliver(
             if let Some(expect) = icrc {
                 let got = crate::chaos::crc32(&read_scatter(&recv.sges, total));
                 if got != expect {
+                    rx.note_cqe(CqeStatus::ChecksumError, 0);
                     rx.rq_cq.push(Cqe {
                         wr_id: recv.wr_id,
                         status: CqeStatus::ChecksumError,
@@ -616,6 +680,7 @@ pub(crate) fn drop_guard_deliver(
                     });
                     // The receiver NACKs the bad packet; the sender's
                     // retries exhaust.
+                    fabric.count_cqe(false);
                     sender_cq.push(Cqe {
                         wr_id: sender_wr_id,
                         status: CqeStatus::RetryExceeded,
@@ -627,6 +692,7 @@ pub(crate) fn drop_guard_deliver(
                     return;
                 }
             }
+            rx.note_cqe(CqeStatus::Success, total);
             rx.rq_cq.push(Cqe {
                 wr_id: recv.wr_id,
                 status: CqeStatus::Success,
@@ -635,6 +701,7 @@ pub(crate) fn drop_guard_deliver(
                 imm,
                 qp: rx.num,
             });
+            fabric.count_cqe(true);
             sender_cq.push(Cqe {
                 wr_id: sender_wr_id,
                 status: CqeStatus::Success,
@@ -651,6 +718,7 @@ pub(crate) fn drop_guard_deliver(
             sender_qp,
             sender_wr_id,
         } => {
+            rx.note_cqe(CqeStatus::Success, byte_len);
             rx.rq_cq.push(Cqe {
                 wr_id: recv.wr_id,
                 status: CqeStatus::Success,
@@ -659,6 +727,7 @@ pub(crate) fn drop_guard_deliver(
                 imm: Some(imm),
                 qp: rx.num,
             });
+            fabric.count_cqe(true);
             sender_cq.push(Cqe {
                 wr_id: sender_wr_id,
                 status: CqeStatus::Success,

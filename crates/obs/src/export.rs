@@ -1,0 +1,200 @@
+//! Deterministic exporters: Prometheus-style text exposition and a
+//! JSON snapshot.
+//!
+//! Both formats are hand-rolled on purpose: every byte is a pure
+//! function of registry state (sorted keys, fixed field order, no
+//! wall-clock, no hash-map iteration), which is what lets the golden
+//! trace tests assert byte-identical output across seeded replays.
+
+use crate::metrics::{bucket_bounds, Registry};
+
+/// Split a canonical registry key into `(base_name, label_body)`,
+/// where `label_body` is the text between the braces (empty when the
+/// series has no labels).
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => (&key[..i], &key[i + 1..key.len() - 1]),
+        None => (key, ""),
+    }
+}
+
+/// Rebuild a labeled series name with an extra `le` label appended
+/// (Prometheus histogram bucket convention).
+fn with_le(base: &str, labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{base}_bucket{{le=\"{le}\"}}")
+    } else {
+        format!("{base}_bucket{{{labels},le=\"{le}\"}}")
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+/// Prometheus text exposition of every metric in the registry.
+/// `# TYPE` headers are emitted once per base metric name; series
+/// appear in canonical (sorted) key order.
+pub fn to_prometheus(reg: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_type_hdr = String::new();
+    let mut type_hdr = |out: &mut String, base: &str, kind: &str| {
+        if last_type_hdr != base {
+            out.push_str(&format!("# TYPE {base} {kind}\n"));
+            last_type_hdr = base.to_string();
+        }
+    };
+
+    for (key, v) in reg.counters_snapshot() {
+        let (base, _) = split_key(&key);
+        type_hdr(&mut out, base, "counter");
+        out.push_str(&format!("{key} {v}\n"));
+    }
+    for (key, v) in reg.gauges_snapshot() {
+        let (base, _) = split_key(&key);
+        type_hdr(&mut out, base, "gauge");
+        out.push_str(&format!("{key} {}\n", fmt_f64(v)));
+    }
+    for (key, snap) in reg.histograms_snapshot() {
+        let (base, labels) = split_key(&key);
+        type_hdr(&mut out, base, "histogram");
+        let mut cum = 0u64;
+        for (idx, &n) in snap.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum = cum.saturating_add(n);
+            let le = bucket_bounds(idx).1;
+            out.push_str(&format!("{} {cum}\n", with_le(base, labels, &le.to_string())));
+        }
+        out.push_str(&format!("{} {}\n", with_le(base, labels, "+Inf"), snap.count));
+        let suffix = |s: &str| {
+            if labels.is_empty() {
+                format!("{base}{s}")
+            } else {
+                format!("{base}{s}{{{labels}}}")
+            }
+        };
+        out.push_str(&format!("{} {}\n", suffix("_sum"), snap.sum));
+        out.push_str(&format!("{} {}\n", suffix("_count"), snap.count));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON snapshot of the registry: counters and gauges verbatim,
+/// histograms reduced to count/sum plus p50/p99/p999 bucket upper
+/// bounds. Keys are canonical series keys, sorted.
+pub fn to_json(reg: &Registry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (key, v)) in reg.counters_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", json_escape(key)));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (key, v)) in reg.gauges_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(key), json_f64(*v)));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (key, snap)) in reg.histograms_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"p999\":{}}}",
+            json_escape(key),
+            snap.count,
+            snap.sum,
+            snap.quantile(0.50),
+            snap.quantile(0.99),
+            snap.quantile(0.999),
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn prometheus_text_is_sorted_and_typed() {
+        let reg = Registry::new();
+        reg.counter("b_total", &[]).add(2);
+        reg.counter("a_total", &[("k", "x")]).inc();
+        reg.counter("a_total", &[("k", "y")]).add(3);
+        reg.gauge("depth", &[]).set(1.5);
+        let h = reg.histogram("lat_ps", &[("op", "send")]);
+        h.record(5);
+        h.record(100);
+        let text = to_prometheus(&reg);
+        let expected = "\
+# TYPE a_total counter
+a_total{k=\"x\"} 1
+a_total{k=\"y\"} 3
+# TYPE b_total counter
+b_total 2
+# TYPE depth gauge
+depth 1.5
+# TYPE lat_ps histogram
+lat_ps_bucket{op=\"send\",le=\"5\"} 1
+lat_ps_bucket{op=\"send\",le=\"103\"} 2
+lat_ps_bucket{op=\"send\",le=\"+Inf\"} 2
+lat_ps_sum{op=\"send\"} 105
+lat_ps_count{op=\"send\"} 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_and_stable() {
+        let reg = Registry::new();
+        reg.counter("ops", &[("k", "v")]).inc();
+        reg.gauge("g", &[]).set(0.25);
+        reg.histogram("h", &[]).record(7);
+        let a = to_json(&reg);
+        let b = to_json(&reg);
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "{\"counters\":{\"ops{k=\\\"v\\\"}\":1},\"gauges\":{\"g\":0.25},\
+             \"histograms\":{\"h\":{\"count\":1,\"sum\":7,\"p50\":7,\"p99\":7,\"p999\":7}}}"
+        );
+    }
+}

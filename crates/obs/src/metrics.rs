@@ -1,0 +1,426 @@
+//! Metrics primitives: monotonic counters, gauges, log-bucketed
+//! histograms, and the registry that names them.
+//!
+//! All handles are `Arc`-backed and cheap to clone; instrumented code
+//! caches a handle once and bumps it on the hot path without touching
+//! the registry lock again. Registry keys are `name{label="value",..}`
+//! with labels sorted by key, so iteration order — and therefore every
+//! export — is deterministic.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-buckets per octave in [`Histogram`] (log-linear, HDR-style).
+pub const SUB_BUCKETS: usize = 16;
+
+/// Total bucket count: 16 exact buckets for values `0..16`, then 16
+/// sub-buckets for each of the 60 remaining octaves of `u64`.
+pub const NUM_BUCKETS: usize = SUB_BUCKETS + 60 * SUB_BUCKETS;
+
+/// Bucket index for a recorded value. Values below 16 get exact
+/// single-value buckets; above that, each power-of-two octave is split
+/// into 16 linear sub-buckets, bounding relative quantile error at
+/// 1/16 ≈ 6%.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (msb - 4)) & 0xF) as usize;
+    (msb - 3) * SUB_BUCKETS + sub
+}
+
+/// Inclusive `[lo, hi]` range of values landing in bucket `idx`.
+/// Bucket 0 starts at 0, bucket `NUM_BUCKETS - 1` ends at `u64::MAX`,
+/// and consecutive buckets tile `u64` without gaps — the property
+/// suite proves all three.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < NUM_BUCKETS, "bucket index {idx} out of range");
+    if idx < SUB_BUCKETS {
+        return (idx as u64, idx as u64);
+    }
+    let octave = idx / SUB_BUCKETS; // >= 1
+    let sub = (idx % SUB_BUCKETS) as u64;
+    let shift = octave - 1;
+    let lo = (SUB_BUCKETS as u64 + sub) << shift;
+    let hi = lo + ((1u64 << shift) - 1);
+    (lo, hi)
+}
+
+/// Atomically add with saturation (counters and histogram sums must
+/// never wrap backwards, even under pathological property inputs).
+fn saturating_fetch_add(cell: &AtomicU64, v: u64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(v);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Monotonic counter. The API exposes no decrement, so the value never
+/// goes down — the property suite asserts this over arbitrary
+/// operation sequences.
+#[derive(Clone, Default, Debug)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, v: u64) {
+        saturating_fetch_add(&self.value, v);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge holding an `f64` (stored as raw bits).
+#[derive(Clone, Default, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Log-linear latency histogram covering all of `u64`.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+struct HistInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        Histogram {
+            inner: Arc::new(HistInner {
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, v: u64) {
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.inner.sum, v);
+    }
+
+    /// Fold `other`'s observations into `self` (bucket-wise saturating
+    /// add). Merge is associative and commutative — the property suite
+    /// proves it on snapshots.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.inner.buckets.iter().zip(&other.inner.buckets) {
+            saturating_fetch_add(dst, src.load(Ordering::Relaxed));
+        }
+        saturating_fetch_add(&self.inner.count, other.inner.count.load(Ordering::Relaxed));
+        saturating_fetch_add(&self.inner.sum, other.inner.sum.load(Ordering::Relaxed));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`); 0 if the histogram is empty. Exact for values
+    /// below 16, within one sub-bucket (≈6% relative) above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Immutable point-in-time copy of a [`Histogram`], used by exporters
+/// and the property suite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_bounds(idx).1;
+            }
+        }
+        bucket_bounds(NUM_BUCKETS - 1).1
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Named metric store. Keys are `name{label="value",..}` with labels
+/// sorted, so every snapshot iterates in one canonical order.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Registry")
+    }
+}
+
+/// Canonical registry key for a name + label set.
+pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut key = String::with_capacity(name.len() + 16 * sorted.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        key.push_str(v);
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch-or-create the counter for `name` + `labels`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.inner
+            .lock()
+            .counters
+            .entry(metric_key(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.inner
+            .lock()
+            .gauges
+            .entry(metric_key(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.inner
+            .lock()
+            .histograms
+            .entry(metric_key(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    /// Current value of a counter, 0 if it was never created (reading
+    /// must not materialize series).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.inner
+            .lock()
+            .counters
+            .get(&metric_key(name, labels))
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Current value of a gauge, 0.0 if absent.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.inner
+            .lock()
+            .gauges
+            .get(&metric_key(name, labels))
+            .map(|g| g.get())
+            .unwrap_or(0.0)
+    }
+
+    /// Sorted `(key, value)` snapshot of all counters.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Sorted `(key, value)` snapshot of all gauges.
+    pub fn gauges_snapshot(&self) -> Vec<(String, f64)> {
+        self.inner
+            .lock()
+            .gauges
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
+    }
+
+    /// Sorted `(key, snapshot)` of all histograms.
+    pub fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.inner
+            .lock()
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_tiles_u64() {
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+        for idx in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(idx);
+            let (lo_next, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi + 1, lo_next, "gap/overlap after bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_lands_in_bounds() {
+        for v in [0, 1, 15, 16, 17, 31, 32, 1000, 1 << 40, u64::MAX] {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn quantiles_pick_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for v in 0..10 {
+            h.record(v); // exact buckets
+        }
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 9);
+        h.record(1_000_000);
+        let p999 = h.quantile(0.999);
+        let (lo, hi) = bucket_bounds(bucket_index(1_000_000));
+        assert!(p999 == hi && lo <= 1_000_000);
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("ops_total", &[("kind", "send")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter_value("ops_total", &[("kind", "send")]), 5);
+        // Same name+labels in any order resolves to the same series.
+        let c2 = r.counter("ops_total", &[("kind", "send")]);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+        let g = r.gauge("depth", &[]);
+        g.set(2.5);
+        assert_eq!(r.gauge_value("depth", &[]), 2.5);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        assert_eq!(
+            metric_key("m", &[("b", "2"), ("a", "1")]),
+            metric_key("m", &[("a", "1"), ("b", "2")]),
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(3);
+        b.record(3);
+        b.record(100);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 106);
+        assert_eq!(a.snapshot().buckets[bucket_index(3)], 2);
+    }
+}

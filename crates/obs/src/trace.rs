@@ -1,0 +1,275 @@
+//! The flight recorder: a bounded ring of structured trace events
+//! stamped with virtual time.
+//!
+//! Events carry a [`Subject`] (which entity), a static name (what
+//! happened), a [`Phase`] (span enter/exit or instant), and a small
+//! set of `u64` fields. Sequence numbers are assigned at record time,
+//! so even same-timestamp events have a total order and the JSONL
+//! export is byte-stable across replays.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Default ring capacity; deep enough for every figure scenario while
+/// bounding memory for long chaos soaks.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// The entity a trace event is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Subject {
+    /// Whole-simulation events (epoch rollovers, run boundaries).
+    Global,
+    /// A simulated host.
+    Node(u32),
+    /// A fabric link.
+    Link(u32),
+    /// A queue pair on a node.
+    Qp { node: u32, qp: u32 },
+    /// A messaging endpoint (library rank).
+    Endpoint { rank: u32 },
+    /// A rank's view of one peer (reliability state machine).
+    Peer { rank: u32, peer: u32 },
+    /// One collective operation instance on a rank.
+    Collective { rank: u32, epoch: u64 },
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::Global => write!(f, "global"),
+            Subject::Node(n) => write!(f, "node:{n}"),
+            Subject::Link(l) => write!(f, "link:{l}"),
+            Subject::Qp { node, qp } => write!(f, "qp:{node}/{qp}"),
+            Subject::Endpoint { rank } => write!(f, "ep:{rank}"),
+            Subject::Peer { rank, peer } => write!(f, "peer:{rank}->{peer}"),
+            Subject::Collective { rank, epoch } => write!(f, "coll:{rank}@{epoch}"),
+        }
+    }
+}
+
+/// Span phase of an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    Enter,
+    Exit,
+    Instant,
+}
+
+impl Phase {
+    fn as_str(self) -> &'static str {
+        match self {
+            Phase::Enter => "enter",
+            Phase::Exit => "exit",
+            Phase::Instant => "instant",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Total order over the whole recording, assigned at record time.
+    pub seq: u64,
+    /// Virtual timestamp, picoseconds.
+    pub at_ps: u64,
+    pub subject: Subject,
+    pub name: &'static str,
+    pub phase: Phase,
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// One JSON object, no trailing newline. Field order is fixed
+    /// (seq, at_ps, subject, name, phase, fields) and fields keep
+    /// their record-time order, so serialization is byte-stable.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"at_ps\":{},\"subject\":\"{}\",\"name\":\"{}\",\"phase\":\"{}\"",
+            self.seq,
+            self.at_ps,
+            self.subject,
+            self.name,
+            self.phase.as_str()
+        );
+        if !self.fields.is_empty() {
+            s.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{k}\":{v}"));
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+struct RecorderInner {
+    capacity: usize,
+    next_seq: u64,
+    /// Events evicted because the ring was full.
+    dropped: u64,
+    ring: VecDeque<TraceEvent>,
+}
+
+/// Shared, clonable handle to the event ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(RecorderInner {
+                capacity: capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+                ring: VecDeque::with_capacity(capacity.min(4096)),
+            })),
+        }
+    }
+
+    fn push(
+        &self,
+        at_ps: u64,
+        subject: Subject,
+        name: &'static str,
+        phase: Phase,
+        fields: &[(&'static str, u64)],
+    ) {
+        let mut g = self.inner.lock();
+        if g.ring.len() == g.capacity {
+            g.ring.pop_front();
+            g.dropped += 1;
+        }
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.ring.push_back(TraceEvent {
+            seq,
+            at_ps,
+            subject,
+            name,
+            phase,
+            fields: fields.to_vec(),
+        });
+    }
+
+    pub fn instant(
+        &self,
+        at_ps: u64,
+        subject: Subject,
+        name: &'static str,
+        fields: &[(&'static str, u64)],
+    ) {
+        self.push(at_ps, subject, name, Phase::Instant, fields);
+    }
+
+    pub fn enter(
+        &self,
+        at_ps: u64,
+        subject: Subject,
+        name: &'static str,
+        fields: &[(&'static str, u64)],
+    ) {
+        self.push(at_ps, subject, name, Phase::Enter, fields);
+    }
+
+    pub fn exit(
+        &self,
+        at_ps: u64,
+        subject: Subject,
+        name: &'static str,
+        fields: &[(&'static str, u64)],
+    ) {
+        self.push(at_ps, subject, name, Phase::Exit, fields);
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted due to capacity pressure.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// One JSON object per line, oldest first, trailing newline after
+    /// every event. Byte-identical across same-seed replays.
+    pub fn to_jsonl(&self) -> String {
+        let g = self.inner.lock();
+        let mut out = String::new();
+        for ev in &g.ring {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drop all retained events and reset the sequence counter; used
+    /// between independent runs sharing one recorder.
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.ring.clear();
+        g.next_seq = 0;
+        g.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_total_and_json_is_stable() {
+        let r = FlightRecorder::with_capacity(8);
+        r.enter(10, Subject::Qp { node: 0, qp: 1 }, "send", &[("bytes", 4096)]);
+        r.exit(20, Subject::Qp { node: 0, qp: 1 }, "send", &[]);
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+        assert_eq!(
+            evs[0].to_json(),
+            "{\"seq\":0,\"at_ps\":10,\"subject\":\"qp:0/1\",\"name\":\"send\",\"phase\":\"enter\",\"fields\":{\"bytes\":4096}}"
+        );
+        assert!(r.to_jsonl().ends_with("\"phase\":\"exit\"}\n"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let r = FlightRecorder::with_capacity(2);
+        for i in 0..5u64 {
+            r.instant(i, Subject::Global, "tick", &[]);
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(evs[0].seq, 3);
+        assert_eq!(evs[1].seq, 4);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests over the metrics primitives: the algebra the
+//! exporters and the figure pipeline silently rely on.
+//!
+//! The `#[ignore]`d exhaustive variants run on the nightly CI schedule
+//! (`cargo test -- --include-ignored`).
+
+use polaris_obs::metrics::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+use polaris_obs::{Counter, Registry};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let out = Histogram::new();
+    out.merge_from(a);
+    out.merge_from(b);
+    out
+}
+
+fn eq_snapshots(a: &Histogram, b: &Histogram) -> bool {
+    let (sa, sb) = (a.snapshot(), b.snapshot());
+    sa.buckets == sb.buckets && sa.count == sb.count && sa.sum == sb.sum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_value_lands_inside_its_bucket(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS, "index {idx} out of range for {v}");
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}] (bucket {idx})");
+    }
+
+    #[test]
+    fn adjacent_buckets_tile_without_gaps(idx in 0usize..NUM_BUCKETS - 1) {
+        let (_, hi) = bucket_bounds(idx);
+        let (next_lo, next_hi) = bucket_bounds(idx + 1);
+        prop_assert_eq!(next_lo, hi + 1);
+        prop_assert!(next_hi >= next_lo);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in collection::vec(any::<u64>(), 0..64),
+        ys in collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        prop_assert!(eq_snapshots(&merged(&a, &b), &merged(&b, &a)));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in collection::vec(any::<u64>(), 0..64),
+        ys in collection::vec(any::<u64>(), 0..64),
+        zs in collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        prop_assert!(eq_snapshots(&merged(&merged(&a, &b), &c), &merged(&a, &merged(&b, &c))));
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        xs in collection::vec(any::<u64>(), 0..64),
+        ys in collection::vec(any::<u64>(), 0..64),
+    ) {
+        let both: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        prop_assert!(eq_snapshots(&merged(&hist_of(&xs), &hist_of(&ys)), &hist_of(&both)));
+    }
+
+    #[test]
+    fn counters_never_decrease(increments in collection::vec(any::<u64>(), 1..64)) {
+        let c = Counter::new();
+        let mut last = c.get();
+        for inc in increments {
+            c.add(inc);
+            let now = c.get();
+            prop_assert!(now >= last, "counter went backwards: {last} -> {now}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn registry_handles_share_state(increments in collection::vec(any::<u64>(), 1..32)) {
+        let reg = Registry::new();
+        let a = reg.counter("prop_shared_total", &[("k", "v")]);
+        let b = reg.counter("prop_shared_total", &[("k", "v")]);
+        let mut expect = 0u64;
+        for inc in increments {
+            a.add(inc);
+            expect = expect.saturating_add(inc);
+            prop_assert_eq!(b.get(), expect);
+        }
+        prop_assert_eq!(reg.counter_value("prop_shared_total", &[("k", "v")]), expect);
+    }
+}
+
+/// Counter saturation: adds that would overflow pin at `u64::MAX`
+/// instead of wrapping — monotonicity survives the edge.
+#[test]
+fn counter_saturates_at_max() {
+    let c = Counter::new();
+    c.add(u64::MAX - 1);
+    c.add(5);
+    assert_eq!(c.get(), u64::MAX);
+    c.inc();
+    assert_eq!(c.get(), u64::MAX);
+}
+
+/// Exhaustive tiling proof: walking every bucket in order covers
+/// `[0, u64::MAX]` with no gaps and no overlaps. Cheap enough to run
+/// everywhere; kept with the nightly-heavy variant for locality.
+#[test]
+fn bucket_scheme_covers_u64_exactly() {
+    let mut next = 0u64;
+    for idx in 0..NUM_BUCKETS {
+        let (lo, hi) = bucket_bounds(idx);
+        assert_eq!(lo, next, "gap or overlap entering bucket {idx}");
+        assert!(hi >= lo);
+        if idx == NUM_BUCKETS - 1 {
+            assert_eq!(hi, u64::MAX, "last bucket must close the range");
+        } else {
+            next = hi + 1;
+        }
+    }
+}
+
+/// Nightly-only: dense sweep pinning `bucket_index` against
+/// `bucket_bounds` across the whole u64 range, including every
+/// power-of-two edge and its neighbours.
+#[test]
+#[ignore = "slow sweep; nightly CI runs with --include-ignored"]
+fn bucket_index_agrees_with_bounds_across_the_range() {
+    let check = |v: u64| {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+    };
+    for shift in 0..64 {
+        let edge = 1u64 << shift;
+        for delta in -2i64..=2 {
+            check(edge.wrapping_add_signed(delta));
+        }
+    }
+    // Deterministic stride sweep: ~16M probes spread over the range.
+    let mut v = 0u64;
+    loop {
+        check(v);
+        let (next, overflow) = v.overflowing_add((1 << 40) + 12_345_789);
+        if overflow {
+            break;
+        }
+        v = next;
+    }
+    check(u64::MAX);
+}

@@ -41,6 +41,7 @@
 use crate::link::LinkId;
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
+use polaris_obs::{Obs, Subject};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -235,12 +236,48 @@ pub struct FaultInjector {
     /// Gilbert–Elliott state per (rule index, link): `true` = bad.
     ge_bad: HashMap<(usize, u32), bool>,
     log: Vec<FaultEvent>,
+    obs: Option<Obs>,
+}
+
+/// Append `ev` to the replay log and, when an observability plane is
+/// attached, mirror it into the metrics registry and flight recorder.
+/// Free function so call sites inside `judge`'s rule loop don't need a
+/// second `&mut self` borrow.
+fn note_fault(obs: &Option<Obs>, log: &mut Vec<FaultEvent>, ev: FaultEvent) {
+    if let Some(obs) = obs {
+        let (action, name) = match ev.action {
+            FaultAction::Drop(DropCause::Uniform) => ("drop_uniform", "fault_drop"),
+            FaultAction::Drop(DropCause::Burst) => ("drop_burst", "fault_drop"),
+            FaultAction::Drop(DropCause::LinkDown) => ("drop_linkdown", "fault_drop"),
+            FaultAction::Drop(DropCause::NodeCrash) => ("drop_crash", "fault_drop"),
+            FaultAction::Corrupt => ("corrupt", "fault_corrupt"),
+        };
+        obs.counter("sim_faults_total", &[("action", action)]).inc();
+        let subject = if ev.link == u32::MAX {
+            Subject::Node(ev.src)
+        } else {
+            Subject::Link(ev.link)
+        };
+        obs.instant(
+            ev.at_ps,
+            subject,
+            name,
+            &[("src", ev.src as u64), ("dst", ev.dst as u64)],
+        );
+    }
+    log.push(ev);
 }
 
 impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         let rng = SplitMix64::new(plan.seed);
-        FaultInjector { plan, rng, ge_bad: HashMap::new(), log: Vec::new() }
+        FaultInjector { plan, rng, ge_bad: HashMap::new(), log: Vec::new(), obs: None }
+    }
+
+    /// Attach an observability plane: every injected fault also bumps
+    /// `sim_faults_total{action}` and records a trace instant.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// The plan this injector was built from.
@@ -280,13 +317,17 @@ impl FaultInjector {
         // Node crashes dominate: a dead endpoint loses everything.
         for node in [src, dst] {
             if self.node_crashed(node, now) {
-                self.log.push(FaultEvent {
-                    at_ps: now.as_ps(),
-                    src,
-                    dst,
-                    link: u32::MAX,
-                    action: FaultAction::Drop(DropCause::NodeCrash),
-                });
+                note_fault(
+                    &self.obs,
+                    &mut self.log,
+                    FaultEvent {
+                        at_ps: now.as_ps(),
+                        src,
+                        dst,
+                        link: u32::MAX,
+                        action: FaultAction::Drop(DropCause::NodeCrash),
+                    },
+                );
                 return FaultVerdict::Drop(DropCause::NodeCrash);
             }
         }
@@ -333,13 +374,17 @@ impl FaultInjector {
                     FaultKind::Crash { .. } => None,
                 };
                 if let Some(cause) = dropped {
-                    self.log.push(FaultEvent {
-                        at_ps: now.as_ps(),
-                        src,
-                        dst,
-                        link,
-                        action: FaultAction::Drop(cause),
-                    });
+                    note_fault(
+                        &self.obs,
+                        &mut self.log,
+                        FaultEvent {
+                            at_ps: now.as_ps(),
+                            src,
+                            dst,
+                            link,
+                            action: FaultAction::Drop(cause),
+                        },
+                    );
                     return FaultVerdict::Drop(cause);
                 }
             }
@@ -348,13 +393,17 @@ impl FaultInjector {
             // Attribute the corruption to the first link of the route
             // (the log needs one; the payload is equally damaged
             // wherever it happened).
-            self.log.push(FaultEvent {
-                at_ps: now.as_ps(),
-                src,
-                dst,
-                link: route.first().map_or(u32::MAX, |l| l.0),
-                action: FaultAction::Corrupt,
-            });
+            note_fault(
+                &self.obs,
+                &mut self.log,
+                FaultEvent {
+                    at_ps: now.as_ps(),
+                    src,
+                    dst,
+                    link: route.first().map_or(u32::MAX, |l| l.0),
+                    action: FaultAction::Corrupt,
+                },
+            );
             return FaultVerdict::DeliverCorrupted;
         }
         FaultVerdict::Deliver

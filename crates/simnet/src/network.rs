@@ -14,6 +14,7 @@ use crate::fault::{FaultEvent, FaultInjector, FaultPlan, FaultVerdict};
 use crate::link::{LinkModel, LinkState};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
+use polaris_obs::{Counter, Obs, Subject};
 
 /// Result of presenting one transfer to the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +43,17 @@ pub struct LossConfig {
 /// copy, 2 GB/s.
 const LOCAL_COPY_BPS: u64 = 2_000_000_000;
 
+/// Cached counter handles for the transfer hot path (one registry
+/// lookup at attach time, atomic bumps afterwards).
+struct NetObs {
+    obs: Obs,
+    transfers: Counter,
+    payload_bytes: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    corrupted: Counter,
+}
+
 pub struct Network {
     topo: Topology,
     model: LinkModel,
@@ -51,6 +63,7 @@ pub struct Network {
     payload_bytes: u64,
     dropped: u64,
     corrupted: u64,
+    obs: Option<NetObs>,
 }
 
 impl Network {
@@ -65,6 +78,41 @@ impl Network {
             payload_bytes: 0,
             dropped: 0,
             corrupted: 0,
+            obs: None,
+        }
+    }
+
+    /// Attach an observability plane. Transfer/drop/corruption counters
+    /// land in the registry under `net_*`, the attached fault injector
+    /// (if any) starts mirroring its replay log into the same plane,
+    /// and [`Network::publish_obs`] exports per-link occupancy.
+    pub fn set_obs(&mut self, obs: Obs) {
+        if let Some(inj) = &mut self.faults {
+            inj.set_obs(obs.clone());
+        }
+        self.obs = Some(NetObs {
+            transfers: obs.counter("net_transfers_total", &[]),
+            payload_bytes: obs.counter("net_payload_bytes_total", &[]),
+            delivered: obs.counter("net_delivered_total", &[]),
+            dropped: obs.counter("net_dropped_total", &[]),
+            corrupted: obs.counter("net_corrupted_total", &[]),
+            obs,
+        });
+    }
+
+    /// Publish per-link state (bytes carried, busy picoseconds) into
+    /// the registry as gauges. Call at scrape/export points; link
+    /// counts can reach thousands, so this is not done per transfer.
+    pub fn publish_obs(&self) {
+        let Some(no) = &self.obs else { return };
+        for (i, l) in self.links.iter().enumerate() {
+            let idx = i.to_string();
+            no.obs
+                .gauge("net_link_bytes", &[("link", &idx)])
+                .set(l.bytes_carried as f64);
+            no.obs
+                .gauge("net_link_busy_ps", &[("link", &idx)])
+                .set(l.busy_time.as_ps() as f64);
         }
     }
 
@@ -72,7 +120,11 @@ impl Network {
     /// its deterministic injector, and injected events accumulate in
     /// [`Network::fault_log`].
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.faults = Some(FaultInjector::new(plan));
+        let mut inj = FaultInjector::new(plan);
+        if let Some(no) = &self.obs {
+            inj.set_obs(no.obs.clone());
+        }
+        self.faults = Some(inj);
         self
     }
 
@@ -105,10 +157,17 @@ impl Network {
     pub fn transfer(&mut self, now: SimTime, src: u32, dst: u32, bytes: u64) -> Delivery {
         self.transfers += 1;
         self.payload_bytes += bytes;
+        if let Some(no) = &self.obs {
+            no.transfers.inc();
+            no.payload_bytes.add(bytes);
+        }
         if src == dst {
             // Loopback: a local memory copy, never on the wire and
             // exempt from fault injection.
             let t = SimDuration::from_secs_f64(bytes as f64 / LOCAL_COPY_BPS as f64);
+            if let Some(no) = &self.obs {
+                no.delivered.inc();
+            }
             return Delivery {
                 arrival: now + t,
                 dropped: false,
@@ -122,10 +181,16 @@ impl Network {
                 FaultVerdict::Deliver => {}
                 FaultVerdict::DeliverCorrupted => {
                     self.corrupted += 1;
+                    if let Some(no) = &self.obs {
+                        no.corrupted.inc();
+                    }
                     corrupted = true;
                 }
                 FaultVerdict::Drop(_) => {
                     self.dropped += 1;
+                    if let Some(no) = &self.obs {
+                        no.dropped.inc();
+                    }
                     // The sender learns of the loss only after a timeout;
                     // model that as the nominal delivery time
                     // (retransmission policy layers on top).
@@ -165,6 +230,19 @@ impl Network {
             st.busy_time += ser;
         }
         let arrival = now + extra + self.model.message_time(bytes, hops);
+        if let Some(no) = &self.obs {
+            no.delivered.inc();
+            no.obs.instant(
+                arrival.as_ps(),
+                Subject::Node(dst),
+                "net_deliver",
+                &[
+                    ("src", src as u64),
+                    ("bytes", bytes),
+                    ("corrupted", corrupted as u64),
+                ],
+            );
+        }
         Delivery {
             arrival,
             dropped: false,

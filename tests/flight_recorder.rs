@@ -1,0 +1,83 @@
+//! Flight-recorder determinism: the property the whole observability
+//! plane is built around is that identical seeds produce byte-identical
+//! trace and metrics output.
+//!
+//! Two layers of locking:
+//!
+//! 1. run the pinned F11 chaos scenario twice in-process and require the
+//!    Prometheus text, JSON snapshot, and trace JSONL to match byte for
+//!    byte — catches any nondeterminism introduced into the hot paths
+//!    (hash-order iteration, wall-clock timestamps, ...);
+//! 2. diff the same output against snapshots committed under
+//!    `tests/golden/` — catches semantic drift across commits, the same
+//!    way the chaos-replay CI job pins the F11 table.
+//!
+//! Regenerate the snapshots deliberately with
+//! `UPDATE_GOLDEN=1 cargo test --test flight_recorder`.
+
+use polaris_bench::figures::f11_chaos;
+use polaris_obs::Obs;
+use std::fs;
+use std::path::PathBuf;
+
+/// One fresh run of the pinned scenario, returning every export form.
+fn run_once() -> (String, String, String) {
+    let obs = Obs::new();
+    f11_chaos::golden_scenario(&obs);
+    (obs.prometheus(), obs.json(), obs.recorder.to_jsonl())
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        expected,
+        actual,
+        "{name} drifted from the committed snapshot; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let (prom_a, json_a, trace_a) = run_once();
+    let (prom_b, json_b, trace_b) = run_once();
+    assert_eq!(prom_a, prom_b, "Prometheus export must replay exactly");
+    assert_eq!(json_a, json_b, "JSON export must replay exactly");
+    assert_eq!(trace_a, trace_b, "trace JSONL must replay exactly");
+    assert!(!trace_a.is_empty(), "the scenario must actually trace faults");
+}
+
+#[test]
+fn exports_match_committed_goldens() {
+    let (prom, json, trace) = run_once();
+    check_golden("f11_chaos.prom", &prom);
+    check_golden("f11_chaos.json", &json);
+    check_golden("f11_chaos.trace.jsonl", &trace);
+}
+
+#[test]
+fn full_grid_replay_is_byte_identical() {
+    // The whole F11 grid — every generation × loss × mode — through two
+    // independent observability planes. Slower than the pinned cell, so
+    // it carries the full-replay burden alone.
+    let a = Obs::new();
+    let b = Obs::new();
+    let rows_a = f11_chaos::generate_with(&a);
+    let rows_b = f11_chaos::generate_with(&b);
+    assert_eq!(rows_a[0].rows, rows_b[0].rows);
+    assert_eq!(a.prometheus(), b.prometheus());
+    assert_eq!(a.json(), b.json());
+    assert_eq!(a.recorder.to_jsonl(), b.recorder.to_jsonl());
+}
