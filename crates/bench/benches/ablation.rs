@@ -66,7 +66,7 @@ fn bench_cq_modes(c: &mut Criterion) {
             qb.post_recv(RecvWr::new(1, vec![Sge::whole(&dst)])).unwrap();
             qa.post_send(SendWr::Send {
                 wr_id: 2,
-                sges: vec![Sge::whole(&src)],
+                sges: polaris_nic::sge_list![Sge::whole(&src)],
                 imm: None,
             })
             .unwrap();
@@ -79,7 +79,7 @@ fn bench_cq_modes(c: &mut Criterion) {
             qb.post_recv(RecvWr::new(1, vec![Sge::whole(&dst)])).unwrap();
             qa.post_send(SendWr::Send {
                 wr_id: 2,
-                sges: vec![Sge::whole(&src)],
+                sges: polaris_nic::sge_list![Sge::whole(&src)],
                 imm: None,
             })
             .unwrap();

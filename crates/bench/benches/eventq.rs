@@ -1,0 +1,33 @@
+//! Event-queue microbenchmark: calendar queue vs the reference binary
+//! heap under the classic hold-model workload.
+//!
+//! The queue is precharged with `hold` events, then each transaction
+//! pops the earliest event and pushes a replacement a pseudo-random
+//! delay into the future — the steady-state access pattern of the
+//! simulation engine, where the live event population is roughly
+//! constant and time advances monotonically. The heap pays O(log n) per
+//! transaction; the calendar queue pays O(1) amortised, which is the
+//! whole point of the swap. The churn workload itself lives in
+//! `polaris_bench::perf` so the `figures -- perf` gate measures exactly
+//! what this bench measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polaris_bench::perf::{churn_calendar, churn_heap};
+
+fn bench_eventq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eventq_churn");
+    for hold in [1usize << 10, 1 << 14, 1 << 17] {
+        let transactions = 4 * hold;
+        group.throughput(Throughput::Elements(transactions as u64));
+        group.bench_with_input(BenchmarkId::new("calendar", hold), &hold, |b, &hold| {
+            b.iter(|| churn_calendar(hold, transactions))
+        });
+        group.bench_with_input(BenchmarkId::new("heap", hold), &hold, |b, &hold| {
+            b.iter(|| churn_heap(hold, transactions))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eventq);
+criterion_main!(benches);

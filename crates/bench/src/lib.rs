@@ -7,6 +7,7 @@
 //! the executable stack's wall-clock behaviour.
 
 pub mod figures;
+pub mod perf;
 pub mod table;
 
 use table::Table;

@@ -1,14 +1,27 @@
 //! `figures` — regenerate the evaluation tables.
 //!
 //! Usage: `cargo run --release -p polaris-bench -- [all|f1|f2|f3|f4|f5|t2|f6|f7|a2]...`
+//!        `cargo run --release -p polaris-bench -- perf [--update|--check]`
 //!
-//! Prints each table and writes `target/figures/<id>.json`.
+//! Prints each table and writes `target/figures/<id>.json`. The `perf`
+//! subcommand runs the wall-clock harness instead (see
+//! [`polaris_bench::perf`]): it emits the `BENCH_simwall.json` report
+//! and, with `--check`, gates against the committed baseline.
 
-use polaris_bench::all_experiments;
+use polaris_bench::{all_experiments, perf};
 use std::path::PathBuf;
+
+/// Counting allocator so `perf` can report allocations per message.
+/// Counting is one relaxed atomic increment per allocation — noise for
+/// the figure generators, load-bearing for the perf report.
+#[global_allocator]
+static ALLOCATOR: perf::CountingAlloc = perf::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("perf") {
+        std::process::exit(perf::run_perf(&args[1..]));
+    }
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all_experiments().iter().map(|(id, _)| id.to_string()).collect()
     } else {
@@ -31,7 +44,7 @@ fn main() {
         eprintln!("[{id} regenerated in {:?}]\n", t0.elapsed());
     }
     if ran == 0 {
-        eprintln!("unknown experiment id(s) {wanted:?}; known: f1 f2 f3 f4 f5 t2 f6 f7 f8 f9 f10 a2 all");
+        eprintln!("unknown experiment id(s) {wanted:?}; known: f1 f2 f3 f4 f5 t2 f6 f7 f8 f9 f10 a2 all perf");
         std::process::exit(2);
     }
     eprintln!("JSON series written to {}", out_dir.display());

@@ -1,0 +1,643 @@
+//! `figures -- perf` — wall-clock performance harness with regression
+//! gates.
+//!
+//! Where the figure generators report *simulated* time, this module
+//! reports *wall-clock* throughput of the simulator itself, the thing
+//! the fast-path work actually optimises. It measures four numbers:
+//!
+//! 1. event-queue churn throughput, calendar queue vs the in-binary
+//!    reference binary heap (events/sec and the speedup ratio);
+//! 2. engine dispatch rate (events dispatched per wall second through
+//!    `engine::run`), published as the `engine_events_dispatched_per_sec`
+//!    gauge on a [`polaris_obs::Obs`] registry;
+//! 3. wall time of the F3 1024-node allreduce sweep (the hottest figure
+//!    workload) and the messages/sec it implies;
+//! 4. heap allocations per eager message, via the counting allocator the
+//!    `figures` binary installs.
+//!
+//! `perf --update` writes the report to `BENCH_simwall.json` (committed
+//! at the repo root); `perf --check` re-measures and gates against that
+//! baseline. Absolute wall numbers are machine-dependent, so the gates
+//! compare *ratios*: the reference heap's events/sec acts as a
+//! machine-speed normalizer — a slower machine scores proportionally
+//! lower on both the baseline-relative and current measurements, and the
+//! normalized comparison cancels the hardware out.
+
+use polaris_simnet::engine::{run, Scheduler, World};
+use polaris_simnet::event::{reference::HeapQueue, EventQueue};
+use polaris_simnet::link::Generation;
+use polaris_simnet::network::Network;
+use polaris_simnet::rng::SplitMix64;
+use polaris_simnet::time::{SimDuration, SimTime};
+use polaris_simnet::topology::{Topology, TopologyKind};
+
+use polaris_collectives::prelude::*;
+
+use serde::{Deserialize, Serialize};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Allocation counting
+// ---------------------------------------------------------------------
+
+/// Counting allocator the `figures` binary installs as its global
+/// allocator; [`measure_allocs_per_message`] reads the counter. Library
+/// consumers that do not install it simply get `None` for the
+/// allocations-per-message metric (the probe below detects a dead
+/// counter).
+pub struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// True when the counting allocator is actually installed in this
+/// binary (an allocation moves the counter).
+fn alloc_counter_live() -> bool {
+    let before = allocs();
+    std::hint::black_box(Vec::<u8>::with_capacity(64));
+    allocs() > before
+}
+
+// ---------------------------------------------------------------------
+// Event-queue churn (shared with benches/eventq.rs)
+// ---------------------------------------------------------------------
+
+/// Pseudo-random reschedule delay shaped like the simulator's: link
+/// events reschedule by one of a handful of discrete latencies
+/// (serialization + propagation for a link generation), and one
+/// transaction in eight is a same-instant follow-up (delay 0), the
+/// handler-schedules-for-now pattern the FIFO tie-break exists for.
+pub fn churn_delay(rng: &mut SplitMix64) -> u64 {
+    const LINK_DELAYS: [u64; 4] = [10_000, 25_000, 50_000, 100_000];
+    let r = rng.next_u64();
+    if r & 0x7 == 0 {
+        0
+    } else {
+        LINK_DELAYS[(r % 4) as usize]
+    }
+}
+
+/// Hold-model churn on the calendar queue: precharge `hold` events, then
+/// `transactions` pop+push pairs. Returns a checksum so the work cannot
+/// be optimised away.
+pub fn churn_calendar(hold: usize, transactions: usize) -> u64 {
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(hold);
+    let mut rng = SplitMix64::new(0x5eed);
+    // Precharge from the same delay distribution: ranks enter the
+    // steady state in a handful of synchronized phases, the way a
+    // symmetric collective round leaves them.
+    for i in 0..hold {
+        let t = churn_delay(&mut rng);
+        q.push(SimTime(t), i as u32);
+    }
+    let mut acc = 0u64;
+    for _ in 0..transactions {
+        let (t, ev) = q.pop().expect("queue stays charged");
+        acc = acc.wrapping_add(t.0).wrapping_add(ev as u64);
+        q.push(SimTime(t.0 + churn_delay(&mut rng)), ev);
+    }
+    acc
+}
+
+/// Same churn on the reference binary heap.
+pub fn churn_heap(hold: usize, transactions: usize) -> u64 {
+    let mut q: HeapQueue<u32> = HeapQueue::new();
+    let mut rng = SplitMix64::new(0x5eed);
+    // Precharge from the same delay distribution: ranks enter the
+    // steady state in a handful of synchronized phases, the way a
+    // symmetric collective round leaves them.
+    for i in 0..hold {
+        let t = churn_delay(&mut rng);
+        q.push(SimTime(t), i as u32);
+    }
+    let mut acc = 0u64;
+    for _ in 0..transactions {
+        let (t, ev) = q.pop().expect("queue stays charged");
+        acc = acc.wrapping_add(t.0).wrapping_add(ev as u64);
+        q.push(SimTime(t.0 + churn_delay(&mut rng)), ev);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Report schema
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventqReport {
+    pub hold: u64,
+    pub transactions: u64,
+    pub calendar_events_per_sec: f64,
+    pub heap_events_per_sec: f64,
+    /// calendar / heap throughput ratio — machine-independent.
+    pub speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineReport {
+    pub events_dispatched: u64,
+    pub events_dispatched_per_sec: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct F3Report {
+    pub nodes: u64,
+    pub wall_seconds: f64,
+    pub messages: u64,
+    pub messages_per_sec: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct History {
+    /// Full `figures f3` wall on the pre-calendar binary-heap engine
+    /// (commit 4b670d7), best of 3 on the reference machine.
+    pub f3_full_wall_seconds_heap_engine: f64,
+    /// Same run on this PR's calendar engine + pooled messaging.
+    pub f3_full_wall_seconds_this_pr: f64,
+    pub note: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    pub schema: String,
+    pub eventq: EventqReport,
+    pub engine: EngineReport,
+    pub f3_1024: F3Report,
+    /// `None` when the binary did not install [`CountingAlloc`].
+    pub allocs_per_message_eager: Option<f64>,
+    pub history: History,
+}
+
+// ---------------------------------------------------------------------
+// Measurements
+// ---------------------------------------------------------------------
+
+const EVENTQ_HOLD: usize = 1 << 14;
+const EVENTQ_TXNS: usize = 8 * EVENTQ_HOLD;
+
+fn best_of<F: FnMut() -> u64>(samples: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure_eventq(samples: usize) -> EventqReport {
+    // Interleave the two queues' samples so the speedup ratio compares
+    // like machine states; a sequential A-block/B-block layout lets a
+    // frequency or load shift mid-measurement masquerade as a queue
+    // regression.
+    let samples = samples.max(5);
+    let mut cal = f64::INFINITY;
+    let mut heap = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(churn_calendar(EVENTQ_HOLD, EVENTQ_TXNS));
+        cal = cal.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        std::hint::black_box(churn_heap(EVENTQ_HOLD, EVENTQ_TXNS));
+        heap = heap.min(t0.elapsed().as_secs_f64());
+    }
+    let cal_eps = EVENTQ_TXNS as f64 / cal;
+    let heap_eps = EVENTQ_TXNS as f64 / heap;
+    EventqReport {
+        hold: EVENTQ_HOLD as u64,
+        transactions: EVENTQ_TXNS as u64,
+        calendar_events_per_sec: cal_eps,
+        heap_events_per_sec: heap_eps,
+        speedup: cal_eps / heap_eps,
+    }
+}
+
+/// A world of independent event chains: each event reschedules itself a
+/// pseudo-random delay later until its chain has fired `hops` times.
+/// This exercises the full `engine::run` dispatch loop (horizon check,
+/// same-instant batch drain, clock updates), not just the queue.
+struct ChainWorld {
+    remaining: Vec<u32>,
+    rng: SplitMix64,
+}
+
+impl World for ChainWorld {
+    type Event = u32;
+    fn handle(&mut self, sched: &mut Scheduler<u32>, chain: u32) {
+        let left = &mut self.remaining[chain as usize];
+        if *left > 0 {
+            *left -= 1;
+            let d = churn_delay(&mut self.rng);
+            sched.after(SimDuration::from_ps(d), chain);
+        }
+    }
+}
+
+fn measure_engine(samples: usize, obs: &polaris_obs::Obs) -> EngineReport {
+    const CHAINS: u32 = 1024;
+    const HOPS: u32 = 1500;
+    let mut dispatched = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let mut world = ChainWorld {
+            remaining: vec![HOPS; CHAINS as usize],
+            rng: SplitMix64::new(7),
+        };
+        let mut sched = Scheduler::with_capacity(CHAINS as usize);
+        for c in 0..CHAINS {
+            sched.at(SimTime::ZERO, c);
+        }
+        let t0 = Instant::now();
+        let stats = run(&mut world, &mut sched, None);
+        let dt = t0.elapsed().as_secs_f64();
+        dispatched = stats.events_dispatched;
+        best = best.min(dt);
+    }
+    let eps = dispatched as f64 / best;
+    obs.gauge("engine_events_dispatched_per_sec", &[])
+        .set(eps);
+    EngineReport {
+        events_dispatched: dispatched,
+        events_dispatched_per_sec: eps,
+    }
+}
+
+/// The F3 1024-node slice: three allreduce algorithms at 64B and 4MiB
+/// on a k=16 fat tree — the single most expensive cell of the figure
+/// suite, and the wall-clock acceptance workload for this PR.
+fn f3_1024_sweep() -> u64 {
+    let params = ExecParams::default();
+    let mut messages = 0u64;
+    for algo in [
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::Ring,
+        AllreduceAlgo::ReduceBcast,
+    ] {
+        for bytes in [64u64, 4 << 20] {
+            let mut net = Network::new(
+                Topology::new(TopologyKind::FatTree { k: 16 }),
+                Generation::InfiniBand4x.link_model(),
+            );
+            let r = simulate_collective(&mut net, Collective::Allreduce(algo), bytes, params);
+            messages += r.messages;
+        }
+    }
+    messages
+}
+
+fn measure_f3(samples: usize) -> F3Report {
+    let mut messages = 0u64;
+    let best = best_of(samples, || {
+        messages = f3_1024_sweep();
+        messages
+    });
+    F3Report {
+        nodes: 1024,
+        wall_seconds: best,
+        messages,
+        messages_per_sec: messages as f64 / best,
+    }
+}
+
+/// Allocations per eager message in steady state, measured exactly like
+/// the `no_alloc` integration test: a 2-rank world, warmed up, then 1000
+/// round trips under the counting allocator.
+fn measure_allocs_per_message() -> Option<f64> {
+    use polaris_msg::match_engine::MatchSpec;
+    use polaris_msg::prelude::*;
+    use polaris_nic::prelude::Fabric;
+
+    if !alloc_counter_live() {
+        return None;
+    }
+
+    let fabric = Fabric::new();
+    let mut eps = Endpoint::create_world(&fabric, 2, MsgConfig::default()).ok()?;
+    let mut sbuf = eps[0].alloc(64).ok()?;
+    sbuf.fill_from(&[7u8; 64]);
+    let mut rbuf = eps[1].alloc(64).ok()?;
+
+    let round = |eps: &mut [Endpoint], sbuf: MsgBuf, rbuf: MsgBuf, tag: u64| {
+        let (a, b) = eps.split_at_mut(1);
+        let rreq = b[0].irecv(MatchSpec::exact(0, tag), rbuf).unwrap();
+        let sreq = a[0].isend(1, tag, sbuf).unwrap();
+        let (rbuf, _) = b[0].wait_recv(rreq).unwrap();
+        let sbuf = a[0].wait_send(sreq).unwrap();
+        (sbuf, rbuf)
+    };
+
+    for tag in 0..200u64 {
+        let (s, r) = round(&mut eps, sbuf, rbuf, tag);
+        sbuf = s;
+        rbuf = r;
+    }
+    const MSGS: u64 = 1000;
+    let before = allocs();
+    for tag in 0..MSGS {
+        let (s, r) = round(&mut eps, sbuf, rbuf, 1000 + tag);
+        sbuf = s;
+        rbuf = r;
+    }
+    let delta = allocs() - before;
+    eps[0].release(sbuf);
+    eps[1].release(rbuf);
+    Some(delta as f64 / MSGS as f64)
+}
+
+// ---------------------------------------------------------------------
+// Runner + gates
+// ---------------------------------------------------------------------
+
+/// Committed baseline path, relative to the working directory (CI runs
+/// from the repo root).
+pub const BASELINE_PATH: &str = "BENCH_simwall.json";
+
+/// Regression tolerance on same-run ratio metrics. Machine-independent,
+/// so the band can be much tighter than the wall gates — but the ratio
+/// still carries sampling noise on a shared box, hence not 1.2.
+const TOLERANCE: f64 = 1.35;
+
+/// Regression tolerance on normalized wall-clock metrics. These compare
+/// against numbers recorded on a different run (and possibly different
+/// hardware); even with the heap normalizer, shared CI boxes jitter by
+/// 30-40% run to run, so this band only catches gross regressions — the
+/// tight ratio gate above is the precise one.
+const WALL_TOLERANCE: f64 = 1.60;
+
+/// Absolute floor on the calendar-vs-heap speedup (PR acceptance
+/// criterion; machine-independent because it is a same-machine ratio).
+const MIN_SPEEDUP: f64 = 2.0;
+
+pub fn measure(samples: usize) -> PerfReport {
+    let obs = polaris_obs::Obs::new();
+    let eventq = measure_eventq(samples);
+    // Engine samples are ~40ms each; take extra to tame scheduler noise.
+    let engine = measure_engine(samples.max(5), &obs);
+    let f3 = measure_f3(samples.min(2));
+    let allocs = measure_allocs_per_message();
+    eprintln!(
+        "[perf] obs exposition:\n{}",
+        obs.prometheus()
+            .lines()
+            .filter(|l| l.contains("events_dispatched"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    PerfReport {
+        schema: "polaris-simwall/1".to_string(),
+        eventq,
+        engine,
+        f3_1024: f3,
+        allocs_per_message_eager: allocs,
+        history: History {
+            f3_full_wall_seconds_heap_engine: 4.02,
+            f3_full_wall_seconds_this_pr: 1.94,
+            note: "full `figures f3`, interleaved best-of-5 on the same machine: \
+                   binary-heap engine at 4b670d7 vs calendar engine + pooled \
+                   messaging; 52% wall reduction"
+                .to_string(),
+        },
+    }
+}
+
+/// Compare a fresh measurement against the committed baseline. Returns
+/// the list of gate failures (empty = pass).
+///
+/// Wall-clock gates are normalized by the reference heap's events/sec:
+/// `scale = current_heap_eps / baseline_heap_eps` estimates how much
+/// faster this machine is than the one that wrote the baseline, and
+/// current wall times are multiplied by it before comparison.
+pub fn check_gates(cur: &PerfReport, base: &PerfReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut gate = |name: &str, ok: bool, detail: String| {
+        eprintln!("[gate] {:40} {} ({detail})", name, if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            failures.push(format!("{name}: {detail}"));
+        }
+    };
+
+    gate(
+        "eventq speedup >= 2.0x",
+        cur.eventq.speedup >= MIN_SPEEDUP,
+        format!("measured {:.2}x", cur.eventq.speedup),
+    );
+    gate(
+        "eventq speedup vs baseline",
+        cur.eventq.speedup >= base.eventq.speedup / TOLERANCE,
+        format!(
+            "measured {:.2}x, baseline {:.2}x, floor {:.2}x",
+            cur.eventq.speedup,
+            base.eventq.speedup,
+            base.eventq.speedup / TOLERANCE
+        ),
+    );
+
+    let scale = cur.eventq.heap_events_per_sec / base.eventq.heap_events_per_sec;
+    let f3_norm = cur.f3_1024.wall_seconds * scale;
+    gate(
+        "f3 1024-node wall (normalized)",
+        f3_norm <= base.f3_1024.wall_seconds * WALL_TOLERANCE,
+        format!(
+            "normalized {:.3}s (raw {:.3}s, machine scale {:.2}), ceiling {:.3}s",
+            f3_norm,
+            cur.f3_1024.wall_seconds,
+            scale,
+            base.f3_1024.wall_seconds * WALL_TOLERANCE
+        ),
+    );
+
+    let eng_norm = cur.engine.events_dispatched_per_sec / scale;
+    gate(
+        "engine dispatch rate (normalized)",
+        eng_norm >= base.engine.events_dispatched_per_sec / WALL_TOLERANCE,
+        format!(
+            "normalized {:.0}/s, floor {:.0}/s",
+            eng_norm,
+            base.engine.events_dispatched_per_sec / WALL_TOLERANCE
+        ),
+    );
+
+    if let Some(a) = cur.allocs_per_message_eager {
+        gate(
+            "eager allocs per message == 0",
+            a == 0.0,
+            format!("measured {a}"),
+        );
+    } else {
+        eprintln!("[gate] eager allocs per message: counting allocator not installed, skipped");
+    }
+    failures
+}
+
+/// Entry point for `figures -- perf [--update|--check] [--baseline P]`.
+/// Returns the process exit code.
+pub fn run_perf(args: &[String]) -> i32 {
+    let update = args.iter().any(|a| a == "--update");
+    let check = args.iter().any(|a| a == "--check");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(BASELINE_PATH);
+
+    let samples = 3;
+    eprintln!("[perf] measuring (best of {samples})...");
+    let report = measure(samples);
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    println!("{json}");
+
+    if update {
+        std::fs::write(baseline_path, format!("{json}\n")).expect("write baseline");
+        eprintln!("[perf] baseline written to {baseline_path}");
+    }
+    if check {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("[perf] cannot read baseline {baseline_path}: {e}");
+                return 2;
+            }
+        };
+        let base: PerfReport = match serde_json::from_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("[perf] cannot parse baseline {baseline_path}: {e}");
+                return 2;
+            }
+        };
+        let failures = check_gates(&report, &base);
+        if !failures.is_empty() {
+            eprintln!("[perf] REGRESSION: {} gate(s) failed", failures.len());
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            return 1;
+        }
+        eprintln!("[perf] all gates passed");
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_is_deterministic_and_equivalent() {
+        // Identical seed, identical workload: both queues must compute
+        // the same checksum (same events popped at the same times).
+        assert_eq!(churn_calendar(256, 2048), churn_heap(256, 2048));
+    }
+
+    #[test]
+    fn engine_measurement_publishes_gauge() {
+        let obs = polaris_obs::Obs::new();
+        let rep = measure_engine(1, &obs);
+        assert!(rep.events_dispatched >= 1024 * 1500);
+        assert!(rep.events_dispatched_per_sec > 0.0);
+        let expo = obs.prometheus();
+        assert!(
+            expo.contains("engine_events_dispatched_per_sec"),
+            "gauge must be in the registry exposition:\n{expo}"
+        );
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let rep = PerfReport {
+            schema: "polaris-simwall/1".into(),
+            eventq: EventqReport {
+                hold: 16384,
+                transactions: 131072,
+                calendar_events_per_sec: 2.0e8,
+                heap_events_per_sec: 5.0e7,
+                speedup: 4.0,
+            },
+            engine: EngineReport {
+                events_dispatched: 1_536_000,
+                events_dispatched_per_sec: 3.0e7,
+            },
+            f3_1024: F3Report {
+                nodes: 1024,
+                wall_seconds: 1.5,
+                messages: 100_000,
+                messages_per_sec: 66_666.0,
+            },
+            allocs_per_message_eager: Some(0.0),
+            history: History {
+                f3_full_wall_seconds_heap_engine: 3.715,
+                f3_full_wall_seconds_this_pr: 1.734,
+                note: "n".into(),
+            },
+        };
+        let s = serde_json::to_string_pretty(&rep).unwrap();
+        let back: PerfReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.eventq.hold, 16384);
+        assert_eq!(back.allocs_per_message_eager, Some(0.0));
+        assert_eq!(back.f3_1024.nodes, 1024);
+    }
+
+    #[test]
+    fn gates_pass_on_self_and_fail_on_regression() {
+        let mk = |speedup: f64, wall: f64| PerfReport {
+            schema: "polaris-simwall/1".into(),
+            eventq: EventqReport {
+                hold: 16384,
+                transactions: 131072,
+                calendar_events_per_sec: 5.0e7 * speedup,
+                heap_events_per_sec: 5.0e7,
+                speedup,
+            },
+            engine: EngineReport {
+                events_dispatched: 1_536_000,
+                events_dispatched_per_sec: 3.0e7,
+            },
+            f3_1024: F3Report {
+                nodes: 1024,
+                wall_seconds: wall,
+                messages: 100_000,
+                messages_per_sec: 100_000.0 / wall,
+            },
+            allocs_per_message_eager: Some(0.0),
+            history: History {
+                f3_full_wall_seconds_heap_engine: 3.715,
+                f3_full_wall_seconds_this_pr: 1.734,
+                note: "n".into(),
+            },
+        };
+        let base = mk(3.0, 1.5);
+        // Identical run passes every gate.
+        assert!(check_gates(&base, &base).is_empty());
+        // A 2x wall regression trips the normalized-wall gate (same
+        // heap throughput, so scale = 1).
+        let slow = mk(3.0, 3.0);
+        assert!(!check_gates(&slow, &base).is_empty());
+        // Losing the speedup trips both speedup gates.
+        let flat = mk(1.2, 1.5);
+        assert!(check_gates(&flat, &base).len() >= 2);
+    }
+}

@@ -16,9 +16,10 @@ use crate::allreduce::AllreduceAlgo;
 use crate::barrier::BarrierAlgo;
 use crate::bcast::{chunk_range, BcastAlgo};
 use polaris_simnet::engine::{run, Scheduler, World};
+use polaris_simnet::fasthash::FastHashMap;
 use polaris_simnet::network::Network;
 use polaris_simnet::time::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One step of a rank's schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -328,10 +329,14 @@ struct SimExec<'a> {
     net: &'a mut Network,
     params: ExecParams,
     ranks: Vec<RankState>,
-    /// (from, to) -> FIFO of message arrival times.
-    mailboxes: HashMap<(u32, u32), VecDeque<SimTime>>,
-    /// Ranks blocked in a Recv, keyed by (from, to).
-    blocked: HashMap<(u32, u32), u32>,
+    /// Per-receiver mailboxes: `mailboxes[to]` maps sender -> FIFO of
+    /// message arrival times. Keying the hot map on a single u32 (the
+    /// sender) keeps the hash to one multiply; lookups only, never
+    /// iterated, so determinism is unaffected.
+    mailboxes: Vec<FastHashMap<u32, VecDeque<SimTime>>>,
+    /// `waiting_on[r]` is the sender rank `r` is blocked receiving from
+    /// (a rank blocks on at most one peer at a time).
+    waiting_on: Vec<Option<u32>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -355,21 +360,22 @@ impl World for SimExec<'_> {
             SchedOp::Send { to, bytes } => {
                 let t = now + self.params.overhead;
                 let delivery = self.net.transfer(t, r, to, bytes);
-                self.mailboxes
-                    .entry((r, to))
+                self.mailboxes[to as usize]
+                    .entry(r)
                     .or_default()
                     .push_back(delivery.arrival);
                 self.ranks[rank].pc += 1;
                 sched.at(t, Ev::Step(r));
                 // Wake the receiver if it is already waiting on us.
-                if let Some(waiter) = self.blocked.remove(&(r, to)) {
-                    let wake = self.ranks[waiter as usize].time.max(delivery.arrival);
-                    sched.at(wake, Ev::Step(waiter));
+                if self.waiting_on[to as usize] == Some(r) {
+                    self.waiting_on[to as usize] = None;
+                    let wake = self.ranks[to as usize].time.max(delivery.arrival);
+                    sched.at(wake, Ev::Step(to));
                 }
             }
             SchedOp::Recv { from } => {
-                let key = (from, r);
-                let arrival = self.mailboxes.get_mut(&key).and_then(|q| {
+                let mailbox = self.mailboxes[rank].get_mut(&from);
+                let arrival = mailbox.and_then(|q| {
                     if q.front().is_some_and(|&a| a <= now) {
                         q.pop_front()
                     } else {
@@ -384,10 +390,10 @@ impl World for SimExec<'_> {
                     None => {
                         // Either nothing has been sent yet, or it arrives
                         // in the future.
-                        if let Some(&a) = self.mailboxes.get(&key).and_then(|q| q.front()) {
+                        if let Some(&a) = self.mailboxes[rank].get(&from).and_then(|q| q.front()) {
                             sched.at(a.max(now), Ev::Step(r));
                         } else {
-                            self.blocked.insert(key, r);
+                            self.waiting_on[rank] = Some(from);
                         }
                     }
                 }
@@ -435,10 +441,11 @@ pub fn simulate_collective(
         net,
         params,
         ranks,
-        mailboxes: HashMap::new(),
-        blocked: HashMap::new(),
+        mailboxes: (0..p).map(|_| FastHashMap::default()).collect(),
+        waiting_on: vec![None; p as usize],
     };
-    let mut sched = Scheduler::new();
+    // Live population peaks around one in-flight event per rank.
+    let mut sched = Scheduler::with_capacity(p as usize);
     for r in 0..p {
         sched.at(SimTime::ZERO, Ev::Step(r));
     }

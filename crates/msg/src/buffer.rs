@@ -14,6 +14,7 @@
 //! difference.
 
 use polaris_nic::prelude::{MemoryRegion, Nic, NicResult, ProtectionDomain, Rkey};
+use polaris_obs::Counter;
 use std::collections::BTreeMap;
 
 /// A registered message buffer with a logical length within a (possibly
@@ -180,6 +181,82 @@ impl BufferPool {
     }
 }
 
+/// Statistics for the wire-frame free list.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FramePoolStats {
+    /// Acquisitions satisfied by reusing a pooled vector.
+    pub hits: u64,
+    /// Acquisitions that had to allocate a fresh vector.
+    pub misses: u64,
+}
+
+/// A free list of plain byte vectors reused for wire frames: reliable
+/// eager frames on the TX side (built, retransmitted, released when
+/// acknowledged) and bounce-buffer copies / parked unexpected payloads on
+/// the RX side. In steady state every frame is recycled, so the eager
+/// data path stops paying one heap allocation per message.
+pub struct FramePool {
+    free: Vec<Vec<u8>>,
+    /// Maximum number of retained vectors; excess releases just drop.
+    capacity: usize,
+    stats: FramePoolStats,
+    hits_ctr: Option<Counter>,
+    misses_ctr: Option<Counter>,
+}
+
+impl FramePool {
+    pub fn new(capacity: usize) -> Self {
+        FramePool {
+            free: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            stats: FramePoolStats::default(),
+            hits_ctr: None,
+            misses_ctr: None,
+        }
+    }
+
+    /// Publish hit/miss counts through the observability registry
+    /// (`frame_pool_hits_total` / `frame_pool_misses_total`).
+    pub fn set_obs(&mut self, hits: Counter, misses: Counter) {
+        self.hits_ctr = Some(hits);
+        self.misses_ctr = Some(misses);
+    }
+
+    /// Get an empty vector with at least `capacity` bytes of room.
+    pub fn acquire(&mut self, capacity: usize) -> Vec<u8> {
+        if let Some(mut v) = self.free.pop() {
+            self.stats.hits += 1;
+            if let Some(c) = &self.hits_ctr {
+                c.inc();
+            }
+            v.clear();
+            v.reserve(capacity);
+            return v;
+        }
+        self.stats.misses += 1;
+        if let Some(c) = &self.misses_ctr {
+            c.inc();
+        }
+        Vec::with_capacity(capacity)
+    }
+
+    /// Return a vector for reuse. Dropped (not retained) once the pool
+    /// holds `capacity` vectors.
+    pub fn release(&mut self, frame: Vec<u8>) {
+        if self.free.len() < self.capacity && frame.capacity() > 0 {
+            self.free.push(frame);
+        }
+    }
+
+    pub fn stats(&self) -> FramePoolStats {
+        self.stats
+    }
+
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +328,34 @@ mod tests {
         assert_eq!(p.stats().hits, 0);
         assert_eq!(p.stats().misses, 2);
         assert_eq!(p.cached(), 0);
+    }
+
+    #[test]
+    fn frame_pool_recycles_vectors() {
+        let mut p = FramePool::new(4);
+        let f = p.acquire(128);
+        assert!(f.capacity() >= 128);
+        assert_eq!(p.stats().misses, 1);
+        let ptr = f.as_ptr();
+        p.release(f);
+        assert_eq!(p.pooled(), 1);
+        let f2 = p.acquire(64);
+        assert_eq!(f2.as_ptr(), ptr, "same storage reused");
+        assert!(f2.is_empty());
+        assert_eq!(p.stats().hits, 1);
+        p.release(f2);
+    }
+
+    #[test]
+    fn frame_pool_capacity_bounds_retention() {
+        let mut p = FramePool::new(1);
+        p.release(Vec::with_capacity(8));
+        p.release(Vec::with_capacity(8)); // beyond capacity: dropped
+        assert_eq!(p.pooled(), 1);
+        // Zero-capacity vectors are not worth retaining.
+        let mut p2 = FramePool::new(4);
+        p2.release(Vec::new());
+        assert_eq!(p2.pooled(), 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! threads (the virtual NIC executes transfers on the posting thread),
 //! and the CQ's internal lock provides the happens-before edge.
 
-use crate::buffer::{BufferPool, MsgBuf, PoolStats};
+use crate::buffer::{BufferPool, FramePool, FramePoolStats, MsgBuf, PoolStats};
 use crate::config::{MsgConfig, Protocol, RendezvousMode};
 use crate::envelope::{rel_seq, rel_src, stamp_rel, Envelope, HEADER_LEN};
 use crate::match_engine::{MatchEngine, MatchSpec};
@@ -285,6 +285,11 @@ pub struct Endpoint {
     /// buffer table, indexed by the wr_id slot.
     srq: Option<(SharedReceiveQueue, Vec<MemoryRegion>)>,
     pool: BufferPool,
+    /// Recycled wire-frame vectors (reliability frames, parked payloads).
+    frames: FramePool,
+    /// Scratch buffer for batched CQ polling; reused across progress
+    /// calls so steady-state polling is allocation-free.
+    cq_scratch: Vec<Cqe>,
     /// Send bounce slots; `None` while in flight.
     tx_slots: Vec<Option<MemoryRegion>>,
     tx_free: Vec<usize>,
@@ -374,11 +379,13 @@ impl Endpoint {
                 peers,
                 srq,
                 pool,
+                frames: FramePool::new(cfg.send_pool_size.max(64)),
+                cq_scratch: Vec::with_capacity(64),
                 tx_slots,
                 tx_free,
                 matcher: MatchEngine::new(),
-                sends: HashMap::new(),
-                recvs: HashMap::new(),
+                sends: HashMap::with_capacity(64),
+                recvs: HashMap::with_capacity(64),
                 write_pending: HashMap::new(),
                 write_bufs: HashMap::new(),
                 sends_return_original: HashMap::new(),
@@ -419,7 +426,7 @@ impl Endpoint {
                     for (idx, mr) in bufs.iter().enumerate() {
                         srq.post_recv(RecvWr::new(
                             rx_wr_id(SRQ_PEER, idx as u32),
-                            vec![Sge::whole(mr)],
+                            SgeList::single(Sge::whole(mr)),
                         ))?;
                     }
                 }
@@ -428,7 +435,7 @@ impl Endpoint {
                         for (idx, mr) in ps.rx_bufs.iter().enumerate() {
                             ps.qp.post_recv(RecvWr::new(
                                 rx_wr_id(peer as u32, idx as u32),
-                                vec![Sge::whole(mr)],
+                                SgeList::single(Sge::whole(mr)),
                             ))?;
                         }
                     }
@@ -453,6 +460,10 @@ impl Endpoint {
         self.matcher.set_obs(
             obs.counter("msg_match_hits_total", &labels),
             obs.counter("msg_match_parked_total", &labels),
+        );
+        self.frames.set_obs(
+            obs.counter("frame_pool_hits_total", &labels),
+            obs.counter("frame_pool_misses_total", &labels),
         );
         self.obs = Some(EpObs {
             clock: 0,
@@ -521,6 +532,10 @@ impl Endpoint {
         self.pool.stats()
     }
 
+    pub fn frame_pool_stats(&self) -> FramePoolStats {
+        self.frames.stats()
+    }
+
     /// Allocate a registered message buffer (through the registration
     /// cache).
     pub fn alloc(&mut self, len: usize) -> MsgResult<MsgBuf> {
@@ -569,6 +584,7 @@ impl Endpoint {
                 Parked::Data { data, extra_copies } => {
                     self.stats.host_copies += extra_copies;
                     self.deliver_data(req, buf, src, tag, &data);
+                    self.frames.release(data);
                 }
                 Parked::Rts { len, msg_id, rkey } => {
                     self.start_rendezvous_recv(req, buf, src, tag, len, msg_id, rkey)?;
@@ -714,14 +730,22 @@ impl Endpoint {
     /// (when reliability is on) sweep retransmission timers. Returns the
     /// number of completions processed.
     pub fn progress(&mut self) -> usize {
-        let cqes = match self.cq.poll(64) {
-            Ok(c) => c,
-            Err(_) => return 0,
+        // The scratch is taken out of `self` for the duration of the
+        // drain: `handle_cqe` may recurse into slot acquisition, which
+        // must not observe a half-consumed buffer.
+        let mut scratch = std::mem::take(&mut self.cq_scratch);
+        let n = match self.cq.poll_into(&mut scratch, 64) {
+            Ok(n) => n,
+            Err(_) => {
+                self.cq_scratch = scratch;
+                return 0;
+            }
         };
-        let n = cqes.len();
-        for cqe in cqes {
+        for &cqe in &scratch {
             self.handle_cqe(cqe);
         }
+        scratch.clear();
+        self.cq_scratch = scratch;
         if self.cfg.reliability.enabled && !self.down {
             self.rel_tick();
         }
@@ -958,11 +982,11 @@ impl Endpoint {
         let wire_len = HEADER_LEN + buf.len();
         self.peers[dst as usize].qp.post_send(SendWr::Send {
             wr_id: K_TX_BOUNCE | slot as u64,
-            sges: vec![Sge {
+            sges: SgeList::single(Sge {
                 mr: mr.clone(),
                 offset: 0,
                 len: wire_len,
-            }],
+            }),
             imm: None,
         })?;
         self.tx_slots[slot] = Some(mr);
@@ -1029,11 +1053,11 @@ impl Endpoint {
         let slot = self.acquire_tx_slot()?;
         let mr = self.tx_slots[slot].take().expect("slot acquired");
         mr.write_at(0, &env.encode())?;
-        let mut sges = vec![Sge {
+        let mut sges = SgeList::single(Sge {
             mr: mr.clone(),
             offset: 0,
             len: HEADER_LEN,
-        }];
+        });
         for (off, len) in layout.blocks() {
             if len > 0 {
                 sges.push(Sge {
@@ -1124,11 +1148,11 @@ impl Endpoint {
                 }
                 self.peers[src as usize].qp.post_send(SendWr::RdmaRead {
                     wr_id: K_RDMA_READ | req,
-                    sges: vec![Sge {
+                    sges: SgeList::single(Sge {
                         mr: buf.region().clone(),
                         offset: 0,
                         len,
-                    }],
+                    }),
                     remote: RemoteAddr {
                         node: NodeId(src),
                         rkey: Rkey(rkey),
@@ -1212,11 +1236,11 @@ impl Endpoint {
             self.stats.sockets_segments += 1;
             self.peers[dst as usize].qp.post_send(SendWr::Send {
                 wr_id: K_TX_BOUNCE | slot as u64,
-                sges: vec![Sge {
+                sges: SgeList::single(Sge {
                     mr: mr.clone(),
                     offset: 0,
                     len: HEADER_LEN + len,
-                }],
+                }),
                 imm: None,
             })?;
             self.tx_slots[slot] = Some(mr);
@@ -1350,8 +1374,10 @@ impl Endpoint {
         }
         if self.cfg.reliability.enabled {
             // Copy the frame off the bounce buffer so it can be reposted
-            // immediately and out-of-order frames can be parked.
-            let mut frame = vec![0u8; cqe.byte_len.max(HEADER_LEN)];
+            // immediately and out-of-order frames can be parked. The
+            // vector comes from (and returns to) the frame pool.
+            let mut frame = self.frames.acquire(cqe.byte_len.max(HEADER_LEN));
+            frame.resize(cqe.byte_len.max(HEADER_LEN), 0);
             self.rx_buffer(peer, idx)
                 .read_at(0, &mut frame)
                 .expect("bounce frame");
@@ -1372,7 +1398,8 @@ impl Endpoint {
                     }
                 } else {
                     self.stats.unexpected_arrivals += 1;
-                    let mut data = vec![0u8; len];
+                    let mut data = self.frames.acquire(len);
+                    data.resize(len, 0);
                     mr.read_at(HEADER_LEN, &mut data).expect("bounce payload");
                     self.count_copy(len);
                     self.matcher.park(
@@ -1475,11 +1502,11 @@ impl Endpoint {
             let len = buf.len();
             let r = self.peers[dst as usize].qp.post_send(SendWr::RdmaWriteImm {
                 wr_id: K_RDMA_WRITE | msg_id,
-                sges: vec![Sge {
+                sges: SgeList::single(Sge {
                     mr: buf.region().clone(),
                     offset: 0,
                     len,
-                }],
+                }),
                 remote: RemoteAddr {
                     node: NodeId(dst),
                     rkey: Rkey(rkey),
@@ -1534,16 +1561,20 @@ impl Endpoint {
     /// Dedup, reorder, acknowledge, and dispatch one received frame.
     fn handle_reliable_frame(&mut self, frame: Vec<u8>) {
         let Some(env) = Envelope::decode(&frame) else {
-            return; // unparseable frame: drop; the sender retransmits
+            // Unparseable frame: drop; the sender retransmits.
+            self.frames.release(frame);
+            return;
         };
         if let Envelope::Ack { src, acked, cum } = env {
             self.handle_ack(src, acked, cum);
+            self.frames.release(frame);
             return;
         }
         let seq = rel_seq(&frame);
         if seq == 0 {
             // Unsequenced frame (peer running without reliability).
             self.process_frame(&frame);
+            self.frames.release(frame);
             return;
         }
         let src = rel_src(&frame);
@@ -1555,6 +1586,7 @@ impl Endpoint {
                 o.dups.inc();
             }
             self.send_ack(src, seq);
+            self.frames.release(frame);
             return;
         }
         if seq != rel.rx_cum + 1 {
@@ -1567,6 +1599,7 @@ impl Endpoint {
         rel.rx_cum = seq;
         self.send_ack(src, seq);
         self.process_frame(&frame);
+        self.frames.release(frame);
         // The gap may have been the only thing holding back later
         // frames; drain them in order.
         loop {
@@ -1577,6 +1610,7 @@ impl Endpoint {
             };
             rel.rx_cum = next;
             self.process_frame(&parked);
+            self.frames.release(parked);
         }
     }
 
@@ -1595,7 +1629,8 @@ impl Endpoint {
                     }
                 } else {
                     self.stats.unexpected_arrivals += 1;
-                    let data = payload.to_vec();
+                    let mut data = self.frames.acquire(len);
+                    data.extend_from_slice(payload);
                     self.count_copy(len);
                     self.matcher.park(
                         src,
@@ -1737,14 +1772,14 @@ impl Endpoint {
             let (srq, bufs) = self.srq.as_ref().expect("SRQ slot without SRQ");
             srq.post_recv(RecvWr::new(
                 rx_wr_id(SRQ_PEER, idx),
-                vec![Sge::whole(&bufs[idx as usize])],
+                SgeList::single(Sge::whole(&bufs[idx as usize])),
             ))
             .expect("repost pooled recv");
         } else {
             let ps = &self.peers[peer as usize];
             let mr = &ps.rx_bufs[idx as usize];
             ps.qp
-                .post_recv(RecvWr::new(rx_wr_id(peer, idx), vec![Sge::whole(mr)]))
+                .post_recv(RecvWr::new(rx_wr_id(peer, idx), SgeList::single(Sge::whole(mr))))
                 .expect("repost bounce recv");
         }
     }
@@ -1772,7 +1807,7 @@ impl Endpoint {
         let seq = rel.next_seq;
         let mut header = env.encode();
         stamp_rel(&mut header, seq, self.rank);
-        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        let mut frame = self.frames.acquire(HEADER_LEN + payload.len());
         frame.extend_from_slice(&header);
         frame.extend_from_slice(payload);
         frame
@@ -1806,11 +1841,11 @@ impl Endpoint {
         }
         let r = self.peers[dst as usize].qp.post_send(SendWr::Send {
             wr_id: K_TX_BOUNCE | slot as u64,
-            sges: vec![Sge {
+            sges: SgeList::single(Sge {
                 mr: mr.clone(),
                 offset: 0,
                 len: frame.len(),
-            }],
+            }),
             imm: None,
         });
         self.tx_slots[slot] = Some(mr);
@@ -1838,7 +1873,9 @@ impl Endpoint {
         p.retries += 1;
         p.rto = (p.rto * 2).min(rto_max);
         let rto = p.rto;
-        let frame = p.frame.clone();
+        // Take the frame instead of cloning it; it is put back (or
+        // released to the pool if the entry vanished) after the repost.
+        let frame = std::mem::take(&mut p.frame);
         let deadline = Instant::now() + self.jittered(rto);
         self.rel[peer as usize]
             .pending
@@ -1857,7 +1894,12 @@ impl Endpoint {
                 &[("seq", seq), ("rto_us", rto.as_micros() as u64)],
             );
         }
-        self.post_frame(peer, &frame, Some(seq))
+        let r = self.post_frame(peer, &frame, Some(seq));
+        match self.rel[peer as usize].pending.get_mut(&seq) {
+            Some(p) => p.frame = frame,
+            None => self.frames.release(frame),
+        }
+        r
     }
 
     /// Sweep retransmission timers; escalate exhausted budgets to peer
@@ -1902,13 +1944,18 @@ impl Endpoint {
     /// An ACK from `src`: retire the specific frame and everything at or
     /// below the cumulative watermark.
     fn handle_ack(&mut self, src: u32, acked: u64, cum: u64) {
-        let rel = &mut self.rel[src as usize];
-        rel.pending.remove(&acked);
+        let Endpoint { rel, frames, .. } = self;
+        let rel = &mut rel[src as usize];
+        if let Some(p) = rel.pending.remove(&acked) {
+            frames.release(p.frame);
+        }
         while let Some((&seq, _)) = rel.pending.first_key_value() {
             if seq > cum {
                 break;
             }
-            rel.pending.remove(&seq);
+            if let Some(p) = rel.pending.remove(&seq) {
+                frames.release(p.frame);
+            }
         }
     }
 

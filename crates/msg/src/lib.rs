@@ -46,7 +46,7 @@ pub mod match_engine;
 pub mod model;
 
 pub mod prelude {
-    pub use crate::buffer::{BufferPool, MsgBuf, PoolStats};
+    pub use crate::buffer::{BufferPool, FramePool, FramePoolStats, MsgBuf, PoolStats};
     pub use crate::config::{MsgConfig, Protocol, Reliability, RendezvousMode};
     pub use crate::datatype::Layout;
     pub use crate::endpoint::{Endpoint, EndpointStats, MsgError, MsgResult, RecvInfo, ReqId};

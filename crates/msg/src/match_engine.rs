@@ -147,19 +147,17 @@ impl<R, P> MatchEngine<R, P> {
     /// a dead source).
     pub fn cancel_posted<F: Fn(&MatchSpec) -> bool>(&mut self, pred: F) -> Vec<R> {
         let mut cancelled = Vec::new();
-        let kept: VecDeque<Posted<R>> = self
-            .posted
-            .drain(..)
-            .filter_map(|p| {
-                if pred(&p.spec) {
-                    cancelled.push(p.req);
-                    None
-                } else {
-                    Some(p)
-                }
-            })
-            .collect();
-        self.posted = kept;
+        // Rotate the deque through itself once: kept entries cycle to the
+        // back in their original order, cancelled ones are extracted. No
+        // reallocation — the deque keeps its storage.
+        for _ in 0..self.posted.len() {
+            let p = self.posted.pop_front().expect("length-bounded");
+            if pred(&p.spec) {
+                cancelled.push(p.req);
+            } else {
+                self.posted.push_back(p);
+            }
+        }
         cancelled
     }
 
@@ -263,6 +261,27 @@ mod tests {
         assert_eq!(e.probe(MatchSpec::exact(3, 30)), Some((3, 30)));
         assert_eq!(e.probe(MatchSpec::exact(3, 31)), None);
         assert_eq!(e.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn cancel_posted_extracts_in_place() {
+        let mut e = Eng::new();
+        for i in 0..8u64 {
+            let src = if i % 2 == 0 { 1 } else { 2 };
+            e.post_recv(MatchSpec::exact(src, i), i);
+        }
+        let cap = e.posted.capacity();
+        let cancelled = e.cancel_posted(|s| s.src == Some(1));
+        assert_eq!(cancelled, vec![0, 2, 4, 6]);
+        // Survivors keep FIFO order and the deque keeps its storage.
+        let kept: Vec<u64> = e.posted.iter().map(|p| p.req).collect();
+        assert_eq!(kept, vec![1, 3, 5, 7]);
+        assert_eq!(e.posted.capacity(), cap, "no reallocation");
+        // A sweep matching nothing returns a non-allocating empty vec.
+        let none = e.cancel_posted(|s| s.src == Some(9));
+        assert!(none.is_empty());
+        assert_eq!(none.capacity(), 0);
+        assert_eq!(e.posted_len(), 4);
     }
 
     #[test]

@@ -114,10 +114,22 @@ impl CompletionQueue {
 
     /// Non-blocking poll of up to `max` completions.
     pub fn poll(&self, max: usize) -> Result<Vec<Cqe>> {
+        let mut out = Vec::new();
+        self.poll_into(&mut out, max)?;
+        Ok(out)
+    }
+
+    /// Non-blocking batched poll of up to `max` completions, appended to
+    /// a caller-owned scratch buffer (cleared first). The progress loops
+    /// call this every iteration; reusing the buffer keeps steady-state
+    /// polling allocation-free. Returns the number of entries reaped.
+    pub fn poll_into(&self, out: &mut Vec<Cqe>, max: usize) -> Result<usize> {
         self.check_overflow()?;
+        out.clear();
         let mut q = self.inner.queue.lock();
         let n = max.min(q.len());
-        Ok(q.drain(..n).collect())
+        out.extend(q.drain(..n));
+        Ok(n)
     }
 
     /// Non-blocking poll of a single completion.
@@ -225,6 +237,23 @@ mod tests {
         assert_eq!(cq.poll(10).unwrap().len(), 2);
         assert!(cq.poll_one().unwrap().is_none());
         assert_eq!(cq.delivered(), 5);
+    }
+
+    #[test]
+    fn poll_into_reuses_buffer_without_realloc() {
+        let cq = CompletionQueue::new(64);
+        let mut scratch = Vec::with_capacity(32);
+        let cap = scratch.capacity();
+        for round in 0..10u64 {
+            for i in 0..8 {
+                cq.push(cqe(round * 8 + i));
+            }
+            let n = cq.poll_into(&mut scratch, 32).unwrap();
+            assert_eq!(n, 8);
+            assert_eq!(scratch.len(), 8);
+            assert_eq!(scratch[0].wr_id, round * 8);
+            assert_eq!(scratch.capacity(), cap, "scratch must not regrow");
+        }
     }
 
     #[test]

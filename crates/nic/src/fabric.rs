@@ -428,7 +428,7 @@ mod tests {
         p.a
             .post_send(SendWr::Send {
                 wr_id: 2,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 imm: Some(99),
             })
             .unwrap();
@@ -454,7 +454,7 @@ mod tests {
         p.a
             .post_send(SendWr::Send {
                 wr_id: 1,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 imm: None,
             })
             .unwrap();
@@ -486,7 +486,7 @@ mod tests {
             p.a
                 .post_send(SendWr::Send {
                     wr_id: i as u64,
-                    sges: vec![Sge::whole(&src)],
+                    sges: crate::sge_list![Sge::whole(&src)],
                     imm: None,
                 })
                 .unwrap();
@@ -507,7 +507,7 @@ mod tests {
         p.a
             .post_send(SendWr::RdmaWrite {
                 wr_id: 5,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 remote: RemoteAddr {
                     node: p.b.node(),
                     rkey: dst.rkey(),
@@ -535,7 +535,7 @@ mod tests {
         p.a
             .post_send(SendWr::RdmaWriteImm {
                 wr_id: 6,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 remote: RemoteAddr {
                     node: p.b.node(),
                     rkey: dst.rkey(),
@@ -559,7 +559,7 @@ mod tests {
         p.a
             .post_send(SendWr::RdmaRead {
                 wr_id: 9,
-                sges: vec![Sge::whole(&local_dst)],
+                sges: crate::sge_list![Sge::whole(&local_dst)],
                 remote: RemoteAddr {
                     node: p.b.node(),
                     rkey: remote_src.rkey(),
@@ -580,7 +580,7 @@ mod tests {
         p.a
             .post_send(SendWr::RdmaWrite {
                 wr_id: 1,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 remote: RemoteAddr {
                     node: p.b.node(),
                     rkey: Rkey(0xdead),
@@ -602,7 +602,7 @@ mod tests {
         p.a
             .post_send(SendWr::RdmaWrite {
                 wr_id: 1,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 remote: RemoteAddr {
                     node: p.b.node(),
                     rkey,
@@ -622,7 +622,7 @@ mod tests {
         p.a
             .post_send(SendWr::RdmaWrite {
                 wr_id: 1,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 remote: RemoteAddr {
                     node: p.b.node(),
                     rkey: dst.rkey(),
@@ -647,7 +647,7 @@ mod tests {
         p.a
             .post_send(SendWr::Send {
                 wr_id: 2,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 imm: None,
             })
             .unwrap();
@@ -770,7 +770,7 @@ mod tests {
         // Sends are not.
         let r = qp.post_send(SendWr::Send {
             wr_id: 1,
-            sges: vec![Sge::whole(&mr)],
+            sges: crate::sge_list![Sge::whole(&mr)],
             imm: None,
         });
         assert!(matches!(r, Err(NicError::InvalidQpState { .. })));
@@ -783,7 +783,7 @@ mod tests {
         let mr = p.nic_a.register(other_pd, 8).unwrap();
         let r = p.a.post_send(SendWr::Send {
             wr_id: 1,
-            sges: vec![Sge::whole(&mr)],
+            sges: crate::sge_list![Sge::whole(&mr)],
             imm: None,
         });
         assert_eq!(r, Err(NicError::PdMismatch));
@@ -805,7 +805,7 @@ mod tests {
         p.a
             .post_send(SendWr::Send {
                 wr_id: 2,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 imm: None,
             })
             .unwrap();
@@ -826,7 +826,7 @@ mod tests {
         p.a
             .post_send(SendWr::Send {
                 wr_id: 2,
-                sges: vec![Sge::whole(&a1), Sge::whole(&a2)],
+                sges: crate::sge_list![Sge::whole(&a1), Sge::whole(&a2)],
                 imm: None,
             })
             .unwrap();
@@ -853,7 +853,7 @@ mod tests {
                 reply.write_at(0, &buf.to_vec(0, 8).unwrap()).unwrap();
                 b.post_send(SendWr::Send {
                     wr_id: 1000 + i,
-                    sges: vec![Sge::whole(&reply)],
+                    sges: crate::sge_list![Sge::whole(&reply)],
                     imm: None,
                 })
                 .unwrap();
@@ -872,7 +872,7 @@ mod tests {
             p.a
                 .post_send(SendWr::Send {
                     wr_id: 500 + i,
-                    sges: vec![Sge::whole(&out)],
+                    sges: crate::sge_list![Sge::whole(&out)],
                     imm: None,
                 })
                 .unwrap();
@@ -906,7 +906,7 @@ mod tests {
         p.b.post_recv(RecvWr::new(1, vec![Sge::whole(&dst)])).unwrap();
         p.a.post_send(SendWr::Send {
             wr_id: 2,
-            sges: vec![Sge::whole(&src)],
+            sges: crate::sge_list![Sge::whole(&src)],
             imm: None,
         })
         .unwrap();
@@ -929,7 +929,7 @@ mod tests {
         p.b.post_recv(RecvWr::new(1, vec![Sge::whole(&dst)])).unwrap();
         p.a.post_send(SendWr::Send {
             wr_id: 2,
-            sges: vec![Sge::whole(&src)],
+            sges: crate::sge_list![Sge::whole(&src)],
             imm: None,
         })
         .unwrap();
@@ -954,7 +954,7 @@ mod tests {
         p.b.post_recv(RecvWr::new(1, vec![Sge::whole(&dst)])).unwrap();
         p.a.post_send(SendWr::Send {
             wr_id: 2,
-            sges: vec![Sge::whole(&src)],
+            sges: crate::sge_list![Sge::whole(&src)],
             imm: None,
         })
         .unwrap();
@@ -977,7 +977,7 @@ mod tests {
                     p.b.post_recv(RecvWr::new(i, vec![Sge::whole(&dst)])).unwrap();
                     p.a.post_send(SendWr::Send {
                         wr_id: 1000 + i,
-                        sges: vec![Sge::whole(&src)],
+                        sges: crate::sge_list![Sge::whole(&src)],
                         imm: None,
                     })
                     .unwrap();
@@ -1000,7 +1000,7 @@ mod tests {
         let dst = p.nic_b.register(p.pd_b, 8).unwrap();
         p.a.post_send(SendWr::RdmaWrite {
             wr_id: 1,
-            sges: vec![Sge::whole(&src)],
+            sges: crate::sge_list![Sge::whole(&src)],
             remote: RemoteAddr {
                 node: p.b.node(),
                 rkey: dst.rkey(),

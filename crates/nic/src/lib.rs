@@ -28,7 +28,7 @@
 //! let src = na.register_from(pa, b"hello").unwrap();
 //! let dst = nb.register(pb, 16).unwrap();
 //! qb.post_recv(RecvWr::new(1, vec![Sge::whole(&dst)])).unwrap();
-//! qa.post_send(SendWr::Send { wr_id: 2, sges: vec![Sge::whole(&src)], imm: None }).unwrap();
+//! qa.post_send(SendWr::Send { wr_id: 2, sges: polaris_nic::sge_list![Sge::whole(&src)], imm: None }).unwrap();
 //! let cqe = cb.wait_one(Duration::from_secs(1)).unwrap();
 //! assert_eq!(cqe.byte_len, 5);
 //! assert_eq!(dst.to_vec(0, 5).unwrap(), b"hello");
@@ -53,5 +53,5 @@ pub mod prelude {
     pub use crate::qp::{QpState, QueuePair};
     pub use crate::srq::SharedReceiveQueue;
     pub use crate::types::{Lkey, NodeId, PdId, QpNum, RemoteAddr, Rkey};
-    pub use crate::wr::{sge_len, RecvWr, SendWr, Sge};
+    pub use crate::wr::{sge_len, RecvWr, SendWr, Sge, SgeList};
 }

@@ -15,7 +15,7 @@ use crate::fabric::FabricInner;
 use crate::srq::SharedReceiveQueue;
 use crate::mr::ProtectionDomain;
 use crate::types::{NodeId, QpNum, RemoteAddr};
-use crate::wr::{sge_len, RecvWr, SendWr, Sge};
+use crate::wr::{sge_len, RecvWr, SendWr, Sge, SgeList};
 use parking_lot::Mutex;
 use polaris_obs::{Counter, Obs};
 use std::collections::VecDeque;
@@ -52,7 +52,7 @@ pub(crate) enum Inbound {
     /// A two-sided send: the sender's gather list is held (keeping its
     /// regions alive) until a receive arrives to scatter into.
     Send {
-        sges: Vec<Sge>,
+        sges: SgeList,
         imm: Option<u32>,
         sender_cq: CompletionQueue,
         sender_qp: QpNum,

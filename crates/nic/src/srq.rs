@@ -179,7 +179,7 @@ mod tests {
                 .unwrap();
             qp.post_send(SendWr::Send {
                 wr_id: 100 + i as u64,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 imm: None,
             })
             .unwrap();
@@ -219,7 +219,7 @@ mod tests {
             let src = nic.register_from(qp.pd(), &[i as u8]).unwrap();
             qp.post_send(SendWr::Send {
                 wr_id: i as u64,
-                sges: vec![Sge::whole(&src)],
+                sges: crate::sge_list![Sge::whole(&src)],
                 imm: None,
             })
             .unwrap();

@@ -35,6 +35,167 @@ pub fn sge_len(sges: &[Sge]) -> usize {
     sges.iter().map(|s| s.len).sum()
 }
 
+/// Inline capacity of [`SgeList`]: almost every work request carries one
+/// element (a bounce slot or a whole user buffer), and a header+payload
+/// gather carries two. Longer lists (noncontiguous layouts) spill.
+pub const SGE_INLINE: usize = 2;
+
+/// A gather/scatter list that stores up to [`SGE_INLINE`] elements
+/// inline, spilling to the heap only beyond that. Posting a one- or
+/// two-element work request therefore allocates nothing, which is what
+/// keeps the eager fast path heap-free.
+///
+/// Invariant: when `len <= SGE_INLINE`, the first `len` inline slots are
+/// initialized and `spill` is empty; when `len > SGE_INLINE`, every
+/// element lives in `spill` (the inline slots were moved out and must
+/// not be dropped).
+pub struct SgeList {
+    inline: [std::mem::MaybeUninit<Sge>; SGE_INLINE],
+    spill: Vec<Sge>,
+    len: usize,
+}
+
+impl SgeList {
+    pub const fn new() -> Self {
+        SgeList {
+            inline: [
+                std::mem::MaybeUninit::uninit(),
+                std::mem::MaybeUninit::uninit(),
+            ],
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// The common case: a single-element list, built without touching
+    /// the heap.
+    pub fn single(sge: Sge) -> Self {
+        let mut l = SgeList::new();
+        l.push(sge);
+        l
+    }
+
+    pub fn push(&mut self, sge: Sge) {
+        if self.len < SGE_INLINE {
+            self.inline[self.len].write(sge);
+            self.len += 1;
+            return;
+        }
+        if self.len == SGE_INLINE {
+            self.spill.reserve(SGE_INLINE + 1);
+            for slot in &self.inline {
+                // SAFETY: all inline slots are initialized here; they are
+                // moved into the spill vector and, because `len` only ever
+                // grows, never read or dropped from the inline storage
+                // again.
+                self.spill.push(unsafe { slot.assume_init_read() });
+            }
+        }
+        self.spill.push(sge);
+        self.len += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the list overflowed its inline storage (diagnostics).
+    pub fn spilled(&self) -> bool {
+        self.len > SGE_INLINE
+    }
+
+    pub fn as_slice(&self) -> &[Sge] {
+        if self.len <= SGE_INLINE {
+            // SAFETY: per the invariant, the first `len` inline slots are
+            // initialized, and MaybeUninit<Sge> has the layout of Sge.
+            unsafe {
+                std::slice::from_raw_parts(self.inline.as_ptr() as *const Sge, self.len)
+            }
+        } else {
+            &self.spill
+        }
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Sge> {
+        self.as_slice().iter()
+    }
+}
+
+impl Drop for SgeList {
+    fn drop(&mut self) {
+        if self.len <= SGE_INLINE {
+            for slot in &mut self.inline[..self.len] {
+                // SAFETY: per the invariant these slots are initialized.
+                unsafe { slot.assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl Default for SgeList {
+    fn default() -> Self {
+        SgeList::new()
+    }
+}
+
+impl Clone for SgeList {
+    fn clone(&self) -> Self {
+        self.as_slice().iter().cloned().collect()
+    }
+}
+
+impl std::ops::Deref for SgeList {
+    type Target = [Sge];
+    fn deref(&self) -> &[Sge] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for SgeList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<Vec<Sge>> for SgeList {
+    fn from(v: Vec<Sge>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl FromIterator<Sge> for SgeList {
+    fn from_iter<I: IntoIterator<Item = Sge>>(iter: I) -> Self {
+        let mut l = SgeList::new();
+        for s in iter {
+            l.push(s);
+        }
+        l
+    }
+}
+
+impl<'a> IntoIterator for &'a SgeList {
+    type Item = &'a Sge;
+    type IntoIter = std::slice::Iter<'a, Sge>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Build an [`SgeList`] from element expressions, like `vec!` but
+/// inline-first.
+#[macro_export]
+macro_rules! sge_list {
+    ($($sge:expr),* $(,)?) => {{
+        let mut list = $crate::wr::SgeList::new();
+        $(list.push($sge);)*
+        list
+    }};
+}
+
 /// A send-queue work request.
 #[derive(Debug, Clone)]
 pub enum SendWr {
@@ -42,14 +203,14 @@ pub enum SendWr {
     /// travels in the completion the peer reaps.
     Send {
         wr_id: u64,
-        sges: Vec<Sge>,
+        sges: SgeList,
         imm: Option<u32>,
     },
     /// One-sided RDMA write into the peer's memory; the peer's CPU is not
     /// involved and sees no completion.
     RdmaWrite {
         wr_id: u64,
-        sges: Vec<Sge>,
+        sges: SgeList,
         remote: RemoteAddr,
     },
     /// RDMA write that additionally consumes a posted receive at the peer
@@ -57,14 +218,14 @@ pub enum SendWr {
     /// the peer that a one-sided transfer finished.
     RdmaWriteImm {
         wr_id: u64,
-        sges: Vec<Sge>,
+        sges: SgeList,
         remote: RemoteAddr,
         imm: u32,
     },
     /// One-sided RDMA read from the peer's memory into local regions.
     RdmaRead {
         wr_id: u64,
-        sges: Vec<Sge>,
+        sges: SgeList,
         remote: RemoteAddr,
     },
     /// 8-byte remote compare-and-swap; the prior remote value lands in
@@ -114,12 +275,15 @@ impl SendWr {
 #[derive(Debug, Clone)]
 pub struct RecvWr {
     pub wr_id: u64,
-    pub sges: Vec<Sge>,
+    pub sges: SgeList,
 }
 
 impl RecvWr {
-    pub fn new(wr_id: u64, sges: Vec<Sge>) -> Self {
-        RecvWr { wr_id, sges }
+    pub fn new(wr_id: u64, sges: impl Into<SgeList>) -> Self {
+        RecvWr {
+            wr_id,
+            sges: sges.into(),
+        }
     }
 
     pub fn capacity(&self) -> usize {
@@ -156,7 +320,7 @@ mod tests {
         let m = mr(64);
         let wr = SendWr::Send {
             wr_id: 42,
-            sges: vec![Sge::whole(&m)],
+            sges: crate::sge_list![Sge::whole(&m)],
             imm: Some(7),
         };
         assert_eq!(wr.wr_id(), 42);
@@ -172,6 +336,68 @@ mod tests {
             add: 5,
         };
         assert_eq!(atomic.byte_len(), 8);
+    }
+
+    #[test]
+    fn sge_list_stays_inline_up_to_cap() {
+        let m = mr(64);
+        let mut l = SgeList::new();
+        assert!(l.is_empty());
+        l.push(Sge::new(&m, 0, 8));
+        l.push(Sge::new(&m, 8, 8));
+        assert_eq!(l.len(), 2);
+        assert!(!l.spilled());
+        assert_eq!(sge_len(&l), 16);
+        assert_eq!(l.as_slice()[1].offset, 8);
+    }
+
+    #[test]
+    fn sge_list_spills_beyond_cap_and_keeps_order() {
+        let m = mr(64);
+        let mut l = SgeList::new();
+        for i in 0..5 {
+            l.push(Sge::new(&m, i * 4, 4));
+        }
+        assert_eq!(l.len(), 5);
+        assert!(l.spilled());
+        let offsets: Vec<usize> = l.iter().map(|s| s.offset).collect();
+        assert_eq!(offsets, [0, 4, 8, 12, 16]);
+        let c = l.clone();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.as_slice()[4].offset, 16);
+    }
+
+    #[test]
+    fn sge_list_drops_inline_elements_exactly_once() {
+        // Sge holds an Arc'd region: the strong count tracks clones, so
+        // a double-drop or leak in the inline storage shows up here.
+        let m = mr(64);
+        let base = std::sync::Arc::strong_count(&m.inner);
+        {
+            let mut l = SgeList::new();
+            l.push(Sge::whole(&m));
+            l.push(Sge::whole(&m));
+            assert_eq!(std::sync::Arc::strong_count(&m.inner), base + 2);
+        }
+        assert_eq!(std::sync::Arc::strong_count(&m.inner), base);
+        {
+            let mut l = SgeList::new();
+            for _ in 0..4 {
+                l.push(Sge::whole(&m)); // spills at the third push
+            }
+            assert_eq!(std::sync::Arc::strong_count(&m.inner), base + 4);
+        }
+        assert_eq!(std::sync::Arc::strong_count(&m.inner), base);
+    }
+
+    #[test]
+    fn sge_list_macro_and_from_vec() {
+        let m = mr(32);
+        let l = crate::sge_list![Sge::new(&m, 0, 16), Sge::new(&m, 16, 16)];
+        assert_eq!(l.len(), 2);
+        let v: SgeList = vec![Sge::whole(&m)].into();
+        assert_eq!(v.len(), 1);
+        assert_eq!(sge_len(&v), 32);
     }
 
     #[test]

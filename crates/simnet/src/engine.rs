@@ -24,6 +24,15 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Pre-size the event queue for an expected live population of
+    /// `capacity` concurrent events (e.g. one per rank, or one per link).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(capacity),
+        }
+    }
+
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -100,13 +109,16 @@ pub fn run<W: World>(
                 };
             }
         }
-        // `peek_time` just returned `Some`, but stay panic-free on the
-        // hot path: an empty queue simply ends the run.
-        let Some((time, event)) = sched.queue.pop() else { break };
-        debug_assert!(time >= sched.now, "clock must be monotone");
-        sched.now = time;
-        world.handle(sched, event);
-        dispatched += 1;
+        // Batch-drain every event at this instant: same-time events
+        // can't cross the horizon, so the check above runs once per
+        // distinct timestamp rather than once per event. Follow-ups a
+        // handler schedules for "now" join the same drain.
+        while let Some((time, event)) = sched.queue.pop_at(next_time) {
+            debug_assert!(time >= sched.now, "clock must be monotone");
+            sched.now = time;
+            world.handle(sched, event);
+            dispatched += 1;
+        }
     }
     RunStats {
         events_dispatched: dispatched,

@@ -1,8 +1,25 @@
 //! Deterministic event queue.
 //!
-//! A binary heap keyed by `(time, sequence)`. The monotonically increasing
-//! sequence number breaks ties in insertion order, which makes simulation
-//! runs bit-for-bit reproducible regardless of heap internals.
+//! The queue is keyed by `(time, sequence)`: the monotonically increasing
+//! sequence number breaks same-time ties in insertion order, which makes
+//! simulation runs bit-for-bit reproducible regardless of the queue's
+//! internals. Two implementations share that contract:
+//!
+//! * [`EventQueue`] — a calendar queue (rotating bucket wheel over time,
+//!   with a far-future spill heap) specialized for the near-monotone
+//!   insert pattern of link/switch events. Pushes append to a bucket in
+//!   O(1); pops drain one bucket at a time, sorting each small batch by
+//!   `(time, seq)` once. Same-timestamp bursts — the common case in
+//!   symmetric collectives, where every rank schedules at the same
+//!   instant — collapse into a single bucket drained in one sort.
+//! * [`reference::HeapQueue`] — the original binary-heap implementation,
+//!   kept as the ordering oracle for the determinism property suite
+//!   (`tests/event_queue.rs`) and as the baseline side of the
+//!   event-queue microbenchmark (`figures -- perf`).
+//!
+//! The calendar queue adapts its bucket width and count to the live
+//! event population (classic Brown calendar-queue resizing), so it stays
+//! O(1) amortized whether events are nanoseconds or milliseconds apart.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -14,9 +31,16 @@ struct Scheduled<E> {
     event: E,
 }
 
+impl<E> Scheduled<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -30,18 +54,81 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
+/// Smallest wheel size; must be a power of two.
+const MIN_BUCKETS: usize = 64;
+/// Largest wheel size; bounds rebuild cost and memory.
+const MAX_BUCKETS: usize = 1 << 16;
+/// Resize up when the wheel population exceeds `buckets * GROW_FACTOR`.
+const GROW_FACTOR: usize = 2;
+/// Bucket width target: ~this many live events per bucket. One event
+/// per bucket minimizes sort work but maximizes `advance` calls and
+/// scatters the working set across the wheel; a small batch amortizes
+/// the cursor scan and keeps the drained bucket cache-hot while its
+/// sort stays trivial.
+const TARGET_OCCUPANCY: u64 = 8;
+/// A drained bucket holding at least this many events at *distinct*
+/// timestamps means the bucket width is too coarse for the live event
+/// density: re-fit it. (Same-timestamp bursts are excluded — they are
+/// the symmetric-collective common case and a single bucket is exactly
+/// where we want them.) Well above TARGET_OCCUPANCY so a healthy wheel
+/// never re-fits on a chance cluster.
+const CROWDED_BATCH: usize = 4 * TARGET_OCCUPANCY as usize;
+
 /// A time-ordered queue of events with deterministic FIFO tie-breaking.
+///
+/// Calendar-queue layout:
+///
+/// * `wheel[i]` holds events whose bucket index `k = time >> shift`
+///   satisfies `k & mask == i` and `epoch <= k < epoch + nbuckets`.
+///   Within a window of `nbuckets` a slot maps to exactly one `k`, so a
+///   bucket never mixes events from different wheel laps.
+/// * `current` is the bucket being drained, sorted *descending* by
+///   `(time, seq)` so `pop` is a `Vec::pop` from the tail.
+/// * `behind` holds events pushed "behind the cursor" (same-instant
+///   follow-ups, past-clamped events) in a small min-heap; `pop` takes
+///   whichever of `current`/`behind` is earlier, so global order is
+///   preserved without an O(batch) merge-insert per follow-up.
+/// * `far` spills events beyond the wheel horizon; they migrate into the
+///   wheel as the cursor approaches (checked once per bucket advance).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    wheel: Vec<Vec<Scheduled<E>>>,
+    /// Occupancy bitmap, one bit per bucket, for O(nbuckets/64) scans.
+    occupied: Vec<u64>,
+    /// log2 of the bucket width in picoseconds.
+    shift: u32,
+    /// `nbuckets - 1`; nbuckets is a power of two.
+    mask: u64,
+    /// Bucket index (`time >> shift`) of the cursor: every event in the
+    /// wheel or `far` has `k >= epoch`; every event in `current` has
+    /// `k < epoch`.
+    epoch: u64,
+    /// Drain batch, sorted descending by `(time, seq)`; popped from the
+    /// tail.
+    current: Vec<Scheduled<E>>,
+    /// Events pushed behind the cursor, merged with `current` at pop
+    /// time. Stays small: it only ever holds same-instant follow-ups
+    /// and past-clamped events that have not fired yet.
+    behind: BinaryHeap<Scheduled<E>>,
+    /// Events beyond the wheel horizon, ordered by `(time, seq)`.
+    far: BinaryHeap<Scheduled<E>>,
+    /// Events in `wheel` (excluding `current` and `far`).
+    wheel_len: usize,
+    len: usize,
     next_seq: u64,
     scheduled_total: u64,
+    /// Population outgrew the wheel; double it at the next `advance`.
+    grow_pending: bool,
+    /// A crowded mixed-time bucket was drained; re-fit the bucket width
+    /// at the next `advance`.
+    refit_pending: bool,
+    /// The last width re-fit changed nothing — stop re-trying until the
+    /// geometry changes, so a pathological distribution cannot force an
+    /// O(n) rebuild per batch.
+    refit_futile: bool,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -52,11 +139,47 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Pre-size the wheel for an expected live population of `capacity`
+    /// events (the wheel still adapts if the estimate is wrong).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let nbuckets = capacity.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: (0..nbuckets).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; nbuckets / 64],
+            // 2^14 ps ≈ 16 ns buckets: a sensible default for link-rate
+            // events; adapted on the first rebuild either way.
+            shift: 14,
+            mask: (nbuckets - 1) as u64,
+            epoch: 0,
+            current: Vec::new(),
+            behind: BinaryHeap::new(),
+            far: BinaryHeap::new(),
+            wheel_len: 0,
+            len: 0,
             next_seq: 0,
             scheduled_total: 0,
+            grow_pending: false,
+            refit_pending: false,
+            refit_futile: false,
         }
+    }
+
+    #[inline]
+    fn nbuckets(&self) -> usize {
+        self.wheel.len()
+    }
+
+    #[inline]
+    fn set_occupied(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear_occupied(&mut self, idx: usize) {
+        self.occupied[idx / 64] &= !(1u64 << (idx % 64));
     }
 
     /// Schedule `event` to fire at absolute time `time`.
@@ -64,30 +187,312 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        self.insert(Scheduled { time, seq, event });
+        self.len += 1;
+        if self.wheel_len > self.nbuckets() * GROW_FACTOR && self.nbuckets() < MAX_BUCKETS {
+            // Deferred to the next `advance`, when `current` is empty:
+            // rebuilding re-bases the cursor, which is only safe with no
+            // partially drained batch in flight.
+            self.grow_pending = true;
+        }
+    }
+
+    fn insert(&mut self, s: Scheduled<E>) {
+        if self.len == 0 {
+            // Empty queue: rebase the cursor directly onto the event.
+            debug_assert!(self.current.is_empty() && self.behind.is_empty());
+            self.epoch = s.time.0 >> self.shift;
+        }
+        let k = s.time.0 >> self.shift;
+        if k < self.epoch {
+            // Behind the cursor: a same-instant follow-up or an event in
+            // the window being drained. Pops consult this heap alongside
+            // the staged batch.
+            self.behind.push(s);
+        } else if k - self.epoch < self.nbuckets() as u64 {
+            let idx = (k & self.mask) as usize;
+            self.wheel[idx].push(s);
+            self.set_occupied(idx);
+            self.wheel_len += 1;
+        } else {
+            self.far.push(s);
+        }
+    }
+
+    /// True when the earliest pending event sits in `behind` rather than
+    /// the staged batch. Callers guarantee at least one side is
+    /// non-empty.
+    #[inline]
+    fn behind_is_next(&self) -> bool {
+        match (self.behind.peek(), self.current.last()) {
+            (Some(b), Some(c)) => b.key() < c.key(),
+            (Some(_), None) => true,
+            _ => false,
+        }
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        if self.current.is_empty() && !self.advance() && self.behind.is_empty() {
+            return None;
+        }
+        let s = if self.behind_is_next() {
+            self.behind.pop().expect("checked non-empty")
+        } else {
+            self.current.pop().expect("advance staged a batch")
+        };
+        self.len -= 1;
+        Some((s.time, s.event))
     }
 
     /// Time of the earliest pending event without removing it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+    ///
+    /// Takes `&mut self` because finding the minimum may advance the
+    /// wheel cursor and stage the next drain batch.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.current.is_empty() && !self.advance() && self.behind.is_empty() {
+            return None;
+        }
+        if self.behind_is_next() {
+            self.behind.peek().map(|s| s.time)
+        } else {
+            self.current.last().map(|s| s.time)
+        }
+    }
+
+    /// Pop the earliest event only if it fires exactly at `time`.
+    ///
+    /// After `peek_time` has staged a batch, every event at that instant
+    /// is in the batch or in `behind` (same-time events share a bucket;
+    /// same-instant follow-ups land behind the cursor), so this is a
+    /// compare and a tail pop — the engine's same-timestamp drain loop.
+    pub fn pop_at(&mut self, time: SimTime) -> Option<(SimTime, E)> {
+        // Stage a batch if none is in flight: popping the last staged
+        // event can empty the queue entirely, and a push right after
+        // rebases the cursor and lands in the wheel — visible only
+        // through `advance`, exactly as in `pop`.
+        if self.current.is_empty() && !self.advance() && self.behind.is_empty() {
+            return None;
+        }
+        let s = if self.behind_is_next() {
+            if self.behind.peek()?.time != time {
+                return None;
+            }
+            self.behind.pop().expect("peeked")
+        } else {
+            if self.current.last()?.time != time {
+                return None;
+            }
+            self.current.pop().expect("checked non-empty")
+        };
+        self.len -= 1;
+        Some((s.time, s.event))
+    }
+
+    /// Pull far events that entered the horizon, find the next occupied
+    /// bucket, and stage it as the new drain batch. Returns false when
+    /// the queue is empty.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        if self.len == 0 {
+            return false;
+        }
+        if self.grow_pending || self.refit_pending {
+            let grow = self.grow_pending && self.nbuckets() < MAX_BUCKETS;
+            self.grow_pending = false;
+            self.refit_pending = false;
+            let before = self.shift;
+            self.rebuild(if grow {
+                self.nbuckets() * 2
+            } else {
+                self.nbuckets()
+            });
+            self.refit_futile = self.shift == before && !grow;
+        }
+        if self.wheel_len == 0 && self.far.is_empty() {
+            // Everything pending sits behind the cursor; nothing to
+            // stage.
+            return false;
+        }
+        if self.wheel_len == 0 {
+            // Everything lives in `far`: rebase the wheel onto its min.
+            let min_k = self.far.peek().expect("len > 0").time.0 >> self.shift;
+            self.epoch = min_k;
+        }
+        self.refill_from_far();
+        debug_assert!(self.wheel_len > 0);
+        // Scan for the next occupied bucket via the bitmap, a word at a
+        // time. Guaranteed to hit within nbuckets steps.
+        loop {
+            let idx = (self.epoch & self.mask) as usize;
+            let bit = idx % 64;
+            let word = self.occupied[idx / 64] >> bit;
+            if word == 0 {
+                // Skip to the next bitmap word boundary.
+                self.epoch += (64 - bit) as u64;
+                continue;
+            }
+            self.epoch += u64::from(word.trailing_zeros());
+            let idx = (self.epoch & self.mask) as usize;
+            // Drain rather than steal: the bucket keeps its allocation
+            // for the next lap, and `current` reuses its own — zero
+            // allocations per batch at steady state.
+            {
+                let EventQueue { wheel, current, .. } = self;
+                let bucket = &mut wheel[idx];
+                debug_assert!(!bucket.is_empty());
+                current.append(bucket);
+            }
+            self.wheel_len -= self.current.len();
+            self.clear_occupied(idx);
+            // Descending so `pop` drains earliest-first from the tail.
+            self.current.sort_unstable_by_key(|s| std::cmp::Reverse(s.key()));
+            // Cursor moves past the drained bucket.
+            self.epoch += 1;
+            // Crowding check: many events at distinct times sharing one
+            // bucket means each pop is paying for a large sort — the
+            // width no longer fits the density.
+            if !self.refit_futile
+                && self.current.len() >= CROWDED_BATCH
+                && self.current.first().map(|s| s.time) != self.current.last().map(|s| s.time)
+            {
+                self.refit_pending = true;
+            }
+            return true;
+        }
+    }
+
+    /// Migrate far events whose bucket fell inside the horizon.
+    fn refill_from_far(&mut self) {
+        let horizon = self.epoch + self.nbuckets() as u64;
+        while let Some(top) = self.far.peek() {
+            let k = top.time.0 >> self.shift;
+            if k >= horizon {
+                break;
+            }
+            let s = self.far.pop().expect("peeked");
+            debug_assert!(k >= self.epoch);
+            let idx = (k & self.mask) as usize;
+            self.wheel[idx].push(s);
+            self.set_occupied(idx);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Rebuild the wheel with `nbuckets` buckets and a bucket width
+    /// re-fit to the live population. Only called from `advance` with
+    /// `current` empty: rebuilding re-bases the cursor onto the earliest
+    /// remaining event, which would reorder a partially drained batch
+    /// against pushes landing near the new epoch boundary.
+    fn rebuild(&mut self, nbuckets: usize) {
+        debug_assert!(self.current.is_empty());
+        let nbuckets = nbuckets.min(MAX_BUCKETS);
+        let mut entries: Vec<Scheduled<E>> = Vec::with_capacity(self.wheel_len + self.far.len());
+        for b in &mut self.wheel {
+            entries.append(b);
+        }
+        entries.extend(std::mem::take(&mut self.far));
+        self.occupied.iter_mut().for_each(|w| *w = 0);
+        self.wheel_len = 0;
+        if self.nbuckets() != nbuckets {
+            self.wheel = (0..nbuckets).map(|_| Vec::new()).collect();
+            self.occupied = vec![0u64; nbuckets / 64];
+            self.mask = (nbuckets - 1) as u64;
+        }
+        if let (Some(min), Some(max)) = (
+            entries.iter().map(|e| e.time.0).min(),
+            entries.iter().map(|e| e.time.0).max(),
+        ) {
+            // Aim for ~TARGET_OCCUPANCY live events per bucket, but
+            // never so narrow that the wheel horizon (nbuckets * width)
+            // stops covering the live span with slack — otherwise events
+            // cycle through the far heap and its O(log n) cost comes
+            // back.
+            let span = (max - min).max(1);
+            let per_batch = span.saturating_mul(TARGET_OCCUPANCY) / entries.len() as u64;
+            let per_horizon = (2 * span) / nbuckets as u64;
+            let width = per_batch.max(per_horizon).max(1);
+            // Ceiling log2: the realized width is the power of two >= the
+            // target, keeping the horizon guarantee.
+            self.shift = (64 - (width - 1).leading_zeros()).min(40);
+            self.epoch = min >> self.shift;
+        }
+        for s in entries {
+            let k = s.time.0 >> self.shift;
+            debug_assert!(k >= self.epoch);
+            if k - self.epoch < nbuckets as u64 {
+                let idx = (k & self.mask) as usize;
+                self.wheel[idx].push(s);
+                self.set_occupied(idx);
+                self.wheel_len += 1;
+            } else {
+                self.far.push(s);
+            }
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events ever scheduled (for run statistics).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+}
+
+/// The original binary-heap queue, kept as the ordering oracle for the
+/// determinism suite and the baseline side of the `figures -- perf`
+/// event-queue microbenchmark.
+pub mod reference {
+    use super::{Scheduled, SimTime};
+    use std::collections::BinaryHeap;
+
+    /// Binary-heap `(time, seq)` queue: the pre-calendar implementation.
+    pub struct HeapQueue<E> {
+        heap: BinaryHeap<Scheduled<E>>,
+        next_seq: u64,
+    }
+
+    impl<E> Default for HeapQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> HeapQueue<E> {
+        pub fn new() -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }
+        }
+
+        pub fn push(&mut self, time: SimTime, event: E) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Scheduled { time, seq, event });
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            self.heap.pop().map(|s| (s.time, s.event))
+        }
+
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|s| s.time)
+        }
+
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
     }
 }
 
@@ -145,5 +550,141 @@ mod tests {
         q.push(SimTime(2), ());
         q.pop();
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn same_instant_follow_up_lands_behind_batch() {
+        // Drain a same-time batch partially, then push another event at
+        // that instant: it must come after the batch's remaining events.
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), 0);
+        q.push(SimTime(5), 1);
+        assert_eq!(q.pop(), Some((SimTime(5), 0)));
+        q.push(SimTime(5), 2);
+        assert_eq!(q.pop(), Some((SimTime(5), 1)));
+        assert_eq!(q.pop(), Some((SimTime(5), 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn past_clamped_push_is_delivered_in_order() {
+        // An event pushed at a time the cursor already passed (the
+        // Scheduler clamps to `now`) must still come out before later
+        // events.
+        let mut q = EventQueue::new();
+        q.push(SimTime(1_000_000), "late");
+        q.push(SimTime(500), "early");
+        assert_eq!(q.pop(), Some((SimTime(500), "early")));
+        // Cursor is now past 500's bucket; push behind it.
+        q.push(SimTime(500), "clamped");
+        assert_eq!(q.pop(), Some((SimTime(500), "clamped")));
+        assert_eq!(q.pop(), Some((SimTime(1_000_000), "late")));
+    }
+
+    #[test]
+    fn far_future_events_survive_horizon_crossing() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(0), "now");
+        q.push(SimTime(u64::MAX / 2), "far");
+        q.push(SimTime(1 << 40), "mid");
+        assert_eq!(q.pop(), Some((SimTime(0), "now")));
+        assert_eq!(q.pop(), Some((SimTime(1 << 40), "mid")));
+        assert_eq!(q.pop(), Some((SimTime(u64::MAX / 2), "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wide_time_range_orders_correctly() {
+        // Mixed magnitudes force rebuilds and far-heap migration.
+        let mut q = EventQueue::new();
+        let times: Vec<u64> = (0..2000)
+            .map(|i| (i * 2654435761u64) % 1_000_000_000_000)
+            .collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), i);
+        }
+        let mut sorted: Vec<(u64, usize)> = times
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect();
+        sorted.sort();
+        for (t, i) in sorted {
+            assert_eq!(q.pop(), Some((SimTime(t), i)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn matches_reference_heap_on_mixed_workload() {
+        use crate::rng::SplitMix64;
+        let mut cal = EventQueue::new();
+        let mut heap = reference::HeapQueue::new();
+        let mut rng = SplitMix64::new(0xfeed);
+        let mut now = 0u64;
+        for step in 0..5000u64 {
+            if rng.next_below(4) < 3 {
+                // Near-monotone insert, with frequent exact ties.
+                let dt = if rng.chance(0.3) {
+                    0
+                } else {
+                    rng.next_below(100_000)
+                };
+                cal.push(SimTime(now + dt), step);
+                heap.push(SimTime(now + dt), step);
+            } else {
+                let a = cal.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "divergence at step {step}");
+                if let Some((t, _)) = a {
+                    now = t.0;
+                }
+            }
+        }
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_behaves_identically() {
+        let mut q = EventQueue::with_capacity(4096);
+        for i in 0..100u64 {
+            q.push(SimTime(i % 7), i);
+        }
+        let mut last = (SimTime(0), 0u64);
+        let mut n = 0;
+        while let Some((t, i)) = q.pop() {
+            assert!((t, i) >= last, "order violated");
+            last = (t, i);
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    /// Drop correctness: queued events must drop exactly once whether
+    /// popped or abandoned mid-batch.
+    #[test]
+    fn drops_are_balanced() {
+        use std::rc::Rc;
+        let marker = Rc::new(());
+        {
+            let mut q = EventQueue::new();
+            for i in 0..500u64 {
+                q.push(SimTime(i % 13), Rc::clone(&marker));
+            }
+            for _ in 0..250 {
+                q.pop();
+            }
+            // 250 popped (dropped here), 250 still queued.
+            assert_eq!(Rc::strong_count(&marker), 251);
+        }
+        assert_eq!(Rc::strong_count(&marker), 1);
     }
 }

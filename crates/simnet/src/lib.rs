@@ -31,6 +31,7 @@ pub mod circuit;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod fasthash;
 pub mod fault;
 pub mod link;
 pub mod network;
@@ -47,6 +48,7 @@ pub mod prelude {
     pub use crate::circuit::{CircuitConfig, CircuitNetwork};
     pub use crate::engine::{run, RunStats, Scheduler, World};
     pub use crate::error::SimError;
+    pub use crate::fasthash::{FastHashMap, FastHashSet};
     pub use crate::fault::{
         DropCause, FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule,
         FaultScope, FaultVerdict,

@@ -10,8 +10,9 @@
 //! discrete-event executors do this by construction); the model then
 //! yields deterministic, contention-aware delivery times.
 
+use crate::fasthash::FastHashMap;
 use crate::fault::{FaultEvent, FaultInjector, FaultPlan, FaultVerdict};
-use crate::link::{LinkModel, LinkState};
+use crate::link::{LinkId, LinkModel, LinkState};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use polaris_obs::{Counter, Obs, Subject};
@@ -64,7 +65,20 @@ pub struct Network {
     dropped: u64,
     corrupted: u64,
     obs: Option<NetObs>,
+    /// Memoized routes per (src, dst) pair. Routing is deterministic and
+    /// static, so each pair is computed once; collectives revisit the
+    /// same few thousand pairs millions of times. Capped (see
+    /// `ROUTE_CACHE_MAX`) so adversarial patterns (all-to-all at huge
+    /// scale) degrade to recompute rather than unbounded memory.
+    route_cache: FastHashMap<(u32, u32), Box<[LinkId]>>,
+    /// Reusable route buffer for cache overflow: routes are at most the
+    /// diameter long, so this settles after the first few calls.
+    route_scratch: Vec<LinkId>,
 }
+
+/// Upper bound on memoized (src, dst) routes (~64k pairs; a few MB on
+/// the deepest topology).
+const ROUTE_CACHE_MAX: usize = 1 << 16;
 
 impl Network {
     pub fn new(topo: Topology, model: LinkModel) -> Self {
@@ -79,6 +93,8 @@ impl Network {
             dropped: 0,
             corrupted: 0,
             obs: None,
+            route_cache: FastHashMap::default(),
+            route_scratch: Vec::new(),
         }
     }
 
@@ -174,28 +190,52 @@ impl Network {
                 corrupted: false,
             };
         }
-        let route = self.topo.route(src, dst);
+        // Split the borrow: the memoized route slice stays borrowed from
+        // `route_cache` while link occupancy is charged against `links`.
+        let Network {
+            topo,
+            model,
+            links,
+            faults,
+            dropped: dropped_total,
+            corrupted: corrupted_total,
+            obs,
+            route_cache,
+            route_scratch,
+            ..
+        } = self;
+        let route: &[LinkId] =
+            if route_cache.len() < ROUTE_CACHE_MAX || route_cache.contains_key(&(src, dst)) {
+                route_cache.entry((src, dst)).or_insert_with(|| {
+                    let mut v = Vec::new();
+                    topo.route_into(src, dst, &mut v);
+                    v.into_boxed_slice()
+                })
+            } else {
+                // Cache full and pair unseen: recompute into the scratch.
+                topo.route_into(src, dst, route_scratch);
+                route_scratch
+            };
         let mut corrupted = false;
-        if let Some(inj) = &mut self.faults {
-            match inj.judge(now, src, dst, &route) {
+        if let Some(inj) = faults {
+            match inj.judge(now, src, dst, route) {
                 FaultVerdict::Deliver => {}
                 FaultVerdict::DeliverCorrupted => {
-                    self.corrupted += 1;
-                    if let Some(no) = &self.obs {
+                    *corrupted_total += 1;
+                    if let Some(no) = &obs {
                         no.corrupted.inc();
                     }
                     corrupted = true;
                 }
                 FaultVerdict::Drop(_) => {
-                    self.dropped += 1;
-                    if let Some(no) = &self.obs {
+                    *dropped_total += 1;
+                    if let Some(no) = &obs {
                         no.dropped.inc();
                     }
                     // The sender learns of the loss only after a timeout;
                     // model that as the nominal delivery time
                     // (retransmission policy layers on top).
-                    let nominal =
-                        now + self.model.message_time(bytes, self.topo.hops(src, dst));
+                    let nominal = now + model.message_time(bytes, route.len() as u32);
                     return Delivery {
                         arrival: nominal,
                         dropped: true,
@@ -205,31 +245,30 @@ impl Network {
             }
         }
         let hops = route.len() as u32;
-        let ser = self.model.serialize_payload(bytes);
-        let wire_bytes = self.model.wire_bytes(bytes);
+        let ser = model.serialize_payload(bytes);
+        let wire_bytes = model.wire_bytes(bytes);
         // Per-hop forwarding cost of the message head: for cut-through the
         // head moves on after the header is through; store-and-forward
         // re-serializes the first packet.
-        let fwd = if self.model.cut_through {
-            self.model.serialize(self.model.header_bytes as u64)
+        let fwd = if model.cut_through {
+            model.serialize(model.header_bytes as u64)
         } else {
-            self.model
-                .serialize(bytes.min(self.model.mtu as u64) + self.model.header_bytes as u64)
+            model.serialize(bytes.min(model.mtu as u64) + model.header_bytes as u64)
         };
-        let hop_lat = SimDuration::from_ps(self.model.hop_latency);
+        let hop_lat = SimDuration::from_ps(model.hop_latency);
         // Walk the route charging occupancy; `extra` accumulates queueing
         // delay beyond the uncontended schedule.
         let mut extra = SimDuration::ZERO;
         for (i, link) in route.iter().enumerate() {
             let nominal_head = now + extra + (hop_lat + fwd).saturating_mul(i as u64);
-            let st = &mut self.links[link.0 as usize];
+            let st = &mut links[link.0 as usize];
             let start = nominal_head.max(st.busy_until);
             extra += start.since(nominal_head);
             st.busy_until = start + ser;
             st.bytes_carried += wire_bytes;
             st.busy_time += ser;
         }
-        let arrival = now + extra + self.model.message_time(bytes, hops);
+        let arrival = now + extra + model.message_time(bytes, hops);
         if let Some(no) = &self.obs {
             no.delivered.inc();
             no.obs.instant(

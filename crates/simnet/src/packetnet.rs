@@ -158,7 +158,8 @@ pub fn simulate_packets(
         meta: std::collections::HashMap::new(),
         completions: Vec::new(),
     };
-    let mut sched = Scheduler::new();
+    // Roughly one in-flight event per link at steady state.
+    let mut sched = Scheduler::with_capacity(n_links);
     for (id, inj) in injections.iter().enumerate() {
         assert_ne!(inj.src, inj.dst, "loopback is not a network transfer");
         let route = std::sync::Arc::new(world.topo.route(inj.src, inj.dst));

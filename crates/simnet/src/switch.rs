@@ -149,7 +149,7 @@ pub fn simulate_crossbar(
     injections: &[Injection],
 ) -> Result<Vec<Completion>, SimError> {
     let mut world = CrossbarSim::new(ports, model);
-    let mut sched = Scheduler::new();
+    let mut sched = Scheduler::with_capacity(injections.len());
     for inj in injections {
         if inj.src >= ports || inj.dst >= ports {
             return Err(SimError::PortOutOfRange {

@@ -6,8 +6,8 @@
 //! upstream spreading (D-mod-k). Routes are returned as sequences of
 //! [`LinkId`]s so the contention model can charge occupancy per link.
 
+use crate::fasthash::FastHashMap;
 use crate::link::LinkId;
-use std::collections::HashMap;
 
 /// A vertex in the interconnect graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,8 +40,9 @@ pub struct Topology {
     hosts: u32,
     /// Directed edges: (from, to), indexed by LinkId.
     links: Vec<(Vertex, Vertex)>,
-    /// (from, to) -> LinkId.
-    index: HashMap<(Vertex, Vertex), LinkId>,
+    /// (from, to) -> LinkId. Lookup-only (never iterated), so the fast
+    /// non-sip hasher cannot perturb determinism.
+    index: FastHashMap<(Vertex, Vertex), LinkId>,
 }
 
 impl Topology {
@@ -50,7 +51,7 @@ impl Topology {
             kind,
             hosts: 0,
             links: Vec::new(),
-            index: HashMap::new(),
+            index: FastHashMap::default(),
         };
         match kind {
             TopologyKind::Crossbar { hosts } => {
@@ -164,87 +165,94 @@ impl Topology {
             .unwrap_or_else(|| panic!("no link {from:?} -> {to:?}"))
     }
 
-    /// Convert a vertex path to the links along it.
-    fn path_links(&self, path: &[Vertex]) -> Vec<LinkId> {
-        path.windows(2).map(|w| self.link(w[0], w[1])).collect()
-    }
-
     /// The deterministic route from host `src` to host `dst` as links.
     /// `src == dst` yields an empty route (loopback never hits the wire).
     pub fn route(&self, src: u32, dst: u32) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        self.route_into(src, dst, &mut out);
+        out
+    }
+
+    /// Like [`Topology::route`], but appends into a caller-owned buffer
+    /// (cleared first) so the per-transfer hot path allocates nothing
+    /// once the buffer has grown to the diameter.
+    pub fn route_into(&self, src: u32, dst: u32, out: &mut Vec<LinkId>) {
         assert!(src < self.hosts && dst < self.hosts, "rank out of range");
+        out.clear();
         if src == dst {
-            return Vec::new();
+            return;
         }
-        let path = self.vertex_route(src, dst);
-        self.path_links(&path)
+        let mut prev = Vertex::Host(src);
+        self.walk_route(src, dst, |v| {
+            out.push(self.link(prev, v));
+            prev = v;
+        });
     }
 
     /// Number of links on the route (0 for loopback).
     pub fn hops(&self, src: u32, dst: u32) -> u32 {
         if src == dst {
-            0
-        } else {
-            self.vertex_route(src, dst).len() as u32 - 1
+            return 0;
         }
+        let mut n = 0;
+        self.walk_route(src, dst, |_| n += 1);
+        n
     }
 
-    fn vertex_route(&self, src: u32, dst: u32) -> Vec<Vertex> {
+    /// Visit each vertex of the deterministic `src -> dst` path after the
+    /// source, in order. The route algorithms stream their hops through
+    /// `visit` so neither `route_into` nor `hops` builds a vertex list.
+    fn walk_route(&self, src: u32, dst: u32, mut visit: impl FnMut(Vertex)) {
         match self.kind {
             TopologyKind::Crossbar { .. } => {
-                vec![Vertex::Host(src), Vertex::Switch(0), Vertex::Host(dst)]
+                visit(Vertex::Switch(0));
+                visit(Vertex::Host(dst));
             }
             TopologyKind::Ring { hosts } => {
                 let fwd = (dst + hosts - src) % hosts;
                 let bwd = (src + hosts - dst) % hosts;
-                let mut path = vec![Vertex::Host(src)];
                 let mut cur = src;
                 if fwd <= bwd {
                     for _ in 0..fwd {
                         cur = (cur + 1) % hosts;
-                        path.push(Vertex::Host(cur));
+                        visit(Vertex::Host(cur));
                     }
                 } else {
                     for _ in 0..bwd {
                         cur = (cur + hosts - 1) % hosts;
-                        path.push(Vertex::Host(cur));
+                        visit(Vertex::Host(cur));
                     }
                 }
-                path
             }
             TopologyKind::Torus2D { w, h } => {
-                let mut path = vec![Vertex::Host(src)];
                 let (mut x, mut y) = (src % w, src / w);
                 let (dx, dy) = (dst % w, dst / w);
                 while x != dx {
                     x = step_toward(x, dx, w);
-                    path.push(Vertex::Host(y * w + x));
+                    visit(Vertex::Host(y * w + x));
                 }
                 while y != dy {
                     y = step_toward(y, dy, h);
-                    path.push(Vertex::Host(y * w + x));
+                    visit(Vertex::Host(y * w + x));
                 }
-                path
             }
             TopologyKind::Torus3D { x: wx, y: wy, z: wz } => {
                 let coord = |n: u32| (n % wx, (n / wx) % wy, n / (wx * wy));
                 let id = |i: u32, j: u32, k: u32| (k * wy + j) * wx + i;
-                let mut path = vec![Vertex::Host(src)];
                 let (mut i, mut j, mut k) = coord(src);
                 let (di, dj, dk) = coord(dst);
                 while i != di {
                     i = step_toward(i, di, wx);
-                    path.push(Vertex::Host(id(i, j, k)));
+                    visit(Vertex::Host(id(i, j, k)));
                 }
                 while j != dj {
                     j = step_toward(j, dj, wy);
-                    path.push(Vertex::Host(id(i, j, k)));
+                    visit(Vertex::Host(id(i, j, k)));
                 }
                 while k != dk {
                     k = step_toward(k, dk, wz);
-                    path.push(Vertex::Host(id(i, j, k)));
+                    visit(Vertex::Host(id(i, j, k)));
                 }
-                path
             }
             TopologyKind::FatTree { k } => {
                 let half = k / 2;
@@ -255,26 +263,25 @@ impl Topology {
                 let edge = |pod: u32, e: u32| Vertex::Switch(pod * half + e);
                 let agg = |pod: u32, a: u32| Vertex::Switch(k * half + pod * half + a);
                 let core = |c: u32| Vertex::Switch(2 * k * half + c);
-                let mut path = vec![Vertex::Host(src), edge(sp, se)];
+                visit(edge(sp, se));
                 if sp == dp && se == de {
                     // Same edge switch.
                 } else if sp == dp {
                     // Up to an aggregation switch chosen by destination
                     // (D-mod-k spreading), back down.
                     let a = dst % half;
-                    path.push(agg(sp, a));
-                    path.push(edge(dp, de));
+                    visit(agg(sp, a));
+                    visit(edge(dp, de));
                 } else {
                     // Up through agg and core, down the destination pod.
                     let a = dst % half;
                     let c = a * half + (dst / half) % half;
-                    path.push(agg(sp, a));
-                    path.push(core(c));
-                    path.push(agg(dp, a));
-                    path.push(edge(dp, de));
+                    visit(agg(sp, a));
+                    visit(core(c));
+                    visit(agg(dp, a));
+                    visit(edge(dp, de));
                 }
-                path.push(Vertex::Host(dst));
-                path
+                visit(Vertex::Host(dst));
             }
         }
     }

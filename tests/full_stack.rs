@@ -171,7 +171,7 @@ fn qp_failure_flushes_cleanly_through_the_stack() {
     let src = nic_a.register_from(pa, b"doomed").unwrap();
     qa.post_send(SendWr::Send {
         wr_id: 9,
-        sges: vec![Sge::whole(&src)],
+        sges: polaris_nic::sge_list![Sge::whole(&src)],
         imm: None,
     })
     .unwrap();

@@ -165,7 +165,7 @@ fn error_cqes_match_chaos_corruption_ledger_on_raw_qps() {
     for i in 0..N {
         qa.post_send(SendWr::Send {
             wr_id: (N + i) as u64,
-            sges: vec![Sge::whole(&src)],
+            sges: polaris_nic::sge_list![Sge::whole(&src)],
             imm: None,
         })
         .unwrap();
