@@ -150,36 +150,52 @@ pub fn generate_with(obs: &Obs) -> Vec<Table> {
             "budget-failed",
         ],
     );
+    // Every (generation, loss) cell is an independent seeded scenario;
+    // fan the grid out across the sweep pool. Each cell runs against an
+    // isolated Obs that is merged back in grid order — label sets are
+    // disjoint per cell, and the flight-recorder merge re-stamps
+    // sequence numbers in the same order a serial grid walk records
+    // them, so the registry exports, the trace JSONL, and the rendered
+    // rows are byte-identical at any job count.
+    let mut points = Vec::new();
     for (gi, g) in Generation::ALL.into_iter().enumerate() {
         for (li, &loss) in LOSS_RATES.iter().enumerate() {
             let seed = 0xF11_5EED ^ ((gi as u64) << 16) ^ (li as u64);
-            let loss_s = format!("{loss}");
-            for (reliable, mode) in [(false, "raw"), (true, "reliable")] {
-                let labels = [("gen", g.name()), ("loss", loss_s.as_str()), ("mode", mode)];
-                run(obs, &labels, g, loss, reliable, seed);
-                // Render the row purely from what the registry holds.
-                let reg = &obs.registry;
-                let delivered = reg.counter_value(DELIVERED, &labels);
-                let retrans = reg.counter_value(RETRANS, &labels);
-                let failed = reg.counter_value(BUDGET_FAILED, &labels);
-                let total_ps = reg.gauge_value(TOTAL_PS, &labels);
-                let p99_ps = obs.histogram(LATENCY_PS, &labels).quantile(0.99);
-                let goodput = if total_ps == 0.0 {
-                    0.0
-                } else {
-                    (delivered as f64 * BYTES as f64) / (total_ps * 1e-12) / 1e6
-                };
-                t.row(vec![
-                    g.name().to_string(),
-                    loss_s.clone(),
-                    mode.to_string(),
-                    format!("{goodput:.1}"),
-                    format!("{:.1}", 100.0 * delivered as f64 / MSGS as f64),
-                    format!("{:.1}", p99_ps as f64 * 1e-6),
-                    format!("{retrans}"),
-                    format!("{failed}"),
-                ]);
-            }
+            points.push((g, loss, seed));
+        }
+    }
+    let row_pairs = crate::sweep::sweep_obs(points, obs, |cell_obs, (g, loss, seed)| {
+        let loss_s = format!("{loss}");
+        [(false, "raw"), (true, "reliable")].map(|(reliable, mode)| {
+            let labels = [("gen", g.name()), ("loss", loss_s.as_str()), ("mode", mode)];
+            run(cell_obs, &labels, g, loss, reliable, seed);
+            // Render the row purely from what the registry holds.
+            let reg = &cell_obs.registry;
+            let delivered = reg.counter_value(DELIVERED, &labels);
+            let retrans = reg.counter_value(RETRANS, &labels);
+            let failed = reg.counter_value(BUDGET_FAILED, &labels);
+            let total_ps = reg.gauge_value(TOTAL_PS, &labels);
+            let p99_ps = cell_obs.histogram(LATENCY_PS, &labels).quantile(0.99);
+            let goodput = if total_ps == 0.0 {
+                0.0
+            } else {
+                (delivered as f64 * BYTES as f64) / (total_ps * 1e-12) / 1e6
+            };
+            vec![
+                g.name().to_string(),
+                loss_s.clone(),
+                mode.to_string(),
+                format!("{goodput:.1}"),
+                format!("{:.1}", 100.0 * delivered as f64 / MSGS as f64),
+                format!("{:.1}", p99_ps as f64 * 1e-6),
+                format!("{retrans}"),
+                format!("{failed}"),
+            ]
+        })
+    });
+    for pair in row_pairs {
+        for row in pair {
+            t.row(row);
         }
     }
     t.note("expected: raw loses loss-rate of traffic; reliable delivers 100% below the budget cliff, paying a bounded p99 tail");

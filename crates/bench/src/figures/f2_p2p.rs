@@ -26,19 +26,22 @@ pub fn generate() -> Vec<Table> {
 
 pub fn generate_with(obs: &Obs) -> Vec<Table> {
     let host = HostParams::default();
-    // Publish-then-read: the gauge is the only channel between the model
-    // and the rendered cell, so exports always agree with the figure.
-    let publish = |name: &str, labels: &[(&str, &str)], v: f64| -> f64 {
-        obs.gauge(name, labels).set(v);
-        obs.registry.gauge_value(name, labels)
-    };
     let sizes: Vec<u64> = (0..12).map(|i| 16u64 << (2 * i)).collect(); // 16B..64MiB
 
-    let mut headers: Vec<String> = vec!["generation".into(), "protocol".into()];
-    headers.extend(sizes.iter().map(|&b| si_bytes(b)));
-    let mut lat = Table::new_owned("F2a", "one-way latency (us) vs message size", headers.clone());
-    for g in Generation::ALL {
+    // One sweep point per interconnect generation: each point publishes
+    // its gauges into an isolated registry (label sets are disjoint per
+    // generation) and returns its rendered rows; merging in generation
+    // order makes exports and tables byte-identical at any job count.
+    let per_gen = crate::sweep::sweep_obs(Generation::ALL.to_vec(), obs, |gobs, g| {
+        // Publish-then-read: the gauge is the only channel between the
+        // model and the rendered cell, so exports agree with the figure.
+        let publish = |name: &str, labels: &[(&str, &str)], v: f64| -> f64 {
+            gobs.gauge(name, labels).set(v);
+            gobs.registry.gauge_value(name, labels)
+        };
         let link = g.link_model();
+        let mut lat_rows = Vec::new();
+        let mut bw_rows = Vec::new();
         for (p, name) in PROTOCOLS {
             let mut cells = vec![g.name().to_string(), name.to_string()];
             for &b in &sizes {
@@ -48,14 +51,8 @@ pub fn generate_with(obs: &Obs) -> Vec<Table> {
                 let v = publish(LATENCY_US, &labels, t.as_us());
                 cells.push(format!("{v:.1}"));
             }
-            lat.row(cells);
+            lat_rows.push(cells);
         }
-    }
-    lat.note("expected: user-level beats sockets 2-10x at small sizes; rendezvous wins large");
-
-    let mut bw = Table::new_owned("F2b", "effective bandwidth (MB/s) vs message size", headers);
-    for g in Generation::ALL {
-        let link = g.link_model();
         for (p, name) in PROTOCOLS {
             let mut cells = vec![g.name().to_string(), name.to_string()];
             for &b in &sizes {
@@ -65,11 +62,35 @@ pub fn generate_with(obs: &Obs) -> Vec<Table> {
                 let v = publish(BANDWIDTH_MBPS, &labels, raw);
                 cells.push(format!("{v:.0}"));
             }
-            bw.row(cells);
+            bw_rows.push(cells);
         }
-    }
-    bw.note("expected: sockets plateaus at its per-MTU overhead + copy bound, rendezvous reaches link rate");
+        let t = |p, name: &str| {
+            let labels = [("bytes", "8"), ("gen", g.name()), ("proto", name)];
+            let us = p2p_time(&link, HOPS, 8, p, RendezvousMode::Read, &host).as_us();
+            format!("{:.1}", publish(LATENCY_US, &labels, us))
+        };
+        let b = |p, name: &str| {
+            let labels = [("bytes", "4194304"), ("gen", g.name()), ("proto", name)];
+            let raw = p2p_bandwidth(&link, HOPS, 4 << 20, p, RendezvousMode::Read, &host) / 1e6;
+            format!("{:.0}", publish(BANDWIDTH_MBPS, &labels, raw))
+        };
+        let t1_row = vec![
+            g.name().to_string(),
+            t(Protocol::Sockets, "sockets"),
+            t(Protocol::Eager, "eager"),
+            t(Protocol::Rendezvous, "rendezvous"),
+            b(Protocol::Sockets, "sockets"),
+            b(Protocol::Eager, "eager"),
+            b(Protocol::Rendezvous, "rendezvous"),
+            format!("{:.0}", link.bandwidth_bps as f64 / 1e6),
+        ];
+        (lat_rows, bw_rows, t1_row)
+    });
 
+    let mut headers: Vec<String> = vec!["generation".into(), "protocol".into()];
+    headers.extend(sizes.iter().map(|&b| si_bytes(b)));
+    let mut lat = Table::new_owned("F2a", "one-way latency (us) vs message size", headers.clone());
+    let mut bw = Table::new_owned("F2b", "effective bandwidth (MB/s) vs message size", headers);
     let mut t1 = Table::new(
         "T1",
         "headline numbers: 8B latency and 4MiB bandwidth",
@@ -84,29 +105,17 @@ pub fn generate_with(obs: &Obs) -> Vec<Table> {
             "link-MB/s",
         ],
     );
-    for g in Generation::ALL {
-        let link = g.link_model();
-        let t = |p, name: &str| {
-            let labels = [("bytes", "8"), ("gen", g.name()), ("proto", name)];
-            let us = p2p_time(&link, HOPS, 8, p, RendezvousMode::Read, &host).as_us();
-            format!("{:.1}", publish(LATENCY_US, &labels, us))
-        };
-        let b = |p, name: &str| {
-            let labels = [("bytes", "4194304"), ("gen", g.name()), ("proto", name)];
-            let raw = p2p_bandwidth(&link, HOPS, 4 << 20, p, RendezvousMode::Read, &host) / 1e6;
-            format!("{:.0}", publish(BANDWIDTH_MBPS, &labels, raw))
-        };
-        t1.row(vec![
-            g.name().to_string(),
-            t(Protocol::Sockets, "sockets"),
-            t(Protocol::Eager, "eager"),
-            t(Protocol::Rendezvous, "rendezvous"),
-            b(Protocol::Sockets, "sockets"),
-            b(Protocol::Eager, "eager"),
-            b(Protocol::Rendezvous, "rendezvous"),
-            format!("{:.0}", link.bandwidth_bps as f64 / 1e6),
-        ]);
+    for (lat_rows, bw_rows, t1_row) in per_gen {
+        for row in lat_rows {
+            lat.row(row);
+        }
+        for row in bw_rows {
+            bw.row(row);
+        }
+        t1.row(t1_row);
     }
+    lat.note("expected: user-level beats sockets 2-10x at small sizes; rendezvous wins large");
+    bw.note("expected: sockets plateaus at its per-MTU overhead + copy bound, rendezvous reaches link rate");
     t1.note("2002 host: 1 GB/s copies, 5us syscall, 15us interrupt, 0.5us user-level overhead");
     vec![lat, bw, t1]
 }

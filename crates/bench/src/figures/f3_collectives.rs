@@ -23,30 +23,42 @@ fn net(p: u32) -> Network {
 
 const SCALES: [u32; 5] = [4, 16, 64, 256, 1024];
 
+/// The ten (collective, payload) cells each scale runs, in row order.
+const CELLS_PER_SCALE: usize = 10;
+
+fn cells_for(p: u32) -> [(u32, Collective, u64); CELLS_PER_SCALE] {
+    [
+        (p, Collective::Barrier(BarrierAlgo::Dissemination), 0),
+        (p, Collective::Barrier(BarrierAlgo::Tree), 0),
+        (p, Collective::Allreduce(AllreduceAlgo::RecursiveDoubling), 64),
+        (p, Collective::Allreduce(AllreduceAlgo::Ring), 64),
+        (p, Collective::Allreduce(AllreduceAlgo::ReduceBcast), 64),
+        (p, Collective::Allreduce(AllreduceAlgo::RecursiveDoubling), 4 << 20),
+        (p, Collective::Allreduce(AllreduceAlgo::Ring), 4 << 20),
+        (p, Collective::Allreduce(AllreduceAlgo::ReduceBcast), 4 << 20),
+        (p, Collective::Bcast(BcastAlgo::Binomial), 1 << 20),
+        (p, Collective::Bcast(BcastAlgo::ScatterAllgather), 1 << 20),
+    ]
+}
+
 pub fn generate() -> Vec<Table> {
     let params = ExecParams::default();
+
+    // Every (scale, collective, payload) cell is an independent
+    // simulation; fan them out across the sweep pool and assemble rows
+    // from the index-ordered completions, so the rendered tables are
+    // byte-identical at any job count.
+    let points: Vec<(u32, Collective, u64)> =
+        SCALES.iter().flat_map(|&p| cells_for(p)).collect();
+    let times = crate::sweep::sweep(points, |(p, coll, bytes)| {
+        simulate_collective(&mut net(p), coll, bytes, params).completion
+    });
 
     let mut barrier = Table::new(
         "F3a",
         "barrier time (us) vs nodes",
         &["nodes", "dissemination", "tree"],
     );
-    for p in SCALES {
-        let d = simulate_collective(
-            &mut net(p),
-            Collective::Barrier(BarrierAlgo::Dissemination),
-            0,
-            params,
-        );
-        let t = simulate_collective(&mut net(p), Collective::Barrier(BarrierAlgo::Tree), 0, params);
-        barrier.row(vec![
-            p.to_string(),
-            format!("{:.1}", d.completion.as_us()),
-            format!("{:.1}", t.completion.as_us()),
-        ]);
-    }
-    barrier.note("expected: O(log p) growth; dissemination flatter (one round-trip per stage)");
-
     let mut allreduce_small = Table::new(
         "F3b",
         "allreduce 64B time (us) vs nodes",
@@ -57,51 +69,39 @@ pub fn generate() -> Vec<Table> {
         "allreduce 4MiB time (ms) vs nodes",
         &["nodes", "recursive-doubling", "ring", "reduce+bcast"],
     );
-    for p in SCALES {
-        let run = |algo, bytes| {
-            simulate_collective(&mut net(p), Collective::Allreduce(algo), bytes, params)
-                .completion
-        };
-        allreduce_small.row(vec![
-            p.to_string(),
-            format!("{:.1}", run(AllreduceAlgo::RecursiveDoubling, 64).as_us()),
-            format!("{:.1}", run(AllreduceAlgo::Ring, 64).as_us()),
-            format!("{:.1}", run(AllreduceAlgo::ReduceBcast, 64).as_us()),
-        ]);
-        allreduce_large.row(vec![
-            p.to_string(),
-            format!("{:.2}", run(AllreduceAlgo::RecursiveDoubling, 4 << 20).as_ms()),
-            format!("{:.2}", run(AllreduceAlgo::Ring, 4 << 20).as_ms()),
-            format!("{:.2}", run(AllreduceAlgo::ReduceBcast, 4 << 20).as_ms()),
-        ]);
-    }
-    allreduce_small.note("expected: recursive doubling wins small vectors (log p rounds)");
-    allreduce_large.note("expected: ring wins large vectors (bandwidth-optimal 2n(p-1)/p)");
-
     let mut bcast = Table::new(
         "F3d",
         "bcast 1MiB time (ms) vs nodes",
         &["nodes", "binomial", "scatter+allgather"],
     );
-    for p in SCALES {
-        let b = simulate_collective(
-            &mut net(p),
-            Collective::Bcast(BcastAlgo::Binomial),
-            1 << 20,
-            params,
-        );
-        let s = simulate_collective(
-            &mut net(p),
-            Collective::Bcast(BcastAlgo::ScatterAllgather),
-            1 << 20,
-            params,
-        );
+    for (i, p) in SCALES.iter().enumerate() {
+        let t = &times[i * CELLS_PER_SCALE..(i + 1) * CELLS_PER_SCALE];
+        barrier.row(vec![
+            p.to_string(),
+            format!("{:.1}", t[0].as_us()),
+            format!("{:.1}", t[1].as_us()),
+        ]);
+        allreduce_small.row(vec![
+            p.to_string(),
+            format!("{:.1}", t[2].as_us()),
+            format!("{:.1}", t[3].as_us()),
+            format!("{:.1}", t[4].as_us()),
+        ]);
+        allreduce_large.row(vec![
+            p.to_string(),
+            format!("{:.2}", t[5].as_ms()),
+            format!("{:.2}", t[6].as_ms()),
+            format!("{:.2}", t[7].as_ms()),
+        ]);
         bcast.row(vec![
             p.to_string(),
-            format!("{:.2}", b.completion.as_ms()),
-            format!("{:.2}", s.completion.as_ms()),
+            format!("{:.2}", t[8].as_ms()),
+            format!("{:.2}", t[9].as_ms()),
         ]);
     }
+    barrier.note("expected: O(log p) growth; dissemination flatter (one round-trip per stage)");
+    allreduce_small.note("expected: recursive doubling wins small vectors (log p rounds)");
+    allreduce_large.note("expected: ring wins large vectors (bandwidth-optimal 2n(p-1)/p)");
     bcast.note("expected: binomial's n·log p loses to scatter+allgather's 2n at scale");
 
     vec![barrier, allreduce_small, allreduce_large, bcast]

@@ -8,12 +8,93 @@
 
 pub mod figures;
 pub mod perf;
+pub mod sweep;
 pub mod table;
 
 use table::Table;
 
 /// A figure/table generator.
 pub type Generator = fn() -> Vec<Table>;
+
+/// Render every experiment's tables exactly as the `figures` binary
+/// prints them to stdout: each table's [`Table::render`] output followed
+/// by the newline `println!` appends. `figures --check-output` diffs
+/// this against the committed `figures_output.txt`.
+pub fn render_all() -> String {
+    let mut out = String::new();
+    for (_id, generator) in all_experiments() {
+        for table in generator() {
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Tables whose cells measure host wall-clock time (the executable
+/// stack timed on whatever machine runs the harness). Their values are
+/// legitimately machine-dependent, so `--check-output` verifies their
+/// presence and position but not their cells. Everything else is a pure
+/// function of virtual time and seeds and must match byte for byte.
+pub const WALL_CLOCK_TABLES: &[&str] = &["F5", "A2b"];
+
+/// Split a `figures` stdout capture into `(table id, block)` pairs; a
+/// block is everything from a `== ID — title ==` banner up to the next.
+fn split_tables(s: &str) -> Vec<(String, String)> {
+    let mut blocks: Vec<(String, String)> = Vec::new();
+    for line in s.lines() {
+        if let Some(rest) = line.strip_prefix("== ") {
+            let id = rest.split(" — ").next().unwrap_or("").to_string();
+            blocks.push((id, String::new()));
+        }
+        if let Some((_, body)) = blocks.last_mut() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    blocks
+}
+
+/// Regenerate every experiment and compare against a committed stdout
+/// snapshot. Deterministic tables must match byte for byte; tables in
+/// [`WALL_CLOCK_TABLES`] only need to exist in the same position with
+/// the same shape (row count). Returns a human-readable drift report on
+/// mismatch.
+pub fn check_figures_output(expected: &str) -> Result<(), String> {
+    let actual = render_all();
+    let exp = split_tables(expected);
+    let act = split_tables(&actual);
+    let exp_ids: Vec<&str> = exp.iter().map(|(id, _)| id.as_str()).collect();
+    let act_ids: Vec<&str> = act.iter().map(|(id, _)| id.as_str()).collect();
+    if exp_ids != act_ids {
+        return Err(format!(
+            "table sequence drifted:\n  committed: {exp_ids:?}\n  generated: {act_ids:?}"
+        ));
+    }
+    for ((id, e), (_, a)) in exp.iter().zip(&act) {
+        if WALL_CLOCK_TABLES.contains(&id.as_str()) {
+            if e.lines().count() != a.lines().count() {
+                return Err(format!(
+                    "wall-clock table {id} changed shape: {} lines committed, {} generated",
+                    e.lines().count(),
+                    a.lines().count()
+                ));
+            }
+            continue;
+        }
+        if e != a {
+            let (el, al) = e
+                .lines()
+                .zip(a.lines())
+                .find(|(el, al)| el != al)
+                .unwrap_or(("<missing>", "<extra>"));
+            return Err(format!(
+                "table {id} drifted:\n  committed: {el}\n  generated: {al}"
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// All experiments, in index order, as (id, generator) pairs.
 pub fn all_experiments() -> Vec<(&'static str, Generator)> {

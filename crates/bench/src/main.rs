@@ -1,14 +1,20 @@
 //! `figures` — regenerate the evaluation tables.
 //!
 //! Usage: `cargo run --release -p polaris-bench -- [all|f1|f2|f3|f4|f5|t2|f6|f7|a2]...`
+//!        `cargo run --release -p polaris-bench -- [--jobs N] ...`
+//!        `cargo run --release -p polaris-bench -- --check-output [path]`
 //!        `cargo run --release -p polaris-bench -- perf [--update|--check]`
 //!
-//! Prints each table and writes `target/figures/<id>.json`. The `perf`
-//! subcommand runs the wall-clock harness instead (see
+//! Prints each table and writes `target/figures/<id>.json`. Sweeps fan
+//! out over `--jobs` worker threads (or `POLARIS_JOBS`); output is
+//! byte-identical at any job count. `--check-output` regenerates every
+//! table and diffs the result against the committed snapshot
+//! (`figures_output.txt` by default), exiting nonzero on drift. The
+//! `perf` subcommand runs the wall-clock harness instead (see
 //! [`polaris_bench::perf`]): it emits the `BENCH_simwall.json` report
 //! and, with `--check`, gates against the committed baseline.
 
-use polaris_bench::{all_experiments, perf};
+use polaris_bench::{all_experiments, perf, sweep};
 use std::path::PathBuf;
 
 /// Counting allocator so `perf` can report allocations per message.
@@ -17,8 +23,50 @@ use std::path::PathBuf;
 #[global_allocator]
 static ALLOCATOR: perf::CountingAlloc = perf::CountingAlloc;
 
+/// Compare the regenerated output with the committed snapshot; report
+/// the first divergent table on mismatch. Wall-clock tables (see
+/// [`polaris_bench::WALL_CLOCK_TABLES`]) are shape-checked only.
+fn check_output(path: &str) -> i32 {
+    let expected = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--check-output: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    match polaris_bench::check_figures_output(&expected) {
+        Ok(()) => {
+            eprintln!("--check-output: {path} is up to date");
+            0
+        }
+        Err(report) => {
+            eprintln!("--check-output: {path} {report}");
+            1
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--jobs N` may appear anywhere (before experiment ids or modes).
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let n = args
+            .get(i + 1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--jobs requires a positive integer");
+                std::process::exit(2);
+            });
+        sweep::set_jobs(n);
+        args.drain(i..i + 2);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--check-output") {
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "figures_output.txt".to_string());
+        std::process::exit(check_output(&path));
+    }
     if args.first().map(String::as_str) == Some("perf") {
         std::process::exit(perf::run_perf(&args[1..]));
     }

@@ -170,6 +170,37 @@ pub struct F3Report {
     pub messages_per_sec: f64,
 }
 
+/// One measured job count of a parallel workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelPoint {
+    pub jobs: u64,
+    pub wall_seconds: f64,
+    /// serial wall / this wall — a same-machine ratio, so the gate on it
+    /// is machine-independent.
+    pub speedup: f64,
+}
+
+/// Wall-clock behaviour of the two parallel paths this PR adds: the
+/// rayon sweep harness fanning the F3 1024-node cells across workers,
+/// and the sharded conservative-parallel collective executor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelReport {
+    /// `available_parallelism()` on the measuring machine. Speedup
+    /// gates only arm when this is >= the job count under test —
+    /// a 1-core container cannot measure a 4-way speedup.
+    pub available_cores: u64,
+    /// F3 1024-node sweep, jobs = 1 (the speedup denominator).
+    pub sweep_serial_wall_seconds: f64,
+    pub sweep: Vec<ParallelPoint>,
+    /// Sharded executor: 512-rank ring allreduce, jobs = 1.
+    pub engine_serial_wall_seconds: f64,
+    pub engine: Vec<ParallelPoint>,
+    /// True when the sharded executor returned identical results
+    /// (completion and message count) at every measured job count —
+    /// the determinism oracle, machine-independent and always gated.
+    pub engine_deterministic: bool,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct History {
     /// Full `figures f3` wall on the pre-calendar binary-heap engine
@@ -186,6 +217,7 @@ pub struct PerfReport {
     pub eventq: EventqReport,
     pub engine: EngineReport,
     pub f3_1024: F3Report,
+    pub parallel: ParallelReport,
     /// `None` when the binary did not install [`CountingAlloc`].
     pub allocs_per_message_eager: Option<f64>,
     pub history: History,
@@ -287,31 +319,35 @@ fn measure_engine(samples: usize, obs: &polaris_obs::Obs) -> EngineReport {
 
 /// The F3 1024-node slice: three allreduce algorithms at 64B and 4MiB
 /// on a k=16 fat tree — the single most expensive cell of the figure
-/// suite, and the wall-clock acceptance workload for this PR.
-fn f3_1024_sweep() -> u64 {
+/// suite, and the wall-clock acceptance workload for this PR. Cells fan
+/// out over `jobs` sweep workers; `jobs = 1` is the serial reference.
+fn f3_1024_sweep(jobs: usize) -> u64 {
     let params = ExecParams::default();
-    let mut messages = 0u64;
+    let mut cells = Vec::new();
     for algo in [
         AllreduceAlgo::RecursiveDoubling,
         AllreduceAlgo::Ring,
         AllreduceAlgo::ReduceBcast,
     ] {
         for bytes in [64u64, 4 << 20] {
-            let mut net = Network::new(
-                Topology::new(TopologyKind::FatTree { k: 16 }),
-                Generation::InfiniBand4x.link_model(),
-            );
-            let r = simulate_collective(&mut net, Collective::Allreduce(algo), bytes, params);
-            messages += r.messages;
+            cells.push((algo, bytes));
         }
     }
-    messages
+    crate::sweep::sweep_with_jobs(cells, jobs, |(algo, bytes)| {
+        let mut net = Network::new(
+            Topology::new(TopologyKind::FatTree { k: 16 }),
+            Generation::InfiniBand4x.link_model(),
+        );
+        simulate_collective(&mut net, Collective::Allreduce(algo), bytes, params).messages
+    })
+    .into_iter()
+    .sum()
 }
 
 fn measure_f3(samples: usize) -> F3Report {
     let mut messages = 0u64;
     let best = best_of(samples, || {
-        messages = f3_1024_sweep();
+        messages = f3_1024_sweep(1);
         messages
     });
     F3Report {
@@ -319,6 +355,73 @@ fn measure_f3(samples: usize) -> F3Report {
         wall_seconds: best,
         messages,
         messages_per_sec: messages as f64 / best,
+    }
+}
+
+/// The sharded-executor perf workload: a 512-rank ring allreduce over
+/// gigabit ethernet. Gigabit's 3 us hop latency gives the conservative
+/// windows enough width that barrier synchronization stays a small
+/// fraction of the work per window.
+fn sharded_workload(jobs: u32) -> (u64, u64) {
+    let r = polaris_collectives::parsim::simulate_collective_sharded(
+        512,
+        Collective::Allreduce(AllreduceAlgo::Ring),
+        1 << 20,
+        ExecParams::default(),
+        Generation::GigabitEthernet.link_model(),
+        jobs,
+    );
+    (r.completion.0, r.messages)
+}
+
+/// Measure both parallel paths at jobs = 2, 4 (and the machine's core
+/// count if larger), against their jobs = 1 serial walls.
+fn measure_parallel(samples: usize) -> ParallelReport {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let mut job_counts = vec![2u64, 4];
+    if cores > 4 {
+        job_counts.push(cores);
+    }
+
+    let sweep_serial = best_of(samples, || f3_1024_sweep(1));
+    let sweep = job_counts
+        .iter()
+        .map(|&j| {
+            let wall = best_of(samples, || f3_1024_sweep(j as usize));
+            ParallelPoint {
+                jobs: j,
+                wall_seconds: wall,
+                speedup: sweep_serial / wall,
+            }
+        })
+        .collect();
+
+    let (serial_completion, serial_messages) = sharded_workload(1);
+    let engine_serial = best_of(samples, || sharded_workload(1).1);
+    let mut deterministic = true;
+    let engine = job_counts
+        .iter()
+        .map(|&j| {
+            let (completion, messages) = sharded_workload(j as u32);
+            deterministic &= completion == serial_completion && messages == serial_messages;
+            let wall = best_of(samples, || sharded_workload(j as u32).1);
+            ParallelPoint {
+                jobs: j,
+                wall_seconds: wall,
+                speedup: engine_serial / wall,
+            }
+        })
+        .collect();
+
+    ParallelReport {
+        available_cores: cores,
+        sweep_serial_wall_seconds: sweep_serial,
+        sweep,
+        engine_serial_wall_seconds: engine_serial,
+        engine,
+        engine_deterministic: deterministic,
     }
 }
 
@@ -391,12 +494,24 @@ const WALL_TOLERANCE: f64 = 1.60;
 /// criterion; machine-independent because it is a same-machine ratio).
 const MIN_SPEEDUP: f64 = 2.0;
 
+/// Required F3-sweep speedup at 4 jobs (PR acceptance criterion). A
+/// same-machine ratio, so machine-independent — but it only arms on
+/// machines with >= 4 cores; a 1-core container cannot exhibit it.
+const MIN_PARALLEL_SPEEDUP: f64 = 1.6;
+
+/// Overhead floor, armed at any core count: running the sweep with 2
+/// jobs must never cost more than 2x the serial wall, even with both
+/// workers time-slicing one core. Catches pathological synchronization
+/// (spinning, convoying) without demanding real parallel hardware.
+const PARALLEL_FLOOR: f64 = 0.5;
+
 pub fn measure(samples: usize) -> PerfReport {
     let obs = polaris_obs::Obs::new();
     let eventq = measure_eventq(samples);
     // Engine samples are ~40ms each; take extra to tame scheduler noise.
     let engine = measure_engine(samples.max(5), &obs);
     let f3 = measure_f3(samples.min(2));
+    let parallel = measure_parallel(samples.min(2));
     let allocs = measure_allocs_per_message();
     eprintln!(
         "[perf] obs exposition:\n{}",
@@ -407,10 +522,11 @@ pub fn measure(samples: usize) -> PerfReport {
             .join("\n")
     );
     PerfReport {
-        schema: "polaris-simwall/1".to_string(),
+        schema: "polaris-simwall/2".to_string(),
         eventq,
         engine,
         f3_1024: f3,
+        parallel,
         allocs_per_message_eager: allocs,
         history: History {
             f3_full_wall_seconds_heap_engine: 4.02,
@@ -489,6 +605,44 @@ pub fn check_gates(cur: &PerfReport, base: &PerfReport) -> Vec<String> {
     } else {
         eprintln!("[gate] eager allocs per message: counting allocator not installed, skipped");
     }
+
+    // Parallel gates. Speedups are same-machine ratios (serial wall /
+    // parallel wall from the same run), so no baseline normalization is
+    // needed; the 4-job gate only arms on machines that have 4 cores.
+    let p = &cur.parallel;
+    gate(
+        "sharded executor deterministic across jobs",
+        p.engine_deterministic,
+        "identical completion/messages at every job count".to_string(),
+    );
+    if let Some(pt) = p.sweep.iter().find(|pt| pt.jobs == 2) {
+        gate(
+            "sweep 2-job overhead floor >= 0.5x",
+            pt.speedup >= PARALLEL_FLOOR,
+            format!("measured {:.2}x on {} core(s)", pt.speedup, p.available_cores),
+        );
+    }
+    if p.available_cores >= 4 {
+        if let Some(pt) = p.sweep.iter().find(|pt| pt.jobs == 4) {
+            gate(
+                "sweep speedup at 4 jobs >= 1.6x",
+                pt.speedup >= MIN_PARALLEL_SPEEDUP,
+                format!("measured {:.2}x on {} cores", pt.speedup, p.available_cores),
+            );
+        }
+        if let Some(pt) = p.engine.iter().find(|pt| pt.jobs == 4) {
+            gate(
+                "sharded executor speedup at 4 jobs >= 1.2x",
+                pt.speedup >= 1.2,
+                format!("measured {:.2}x on {} cores", pt.speedup, p.available_cores),
+            );
+        }
+    } else {
+        eprintln!(
+            "[gate] parallel speedup gates: {} core(s) available, need 4 — skipped",
+            p.available_cores
+        );
+    }
     failures
 }
 
@@ -566,10 +720,26 @@ mod tests {
         );
     }
 
+    fn mk_parallel(cores: u64, speedup4: f64) -> ParallelReport {
+        let point = |jobs: u64, speedup: f64| ParallelPoint {
+            jobs,
+            wall_seconds: 1.0 / speedup,
+            speedup,
+        };
+        ParallelReport {
+            available_cores: cores,
+            sweep_serial_wall_seconds: 1.0,
+            sweep: vec![point(2, 1.4), point(4, speedup4)],
+            engine_serial_wall_seconds: 1.0,
+            engine: vec![point(2, 1.3), point(4, 1.5)],
+            engine_deterministic: true,
+        }
+    }
+
     #[test]
     fn report_roundtrips_through_json() {
         let rep = PerfReport {
-            schema: "polaris-simwall/1".into(),
+            schema: "polaris-simwall/2".into(),
             eventq: EventqReport {
                 hold: 16384,
                 transactions: 131072,
@@ -587,6 +757,7 @@ mod tests {
                 messages: 100_000,
                 messages_per_sec: 66_666.0,
             },
+            parallel: mk_parallel(4, 2.1),
             allocs_per_message_eager: Some(0.0),
             history: History {
                 f3_full_wall_seconds_heap_engine: 3.715,
@@ -604,7 +775,7 @@ mod tests {
     #[test]
     fn gates_pass_on_self_and_fail_on_regression() {
         let mk = |speedup: f64, wall: f64| PerfReport {
-            schema: "polaris-simwall/1".into(),
+            schema: "polaris-simwall/2".into(),
             eventq: EventqReport {
                 hold: 16384,
                 transactions: 131072,
@@ -622,6 +793,7 @@ mod tests {
                 messages: 100_000,
                 messages_per_sec: 100_000.0 / wall,
             },
+            parallel: mk_parallel(4, 2.1),
             allocs_per_message_eager: Some(0.0),
             history: History {
                 f3_full_wall_seconds_heap_engine: 3.715,
@@ -639,5 +811,18 @@ mod tests {
         // Losing the speedup trips both speedup gates.
         let flat = mk(1.2, 1.5);
         assert!(check_gates(&flat, &base).len() >= 2);
+        // A lost 4-job sweep speedup on a 4-core machine trips its gate.
+        let mut slow_par = mk(3.0, 1.5);
+        slow_par.parallel = mk_parallel(4, 1.1);
+        assert!(!check_gates(&slow_par, &base).is_empty());
+        // A broken determinism oracle always trips, on any machine.
+        let mut nondet = mk(3.0, 1.5);
+        nondet.parallel.engine_deterministic = false;
+        assert!(!check_gates(&nondet, &base).is_empty());
+        // On a 1-core machine the speedup gates disarm (no hardware to
+        // exhibit them) but the overhead floor still holds.
+        let mut small = mk(3.0, 1.5);
+        small.parallel = mk_parallel(1, 0.9);
+        assert!(check_gates(&small, &base).is_empty());
     }
 }

@@ -20,6 +20,7 @@ pub mod comm;
 pub mod ft;
 pub mod gather;
 pub mod op;
+pub mod parsim;
 pub mod reduce;
 pub mod reduce_scatter;
 pub mod scan;
@@ -37,6 +38,7 @@ pub mod prelude {
     pub use crate::ft::{ft_allreduce, ft_bcast, FtComm, FtError, FtReport};
     pub use crate::gather::{gather_binomial, gather_linear, scatter_linear};
     pub use crate::op::{Elem, Reducible, ReduceOp};
+    pub use crate::parsim::{simulate_collective_sharded, simulate_collective_sharded_stats};
     pub use crate::reduce::reduce_binomial;
     pub use crate::reduce_scatter::reduce_scatter_ring;
     pub use crate::scan::{scan_exclusive, scan_inclusive};

@@ -118,6 +118,9 @@ pub struct BufferPool {
     capacity: usize,
     cached: usize,
     stats: PoolStats,
+    hits_ctr: Option<Counter>,
+    misses_ctr: Option<Counter>,
+    evictions_ctr: Option<Counter>,
 }
 
 fn size_class(len: usize) -> u32 {
@@ -137,7 +140,20 @@ impl BufferPool {
             capacity,
             cached: 0,
             stats: PoolStats::default(),
+            hits_ctr: None,
+            misses_ctr: None,
+            evictions_ctr: None,
         }
+    }
+
+    /// Publish registration-cache activity through the observability
+    /// registry (`reg_cache_hits_total` / `reg_cache_misses_total` /
+    /// `reg_cache_evictions_total`). The counters track [`PoolStats`]
+    /// exactly — the ledger-reconciliation test holds them equal.
+    pub fn set_obs(&mut self, hits: Counter, misses: Counter, evictions: Counter) {
+        self.hits_ctr = Some(hits);
+        self.misses_ctr = Some(misses);
+        self.evictions_ctr = Some(evictions);
     }
 
     /// Get a registered buffer of at least `len` bytes with logical
@@ -148,10 +164,16 @@ impl BufferPool {
             if let Some(mr) = list.pop() {
                 self.cached -= 1;
                 self.stats.hits += 1;
+                if let Some(c) = &self.hits_ctr {
+                    c.inc();
+                }
                 return Ok(MsgBuf::from_region(mr, len));
             }
         }
         self.stats.misses += 1;
+        if let Some(c) = &self.misses_ctr {
+            c.inc();
+        }
         let mr = self.nic.register(self.pd, 1usize << class)?;
         Ok(MsgBuf::from_region(mr, len))
     }
@@ -163,6 +185,9 @@ impl BufferPool {
             self.nic.deregister(&buf.mr);
             if self.capacity != 0 {
                 self.stats.evictions += 1;
+                if let Some(c) = &self.evictions_ctr {
+                    c.inc();
+                }
             }
             return;
         }

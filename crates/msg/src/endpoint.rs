@@ -465,6 +465,11 @@ impl Endpoint {
             obs.counter("frame_pool_hits_total", &labels),
             obs.counter("frame_pool_misses_total", &labels),
         );
+        self.pool.set_obs(
+            obs.counter("reg_cache_hits_total", &labels),
+            obs.counter("reg_cache_misses_total", &labels),
+            obs.counter("reg_cache_evictions_total", &labels),
+        );
         self.obs = Some(EpObs {
             clock: 0,
             coll_epoch: 0,

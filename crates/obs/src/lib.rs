@@ -105,6 +105,17 @@ impl Obs {
         self.recorder.exit(at_ps, subject, name, fields);
     }
 
+    /// Fold another bundle's state into this one: registry series merge
+    /// per [`Registry::merge_from`]; trace events append in `other`'s
+    /// order with re-stamped sequence numbers per
+    /// [`FlightRecorder::merge_from`]. The parallel sweep harness gives
+    /// each trial an isolated bundle and merges them back in trial
+    /// order, so exports are identical to a serial run's.
+    pub fn merge_from(&self, other: &Obs) {
+        self.registry.merge_from(&other.registry);
+        self.recorder.merge_from(&other.recorder);
+    }
+
     /// Prometheus-style text exposition of the registry.
     pub fn prometheus(&self) -> String {
         export::to_prometheus(&self.registry)

@@ -318,6 +318,27 @@ impl Registry {
             .unwrap_or(0.0)
     }
 
+    /// Fold every series of `other` into `self`: counters add, gauges
+    /// take `other`'s value (last-write-wins, in merge-call order), and
+    /// histograms merge bucket-wise. Used by the parallel sweep harness
+    /// to combine per-trial isolated registries — merging trial
+    /// registries in trial-index order reproduces the series a single
+    /// shared registry would have held, because counter/histogram merge
+    /// is commutative and the sweep points write disjoint gauge keys.
+    pub fn merge_from(&self, other: &Registry) {
+        let src = other.inner.lock();
+        let mut dst = self.inner.lock();
+        for (k, c) in &src.counters {
+            dst.counters.entry(k.clone()).or_default().add(c.get());
+        }
+        for (k, g) in &src.gauges {
+            dst.gauges.entry(k.clone()).or_default().set(g.get());
+        }
+        for (k, h) in &src.histograms {
+            dst.histograms.entry(k.clone()).or_default().merge_from(h);
+        }
+    }
+
     /// Sorted `(key, value)` snapshot of all counters.
     pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
         self.inner
@@ -409,6 +430,32 @@ mod tests {
             metric_key("m", &[("b", "2"), ("a", "1")]),
             metric_key("m", &[("a", "1"), ("b", "2")]),
         );
+    }
+
+    #[test]
+    fn registry_merge_matches_shared_writes() {
+        // Two isolated registries merged in order must equal one shared
+        // registry that saw the same writes.
+        let shared = Registry::new();
+        let a = Registry::new();
+        let b = Registry::new();
+        for r in [&shared, &a] {
+            r.counter("n", &[("k", "1")]).add(3);
+            r.histogram("h", &[]).record(7);
+            r.gauge("g", &[("k", "1")]).set(1.5);
+        }
+        for r in [&shared, &b] {
+            r.counter("n", &[("k", "1")]).add(2);
+            r.counter("n", &[("k", "2")]).inc();
+            r.histogram("h", &[]).record(9);
+            r.gauge("g", &[("k", "2")]).set(2.5);
+        }
+        let merged = Registry::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.counters_snapshot(), shared.counters_snapshot());
+        assert_eq!(merged.gauges_snapshot(), shared.gauges_snapshot());
+        assert_eq!(merged.histograms_snapshot(), shared.histograms_snapshot());
     }
 
     #[test]

@@ -230,6 +230,30 @@ impl FlightRecorder {
         out
     }
 
+    /// Append `other`'s retained events to this ring, re-stamping their
+    /// sequence numbers from this recorder's counter (virtual
+    /// timestamps are kept). Merging per-trial recorders in trial-index
+    /// order therefore reproduces the event stream a single shared
+    /// recorder would have captured, byte for byte — the property the
+    /// parallel sweep harness relies on. Capacity eviction applies as
+    /// if the events had been recorded here directly.
+    pub fn merge_from(&self, other: &FlightRecorder) {
+        let src = other.inner.lock();
+        let mut g = self.inner.lock();
+        for ev in &src.ring {
+            if g.ring.len() == g.capacity {
+                g.ring.pop_front();
+                g.dropped += 1;
+            }
+            let seq = g.next_seq;
+            g.next_seq += 1;
+            let mut ev = ev.clone();
+            ev.seq = seq;
+            g.ring.push_back(ev);
+        }
+        g.dropped += src.dropped;
+    }
+
     /// Drop all retained events and reset the sequence counter; used
     /// between independent runs sharing one recorder.
     pub fn clear(&self) {
@@ -258,6 +282,27 @@ mod tests {
             "{\"seq\":0,\"at_ps\":10,\"subject\":\"qp:0/1\",\"name\":\"send\",\"phase\":\"enter\",\"fields\":{\"bytes\":4096}}"
         );
         assert!(r.to_jsonl().ends_with("\"phase\":\"exit\"}\n"));
+    }
+
+    #[test]
+    fn merge_reproduces_a_shared_recorder() {
+        // Recording into one shared ring vs recording into two rings and
+        // merging them in order must export the same bytes.
+        let shared = FlightRecorder::new();
+        let a = FlightRecorder::new();
+        let b = FlightRecorder::new();
+        for r in [&shared, &a] {
+            r.instant(10, Subject::Node(0), "boot", &[("ok", 1)]);
+            r.enter(20, Subject::Link(3), "xfer", &[]);
+        }
+        for r in [&shared, &b] {
+            r.exit(30, Subject::Link(3), "xfer", &[("bytes", 64)]);
+        }
+        let merged = FlightRecorder::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.to_jsonl(), shared.to_jsonl());
+        assert_eq!(merged.len(), 3);
     }
 
     #[test]

@@ -197,6 +197,32 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Schedule `event` at `time` with a caller-supplied tie-break key
+    /// in place of the internal sequence counter.
+    ///
+    /// This is the sharded engine's entry point: cross-shard events
+    /// carry globally-defined keys (rank, per-rank sequence) so that the
+    /// (time, key) total order — and therefore the simulation outcome —
+    /// is independent of how many shards the model is split across and
+    /// of the order events happened to cross the shard channels.
+    ///
+    /// Keys must be unique per (time, key) pair; a queue should be fed
+    /// either exclusively through `push` or exclusively through
+    /// `push_keyed`, never both, or the internal counter could collide
+    /// with caller keys.
+    pub fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        self.scheduled_total += 1;
+        self.insert(Scheduled {
+            time,
+            seq: key,
+            event,
+        });
+        self.len += 1;
+        if self.wheel_len > self.nbuckets() * GROW_FACTOR && self.nbuckets() < MAX_BUCKETS {
+            self.grow_pending = true;
+        }
+    }
+
     fn insert(&mut self, s: Scheduled<E>) {
         if self.len == 0 {
             // Empty queue: rebase the cursor directly onto the event.
@@ -550,6 +576,44 @@ mod tests {
         q.push(SimTime(2), ());
         q.pop();
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn keyed_pushes_order_by_key_not_arrival() {
+        // The same events fed in two different arrival orders must pop
+        // identically — the property cross-shard channel merges rely on.
+        let feed = |order: &[usize]| {
+            let evs = [
+                (SimTime(10), 7u64, "a"),
+                (SimTime(10), 3, "b"),
+                (SimTime(5), 9, "c"),
+                (SimTime(10), 5, "d"),
+                (SimTime(20), 1, "e"),
+            ];
+            let mut q = EventQueue::new();
+            for &i in order {
+                let (t, k, e) = evs[i];
+                q.push_keyed(t, k, e);
+            }
+            let mut out = Vec::new();
+            while let Some((t, e)) = q.pop() {
+                out.push((t, e));
+            }
+            out
+        };
+        let a = feed(&[0, 1, 2, 3, 4]);
+        let b = feed(&[4, 2, 3, 0, 1]);
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            vec![
+                (SimTime(5), "c"),
+                (SimTime(10), "b"),
+                (SimTime(10), "d"),
+                (SimTime(10), "a"),
+                (SimTime(20), "e"),
+            ]
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! assert!(d.arrival > SimTime::ZERO);
 //! ```
 
+pub mod channel;
 pub mod circuit;
 pub mod engine;
 pub mod error;
@@ -38,6 +39,7 @@ pub mod network;
 pub mod packet;
 pub mod packetnet;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod switch;
 pub mod time;
@@ -45,6 +47,7 @@ pub mod topology;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::channel::ShardChannel;
     pub use crate::circuit::{CircuitConfig, CircuitNetwork};
     pub use crate::engine::{run, RunStats, Scheduler, World};
     pub use crate::error::SimError;
@@ -57,6 +60,7 @@ pub mod prelude {
     pub use crate::network::{Delivery, LossConfig, Network};
     pub use crate::packetnet::{simulate_packets, Completion, Injection};
     pub use crate::rng::SplitMix64;
+    pub use crate::shard::{Partition, ShardCtx, ShardRunStats, ShardSim, ShardWorld};
     pub use crate::stats::{Log2Histogram, Summary};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Topology, TopologyKind, Vertex};

@@ -1,0 +1,604 @@
+//! Sharded conservative-parallel discrete-event execution.
+//!
+//! [`ShardSim`] partitions a model across worker shards, each owning an
+//! independent calendar [`EventQueue`], and runs them in *conservative
+//! time windows*: every round, the shards agree on the global minimum
+//! pending timestamp `T` and each drains its local events in
+//! `[T, T + L)`, where the lookahead `L` is the minimum cross-shard
+//! link latency (`LinkModel::hop_latency` via `LinkModel::min_latency`
+//! in the network models built on this). Conservative synchronization
+//! is sound because an event executing at `t >= T` can only schedule a
+//! *remote* event at `t' >= t + L >= T + L` — strictly beyond the
+//! window — so when a shard drains a window, every event that could
+//! fall inside it is already in its queue.
+//!
+//! Cross-shard events travel through bounded lock-free SPSC
+//! [`ShardChannel`]s (one per shard pair) and are merged at the window
+//! barrier into the destination's calendar queue via
+//! [`EventQueue::push_keyed`]. Determinism — and, stronger,
+//! *shard-count invariance* — comes from the key discipline: models
+//! supply tie-break keys derived from global identities (rank, per-rank
+//! sequence), never from shard ids or arrival order, so the
+//! `(time, key)` total order every shard executes is the same whether
+//! the model runs on 1, 2, or 4 shards. The oracle suite in
+//! `tests/parallel_determinism.rs` asserts exactly that.
+//!
+//! Synchronization is three `std::sync::Barrier` waits per window
+//! (publish local minima / adopt the window / exchange channels) —
+//! blocking primitives throughout, never spin loops, so oversubscribed
+//! hosts degrade gracefully instead of livelocking.
+
+use crate::channel::ShardChannel;
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use polaris_obs::Obs;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+/// Block partition of `hosts` simulated nodes across `nshards` engine
+/// shards: shard `s` owns the contiguous rank range
+/// `ceil(s*hosts/n) .. ceil((s+1)*hosts/n)`. Contiguity keeps each
+/// shard's working set dense, and the arithmetic is exact for any
+/// (hosts, nshards) pair — shard sizes differ by at most one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    pub hosts: u32,
+    pub nshards: u32,
+}
+
+impl Partition {
+    /// `nshards` is clamped to `1..=hosts` (an empty shard would stall
+    /// no one, but there is no reason to create it).
+    pub fn block(hosts: u32, nshards: u32) -> Self {
+        Partition {
+            hosts,
+            nshards: nshards.clamp(1, hosts.max(1)),
+        }
+    }
+
+    /// Partition the hosts of a topology.
+    pub fn for_topology(topo: &Topology, nshards: u32) -> Self {
+        Self::block(topo.hosts(), nshards)
+    }
+
+    /// Which shard owns `rank`.
+    #[inline]
+    pub fn shard_of(&self, rank: u32) -> u32 {
+        debug_assert!(rank < self.hosts);
+        ((rank as u64 * self.nshards as u64) / self.hosts as u64) as u32
+    }
+
+    /// The contiguous rank range shard `shard` owns.
+    pub fn ranks_of(&self, shard: u32) -> std::ops::Range<u32> {
+        debug_assert!(shard < self.nshards);
+        let lo = (shard as u64 * self.hosts as u64).div_ceil(self.nshards as u64) as u32;
+        let hi = ((shard as u64 + 1) * self.hosts as u64).div_ceil(self.nshards as u64) as u32;
+        lo..hi
+    }
+}
+
+// ---------------------------------------------------------------------
+// World interface
+// ---------------------------------------------------------------------
+
+/// One shard's slice of the model state, driven by [`ShardSim`].
+///
+/// The key discipline that makes runs shard-count invariant: every
+/// event scheduled through [`ShardCtx::send`] carries a tie-break key
+/// the model derives from *global* identities (e.g. `rank << 32 | seq`)
+/// — never from the shard id, the thread, or channel arrival order.
+pub trait ShardWorld: Send {
+    type Event: Send;
+    /// Handle one event at `ctx.now()`.
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, Self::Event>, event: Self::Event);
+}
+
+/// An event in flight between shards.
+struct Remote<E> {
+    time: SimTime,
+    key: u64,
+    event: E,
+}
+
+/// Scheduling interface handed to [`ShardWorld::handle`].
+pub struct ShardCtx<'a, E> {
+    now: SimTime,
+    shard: u32,
+    nshards: u32,
+    lookahead: SimDuration,
+    queue: &'a mut EventQueue<E>,
+    /// This shard's outbound channel row, indexed by destination shard.
+    outboxes: &'a [ShardChannel<Remote<E>>],
+    remote_sent: &'a mut u64,
+}
+
+impl<E> ShardCtx<'_, E> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The shard this handler is executing on.
+    #[inline]
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    #[inline]
+    pub fn nshards(&self) -> u32 {
+        self.nshards
+    }
+
+    /// The conservative lookahead: cross-shard events must be scheduled
+    /// at least this far past `now`.
+    #[inline]
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Schedule `event` at `time` on shard `dst`, tie-broken by `key`.
+    ///
+    /// Local sends (`dst == self.shard()`) may target any `time >= now`.
+    /// Cross-shard sends must satisfy `time >= now + lookahead` — the
+    /// conservative window contract; debug builds assert it.
+    pub fn send(&mut self, dst: u32, time: SimTime, key: u64, event: E) {
+        debug_assert!(time >= self.now, "event scheduled in the past");
+        if dst == self.shard {
+            self.queue.push_keyed(time.max(self.now), key, event);
+        } else {
+            debug_assert!(
+                time.0 >= self.now.0 + self.lookahead.0,
+                "cross-shard event at {} violates lookahead {} from {}",
+                time.0,
+                self.lookahead.0,
+                self.now.0
+            );
+            *self.remote_sent += 1;
+            self.outboxes[dst as usize].push(Remote { time, key, event });
+        }
+    }
+
+    /// Schedule a local event (shorthand for `send` to the own shard).
+    pub fn at(&mut self, time: SimTime, key: u64, event: E) {
+        let shard = self.shard;
+        self.send(shard, time, key, event);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded simulator
+// ---------------------------------------------------------------------
+
+/// Outcome of a sharded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRunStats {
+    /// Events dispatched, summed over shards.
+    pub events_dispatched: u64,
+    /// Events dispatched per shard, indexed by shard id.
+    pub per_shard_events: Vec<u64>,
+    /// Conservative windows executed.
+    pub windows: u64,
+    /// Events that crossed a shard boundary.
+    pub remote_events: u64,
+    /// Simulated time when the run stopped.
+    pub end_time: SimTime,
+    /// True if the run stopped at the horizon with events pending.
+    pub horizon_reached: bool,
+}
+
+impl ShardRunStats {
+    /// Export the run's counters through an observability registry:
+    /// `shard_events_dispatched_total{shard=..}`, `shard_windows_total`,
+    /// and `shard_remote_events_total`. Counters accumulate across runs
+    /// sharing one registry, matching every other ledger in the stack.
+    pub fn publish(&self, obs: &Obs) {
+        for (s, &n) in self.per_shard_events.iter().enumerate() {
+            let label = s.to_string();
+            obs.counter("shard_events_dispatched_total", &[("shard", &label)])
+                .add(n);
+        }
+        obs.counter("shard_windows_total", &[]).add(self.windows);
+        obs.counter("shard_remote_events_total", &[]).add(self.remote_events);
+    }
+}
+
+struct ShardSlot<W: ShardWorld> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    dispatched: u64,
+    remote_sent: u64,
+    /// Reusable merge buffer for inbound remote events.
+    inbox: Vec<Remote<W::Event>>,
+}
+
+/// A model partitioned across shards, executed in conservative windows.
+pub struct ShardSim<W: ShardWorld> {
+    shards: Vec<ShardSlot<W>>,
+    lookahead: SimDuration,
+}
+
+impl<W: ShardWorld> ShardSim<W> {
+    /// One world per shard. `lookahead` must be positive — it is the
+    /// minimum latency of any cross-shard interaction, and a zero
+    /// lookahead would make the conservative window empty.
+    pub fn new(worlds: Vec<W>, lookahead: SimDuration) -> Self {
+        assert!(!worlds.is_empty(), "at least one shard required");
+        assert!(lookahead.0 > 0, "conservative lookahead must be positive");
+        ShardSim {
+            shards: worlds
+                .into_iter()
+                .map(|world| ShardSlot {
+                    world,
+                    queue: EventQueue::new(),
+                    now: SimTime::ZERO,
+                    dispatched: 0,
+                    remote_sent: 0,
+                    inbox: Vec::new(),
+                })
+                .collect(),
+            lookahead,
+        }
+    }
+
+    pub fn nshards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Seed an event before the run (same key discipline as
+    /// [`ShardCtx::send`]).
+    pub fn schedule(&mut self, shard: u32, time: SimTime, key: u64, event: W::Event) {
+        self.shards[shard as usize].queue.push_keyed(time, key, event);
+    }
+
+    /// The shard worlds, indexed by shard id (for result extraction).
+    pub fn worlds(&self) -> impl Iterator<Item = &W> {
+        self.shards.iter().map(|s| &s.world)
+    }
+
+    /// Run to completion (or `horizon`). With `parallel` set, each
+    /// shard gets its own worker thread; otherwise the same windowed
+    /// algorithm runs on the calling thread, shard by shard — both
+    /// paths execute the identical `(time, key)` order, so they produce
+    /// identical results by construction.
+    pub fn run(&mut self, parallel: bool, horizon: Option<SimTime>) -> ShardRunStats {
+        let n = self.shards.len();
+        let lookahead = self.lookahead;
+        let channels: Vec<ShardChannel<Remote<W::Event>>> =
+            (0..n * n).map(|_| ShardChannel::new()).collect();
+        let windows = AtomicU64::new(0);
+        let horizon_hit = AtomicBool::new(false);
+
+        if !parallel || n == 1 {
+            loop {
+                let gmin = self
+                    .shards
+                    .iter_mut()
+                    .filter_map(|s| s.queue.peek_time())
+                    .map(|t| t.0)
+                    .min();
+                let Some(gmin) = gmin else { break };
+                if horizon.is_some_and(|h| gmin > h.0) {
+                    horizon_hit.store(true, Ordering::Relaxed);
+                    break;
+                }
+                windows.fetch_add(1, Ordering::Relaxed);
+                let wend = gmin.saturating_add(lookahead.0);
+                for (s, slot) in self.shards.iter_mut().enumerate() {
+                    drain_window(slot, s, n, lookahead, wend, &channels);
+                }
+                for (s, slot) in self.shards.iter_mut().enumerate() {
+                    merge_inbox(slot, s, n, &channels);
+                }
+            }
+        } else {
+            let barrier = Barrier::new(n);
+            let mins: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+            std::thread::scope(|scope| {
+                for (s, slot) in self.shards.iter_mut().enumerate() {
+                    let (channels, mins, barrier) = (&channels, &mins, &barrier);
+                    let (windows, horizon_hit) = (&windows, &horizon_hit);
+                    scope.spawn(move || {
+                        worker(
+                            s, n, slot, lookahead, horizon, channels, mins, barrier, windows,
+                            horizon_hit,
+                        );
+                    });
+                }
+            });
+        }
+
+        let per_shard_events: Vec<u64> = self.shards.iter().map(|s| s.dispatched).collect();
+        let horizon_reached = horizon_hit.load(Ordering::Relaxed);
+        let end_time = if horizon_reached {
+            horizon.expect("horizon_reached implies a horizon")
+        } else {
+            self.shards.iter().map(|s| s.now).max().unwrap_or(SimTime::ZERO)
+        };
+        // Reset per-run tallies so repeated runs don't double-count.
+        let stats = ShardRunStats {
+            events_dispatched: per_shard_events.iter().sum(),
+            per_shard_events,
+            windows: windows.load(Ordering::Relaxed),
+            remote_events: self.shards.iter().map(|s| s.remote_sent).sum(),
+            end_time,
+            horizon_reached,
+        };
+        for s in &mut self.shards {
+            s.dispatched = 0;
+            s.remote_sent = 0;
+        }
+        stats
+    }
+}
+
+/// Drain one shard's events in `[.., wend)`, routing cross-shard sends
+/// into the channel matrix row `s`.
+fn drain_window<W: ShardWorld>(
+    slot: &mut ShardSlot<W>,
+    s: usize,
+    n: usize,
+    lookahead: SimDuration,
+    wend: u64,
+    channels: &[ShardChannel<Remote<W::Event>>],
+) {
+    let outboxes = &channels[s * n..(s + 1) * n];
+    loop {
+        match slot.queue.peek_time() {
+            Some(t) if t.0 < wend => {}
+            _ => break,
+        }
+        let (t, event) = slot.queue.pop().expect("peeked");
+        debug_assert!(t >= slot.now, "clock must be monotone");
+        slot.now = t;
+        let mut ctx = ShardCtx {
+            now: t,
+            shard: s as u32,
+            nshards: n as u32,
+            lookahead,
+            queue: &mut slot.queue,
+            outboxes,
+            remote_sent: &mut slot.remote_sent,
+        };
+        slot.world.handle(&mut ctx, event);
+        slot.dispatched += 1;
+    }
+}
+
+/// Merge everything other shards sent to shard `s` into its queue.
+/// Arrival order is irrelevant: `push_keyed` restores the global
+/// `(time, key)` order.
+fn merge_inbox<W: ShardWorld>(
+    slot: &mut ShardSlot<W>,
+    s: usize,
+    n: usize,
+    channels: &[ShardChannel<Remote<W::Event>>],
+) {
+    for src in 0..n {
+        channels[src * n + s].drain_into(&mut slot.inbox);
+    }
+    for r in slot.inbox.drain(..) {
+        debug_assert!(r.time >= slot.now, "remote event inside a drained window");
+        slot.queue.push_keyed(r.time, r.key, r.event);
+    }
+}
+
+/// One shard's worker loop: three barrier waits per window.
+///
+/// 1. publish the local minimum, barrier, so every shard sees all minima;
+/// 2. compute the window (identically on every shard), barrier, so no
+///    shard can republish its minimum for the *next* window while a
+///    peer is still reading this one's;
+/// 3. drain the window, barrier, then merge inbound channels — the
+///    barrier orders every producer's channel pushes before every
+///    consumer's drain.
+#[allow(clippy::too_many_arguments)]
+fn worker<W: ShardWorld>(
+    s: usize,
+    n: usize,
+    slot: &mut ShardSlot<W>,
+    lookahead: SimDuration,
+    horizon: Option<SimTime>,
+    channels: &[ShardChannel<Remote<W::Event>>],
+    mins: &[AtomicU64],
+    barrier: &Barrier,
+    windows: &AtomicU64,
+    horizon_hit: &AtomicBool,
+) {
+    loop {
+        let local_min = slot.queue.peek_time().map_or(u64::MAX, |t| t.0);
+        mins[s].store(local_min, Ordering::Relaxed);
+        barrier.wait();
+        let gmin = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().expect("n >= 1");
+        barrier.wait();
+        if gmin == u64::MAX {
+            break;
+        }
+        if horizon.is_some_and(|h| gmin > h.0) {
+            if s == 0 {
+                horizon_hit.store(true, Ordering::Relaxed);
+            }
+            break;
+        }
+        if s == 0 {
+            windows.fetch_add(1, Ordering::Relaxed);
+        }
+        let wend = gmin.saturating_add(lookahead.0);
+        drain_window(slot, s, n, lookahead, wend, channels);
+        barrier.wait();
+        merge_inbox(slot, s, n, channels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ping-pong world: rank r bounces a token to rank (r+1)%hosts,
+    /// `hops` times, one hop per lookahead-multiple. Rank state is the
+    /// hop count; keys are rank-derived, so any shard count must
+    /// produce the identical trace.
+    struct PingWorld {
+        part: Partition,
+        base: u32,
+        /// (hops remaining, per-rank event seq) for each local rank.
+        ranks: Vec<(u32, u64)>,
+        log: Vec<(u64, u32)>,
+    }
+
+    #[derive(Debug)]
+    struct Token {
+        rank: u32,
+        hops_left: u32,
+    }
+
+    impl PingWorld {
+        fn key(&mut self, rank: u32) -> u64 {
+            let st = &mut self.ranks[(rank - self.base) as usize];
+            st.1 += 1;
+            ((rank as u64) << 32) | st.1
+        }
+    }
+
+    impl ShardWorld for PingWorld {
+        type Event = Token;
+        fn handle(&mut self, ctx: &mut ShardCtx<'_, Token>, ev: Token) {
+            self.log.push((ctx.now().0, ev.rank));
+            self.ranks[(ev.rank - self.base) as usize].0 += 1;
+            if ev.hops_left == 0 {
+                return;
+            }
+            let next = (ev.rank + 1) % self.part.hosts;
+            let key = self.key(ev.rank);
+            let at = SimTime(ctx.now().0 + ctx.lookahead().0);
+            ctx.send(
+                self.part.shard_of(next),
+                at,
+                key,
+                Token {
+                    rank: next,
+                    hops_left: ev.hops_left - 1,
+                },
+            );
+        }
+    }
+
+    fn run_ping(hosts: u32, nshards: u32, parallel: bool) -> (ShardRunStats, Vec<(u64, u32)>) {
+        let part = Partition::block(hosts, nshards);
+        let worlds: Vec<PingWorld> = (0..part.nshards)
+            .map(|sh| {
+                let ranks = part.ranks_of(sh);
+                PingWorld {
+                    part,
+                    base: ranks.start,
+                    ranks: ranks.map(|_| (0, 0)).collect(),
+                    log: Vec::new(),
+                }
+            })
+            .collect();
+        let mut sim = ShardSim::new(worlds, SimDuration(100));
+        for r in 0..hosts {
+            sim.schedule(
+                part.shard_of(r),
+                SimTime(r as u64),
+                (r as u64) << 32,
+                Token {
+                    rank: r,
+                    hops_left: 40,
+                },
+            );
+        }
+        let stats = sim.run(parallel, None);
+        // Merge per-shard logs into one global trace ordered by (time, rank).
+        let mut log: Vec<(u64, u32)> = sim.worlds().flat_map(|w| w.log.iter().copied()).collect();
+        log.sort_unstable();
+        (stats, log)
+    }
+
+    #[test]
+    fn partition_is_exact_and_contiguous() {
+        for hosts in [1u32, 5, 16, 31, 1024] {
+            for n in [1u32, 2, 3, 4, 7] {
+                let p = Partition::block(hosts, n);
+                let mut covered = 0u32;
+                for s in 0..p.nshards {
+                    let r = p.ranks_of(s);
+                    assert_eq!(r.start, covered, "shards must tile contiguously");
+                    for rank in r.clone() {
+                        assert_eq!(p.shard_of(rank), s);
+                    }
+                    covered = r.end;
+                }
+                assert_eq!(covered, hosts);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_counts_produce_identical_traces() {
+        let (base_stats, base_log) = run_ping(8, 1, false);
+        assert_eq!(base_stats.events_dispatched, 8 * 41);
+        for nshards in [2u32, 4] {
+            for parallel in [false, true] {
+                let (stats, log) = run_ping(8, nshards, parallel);
+                assert_eq!(log, base_log, "nshards={nshards} parallel={parallel}");
+                assert_eq!(stats.events_dispatched, base_stats.events_dispatched);
+                assert_eq!(stats.end_time, base_stats.end_time);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_events_counted_and_published() {
+        let (stats, _) = run_ping(8, 4, true);
+        // Hops from the last rank of one shard to the first of the next
+        // cross a boundary; with 8 ranks on 4 shards half of all hops do.
+        assert!(stats.remote_events > 0);
+        assert!(stats.windows > 0);
+        let obs = Obs::new();
+        stats.publish(&obs);
+        let total: u64 = (0..4)
+            .map(|s| {
+                obs.registry
+                    .counter_value("shard_events_dispatched_total", &[("shard", &s.to_string())])
+            })
+            .sum();
+        assert_eq!(total, stats.events_dispatched);
+        assert_eq!(
+            obs.registry.counter_value("shard_remote_events_total", &[]),
+            stats.remote_events
+        );
+        assert_eq!(
+            obs.registry.counter_value("shard_windows_total", &[]),
+            stats.windows
+        );
+    }
+
+    #[test]
+    fn horizon_stops_windows() {
+        let part = Partition::block(4, 2);
+        let worlds: Vec<PingWorld> = (0..2)
+            .map(|sh| {
+                let ranks = part.ranks_of(sh);
+                PingWorld {
+                    part,
+                    base: ranks.start,
+                    ranks: ranks.map(|_| (0, 0)).collect(),
+                    log: Vec::new(),
+                }
+            })
+            .collect();
+        let mut sim = ShardSim::new(worlds, SimDuration(100));
+        sim.schedule(0, SimTime::ZERO, 0, Token { rank: 0, hops_left: 1000 });
+        let stats = sim.run(true, Some(SimTime(500)));
+        assert!(stats.horizon_reached);
+        assert_eq!(stats.end_time, SimTime(500));
+        assert!(stats.events_dispatched <= 7);
+    }
+}

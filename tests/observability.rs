@@ -9,9 +9,16 @@
 //!    messaging stack (reliable delivery healing 10% uniform loss);
 //! 3. NIC error completions vs injected corruptions on raw queue pairs
 //!    (each corruption costs exactly two error CQEs: the receiver's
-//!    checksum failure and the sender's retry exhaustion).
+//!    checksum failure and the sender's retry exhaustion);
+//! 4. the endpoint's buffer-pool ledgers (registration cache and wire
+//!    frame pool) vs the `reg_cache_*` / `frame_pool_*` registry series;
+//! 5. the sharded engine's per-shard event ledger ([`ShardRunStats`])
+//!    vs the `shard_*_total` registry series it publishes.
 
 use polaris_bench::figures::f11_chaos;
+use polaris_collectives::prelude::{
+    simulate_collective_sharded_stats, AllreduceAlgo, Collective, ExecParams,
+};
 use polaris_msg::prelude::{Endpoint, MatchSpec, MsgConfig, Protocol, Reliability};
 use polaris_nic::prelude::*;
 use polaris_obs::Obs;
@@ -207,4 +214,137 @@ fn error_cqes_match_chaos_corruption_ledger_on_raw_qps() {
     );
     assert_eq!(ok, ok_cqes, "polled and counted ok CQEs must agree");
     assert_eq!(ok_cqes, 2 * (N as u64 - corruptions));
+}
+
+/// The endpoint's two buffer-pool ledgers and the registry series they
+/// publish must agree exactly: `reg_cache_{hits,misses,evictions}_total`
+/// tracks `PoolStats` and `frame_pool_{hits,misses}_total` tracks
+/// `FramePoolStats`, per rank, over a workload that exercises every
+/// counter (cache hits, misses, evictions, frame reuse).
+#[test]
+fn pool_ledgers_reconcile_with_registry() {
+    let obs = Obs::new();
+    let cfg = MsgConfig {
+        reliability: Reliability::on(), // reliable eager drives the frame pool
+        reg_cache_capacity: 1,          // force evictions under churn
+        ..MsgConfig::with_protocol(Protocol::Eager)
+    };
+    let fabric = Fabric::new();
+    let mut eps = Endpoint::create_world(&fabric, 2, cfg).unwrap();
+    // Counters attach here; stats may already count setup activity, so
+    // the reconciliation below is over deltas from this baseline.
+    let mut base_pool = Vec::new();
+    let mut base_frames = Vec::new();
+    for ep in eps.iter_mut() {
+        ep.set_obs(obs.clone());
+        base_pool.push(ep.pool_stats());
+        base_frames.push(ep.frame_pool_stats());
+    }
+    let (e0, e1) = eps.split_at_mut(1);
+    let (ep0, ep1) = (&mut e0[0], &mut e1[0]);
+
+    // Registration-cache churn: hold two buffers of one size class with
+    // a capacity-1 cache, so frees alternate between caching and
+    // evicting and allocs alternate between hits and misses.
+    for _ in 0..8 {
+        let a = ep0.alloc(256).unwrap();
+        let b = ep0.alloc(256).unwrap();
+        ep0.release(a);
+        ep0.release(b);
+    }
+    // Frame-pool churn: reliable eager traffic builds, retransmits, and
+    // recycles wire frames on both sides.
+    for i in 0..32u8 {
+        let mut sb = ep0.alloc(64).unwrap();
+        sb.fill_from(&[i; 64]);
+        let rb = ep1.alloc(64).unwrap();
+        let rreq = ep1.irecv(MatchSpec::exact(0, 4), rb).unwrap();
+        let sreq = ep0.isend(1, 4, sb).unwrap();
+        let sb = ep0.wait_send(sreq).unwrap();
+        ep0.release(sb);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            assert!(Instant::now() < deadline, "delivery stalled at message {i}");
+            ep0.progress();
+            if let Some((rb, _)) = ep1.test_recv(rreq).unwrap() {
+                ep1.release(rb);
+                break;
+            }
+        }
+    }
+
+    let evictions0 = ep0.pool_stats().evictions - base_pool[0].evictions;
+    assert!(evictions0 > 0, "capacity-1 cache under churn must evict");
+    assert!(ep0.pool_stats().hits > base_pool[0].hits, "churn must hit the cache");
+    let frame_hits: u64 = eps.iter().map(|ep| ep.frame_pool_stats().hits).sum();
+    assert!(frame_hits > 0, "steady-state eager traffic must recycle frames");
+    for (i, ep) in eps.iter().enumerate() {
+        let r = i.to_string();
+        let labels: [(&str, &str); 1] = [("rank", &r)];
+        let reg = &obs.registry;
+        let pool = ep.pool_stats();
+        assert_eq!(
+            reg.counter_value("reg_cache_hits_total", &labels),
+            pool.hits - base_pool[i].hits,
+            "rank {i} cache hits"
+        );
+        assert_eq!(
+            reg.counter_value("reg_cache_misses_total", &labels),
+            pool.misses - base_pool[i].misses,
+            "rank {i} cache misses"
+        );
+        assert_eq!(
+            reg.counter_value("reg_cache_evictions_total", &labels),
+            pool.evictions - base_pool[i].evictions,
+            "rank {i} cache evictions"
+        );
+        let frames = ep.frame_pool_stats();
+        assert_eq!(
+            reg.counter_value("frame_pool_hits_total", &labels),
+            frames.hits - base_frames[i].hits,
+            "rank {i} frame hits"
+        );
+        assert_eq!(
+            reg.counter_value("frame_pool_misses_total", &labels),
+            frames.misses - base_frames[i].misses,
+            "rank {i} frame misses"
+        );
+    }
+}
+
+/// The sharded engine's event ledger and the registry series
+/// [`ShardRunStats::publish`] emits must reconcile: per-shard dispatch
+/// counters sum to the total, and windows/remote-event counters match
+/// the stats the run returned.
+#[test]
+fn shard_event_ledger_reconciles_with_registry() {
+    let jobs = 4u32;
+    let (result, stats) = simulate_collective_sharded_stats(
+        32,
+        Collective::Allreduce(AllreduceAlgo::Ring),
+        1 << 16,
+        ExecParams::default(),
+        Generation::GigabitEthernet.link_model(),
+        jobs,
+    );
+    assert!(result.messages > 0);
+    assert_eq!(stats.per_shard_events.len(), jobs as usize);
+    assert!(stats.remote_events > 0, "a ring crosses shard boundaries");
+
+    let obs = Obs::new();
+    stats.publish(&obs);
+    let reg = &obs.registry;
+    let mut per_shard_sum = 0u64;
+    for (s, &n) in stats.per_shard_events.iter().enumerate() {
+        let published =
+            reg.counter_value("shard_events_dispatched_total", &[("shard", &s.to_string())]);
+        assert_eq!(published, n, "shard {s} dispatch ledger");
+        per_shard_sum += published;
+    }
+    assert_eq!(per_shard_sum, stats.events_dispatched);
+    assert_eq!(reg.counter_value("shard_windows_total", &[]), stats.windows);
+    assert_eq!(
+        reg.counter_value("shard_remote_events_total", &[]),
+        stats.remote_events
+    );
 }

@@ -1,0 +1,301 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the narrow slice of the `rayon` API it uses:
+//! `ThreadPoolBuilder`/`ThreadPool::install`, `join`, and indexed
+//! parallel iterators over owned `Vec`s, slices, and `usize` ranges
+//! with `map`/`for_each`/`collect`. Everything runs on scoped
+//! `std::thread` workers pulling indices from one atomic counter, and
+//! results are written into index-addressed slots — so the output
+//! order is the input order regardless of which worker ran which item,
+//! exactly the guarantee real rayon's indexed iterators give.
+//!
+//! Two deliberate simplifications, both semantics-preserving for the
+//! sweep workloads this crate serves:
+//!
+//! * `map` is eager (each combinator runs its pool pass immediately
+//!   rather than fusing into one pass);
+//! * `join(a, b)` runs its closures sequentially on the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------
+// Thread-pool surface
+// ---------------------------------------------------------------------
+
+// Worker count `install` pins for the duration of a closure; 0 means
+// "no pool installed, use the machine default".
+thread_local! {
+    static CURRENT_POOL: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Threads a parallel operation started on this thread will use.
+pub fn current_num_threads() -> usize {
+    let pinned = CURRENT_POOL.with(|c| c.get());
+    if pinned == 0 {
+        default_threads()
+    } else {
+        pinned
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 (the default) means "one worker per available core".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A sized pool. Workers are not persistent: each parallel operation
+/// spawns scoped threads, which keeps the shim free of global state and
+/// shutdown ordering concerns at a per-op cost that is noise next to
+/// the simulation workloads it runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's thread count pinned for any parallel
+    /// iterators it creates.
+    pub fn install<R, F>(&self, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = CURRENT_POOL.with(|c| c.replace(self.threads));
+        let out = op();
+        CURRENT_POOL.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Sequential stand-in for rayon's fork-join primitive.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+// ---------------------------------------------------------------------
+// Pool driver
+// ---------------------------------------------------------------------
+
+/// Map `f` over `items` on the current pool, preserving input order in
+/// the output. Items are claimed by index from a shared counter, so the
+/// schedule is work-stealing-shaped (a slow item does not block the
+/// rest) while the result vector is index-deterministic.
+fn run_pool<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("each slot claimed once");
+                let r = f(item);
+                *out[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Parallel iterators
+// ---------------------------------------------------------------------
+
+/// An indexed parallel iterator over realized items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_pool(self.items, f),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        run_pool(self.items, f);
+    }
+
+    /// Collect into any container built from the ordered results
+    /// (`collect::<Vec<_>>()` in practice).
+    pub fn collect<C>(self) -> C
+    where
+        C: From<Vec<T>>,
+    {
+        C::from(self.items)
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<u64> = pool.install(|| (0..100usize).into_par_iter().map(|i| (i * i) as u64).collect());
+        let expect: Vec<u64> = (0..100u64).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn ref_iter_and_sum() {
+        let v = vec![1u64, 2, 3, 4];
+        let s: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..10usize).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+}
