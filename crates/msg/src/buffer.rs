@@ -213,6 +213,18 @@ pub struct FramePoolStats {
     pub hits: u64,
     /// Acquisitions that had to allocate a fresh vector.
     pub misses: u64,
+    /// Frames handed back via [`FramePool::release`] (counted even when
+    /// the pool is full and the vector is dropped rather than retained).
+    pub releases: u64,
+}
+
+impl FramePoolStats {
+    /// Frames acquired and not yet released. The sentinel's conservation
+    /// ledger asserts this reaches zero at endpoint quiescence — any
+    /// residue is a leak through an error or cancellation path.
+    pub fn outstanding(&self) -> u64 {
+        (self.hits + self.misses).saturating_sub(self.releases)
+    }
 }
 
 /// A free list of plain byte vectors reused for wire frames: reliable
@@ -266,8 +278,10 @@ impl FramePool {
     }
 
     /// Return a vector for reuse. Dropped (not retained) once the pool
-    /// holds `capacity` vectors.
+    /// holds `capacity` vectors; either way the release is counted, so
+    /// `stats().outstanding()` tracks true frame custody.
     pub fn release(&mut self, frame: Vec<u8>) {
+        self.stats.releases += 1;
         if self.free.len() < self.capacity && frame.capacity() > 0 {
             self.free.push(frame);
         }

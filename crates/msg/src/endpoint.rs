@@ -26,7 +26,7 @@
 
 use crate::buffer::{BufferPool, FramePool, FramePoolStats, MsgBuf, PoolStats};
 use crate::config::{MsgConfig, Protocol, RendezvousMode};
-use crate::envelope::{rel_seq, rel_src, stamp_rel, Envelope, HEADER_LEN};
+use crate::envelope::{rel_sequenced, rel_src, rel_wire_seq, stamp_rel, Envelope, HEADER_LEN};
 use crate::match_engine::{MatchEngine, MatchSpec};
 use polaris_nic::prelude::*;
 use polaris_obs::{Counter, Obs, Subject};
@@ -131,9 +131,21 @@ const KIND_MASK: u64 = 0xff << 56;
 const PAYLOAD_MASK: u64 = !KIND_MASK;
 
 /// Sentinel "peer" marking a receive buffer from the shared pool.
-const SRQ_PEER: u32 = 0xff_ffff;
+/// `u32::MAX` cannot collide with a real rank: [`Endpoint::create_world`]
+/// rejects worlds of `u32::MAX` ranks or more, so every valid peer id is
+/// strictly below it. (It used to be `0xff_ffff`, which a legitimate
+/// 16M-rank world would reach and silently misroute to the SRQ path.)
+const SRQ_PEER: u32 = u32::MAX;
 
+/// Receive buffers per peer (or SRQ slots) addressable in a wr_id.
+const RX_IDX_LIMIT: u32 = 1 << 24;
+
+/// Pack an RX completion cookie: kind byte, then the full 32-bit peer id
+/// in bits `[24, 56)`, then a 24-bit buffer index. The peer field spans
+/// all of `u32`, so no rank can alias [`SRQ_PEER`] or bleed into the
+/// kind byte; the index range is asserted at post time.
 fn rx_wr_id(peer: u32, idx: u32) -> u64 {
+    debug_assert!(idx < RX_IDX_LIMIT, "rx buffer index {idx} overflows 24-bit field");
     K_RX | ((peer as u64) << 24) | idx as u64
 }
 
@@ -215,17 +227,60 @@ struct PendingTx {
 
 /// Per-peer reliability state: the TX window toward the peer and the RX
 /// dedup/reorder state for frames from it.
+///
+/// Sequence numbers are 64-bit *extended* counters in here (they never
+/// wrap in any realizable session), while the wire carries only their
+/// low 32 bits ([`stamp_rel`]). Receive and ACK paths reconstruct the
+/// extended value with the wrapping-window helpers [`extend_seq`] /
+/// [`extend_ack`], so the ordinary `u64` comparisons below stay exact
+/// across the `u32::MAX` wire boundary.
 #[derive(Default)]
 struct PeerRel {
-    /// Sequence number the next reliable frame toward this peer gets
-    /// (the stream starts at 1; 0 marks unreliable frames).
+    /// Extended sequence number of the last reliable frame sent toward
+    /// this peer (the stream starts at 1).
     next_seq: u64,
-    /// Unacknowledged frames, by sequence number.
+    /// Unacknowledged frames, by extended sequence number.
     pending: BTreeMap<u64, PendingTx>,
-    /// Highest sequence processed in order from this peer.
+    /// Highest extended sequence processed in order from this peer.
     rx_cum: u64,
-    /// Frames that arrived ahead of a gap, parked until it fills.
+    /// Frames that arrived ahead of a gap, parked until it fills, by
+    /// extended sequence number.
     rx_ooo: BTreeMap<u64, Vec<u8>>,
+}
+
+/// Half of the 32-bit wire sequence space: the dedup/reorder window. A
+/// wire seq less than `HALF_SEQ_WINDOW` ahead of the cumulative
+/// watermark (mod 2^32) is new; everything else is a replay.
+const HALF_SEQ_WINDOW: u32 = 1 << 31;
+
+/// Reconstruct the extended sequence number behind a 32-bit wire seq,
+/// relative to the receiver's cumulative watermark `cum`.
+///
+/// The window is asymmetric around `cum`: up to `HALF_SEQ_WINDOW - 1`
+/// ahead (new frames, far beyond any real in-flight window) and
+/// `HALF_SEQ_WINDOW` behind (stale retransmissions whose ACK was lost).
+/// Plain `wire as u64` comparison — the pre-fix behaviour once wire
+/// seqs narrow — would misclassify every frame after the stream crosses
+/// `u32::MAX`: the watermark would compare above all new frames and the
+/// session would stall discarding them as duplicates.
+fn extend_seq(cum: u64, wire: u32) -> u64 {
+    let ahead = wire.wrapping_sub(cum as u32);
+    if ahead < HALF_SEQ_WINDOW {
+        cum + ahead as u64
+    } else {
+        // Behind the watermark (mod 2^32): a duplicate from the past.
+        // Saturate for garbage arriving before the stream has advanced
+        // that far; it lands at 0 and is dropped by the `<= cum` dedup.
+        cum.saturating_sub((cum as u32).wrapping_sub(wire) as u64)
+    }
+}
+
+/// Reconstruct the extended sequence number behind an ACK's 32-bit wire
+/// seq, relative to `highest_sent` (the sender's own extended counter).
+/// ACKs can only reference frames already sent, so the window extends
+/// strictly backwards from `highest_sent`.
+fn extend_ack(highest_sent: u64, wire: u32) -> u64 {
+    highest_sent.saturating_sub((highest_sent as u32).wrapping_sub(wire) as u64)
 }
 
 /// Sockets-baseline reassembly state for one inbound message.
@@ -331,6 +386,15 @@ impl Endpoint {
     /// all-to-all connected, eager buffers pre-posted.
     pub fn create_world(fabric: &Fabric, n: u32, cfg: MsgConfig) -> MsgResult<Vec<Endpoint>> {
         cfg.validate().map_err(MsgError::BadConfig)?;
+        // Every rank must be encodable in the rx wr_id peer field without
+        // aliasing the SRQ sentinel, and every receive window index must
+        // fit the 24-bit slot field.
+        assert!(n < SRQ_PEER, "world size {n} would alias the SRQ_PEER sentinel");
+        assert!(
+            (cfg.eager_bufs_per_peer as u64) < RX_IDX_LIMIT as u64
+                && (cfg.srq_bufs as u64) < RX_IDX_LIMIT as u64,
+            "receive window exceeds the 24-bit wr_id index field"
+        );
         let mut eps: Vec<Endpoint> = Vec::with_capacity(n as usize);
         for rank in 0..n {
             let nic = fabric.create_nic();
@@ -539,6 +603,48 @@ impl Endpoint {
 
     pub fn frame_pool_stats(&self) -> FramePoolStats {
         self.frames.stats()
+    }
+
+    /// Reliability-layer work still in flight: frames awaiting an ACK
+    /// (retransmission timers may yet fire) plus inbound messages parked
+    /// at the NIC for want of a receive buffer. Zero across *all*
+    /// endpoints of a world means the wire has reached a fixed point —
+    /// no timer can resurrect traffic and every armed receive buffer is
+    /// back in place once the completion queues drain. Conservation
+    /// auditors poll progress until this settles before reconciling
+    /// ledgers; checking frame-pool occupancy alone is not enough (a
+    /// late retransmission can consume a receive buffer after the pool
+    /// looks idle).
+    pub fn rel_inflight(&self) -> usize {
+        let pending: usize = self.rel.iter().map(|r| r.pending.len()).sum();
+        let parked: usize = self
+            .peers
+            .iter()
+            .map(|p| p.qp.recv_depths().1)
+            .sum::<usize>()
+            + self.srq.as_ref().map_or(0, |(s, _)| s.depths().1);
+        pending + parked
+    }
+
+    /// Pretend `seq` reliable frames have already been exchanged with
+    /// `peer` in both directions: the TX stream toward the peer and the
+    /// RX watermark from it resume at `seq + 1`. Both sides of a
+    /// connection must be fast-forwarded symmetrically, on a fresh
+    /// session (nothing in flight). Lets tests and the sentinel fuzzer
+    /// place a session just below the 32-bit wire-seq wrap without
+    /// sending four billion frames.
+    #[doc(hidden)]
+    pub fn rel_fast_forward(&mut self, peer: u32, seq: u64) {
+        if !self.cfg.reliability.enabled {
+            return;
+        }
+        let rel = &mut self.rel[peer as usize];
+        assert!(
+            rel.next_seq == 0 && rel.rx_cum == 0 && rel.pending.is_empty() && rel.rx_ooo.is_empty(),
+            "rel_fast_forward requires a quiescent, fresh session"
+        );
+        rel.next_seq = seq;
+        rel.rx_cum = seq;
     }
 
     /// Allocate a registered message buffer (through the registration
@@ -972,9 +1078,9 @@ impl Endpoint {
         };
         if self.cfg.reliability.enabled {
             // Host copy #1: user buffer -> retransmittable frame.
-            let frame = self.rel_frame(dst, env, buf.as_slice());
+            let (seq, frame) = self.rel_frame(dst, env, buf.as_slice());
             self.count_copy(buf.len());
-            self.post_rel_frame(dst, frame)?;
+            self.post_rel_frame(dst, seq, frame)?;
             self.sends.insert(req, SendState::Done(buf));
             return Ok(());
         }
@@ -1050,8 +1156,8 @@ impl Endpoint {
             // zero-copy gather degrades to pack-and-send (one copy).
             let packed = layout.pack(buf.as_slice());
             self.count_copy(total);
-            let frame = self.rel_frame(dst, env, &packed);
-            self.post_rel_frame(dst, frame)?;
+            let (seq, frame) = self.rel_frame(dst, env, &packed);
+            self.post_rel_frame(dst, seq, frame)?;
             self.sends.insert(req, SendState::Done(buf));
             return Ok(req);
         }
@@ -1220,12 +1326,12 @@ impl Endpoint {
             };
             if self.cfg.reliability.enabled {
                 let seg = std::mem::take(&mut self.kstage);
-                let frame = self.rel_frame(dst, env, &seg);
+                let (seq, frame) = self.rel_frame(dst, env, &seg);
                 self.kstage = seg;
                 // Kernel copy #2: socket buffer -> driver ring.
                 self.count_copy(len);
                 self.stats.sockets_segments += 1;
-                self.post_rel_frame(dst, frame)?;
+                self.post_rel_frame(dst, seq, frame)?;
                 offset += len;
                 if offset >= total {
                     break;
@@ -1575,8 +1681,7 @@ impl Endpoint {
             self.frames.release(frame);
             return;
         }
-        let seq = rel_seq(&frame);
-        if seq == 0 {
+        if !rel_sequenced(&frame) {
             // Unsequenced frame (peer running without reliability).
             self.process_frame(&frame);
             self.frames.release(frame);
@@ -1584,6 +1689,9 @@ impl Endpoint {
         }
         let src = rel_src(&frame);
         let rel = &mut self.rel[src as usize];
+        // Wrapping-window reconstruction: exact even when the wire seq
+        // crosses u32::MAX mid-session.
+        let seq = extend_seq(rel.rx_cum, rel_wire_seq(&frame));
         if seq <= rel.rx_cum || rel.rx_ooo.contains_key(&seq) {
             // Duplicate: its ACK was lost, so re-ACK and drop.
             self.stats.rel_dups += 1;
@@ -1794,8 +1902,8 @@ impl Endpoint {
     /// handshake must survive loss like any data frame).
     fn send_ctrl(&mut self, dst: u32, env: Envelope) -> MsgResult<()> {
         if self.cfg.reliability.enabled {
-            let frame = self.rel_frame(dst, env, &[]);
-            return self.post_rel_frame(dst, frame);
+            let (seq, frame) = self.rel_frame(dst, env, &[]);
+            return self.post_rel_frame(dst, seq, frame);
         }
         self.post_frame(dst, &env.encode(), None)
     }
@@ -1805,8 +1913,11 @@ impl Endpoint {
     // ------------------------------------------------------------------
 
     /// Build a sequenced, retransmittable frame: encoded envelope with
-    /// the reliability trailer stamped, followed by `payload`.
-    fn rel_frame(&mut self, dst: u32, env: Envelope, payload: &[u8]) -> Vec<u8> {
+    /// the reliability trailer stamped, followed by `payload`. Returns
+    /// the frame's extended sequence number alongside the bytes (the
+    /// wire only carries its low 32 bits, so it cannot be re-read from
+    /// the frame).
+    fn rel_frame(&mut self, dst: u32, env: Envelope, payload: &[u8]) -> (u64, Vec<u8>) {
         let rel = &mut self.rel[dst as usize];
         rel.next_seq += 1;
         let seq = rel.next_seq;
@@ -1815,12 +1926,11 @@ impl Endpoint {
         let mut frame = self.frames.acquire(HEADER_LEN + payload.len());
         frame.extend_from_slice(&header);
         frame.extend_from_slice(payload);
-        frame
+        (seq, frame)
     }
 
     /// Post a sequenced frame and register it for retransmission.
-    fn post_rel_frame(&mut self, dst: u32, frame: Vec<u8>) -> MsgResult<()> {
-        let seq = rel_seq(&frame);
+    fn post_rel_frame(&mut self, dst: u32, seq: u64, frame: Vec<u8>) -> MsgResult<()> {
         let rto = self.jittered(self.cfg.reliability.rto_initial);
         self.post_frame(dst, &frame, Some(seq))?;
         self.rel[dst as usize].pending.insert(
@@ -1947,10 +2057,14 @@ impl Endpoint {
     }
 
     /// An ACK from `src`: retire the specific frame and everything at or
-    /// below the cumulative watermark.
-    fn handle_ack(&mut self, src: u32, acked: u64, cum: u64) {
+    /// below the cumulative watermark. Wire values are 32-bit; they are
+    /// extended against our send counter toward that peer, so retirement
+    /// comparisons stay exact across the wire-seq wrap.
+    fn handle_ack(&mut self, src: u32, acked: u32, cum: u32) {
         let Endpoint { rel, frames, .. } = self;
         let rel = &mut rel[src as usize];
+        let acked = extend_ack(rel.next_seq, acked);
+        let cum = extend_ack(rel.next_seq, cum);
         if let Some(p) = rel.pending.remove(&acked) {
             frames.release(p.frame);
         }
@@ -1965,12 +2079,13 @@ impl Endpoint {
     }
 
     /// Acknowledge frame `seq` from `src` (always, including duplicates:
-    /// the peer's earlier ACK may have been lost).
+    /// the peer's earlier ACK may have been lost). Only the low 32 bits
+    /// go on the wire; the peer re-extends them against its counter.
     fn send_ack(&mut self, src: u32, seq: u64) {
         let env = Envelope::Ack {
             src: self.rank,
-            acked: seq,
-            cum: self.rel[src as usize].rx_cum,
+            acked: seq as u32,
+            cum: self.rel[src as usize].rx_cum as u32,
         };
         self.stats.rel_acks += 1;
         if let Some(o) = &mut self.obs {
@@ -2037,5 +2152,72 @@ fn spin_for(d: Duration) {
     let end = Instant::now() + d;
     while Instant::now() < end {
         std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: peer id `0xff_ffff` used to alias the SRQ sentinel
+    /// (it *was* `SRQ_PEER`), so a 16M-rank world misrouted that rank's
+    /// completions to the shared-pool repost path. The widened encoding
+    /// keeps every real rank distinct from the sentinel.
+    #[test]
+    fn rx_wr_id_roundtrips_all_peer_widths() {
+        for peer in [0u32, 1, 0xff_fffe, 0xff_ffff, 0x100_0000, u32::MAX - 1] {
+            let id = rx_wr_id(peer, 42);
+            assert_eq!(id & KIND_MASK, K_RX, "peer {peer:#x} bled into the kind byte");
+            let (p, idx) = rx_decode(id);
+            assert_eq!((p, idx), (peer, 42), "peer {peer:#x} must roundtrip");
+            assert_ne!(p, SRQ_PEER, "peer {peer:#x} must not alias the SRQ sentinel");
+        }
+        let (p, idx) = rx_decode(rx_wr_id(SRQ_PEER, (1 << 24) - 1));
+        assert_eq!((p, idx), (SRQ_PEER, (1 << 24) - 1));
+    }
+
+    /// The world constructor refuses sizes that would alias the SRQ
+    /// sentinel rather than silently corrupting completion routing.
+    #[test]
+    #[should_panic(expected = "SRQ_PEER")]
+    fn create_world_rejects_sentinel_sized_worlds() {
+        let fabric = polaris_nic::prelude::Fabric::new();
+        let _ = Endpoint::create_world(&fabric, u32::MAX, MsgConfig::default());
+    }
+
+    /// Regression: wire seqs are 32-bit; crossing `u32::MAX` must keep
+    /// classifying new frames as new and old frames as duplicates. A
+    /// plain numeric compare on the wire value fails every case below
+    /// once the stream wraps.
+    #[test]
+    fn extend_seq_is_exact_across_the_wrap() {
+        let near = u32::MAX as u64 - 2;
+        // In-order delivery straddling the boundary.
+        for d in 1..=6u64 {
+            assert_eq!(extend_seq(near + d - 1, (near + d) as u32), near + d);
+        }
+        // A stale retransmission from just before the wrap is a dup.
+        let cum = u32::MAX as u64 + 3;
+        let stale = (u32::MAX as u64 - 1) as u32;
+        assert!(extend_seq(cum, stale) <= cum, "stale frame must extend behind the watermark");
+        // A frame parked ahead of a gap across the boundary.
+        let cum = u32::MAX as u64 - 1;
+        assert_eq!(extend_seq(cum, 2u32), u32::MAX as u64 + 3);
+        // Early-session garbage far "behind" saturates to 0 (dropped).
+        assert_eq!(extend_seq(2, u32::MAX - 5), 0);
+    }
+
+    /// ACK extension reconstructs against the send counter: ACKs for
+    /// frames sent just before the wrap retire the right pending entries
+    /// after the counter has crossed it.
+    #[test]
+    fn extend_ack_reconstructs_across_the_wrap() {
+        let sent = u32::MAX as u64 + 4;
+        assert_eq!(extend_ack(sent, sent as u32), sent);
+        assert_eq!(extend_ack(sent, (u32::MAX as u64 - 1) as u32), u32::MAX as u64 - 1);
+        assert_eq!(extend_ack(sent, 1u32), (1u64 << 32) + 1);
+        // An extended stream never confuses identical wire values from
+        // different epochs: only the most recent epoch is reachable.
+        assert_eq!(extend_ack(sent, sent as u32), sent);
     }
 }

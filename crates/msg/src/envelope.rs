@@ -5,31 +5,49 @@
 //! header is on the critical path of every small message, so it must cost
 //! a handful of stores, not a serializer.
 //!
-//! The last 16 bytes are the **reliability trailer**: a per-peer sequence
-//! number at `[48..56]` and the sender's rank at `[56..60]`, stamped by
-//! [`stamp_rel`] when the endpoint's reliability layer is enabled. A zero
-//! sequence number marks an unreliable frame (the default; ACKs are also
-//! unsequenced so they can never recurse).
+//! The last 16 bytes are the **reliability trailer**: a 32-bit wire
+//! sequence number at `[48..52]`, a sequenced-frame flag at `[52]`, and
+//! the sender's rank at `[56..60]`, stamped by [`stamp_rel`] when the
+//! endpoint's reliability layer is enabled. The wire carries only the
+//! low 32 bits of the per-peer 64-bit extended sequence counter (real
+//! transports carry 24–32-bit PSNs); receivers reconstruct the extended
+//! value with wrapping-window arithmetic, so streams survive the
+//! `u32::MAX` boundary without stalling or double-delivering. The flag
+//! byte — not a zero seq — marks unsequenced frames, because a wrapped
+//! stream legitimately emits a wire seq of 0. (ACKs are always
+//! unsequenced so they can never recurse.)
 
 /// Bytes every envelope occupies on the wire.
 pub const HEADER_LEN: usize = 64;
 
-/// Offset of the reliability sequence number within the header.
+/// Offset of the 32-bit wire sequence number within the header.
 pub const REL_SEQ_OFF: usize = 48;
+
+/// Offset of the sequenced-frame flag byte within the header.
+pub const REL_FLAG_OFF: usize = 52;
 
 /// Offset of the reliability source-rank field within the header.
 pub const REL_SRC_OFF: usize = 56;
 
 /// Stamp the reliability trailer onto an encoded header: `seq` is the
-/// frame's per-peer sequence number (nonzero), `src` the sending rank.
+/// frame's per-peer extended sequence number (only the low 32 bits go on
+/// the wire), `src` the sending rank.
 pub fn stamp_rel(header: &mut [u8; HEADER_LEN], seq: u64, src: u32) {
-    header[REL_SEQ_OFF..REL_SEQ_OFF + 8].copy_from_slice(&seq.to_le_bytes());
+    header[REL_SEQ_OFF..REL_SEQ_OFF + 4].copy_from_slice(&(seq as u32).to_le_bytes());
+    header[REL_FLAG_OFF] = 1;
     header[REL_SRC_OFF..REL_SRC_OFF + 4].copy_from_slice(&src.to_le_bytes());
 }
 
-/// Read a frame's reliability sequence number (0 = unreliable frame).
-pub fn rel_seq(frame: &[u8]) -> u64 {
-    u64::from_le_bytes(frame[REL_SEQ_OFF..REL_SEQ_OFF + 8].try_into().unwrap())
+/// Whether a frame carries a sequence number (was stamped by
+/// [`stamp_rel`]).
+pub fn rel_sequenced(frame: &[u8]) -> bool {
+    frame[REL_FLAG_OFF] != 0
+}
+
+/// Read a frame's 32-bit wire sequence number. Meaningless unless
+/// [`rel_sequenced`] returns true.
+pub fn rel_wire_seq(frame: &[u8]) -> u32 {
+    u32::from_le_bytes(frame[REL_SEQ_OFF..REL_SEQ_OFF + 4].try_into().unwrap())
 }
 
 /// Read a frame's reliability source rank.
@@ -73,8 +91,10 @@ pub enum Envelope {
     },
     /// Reliability acknowledgement: `src` acknowledges receiving frame
     /// `acked` and every frame up to and including `cum` (cumulative).
-    /// ACK frames are themselves unsequenced.
-    Ack { src: u32, acked: u64, cum: u64 },
+    /// Both carry 32-bit wire sequence numbers; the sender reconstructs
+    /// the extended values against its own send counter. ACK frames are
+    /// themselves unsequenced.
+    Ack { src: u32, acked: u32, cum: u32 },
 }
 
 const T_EAGER: u8 = 1;
@@ -142,8 +162,8 @@ impl Envelope {
             Envelope::Ack { src, acked, cum } => {
                 b[0] = T_ACK;
                 b[4..8].copy_from_slice(&src.to_le_bytes());
-                b[8..16].copy_from_slice(&acked.to_le_bytes());
-                b[16..24].copy_from_slice(&cum.to_le_bytes());
+                b[8..12].copy_from_slice(&acked.to_le_bytes());
+                b[12..16].copy_from_slice(&cum.to_le_bytes());
             }
         }
         b
@@ -185,8 +205,8 @@ impl Envelope {
             },
             T_ACK => Envelope::Ack {
                 src: u32_at(4),
-                acked: u64_at(8),
-                cum: u64_at(16),
+                acked: u32_at(8),
+                cum: u32_at(12),
             },
             _ => return None,
         })
@@ -224,7 +244,7 @@ mod tests {
         roundtrip(Envelope::Fin { msg_id: 0 });
         roundtrip(Envelope::Ack {
             src: 9,
-            acked: 1 << 50,
+            acked: u32::MAX,
             cum: 77,
         });
         roundtrip(Envelope::SockSeg {
@@ -254,12 +274,24 @@ mod tests {
     #[test]
     fn reliability_trailer_roundtrips_and_defaults_to_unreliable() {
         let mut b = Envelope::Fin { msg_id: 3 }.encode();
-        assert_eq!(rel_seq(&b), 0, "unstamped frames are unreliable");
+        assert!(!rel_sequenced(&b), "unstamped frames are unreliable");
         stamp_rel(&mut b, 0x0123_4567_89ab_cdef, 42);
-        assert_eq!(rel_seq(&b), 0x0123_4567_89ab_cdef);
+        assert!(rel_sequenced(&b));
+        assert_eq!(rel_wire_seq(&b), 0x89ab_cdef, "the wire carries the low 32 bits");
         assert_eq!(rel_src(&b), 42);
         // The trailer does not disturb the envelope body.
         assert_eq!(Envelope::decode(&b), Some(Envelope::Fin { msg_id: 3 }));
+    }
+
+    #[test]
+    fn wrapped_wire_seq_zero_is_still_sequenced() {
+        // An extended seq of exactly 2^32 has wire seq 0; the flag byte —
+        // not the seq value — must carry the sequenced/unsequenced
+        // distinction, or the frame would bypass dedup entirely.
+        let mut b = Envelope::Fin { msg_id: 1 }.encode();
+        stamp_rel(&mut b, 1u64 << 32, 7);
+        assert!(rel_sequenced(&b));
+        assert_eq!(rel_wire_seq(&b), 0);
     }
 
     #[test]

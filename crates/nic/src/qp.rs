@@ -56,6 +56,10 @@ pub(crate) enum Inbound {
         imm: Option<u32>,
         sender_cq: CompletionQueue,
         sender_qp: QpNum,
+        /// The sender QP itself, for per-QP completion accounting when
+        /// the CQE is finally generated at delivery time (the parked
+        /// message may outlive the handle, hence weak).
+        sender: Weak<QpInner>,
         sender_wr_id: u64,
         /// Invariant CRC computed over the payload at post time; only
         /// carried when the fabric's chaos layer is armed.
@@ -71,6 +75,8 @@ pub(crate) enum Inbound {
         imm: u32,
         sender_cq: CompletionQueue,
         sender_qp: QpNum,
+        /// See [`Inbound::Send::sender`].
+        sender: Weak<QpInner>,
         sender_wr_id: u64,
     },
 }
@@ -286,6 +292,7 @@ impl QueuePair {
                     imm,
                     sender_cq: self.inner.sq_cq.clone(),
                     sender_qp: self.inner.num,
+                    sender: Arc::downgrade(&self.inner),
                     sender_wr_id: wr_id,
                     icrc,
                     corrupt,
@@ -332,6 +339,7 @@ impl QueuePair {
                         imm,
                         sender_cq: self.inner.sq_cq.clone(),
                         sender_qp: self.inner.num,
+                        sender: Arc::downgrade(&self.inner),
                         sender_wr_id: wr_id,
                     };
                     if let Some(srq) = &peer.srq {
@@ -630,6 +638,7 @@ pub(crate) fn drop_guard_deliver(
             imm,
             sender_cq,
             sender_qp,
+            sender,
             sender_wr_id,
             icrc,
             corrupt,
@@ -645,15 +654,19 @@ pub(crate) fn drop_guard_deliver(
                     imm: None,
                     qp: rx.num,
                 });
-                fabric.count_cqe(false);
-                sender_cq.push(Cqe {
-                    wr_id: sender_wr_id,
-                    status: CqeStatus::RemoteAccessError,
-                    opcode: CqeOpcode::Send,
-                    byte_len: 0,
-                    imm: None,
-                    qp: sender_qp,
-                });
+                complete_remote_send(
+                    &sender,
+                    fabric,
+                    &sender_cq,
+                    Cqe {
+                        wr_id: sender_wr_id,
+                        status: CqeStatus::RemoteAccessError,
+                        opcode: CqeOpcode::Send,
+                        byte_len: 0,
+                        imm: None,
+                        qp: sender_qp,
+                    },
+                );
                 return;
             }
             // Gather from the sender's regions, scatter into the
@@ -680,15 +693,19 @@ pub(crate) fn drop_guard_deliver(
                     });
                     // The receiver NACKs the bad packet; the sender's
                     // retries exhaust.
-                    fabric.count_cqe(false);
-                    sender_cq.push(Cqe {
-                        wr_id: sender_wr_id,
-                        status: CqeStatus::RetryExceeded,
-                        opcode: CqeOpcode::Send,
-                        byte_len: 0,
-                        imm: None,
-                        qp: sender_qp,
-                    });
+                    complete_remote_send(
+                        &sender,
+                        fabric,
+                        &sender_cq,
+                        Cqe {
+                            wr_id: sender_wr_id,
+                            status: CqeStatus::RetryExceeded,
+                            opcode: CqeOpcode::Send,
+                            byte_len: 0,
+                            imm: None,
+                            qp: sender_qp,
+                        },
+                    );
                     return;
                 }
             }
@@ -701,21 +718,26 @@ pub(crate) fn drop_guard_deliver(
                 imm,
                 qp: rx.num,
             });
-            fabric.count_cqe(true);
-            sender_cq.push(Cqe {
-                wr_id: sender_wr_id,
-                status: CqeStatus::Success,
-                opcode: CqeOpcode::Send,
-                byte_len: total,
-                imm: None,
-                qp: sender_qp,
-            });
+            complete_remote_send(
+                &sender,
+                fabric,
+                &sender_cq,
+                Cqe {
+                    wr_id: sender_wr_id,
+                    status: CqeStatus::Success,
+                    opcode: CqeOpcode::Send,
+                    byte_len: total,
+                    imm: None,
+                    qp: sender_qp,
+                },
+            );
         }
         Inbound::WriteImm {
             byte_len,
             imm,
             sender_cq,
             sender_qp,
+            sender,
             sender_wr_id,
         } => {
             rx.note_cqe(CqeStatus::Success, byte_len);
@@ -727,17 +749,43 @@ pub(crate) fn drop_guard_deliver(
                 imm: Some(imm),
                 qp: rx.num,
             });
-            fabric.count_cqe(true);
-            sender_cq.push(Cqe {
-                wr_id: sender_wr_id,
-                status: CqeStatus::Success,
-                opcode: CqeOpcode::RdmaWrite,
-                byte_len,
-                imm: None,
-                qp: sender_qp,
-            });
+            complete_remote_send(
+                &sender,
+                fabric,
+                &sender_cq,
+                Cqe {
+                    wr_id: sender_wr_id,
+                    status: CqeStatus::Success,
+                    opcode: CqeOpcode::RdmaWrite,
+                    byte_len,
+                    imm: None,
+                    qp: sender_qp,
+                },
+            );
         }
     }
+}
+
+/// Generate the sender-side completion of a remotely-delivered
+/// operation. Attribution goes through the sender QP's [`note_cqe`]
+/// (which also bumps the fabric-wide `nic_cqe_total`) so the per-QP
+/// WQE/CQE books balance — the conservation audit asserts
+/// `wqe == cqe + armed receives` per fabric. If the sender QP handle
+/// was dropped while the message was parked, only the fabric-wide
+/// counter can be credited.
+///
+/// [`note_cqe`]: QpInner::note_cqe
+fn complete_remote_send(
+    sender: &Weak<QpInner>,
+    fabric: &Arc<FabricInner>,
+    sender_cq: &CompletionQueue,
+    cqe: Cqe,
+) {
+    match sender.upgrade() {
+        Some(qp) => qp.note_cqe(cqe.status, cqe.byte_len),
+        None => fabric.count_cqe(cqe.status == CqeStatus::Success),
+    }
+    sender_cq.push(cqe);
 }
 
 /// Gather a scatter list's bytes into one contiguous buffer (ICRC input).

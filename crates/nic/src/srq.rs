@@ -99,8 +99,14 @@ impl SharedReceiveQueue {
     /// flushed completion on `cq_of` the owning QP is unknown for pool
     /// buffers, so the caller supplies the CQ to notify.
     pub fn flush_to(&self, cq: &crate::cq::CompletionQueue) {
+        let fabric = self.inner.fabric.upgrade();
         let mut st = self.inner.state.lock();
         for wr in st.posted.drain(..) {
+            // Pool buffers have no owning QP, so only the fabric-wide
+            // CQE ledger can account for the flush.
+            if let Some(f) = &fabric {
+                f.count_cqe(false);
+            }
             cq.push(Cqe {
                 wr_id: wr.wr_id,
                 status: CqeStatus::Flushed,

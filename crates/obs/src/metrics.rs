@@ -175,8 +175,9 @@ impl Histogram {
     }
 
     /// Upper bound of the bucket holding the `q`-quantile observation
-    /// (`q` in `[0, 1]`); 0 if the histogram is empty. Exact for values
-    /// below 16, within one sub-bucket (≈6% relative) above.
+    /// (`q` in `(0, 1]`); see [`HistogramSnapshot::quantile`] for the
+    /// edge cases (`q <= 0`, empty histogram) and the bucket-upper-bound
+    /// bias every reported quantile inherits.
     pub fn quantile(&self, q: f64) -> u64 {
         self.snapshot().quantile(q)
     }
@@ -205,11 +206,34 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// The `q`-quantile of the recorded values, resolved to a bucket
+    /// bound.
+    ///
+    /// Defined edge cases: an **empty histogram** returns 0 (there is no
+    /// observation to bound), and **`q <= 0`** (including `-0.0` and
+    /// anything that rounds to rank 0) returns the *lower* bound of the
+    /// lowest recorded bucket — the minimum observation's bucket floor —
+    /// rather than an arbitrary bucket's upper bound.
+    ///
+    /// **Bias note:** for `q > 0` the result is the *upper* bound of the
+    /// bucket holding the rank-`⌈q·count⌉` observation. Buckets are
+    /// exact below 16 and one-sixteenth of an octave wide above, so the
+    /// reported value can exceed the true quantile by up to one
+    /// sub-bucket — a ≤ ~6% relative overestimate. Every consumer of
+    /// these quantiles inherits that bias; in particular the F11 chaos
+    /// table's p99 latency column reads ≤ ~6% high of the true p99.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let rank = (q * self.count as f64).ceil() as u64;
+        if rank == 0 {
+            // q <= 0: the minimum observation, reported by its bucket
+            // floor so the value never exceeds anything recorded.
+            let first = self.buckets.iter().position(|&n| n > 0);
+            return first.map_or(0, |idx| bucket_bounds(idx).0);
+        }
+        let rank = rank.clamp(1, self.count);
         let mut seen = 0u64;
         for (idx, &n) in self.buckets.iter().enumerate() {
             seen = seen.saturating_add(n);
@@ -406,6 +430,25 @@ mod tests {
         let p999 = h.quantile(0.999);
         let (lo, hi) = bucket_bounds(bucket_index(1_000_000));
         assert!(p999 == hi && lo <= 1_000_000);
+    }
+
+    /// Regression: the empty histogram and `q = 0` must return defined
+    /// values. Pre-fix, `q = 0` clamped to rank 1 and returned the first
+    /// non-empty bucket's *upper* bound — an arbitrary value above the
+    /// true minimum.
+    #[test]
+    fn quantile_edge_cases_are_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), 0, "empty histogram must report 0");
+        assert_eq!(h.quantile(0.99), 0, "empty histogram must report 0");
+        h.record(100);
+        h.record(5000);
+        let q0 = h.quantile(0.0);
+        assert!(q0 <= 100, "q=0 must not exceed the minimum observation, got {q0}");
+        assert_eq!(q0, bucket_bounds(bucket_index(100)).0, "minimum's bucket floor");
+        assert_eq!(h.quantile(-1.0), q0, "q below 0 clamps to the minimum");
+        // Positive quantiles keep the documented upper-bound convention.
+        assert_eq!(h.quantile(1.0), bucket_bounds(bucket_index(5000)).1);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Seeded random workload specifications.
+//!
+//! A [`WorkloadSpec`] is a pure function of a 64-bit seed: every field —
+//! topology, world size, message mix, chaos plan, collective choice —
+//! is drawn from one [`SplitMix64`] stream, so a seed alone reproduces
+//! a failing case bit-for-bit on any machine. Specs serialize to JSON
+//! (integer fields only; probabilities are permille so the artifact is
+//! exact) and shrink by proposing strictly-smaller candidate specs that
+//! the driver re-runs, keeping whichever still fails.
+
+use polaris_collectives::prelude::{
+    AllgatherAlgo, AllreduceAlgo, BarrierAlgo, BcastAlgo, Collective,
+};
+use polaris_simnet::prelude::{SplitMix64, TopologyKind};
+use serde::{Deserialize, Serialize};
+
+/// The collective mix the differential oracles cycle through.
+pub const COLLECTIVES: [Collective; 10] = [
+    Collective::Barrier(BarrierAlgo::Dissemination),
+    Collective::Barrier(BarrierAlgo::Tree),
+    Collective::Bcast(BcastAlgo::Binomial),
+    Collective::Bcast(BcastAlgo::ScatterAllgather),
+    Collective::Allreduce(AllreduceAlgo::RecursiveDoubling),
+    Collective::Allreduce(AllreduceAlgo::Ring),
+    Collective::Allreduce(AllreduceAlgo::ReduceBcast),
+    Collective::Allgather(AllgatherAlgo::Ring),
+    Collective::Allgather(AllgatherAlgo::Bruck),
+    Collective::AlltoallPairwise,
+];
+
+/// One fuzzer case. All fields are integers so the JSON replay artifact
+/// round-trips exactly; probabilities are permille (`drop_pm = 100`
+/// means 10%).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The case seed every per-audit RNG re-derives from.
+    pub seed: u64,
+    /// Topology selector: 0 crossbar, 1 ring, 2 torus2d, 3 torus3d,
+    /// 4 fat tree.
+    pub topo_kind: u8,
+    /// First topology dimension (hosts / width / k).
+    pub topo_a: u32,
+    /// Second topology dimension (height; unused otherwise).
+    pub topo_b: u32,
+    /// Endpoint world size for the messaging audits.
+    pub ranks: u32,
+    /// Messages per sender in the messaging audits.
+    pub msgs: u32,
+    /// Payload bytes per message.
+    pub msg_len: u32,
+    /// Tag pattern stride (tag of message `j` is `j * tag_stride`).
+    pub tag_stride: u64,
+    /// Frame drop probability, permille.
+    pub drop_pm: u32,
+    /// Frame corruption probability, permille.
+    pub corrupt_pm: u32,
+    /// Seed for the chaos / fault plan (independent of `seed` so
+    /// shrinking the workload keeps the loss pattern).
+    pub chaos_seed: u64,
+    /// Raw network transfers for the byte-conservation ledger.
+    pub transfers: u32,
+    /// Operations for the event-queue differential oracle.
+    pub queue_ops: u32,
+    /// Index into [`COLLECTIVES`].
+    pub collective: u8,
+    /// Rank count for the collective oracles.
+    pub coll_ranks: u32,
+    /// Collective payload bytes (vector / per-rank block size).
+    pub coll_bytes: u64,
+}
+
+impl WorkloadSpec {
+    /// Derive a complete spec from a seed. Deterministic: the only
+    /// entropy source is one `SplitMix64` stream.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut r = SplitMix64::new(seed);
+        let topo_kind = r.next_below(5) as u8;
+        let (topo_a, topo_b) = match topo_kind {
+            0 => (2 + r.next_below(31) as u32, 0),          // crossbar 2..=32
+            1 => (3 + r.next_below(22) as u32, 0),          // ring 3..=24
+            2 => (2 + r.next_below(4) as u32, 2 + r.next_below(4) as u32), // torus2d
+            3 => (2 + r.next_below(2) as u32, 2 + r.next_below(2) as u32), // torus3d
+            _ => (4, 0),                                    // fat tree k=4 (16 hosts)
+        };
+        WorkloadSpec {
+            seed,
+            topo_kind,
+            topo_a,
+            topo_b,
+            ranks: 2 + r.next_below(4) as u32,
+            msgs: 8 + r.next_below(57) as u32,
+            msg_len: 1 + r.next_below(2048) as u32,
+            tag_stride: 1 + r.next_below(7),
+            drop_pm: [0, 20, 50, 100][r.next_below(4) as usize],
+            corrupt_pm: [0, 10, 50][r.next_below(3) as usize],
+            chaos_seed: r.next_u64(),
+            transfers: 64 + r.next_below(448) as u32,
+            queue_ops: 128 + r.next_below(896) as u32,
+            collective: r.next_below(COLLECTIVES.len() as u64) as u8,
+            coll_ranks: 3 + r.next_below(22) as u32,
+            coll_bytes: 64u64 << r.next_below(9),
+        }
+    }
+
+    /// Case seed mixing for iteration `iter` of base seed `base`: each
+    /// (base, iter) pair lands on a distinct, reproducible case seed.
+    pub fn case_seed(base: u64, iter: u64) -> u64 {
+        SplitMix64::new(base ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+    }
+
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_pm as f64 / 1000.0
+    }
+
+    pub fn corrupt_prob(&self) -> f64 {
+        self.corrupt_pm as f64 / 1000.0
+    }
+
+    /// The simnet topology this spec names.
+    pub fn topology(&self) -> TopologyKind {
+        match self.topo_kind {
+            0 => TopologyKind::Crossbar { hosts: self.topo_a },
+            1 => TopologyKind::Ring { hosts: self.topo_a },
+            2 => TopologyKind::Torus2D {
+                w: self.topo_a,
+                h: self.topo_b,
+            },
+            3 => TopologyKind::Torus3D {
+                x: self.topo_a,
+                y: self.topo_b,
+                z: 2,
+            },
+            _ => TopologyKind::FatTree { k: 4 },
+        }
+    }
+
+    /// The collective this spec names, with a payload safe for it
+    /// (barriers carry no payload; alltoall payload is per-pair, so it
+    /// is capped to bound the quadratic total).
+    pub fn collective(&self) -> (Collective, u64) {
+        let coll = COLLECTIVES[self.collective as usize % COLLECTIVES.len()];
+        let bytes = match coll {
+            Collective::Barrier(_) => 0,
+            Collective::AlltoallPairwise => self.coll_bytes.min(4096),
+            _ => self.coll_bytes,
+        };
+        (coll, bytes)
+    }
+
+    /// A coarse size metric the shrinker minimizes.
+    pub fn size(&self) -> u64 {
+        self.msgs as u64
+            + self.msg_len as u64
+            + self.ranks as u64
+            + self.transfers as u64
+            + self.queue_ops as u64
+            + self.coll_ranks as u64
+            + self.coll_bytes
+            + self.drop_pm as u64
+            + self.corrupt_pm as u64
+            + self.topo_a as u64 * self.topo_b.max(1) as u64
+    }
+
+    /// Strictly-smaller mutations of this spec, in rough order of how
+    /// much each simplifies the case. The shrink driver re-runs each
+    /// candidate and recurses on any that still fails.
+    pub fn shrink_candidates(&self) -> Vec<WorkloadSpec> {
+        let mut out = Vec::new();
+        let mut push = |s: WorkloadSpec| {
+            if s != *self && s.size() < self.size() {
+                out.push(s);
+            }
+        };
+        // Remove the chaos first: a case that still fails lossless is
+        // far easier to read.
+        push(WorkloadSpec {
+            drop_pm: 0,
+            corrupt_pm: 0,
+            ..self.clone()
+        });
+        // Collapse the topology to the simplest shape.
+        push(WorkloadSpec {
+            topo_kind: 0,
+            topo_a: 4,
+            topo_b: 0,
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            msgs: (self.msgs / 2).max(1),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            msg_len: (self.msg_len / 2).max(1),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            ranks: (self.ranks / 2).max(2),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            transfers: (self.transfers / 2).max(1),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            queue_ops: (self.queue_ops / 2).max(1),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            coll_ranks: (self.coll_ranks / 2).max(3),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            coll_bytes: (self.coll_bytes / 2).max(1),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            tag_stride: 1,
+            ..self.clone()
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_pure_functions_of_the_seed() {
+        for seed in 0..64u64 {
+            assert_eq!(WorkloadSpec::from_seed(seed), WorkloadSpec::from_seed(seed));
+        }
+        assert_ne!(WorkloadSpec::from_seed(1), WorkloadSpec::from_seed(2));
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for seed in 0..16u64 {
+            let spec = WorkloadSpec::from_seed(seed);
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        let spec = WorkloadSpec::from_seed(7);
+        for cand in spec.shrink_candidates() {
+            assert!(cand.size() < spec.size(), "{cand:?} vs {spec:?}");
+        }
+    }
+
+    #[test]
+    fn topologies_and_collectives_are_always_constructible() {
+        for seed in 0..256u64 {
+            let spec = WorkloadSpec::from_seed(seed);
+            let topo = polaris_simnet::prelude::Topology::new(spec.topology());
+            assert!(topo.hosts() >= 2, "seed {seed}");
+            let (_, bytes) = spec.collective();
+            assert!(bytes <= spec.coll_bytes);
+        }
+    }
+}

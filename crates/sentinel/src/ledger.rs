@@ -1,0 +1,453 @@
+//! Conservation ledgers: cross-layer bookkeeping audits.
+//!
+//! Each audit runs a seeded workload while keeping its own independent
+//! ledger of what *must* be conserved, then reconciles that ledger
+//! against every layer that claims to account for the same quantity:
+//! the layer's own getters, the metrics registry, the fault-injection
+//! log, and the flight recorder. A mismatch anywhere is a [`Violation`]
+//! — nothing is allowed to leak, double-count, or silently vanish.
+//!
+//! The invariants:
+//!
+//! 1. **Byte conservation (network).** Every transfer presented to
+//!    [`Network::transfer`] is delivered or dropped-with-recorded-reason;
+//!    `transfers == delivered + dropped`, every drop has a matching
+//!    [`FaultEvent`] in the injector log, and the `net_*_total` counters
+//!    equal the getters.
+//! 2. **Completion conservation (NIC).** Over a full messaging workload,
+//!    every posted WQE yields exactly one CQE except receive descriptors
+//!    still armed at quiescence: `wqe_total - cqe_total` equals the
+//!    (constant) armed receive-window population, and the fabric-wide
+//!    CQE counter equals the per-QP sum.
+//! 3. **Frame conservation (msg).** Every wire frame acquired from the
+//!    [`FramePool`] is released by quiescence — `outstanding() == 0` on
+//!    every endpoint, including under loss and corruption (retransmit,
+//!    dedup-discard, and error paths all return their frames).
+//! 4. **Delivery conservation (msg).** Exactly-once, in-order payload
+//!    delivery per (sender, receiver) stream, reconciled against
+//!    endpoint stats.
+//! 5. **Clock monotonicity (obs).** Per-subject flight-recorder
+//!    timestamps never run backwards in record order.
+
+use crate::gen::WorkloadSpec;
+use crate::Violation;
+use polaris_msg::prelude::{Endpoint, MatchSpec, MsgConfig, Protocol, Reliability};
+use polaris_nic::prelude::{ChaosParams, Fabric};
+use polaris_obs::Obs;
+use polaris_simnet::prelude::{
+    FaultAction, FaultPlan, Generation, Network, SplitMix64, SimTime, Topology,
+};
+use std::time::{Duration, Instant};
+
+/// Push a violation unless `cond` holds.
+macro_rules! check {
+    ($out:expr, $cond:expr, $inv:expr, $($fmt:tt)+) => {
+        if !$cond {
+            $out.push(Violation::new($inv, format!($($fmt)+)));
+        }
+    };
+}
+
+/// Sum every counter series named `name` (any label set) in `obs`.
+pub(crate) fn sum_counters(obs: &Obs, name: &str) -> u64 {
+    obs.registry
+        .counters_snapshot()
+        .into_iter()
+        .filter(|(k, _)| k == name || k.starts_with(&format!("{name}{{")))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// Invariant 1: network byte conservation and drop attribution.
+pub fn network_conservation(spec: &WorkloadSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let obs = Obs::new();
+    let topo = Topology::new(spec.topology());
+    let hosts = topo.hosts();
+    let plan = FaultPlan::new(spec.chaos_seed)
+        .uniform_drop(spec.drop_prob())
+        .corrupt(spec.corrupt_prob());
+    let mut net = Network::new(topo, Generation::InfiniBand4x.link_model()).with_faults(plan);
+    net.set_obs(obs.clone());
+
+    let mut rng = SplitMix64::new(spec.seed ^ 0x6E65_745F_6175_6469); // "net_audi"
+    let (mut bytes_in, mut delivered, mut dropped, mut corrupted) = (0u64, 0u64, 0u64, 0u64);
+    let mut loopbacks = 0u64;
+    let mut now = 0u64;
+    for _ in 0..spec.transfers {
+        let src = rng.next_below(hosts as u64) as u32;
+        let dst = rng.next_below(hosts as u64) as u32;
+        let bytes = 1 + rng.next_below(1 << 14);
+        now += 1 + rng.next_below(1_000_000);
+        let d = net.transfer(SimTime(now), src, dst, bytes);
+        bytes_in += bytes;
+        if src == dst {
+            loopbacks += 1;
+        }
+        if d.dropped {
+            dropped += 1;
+        } else {
+            delivered += 1;
+            if d.corrupted {
+                corrupted += 1;
+            }
+        }
+    }
+
+    let inv = "net-byte-conservation";
+    check!(
+        out,
+        delivered + dropped == spec.transfers as u64,
+        inv,
+        "delivered {delivered} + dropped {dropped} != transfers {}",
+        spec.transfers
+    );
+    check!(
+        out,
+        net.transfers() == spec.transfers as u64,
+        inv,
+        "network transfer ledger {} != presented {}",
+        net.transfers(),
+        spec.transfers
+    );
+    check!(
+        out,
+        net.payload_bytes() == bytes_in,
+        inv,
+        "network byte ledger {} != presented bytes {bytes_in}",
+        net.payload_bytes()
+    );
+    check!(
+        out,
+        net.dropped() == dropped,
+        inv,
+        "network drop ledger {} != observed drops {dropped}",
+        net.dropped()
+    );
+    check!(
+        out,
+        net.corrupted() == corrupted,
+        inv,
+        "network corruption ledger {} != observed {corrupted}",
+        net.corrupted()
+    );
+
+    // Every drop must be attributed: one injector log entry with a
+    // recorded cause per dropped transfer (loopback transfers bypass
+    // the injector by design and can never appear here).
+    let logged_drops = net
+        .fault_log()
+        .iter()
+        .filter(|e| matches!(e.action, FaultAction::Drop(_)))
+        .count() as u64;
+    let logged_corruptions = net
+        .fault_log()
+        .iter()
+        .filter(|e| e.action == FaultAction::Corrupt)
+        .count() as u64;
+    check!(
+        out,
+        logged_drops == dropped,
+        "net-drop-attribution",
+        "{dropped} transfers dropped but {logged_drops} drop causes logged (loopbacks={loopbacks})"
+    );
+    check!(
+        out,
+        logged_corruptions == corrupted,
+        "net-drop-attribution",
+        "{corrupted} corrupted deliveries but {logged_corruptions} corruption events logged"
+    );
+
+    // The registry must tell the same story as the getters.
+    net.publish_obs();
+    let reg = &obs.registry;
+    for (name, want) in [
+        ("net_transfers_total", net.transfers()),
+        ("net_payload_bytes_total", net.payload_bytes()),
+        ("net_delivered_total", net.transfers() - net.dropped()),
+        ("net_dropped_total", net.dropped()),
+        ("net_corrupted_total", net.corrupted()),
+    ] {
+        let got = reg.counter_value(name, &[]);
+        check!(
+            out,
+            got == want,
+            "net-obs-reconciliation",
+            "{name}: registry {got} != ledger {want}"
+        );
+    }
+    out
+}
+
+/// Invariants 2–5 over one executable messaging workload: WQE/CQE
+/// balance, frame-pool custody, exactly-once delivery, counter
+/// reconciliation, and per-subject trace monotonicity — under the
+/// spec's chaos plan.
+pub fn endpoint_conservation(spec: &WorkloadSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n = spec.ranks.max(2);
+    let msgs = spec.msgs as usize;
+    let len = spec.msg_len.clamp(1, 2048) as usize;
+
+    let obs = Obs::new();
+    let fabric = Fabric::new();
+    // Wire the fabric first so QP counters exist from bootstrap on.
+    fabric.set_obs(obs.clone());
+    let cfg = MsgConfig {
+        reliability: Reliability {
+            // Short timers keep the wall-clock cost of healing a
+            // dropped final ACK negligible for the fuzzer.
+            rto_initial: Duration::from_millis(2),
+            rto_max: Duration::from_millis(20),
+            ..Reliability::on()
+        },
+        ..MsgConfig::with_protocol(Protocol::Eager)
+    };
+    let mut eps = match Endpoint::create_world(&fabric, n, cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            out.push(Violation::new("ep-bootstrap", format!("create_world({n}): {e}")));
+            return out;
+        }
+    };
+    for ep in &mut eps {
+        ep.set_obs(obs.clone());
+    }
+    // Frame-pool baseline at attach: the registry counters only see
+    // post-attach activity, so reconcile against the stats delta.
+    let frame_base: Vec<_> = eps.iter().map(|ep| ep.frame_pool_stats()).collect();
+    if spec.drop_pm > 0 || spec.corrupt_pm > 0 {
+        fabric.set_chaos(ChaosParams {
+            seed: spec.chaos_seed,
+            drop_prob: spec.drop_prob(),
+            corrupt_prob: spec.corrupt_prob(),
+        });
+    }
+
+    // Ring workload: rank r sends `msgs` messages to (r+1) % n, tags
+    // striding by the spec's pattern, payload a function of (sender, j).
+    let pattern = |src: u32, j: usize| -> Vec<u8> {
+        (0..len).map(|b| (src as usize * 131 + j * 31 + b * 7 + 3) as u8).collect()
+    };
+    let mut rreqs: Vec<Vec<_>> = Vec::with_capacity(n as usize);
+    for (r, ep) in eps.iter_mut().enumerate() {
+        let from = (r as u32 + n - 1) % n;
+        let mut reqs = Vec::with_capacity(msgs);
+        for j in 0..msgs {
+            let buf = ep.alloc(len).unwrap();
+            let tag = j as u64 * spec.tag_stride;
+            reqs.push(ep.irecv(MatchSpec::exact(from, tag), buf).unwrap());
+        }
+        rreqs.push(reqs);
+    }
+    for (r, ep) in eps.iter_mut().enumerate() {
+        let dst = (r as u32 + 1) % n;
+        for j in 0..msgs {
+            let mut buf = ep.alloc(len).unwrap();
+            buf.fill_from(&pattern(r as u32, j));
+            let sreq = ep.isend(dst, j as u64 * spec.tag_stride, buf).unwrap();
+            match ep.wait_send(sreq) {
+                Ok(sb) => ep.release(sb),
+                Err(e) => {
+                    out.push(Violation::new(
+                        "ep-delivery",
+                        format!("rank {r} send {j} failed: {e}"),
+                    ));
+                    return out;
+                }
+            }
+        }
+    }
+    // Drain: drive every endpoint until all receives complete.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut pending: Vec<(usize, usize, polaris_msg::prelude::ReqId)> = rreqs
+        .iter()
+        .enumerate()
+        .flat_map(|(r, reqs)| reqs.iter().enumerate().map(move |(j, &q)| (r, j, q)))
+        .collect();
+    while !pending.is_empty() {
+        if Instant::now() >= deadline {
+            out.push(Violation::new(
+                "ep-delivery",
+                format!("delivery stalled with {} receives outstanding", pending.len()),
+            ));
+            return out;
+        }
+        for ep in eps.iter_mut() {
+            ep.progress();
+        }
+        pending.retain(|&(r, j, req)| match eps[r].test_recv(req) {
+            Ok(Some((buf, info))) => {
+                let from = (r as u32 + n - 1) % n;
+                if info.len != len || buf.as_slice() != &pattern(from, j)[..] {
+                    out.push(Violation::new(
+                        "ep-delivery",
+                        format!("rank {r} msg {j}: payload damaged or reordered"),
+                    ));
+                }
+                eps[r].release(buf);
+                false
+            }
+            Ok(None) => true,
+            Err(e) => {
+                out.push(Violation::new(
+                    "ep-delivery",
+                    format!("rank {r} msg {j}: recv failed: {e}"),
+                ));
+                false
+            }
+        });
+    }
+    if !out.is_empty() {
+        return out;
+    }
+
+    // Invariant 4: exactly-once per stream, by the endpoints' own books.
+    for (r, ep) in eps.iter().enumerate() {
+        let s = ep.stats();
+        check!(
+            out,
+            s.msgs_received == msgs as u64,
+            "ep-exactly-once",
+            "rank {r}: {} received, expected exactly {msgs}",
+            s.msgs_received
+        );
+        check!(
+            out,
+            s.msgs_sent == msgs as u64,
+            "ep-exactly-once",
+            "rank {r}: {} sent, expected {msgs}",
+            s.msgs_sent
+        );
+    }
+
+    // Quiesce: the last data frame's ACK may itself have been dropped;
+    // keep driving (RTO is 2 ms) until the wire reaches a true fixed
+    // point or the grace period expires. Frame-pool occupancy alone is
+    // NOT a fixed point: an un-acked frame can retransmit *after* the
+    // pool looks idle, consuming an armed receive buffer that nobody
+    // reposts once polling stops (and a parked duplicate can hold a
+    // sender WQE open). Settle on three conditions simultaneously —
+    // no frames outstanding, no reliability work in flight
+    // ([`Endpoint::rel_inflight`]), and a full progress round that
+    // processed zero completions (queues drained, every consumed
+    // receive reposted).
+    let grace = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut processed = 0usize;
+        for ep in eps.iter_mut() {
+            processed += ep.progress();
+        }
+        let outstanding: u64 = eps.iter().map(|ep| ep.frame_pool_stats().outstanding()).sum();
+        let inflight: usize = eps.iter().map(|ep| ep.rel_inflight()).sum();
+        if (processed == 0 && outstanding == 0 && inflight == 0) || Instant::now() >= grace {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // Invariant 3: frame custody. Every acquired frame is back home.
+    for (r, ep) in eps.iter().enumerate() {
+        let f = ep.frame_pool_stats();
+        check!(
+            out,
+            f.outstanding() == 0,
+            "frame-conservation",
+            "rank {r}: {} wire frames never returned to the pool ({f:?})",
+            f.outstanding()
+        );
+    }
+
+    // Frame counters vs stats delta since attach.
+    let hits_ctr = sum_counters(&obs, "frame_pool_hits_total");
+    let misses_ctr = sum_counters(&obs, "frame_pool_misses_total");
+    let hits_stat: u64 = eps
+        .iter()
+        .zip(&frame_base)
+        .map(|(ep, b)| ep.frame_pool_stats().hits - b.hits)
+        .sum();
+    let misses_stat: u64 = eps
+        .iter()
+        .zip(&frame_base)
+        .map(|(ep, b)| ep.frame_pool_stats().misses - b.misses)
+        .sum();
+    check!(
+        out,
+        hits_ctr == hits_stat && misses_ctr == misses_stat,
+        "frame-obs-reconciliation",
+        "frame pool counters (hits {hits_ctr}, misses {misses_ctr}) != stats deltas (hits {hits_stat}, misses {misses_stat})"
+    );
+
+    // Invariant 2: WQE/CQE balance. Each consumed receive is reposted
+    // 1:1, so the armed receive population is constant: exactly the
+    // bootstrap posting — one full eager window per QP, and the world
+    // builder creates one QP per (rank, peer) pair *including self*,
+    // n^2 in total. Everything else must have completed.
+    let wqe = sum_counters(&obs, "nic_qp_wqe_total");
+    let qp_cqe = sum_counters(&obs, "nic_qp_cqe_total");
+    let fabric_cqe = sum_counters(&obs, "nic_cqe_total");
+    let armed_rx = n as u64 * n as u64 * MsgConfig::default().eager_bufs_per_peer as u64;
+    check!(
+        out,
+        wqe == qp_cqe + armed_rx,
+        "wqe-cqe-conservation",
+        "wqe {wqe} != cqe {qp_cqe} + armed rx {armed_rx} (leak or double completion)"
+    );
+    check!(
+        out,
+        qp_cqe == fabric_cqe,
+        "wqe-cqe-conservation",
+        "per-QP CQE sum {qp_cqe} != fabric-wide CQE counter {fabric_cqe}"
+    );
+
+    // Retransmit/ACK/dup counters vs endpoint stats.
+    let (mut retrans, mut acks, mut dups) = (0u64, 0u64, 0u64);
+    for ep in &eps {
+        let s = ep.stats();
+        retrans += s.rel_retransmits;
+        acks += s.rel_acks;
+        dups += s.rel_dups;
+    }
+    for (name, want) in [
+        ("msg_retransmits_total", retrans),
+        ("msg_acks_total", acks),
+        ("msg_dups_total", dups),
+    ] {
+        let got = sum_counters(&obs, name);
+        check!(
+            out,
+            got == want,
+            "msg-obs-reconciliation",
+            "{name}: registry {got} != endpoint stats {want}"
+        );
+    }
+
+    // Invariant 5: per-subject trace clocks are monotone.
+    out.extend(trace_monotonicity(&obs));
+    out
+}
+
+/// Invariant 5, standalone: for every subject, flight-recorder events
+/// carry non-decreasing virtual timestamps in record (seq) order.
+pub fn trace_monotonicity(obs: &Obs) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut events = obs.recorder.events();
+    events.sort_by_key(|e| e.seq);
+    let mut last: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    for e in &events {
+        let key = e.subject.to_string();
+        if let Some(&(prev_ps, prev_seq)) = last.get(&key) {
+            if e.at_ps < prev_ps {
+                out.push(Violation::new(
+                    "trace-monotonicity",
+                    format!(
+                        "subject {key}: clock ran backwards {prev_ps} -> {} (seq {prev_seq} -> {}, event {})",
+                        e.at_ps, e.seq, e.name
+                    ),
+                ));
+            }
+        }
+        last.insert(key, (e.at_ps, e.seq));
+    }
+    out
+}

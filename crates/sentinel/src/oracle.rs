@@ -1,0 +1,333 @@
+//! Differential oracles: two implementations that must agree, driven
+//! by the same seeded workload, with every divergence reported as a
+//! [`Violation`].
+//!
+//! * Calendar [`EventQueue`] vs the binary-heap reference queue — same
+//!   pop stream, same lengths, same `pop_at` behaviour.
+//! * Sharded conservative-parallel executor at 1 vs 2 vs 4 shards —
+//!   bit-identical completion times and message ledgers — and against
+//!   the serial flow-level executor, which must agree on the
+//!   message/payload ledgers (virtual times legitimately differ: the
+//!   two engines resolve crossbar contention in different deterministic
+//!   orders).
+//! * Raw vs reliable delivery under the same chaos plan — whatever the
+//!   raw channel happens to deliver, the reliable channel must deliver
+//!   a superset: all of it, exactly once, in order.
+
+use crate::gen::WorkloadSpec;
+use crate::Violation;
+use polaris_collectives::prelude::{simulate_collective, simulate_collective_sharded, ExecParams};
+use polaris_msg::prelude::{Endpoint, MatchSpec, MsgConfig, Protocol, Reliability};
+use polaris_nic::prelude::{ChaosParams, Fabric};
+use polaris_simnet::event::{reference::HeapQueue, EventQueue};
+use polaris_simnet::prelude::{
+    Generation, Network, SimTime, SplitMix64, Topology, TopologyKind,
+};
+use std::time::{Duration, Instant};
+
+macro_rules! check {
+    ($out:expr, $cond:expr, $inv:expr, $($fmt:tt)+) => {
+        if !$cond {
+            $out.push(Violation::new($inv, format!($($fmt)+)));
+        }
+    };
+}
+
+/// Calendar queue vs reference heap: identical observable behaviour
+/// over a seeded op stream. Timestamps are constructed unique (low bits
+/// carry the event id), so pop order is fully determined and the two
+/// queues must agree event-for-event, not just time-for-time.
+pub fn queue_oracle(spec: &WorkloadSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let inv = "queue-divergence";
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapQueue<u64> = HeapQueue::new();
+    let mut rng = SplitMix64::new(spec.seed ^ 0x7175_6575_655F_6469); // "queue_di"
+    let mut next_id = 0u64;
+    let mut pushes = 0u64;
+    for _ in 0..spec.queue_ops {
+        match rng.next_below(4) {
+            0 | 1 => {
+                // Bias toward pushes so the population grows and the
+                // calendar has to resize/advance its wheel.
+                let t = SimTime((rng.next_below(1 << 40) << 13) | (next_id & 0x1fff));
+                cal.push(t, next_id);
+                heap.push(t, next_id);
+                next_id += 1;
+                pushes += 1;
+            }
+            2 => {
+                let a = cal.pop();
+                let b = heap.pop();
+                check!(out, a == b, inv, "pop diverged: calendar {a:?} vs heap {b:?}");
+            }
+            _ => {
+                let a = cal.peek_time();
+                let b = heap.peek_time();
+                check!(out, a == b, inv, "peek diverged: calendar {a:?} vs heap {b:?}");
+                if let Some(t) = b {
+                    let a = cal.pop_at(t);
+                    let b = heap.pop();
+                    check!(out, a == b, inv, "pop_at({t:?}) diverged: {a:?} vs {b:?}");
+                }
+            }
+        }
+        check!(
+            out,
+            cal.len() == heap.len(),
+            inv,
+            "len diverged: calendar {} vs heap {}",
+            cal.len(),
+            heap.len()
+        );
+        if !out.is_empty() {
+            return out; // one divergence cascades; report the first
+        }
+    }
+    // Drain both to empty.
+    loop {
+        let a = cal.pop();
+        let b = heap.pop();
+        check!(out, a == b, inv, "drain diverged: calendar {a:?} vs heap {b:?}");
+        if b.is_none() || !out.is_empty() {
+            break;
+        }
+    }
+    check!(
+        out,
+        cal.scheduled_total() == pushes,
+        inv,
+        "calendar scheduled_total {} != pushes {pushes}",
+        cal.scheduled_total()
+    );
+    out
+}
+
+/// Sharded executor determinism: jobs=1 is the reference; 2 and 4
+/// shards must be bit-identical, and the serial flow-level executor
+/// must agree on the message/payload ledgers.
+pub fn shard_oracle(spec: &WorkloadSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let (coll, bytes) = spec.collective();
+    let p = spec.coll_ranks.max(3);
+    let link = if spec.seed & 1 == 0 {
+        Generation::GigabitEthernet.link_model()
+    } else {
+        Generation::InfiniBand4x.link_model()
+    };
+    let base = simulate_collective_sharded(p, coll, bytes, ExecParams::default(), link, 1);
+    for jobs in [2u32, 4] {
+        let run = simulate_collective_sharded(p, coll, bytes, ExecParams::default(), link, jobs);
+        check!(
+            out,
+            run.completion == base.completion,
+            "shard-divergence",
+            "{coll:?} p={p} jobs={jobs}: completion {:?} != serial-shard {:?}",
+            run.completion,
+            base.completion
+        );
+        check!(
+            out,
+            run.messages == base.messages && run.payload_bytes == base.payload_bytes,
+            "shard-divergence",
+            "{coll:?} p={p} jobs={jobs}: ledger ({}, {}) != serial-shard ({}, {})",
+            run.messages,
+            run.payload_bytes,
+            base.messages,
+            base.payload_bytes
+        );
+    }
+    let mut net = Network::new(Topology::new(TopologyKind::Crossbar { hosts: p }), link);
+    let serial = simulate_collective(&mut net, coll, bytes, ExecParams::default());
+    check!(
+        out,
+        serial.messages == base.messages && serial.payload_bytes == base.payload_bytes,
+        "shard-vs-serial-ledger",
+        "{coll:?} p={p}: serial executor ledger ({}, {}) != sharded ({}, {})",
+        serial.messages,
+        serial.payload_bytes,
+        base.messages,
+        base.payload_bytes
+    );
+    out
+}
+
+/// Raw vs reliable delivery under the spec's chaos plan. The raw
+/// channel may lose anything the injector drops; the reliable channel
+/// over the *same plan* must deliver every message exactly once, in
+/// order — a strict superset of whatever raw managed.
+pub fn reliable_superset(spec: &WorkloadSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let n_msgs = spec.msgs.clamp(1, 64) as usize;
+    let len = spec.msg_len.clamp(1, 1024) as usize;
+    let chaos = ChaosParams {
+        seed: spec.chaos_seed,
+        drop_prob: spec.drop_prob(),
+        corrupt_prob: spec.corrupt_prob(),
+    };
+    let pattern = |j: usize| -> Vec<u8> { (0..len).map(|b| (j * 17 + b * 5 + 1) as u8).collect() };
+
+    // `reliable = false` drives a bounded number of progress rounds and
+    // reports what arrived; `reliable = true` must converge to all.
+    let run = |reliable: bool, out: &mut Vec<Violation>| -> Option<Vec<bool>> {
+        let cfg = MsgConfig {
+            reliability: if reliable {
+                Reliability {
+                    rto_initial: Duration::from_millis(2),
+                    rto_max: Duration::from_millis(20),
+                    ..Reliability::on()
+                }
+            } else {
+                Reliability::default()
+            },
+            ..MsgConfig::with_protocol(Protocol::Eager)
+        };
+        let fabric = Fabric::new();
+        let mut eps = Endpoint::create_world(&fabric, 2, cfg).unwrap();
+        fabric.set_chaos(chaos);
+        let (e0, e1) = eps.split_at_mut(1);
+        let (ep0, ep1) = (&mut e0[0], &mut e1[0]);
+        let mut rreqs = Vec::with_capacity(n_msgs);
+        for j in 0..n_msgs {
+            let buf = ep1.alloc(len).unwrap();
+            rreqs.push(ep1.irecv(MatchSpec::exact(0, j as u64), buf).unwrap());
+        }
+        for j in 0..n_msgs {
+            let mut buf = ep0.alloc(len).unwrap();
+            buf.fill_from(&pattern(j));
+            let sreq = ep0.isend(1, j as u64, buf).unwrap();
+            match ep0.wait_send(sreq) {
+                Ok(sb) => ep0.release(sb),
+                Err(e) => {
+                    out.push(Violation::new(
+                        "reliable-superset",
+                        format!("send {j} failed (reliable={reliable}): {e}"),
+                    ));
+                    return None;
+                }
+            }
+        }
+        let mut delivered = vec![false; n_msgs];
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut rounds = 0u32;
+        loop {
+            ep0.progress();
+            ep1.progress();
+            for (j, req) in rreqs.iter().enumerate() {
+                if delivered[j] {
+                    continue;
+                }
+                if let Ok(Some((buf, info))) = ep1.test_recv(*req) {
+                    if info.len != len || buf.as_slice() != &pattern(j)[..] {
+                        out.push(Violation::new(
+                            "reliable-superset",
+                            format!("message {j} arrived damaged (reliable={reliable})"),
+                        ));
+                    }
+                    ep1.release(buf);
+                    delivered[j] = true;
+                }
+            }
+            rounds += 1;
+            let all = delivered.iter().all(|&d| d);
+            if all {
+                break;
+            }
+            if !reliable && rounds > 2000 {
+                break; // raw losses are permanent; stop polling
+            }
+            if Instant::now() >= deadline {
+                if reliable {
+                    out.push(Violation::new(
+                        "reliable-superset",
+                        format!(
+                            "reliable channel stalled: {}/{n_msgs} delivered under plan {chaos:?}",
+                            delivered.iter().filter(|&&d| d).count()
+                        ),
+                    ));
+                }
+                break;
+            }
+        }
+        Some(delivered)
+    };
+
+    let Some(raw) = run(false, &mut out) else { return out };
+    let Some(rel) = run(true, &mut out) else { return out };
+    for j in 0..n_msgs {
+        check!(
+            out,
+            !raw[j] || rel[j],
+            "reliable-superset",
+            "message {j}: raw delivered it but reliable lost it"
+        );
+        check!(
+            out,
+            rel[j],
+            "reliable-superset",
+            "message {j}: reliable channel failed to deliver under {chaos:?}"
+        );
+    }
+    out
+}
+
+/// Figure regeneration at sweep jobs=1 vs jobs=4: rendered tables,
+/// registry export, and trace JSONL must be byte-identical. Process-
+/// global (toggles the sweep pool), so run once per sentinel
+/// invocation, not per case.
+pub fn figures_jobs_oracle() -> Vec<Violation> {
+    use polaris_bench::figures::{f11_chaos, f2_p2p};
+    use polaris_bench::sweep;
+    use polaris_obs::Obs;
+    let mut out = Vec::new();
+    let render = |jobs: usize| {
+        sweep::set_jobs(jobs);
+        let obs = Obs::new();
+        let mut tables = String::new();
+        for t in f2_p2p::generate_with(&obs) {
+            tables.push_str(&t.render());
+        }
+        for t in f11_chaos::generate_with(&obs) {
+            tables.push_str(&t.render());
+        }
+        (tables, obs.prometheus(), obs.recorder.to_jsonl())
+    };
+    let serial = render(1);
+    let parallel = render(4);
+    sweep::set_jobs(1);
+    // The divergence report carries the first differing line of each
+    // artifact, so a CI failure uploads an actionable trace diff, not
+    // just a boolean.
+    for (name, a, b) in [
+        ("rendered tables", &serial.0, &parallel.0),
+        ("registry exports", &serial.1, &parallel.1),
+        ("flight-recorder JSONL", &serial.2, &parallel.2),
+    ] {
+        check!(
+            out,
+            a == b,
+            "figures-jobs-divergence",
+            "{name} differ between jobs=1 and jobs=4: {}",
+            first_line_diff(a, b)
+        );
+    }
+    out
+}
+
+/// Locate the first line where two rendered artifacts diverge —
+/// `line <n>: <jobs=1 side> != <jobs=4 side>` — for divergence
+/// reports.
+fn first_line_diff(a: &str, b: &str) -> String {
+    let mut la = a.lines();
+    let mut lb = b.lines();
+    let mut n = 1usize;
+    loop {
+        match (la.next(), lb.next()) {
+            (Some(x), Some(y)) if x == y => n += 1,
+            (Some(x), Some(y)) => return format!("line {n}: {x:?} != {y:?}"),
+            (Some(x), None) => return format!("line {n}: {x:?} != <end>"),
+            (None, Some(y)) => return format!("line {n}: <end> != {y:?}"),
+            (None, None) => return "identical line streams (length/encoding drift)".into(),
+        }
+    }
+}

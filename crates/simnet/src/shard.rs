@@ -413,9 +413,16 @@ fn worker<W: ShardWorld>(
 ) {
     loop {
         let local_min = slot.queue.peek_time().map_or(u64::MAX, |t| t.0);
-        mins[s].store(local_min, Ordering::Relaxed);
+        // Release/Acquire pairs the min publication with its reads: every
+        // shard's window computation observes every peer's freshly stored
+        // minimum, independent of what ordering the barrier implementation
+        // happens to provide. A Relaxed pair here leans on the barrier
+        // being a full fence — true for std's Mutex/Condvar barrier, but
+        // not a contract, and a stale minimum read would widen the
+        // conservative window and violate lookahead.
+        mins[s].store(local_min, Ordering::Release);
         barrier.wait();
-        let gmin = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().expect("n >= 1");
+        let gmin = mins.iter().map(|m| m.load(Ordering::Acquire)).min().expect("n >= 1");
         barrier.wait();
         if gmin == u64::MAX {
             break;
@@ -578,6 +585,52 @@ mod tests {
             obs.registry.counter_value("shard_windows_total", &[]),
             stats.windows
         );
+    }
+
+    /// Targeted race test for the cross-shard min-time handoff (runs
+    /// under the scheduled TSan job via the `shard` filter): N threads
+    /// repeat the worker loop's publish/compute protocol — Release-store
+    /// a local minimum, barrier, Acquire-load all minima — and every
+    /// thread must compute the true global minimum of the values
+    /// actually published this window. A stale read (the failure mode of
+    /// an unfenced Relaxed pair on a weaker barrier) surfaces as a
+    /// mismatch here and as a data race under TSan.
+    #[test]
+    fn shard_min_handoff_never_reads_stale_minima() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Barrier;
+
+        const THREADS: usize = 4;
+        const WINDOWS: u64 = 500;
+        let mins: Vec<AtomicU64> = (0..THREADS).map(|_| AtomicU64::new(0)).collect();
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            let mins = &mins;
+            let barrier = &barrier;
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    // Deterministic per-thread value stream; every thread
+                    // can recompute every peer's publication for the
+                    // window and hence the expected minimum.
+                    let val = |thread: u64, window: u64| {
+                        crate::rng::SplitMix64::new(thread ^ (window << 8)).next_u64()
+                    };
+                    for w in 0..WINDOWS {
+                        mins[t].store(val(t as u64, w), Ordering::Release);
+                        barrier.wait();
+                        let gmin = mins
+                            .iter()
+                            .map(|m| m.load(Ordering::Acquire))
+                            .min()
+                            .expect("n >= 1");
+                        let expect =
+                            (0..THREADS as u64).map(|p| val(p, w)).min().expect("n >= 1");
+                        assert_eq!(gmin, expect, "thread {t} read a stale minimum in window {w}");
+                        barrier.wait();
+                    }
+                });
+            }
+        });
     }
 
     #[test]

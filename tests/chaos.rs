@@ -72,6 +72,65 @@ fn exactly_once_delivery_over_ten_percent_loss() {
     );
 }
 
+/// Regression for the 32-bit wire-seq wrap: a long-lived session whose
+/// per-peer sequence counters sit just below `u32::MAX` must keep
+/// delivering exactly once, in order, through the boundary — under loss,
+/// so stale retransmissions and lost ACKs exercise the dedup window
+/// right at the wrap. Pre-fix (plain numeric comparison on the wire
+/// value) the stream stalls at the boundary: every post-wrap frame
+/// compares below the watermark and is discarded as a duplicate.
+#[test]
+fn reliable_delivery_survives_wire_seq_wrap() {
+    const N: usize = 64;
+    const LEN: usize = 96;
+    let cfg = MsgConfig {
+        reliability: Reliability::on(),
+        ..MsgConfig::with_protocol(Protocol::Eager)
+    };
+    let fabric = Fabric::new();
+    let mut eps = Endpoint::create_world(&fabric, 2, cfg).unwrap();
+    // Fast-forward both directions of the 0<->1 session to 8 frames
+    // below the wire wrap, then inject 10% loss across the boundary.
+    let base = u32::MAX as u64 - 8;
+    eps[0].rel_fast_forward(1, base);
+    eps[1].rel_fast_forward(0, base);
+    fabric.set_chaos(ChaosParams::drop_only(7077, 0.10));
+    let (e0, e1) = eps.split_at_mut(1);
+    let (ep0, ep1) = (&mut e0[0], &mut e1[0]);
+
+    let msg = |i: usize| -> Vec<u8> { (0..LEN).map(|j| (i * 31 + j * 7 + 3) as u8).collect() };
+    let mut rreqs = Vec::new();
+    for _ in 0..N {
+        let rb = ep1.alloc(LEN).unwrap();
+        rreqs.push(ep1.irecv(MatchSpec::exact(0, 9), rb).unwrap());
+    }
+    for i in 0..N {
+        let mut b = ep0.alloc(LEN).unwrap();
+        b.fill_from(&msg(i));
+        let sreq = ep0.isend(1, 9, b).unwrap();
+        let sb = ep0.wait_send(sreq).unwrap();
+        ep0.release(sb);
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for (i, req) in rreqs.into_iter().enumerate() {
+        loop {
+            assert!(Instant::now() < deadline, "delivery stalled at message {i} (seq wrap)");
+            ep0.progress();
+            if let Some((rb, info)) = ep1.test_recv(req).unwrap() {
+                assert_eq!(info.len, LEN);
+                assert_eq!(rb.as_slice(), &msg(i)[..], "message {i} must cross the wrap intact, in order");
+                ep1.release(rb);
+                break;
+            }
+        }
+    }
+    assert_eq!(ep1.stats().msgs_received, N as u64, "exactly once across the wrap");
+    assert!(
+        fabric.chaos_stats().unwrap().drops > 0,
+        "loss must have exercised retransmission at the boundary"
+    );
+}
+
 /// (b) One rank crashes mid-allreduce; the survivors agree, shrink the
 /// communicator, and complete with the reduction over their own
 /// contributions.

@@ -1,0 +1,143 @@
+//! Tier-1 promotion of the sentinel conservation ledgers and
+//! differential oracles: deterministic, fixed-seed instances of the
+//! audits the `sentinel` fuzzer drives at random, so every
+//! `cargo test` re-proves the invariants (and re-runs the regression
+//! seeds of bugs the fuzzer has already flushed out) without paying
+//! for a fuzz campaign.
+//!
+//! Seed discipline: every spec below is pinned — either an explicit
+//! field-by-field literal (regression cases, so a generator change
+//! cannot silently alter what they exercise) or derived through
+//! `WorkloadSpec::case_seed`, which is itself a frozen pure function.
+
+use polaris_sentinel::gen::WorkloadSpec;
+use polaris_sentinel::{ledger, oracle, run_case};
+
+/// A small, chaos-free messaging world. Before the per-QP completion
+/// attribution fix in `polaris-nic` (remote send/write-imm completions
+/// were counted only in the fabric-wide ledger, never against the
+/// sending QP), this spec failed `wqe-cqe-conservation` with the
+/// per-QP CQE sum at roughly half the fabric-wide count.
+fn nic_attribution_regression_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        seed: 3,
+        topo_kind: 0,
+        topo_a: 4,
+        topo_b: 0,
+        ranks: 2,
+        msgs: 4,
+        msg_len: 64,
+        tag_stride: 1,
+        drop_pm: 0,
+        corrupt_pm: 0,
+        chaos_seed: 7,
+        transfers: 32,
+        queue_ops: 64,
+        collective: 0,
+        coll_ranks: 4,
+        coll_bytes: 64,
+    }
+}
+
+#[test]
+fn nic_sender_cqe_attribution_regression() {
+    let v = ledger::endpoint_conservation(&nic_attribution_regression_spec());
+    assert!(v.is_empty(), "violations: {v:?}");
+}
+
+/// Fuzzer-found regression seeds for the quiescence fixed point: with
+/// chaos enabled, a late retransmission could consume an armed receive
+/// buffer after the frame pool already looked idle (or leave a parked
+/// duplicate holding a sender WQE open), so the WQE/CQE balance was
+/// audited before the wire had actually settled. The audit now settles
+/// on `Endpoint::rel_inflight` + a zero-completion progress round; the
+/// seeds that exposed the gap stay pinned here. (These run the
+/// conservation ledgers only — the oracle halves of these cases are
+/// covered by the pinned-spec oracle tests below and by
+/// `parallel_determinism`.)
+#[test]
+fn quiesce_fixed_point_regression_seeds() {
+    for seed in [0xe220a8397b1dcdafu64, 0x2c829abe1f4532e1, 0x910a2dec89025cc1] {
+        let spec = WorkloadSpec::from_seed(seed);
+        assert!(
+            spec.drop_pm > 0,
+            "seed {seed:#x} must keep exercising a lossy wire"
+        );
+        let v = ledger::endpoint_conservation(&spec);
+        assert!(v.is_empty(), "seed {seed:#x}: {v:?}");
+    }
+}
+
+/// Raw-network byte conservation over a mix of topologies and chaos
+/// plans: every injected byte is delivered or dropped with a recorded
+/// cause, and the obs counters agree with the network's own ledger.
+#[test]
+fn network_conservation_pinned_seeds() {
+    for base in 0..4u64 {
+        let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(base, 0));
+        let v = ledger::network_conservation(&spec);
+        assert!(v.is_empty(), "base {base}: {v:?}");
+    }
+}
+
+/// CalendarQueue vs reference::HeapQueue lockstep over pinned op
+/// streams.
+#[test]
+fn event_queue_oracle_pinned_seeds() {
+    for base in 0..6u64 {
+        let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(base, 1));
+        let v = oracle::queue_oracle(&spec);
+        assert!(v.is_empty(), "base {base}: {v:?}");
+    }
+}
+
+/// The 1/2/4-shard matrix: the sharded engine must be bit-identical to
+/// its jobs=1 run at 2 and 4 shards, and agree with the serial engine
+/// on the message/payload ledgers, across a pinned topology spread.
+#[test]
+fn shard_matrix_pinned_specs() {
+    // One pinned spec per topology kind so the matrix always covers
+    // crossbar, ring, torus2d, torus3d, and fat tree.
+    let mut covered = [false; 5];
+    let mut iter = 0u64;
+    while covered != [true; 5] {
+        let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(7, iter));
+        iter += 1;
+        assert!(iter < 256, "topology spread not reachable from seed 7");
+        if covered[spec.topo_kind as usize] {
+            continue;
+        }
+        covered[spec.topo_kind as usize] = true;
+        let v = oracle::shard_oracle(&spec);
+        assert!(
+            v.is_empty(),
+            "topo_kind {} (seed {:#x}): {v:?}",
+            spec.topo_kind,
+            spec.seed
+        );
+    }
+}
+
+/// Reliable delivery must be a superset of raw delivery under the same
+/// chaos plan, and must converge.
+#[test]
+fn reliable_superset_pinned_seeds() {
+    for base in 0..3u64 {
+        let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(base, 2));
+        let v = oracle::reliable_superset(&spec);
+        assert!(v.is_empty(), "base {base}: {v:?}");
+    }
+}
+
+/// Full audit stack (every ledger + every per-case oracle) over the
+/// first few cases of the CI smoke seed range — the same cases
+/// `sentinel --seed 0..8` starts with.
+#[test]
+fn full_audit_smoke_cases() {
+    for iter in 0..3u64 {
+        let case_seed = WorkloadSpec::case_seed(0, iter);
+        let spec = WorkloadSpec::from_seed(case_seed);
+        let v = run_case(&spec);
+        assert!(v.is_empty(), "case {case_seed:#x}: {v:?}");
+    }
+}
