@@ -175,9 +175,11 @@ pub fn generate_with(obs: &Obs) -> Vec<Table> {
             let retrans = reg.counter_value(RETRANS, &labels);
             let failed = reg.counter_value(BUDGET_FAILED, &labels);
             let total_ps = reg.gauge_value(TOTAL_PS, &labels);
-            // Bucket-upper-bound convention: the p99 column inherits the
-            // histogram's ≤ ~6% (one log-linear sub-bucket) overestimate
-            // of the true quantile — see `HistogramSnapshot::quantile`.
+            // Quantiles interpolate within the rank's histogram bucket
+            // (see `HistogramSnapshot::quantile`), so the p99 column's
+            // residual resolution error is half a log-linear sub-bucket
+            // (~±3%) rather than the old upper-bound convention's ≤ ~6%
+            // systematic overestimate.
             let p99_ps = cell_obs.histogram(LATENCY_PS, &labels).quantile(0.99);
             let goodput = if total_ps == 0.0 {
                 0.0

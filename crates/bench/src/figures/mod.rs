@@ -13,4 +13,5 @@ pub mod f8_decade;
 pub mod f9_placement;
 pub mod f10_sustained;
 pub mod f11_chaos;
+pub mod f12_lifecycle;
 pub mod t2_rms;

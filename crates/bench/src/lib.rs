@@ -111,6 +111,7 @@ pub fn all_experiments() -> Vec<(&'static str, Generator)> {
         ("f9", figures::f9_placement::generate),
         ("f10", figures::f10_sustained::generate),
         ("f11", figures::f11_chaos::generate),
+        ("f12", figures::f12_lifecycle::generate),
         ("a2", figures::a2_threshold::generate),
     ]
 }

@@ -112,8 +112,9 @@ fn json_f64(v: f64) -> String {
 }
 
 /// JSON snapshot of the registry: counters and gauges verbatim,
-/// histograms reduced to count/sum plus p50/p99/p999 bucket upper
-/// bounds. Keys are canonical series keys, sorted.
+/// histograms reduced to count/sum plus p50/p99/p999 estimates
+/// (interpolated within the rank's bucket). Keys are canonical series
+/// keys, sorted.
 pub fn to_json(reg: &Registry) -> String {
     let mut out = String::from("{\"counters\":{");
     for (i, (key, v)) in reg.counters_snapshot().iter().enumerate() {

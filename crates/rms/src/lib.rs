@@ -5,12 +5,14 @@
 //! responsibilities", made executable. Batch scheduling (FCFS vs EASY
 //! backfill, experiment T2), synthetic workload generation, heartbeat
 //! failure detection, and checkpoint/restart with Young/Daly interval
-//! analysis (experiment F6).
+//! analysis (experiment F6), and the reconciling node-lifecycle control
+//! plane ([`lifecycle`], experiment F12).
 
 pub mod alloc;
 pub mod checkpoint;
 pub mod health;
 pub mod job;
+pub mod lifecycle;
 pub mod recovery;
 pub mod sched;
 pub mod timeline;
@@ -23,6 +25,10 @@ pub mod prelude {
     };
     pub use crate::health::{evaluate as evaluate_detector, DetectionStats, DetectorConfig};
     pub use crate::job::{Job, JobOutcome, ScheduleMetrics};
+    pub use crate::lifecycle::{
+        churn_plan, run_fleet, ChurnSpec, Controller, ControllerConfig, FleetConfig,
+        FleetReport, HealthAggregator, HealthConfig, HealthVerdict, NodeState,
+    };
     pub use crate::recovery::{mean_inflation, run_job, RecoveryOutcome, RecoveryPolicy};
     pub use crate::sched::{run_and_summarize, simulate, Policy};
     pub use crate::timeline::Timeline;

@@ -28,12 +28,19 @@
 //!    endpoint stats.
 //! 5. **Clock monotonicity (obs).** Per-subject flight-recorder
 //!    timestamps never run backwards in record order.
+//! 6. **Lifecycle conservation (rms).** Replaying a fleet run's audit
+//!    log: every node is in exactly one state at every instant, every
+//!    transition is an edge of the lifecycle graph, jobs start only on
+//!    `Healthy` unoccupied nodes and are evicted before their node
+//!    leaves service, and the run's report, metrics, and log all tell
+//!    the same story.
 
 use crate::gen::WorkloadSpec;
 use crate::Violation;
 use polaris_msg::prelude::{Endpoint, MatchSpec, MsgConfig, Protocol, Reliability};
 use polaris_nic::prelude::{ChaosParams, Fabric};
 use polaris_obs::Obs;
+use polaris_rms::lifecycle::{churn_plan, run_fleet, AuditEvent, ChurnSpec, FleetConfig, NodeState};
 use polaris_simnet::prelude::{
     FaultAction, FaultPlan, Generation, Network, SplitMix64, SimTime, Topology,
 };
@@ -424,6 +431,222 @@ pub fn endpoint_conservation(spec: &WorkloadSpec) -> Vec<Violation> {
 
     // Invariant 5: per-subject trace clocks are monotone.
     out.extend(trace_monotonicity(&obs));
+    out
+}
+
+/// Invariant 6: lifecycle conservation. Runs a small fleet under a
+/// spec-derived churn plan with the audit log on, then replays the log
+/// with independent books — per-node state, per-node occupancy — and
+/// reconciles the end state against the run's own report and metrics.
+/// All fleet parameters are derived from existing spec fields so every
+/// historical seed exercises this audit without shifting any other
+/// audit's derivation.
+pub fn lifecycle_conservation(spec: &WorkloadSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let inv = "lifecycle-conservation";
+    let nodes = 16 + (spec.transfers % 49); // 16..=64
+    let cfg = FleetConfig {
+        nodes,
+        seed: spec.seed ^ 0x6C69_6665_6C65_6467, // "lifeledg"
+        jobs: 8 + spec.msgs % 24,
+        max_job_width: 1 + (spec.coll_ranks % 6),
+        record_audit: true,
+        ..FleetConfig::default()
+    };
+    let churn = ChurnSpec {
+        events: spec.msgs % 13,
+        ..ChurnSpec::default()
+    };
+    let plan = churn_plan(spec.chaos_seed, nodes, &churn);
+    let obs = Obs::new();
+    let report = run_fleet(cfg, &plan, Some(&obs));
+
+    // Determinism: the run is a pure function of (cfg, plan).
+    let replay = run_fleet(cfg, &plan, None);
+    check!(
+        out,
+        replay.audit == report.audit && replay.census == report.census,
+        "lifecycle-determinism",
+        "same (cfg, plan) produced diverging runs (audit {} vs {} events)",
+        report.audit.len(),
+        replay.audit.len()
+    );
+
+    // Replay the audit log with independent books.
+    let mut state = vec![NodeState::Provision; nodes as usize];
+    let mut occupant: Vec<Option<u32>> = vec![None; nodes as usize];
+    let mut job_started = vec![false; cfg.jobs as usize];
+    let mut job_ended = vec![false; cfg.jobs as usize];
+    let mut last_ps = 0u64;
+    let mut transitions = 0u64;
+    let mut requeues = 0u64;
+    for ev in &report.audit {
+        let at = match ev {
+            AuditEvent::Transition { at_ps, .. }
+            | AuditEvent::JobStart { at_ps, .. }
+            | AuditEvent::JobEvict { at_ps, .. }
+            | AuditEvent::JobEnd { at_ps, .. } => *at_ps,
+        };
+        check!(out, at >= last_ps, inv, "audit log time ran backwards: {last_ps} -> {at}");
+        last_ps = at;
+        match ev {
+            AuditEvent::Transition { node, from, to, .. } => {
+                transitions += 1;
+                let cur = state[*node as usize];
+                // Exactly one state per node at every instant: the log's
+                // `from` must be the state our books say the node holds.
+                check!(
+                    out,
+                    cur == *from,
+                    inv,
+                    "node {node}: transition claims from {from:?} but ledger says {cur:?}"
+                );
+                check!(
+                    out,
+                    NodeState::is_edge(*from, *to),
+                    inv,
+                    "node {node}: {from:?} -> {to:?} is not an edge of the lifecycle graph"
+                );
+                // A node leaving service must already be vacated.
+                if !matches!(to, NodeState::Healthy | NodeState::Degraded) {
+                    check!(
+                        out,
+                        occupant[*node as usize].is_none(),
+                        inv,
+                        "node {node} left service for {to:?} while job {:?} still occupied it",
+                        occupant[*node as usize]
+                    );
+                }
+                state[*node as usize] = *to;
+            }
+            AuditEvent::JobStart { job, nodes: placed, .. } => {
+                check!(out, !placed.is_empty(), inv, "job {job} started on zero nodes");
+                check!(out, !job_ended[*job as usize], inv, "job {job} restarted after ending");
+                job_started[*job as usize] = true;
+                for n in placed {
+                    // Admission gate: only Healthy, unoccupied nodes.
+                    check!(
+                        out,
+                        state[*n as usize].schedulable(),
+                        inv,
+                        "job {job} started on node {n} in state {:?}",
+                        state[*n as usize]
+                    );
+                    check!(
+                        out,
+                        occupant[*n as usize].is_none(),
+                        inv,
+                        "job {job} double-booked node {n} (held by {:?})",
+                        occupant[*n as usize]
+                    );
+                    occupant[*n as usize] = Some(*job);
+                }
+            }
+            AuditEvent::JobEvict { job, .. } => {
+                requeues += 1;
+                check!(out, job_started[*job as usize], inv, "job {job} evicted before starting");
+                let held = occupant.iter().filter(|&&o| o == Some(*job)).count();
+                check!(out, held > 0, inv, "job {job} evicted while holding no nodes");
+                for slot in occupant.iter_mut() {
+                    if *slot == Some(*job) {
+                        *slot = None;
+                    }
+                }
+            }
+            AuditEvent::JobEnd { job, .. } => {
+                check!(out, !job_ended[*job as usize], inv, "job {job} ended twice");
+                job_ended[*job as usize] = true;
+                for slot in occupant.iter_mut() {
+                    if *slot == Some(*job) {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+    }
+
+    // End state reconciliation: replayed books vs the run's own census.
+    let mut census = [0u32; 7];
+    for s in &state {
+        census[s.index()] += 1;
+    }
+    check!(
+        out,
+        census == report.census,
+        inv,
+        "replayed census {census:?} != reported census {:?}",
+        report.census
+    );
+    check!(
+        out,
+        transitions == report.transitions,
+        inv,
+        "audit log holds {transitions} transitions, report claims {}",
+        report.transitions
+    );
+    check!(
+        out,
+        requeues == report.requeues,
+        inv,
+        "audit log holds {requeues} evictions, report claims {} requeues",
+        report.requeues
+    );
+    let ended = job_ended.iter().filter(|&&e| e).count() as u32;
+    check!(
+        out,
+        ended == report.jobs_completed,
+        inv,
+        "audit log ends {ended} jobs, report claims {}",
+        report.jobs_completed
+    );
+    // Convergence claim: every node settled, every victim terminal.
+    if report.converged {
+        for (n, s) in state.iter().enumerate() {
+            check!(
+                out,
+                s.settled(),
+                inv,
+                "report claims convergence but node {n} ended in {s:?}"
+            );
+        }
+        for node in plan.disturbed_nodes() {
+            if node < nodes {
+                check!(
+                    out,
+                    state[node as usize].terminal(),
+                    inv,
+                    "report claims convergence but victim {node} ended in {:?}",
+                    state[node as usize]
+                );
+            }
+        }
+    }
+
+    // The metrics registry must tell the same story as the report.
+    for (name, want) in [
+        ("lifecycle_transitions_total", report.transitions),
+        ("lifecycle_requeues_total", report.requeues),
+        ("lifecycle_evictions_total", report.evictions),
+        ("lifecycle_jobs_completed_total", report.jobs_completed as u64),
+    ] {
+        let got = sum_counters(&obs, name);
+        check!(
+            out,
+            got == want,
+            "lifecycle-obs-reconciliation",
+            "{name}: registry {got} != report {want}"
+        );
+    }
+    let false_ctr = obs
+        .registry
+        .counter_value("lifecycle_evictions_total", &[("kind", "false_positive")]);
+    check!(
+        out,
+        false_ctr == report.false_evictions,
+        "lifecycle-obs-reconciliation",
+        "false-eviction counter {false_ctr} != report {}",
+        report.false_evictions
+    );
     out
 }
 

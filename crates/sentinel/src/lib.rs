@@ -66,6 +66,7 @@ const AUDITS: &[Audit] = &[
     ("shard-oracle", oracle::shard_oracle),
     ("endpoint-conservation", ledger::endpoint_conservation),
     ("reliable-superset", oracle::reliable_superset),
+    ("lifecycle-conservation", ledger::lifecycle_conservation),
 ];
 
 /// Run every audit against one spec and collect the violations.

@@ -166,6 +166,70 @@ impl FaultPlan {
         self.rule(FaultScope::Node(node), FaultKind::Crash { at_ps: at.as_ps() })
     }
 
+    /// Periodic down/up flapping on every transfer touching `node` —
+    /// a loose NIC transceiver rather than a bad switch port. The
+    /// lifecycle control plane reads this back via
+    /// [`FaultPlan::node_rules`] to drive heartbeat loss.
+    pub fn flap_node(self, node: u32, first_down: SimTime, down: u64, up: u64) -> Self {
+        self.rule(
+            FaultScope::Node(node),
+            FaultKind::Flap { first_down_ps: first_down.as_ps(), down_ps: down, up_ps: up },
+        )
+    }
+
+    /// Gilbert–Elliott burst loss on every transfer touching `node`:
+    /// the "degrade" churn primitive — the node stays up but its link
+    /// quality collapses in bursts.
+    pub fn degrade_node(
+        self,
+        node: u32,
+        p_good_bad: f64,
+        p_bad_good: f64,
+        drop_good: f64,
+        drop_bad: f64,
+    ) -> Self {
+        self.rule(
+            FaultScope::Node(node),
+            FaultKind::GilbertElliott { p_good_bad, p_bad_good, drop_good, drop_bad },
+        )
+    }
+
+    /// The scheduled crash instant for `node`, if the plan contains
+    /// one (the earliest, if several).
+    pub fn crash_time(&self, node: u32) -> Option<SimTime> {
+        self.rules
+            .iter()
+            .filter_map(|r| match (r.scope, r.kind) {
+                (FaultScope::Node(n), FaultKind::Crash { at_ps }) if n == node => {
+                    Some(SimTime(at_ps))
+                }
+                _ => None,
+            })
+            .min()
+    }
+
+    /// All rules scoped to `node`, in plan order.
+    pub fn node_rules(&self, node: u32) -> impl Iterator<Item = &FaultRule> + '_ {
+        self.rules
+            .iter()
+            .filter(move |r| matches!(r.scope, FaultScope::Node(n) if n == node))
+    }
+
+    /// The distinct node ids named by `Node`-scoped rules, ascending.
+    pub fn disturbed_nodes(&self) -> Vec<u32> {
+        let mut nodes: Vec<u32> = self
+            .rules
+            .iter()
+            .filter_map(|r| match r.scope {
+                FaultScope::Node(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
     /// Serialize to JSON (stable field order; suitable for replay files).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("plan serialization is infallible")
@@ -536,6 +600,44 @@ mod tests {
         }
         let mean_run = total as f64 / runs as f64;
         assert!(mean_run > 2.0, "expected bursty runs, mean run = {mean_run}");
+    }
+
+    #[test]
+    fn node_scoped_plan_introspection() {
+        let plan = FaultPlan::new(2)
+            .crash_node(7, SimTime(5_000))
+            .crash_node(7, SimTime(3_000))
+            .flap_node(9, SimTime(100), 50, 150)
+            .degrade_node(11, 0.02, 0.2, 0.0, 0.9)
+            .uniform_drop(0.01);
+        // Earliest crash wins; non-crashing nodes answer None.
+        assert_eq!(plan.crash_time(7), Some(SimTime(3_000)));
+        assert_eq!(plan.crash_time(9), None);
+        assert_eq!(plan.disturbed_nodes(), vec![7, 9, 11]);
+        assert_eq!(plan.node_rules(7).count(), 2);
+        assert_eq!(plan.node_rules(9).count(), 1);
+        assert!(matches!(
+            plan.node_rules(9).next().unwrap().kind,
+            FaultKind::Flap { first_down_ps: 100, down_ps: 50, up_ps: 150 }
+        ));
+        assert_eq!(plan.node_rules(1).count(), 0);
+        // The AllLinks rule is not attributed to any node.
+        assert!(!plan.disturbed_nodes().contains(&u32::MAX));
+    }
+
+    #[test]
+    fn node_flap_and_degrade_judge_like_their_link_kin() {
+        let plan = FaultPlan::new(4).flap_node(2, SimTime(100), 50, 100);
+        let mut inj = FaultInjector::new(plan);
+        let r = route(&[0]);
+        // Transfers touching node 2 are gated by the flap window...
+        assert_eq!(
+            inj.judge(SimTime(120), 0, 2, &r),
+            FaultVerdict::Drop(DropCause::LinkDown)
+        );
+        assert_eq!(inj.judge(SimTime(160), 2, 0, &r), FaultVerdict::Deliver);
+        // ...while unrelated pairs pass untouched.
+        assert_eq!(inj.judge(SimTime(120), 0, 1, &r), FaultVerdict::Deliver);
     }
 
     #[test]

@@ -344,6 +344,148 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Failure detector
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    // Raising `missed_threshold` only ever lengthens the timeout, so
+    // the measured false-positive rate is monotone non-increasing in
+    // it. The delay draws are threshold-independent (same seed, same
+    // number of samples), so the comparison is apples to apples.
+    #[test]
+    fn detector_false_positive_rate_monotone_in_threshold(
+        period in 0.05f64..2.0,
+        delay_median in 0.001f64..0.5,
+        delay_sigma in 0.1f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let mut prev = f64::MAX;
+        for missed_threshold in 1u32..=6 {
+            let cfg = DetectorConfig { period, missed_threshold, delay_median, delay_sigma };
+            let s = evaluate_detector(&cfg, 64, 4096, seed);
+            prop_assert!(
+                s.false_positive_rate <= prev,
+                "threshold {missed_threshold} worsened FP rate: {} > {prev}",
+                s.false_positive_rate
+            );
+            prev = s.false_positive_rate;
+        }
+    }
+
+    // A crash can land right after a heartbeat was emitted, so the
+    // worst case always exceeds the bare timeout by one period.
+    #[test]
+    fn detector_worst_case_dominates_timeout(
+        period in 1e-3f64..100.0,
+        missed_threshold in 1u32..100,
+        delay_median in 1e-4f64..1.0,
+        delay_sigma in 0.01f64..3.0,
+    ) {
+        let cfg = DetectorConfig { period, missed_threshold, delay_median, delay_sigma };
+        prop_assert!(cfg.worst_case_detection() >= cfg.timeout());
+        prop_assert!((cfg.worst_case_detection() - cfg.timeout() - period).abs() < 1e-9);
+        // And the measured latency respects the analytic envelope: every
+        // trial waits at least the timeout.
+        let s = evaluate_detector(&cfg, 32, 32, 5);
+        prop_assert!(s.mean_latency >= cfg.timeout());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / recovery edge cases
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Accounting sandwich for the Monte-Carlo checkpoint run: wall time
+    // is exactly work + checkpoint overhead + restart costs + lost
+    // partial segments, each of which is smaller than one segment
+    // attempt — a failure after the last checkpoint loses only the
+    // tail. Successful checkpoints always number ceil(work/tau).
+    #[test]
+    fn checkpoint_mc_accounting_sandwich(
+        tau in 50.0f64..5000.0,
+        work in 100.0f64..20_000.0,
+        mtbf in 2_000.0f64..50_000.0,
+        seed in any::<u64>(),
+    ) {
+        let p = CheckpointParams {
+            checkpoint_cost: 30.0,
+            restart_cost: 90.0,
+            system_mtbf: mtbf,
+        };
+        let r = simulate_checkpointing(&p, work, tau, seed);
+        prop_assert_eq!(r.checkpoints, (work / tau).ceil() as u64);
+        let lost = r.wall
+            - work
+            - r.checkpoints as f64 * p.checkpoint_cost
+            - r.failures as f64 * p.restart_cost;
+        prop_assert!(lost >= -1e-6, "negative lost work: {lost}");
+        prop_assert!(
+            lost <= r.failures as f64 * (tau.min(work) + p.checkpoint_cost) + 1e-6,
+            "failure lost more than one segment attempt: {lost} over {} failures",
+            r.failures
+        );
+    }
+}
+
+/// Zero failure rate: both recovery policies finish in nominal time
+/// (plus checkpoint overhead for the checkpointing one) and report
+/// zero failures.
+#[test]
+fn recovery_zero_failure_rate_is_overhead_only() {
+    let never = FailureModel { node_mtbf: 1e18 };
+    let ckpt = CheckpointParams {
+        checkpoint_cost: 60.0,
+        restart_cost: 120.0,
+        system_mtbf: 1e18,
+    };
+    let scratch = run_job(&never, &ckpt, RecoveryPolicy::RestartFromScratch, 512, 7_200.0, 3);
+    assert_eq!(scratch.failures, 0);
+    assert!((scratch.wall - 7_200.0).abs() < 1e-9);
+    let ck = run_job(
+        &never,
+        &ckpt,
+        RecoveryPolicy::CheckpointRestart { interval_s: 600 },
+        512,
+        7_200.0,
+        3,
+    );
+    assert_eq!(ck.failures, 0);
+    // 12 checkpoints of 60s on 7200s of work.
+    assert!((ck.wall - 7_200.0 - 12.0 * 60.0).abs() < 1e-9);
+}
+
+/// Checkpoint interval longer than the job: exactly one checkpoint is
+/// taken (the end-of-job one), and without failures the wall time is
+/// work + one checkpoint cost.
+#[test]
+fn checkpoint_interval_longer_than_job_degenerates_to_one_segment() {
+    let p = CheckpointParams {
+        checkpoint_cost: 45.0,
+        restart_cost: 120.0,
+        system_mtbf: 1e18,
+    };
+    let r = simulate_checkpointing(&p, 500.0, 1_000_000.0, 9);
+    assert_eq!(r.checkpoints, 1);
+    assert_eq!(r.failures, 0);
+    assert!((r.wall - 545.0).abs() < 1e-9);
+    // The recovery-policy wrapper agrees.
+    let never = FailureModel { node_mtbf: 1e18 };
+    let out = run_job(
+        &never,
+        &p,
+        RecoveryPolicy::CheckpointRestart { interval_s: 1_000_000 },
+        16,
+        500.0,
+        9,
+    );
+    assert_eq!(out.failures, 0);
+    assert!((out.wall - 545.0).abs() < 1e-9);
+}
+
+// ---------------------------------------------------------------------
 // RMS invariants
 // ---------------------------------------------------------------------
 

@@ -129,6 +129,49 @@ fn reliable_superset_pinned_seeds() {
     }
 }
 
+/// Fuzzer-found regression for the lifecycle control plane: a draining
+/// `Degraded` node that recovered to `Healthy` while its job was still
+/// running was handed back to the free list, double-booking it — the
+/// ledger reported "job started on node in state Breakfix" and "node
+/// left service while a job still occupied it". The spec is the
+/// shrunk artifact from the campaign that caught it, pinned field by
+/// field so generator drift cannot de-fang it.
+#[test]
+fn lifecycle_occupied_recovery_regression() {
+    let spec = WorkloadSpec {
+        seed: 6268055471503120947,
+        topo_kind: 1,
+        topo_a: 20,
+        topo_b: 0,
+        ranks: 2,
+        msgs: 9,
+        msg_len: 1045,
+        tag_stride: 7,
+        drop_pm: 50,
+        corrupt_pm: 50,
+        chaos_seed: 7067347667787300079,
+        transfers: 434,
+        queue_ops: 636,
+        collective: 3,
+        coll_ranks: 22,
+        coll_bytes: 1024,
+    };
+    let v = ledger::lifecycle_conservation(&spec);
+    assert!(v.is_empty(), "violations: {v:?}");
+}
+
+/// Lifecycle conservation over pinned seeds: exactly-one-state,
+/// edges-only transitions, occupancy cleared before a node leaves
+/// service, and report/metric reconciliation.
+#[test]
+fn lifecycle_conservation_pinned_seeds() {
+    for base in 0..4u64 {
+        let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(base, 3));
+        let v = ledger::lifecycle_conservation(&spec);
+        assert!(v.is_empty(), "base {base}: {v:?}");
+    }
+}
+
 /// Full audit stack (every ledger + every per-case oracle) over the
 /// first few cases of the CI smoke seed range — the same cases
 /// `sentinel --seed 0..8` starts with.
