@@ -14,4 +14,5 @@ pub mod f9_placement;
 pub mod f10_sustained;
 pub mod f11_chaos;
 pub mod f12_lifecycle;
+pub mod f13_interconnect;
 pub mod t2_rms;

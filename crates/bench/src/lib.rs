@@ -112,6 +112,7 @@ pub fn all_experiments() -> Vec<(&'static str, Generator)> {
         ("f10", figures::f10_sustained::generate),
         ("f11", figures::f11_chaos::generate),
         ("f12", figures::f12_lifecycle::generate),
+        ("f13", figures::f13_interconnect::generate),
         ("a2", figures::a2_threshold::generate),
     ]
 }

@@ -201,6 +201,24 @@ pub struct ParallelReport {
     pub engine_deterministic: bool,
 }
 
+/// The O(1)-routing acceptance workload: a 1,048,576-host Dragonfly
+/// built by the lean constructor, routed over a seeded pair sample by
+/// walking full `RoutePlan` iterators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopoReport {
+    pub hosts: u64,
+    /// Heap allocations `Topology::new` makes for the 1M-host Dragonfly
+    /// (`None` when the counting allocator is not installed). Gated
+    /// absolutely: the constructor is O(routers) state, so this number
+    /// is a small machine-independent constant — any per-pair or
+    /// per-host-squared table shows up as a catastrophic jump.
+    pub build_allocs: Option<u64>,
+    /// Wall nanoseconds to derive and walk one route plan, averaged
+    /// over the pair sample.
+    pub topo_route_ns: f64,
+    pub routes_per_sec: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct History {
     /// Full `figures f3` wall on the pre-calendar binary-heap engine
@@ -218,6 +236,7 @@ pub struct PerfReport {
     pub engine: EngineReport,
     pub f3_1024: F3Report,
     pub parallel: ParallelReport,
+    pub topo: TopoReport,
     /// `None` when the binary did not install [`CountingAlloc`].
     pub allocs_per_message_eager: Option<f64>,
     pub history: History,
@@ -425,6 +444,48 @@ fn measure_parallel(samples: usize) -> ParallelReport {
     }
 }
 
+/// The F13 1M-host Dragonfly (2048 groups x 32 routers x 16 hosts).
+const TOPO_KIND: TopologyKind = TopologyKind::Dragonfly {
+    groups: 2048,
+    routers_per_group: 32,
+    hosts_per_router: 16,
+};
+
+/// Pairs routed per sample when timing the route plan.
+const TOPO_ROUTE_PAIRS: u64 = 200_000;
+
+fn measure_topo(samples: usize) -> TopoReport {
+    let build_allocs = if alloc_counter_live() {
+        let before = allocs();
+        let topo = std::hint::black_box(Topology::new(TOPO_KIND));
+        let delta = allocs() - before;
+        drop(topo);
+        Some(delta)
+    } else {
+        None
+    };
+    let topo = Topology::new(TOPO_KIND);
+    let hosts = topo.hosts() as u64;
+    let best = best_of(samples, || {
+        let mut rng = SplitMix64::new(0x70b0_10c5);
+        let mut acc = 0u64;
+        for _ in 0..TOPO_ROUTE_PAIRS {
+            let s = rng.next_below(hosts) as u32;
+            let d = rng.next_below(hosts) as u32;
+            for link in topo.route_plan(s, d) {
+                acc = acc.wrapping_add(link.0 as u64);
+            }
+        }
+        acc
+    });
+    TopoReport {
+        hosts,
+        build_allocs,
+        topo_route_ns: best * 1e9 / TOPO_ROUTE_PAIRS as f64,
+        routes_per_sec: TOPO_ROUTE_PAIRS as f64 / best,
+    }
+}
+
 /// Allocations per eager message in steady state, measured exactly like
 /// the `no_alloc` integration test: a 2-rank world, warmed up, then 1000
 /// round trips under the counting allocator.
@@ -499,6 +560,13 @@ const MIN_SPEEDUP: f64 = 2.0;
 /// machines with >= 4 cores; a 1-core container cannot exhibit it.
 const MIN_PARALLEL_SPEEDUP: f64 = 1.6;
 
+/// Absolute ceiling on `Topology::new` allocations for the 1M-host
+/// Dragonfly. The constructor keeps O(routers) state (a few vectors,
+/// each one or two allocator calls plus growth), so a generous fixed
+/// cap is machine-independent; any O(hosts) — let alone O(hosts^2) —
+/// table blows through it by orders of magnitude.
+const TOPO_BUILD_ALLOC_CAP: u64 = 4096;
+
 /// Overhead floor, armed at any core count: running the sweep with 2
 /// jobs must never cost more than 2x the serial wall, even with both
 /// workers time-slicing one core. Catches pathological synchronization
@@ -512,6 +580,7 @@ pub fn measure(samples: usize) -> PerfReport {
     let engine = measure_engine(samples.max(5), &obs);
     let f3 = measure_f3(samples.min(2));
     let parallel = measure_parallel(samples.min(2));
+    let topo = measure_topo(samples);
     let allocs = measure_allocs_per_message();
     eprintln!(
         "[perf] obs exposition:\n{}",
@@ -522,11 +591,12 @@ pub fn measure(samples: usize) -> PerfReport {
             .join("\n")
     );
     PerfReport {
-        schema: "polaris-simwall/2".to_string(),
+        schema: "polaris-simwall/3".to_string(),
         eventq,
         engine,
         f3_1024: f3,
         parallel,
+        topo,
         allocs_per_message_eager: allocs,
         history: History {
             f3_full_wall_seconds_heap_engine: 4.02,
@@ -595,6 +665,28 @@ pub fn check_gates(cur: &PerfReport, base: &PerfReport) -> Vec<String> {
             base.engine.events_dispatched_per_sec / WALL_TOLERANCE
         ),
     );
+
+    let topo_norm = cur.topo.topo_route_ns * scale;
+    gate(
+        "topo_route_ns 1M dragonfly (normalized)",
+        topo_norm <= base.topo.topo_route_ns * WALL_TOLERANCE,
+        format!(
+            "normalized {:.0}ns (raw {:.0}ns, machine scale {:.2}), ceiling {:.0}ns",
+            topo_norm,
+            cur.topo.topo_route_ns,
+            scale,
+            base.topo.topo_route_ns * WALL_TOLERANCE
+        ),
+    );
+    if let Some(a) = cur.topo.build_allocs {
+        gate(
+            "1M dragonfly build allocs O(routers)",
+            a <= TOPO_BUILD_ALLOC_CAP,
+            format!("measured {a}, cap {TOPO_BUILD_ALLOC_CAP}"),
+        );
+    } else {
+        eprintln!("[gate] 1M dragonfly build allocs: counting allocator not installed, skipped");
+    }
 
     if let Some(a) = cur.allocs_per_message_eager {
         gate(
@@ -736,10 +828,19 @@ mod tests {
         }
     }
 
+    fn mk_topo() -> TopoReport {
+        TopoReport {
+            hosts: 1 << 20,
+            build_allocs: Some(12),
+            topo_route_ns: 150.0,
+            routes_per_sec: 6.6e6,
+        }
+    }
+
     #[test]
     fn report_roundtrips_through_json() {
         let rep = PerfReport {
-            schema: "polaris-simwall/2".into(),
+            schema: "polaris-simwall/3".into(),
             eventq: EventqReport {
                 hold: 16384,
                 transactions: 131072,
@@ -758,6 +859,7 @@ mod tests {
                 messages_per_sec: 66_666.0,
             },
             parallel: mk_parallel(4, 2.1),
+            topo: mk_topo(),
             allocs_per_message_eager: Some(0.0),
             history: History {
                 f3_full_wall_seconds_heap_engine: 3.715,
@@ -770,12 +872,13 @@ mod tests {
         assert_eq!(back.eventq.hold, 16384);
         assert_eq!(back.allocs_per_message_eager, Some(0.0));
         assert_eq!(back.f3_1024.nodes, 1024);
+        assert_eq!(back.topo.build_allocs, Some(12));
     }
 
     #[test]
     fn gates_pass_on_self_and_fail_on_regression() {
         let mk = |speedup: f64, wall: f64| PerfReport {
-            schema: "polaris-simwall/2".into(),
+            schema: "polaris-simwall/3".into(),
             eventq: EventqReport {
                 hold: 16384,
                 transactions: 131072,
@@ -794,6 +897,7 @@ mod tests {
                 messages_per_sec: 100_000.0 / wall,
             },
             parallel: mk_parallel(4, 2.1),
+            topo: mk_topo(),
             allocs_per_message_eager: Some(0.0),
             history: History {
                 f3_full_wall_seconds_heap_engine: 3.715,
@@ -824,5 +928,14 @@ mod tests {
         let mut small = mk(3.0, 1.5);
         small.parallel = mk_parallel(1, 0.9);
         assert!(check_gates(&small, &base).is_empty());
+        // An O(hosts)-allocating topology constructor trips the
+        // absolute cap regardless of machine speed.
+        let mut fat = mk(3.0, 1.5);
+        fat.topo.build_allocs = Some(1 << 20);
+        assert!(!check_gates(&fat, &base).is_empty());
+        // A 2x route-derivation slowdown trips the normalized gate.
+        let mut slow_route = mk(3.0, 1.5);
+        slow_route.topo.topo_route_ns *= 2.0;
+        assert!(!check_gates(&slow_route, &base).is_empty());
     }
 }

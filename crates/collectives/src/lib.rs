@@ -19,6 +19,7 @@ pub mod bcast;
 pub mod comm;
 pub mod ft;
 pub mod gather;
+pub mod hier;
 pub mod op;
 pub mod parsim;
 pub mod reduce;
@@ -37,6 +38,10 @@ pub mod prelude {
     pub use crate::comm::{Comm, TracingComm};
     pub use crate::ft::{ft_allreduce, ft_bcast, FtComm, FtError, FtReport};
     pub use crate::gather::{gather_binomial, gather_linear, scatter_linear};
+    pub use crate::hier::{
+        circuit_allreduce_time, flat_allreduce_model, simulate_hier_allreduce, HierResult,
+        InterGroup,
+    };
     pub use crate::op::{Elem, Reducible, ReduceOp};
     pub use crate::parsim::{simulate_collective_sharded, simulate_collective_sharded_stats};
     pub use crate::reduce::reduce_binomial;

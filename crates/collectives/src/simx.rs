@@ -40,6 +40,9 @@ pub enum Collective {
     Allreduce(AllreduceAlgo),
     Allgather(AllgatherAlgo),
     AlltoallPairwise,
+    /// Binomial-tree reduce to root 0 (the building block of the
+    /// hierarchical group-local stage in [`crate::hier`]).
+    ReduceBinomial,
 }
 
 /// Generate rank `rank`'s schedule for `coll` over `p` ranks with a
@@ -296,6 +299,28 @@ pub fn schedule(coll: Collective, rank: u32, p: u32, bytes: u64) -> Vec<SchedOp>
                 ops.push(SchedOp::Recv { from: src });
             }
         }
+        Collective::ReduceBinomial => {
+            // Binomial reduce to root 0 — the reduce phase of
+            // ReduceBcast, without the broadcast.
+            if p > 1 {
+                let mut mask = 1u32;
+                while mask < p {
+                    if rank & mask == 0 {
+                        if (rank | mask) < p {
+                            ops.push(SchedOp::Recv { from: rank | mask });
+                            ops.push(SchedOp::Compute { bytes });
+                        }
+                    } else {
+                        ops.push(SchedOp::Send {
+                            to: rank & !mask,
+                            bytes,
+                        });
+                        break;
+                    }
+                    mask <<= 1;
+                }
+            }
+        }
     }
     ops
 }
@@ -510,6 +535,10 @@ mod tests {
                         let mut recv = vec![0u8; bytes * p as usize];
                         crate::alltoall::alltoall_pairwise(&mut tc, &send, &mut recv, bytes);
                     }
+                    Collective::ReduceBinomial => {
+                        let mut data = vec![1u64; bytes / 8];
+                        crate::reduce::reduce_binomial(&mut tc, 0, ReduceOp::Sum, &mut data);
+                    }
                 }
                 tc.trace
             });
@@ -554,6 +583,7 @@ mod tests {
             cross_check(Collective::Allgather(AllgatherAlgo::Ring), p, 512);
             cross_check(Collective::Allgather(AllgatherAlgo::Bruck), p, 512);
             cross_check(Collective::AlltoallPairwise, p, 512);
+            cross_check(Collective::ReduceBinomial, p, 1024);
         }
     }
 

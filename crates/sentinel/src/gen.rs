@@ -15,7 +15,7 @@ use polaris_simnet::prelude::{SplitMix64, TopologyKind};
 use serde::{Deserialize, Serialize};
 
 /// The collective mix the differential oracles cycle through.
-pub const COLLECTIVES: [Collective; 10] = [
+pub const COLLECTIVES: [Collective; 11] = [
     Collective::Barrier(BarrierAlgo::Dissemination),
     Collective::Barrier(BarrierAlgo::Tree),
     Collective::Bcast(BcastAlgo::Binomial),
@@ -26,6 +26,7 @@ pub const COLLECTIVES: [Collective; 10] = [
     Collective::Allgather(AllgatherAlgo::Ring),
     Collective::Allgather(AllgatherAlgo::Bruck),
     Collective::AlltoallPairwise,
+    Collective::ReduceBinomial,
 ];
 
 /// One fuzzer case. All fields are integers so the JSON replay artifact
@@ -36,12 +37,14 @@ pub struct WorkloadSpec {
     /// The case seed every per-audit RNG re-derives from.
     pub seed: u64,
     /// Topology selector: 0 crossbar, 1 ring, 2 torus2d, 3 torus3d,
-    /// 4 fat tree.
+    /// 4 fat tree, 5 dragonfly, 6 multi-pod fat tree.
     pub topo_kind: u8,
-    /// First topology dimension (hosts / width / k).
+    /// First topology dimension (hosts / width / k / groups).
     pub topo_a: u32,
-    /// Second topology dimension (height; unused otherwise).
+    /// Second topology dimension (height / pods / routers-per-group).
     pub topo_b: u32,
+    /// Third topology dimension (dragonfly hosts-per-router).
+    pub topo_c: u32,
     /// Endpoint world size for the messaging audits.
     pub ranks: u32,
     /// Messages per sender in the messaging audits.
@@ -67,6 +70,10 @@ pub struct WorkloadSpec {
     pub coll_ranks: u32,
     /// Collective payload bytes (vector / per-rank block size).
     pub coll_bytes: u64,
+    /// Operations driven through the circuit-scheduler ledger audit.
+    pub circuit_ops: u32,
+    /// Circuit-scheduler capacity for the ledger audit.
+    pub circuit_capacity: u32,
 }
 
 impl WorkloadSpec {
@@ -74,31 +81,68 @@ impl WorkloadSpec {
     /// entropy source is one `SplitMix64` stream.
     pub fn from_seed(seed: u64) -> Self {
         let mut r = SplitMix64::new(seed);
-        let topo_kind = r.next_below(5) as u8;
-        let (topo_a, topo_b) = match topo_kind {
+        let mut topo_kind = r.next_below(5) as u8;
+        let (mut topo_a, mut topo_b) = match topo_kind {
             0 => (2 + r.next_below(31) as u32, 0),          // crossbar 2..=32
             1 => (3 + r.next_below(22) as u32, 0),          // ring 3..=24
             2 => (2 + r.next_below(4) as u32, 2 + r.next_below(4) as u32), // torus2d
             3 => (2 + r.next_below(2) as u32, 2 + r.next_below(2) as u32), // torus3d
             _ => (4, 0),                                    // fat tree k=4 (16 hosts)
         };
+        let ranks = 2 + r.next_below(4) as u32;
+        let msgs = 8 + r.next_below(57) as u32;
+        let msg_len = 1 + r.next_below(2048) as u32;
+        let tag_stride = 1 + r.next_below(7);
+        let drop_pm = [0, 20, 50, 100][r.next_below(4) as usize];
+        let corrupt_pm = [0, 10, 50][r.next_below(3) as usize];
+        let chaos_seed = r.next_u64();
+        let transfers = 64 + r.next_below(448) as u32;
+        let queue_ops = 128 + r.next_below(896) as u32;
+        let collective = r.next_below(COLLECTIVES.len() as u64) as u8;
+        let coll_ranks = 3 + r.next_below(22) as u32;
+        let coll_bytes = 64u64 << r.next_below(9);
+        // Interconnect extension draws are *appended* after every
+        // legacy field so legacy seeds keep their legacy field values
+        // (the frozen draw-order contract): a fraction of cases promote
+        // the topology to a dragonfly or multi-pod fat tree, and every
+        // case carries a circuit-ledger op budget.
+        let mut topo_c = 0u32;
+        match r.next_below(5) {
+            2 | 3 => {
+                topo_kind = 5; // dragonfly
+                topo_a = 2 + r.next_below(7) as u32; // groups 2..=8
+                topo_b = 1 + r.next_below(4) as u32; // routers/group 1..=4
+                topo_c = 1 + r.next_below(3) as u32; // hosts/router 1..=3
+            }
+            4 => {
+                topo_kind = 6; // multi-pod fat tree
+                topo_a = if r.next_below(2) == 0 { 4 } else { 6 }; // k
+                topo_b = 1 + r.next_below(topo_a as u64) as u32; // pods 1..=k
+            }
+            _ => {} // keep the legacy topology
+        }
+        let circuit_ops = 8 + r.next_below(120) as u32;
+        let circuit_capacity = 1 + r.next_below(8) as u32;
         WorkloadSpec {
             seed,
             topo_kind,
             topo_a,
             topo_b,
-            ranks: 2 + r.next_below(4) as u32,
-            msgs: 8 + r.next_below(57) as u32,
-            msg_len: 1 + r.next_below(2048) as u32,
-            tag_stride: 1 + r.next_below(7),
-            drop_pm: [0, 20, 50, 100][r.next_below(4) as usize],
-            corrupt_pm: [0, 10, 50][r.next_below(3) as usize],
-            chaos_seed: r.next_u64(),
-            transfers: 64 + r.next_below(448) as u32,
-            queue_ops: 128 + r.next_below(896) as u32,
-            collective: r.next_below(COLLECTIVES.len() as u64) as u8,
-            coll_ranks: 3 + r.next_below(22) as u32,
-            coll_bytes: 64u64 << r.next_below(9),
+            topo_c,
+            ranks,
+            msgs,
+            msg_len,
+            tag_stride,
+            drop_pm,
+            corrupt_pm,
+            chaos_seed,
+            transfers,
+            queue_ops,
+            collective,
+            coll_ranks,
+            coll_bytes,
+            circuit_ops,
+            circuit_capacity,
         }
     }
 
@@ -130,6 +174,15 @@ impl WorkloadSpec {
                 y: self.topo_b,
                 z: 2,
             },
+            5 => TopologyKind::Dragonfly {
+                groups: self.topo_a.max(1),
+                routers_per_group: self.topo_b.max(1),
+                hosts_per_router: self.topo_c.max(1),
+            },
+            6 => TopologyKind::FatTreePods {
+                k: self.topo_a.max(2),
+                pods: self.topo_b.clamp(1, self.topo_a.max(2)),
+            },
             _ => TopologyKind::FatTree { k: 4 },
         }
     }
@@ -158,7 +211,9 @@ impl WorkloadSpec {
             + self.coll_bytes
             + self.drop_pm as u64
             + self.corrupt_pm as u64
-            + self.topo_a as u64 * self.topo_b.max(1) as u64
+            + self.circuit_ops as u64
+            + self.circuit_capacity as u64
+            + self.topo_a as u64 * self.topo_b.max(1) as u64 * self.topo_c.max(1) as u64
     }
 
     /// Strictly-smaller mutations of this spec, in rough order of how
@@ -183,6 +238,7 @@ impl WorkloadSpec {
             topo_kind: 0,
             topo_a: 4,
             topo_b: 0,
+            topo_c: 0,
             ..self.clone()
         });
         push(WorkloadSpec {
@@ -211,6 +267,14 @@ impl WorkloadSpec {
         });
         push(WorkloadSpec {
             coll_bytes: (self.coll_bytes / 2).max(1),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            circuit_ops: (self.circuit_ops / 2).max(1),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            circuit_capacity: (self.circuit_capacity / 2).max(1),
             ..self.clone()
         });
         push(WorkloadSpec {

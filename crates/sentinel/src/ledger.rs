@@ -674,3 +674,252 @@ pub fn trace_monotonicity(obs: &Obs) -> Vec<Violation> {
     }
     out
 }
+
+/// Invariant 7: circuit-scheduler conservation. Drives a seeded
+/// reserve / transfer / release / preempt sequence through the
+/// [`polaris_simnet::circuit::CircuitScheduler`] while keeping
+/// independent books, then replays the scheduler's append-only event
+/// ledger and reconciles:
+///
+/// * concurrently held reservations never exceed capacity, and the
+///   scheduler refuses a reservation *only* at capacity;
+/// * every reserve is closed by exactly one release or preemption, and
+///   no traffic moves on a token outside its reservation window;
+/// * every transfer starts at or after `ready_at = reserve_at +
+///   reconfig` (reconfiguration latency actually charged) and after the
+///   token's previous transfer (circuit serialization);
+/// * the scheduler's counters equal the event counts equal the shadow
+///   books.
+pub fn circuit_conservation(spec: &WorkloadSpec) -> Vec<Violation> {
+    use polaris_simnet::prelude::{
+        CircuitEvent, CircuitScheduler, CircuitSchedulerConfig, Reservation, SimDuration,
+    };
+    let mut out = Vec::new();
+    let inv = "circuit-conservation";
+    let cap = spec.circuit_capacity.clamp(1, 64) as usize;
+    let cfg = CircuitSchedulerConfig {
+        max_circuits: cap,
+        ..CircuitSchedulerConfig::default()
+    };
+    let mut s = CircuitScheduler::new(cfg);
+    let mut rng = SplitMix64::new(spec.seed ^ 0x6369_7263_7569_7431); // "circuit1"
+    let mut now = SimTime::ZERO;
+    let mut active: Vec<Reservation> = Vec::new();
+    let hosts = 64u64;
+    let ops = spec.circuit_ops.max(8);
+    for _ in 0..ops {
+        let src = rng.next_below(hosts) as u32;
+        let dst = ((src as u64 + 1 + rng.next_below(hosts - 1)) % hosts) as u32;
+        match rng.next_below(10) {
+            0..=3 => match s.try_reserve(now, src, dst) {
+                Some(r) => {
+                    check!(
+                        out,
+                        active.len() < cap,
+                        inv,
+                        "reservation granted beyond capacity: {} already held, cap {cap}",
+                        active.len()
+                    );
+                    active.push(r);
+                }
+                None => check!(
+                    out,
+                    active.len() == cap,
+                    inv,
+                    "reservation refused below capacity: {}/{cap} held",
+                    active.len()
+                ),
+            },
+            4..=6 => {
+                if !active.is_empty() {
+                    let i = rng.next_below(active.len() as u64) as usize;
+                    let bytes = 1 + rng.next_below(1 << 20);
+                    let r = s.transfer(now, &active[i], bytes);
+                    check!(
+                        out,
+                        r.is_ok(),
+                        inv,
+                        "transfer refused on an active circuit (token {})",
+                        active[i].token
+                    );
+                }
+            }
+            7 => {
+                if !active.is_empty() {
+                    let i = rng.next_below(active.len() as u64) as usize;
+                    let r = active.swap_remove(i);
+                    check!(
+                        out,
+                        s.release(now, &r).is_ok(),
+                        inv,
+                        "release refused on an active circuit (token {})",
+                        r.token
+                    );
+                    check!(
+                        out,
+                        s.release(now, &r).is_err(),
+                        inv,
+                        "double release accepted (token {})",
+                        r.token
+                    );
+                    check!(
+                        out,
+                        s.transfer(now, &r, 64).is_err(),
+                        inv,
+                        "traffic accepted on a released circuit (token {})",
+                        r.token
+                    );
+                }
+            }
+            8 => {
+                if let Some(r) = s.reserve_preempting(now, src, dst) {
+                    // Sync the shadow book with whatever idle victim the
+                    // scheduler evicted (busy_until probes are pure).
+                    active.retain(|a| s.busy_until(a.token).is_some());
+                    active.push(r);
+                    check!(
+                        out,
+                        active.len() <= cap,
+                        inv,
+                        "preempting reserve exceeded capacity: {}/{cap}",
+                        active.len()
+                    );
+                }
+            }
+            _ => now += SimDuration::from_us(1 + rng.next_below(200)),
+        }
+        check!(
+            out,
+            s.active_count() == active.len(),
+            inv,
+            "active-count drift: scheduler {} vs shadow {}",
+            s.active_count(),
+            active.len()
+        );
+        if !out.is_empty() {
+            return out; // one divergence cascades; report the first
+        }
+    }
+    // Quiesce: everything still held is released.
+    for r in active.drain(..) {
+        check!(out, s.release(now, &r).is_ok(), inv, "final release refused");
+    }
+
+    // Replay the ledger with independent books.
+    let mut open: std::collections::BTreeMap<u64, (SimTime, SimTime)> = Default::default();
+    let mut last_arrival: std::collections::BTreeMap<u64, SimTime> = Default::default();
+    let (mut reserves, mut transfers, mut releases, mut preempts) = (0u64, 0u64, 0u64, 0u64);
+    for e in s.log() {
+        match *e {
+            CircuitEvent::Reserve {
+                token,
+                at,
+                ready_at,
+                ..
+            } => {
+                reserves += 1;
+                check!(
+                    out,
+                    ready_at == at + cfg.reconfig,
+                    inv,
+                    "token {token}: reconfiguration not charged ({at:?} -> {ready_at:?})"
+                );
+                check!(
+                    out,
+                    open.insert(token, (at, ready_at)).is_none(),
+                    inv,
+                    "token {token} reserved twice without release"
+                );
+                check!(
+                    out,
+                    open.len() <= cap,
+                    inv,
+                    "ledger shows {} concurrent reservations, cap {cap}",
+                    open.len()
+                );
+            }
+            CircuitEvent::Transfer {
+                token,
+                start,
+                arrival,
+                bytes,
+                ..
+            } => {
+                transfers += 1;
+                match open.get(&token) {
+                    None => check!(out, false, inv, "transfer on unreserved token {token}"),
+                    Some(&(_, ready_at)) => {
+                        check!(
+                            out,
+                            start >= ready_at,
+                            inv,
+                            "token {token}: transfer started {start:?} before ready {ready_at:?}"
+                        );
+                        if let Some(&prev) = last_arrival.get(&token) {
+                            check!(
+                                out,
+                                start >= prev,
+                                inv,
+                                "token {token}: overlapping transfers ({start:?} < {prev:?})"
+                            );
+                        }
+                        check!(
+                            out,
+                            arrival == start + cfg.link.message_time(bytes, 1),
+                            inv,
+                            "token {token}: arrival {arrival:?} != start + wire time"
+                        );
+                        last_arrival.insert(token, arrival);
+                    }
+                }
+            }
+            CircuitEvent::Release { token, .. } => {
+                releases += 1;
+                check!(
+                    out,
+                    open.remove(&token).is_some(),
+                    inv,
+                    "release of unreserved token {token}"
+                );
+            }
+            CircuitEvent::Preempt { token, .. } => {
+                preempts += 1;
+                check!(
+                    out,
+                    open.remove(&token).is_some(),
+                    inv,
+                    "preemption of unreserved token {token}"
+                );
+            }
+        }
+        if !out.is_empty() {
+            return out;
+        }
+    }
+    check!(
+        out,
+        open.is_empty(),
+        inv,
+        "{} reservations never released: {:?}",
+        open.len(),
+        open.keys().collect::<Vec<_>>()
+    );
+    check!(
+        out,
+        reserves == releases + preempts,
+        inv,
+        "reserve/close mismatch: {reserves} reserves vs {releases} releases + {preempts} preempts"
+    );
+    check!(
+        out,
+        (s.reserves(), s.transfers(), s.releases(), s.preemptions())
+            == (reserves, transfers, releases, preempts),
+        inv,
+        "scheduler counters ({}, {}, {}, {}) != ledger counts ({reserves}, {transfers}, {releases}, {preempts})",
+        s.reserves(),
+        s.transfers(),
+        s.releases(),
+        s.preemptions()
+    );
+    out
+}

@@ -64,9 +64,11 @@ const AUDITS: &[Audit] = &[
     ("network-conservation", ledger::network_conservation),
     ("queue-oracle", oracle::queue_oracle),
     ("shard-oracle", oracle::shard_oracle),
+    ("route-oracle", oracle::route_oracle),
     ("endpoint-conservation", ledger::endpoint_conservation),
     ("reliable-superset", oracle::reliable_superset),
     ("lifecycle-conservation", ledger::lifecycle_conservation),
+    ("circuit-conservation", ledger::circuit_conservation),
 ];
 
 /// Run every audit against one spec and collect the violations.

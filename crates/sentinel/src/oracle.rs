@@ -331,3 +331,75 @@ fn first_line_diff(a: &str, b: &str) -> String {
         }
     }
 }
+
+/// Routing differential oracle: the O(1) arithmetic `RoutePlan` against
+/// the retained reference graph (explicit adjacency + `walk_route`
+/// table lookups) on the spec's topology, under both minimal and
+/// Valiant routing. Small machines compare every pair; larger ones a
+/// seeded sample. Divergence in link ids, order, or hop count is a
+/// violation, as is a route exceeding the routing-aware diameter.
+pub fn route_oracle(spec: &WorkloadSpec) -> Vec<Violation> {
+    use polaris_simnet::prelude::Routing;
+    let mut out = Vec::new();
+    let inv = "route-divergence";
+    let kind = spec.topology();
+    for routing in [
+        Routing::Minimal,
+        Routing::Valiant {
+            seed: spec.seed | 1,
+        },
+    ] {
+        let topo = Topology::new_reference(kind).with_routing(routing);
+        let hosts = topo.hosts();
+        let bound = topo.diameter();
+        let pairs: Vec<(u32, u32)> = if hosts <= 64 {
+            (0..hosts)
+                .flat_map(|s| (0..hosts).map(move |d| (s, d)))
+                .collect()
+        } else {
+            let mut rng = SplitMix64::new(spec.seed ^ 0x726F_7574_655F_6F72); // "route_or"
+            (0..512)
+                .map(|_| {
+                    (
+                        rng.next_below(hosts as u64) as u32,
+                        rng.next_below(hosts as u64) as u32,
+                    )
+                })
+                .collect()
+        };
+        for (s, d) in pairs {
+            let plan = topo.route(s, d);
+            let reference = topo.route_reference(s, d);
+            check!(
+                out,
+                plan == reference,
+                inv,
+                "{kind:?} {routing:?} {s}->{d}: plan {plan:?} != reference {reference:?}"
+            );
+            check!(
+                out,
+                plan.len() as u32 <= bound,
+                inv,
+                "{kind:?} {routing:?} {s}->{d}: {} hops exceeds diameter {bound}",
+                plan.len()
+            );
+            check!(
+                out,
+                topo.hops(s, d) as usize == plan.len(),
+                inv,
+                "{kind:?} {routing:?} {s}->{d}: hops() {} != plan length {}",
+                topo.hops(s, d),
+                plan.len()
+            );
+            // Every link id must invert to endpoints inside the machine
+            // (the arithmetic numbering round-trips).
+            for &l in &plan {
+                let _ = topo.link_endpoints(l);
+            }
+            if !out.is_empty() {
+                return out; // one divergence cascades; report the first
+            }
+        }
+    }
+    out
+}

@@ -48,7 +48,10 @@ pub mod topology;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::channel::ShardChannel;
-    pub use crate::circuit::{CircuitConfig, CircuitNetwork};
+    pub use crate::circuit::{
+        CircuitConfig, CircuitError, CircuitEvent, CircuitNetwork, CircuitScheduler,
+        CircuitSchedulerConfig, Reservation,
+    };
     pub use crate::engine::{run, RunStats, Scheduler, World};
     pub use crate::error::SimError;
     pub use crate::fasthash::{FastHashMap, FastHashSet};
@@ -63,5 +66,5 @@ pub mod prelude {
     pub use crate::shard::{Partition, ShardCtx, ShardRunStats, ShardSim, ShardWorld};
     pub use crate::stats::{Log2Histogram, Summary};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::topology::{Topology, TopologyKind, Vertex};
+    pub use crate::topology::{RoutePlan, Routing, Topology, TopologyKind, Vertex};
 }

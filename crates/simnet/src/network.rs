@@ -10,7 +10,6 @@
 //! discrete-event executors do this by construction); the model then
 //! yields deterministic, contention-aware delivery times.
 
-use crate::fasthash::FastHashMap;
 use crate::fault::{FaultEvent, FaultInjector, FaultPlan, FaultVerdict};
 use crate::link::{LinkId, LinkModel, LinkState};
 use crate::time::{SimDuration, SimTime};
@@ -65,20 +64,12 @@ pub struct Network {
     dropped: u64,
     corrupted: u64,
     obs: Option<NetObs>,
-    /// Memoized routes per (src, dst) pair. Routing is deterministic and
-    /// static, so each pair is computed once; collectives revisit the
-    /// same few thousand pairs millions of times. Capped (see
-    /// `ROUTE_CACHE_MAX`) so adversarial patterns (all-to-all at huge
-    /// scale) degrade to recompute rather than unbounded memory.
-    route_cache: FastHashMap<(u32, u32), Box<[LinkId]>>,
-    /// Reusable route buffer for cache overflow: routes are at most the
-    /// diameter long, so this settles after the first few calls.
+    /// Route buffer for the fault-injection path only: link-scoped fault
+    /// rules judge the whole route as a slice. The fault-free hot path
+    /// streams hops straight off [`Topology::route_plan`] and never
+    /// materializes a route.
     route_scratch: Vec<LinkId>,
 }
-
-/// Upper bound on memoized (src, dst) routes (~64k pairs; a few MB on
-/// the deepest topology).
-const ROUTE_CACHE_MAX: usize = 1 << 16;
 
 impl Network {
     pub fn new(topo: Topology, model: LinkModel) -> Self {
@@ -93,7 +84,6 @@ impl Network {
             dropped: 0,
             corrupted: 0,
             obs: None,
-            route_cache: FastHashMap::default(),
             route_scratch: Vec::new(),
         }
     }
@@ -190,8 +180,8 @@ impl Network {
                 corrupted: false,
             };
         }
-        // Split the borrow: the memoized route slice stays borrowed from
-        // `route_cache` while link occupancy is charged against `links`.
+        // Split the borrow: the topology stays immutably borrowed for the
+        // route plan while link occupancy is charged against `links`.
         let Network {
             topo,
             model,
@@ -200,25 +190,15 @@ impl Network {
             dropped: dropped_total,
             corrupted: corrupted_total,
             obs,
-            route_cache,
             route_scratch,
             ..
         } = self;
-        let route: &[LinkId] =
-            if route_cache.len() < ROUTE_CACHE_MAX || route_cache.contains_key(&(src, dst)) {
-                route_cache.entry((src, dst)).or_insert_with(|| {
-                    let mut v = Vec::new();
-                    topo.route_into(src, dst, &mut v);
-                    v.into_boxed_slice()
-                })
-            } else {
-                // Cache full and pair unseen: recompute into the scratch.
-                topo.route_into(src, dst, route_scratch);
-                route_scratch
-            };
         let mut corrupted = false;
         if let Some(inj) = faults {
-            match inj.judge(now, src, dst, route) {
+            // Link-scoped fault rules judge the route as a slice; only
+            // chaos runs (small worlds) pay for the materialization.
+            topo.route_into(src, dst, route_scratch);
+            match inj.judge(now, src, dst, route_scratch) {
                 FaultVerdict::Deliver => {}
                 FaultVerdict::DeliverCorrupted => {
                     *corrupted_total += 1;
@@ -235,7 +215,7 @@ impl Network {
                     // The sender learns of the loss only after a timeout;
                     // model that as the nominal delivery time
                     // (retransmission policy layers on top).
-                    let nominal = now + model.message_time(bytes, route.len() as u32);
+                    let nominal = now + model.message_time(bytes, route_scratch.len() as u32);
                     return Delivery {
                         arrival: nominal,
                         dropped: true,
@@ -244,7 +224,6 @@ impl Network {
                 }
             }
         }
-        let hops = route.len() as u32;
         let ser = model.serialize_payload(bytes);
         let wire_bytes = model.wire_bytes(bytes);
         // Per-hop forwarding cost of the message head: for cut-through the
@@ -256,10 +235,12 @@ impl Network {
             model.serialize(bytes.min(model.mtu as u64) + model.header_bytes as u64)
         };
         let hop_lat = SimDuration::from_ps(model.hop_latency);
-        // Walk the route charging occupancy; `extra` accumulates queueing
-        // delay beyond the uncontended schedule.
+        // Stream the route plan charging occupancy; `extra` accumulates
+        // queueing delay beyond the uncontended schedule. No route vector
+        // exists on this path — each hop's link id is computed on the fly.
         let mut extra = SimDuration::ZERO;
-        for (i, link) in route.iter().enumerate() {
+        let mut hops = 0u32;
+        for (i, link) in topo.route_plan(src, dst).enumerate() {
             let nominal_head = now + extra + (hop_lat + fwd).saturating_mul(i as u64);
             let st = &mut links[link.0 as usize];
             let start = nominal_head.max(st.busy_until);
@@ -267,6 +248,7 @@ impl Network {
             st.busy_until = start + ser;
             st.bytes_carried += wire_bytes;
             st.busy_time += ser;
+            hops += 1;
         }
         let arrival = now + extra + model.message_time(bytes, hops);
         if let Some(no) = &self.obs {

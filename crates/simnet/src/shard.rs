@@ -49,6 +49,11 @@ use std::sync::Barrier;
 pub struct Partition {
     pub hosts: u32,
     pub nshards: u32,
+    /// Shard boundaries are snapped to multiples of `align` ranks.
+    /// `block()` uses 1 (plain block partition); `for_topology` on a
+    /// Dragonfly snaps to the group size so a group's dense local
+    /// traffic never crosses a shard boundary.
+    align: u32,
 }
 
 impl Partition {
@@ -58,26 +63,63 @@ impl Partition {
         Partition {
             hosts,
             nshards: nshards.clamp(1, hosts.max(1)),
+            align: 1,
         }
     }
 
-    /// Partition the hosts of a topology.
+    /// Block partition whose shard boundaries fall only on multiples of
+    /// `align` ranks (the last block absorbs any remainder). `nshards`
+    /// is additionally clamped so no shard is empty.
+    pub fn block_aligned(hosts: u32, nshards: u32, align: u32) -> Self {
+        let align = align.clamp(1, hosts.max(1));
+        let nblocks = hosts.div_ceil(align).max(1);
+        Partition {
+            hosts,
+            nshards: nshards.clamp(1, nblocks),
+            align,
+        }
+    }
+
+    /// Partition the hosts of a topology. Dragonfly topologies are
+    /// partitioned on group boundaries (all hosts of a group share a
+    /// shard); every other kind gets the plain block partition.
     pub fn for_topology(topo: &Topology, nshards: u32) -> Self {
-        Self::block(topo.hosts(), nshards)
+        match topo.kind() {
+            crate::topology::TopologyKind::Dragonfly { .. } => {
+                Self::block_aligned(topo.hosts(), nshards, topo.group_size())
+            }
+            _ => Self::block(topo.hosts(), nshards),
+        }
+    }
+
+    /// The boundary-snapping unit (1 for plain block partitions).
+    #[inline]
+    pub fn align(&self) -> u32 {
+        self.align
+    }
+
+    /// Number of indivisible alignment blocks.
+    #[inline]
+    fn nblocks(&self) -> u64 {
+        (self.hosts as u64).div_ceil(self.align as u64).max(1)
     }
 
     /// Which shard owns `rank`.
     #[inline]
     pub fn shard_of(&self, rank: u32) -> u32 {
         debug_assert!(rank < self.hosts);
-        ((rank as u64 * self.nshards as u64) / self.hosts as u64) as u32
+        let block = (rank / self.align) as u64;
+        ((block * self.nshards as u64) / self.nblocks()) as u32
     }
 
     /// The contiguous rank range shard `shard` owns.
     pub fn ranks_of(&self, shard: u32) -> std::ops::Range<u32> {
         debug_assert!(shard < self.nshards);
-        let lo = (shard as u64 * self.hosts as u64).div_ceil(self.nshards as u64) as u32;
-        let hi = ((shard as u64 + 1) * self.hosts as u64).div_ceil(self.nshards as u64) as u32;
+        let nb = self.nblocks();
+        let lo_b = (shard as u64 * nb).div_ceil(self.nshards as u64);
+        let hi_b = ((shard as u64 + 1) * nb).div_ceil(self.nshards as u64);
+        let lo = (lo_b * self.align as u64).min(self.hosts as u64) as u32;
+        let hi = (hi_b * self.align as u64).min(self.hosts as u64) as u32;
         lo..hi
     }
 }

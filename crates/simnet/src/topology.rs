@@ -1,10 +1,27 @@
 //! Cluster interconnect topologies and deterministic routing.
 //!
-//! A topology is an explicit directed graph over host and switch vertices
-//! with analytic (table-free) routing: crossbar, ring, 2-D/3-D torus with
-//! dimension-order routing, and a k-ary fat tree with destination-based
-//! upstream spreading (D-mod-k). Routes are returned as sequences of
-//! [`LinkId`]s so the contention model can charge occupancy per link.
+//! A topology is a directed graph over host and switch vertices with
+//! analytic (table-free) routing: crossbar, ring, 2-D/3-D torus with
+//! dimension-order routing, k-ary fat trees (single- and multi-pod) with
+//! destination-based upstream spreading (D-mod-k), and a Dragonfly with
+//! minimal or Valiant routing.
+//!
+//! Scale discipline: `Topology::new` stores **no per-link or per-pair
+//! state** — link ids, link endpoints, and routes are all computed
+//! arithmetically from coordinates, so a 1M-host Dragonfly costs the same
+//! few bytes as a 4-host crossbar. Routes are produced by [`RoutePlan`],
+//! an iterator that derives each hop's [`LinkId`] on the fly; the
+//! contention model charges occupancy per yielded link without ever
+//! materializing a route vector.
+//!
+//! Verification discipline: [`Topology::new_reference`] additionally
+//! builds the explicit link table the pre-refactor code used (insertion
+//! order via `add_bidi`, which defines the canonical link numbering for
+//! the legacy kinds), and [`Topology::route_reference`] walks routes
+//! through that table via the retained [`walk_route`] logic. The
+//! differential oracle (`sentinel::oracle::route_oracle`, plus the
+//! property suites) checks `RoutePlan` against this reference: same
+//! links, same order, same hop count.
 
 use crate::fasthash::FastHashMap;
 use crate::link::LinkId;
@@ -31,13 +48,41 @@ pub enum TopologyKind {
     Torus3D { x: u32, y: u32, z: u32 },
     /// k-ary fat tree (k even): `k^3/4` hosts, three switch tiers.
     FatTree { k: u32 },
+    /// k-ary fat tree with a configurable pod count (`1 <= pods <= k`):
+    /// `pods * (k/2)^2` hosts. `pods == k` is the classic full fat tree;
+    /// fewer pods model an incrementally built-out plant with the full
+    /// core layer already cabled.
+    FatTreePods { k: u32, pods: u32 },
+    /// Dragonfly: `groups` fully connected groups of
+    /// `routers_per_group` routers, each with `hosts_per_router` hosts.
+    /// Routers within a group are fully connected; every ordered group
+    /// pair is joined by one global link whose endpoints spread
+    /// round-robin across each group's routers.
+    Dragonfly {
+        groups: u32,
+        routers_per_group: u32,
+        hosts_per_router: u32,
+    },
 }
 
-/// An explicit interconnect graph with routing.
-#[derive(Debug, Clone)]
-pub struct Topology {
-    kind: TopologyKind,
-    hosts: u32,
+/// Route selection policy (Dragonfly only; all other kinds have a single
+/// deterministic minimal path and ignore this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Shortest path: up to 5 links on a Dragonfly
+    /// (host→router, local, global, local, router→host).
+    Minimal,
+    /// Valiant load balancing: route minimally to a pseudo-random
+    /// intermediate group (a pure function of `(seed, src, dst)`), then
+    /// minimally to the destination — up to 8 links, at most 2× the
+    /// minimal bound. Same-group traffic stays minimal.
+    Valiant { seed: u64 },
+}
+
+/// Explicit link table built only by [`Topology::new_reference`]; the
+/// oracle half of the routing refactor. Never present on the hot path.
+#[derive(Debug, Clone, Default)]
+struct RefGraph {
     /// Directed edges: (from, to), indexed by LinkId.
     links: Vec<(Vertex, Vertex)>,
     /// (from, to) -> LinkId. Lookup-only (never iterated), so the fast
@@ -45,101 +90,86 @@ pub struct Topology {
     index: FastHashMap<(Vertex, Vertex), LinkId>,
 }
 
+/// An interconnect graph with arithmetic O(1) routing.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kind: TopologyKind,
+    hosts: u32,
+    routing: Routing,
+    reference: Option<Box<RefGraph>>,
+}
+
+/// Sentinel for "no Valiant detour" in a [`RoutePlan`].
+const NO_VIA: u32 = u32::MAX;
+
 impl Topology {
+    /// Build a topology. O(1) time and memory for every kind: no link
+    /// table, no route storage — everything downstream is arithmetic.
     pub fn new(kind: TopologyKind) -> Self {
-        let mut t = Topology {
-            kind,
-            hosts: 0,
-            links: Vec::new(),
-            index: FastHashMap::default(),
-        };
-        match kind {
+        let hosts = match kind {
             TopologyKind::Crossbar { hosts } => {
                 assert!(hosts >= 1);
-                t.hosts = hosts;
-                for h in 0..hosts {
-                    t.add_bidi(Vertex::Host(h), Vertex::Switch(0));
-                }
+                hosts
             }
             TopologyKind::Ring { hosts } => {
                 assert!(hosts >= 2, "ring needs at least two hosts");
-                t.hosts = hosts;
-                for h in 0..hosts {
-                    t.add_bidi(Vertex::Host(h), Vertex::Host((h + 1) % hosts));
-                }
+                hosts
             }
             TopologyKind::Torus2D { w, h } => {
                 assert!(w >= 2 && h >= 2, "torus dims must be >= 2");
-                t.hosts = w * h;
-                for y in 0..h {
-                    for x in 0..w {
-                        let me = y * w + x;
-                        let east = y * w + (x + 1) % w;
-                        let north = ((y + 1) % h) * w + x;
-                        t.add_bidi(Vertex::Host(me), Vertex::Host(east));
-                        t.add_bidi(Vertex::Host(me), Vertex::Host(north));
-                    }
-                }
+                w * h
             }
             TopologyKind::Torus3D { x, y, z } => {
                 assert!(x >= 2 && y >= 2 && z >= 2);
-                t.hosts = x * y * z;
-                let id = |i: u32, j: u32, k: u32| (k * y + j) * x + i;
-                for k in 0..z {
-                    for j in 0..y {
-                        for i in 0..x {
-                            let me = id(i, j, k);
-                            t.add_bidi(Vertex::Host(me), Vertex::Host(id((i + 1) % x, j, k)));
-                            t.add_bidi(Vertex::Host(me), Vertex::Host(id(i, (j + 1) % y, k)));
-                            t.add_bidi(Vertex::Host(me), Vertex::Host(id(i, j, (k + 1) % z)));
-                        }
-                    }
-                }
+                x * y * z
             }
             TopologyKind::FatTree { k } => {
                 assert!(k >= 2 && k % 2 == 0, "fat tree arity must be even");
-                let half = k / 2;
-                t.hosts = k * half * half;
-                // Switch numbering: edge switches [0, k*half), aggregation
-                // switches [k*half, 2*k*half), core switches
-                // [2*k*half, 2*k*half + half*half).
-                let edge = |pod: u32, e: u32| Vertex::Switch(pod * half + e);
-                let agg = |pod: u32, a: u32| Vertex::Switch(k * half + pod * half + a);
-                let core = |c: u32| Vertex::Switch(2 * k * half + c);
-                for pod in 0..k {
-                    for e in 0..half {
-                        for p in 0..half {
-                            let hst = (pod * half + e) * half + p;
-                            t.add_bidi(Vertex::Host(hst), edge(pod, e));
-                        }
-                        for a in 0..half {
-                            t.add_bidi(edge(pod, e), agg(pod, a));
-                        }
-                    }
-                    for a in 0..half {
-                        for up in 0..half {
-                            // Aggregation switch `a` connects to core
-                            // switches a*half..a*half+half.
-                            t.add_bidi(agg(pod, a), core(a * half + up));
-                        }
-                    }
-                }
+                k * (k / 2) * (k / 2)
             }
+            TopologyKind::FatTreePods { k, pods } => {
+                assert!(k >= 2 && k % 2 == 0, "fat tree arity must be even");
+                assert!(
+                    pods >= 1 && pods <= k,
+                    "pod count must be in 1..=k (core ports)"
+                );
+                pods * (k / 2) * (k / 2)
+            }
+            TopologyKind::Dragonfly {
+                groups,
+                routers_per_group,
+                hosts_per_router,
+            } => {
+                assert!(groups >= 1 && routers_per_group >= 1 && hosts_per_router >= 1);
+                groups * routers_per_group * hosts_per_router
+            }
+        };
+        Topology {
+            kind,
+            hosts,
+            routing: Routing::Minimal,
+            reference: None,
         }
+    }
+
+    /// Like [`Topology::new`], but additionally builds the explicit
+    /// per-link reference table so [`Topology::route_reference`] and
+    /// [`Topology::reference_links`] work. O(links) memory — for oracle
+    /// and property tests only.
+    pub fn new_reference(kind: TopologyKind) -> Self {
+        let mut t = Self::new(kind);
+        t.build_reference();
         t
     }
 
-    fn add_bidi(&mut self, a: Vertex, b: Vertex) {
-        // Idempotent: a torus dimension of width 2 wraps +1 and -1 to the
-        // same neighbour; we model that as a single (shared) cable pair.
-        for (x, y) in [(a, b), (b, a)] {
-            if self.index.contains_key(&(x, y)) {
-                continue;
-            }
-            let id = LinkId(self.links.len() as u32);
-            self.links.push((x, y));
-            self.index.insert((x, y), id);
-        }
+    /// Select the routing policy (builder style).
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    pub fn routing(&self) -> Routing {
+        self.routing
     }
 
     pub fn kind(&self) -> TopologyKind {
@@ -150,58 +180,790 @@ impl Topology {
         self.hosts
     }
 
+    /// Dragonfly group of a rank (0 for non-grouped topologies). Used by
+    /// the shard partitioner to align shard boundaries with groups.
+    pub fn group_of(&self, rank: u32) -> u32 {
+        match self.kind {
+            TopologyKind::Dragonfly {
+                routers_per_group,
+                hosts_per_router,
+                ..
+            } => rank / (routers_per_group * hosts_per_router),
+            _ => 0,
+        }
+    }
+
+    /// Hosts per Dragonfly group (the whole machine for other kinds).
+    pub fn group_size(&self) -> u32 {
+        match self.kind {
+            TopologyKind::Dragonfly {
+                routers_per_group,
+                hosts_per_router,
+                ..
+            } => routers_per_group * hosts_per_router,
+            _ => self.hosts,
+        }
+    }
+
+    /// Total directed links, computed arithmetically.
     pub fn link_count(&self) -> usize {
-        self.links.len()
+        match self.kind {
+            TopologyKind::Crossbar { hosts } => 2 * hosts as usize,
+            TopologyKind::Ring { hosts } => {
+                if hosts == 2 {
+                    2
+                } else {
+                    2 * hosts as usize
+                }
+            }
+            TopologyKind::Torus2D { w, h } => 2 * t2_pairs_before(w, h, (w * h) as u64) as usize,
+            TopologyKind::Torus3D { x, y, z } => {
+                2 * t3_pairs_before(x, y, z, (x * y * z) as u64) as usize
+            }
+            TopologyKind::FatTree { k } => {
+                let half = (k / 2) as usize;
+                k as usize * 6 * half * half
+            }
+            TopologyKind::FatTreePods { k, pods } => {
+                let half = (k / 2) as usize;
+                pods as usize * 6 * half * half
+            }
+            TopologyKind::Dragonfly {
+                groups: g,
+                routers_per_group: a,
+                hosts_per_router: _,
+            } => {
+                let n = self.hosts as usize;
+                let (g, a) = (g as usize, a as usize);
+                2 * n + g * a * (a - 1) + g * (g - 1)
+            }
+        }
     }
 
+    /// Endpoints of a link id, computed arithmetically (inverse of the
+    /// link numbering; O(log hosts) worst case for tori, O(1) otherwise).
     pub fn link_endpoints(&self, id: LinkId) -> (Vertex, Vertex) {
-        self.links[id.0 as usize]
+        let i = id.0;
+        match self.kind {
+            TopologyKind::Crossbar { hosts } => {
+                assert!(i < 2 * hosts, "link id out of range");
+                let h = Vertex::Host(i / 2);
+                if i.is_multiple_of(2) {
+                    (h, Vertex::Switch(0))
+                } else {
+                    (Vertex::Switch(0), h)
+                }
+            }
+            TopologyKind::Ring { hosts } => {
+                assert!((i as usize) < self.link_count(), "link id out of range");
+                let u = i / 2;
+                let v = (u + 1) % hosts;
+                if i.is_multiple_of(2) {
+                    (Vertex::Host(u), Vertex::Host(v))
+                } else {
+                    (Vertex::Host(v), Vertex::Host(u))
+                }
+            }
+            TopologyKind::Torus2D { w, h } => {
+                let pair = (i / 2) as u64;
+                // Find the host owning this pair: t2_pairs_before is
+                // monotone in the host index, so binary search.
+                let n = invert_monotone(self.hosts as u64, pair, |m| t2_pairs_before(w, h, m));
+                let (x, y) = ((n as u32) % w, (n as u32) / w);
+                let local = pair - t2_pairs_before(w, h, n);
+                let has_e = w > 2 || x == 0;
+                // Pair 0 is east when present, north otherwise.
+                let east = local == 0 && has_e;
+                let me = Vertex::Host(y * w + x);
+                let other = if east {
+                    Vertex::Host(y * w + (x + 1) % w)
+                } else {
+                    Vertex::Host(((y + 1) % h) * w + x)
+                };
+                if i.is_multiple_of(2) {
+                    (me, other)
+                } else {
+                    (other, me)
+                }
+            }
+            TopologyKind::Torus3D { x: wx, y: wy, z: wz } => {
+                let pair = (i / 2) as u64;
+                let n = invert_monotone(self.hosts as u64, pair, |m| {
+                    t3_pairs_before(wx, wy, wz, m)
+                });
+                let nn = n as u32;
+                let (ci, cj, ck) = (nn % wx, (nn / wx) % wy, nn / (wx * wy));
+                let local = pair - t3_pairs_before(wx, wy, wz, n);
+                let has = [wx > 2 || ci == 0, wy > 2 || cj == 0, wz > 2 || ck == 0];
+                // local indexes the host's present pairs in x, y, z order.
+                let mut axis = 0;
+                let mut seen = 0u64;
+                for (d, present) in has.iter().enumerate() {
+                    if *present {
+                        if seen == local {
+                            axis = d;
+                            break;
+                        }
+                        seen += 1;
+                    }
+                }
+                let id3 = |a: u32, b: u32, c: u32| (c * wy + b) * wx + a;
+                let me = Vertex::Host(id3(ci, cj, ck));
+                let other = match axis {
+                    0 => Vertex::Host(id3((ci + 1) % wx, cj, ck)),
+                    1 => Vertex::Host(id3(ci, (cj + 1) % wy, ck)),
+                    _ => Vertex::Host(id3(ci, cj, (ck + 1) % wz)),
+                };
+                if i.is_multiple_of(2) {
+                    (me, other)
+                } else {
+                    (other, me)
+                }
+            }
+            TopologyKind::FatTree { .. } | TopologyKind::FatTreePods { .. } => {
+                let (k, pods) = self.ft_dims();
+                let half = k / 2;
+                let pod_block = 6 * half * half;
+                let pod = i / pod_block;
+                assert!(pod < pods, "link id out of range");
+                let r = i % pod_block;
+                let ft = FtIndex { k, pods };
+                let (from, to) = if r < 4 * half * half {
+                    let e = r / (4 * half);
+                    let r2 = r % (4 * half);
+                    if r2 < 2 * half {
+                        let p = r2 / 2;
+                        let hst = (pod * half + e) * half + p;
+                        (Vertex::Host(hst), ft.edge(pod, e))
+                    } else {
+                        let a = (r2 - 2 * half) / 2;
+                        (ft.edge(pod, e), ft.agg(pod, a))
+                    }
+                } else {
+                    let r3 = r - 4 * half * half;
+                    let a = r3 / (2 * half);
+                    let up = (r3 % (2 * half)) / 2;
+                    (ft.agg(pod, a), ft.core(a * half + up))
+                };
+                if i.is_multiple_of(2) {
+                    (from, to)
+                } else {
+                    (to, from)
+                }
+            }
+            TopologyKind::Dragonfly {
+                groups: g,
+                routers_per_group: a,
+                hosts_per_router: hpr,
+            } => {
+                let n = self.hosts;
+                let l0 = 2 * n;
+                let g0 = l0 + g * a * (a - 1);
+                if i < l0 {
+                    let x = i / 2;
+                    let h = Vertex::Host(x);
+                    let r = Vertex::Switch(x / hpr);
+                    if i.is_multiple_of(2) {
+                        (h, r)
+                    } else {
+                        (r, h)
+                    }
+                } else if i < g0 {
+                    let q = i - l0;
+                    let per_group = a * (a - 1);
+                    let gr = q / per_group;
+                    let s = q % per_group;
+                    let ri = s / (a - 1);
+                    let t = s % (a - 1);
+                    let rj = t + u32::from(t >= ri);
+                    (
+                        Vertex::Switch(gr * a + ri),
+                        Vertex::Switch(gr * a + rj),
+                    )
+                } else {
+                    let q = i - g0;
+                    assert!(q < g * (g - 1), "link id out of range");
+                    let gi = q / (g - 1);
+                    let t = q % (g - 1);
+                    let gj = t + u32::from(t >= gi);
+                    (
+                        Vertex::Switch(gi * a + df_owner(a, gi, gj)),
+                        Vertex::Switch(gj * a + df_owner(a, gj, gi)),
+                    )
+                }
+            }
+        }
     }
 
-    fn link(&self, from: Vertex, to: Vertex) -> LinkId {
-        *self
-            .index
-            .get(&(from, to))
-            .unwrap_or_else(|| panic!("no link {from:?} -> {to:?}"))
+    /// The deterministic route from host `src` to host `dst` as an O(1)
+    /// on-the-fly iterator: no allocation, no per-pair storage. `src ==
+    /// dst` yields an empty plan (loopback never hits the wire).
+    pub fn route_plan(&self, src: u32, dst: u32) -> RoutePlan<'_> {
+        assert!(src < self.hosts && dst < self.hosts, "rank out of range");
+        let via = match self.routing {
+            Routing::Minimal => NO_VIA,
+            Routing::Valiant { seed } => self.valiant_via(seed, src, dst),
+        };
+        RoutePlan {
+            topo: self,
+            cur: Vertex::Host(src),
+            dst,
+            via,
+            done: src == dst,
+        }
+    }
+
+    /// The Valiant intermediate group for `(src, dst)`, or `NO_VIA` when
+    /// the pair stays minimal (same group, tiny machine, or the drawn
+    /// group coincides with an endpoint group).
+    fn valiant_via(&self, seed: u64, src: u32, dst: u32) -> u32 {
+        let TopologyKind::Dragonfly {
+            groups: g,
+            routers_per_group: a,
+            hosts_per_router: h,
+        } = self.kind
+        else {
+            return NO_VIA;
+        };
+        if g < 3 || src == dst {
+            return NO_VIA;
+        }
+        let gs = a * h;
+        let (sg, dg) = (src / gs, dst / gs);
+        if sg == dg {
+            return NO_VIA;
+        }
+        let mut x = seed ^ (((src as u64) << 32) | dst as u64);
+        // One SplitMix64 scramble round: cheap, deterministic, and
+        // well-mixed across (src, dst) pairs.
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let vg = (x % g as u64) as u32;
+        if vg == sg || vg == dg {
+            NO_VIA
+        } else {
+            vg
+        }
     }
 
     /// The deterministic route from host `src` to host `dst` as links.
-    /// `src == dst` yields an empty route (loopback never hits the wire).
     pub fn route(&self, src: u32, dst: u32) -> Vec<LinkId> {
-        let mut out = Vec::new();
-        self.route_into(src, dst, &mut out);
-        out
+        self.route_plan(src, dst).collect()
     }
 
     /// Like [`Topology::route`], but appends into a caller-owned buffer
-    /// (cleared first) so the per-transfer hot path allocates nothing
-    /// once the buffer has grown to the diameter.
+    /// (cleared first). Retained for callers that need a slice; the hot
+    /// path iterates [`Topology::route_plan`] directly.
     pub fn route_into(&self, src: u32, dst: u32, out: &mut Vec<LinkId>) {
-        assert!(src < self.hosts && dst < self.hosts, "rank out of range");
         out.clear();
-        if src == dst {
-            return;
-        }
-        let mut prev = Vertex::Host(src);
-        self.walk_route(src, dst, |v| {
-            out.push(self.link(prev, v));
-            prev = v;
-        });
+        out.extend(self.route_plan(src, dst));
     }
 
     /// Number of links on the route (0 for loopback).
     pub fn hops(&self, src: u32, dst: u32) -> u32 {
-        if src == dst {
-            return 0;
+        self.route_plan(src, dst).count() as u32
+    }
+
+    /// Next vertex after `cur` on the path to `dst`. Pure arithmetic in
+    /// the current vertex and destination; `via` carries the remaining
+    /// Valiant waypoint (cleared once the detour group is reached).
+    fn next_vertex(&self, cur: Vertex, dst: u32, via: &mut u32) -> Vertex {
+        match self.kind {
+            TopologyKind::Crossbar { .. } => match cur {
+                Vertex::Host(_) => Vertex::Switch(0),
+                Vertex::Switch(_) => Vertex::Host(dst),
+            },
+            TopologyKind::Ring { hosts } => {
+                let Vertex::Host(c) = cur else {
+                    unreachable!("ring has no switches")
+                };
+                Vertex::Host(step_toward(c, dst, hosts))
+            }
+            TopologyKind::Torus2D { w, h } => {
+                let Vertex::Host(c) = cur else {
+                    unreachable!("torus has no switches")
+                };
+                let (x, y) = (c % w, c / w);
+                let (dx, dy) = (dst % w, dst / w);
+                if x != dx {
+                    Vertex::Host(y * w + step_toward(x, dx, w))
+                } else {
+                    Vertex::Host((step_toward(y, dy, h)) * w + x)
+                }
+            }
+            TopologyKind::Torus3D { x: wx, y: wy, z: wz } => {
+                let Vertex::Host(c) = cur else {
+                    unreachable!("torus has no switches")
+                };
+                let (i, j, k) = (c % wx, (c / wx) % wy, c / (wx * wy));
+                let (di, dj, dk) = (dst % wx, (dst / wx) % wy, dst / (wx * wy));
+                let id3 = |a: u32, b: u32, c: u32| (c * wy + b) * wx + a;
+                if i != di {
+                    Vertex::Host(id3(step_toward(i, di, wx), j, k))
+                } else if j != dj {
+                    Vertex::Host(id3(i, step_toward(j, dj, wy), k))
+                } else {
+                    Vertex::Host(id3(i, j, step_toward(k, dk, wz)))
+                }
+            }
+            TopologyKind::FatTree { .. } | TopologyKind::FatTreePods { .. } => {
+                let (k, pods) = self.ft_dims();
+                let half = k / 2;
+                let ft = FtIndex { k, pods };
+                let dp = dst / (half * half);
+                let de = (dst / half) % half;
+                let a_sel = dst % half;
+                match cur {
+                    Vertex::Host(x) => ft.edge(x / (half * half), (x / half) % half),
+                    Vertex::Switch(s) => {
+                        if s < pods * half {
+                            // Edge switch.
+                            let (pod, e) = (s / half, s % half);
+                            if pod == dp && e == de {
+                                Vertex::Host(dst)
+                            } else {
+                                ft.agg(pod, a_sel)
+                            }
+                        } else if s < 2 * pods * half {
+                            // Aggregation switch.
+                            let pod = (s - pods * half) / half;
+                            if pod == dp {
+                                ft.edge(dp, de)
+                            } else {
+                                ft.core(a_sel * half + de)
+                            }
+                        } else {
+                            // Core switch.
+                            ft.agg(dp, a_sel)
+                        }
+                    }
+                }
+            }
+            TopologyKind::Dragonfly {
+                groups: _,
+                routers_per_group: a,
+                hosts_per_router: h,
+            } => {
+                let dr = dst / h;
+                let (dg, di) = (dr / a, dr % a);
+                match cur {
+                    Vertex::Host(x) => Vertex::Switch(x / h),
+                    Vertex::Switch(r) => {
+                        let (gr, i) = (r / a, r % a);
+                        if *via == gr {
+                            // Detour group reached; head home.
+                            *via = NO_VIA;
+                        }
+                        let tg = if *via == NO_VIA { dg } else { *via };
+                        if gr == dg && tg == dg {
+                            // Descend.
+                            if i == di {
+                                Vertex::Host(dst)
+                            } else {
+                                Vertex::Switch(dg * a + di)
+                            }
+                        } else {
+                            let exit = df_owner(a, gr, tg);
+                            if i == exit {
+                                Vertex::Switch(tg * a + df_owner(a, tg, gr))
+                            } else {
+                                Vertex::Switch(gr * a + exit)
+                            }
+                        }
+                    }
+                }
+            }
         }
-        let mut n = 0;
-        self.walk_route(src, dst, |_| n += 1);
-        n
+    }
+
+    /// Arithmetic link id of the directed edge `from -> to`. `from` and
+    /// `to` must be adjacent (as produced by [`Topology::next_vertex`]).
+    fn link_id(&self, from: Vertex, to: Vertex) -> LinkId {
+        let id = match self.kind {
+            TopologyKind::Crossbar { .. } => match (from, to) {
+                (Vertex::Host(x), Vertex::Switch(0)) => 2 * x,
+                (Vertex::Switch(0), Vertex::Host(x)) => 2 * x + 1,
+                _ => panic!("not adjacent: {from:?} -> {to:?}"),
+            },
+            TopologyKind::Ring { hosts } => {
+                let (Vertex::Host(u), Vertex::Host(v)) = (from, to) else {
+                    panic!("not adjacent: {from:?} -> {to:?}")
+                };
+                if hosts == 2 {
+                    // Single deduplicated cable pair: (0,1)=0, (1,0)=1.
+                    u
+                } else if v == (u + 1) % hosts {
+                    2 * u
+                } else {
+                    debug_assert_eq!(v, (u + hosts - 1) % hosts);
+                    2 * v + 1
+                }
+            }
+            TopologyKind::Torus2D { w, h } => {
+                let (Vertex::Host(u), Vertex::Host(v)) = (from, to) else {
+                    panic!("not adjacent: {from:?} -> {to:?}")
+                };
+                let (ux, uy) = (u % w, u / w);
+                let (vx, vy) = (v % w, v / w);
+                if uy == vy {
+                    // X move.
+                    t2_link_x(w, h, ux, uy, vx)
+                } else {
+                    debug_assert_eq!(ux, vx);
+                    t2_link_y(w, h, ux, uy, vy)
+                }
+            }
+            TopologyKind::Torus3D { x: wx, y: wy, z: wz } => {
+                let (Vertex::Host(u), Vertex::Host(v)) = (from, to) else {
+                    panic!("not adjacent: {from:?} -> {to:?}")
+                };
+                let (ui, uj, uk) = (u % wx, (u / wx) % wy, u / (wx * wy));
+                let (vi, vj, vk) = (v % wx, (v / wx) % wy, v / (wx * wy));
+                t3_link(wx, wy, wz, (ui, uj, uk), (vi, vj, vk))
+            }
+            TopologyKind::FatTree { .. } | TopologyKind::FatTreePods { .. } => {
+                let (k, pods) = self.ft_dims();
+                self.ft_link_id(k, pods, from, to)
+            }
+            TopologyKind::Dragonfly {
+                groups: g,
+                routers_per_group: a,
+                ..
+            } => {
+                let n = self.hosts;
+                let l0 = 2 * n;
+                let g0 = l0 + g * a * (a - 1);
+                match (from, to) {
+                    (Vertex::Host(x), Vertex::Switch(_)) => 2 * x,
+                    (Vertex::Switch(_), Vertex::Host(x)) => 2 * x + 1,
+                    (Vertex::Switch(r1), Vertex::Switch(r2)) => {
+                        let (g1, i1) = (r1 / a, r1 % a);
+                        let (g2, i2) = (r2 / a, r2 % a);
+                        if g1 == g2 {
+                            let t = i2 - u32::from(i2 > i1);
+                            l0 + g1 * (a * (a - 1)) + i1 * (a - 1) + t
+                        } else {
+                            debug_assert_eq!(i1, df_owner(a, g1, g2));
+                            debug_assert_eq!(i2, df_owner(a, g2, g1));
+                            let t = g2 - u32::from(g2 > g1);
+                            g0 + g1 * (g - 1) + t
+                        }
+                    }
+                    _ => panic!("not adjacent: {from:?} -> {to:?}"),
+                }
+            }
+        };
+        LinkId(id)
+    }
+
+    /// (k, pods) for the fat-tree family.
+    fn ft_dims(&self) -> (u32, u32) {
+        match self.kind {
+            TopologyKind::FatTree { k } => (k, k),
+            TopologyKind::FatTreePods { k, pods } => (k, pods),
+            _ => unreachable!(),
+        }
+    }
+
+    fn ft_link_id(&self, k: u32, pods: u32, from: Vertex, to: Vertex) -> u32 {
+        let half = k / 2;
+        let pod_block = 6 * half * half;
+        let ft = FtIndex { k, pods };
+        let host_ids = |hst: u32, up: bool| {
+            let pod = hst / (half * half);
+            let e = (hst / half) % half;
+            let p = hst % half;
+            pod * pod_block + e * 4 * half + 2 * p + u32::from(!up)
+        };
+        let edge_agg = |pod: u32, e: u32, a: u32, up: bool| {
+            pod * pod_block + e * 4 * half + 2 * half + 2 * a + u32::from(!up)
+        };
+        let agg_core = |pod: u32, a: u32, up_idx: u32, up: bool| {
+            pod * pod_block + 4 * half * half + a * 2 * half + 2 * up_idx + u32::from(!up)
+        };
+        match (from, to) {
+            (Vertex::Host(x), Vertex::Switch(_)) => host_ids(x, true),
+            (Vertex::Switch(_), Vertex::Host(x)) => host_ids(x, false),
+            (Vertex::Switch(s1), Vertex::Switch(s2)) => {
+                let class = |s: u32| {
+                    if s < pods * half {
+                        0 // edge
+                    } else if s < 2 * pods * half {
+                        1 // agg
+                    } else {
+                        2 // core
+                    }
+                };
+                match (class(s1), class(s2)) {
+                    (0, 1) => {
+                        let (pod, e) = (s1 / half, s1 % half);
+                        let a = ft.agg_index(s2);
+                        edge_agg(pod, e, a, true)
+                    }
+                    (1, 0) => {
+                        let (pod, e) = (s2 / half, s2 % half);
+                        let a = ft.agg_index(s1);
+                        edge_agg(pod, e, a, false)
+                    }
+                    (1, 2) => {
+                        let pod = ft.agg_pod(s1);
+                        let a = ft.agg_index(s1);
+                        let c = s2 - 2 * pods * half;
+                        agg_core(pod, a, c - a * half, true)
+                    }
+                    (2, 1) => {
+                        let pod = ft.agg_pod(s2);
+                        let a = ft.agg_index(s2);
+                        let c = s1 - 2 * pods * half;
+                        agg_core(pod, a, c - a * half, false)
+                    }
+                    _ => panic!("not adjacent: {from:?} -> {to:?}"),
+                }
+            }
+            _ => panic!("not adjacent: {from:?} -> {to:?}"),
+        }
+    }
+
+    /// Network diameter in links (max hops over all host pairs). Computed
+    /// analytically per topology kind (and routing policy).
+    pub fn diameter(&self) -> u32 {
+        match self.kind {
+            TopologyKind::Crossbar { .. } => 2,
+            TopologyKind::Ring { hosts } => hosts / 2,
+            TopologyKind::Torus2D { w, h } => w / 2 + h / 2,
+            TopologyKind::Torus3D { x, y, z } => x / 2 + y / 2 + z / 2,
+            TopologyKind::FatTree { .. } => 6,
+            TopologyKind::FatTreePods { pods, .. } => {
+                if pods == 1 {
+                    4
+                } else {
+                    6
+                }
+            }
+            TopologyKind::Dragonfly {
+                groups: g,
+                routers_per_group: a,
+                ..
+            } => {
+                let global = u32::from(g > 1);
+                let locals = u32::from(a > 1) * (1 + global);
+                let minimal = 2 + global + locals;
+                match self.routing {
+                    Routing::Minimal => minimal,
+                    // Two back-to-back minimal legs share the terminal
+                    // host links.
+                    Routing::Valiant { .. } => {
+                        if g > 1 {
+                            2 * minimal - 2
+                        } else {
+                            minimal
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Links crossing a balanced bisection (a capacity measure used by the
+    /// scaling analyses).
+    pub fn bisection_links(&self) -> u64 {
+        match self.kind {
+            TopologyKind::Crossbar { hosts } => hosts as u64, // ideal
+            TopologyKind::Ring { .. } => 4,                   // 2 cables, both directions
+            TopologyKind::Torus2D { w, h } => {
+                // Cut across the smaller dimension: 2 cables per row/col
+                // crossing, both directions.
+                4 * w.min(h) as u64
+            }
+            TopologyKind::Torus3D { x, y, z } => {
+                let a = x.max(y).max(z);
+                // Cut perpendicular to the largest dimension.
+                let plane = (x as u64 * y as u64 * z as u64) / a as u64;
+                4 * plane
+            }
+            TopologyKind::FatTree { k } => (k as u64).pow(3) / 4, // full bisection
+            TopologyKind::FatTreePods { k, pods } => {
+                // Half the pods on each side; each pod reaches the core
+                // with (k/2)^2 uplinks, both directions.
+                let half = (k / 2) as u64;
+                2 * (pods as u64 / 2) * half * half
+            }
+            TopologyKind::Dragonfly { groups: g, routers_per_group: a, .. } => {
+                if g > 1 {
+                    // Global links between the two halves of the group
+                    // set, both directions (one cable pair per ordered
+                    // group pair).
+                    2 * (g as u64 / 2) * (g as u64 - g as u64 / 2)
+                } else {
+                    // Single group: local links across the router split.
+                    2 * (a as u64 / 2) * (a as u64 - a as u64 / 2)
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Reference graph (oracle half)
+    // -----------------------------------------------------------------
+
+    /// Whether the explicit reference table is present.
+    pub fn has_reference(&self) -> bool {
+        self.reference.is_some()
+    }
+
+    /// The explicit reference link table (panics without
+    /// [`Topology::new_reference`]).
+    pub fn reference_links(&self) -> &[(Vertex, Vertex)] {
+        &self.reference.as_ref().expect("reference graph not built").links
+    }
+
+    /// Reference route: the retained pre-refactor path — per-kind
+    /// `walk_route` vertex streaming plus explicit-table link lookup.
+    /// The differential oracle compares [`Topology::route_plan`] against
+    /// this on every legacy kind.
+    pub fn route_reference(&self, src: u32, dst: u32) -> Vec<LinkId> {
+        assert!(src < self.hosts && dst < self.hosts, "rank out of range");
+        let mut out = Vec::new();
+        if src == dst {
+            return out;
+        }
+        let mut prev = Vertex::Host(src);
+        self.walk_route(src, dst, |v| {
+            out.push(self.ref_link(prev, v));
+            prev = v;
+        });
+        out
+    }
+
+    fn ref_link(&self, from: Vertex, to: Vertex) -> LinkId {
+        let r = self.reference.as_ref().expect("reference graph not built");
+        *r.index
+            .get(&(from, to))
+            .unwrap_or_else(|| panic!("no link {from:?} -> {to:?}"))
+    }
+
+    fn build_reference(&mut self) {
+        let mut r = RefGraph::default();
+        let mut add_bidi = |a: Vertex, b: Vertex| {
+            // Idempotent: a torus dimension of width 2 wraps +1 and -1 to
+            // the same neighbour; we model that as one shared cable pair.
+            for (x, y) in [(a, b), (b, a)] {
+                if r.index.contains_key(&(x, y)) {
+                    continue;
+                }
+                let id = LinkId(r.links.len() as u32);
+                r.links.push((x, y));
+                r.index.insert((x, y), id);
+            }
+        };
+        match self.kind {
+            TopologyKind::Crossbar { hosts } => {
+                for h in 0..hosts {
+                    add_bidi(Vertex::Host(h), Vertex::Switch(0));
+                }
+            }
+            TopologyKind::Ring { hosts } => {
+                for h in 0..hosts {
+                    add_bidi(Vertex::Host(h), Vertex::Host((h + 1) % hosts));
+                }
+            }
+            TopologyKind::Torus2D { w, h } => {
+                for y in 0..h {
+                    for x in 0..w {
+                        let me = y * w + x;
+                        let east = y * w + (x + 1) % w;
+                        let north = ((y + 1) % h) * w + x;
+                        add_bidi(Vertex::Host(me), Vertex::Host(east));
+                        add_bidi(Vertex::Host(me), Vertex::Host(north));
+                    }
+                }
+            }
+            TopologyKind::Torus3D { x, y, z } => {
+                let id = |i: u32, j: u32, k: u32| (k * y + j) * x + i;
+                for k in 0..z {
+                    for j in 0..y {
+                        for i in 0..x {
+                            let me = id(i, j, k);
+                            add_bidi(Vertex::Host(me), Vertex::Host(id((i + 1) % x, j, k)));
+                            add_bidi(Vertex::Host(me), Vertex::Host(id(i, (j + 1) % y, k)));
+                            add_bidi(Vertex::Host(me), Vertex::Host(id(i, j, (k + 1) % z)));
+                        }
+                    }
+                }
+            }
+            TopologyKind::FatTree { .. } | TopologyKind::FatTreePods { .. } => {
+                let (k, pods) = self.ft_dims();
+                let half = k / 2;
+                let ft = FtIndex { k, pods };
+                for pod in 0..pods {
+                    for e in 0..half {
+                        for p in 0..half {
+                            let hst = (pod * half + e) * half + p;
+                            add_bidi(Vertex::Host(hst), ft.edge(pod, e));
+                        }
+                        for a in 0..half {
+                            add_bidi(ft.edge(pod, e), ft.agg(pod, a));
+                        }
+                    }
+                    for a in 0..half {
+                        for up in 0..half {
+                            // Aggregation switch `a` connects to core
+                            // switches a*half..a*half+half.
+                            add_bidi(ft.agg(pod, a), ft.core(a * half + up));
+                        }
+                    }
+                }
+            }
+            TopologyKind::Dragonfly {
+                groups: g,
+                routers_per_group: a,
+                hosts_per_router: hpr,
+            } => {
+                // Directed edges pushed in arithmetic id order — an
+                // independent construction the closed-form numbering is
+                // tested against.
+                let mut push = |from: Vertex, to: Vertex| {
+                    let id = LinkId(r.links.len() as u32);
+                    r.links.push((from, to));
+                    r.index.insert((from, to), id);
+                };
+                for x in 0..self.hosts {
+                    push(Vertex::Host(x), Vertex::Switch(x / hpr));
+                    push(Vertex::Switch(x / hpr), Vertex::Host(x));
+                }
+                for gr in 0..g {
+                    for i in 0..a {
+                        for j in 0..a {
+                            if i != j {
+                                push(
+                                    Vertex::Switch(gr * a + i),
+                                    Vertex::Switch(gr * a + j),
+                                );
+                            }
+                        }
+                    }
+                }
+                for gi in 0..g {
+                    for gj in 0..g {
+                        if gi != gj {
+                            push(
+                                Vertex::Switch(gi * a + df_owner(a, gi, gj)),
+                                Vertex::Switch(gj * a + df_owner(a, gj, gi)),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.reference = Some(Box::new(r));
     }
 
     /// Visit each vertex of the deterministic `src -> dst` path after the
-    /// source, in order. The route algorithms stream their hops through
-    /// `visit` so neither `route_into` nor `hops` builds a vertex list.
+    /// source, in order — the retained pre-refactor routing logic for the
+    /// legacy kinds (the new kinds route through the same `next_vertex`
+    /// the plan uses; their reference check is the explicit link table).
     fn walk_route(&self, src: u32, dst: u32, mut visit: impl FnMut(Vertex)) {
         match self.kind {
             TopologyKind::Crossbar { .. } => {
@@ -283,41 +1045,199 @@ impl Topology {
                 }
                 visit(Vertex::Host(dst));
             }
+            TopologyKind::FatTreePods { .. } | TopologyKind::Dragonfly { .. } => {
+                let mut via = match self.routing {
+                    Routing::Minimal => NO_VIA,
+                    Routing::Valiant { seed } => self.valiant_via(seed, src, dst),
+                };
+                let mut cur = Vertex::Host(src);
+                loop {
+                    cur = self.next_vertex(cur, dst, &mut via);
+                    visit(cur);
+                    if cur == Vertex::Host(dst) {
+                        break;
+                    }
+                }
+            }
         }
     }
+}
 
-    /// Network diameter in links (max hops over all host pairs). Computed
-    /// analytically per topology kind.
-    pub fn diameter(&self) -> u32 {
-        match self.kind {
-            TopologyKind::Crossbar { .. } => 2,
-            TopologyKind::Ring { hosts } => hosts / 2,
-            TopologyKind::Torus2D { w, h } => w / 2 + h / 2,
-            TopologyKind::Torus3D { x, y, z } => x / 2 + y / 2 + z / 2,
-            TopologyKind::FatTree { .. } => 6,
+/// Fat-tree switch numbering: edge switches `[0, pods*half)`, aggregation
+/// switches `[pods*half, 2*pods*half)`, core `[2*pods*half, +half^2)`.
+struct FtIndex {
+    k: u32,
+    pods: u32,
+}
+
+impl FtIndex {
+    fn edge(&self, pod: u32, e: u32) -> Vertex {
+        Vertex::Switch(pod * (self.k / 2) + e)
+    }
+    fn agg(&self, pod: u32, a: u32) -> Vertex {
+        Vertex::Switch(self.pods * (self.k / 2) + pod * (self.k / 2) + a)
+    }
+    fn core(&self, c: u32) -> Vertex {
+        Vertex::Switch(2 * self.pods * (self.k / 2) + c)
+    }
+    fn agg_pod(&self, s: u32) -> u32 {
+        (s - self.pods * (self.k / 2)) / (self.k / 2)
+    }
+    fn agg_index(&self, s: u32) -> u32 {
+        (s - self.pods * (self.k / 2)) % (self.k / 2)
+    }
+}
+
+/// Router in `from_g` owning the global link to `to_g` (round-robin
+/// spread of global endpoints across a group's routers).
+#[inline]
+fn df_owner(a: u32, from_g: u32, to_g: u32) -> u32 {
+    let t = if to_g < from_g { to_g } else { to_g - 1 };
+    t % a
+}
+
+/// Cable *pairs* inserted before host `n` in the 2-D torus reference
+/// numbering (east pair then north pair per host, deduplicated when a
+/// dimension has width 2).
+fn t2_pairs_before(w: u32, h: u32, n: u64) -> u64 {
+    let e = if w > 2 { n } else { n.div_ceil(w as u64) };
+    let nn = if h > 2 { n } else { n.min(w as u64) };
+    e + nn
+}
+
+/// Link id for an X move `(ux,uy) -> (vx,uy)` on a 2-D torus.
+fn t2_link_x(w: u32, h: u32, ux: u32, uy: u32, vx: u32) -> u32 {
+    let base = |x: u32, y: u32| 2 * t2_pairs_before(w, h, (y * w + x) as u64) as u32;
+    if w == 2 {
+        // One shared pair per row, owned by x == 0: (0,1)=+0, (1,0)=+1.
+        base(0, uy) + u32::from(ux == 1)
+    } else if vx == (ux + 1) % w {
+        base(ux, uy) // own east pair, forward direction
+    } else {
+        base(vx, uy) + 1 // neighbour's east pair, reverse direction
+    }
+}
+
+/// Link id for a Y move `(ux,uy) -> (ux,vy)` on a 2-D torus.
+fn t2_link_y(w: u32, h: u32, ux: u32, uy: u32, vy: u32) -> u32 {
+    let base = |x: u32, y: u32| 2 * t2_pairs_before(w, h, (y * w + x) as u64) as u32;
+    // Offset of a host's north pair past its east pair (if present).
+    let e_off = |x: u32| 2 * u32::from(w > 2 || x == 0);
+    if h == 2 {
+        base(ux, 0) + e_off(ux) + u32::from(uy == 1)
+    } else if vy == (uy + 1) % h {
+        base(ux, uy) + e_off(ux)
+    } else {
+        base(ux, vy) + e_off(ux) + 1
+    }
+}
+
+/// Cable pairs inserted before host `n` in the 3-D torus reference
+/// numbering (x, y, z pair per host, deduplicated at width 2).
+fn t3_pairs_before(wx: u32, wy: u32, wz: u32, n: u64) -> u64 {
+    let (wx64, wy64) = (wx as u64, wy as u64);
+    let plane = wx64 * wy64;
+    let ex = if wx > 2 { n } else { n.div_ceil(wx64) };
+    let ey = if wy > 2 {
+        n
+    } else {
+        // Hosts with j == 0 among the first n: wx per full plane plus the
+        // first wx of a partial plane.
+        (n / plane) * wx64 + (n % plane).min(wx64)
+    };
+    let ez = if wz > 2 { n } else { n.min(plane) };
+    ex + ey + ez
+}
+
+/// Link id for a single-axis move on a 3-D torus.
+fn t3_link(wx: u32, wy: u32, wz: u32, u: (u32, u32, u32), v: (u32, u32, u32)) -> u32 {
+    let idx = |i: u32, j: u32, k: u32| ((k * wy + j) * wx + i) as u64;
+    let base = |i: u32, j: u32, k: u32| 2 * t3_pairs_before(wx, wy, wz, idx(i, j, k)) as u32;
+    let has = |w: u32, c: u32| u32::from(w > 2 || c == 0);
+    let (ui, uj, uk) = u;
+    let (vi, vj, vk) = v;
+    if uj == vj && uk == vk {
+        // X move: the x pair is a host's first pair.
+        if wx == 2 {
+            base(0, uj, uk) + u32::from(ui == 1)
+        } else if vi == (ui + 1) % wx {
+            base(ui, uj, uk)
+        } else {
+            base(vi, uj, uk) + 1
+        }
+    } else if ui == vi && uk == vk {
+        // Y move: skip the x pair if present.
+        let off = |i: u32| 2 * has(wx, i);
+        if wy == 2 {
+            base(ui, 0, uk) + off(ui) + u32::from(uj == 1)
+        } else if vj == (uj + 1) % wy {
+            base(ui, uj, uk) + off(ui)
+        } else {
+            base(ui, vj, uk) + off(ui) + 1
+        }
+    } else {
+        // Z move: skip x and y pairs if present.
+        debug_assert!(ui == vi && uj == vj);
+        let off = |i: u32, j: u32| 2 * (has(wx, i) + has(wy, j));
+        if wz == 2 {
+            base(ui, uj, 0) + off(ui, uj) + u32::from(uk == 1)
+        } else if vk == (uk + 1) % wz {
+            base(ui, uj, uk) + off(ui, uj)
+        } else {
+            base(ui, uj, vk) + off(ui, uj) + 1
         }
     }
+}
 
-    /// Links crossing a balanced bisection (a capacity measure used by the
-    /// scaling analyses).
-    pub fn bisection_links(&self) -> u32 {
-        match self.kind {
-            TopologyKind::Crossbar { hosts } => hosts, // ideal
-            TopologyKind::Ring { .. } => 4,            // 2 cables, both directions
-            TopologyKind::Torus2D { w, h } => {
-                // Cut across the smaller dimension: 2 cables per row/col
-                // crossing, both directions.
-                4 * w.min(h)
-            }
-            TopologyKind::Torus3D { x, y, z } => {
-                let (a, b, c) = (x.max(y).max(z), 0, 0);
-                let _ = (b, c);
-                // Cut perpendicular to the largest dimension.
-                let plane = (x * y * z) / a;
-                4 * plane
-            }
-            TopologyKind::FatTree { k } => k * k * k / 4, // full bisection
+/// Largest `n in [0, hosts]` with `f(n) <= target`, by binary search over
+/// the monotone pair-count function (used to invert link numbering).
+fn invert_monotone(hosts: u64, target: u64, f: impl Fn(u64) -> u64) -> u64 {
+    let (mut lo, mut hi) = (0u64, hosts);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if f(mid) <= target {
+            lo = mid;
+        } else {
+            hi = mid;
         }
+    }
+    lo
+}
+
+/// An O(1)-state route iterator: yields the [`LinkId`] of each hop from
+/// `src` to `dst`, computing both the next vertex and its link id
+/// arithmetically from coordinates. No allocation, no per-pair storage.
+#[derive(Clone)]
+pub struct RoutePlan<'a> {
+    topo: &'a Topology,
+    cur: Vertex,
+    dst: u32,
+    /// Remaining Valiant waypoint group, or `NO_VIA`.
+    via: u32,
+    done: bool,
+}
+
+impl RoutePlan<'_> {
+    /// The vertex the plan currently stands on.
+    pub fn position(&self) -> Vertex {
+        self.cur
+    }
+}
+
+impl Iterator for RoutePlan<'_> {
+    type Item = LinkId;
+
+    fn next(&mut self) -> Option<LinkId> {
+        if self.done {
+            return None;
+        }
+        let next = self.topo.next_vertex(self.cur, self.dst, &mut self.via);
+        let id = self.topo.link_id(self.cur, next);
+        if next == Vertex::Host(self.dst) {
+            self.done = true;
+        }
+        self.cur = next;
+        Some(id)
     }
 }
 
@@ -337,15 +1257,55 @@ fn step_toward(cur: u32, dst: u32, width: u32) -> u32 {
 mod tests {
     use super::*;
 
-    fn all_topologies() -> Vec<Topology> {
+    fn all_kinds() -> Vec<TopologyKind> {
         vec![
-            Topology::new(TopologyKind::Crossbar { hosts: 9 }),
-            Topology::new(TopologyKind::Ring { hosts: 8 }),
-            Topology::new(TopologyKind::Ring { hosts: 7 }),
-            Topology::new(TopologyKind::Torus2D { w: 4, h: 3 }),
-            Topology::new(TopologyKind::Torus3D { x: 2, y: 3, z: 2 }),
-            Topology::new(TopologyKind::FatTree { k: 4 }),
+            TopologyKind::Crossbar { hosts: 9 },
+            TopologyKind::Ring { hosts: 8 },
+            TopologyKind::Ring { hosts: 7 },
+            TopologyKind::Ring { hosts: 2 },
+            TopologyKind::Torus2D { w: 4, h: 3 },
+            TopologyKind::Torus2D { w: 2, h: 2 },
+            TopologyKind::Torus2D { w: 2, h: 5 },
+            TopologyKind::Torus3D { x: 2, y: 3, z: 2 },
+            TopologyKind::Torus3D { x: 3, y: 2, z: 4 },
+            TopologyKind::FatTree { k: 4 },
+            TopologyKind::FatTreePods { k: 4, pods: 3 },
+            TopologyKind::FatTreePods { k: 6, pods: 2 },
+            TopologyKind::FatTreePods { k: 4, pods: 1 },
+            TopologyKind::Dragonfly {
+                groups: 5,
+                routers_per_group: 3,
+                hosts_per_router: 2,
+            },
+            TopologyKind::Dragonfly {
+                groups: 2,
+                routers_per_group: 1,
+                hosts_per_router: 3,
+            },
+            TopologyKind::Dragonfly {
+                groups: 1,
+                routers_per_group: 4,
+                hosts_per_router: 2,
+            },
+            TopologyKind::Dragonfly {
+                groups: 9,
+                routers_per_group: 2,
+                hosts_per_router: 1,
+            },
         ]
+    }
+
+    fn all_topologies() -> Vec<Topology> {
+        let mut out: Vec<Topology> = all_kinds().into_iter().map(Topology::new).collect();
+        out.push(
+            Topology::new(TopologyKind::Dragonfly {
+                groups: 5,
+                routers_per_group: 3,
+                hosts_per_router: 2,
+            })
+            .with_routing(Routing::Valiant { seed: 42 }),
+        );
+        out
     }
 
     #[test]
@@ -381,11 +1341,59 @@ mod tests {
                 for d in 0..t.hosts() {
                     assert!(
                         t.hops(s, d) <= dia,
-                        "{:?}: hops({s},{d})={} > diameter {dia}",
+                        "{:?} ({:?}): hops({s},{d})={} > diameter {dia}",
                         t.kind(),
+                        t.routing(),
                         t.hops(s, d)
                     );
                 }
+            }
+        }
+    }
+
+    /// The arithmetic link numbering (route_plan + link_id) must agree
+    /// with the retained insertion-order reference (walk_route + table)
+    /// on every legacy kind — same links, same order.
+    #[test]
+    fn plan_matches_reference_on_legacy_kinds() {
+        for kind in all_kinds() {
+            let t = Topology::new_reference(kind);
+            for s in 0..t.hosts() {
+                for d in 0..t.hosts() {
+                    assert_eq!(
+                        t.route(s, d),
+                        t.route_reference(s, d),
+                        "{kind:?}: ({s},{d})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The closed-form link numbering must invert exactly: endpoints of
+    /// id `i` re-encode to id `i`, and the reference table (built by an
+    /// independent construction loop) agrees entry by entry.
+    #[test]
+    fn link_numbering_inverts_and_matches_reference_table() {
+        for kind in all_kinds() {
+            let t = Topology::new_reference(kind);
+            assert_eq!(
+                t.link_count(),
+                t.reference_links().len(),
+                "{kind:?}: link_count"
+            );
+            for i in 0..t.link_count() {
+                let (from, to) = t.link_endpoints(LinkId(i as u32));
+                assert_eq!(
+                    t.link_id(from, to),
+                    LinkId(i as u32),
+                    "{kind:?}: endpoints({i}) do not re-encode"
+                );
+                assert_eq!(
+                    t.reference_links()[i],
+                    (from, to),
+                    "{kind:?}: reference table disagrees at {i}"
+                );
             }
         }
     }
@@ -439,6 +1447,98 @@ mod tests {
     }
 
     #[test]
+    fn multi_pod_fat_tree_counts() {
+        let t = Topology::new(TopologyKind::FatTreePods { k: 4, pods: 3 });
+        assert_eq!(t.hosts(), 12);
+        assert_eq!(t.hops(0, 1), 2);
+        assert_eq!(t.hops(0, 2), 4);
+        assert_eq!(t.hops(0, 11), 6);
+        // pods == k is link-for-link the classic fat tree.
+        let full = Topology::new_reference(TopologyKind::FatTreePods { k: 4, pods: 4 });
+        let classic = Topology::new_reference(TopologyKind::FatTree { k: 4 });
+        assert_eq!(full.reference_links(), classic.reference_links());
+        for s in 0..full.hosts() {
+            for d in 0..full.hosts() {
+                assert_eq!(full.route(s, d), classic.route(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_counts_and_hop_classes() {
+        let t = Topology::new(TopologyKind::Dragonfly {
+            groups: 5,
+            routers_per_group: 3,
+            hosts_per_router: 2,
+        });
+        assert_eq!(t.hosts(), 30);
+        assert_eq!(t.group_size(), 6);
+        assert_eq!(t.group_of(0), 0);
+        assert_eq!(t.group_of(29), 4);
+        // Same router: host 0 and 1 -> 2 hops.
+        assert_eq!(t.hops(0, 1), 2);
+        // Same group, different router: <= 3 hops.
+        assert_eq!(t.hops(0, 2), 3);
+        // Cross-group: <= 5 hops, >= 3 (up, global, down).
+        for s in 0..6 {
+            for d in 6..12 {
+                let h = t.hops(s, d);
+                assert!((3..=5).contains(&h), "hops({s},{d}) = {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_global_links_spread_over_routers() {
+        // groups=9, a=2: each router owns 4 global endpoints.
+        let t = Topology::new(TopologyKind::Dragonfly {
+            groups: 9,
+            routers_per_group: 2,
+            hosts_per_router: 1,
+        });
+        let mut per_router = vec![0u32; 18];
+        let n = t.link_count();
+        let global_base = n - 9 * 8;
+        for i in global_base..n {
+            let (from, _) = t.link_endpoints(LinkId(i as u32));
+            let Vertex::Switch(r) = from else { panic!() };
+            per_router[r as usize] += 1;
+        }
+        assert!(per_router.iter().all(|&c| c == 4), "{per_router:?}");
+    }
+
+    #[test]
+    fn valiant_detours_and_stays_bounded() {
+        let kind = TopologyKind::Dragonfly {
+            groups: 8,
+            routers_per_group: 4,
+            hosts_per_router: 2,
+        };
+        let min = Topology::new(kind);
+        let val = Topology::new(kind).with_routing(Routing::Valiant { seed: 7 });
+        let mut detoured = 0;
+        for s in 0..min.hosts() {
+            for d in 0..min.hosts() {
+                let hv = val.hops(s, d);
+                let hm = min.hops(s, d);
+                assert!(hv <= 2 * min.diameter(), "hops({s},{d}) = {hv}");
+                assert!(hv <= val.diameter());
+                if hv > hm {
+                    detoured += 1;
+                }
+                // Same-group pairs must stay minimal.
+                if min.group_of(s) == min.group_of(d) {
+                    assert_eq!(hv, hm);
+                }
+            }
+        }
+        assert!(detoured > 0, "valiant never detoured");
+        // Deterministic per seed.
+        let val2 = Topology::new(kind).with_routing(Routing::Valiant { seed: 7 });
+        assert_eq!(val.route(0, 63), val2.route(0, 63));
+    }
+
+    #[test]
     fn link_ids_are_dense_and_unique() {
         for t in all_topologies() {
             let n = t.link_count();
@@ -466,5 +1566,30 @@ mod tests {
     fn routes_are_deterministic() {
         let t = Topology::new(TopologyKind::FatTree { k: 4 });
         assert_eq!(t.route(3, 12), t.route(3, 12));
+    }
+
+    /// A 1M-host Dragonfly is O(1) to build and O(route length) to
+    /// route — the hyperscale contract. (The counting-allocator version
+    /// of this assertion lives in the root `interconnect_memory` suite.)
+    #[test]
+    fn million_host_dragonfly_routes_without_materialization() {
+        let t = Topology::new(TopologyKind::Dragonfly {
+            groups: 2048,
+            routers_per_group: 32,
+            hosts_per_router: 16,
+        });
+        assert_eq!(t.hosts(), 1 << 20);
+        assert!(!t.has_reference());
+        let mut total = 0u64;
+        for (s, d) in [(0, 1), (0, 1_000_000), (123_456, 987_654), (7, 524_288)] {
+            let h = t.hops(s, d);
+            assert!(h <= t.diameter());
+            total += h as u64;
+        }
+        assert!(total > 0);
+        // Endpoint inversion works at scale too.
+        let last = LinkId(t.link_count() as u32 - 1);
+        let (from, to) = t.link_endpoints(last);
+        assert_eq!(t.link_id(from, to), last);
     }
 }

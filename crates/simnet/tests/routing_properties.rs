@@ -1,0 +1,179 @@
+//! Property suite for Dragonfly and multi-pod fat-tree routing over
+//! randomly drawn topology dimensions: routes terminate, respect the
+//! hop bounds (≤5 links minimal on a Dragonfly, ≤2× the minimal
+//! diameter under Valiant), are deterministic per Valiant seed, walk
+//! contiguous edges from source to destination, and agree with the
+//! retained reference graph. The `#[ignore]`d wide-range variants run
+//! on the nightly `--include-ignored` schedule.
+
+use polaris_simnet::link::LinkId;
+use polaris_simnet::topology::{Routing, Topology, TopologyKind, Vertex};
+use proptest::prelude::*;
+
+/// Walk a route's links through `link_endpoints`, asserting each link
+/// starts where the previous one ended, the first starts at `src`, and
+/// the last ends at `dst`.
+fn assert_contiguous(topo: &Topology, src: u32, dst: u32, route: &[LinkId]) {
+    if src == dst {
+        assert!(route.is_empty(), "self-route must be empty");
+        return;
+    }
+    let mut at = Vertex::Host(src);
+    for &l in route {
+        let (from, to) = topo.link_endpoints(l);
+        assert_eq!(from, at, "route {src}->{dst} broke at link {l:?}");
+        at = to;
+    }
+    assert_eq!(at, Vertex::Host(dst), "route {src}->{dst} ended elsewhere");
+}
+
+/// Exhaustive pair check on one topology instance under one routing.
+fn check_all_pairs(kind: TopologyKind, routing: Routing) {
+    let topo = Topology::new_reference(kind).with_routing(routing);
+    let hosts = topo.hosts();
+    let bound = topo.diameter();
+    for s in 0..hosts {
+        for d in 0..hosts {
+            let route = topo.route(s, d);
+            assert_contiguous(&topo, s, d, &route);
+            assert!(
+                route.len() as u32 <= bound,
+                "{kind:?} {routing:?} {s}->{d}: {} hops > diameter {bound}",
+                route.len()
+            );
+            assert_eq!(route, topo.route_reference(s, d), "{kind:?} {routing:?} {s}->{d}");
+            assert_eq!(route.len() as u32, topo.hops(s, d));
+            if let TopologyKind::Dragonfly { .. } = kind {
+                if matches!(routing, Routing::Minimal) {
+                    assert!(
+                        route.len() <= 5,
+                        "{kind:?} minimal {s}->{d}: {} hops > 5",
+                        route.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Dragonfly minimal + Valiant routing over random (g, a, h) dims.
+    #[test]
+    fn dragonfly_routing_properties(
+        groups in 1u32..=8,
+        routers in 1u32..=4,
+        hpr in 1u32..=3,
+        seed in any::<u64>(),
+    ) {
+        let kind = TopologyKind::Dragonfly {
+            groups,
+            routers_per_group: routers,
+            hosts_per_router: hpr,
+        };
+        check_all_pairs(kind, Routing::Minimal);
+        check_all_pairs(kind, Routing::Valiant { seed });
+        // Valiant never exceeds 2x the minimal diameter.
+        let minimal = Topology::new(kind).diameter();
+        let valiant = Topology::new(kind).with_routing(Routing::Valiant { seed }).diameter();
+        prop_assert!(valiant <= 2 * minimal.max(1));
+    }
+
+    // Multi-pod fat-tree routing over random (k, pods).
+    #[test]
+    fn multi_pod_fat_tree_routing_properties(
+        half in 1u32..=4,
+        pods_frac in 0u32..=3,
+        seed in any::<u64>(),
+    ) {
+        let k = 2 * half;
+        let pods = 1 + pods_frac * (k - 1) / 3; // spread over 1..=k
+        let kind = TopologyKind::FatTreePods { k, pods };
+        check_all_pairs(kind, Routing::Minimal);
+        check_all_pairs(kind, Routing::Valiant { seed });
+    }
+
+    // Valiant routes are a pure function of the routing seed: same
+    // seed, same routes; and re-deriving the topology changes nothing.
+    #[test]
+    fn valiant_routes_are_deterministic_per_seed(
+        groups in 2u32..=8,
+        routers in 1u32..=4,
+        hpr in 1u32..=3,
+        seed in any::<u64>(),
+    ) {
+        let kind = TopologyKind::Dragonfly {
+            groups,
+            routers_per_group: routers,
+            hosts_per_router: hpr,
+        };
+        let a = Topology::new(kind).with_routing(Routing::Valiant { seed });
+        let b = Topology::new(kind).with_routing(Routing::Valiant { seed });
+        let hosts = a.hosts();
+        for s in 0..hosts.min(24) {
+            for d in 0..hosts.min(24) {
+                prop_assert_eq!(a.route(s, d), b.route(s, d));
+            }
+        }
+    }
+}
+
+/// Nightly wide-range variant: larger machines, sampled pairs. Plain
+/// seeded loops (the vendored proptest macro cannot carry `#[ignore]`),
+/// run by the nightly `--include-ignored` schedule.
+#[test]
+#[ignore = "nightly: wide dimension ranges"]
+fn dragonfly_routing_properties_wide() {
+    let mut dims = polaris_simnet::rng::SplitMix64::new(0xD24A_60F1);
+    for case in 0..96u32 {
+        let groups = 1 + dims.next_below(48) as u32;
+        let routers = 1 + dims.next_below(16) as u32;
+        let hpr = 1 + dims.next_below(8) as u32;
+        let seed = dims.next_u64();
+        let kind = TopologyKind::Dragonfly {
+            groups,
+            routers_per_group: routers,
+            hosts_per_router: hpr,
+        };
+        for routing in [Routing::Minimal, Routing::Valiant { seed }] {
+            let topo = Topology::new_reference(kind).with_routing(routing);
+            let hosts = topo.hosts();
+            let bound = topo.diameter();
+            let mut rng = polaris_simnet::rng::SplitMix64::new(seed ^ 0xA5);
+            for _ in 0..2_000 {
+                let s = rng.next_below(hosts as u64) as u32;
+                let d = rng.next_below(hosts as u64) as u32;
+                let route = topo.route(s, d);
+                assert_contiguous(&topo, s, d, &route);
+                assert!(route.len() as u32 <= bound, "case {case}: {kind:?} {routing:?}");
+                assert_eq!(route, topo.route_reference(s, d), "case {case}");
+            }
+        }
+    }
+}
+
+/// Nightly wide-range variant for the multi-pod fat tree.
+#[test]
+#[ignore = "nightly: wide dimension ranges"]
+fn multi_pod_routing_properties_wide() {
+    let mut dims = polaris_simnet::rng::SplitMix64::new(0x0F47_BEE5);
+    for case in 0..96u32 {
+        let k = 2 * (1 + dims.next_below(8) as u32);
+        let pods = 1 + (dims.next_below(16) as u32) % k;
+        let seed = dims.next_u64();
+        let kind = TopologyKind::FatTreePods { k, pods };
+        let topo = Topology::new_reference(kind).with_routing(Routing::Valiant { seed });
+        let hosts = topo.hosts();
+        let bound = topo.diameter();
+        let mut rng = polaris_simnet::rng::SplitMix64::new(seed ^ 0x5A);
+        for _ in 0..2_000 {
+            let s = rng.next_below(hosts as u64) as u32;
+            let d = rng.next_below(hosts as u64) as u32;
+            let route = topo.route(s, d);
+            assert_contiguous(&topo, s, d, &route);
+            assert!(route.len() as u32 <= bound, "case {case}: {kind:?}");
+            assert_eq!(route, topo.route_reference(s, d), "case {case}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Memory regression gate for the O(1) interconnect refactor: building
+//! a 1,048,576-host Dragonfly [`Topology`] must allocate O(routers)
+//! state, never any per-host (let alone per-host-pair) table, and
+//! deriving routes through [`Topology::route_plan`] must not allocate
+//! at all.
+//!
+//! The test binary installs [`polaris_bench::perf::CountingAlloc`] as
+//! its global allocator and counts allocator calls around the
+//! constructor and the routing hot path. The caps are absolute and
+//! generous: the 1M-host machine has 65,536 routers, so an O(hosts)
+//! slip costs ~1M allocator-visible bytes in one growth sequence and an
+//! O(hosts^2) table is astronomically over the cap — while the intended
+//! O(1)/O(routers) representation stays in single digits.
+
+use polaris_bench::perf::CountingAlloc;
+use polaris_simnet::rng::SplitMix64;
+use polaris_simnet::topology::{Routing, Topology, TopologyKind};
+use std::alloc::{GlobalAlloc, Layout};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wrap the bench counting allocator with a byte counter so the test
+/// can bound total constructor footprint, not just call count.
+struct MeteredAlloc;
+
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for MeteredAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { CountingAlloc.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { CountingAlloc.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { CountingAlloc.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { CountingAlloc.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: MeteredAlloc = MeteredAlloc;
+
+fn counts() -> (u64, u64) {
+    (CALLS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+}
+
+const MILLION_HOST_FLY: TopologyKind = TopologyKind::Dragonfly {
+    groups: 2048,
+    routers_per_group: 32,
+    hosts_per_router: 16,
+};
+
+/// The tentpole claim: the lean constructor derives everything
+/// arithmetically, so a million-host Dragonfly costs a handful of
+/// allocator calls and a bounded number of bytes — O(routers), not
+/// O(hosts) and certainly not O(hosts^2).
+#[test]
+fn million_host_dragonfly_builds_in_o_routers_memory() {
+    let (calls0, bytes0) = counts();
+    let topo = std::hint::black_box(Topology::new(MILLION_HOST_FLY));
+    let (calls1, bytes1) = counts();
+    assert_eq!(topo.hosts(), 1 << 20);
+    let calls = calls1 - calls0;
+    let bytes = bytes1 - bytes0;
+    // 65,536 routers at even one byte each would pass; one u32 per host
+    // (4 MiB) would not, and a hosts^2 route table (4 TiB) is absurd.
+    assert!(calls <= 64, "Topology::new made {calls} allocator calls");
+    assert!(
+        bytes <= 1 << 20,
+        "Topology::new allocated {bytes} bytes for a 1M-host dragonfly"
+    );
+}
+
+/// The routing hot path materializes nothing: deriving and walking a
+/// `RoutePlan` for sampled pairs across the 1M-host machine performs
+/// zero allocator calls under both minimal and Valiant routing.
+#[test]
+fn route_plan_hot_path_is_allocation_free() {
+    for routing in [Routing::Minimal, Routing::Valiant { seed: 0xF00D }] {
+        let topo = Topology::new(MILLION_HOST_FLY).with_routing(routing);
+        let hosts = topo.hosts() as u64;
+        let mut rng = SplitMix64::new(0x0A11_0C8E);
+        // Warm up once so lazy process-wide state cannot masquerade as
+        // a per-route allocation.
+        let _ = std::hint::black_box(topo.hops(0, topo.hosts() - 1));
+        let (calls0, _) = counts();
+        let mut acc = 0u64;
+        for _ in 0..10_000 {
+            let s = rng.next_below(hosts) as u32;
+            let d = rng.next_below(hosts) as u32;
+            for link in topo.route_plan(s, d) {
+                acc = acc.wrapping_add(link.0 as u64);
+            }
+        }
+        let (calls1, _) = counts();
+        std::hint::black_box(acc);
+        assert_eq!(
+            calls1 - calls0,
+            0,
+            "route_plan allocated under {routing:?}"
+        );
+    }
+}

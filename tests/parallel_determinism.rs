@@ -111,3 +111,75 @@ fn figure_tables_and_exports_are_job_count_invariant() {
     }
     sweep::set_jobs(1);
 }
+
+/// Differential routing oracle at figure scale: the O(1) arithmetic
+/// `RoutePlan` must agree with the retained reference graph
+/// (`walk_route` over explicit adjacency) link-for-link, in order, on
+/// every legacy topology kind at ≤4k hosts — plus the two new kinds.
+/// Small instances compare every pair; the 4k-host instances a seeded
+/// 20k-pair sample (the reference graph is the part that cannot scale,
+/// which is the point of the refactor).
+#[test]
+fn route_plan_matches_reference_at_scale() {
+    use polaris_simnet::prelude::{Routing, SplitMix64};
+    let kinds = [
+        TopologyKind::Crossbar { hosts: 4096 },
+        TopologyKind::Ring { hosts: 4096 },
+        TopologyKind::Torus2D { w: 64, h: 64 },
+        TopologyKind::Torus3D { x: 16, y: 16, z: 16 },
+        TopologyKind::FatTree { k: 16 },
+        TopologyKind::FatTreePods { k: 8, pods: 6 },
+        TopologyKind::Dragonfly {
+            groups: 16,
+            routers_per_group: 16,
+            hosts_per_router: 16,
+        },
+    ];
+    for kind in kinds {
+        for routing in [Routing::Minimal, Routing::Valiant { seed: 0xD1CE }] {
+            let topo = Topology::new_reference(kind).with_routing(routing);
+            let hosts = topo.hosts();
+            let mut rng = SplitMix64::new(0x524F_5554_4553_3442 ^ hosts as u64);
+            for i in 0..20_000u32 {
+                let s = rng.next_below(hosts as u64) as u32;
+                let d = rng.next_below(hosts as u64) as u32;
+                let plan = topo.route(s, d);
+                let reference = topo.route_reference(s, d);
+                assert_eq!(
+                    plan, reference,
+                    "{kind:?} {routing:?} {s}->{d} (sample {i})"
+                );
+                assert_eq!(topo.hops(s, d) as usize, plan.len());
+            }
+        }
+    }
+}
+
+/// The hierarchical allreduce (group-local stages + leader stage over
+/// reserved circuits or packets) is bit-identical at 1, 2, and 4
+/// simulation shards — same contract as the flat sharded executor.
+#[test]
+fn hier_allreduce_is_jobs_invariant() {
+    use polaris_collectives::prelude::{simulate_hier_allreduce, InterGroup};
+    use polaris_simnet::prelude::CircuitSchedulerConfig;
+    let link = Generation::Optical.link_model();
+    for inter in [
+        InterGroup::Packet,
+        InterGroup::Circuits(CircuitSchedulerConfig::default()),
+    ] {
+        let base = simulate_hier_allreduce(32, 64, 1 << 20, ExecParams::default(), link, inter, 1);
+        for jobs in [2u32, 4] {
+            let run =
+                simulate_hier_allreduce(32, 64, 1 << 20, ExecParams::default(), link, inter, jobs);
+            assert_eq!(
+                run.completion, base.completion,
+                "hier {inter:?} jobs={jobs}: completion must not depend on shard count"
+            );
+            assert_eq!(
+                (run.local_reduce, run.inter_group, run.local_bcast, run.global_messages),
+                (base.local_reduce, base.inter_group, base.local_bcast, base.global_messages),
+                "hier {inter:?} jobs={jobs}: stage breakdown must not depend on shard count"
+            );
+        }
+    }
+}

@@ -24,6 +24,7 @@ fn nic_attribution_regression_spec() -> WorkloadSpec {
         topo_kind: 0,
         topo_a: 4,
         topo_b: 0,
+        topo_c: 0,
         ranks: 2,
         msgs: 4,
         msg_len: 64,
@@ -36,6 +37,8 @@ fn nic_attribution_regression_spec() -> WorkloadSpec {
         collective: 0,
         coll_ranks: 4,
         coll_bytes: 64,
+        circuit_ops: 8,
+        circuit_capacity: 2,
     }
 }
 
@@ -97,10 +100,11 @@ fn event_queue_oracle_pinned_seeds() {
 #[test]
 fn shard_matrix_pinned_specs() {
     // One pinned spec per topology kind so the matrix always covers
-    // crossbar, ring, torus2d, torus3d, and fat tree.
-    let mut covered = [false; 5];
+    // crossbar, ring, torus2d, torus3d, fat tree, dragonfly, and the
+    // multi-pod fat tree.
+    let mut covered = [false; 7];
     let mut iter = 0u64;
-    while covered != [true; 5] {
+    while covered != [true; 7] {
         let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(7, iter));
         iter += 1;
         assert!(iter < 256, "topology spread not reachable from seed 7");
@@ -143,6 +147,7 @@ fn lifecycle_occupied_recovery_regression() {
         topo_kind: 1,
         topo_a: 20,
         topo_b: 0,
+        topo_c: 0,
         ranks: 2,
         msgs: 9,
         msg_len: 1045,
@@ -155,6 +160,8 @@ fn lifecycle_occupied_recovery_regression() {
         collective: 3,
         coll_ranks: 22,
         coll_bytes: 1024,
+        circuit_ops: 8,
+        circuit_capacity: 1,
     };
     let v = ledger::lifecycle_conservation(&spec);
     assert!(v.is_empty(), "violations: {v:?}");
@@ -170,6 +177,63 @@ fn lifecycle_conservation_pinned_seeds() {
         let v = ledger::lifecycle_conservation(&spec);
         assert!(v.is_empty(), "base {base}: {v:?}");
     }
+}
+
+/// O(1) arithmetic `RoutePlan` vs the retained reference graph, under
+/// minimal and Valiant routing, over pinned seeds (the promotion draws
+/// make some of these dragonfly / multi-pod fat-tree cases).
+#[test]
+fn route_oracle_pinned_seeds() {
+    for base in 0..6u64 {
+        let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(base, 4));
+        let v = oracle::route_oracle(&spec);
+        assert!(v.is_empty(), "base {base}: {v:?}");
+    }
+}
+
+/// The route oracle over explicit dragonfly and multi-pod fat-tree
+/// specs, so coverage of the new kinds does not depend on which pinned
+/// seeds happen to promote.
+#[test]
+fn route_oracle_new_topology_kinds() {
+    for (topo_kind, topo_a, topo_b, topo_c) in
+        [(5u8, 4u32, 3u32, 2u32), (5, 8, 2, 1), (6, 4, 3, 0), (6, 6, 6, 0)]
+    {
+        let spec = WorkloadSpec {
+            topo_kind,
+            topo_a,
+            topo_b,
+            topo_c,
+            ..WorkloadSpec::from_seed(42)
+        };
+        let v = oracle::route_oracle(&spec);
+        assert!(v.is_empty(), "kind {topo_kind} ({topo_a},{topo_b},{topo_c}): {v:?}");
+    }
+}
+
+/// Circuit-scheduler conservation (capacity, reserve/release matching,
+/// reconfiguration charging, per-circuit serialization) over pinned op
+/// streams at several capacities.
+#[test]
+fn circuit_conservation_pinned_seeds() {
+    for base in 0..6u64 {
+        let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(base, 5));
+        let v = ledger::circuit_conservation(&spec);
+        assert!(v.is_empty(), "base {base}: {v:?}");
+    }
+}
+
+/// Capacity-1 circuit scheduler under a long op stream — the edge case
+/// where every reserve contends and preemption is the only way in.
+#[test]
+fn circuit_conservation_capacity_one() {
+    let spec = WorkloadSpec {
+        circuit_ops: 120,
+        circuit_capacity: 1,
+        ..WorkloadSpec::from_seed(9)
+    };
+    let v = ledger::circuit_conservation(&spec);
+    assert!(v.is_empty(), "violations: {v:?}");
 }
 
 /// Full audit stack (every ledger + every per-case oracle) over the
