@@ -1,0 +1,91 @@
+//! Cross-shard channel microbenchmark: per-event `push` vs batched
+//! `push_batch` into the SPSC ring, with the consumer draining between
+//! windows the way `flush_outbufs` / `merge_inbox` do in the engine.
+//!
+//! The parallel engine buffers a window's cross-shard sends locally and
+//! flushes them in one `push_batch` call at the window boundary — one
+//! release store of `tail` for the whole batch instead of one per
+//! event, and one spill-lock acquisition on overflow. This bench
+//! quantifies that difference at the window sizes the engine actually
+//! produces (a handful of events up to a few thousand per window), so
+//! regressions in the batched path show up as a ratio shift rather
+//! than disappearing into end-to-end noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polaris_simnet::channel::ShardChannel;
+use polaris_simnet::prelude::SimTime;
+
+/// The payload shape the engine moves: `(time, key, event)` with a
+/// small event body, matching `RemoteEvent` in spirit without reaching
+/// into engine internals.
+type Payload = (SimTime, u64, u64);
+
+fn windows(total: usize, window: usize) -> usize {
+    total / window
+}
+
+/// Per-event path: `window` pushes, then one consumer drain — the
+/// pre-round-2 protocol, one release store per event.
+fn run_per_event(ch: &ShardChannel<Payload>, total: usize, window: usize, out: &mut Vec<Payload>) {
+    let mut t = 0u64;
+    for _ in 0..windows(total, window) {
+        for _ in 0..window {
+            t += 1;
+            ch.push((SimTime(t), t, t));
+        }
+        out.clear();
+        ch.drain_into(out);
+    }
+}
+
+/// Batched path: stage the window into a reusable outbound buffer, then
+/// one `push_batch` and one consumer drain — the round-2 protocol.
+fn run_batched(
+    ch: &ShardChannel<Payload>,
+    total: usize,
+    window: usize,
+    buf: &mut Vec<Payload>,
+    out: &mut Vec<Payload>,
+) {
+    let mut t = 0u64;
+    for _ in 0..windows(total, window) {
+        for _ in 0..window {
+            t += 1;
+            buf.push((SimTime(t), t, t));
+        }
+        ch.push_batch(buf);
+        out.clear();
+        ch.drain_into(out);
+    }
+}
+
+fn bench_shard_channel(c: &mut Criterion) {
+    let total = 1usize << 16;
+    let mut group = c.benchmark_group("shard_channel_drain");
+    group.throughput(Throughput::Elements(total as u64));
+    for window in [8usize, 64, 512, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("per_event", window),
+            &window,
+            |b, &window| {
+                let ch: ShardChannel<Payload> = ShardChannel::new();
+                let mut out = Vec::with_capacity(window);
+                b.iter(|| run_per_event(&ch, total, window, &mut out))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", window),
+            &window,
+            |b, &window| {
+                let ch: ShardChannel<Payload> = ShardChannel::new();
+                let mut buf = Vec::with_capacity(window);
+                let mut out = Vec::with_capacity(window);
+                b.iter(|| run_batched(&ch, total, window, &mut buf, &mut out))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_channel);
+criterion_main!(benches);

@@ -178,6 +178,24 @@ pub struct ParallelPoint {
     /// serial wall / this wall — a same-machine ratio, so the gate on it
     /// is machine-independent.
     pub speedup: f64,
+    /// `"gated"` when a speedup floor applies to this point *on the
+    /// measuring machine* (enough cores to arm it), `"informational"`
+    /// when the number is recorded honestly but cannot gate — a 1-core
+    /// container reporting a 4-job wall is data, not a verdict.
+    #[serde(default = "informational")]
+    pub status: String,
+}
+
+fn informational() -> String {
+    "informational".to_string()
+}
+
+fn point_status(armed: bool) -> String {
+    if armed {
+        "gated".to_string()
+    } else {
+        informational()
+    }
 }
 
 /// Wall-clock behaviour of the two parallel paths this PR adds: the
@@ -185,9 +203,11 @@ pub struct ParallelPoint {
 /// and the sharded conservative-parallel collective executor.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ParallelReport {
-    /// `available_parallelism()` on the measuring machine. Speedup
-    /// gates only arm when this is >= the job count under test —
-    /// a 1-core container cannot measure a 4-way speedup.
+    /// `available_parallelism()` detected at measurement time (never
+    /// copied from a baseline). Speedup gates only arm when this is at
+    /// least the job count under test — a 1-core container cannot
+    /// measure a 4-way speedup, and each [`ParallelPoint::status`]
+    /// records which side of that line its number fell on.
     pub available_cores: u64,
     /// F3 1024-node sweep, jobs = 1 (the speedup denominator).
     pub sweep_serial_wall_seconds: f64,
@@ -409,10 +429,13 @@ fn measure_parallel(samples: usize) -> ParallelReport {
         .iter()
         .map(|&j| {
             let wall = best_of(samples, || f3_1024_sweep(j as usize));
+            // jobs=2 carries the sweep_parallel_floor gate (needs 2
+            // cores), jobs=4 the 4-way speedup gate (needs 4).
             ParallelPoint {
                 jobs: j,
                 wall_seconds: wall,
                 speedup: sweep_serial / wall,
+                status: point_status(cores >= j && j <= 4),
             }
         })
         .collect();
@@ -426,10 +449,12 @@ fn measure_parallel(samples: usize) -> ParallelReport {
             let (completion, messages) = sharded_workload(j as u32);
             deterministic &= completion == serial_completion && messages == serial_messages;
             let wall = best_of(samples, || sharded_workload(j as u32).1);
+            // Only the 4-job point carries the >=3x engine gate.
             ParallelPoint {
                 jobs: j,
                 wall_seconds: wall,
                 speedup: engine_serial / wall,
+                status: point_status(j == 4 && cores >= 4),
             }
         })
         .collect();
@@ -560,6 +585,18 @@ const MIN_SPEEDUP: f64 = 2.0;
 /// machines with >= 4 cores; a 1-core container cannot exhibit it.
 const MIN_PARALLEL_SPEEDUP: f64 = 1.6;
 
+/// Required sharded-engine speedup at 4 jobs (parallel-round-2
+/// acceptance criterion: per-channel lookahead + speculation + SoA
+/// storage must deliver real multi-core scaling, not the 1.17x the
+/// windowed-barrier design managed). Arms only with >= 4 cores.
+const MIN_ENGINE_SPEEDUP_4: f64 = 3.0;
+
+/// The 2-job sweep must at least break even against serial once the
+/// persistent worker pool amortizes thread spawns (the 0.76x regression
+/// this round fixes). Arms with >= 2 cores; below that the overhead
+/// floor [`PARALLEL_FLOOR`] still applies.
+const SWEEP_PARALLEL_FLOOR: f64 = 1.0;
+
 /// Absolute ceiling on `Topology::new` allocations for the 1M-host
 /// Dragonfly. The constructor keeps O(routers) state (a few vectors,
 /// each one or two allocator calls plus growth), so a generous fixed
@@ -591,7 +628,7 @@ pub fn measure(samples: usize) -> PerfReport {
             .join("\n")
     );
     PerfReport {
-        schema: "polaris-simwall/3".to_string(),
+        schema: "polaris-simwall/4".to_string(),
         eventq,
         engine,
         f3_1024: f3,
@@ -700,7 +737,10 @@ pub fn check_gates(cur: &PerfReport, base: &PerfReport) -> Vec<String> {
 
     // Parallel gates. Speedups are same-machine ratios (serial wall /
     // parallel wall from the same run), so no baseline normalization is
-    // needed; the 4-job gate only arms on machines that have 4 cores.
+    // needed; each speedup gate arms only when the measuring machine
+    // has at least as many cores as the job count it judges —
+    // everything else is recorded as informational, never silently
+    // passed (see [`cores_support_parallel_gates`] for hard refusal).
     let p = &cur.parallel;
     gate(
         "sharded executor deterministic across jobs",
@@ -708,11 +748,21 @@ pub fn check_gates(cur: &PerfReport, base: &PerfReport) -> Vec<String> {
         "identical completion/messages at every job count".to_string(),
     );
     if let Some(pt) = p.sweep.iter().find(|pt| pt.jobs == 2) {
-        gate(
-            "sweep 2-job overhead floor >= 0.5x",
-            pt.speedup >= PARALLEL_FLOOR,
-            format!("measured {:.2}x on {} core(s)", pt.speedup, p.available_cores),
-        );
+        if p.available_cores >= 2 {
+            gate(
+                "sweep_parallel_floor: 2 jobs >= 1.0x",
+                pt.speedup >= SWEEP_PARALLEL_FLOOR,
+                format!("measured {:.2}x on {} cores", pt.speedup, p.available_cores),
+            );
+        } else {
+            // One core: two workers time-slicing it cannot beat serial,
+            // but they must not convoy pathologically either.
+            gate(
+                "sweep 2-job overhead floor >= 0.5x",
+                pt.speedup >= PARALLEL_FLOOR,
+                format!("measured {:.2}x on {} core(s)", pt.speedup, p.available_cores),
+            );
+        }
     }
     if p.available_cores >= 4 {
         if let Some(pt) = p.sweep.iter().find(|pt| pt.jobs == 4) {
@@ -724,21 +774,40 @@ pub fn check_gates(cur: &PerfReport, base: &PerfReport) -> Vec<String> {
         }
         if let Some(pt) = p.engine.iter().find(|pt| pt.jobs == 4) {
             gate(
-                "sharded executor speedup at 4 jobs >= 1.2x",
-                pt.speedup >= 1.2,
+                "sharded engine speedup at 4 jobs >= 3.0x",
+                pt.speedup >= MIN_ENGINE_SPEEDUP_4,
                 format!("measured {:.2}x on {} cores", pt.speedup, p.available_cores),
             );
         }
     } else {
         eprintln!(
-            "[gate] parallel speedup gates: {} core(s) available, need 4 — skipped",
+            "[gate] 4-job speedup gates: {} core(s) available, need 4 — \
+             recorded as informational, NOT checked (use --require-cores 4 \
+             to make this a hard failure)",
             p.available_cores
         );
     }
     failures
 }
 
-/// Entry point for `figures -- perf [--update|--check] [--baseline P]`.
+/// Whether this machine can arm every core-dependent gate. `--check`
+/// combined with `--require-cores N` refuses to bless a report whose
+/// 4-job numbers were informational-only: a mis-provisioned CI runner
+/// must fail loudly, not skip the tentpole gate and report green.
+pub fn cores_support_parallel_gates(report: &PerfReport, required: u64) -> Result<(), String> {
+    if report.parallel.available_cores >= required {
+        Ok(())
+    } else {
+        Err(format!(
+            "core-dependent gates require {} cores, measured machine has {} — \
+             refusing to check (4-job points are informational here)",
+            required, report.parallel.available_cores
+        ))
+    }
+}
+
+/// Entry point for
+/// `figures -- perf [--update|--check] [--baseline P] [--require-cores N]`.
 /// Returns the process exit code.
 pub fn run_perf(args: &[String]) -> i32 {
     let update = args.iter().any(|a| a == "--update");
@@ -749,6 +818,11 @@ pub fn run_perf(args: &[String]) -> i32 {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or(BASELINE_PATH);
+    let require_cores = args
+        .iter()
+        .position(|a| a == "--require-cores")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok());
 
     let samples = 3;
     eprintln!("[perf] measuring (best of {samples})...");
@@ -761,6 +835,12 @@ pub fn run_perf(args: &[String]) -> i32 {
         eprintln!("[perf] baseline written to {baseline_path}");
     }
     if check {
+        if let Some(required) = require_cores {
+            if let Err(msg) = cores_support_parallel_gates(&report, required) {
+                eprintln!("[perf] {msg}");
+                return 2;
+            }
+        }
         let text = match std::fs::read_to_string(baseline_path) {
             Ok(t) => t,
             Err(e) => {
@@ -817,13 +897,14 @@ mod tests {
             jobs,
             wall_seconds: 1.0 / speedup,
             speedup,
+            status: point_status(cores >= jobs),
         };
         ParallelReport {
             available_cores: cores,
             sweep_serial_wall_seconds: 1.0,
             sweep: vec![point(2, 1.4), point(4, speedup4)],
             engine_serial_wall_seconds: 1.0,
-            engine: vec![point(2, 1.3), point(4, 1.5)],
+            engine: vec![point(2, 1.3), point(4, 3.2)],
             engine_deterministic: true,
         }
     }
@@ -840,7 +921,7 @@ mod tests {
     #[test]
     fn report_roundtrips_through_json() {
         let rep = PerfReport {
-            schema: "polaris-simwall/3".into(),
+            schema: "polaris-simwall/4".into(),
             eventq: EventqReport {
                 hold: 16384,
                 transactions: 131072,
@@ -878,7 +959,7 @@ mod tests {
     #[test]
     fn gates_pass_on_self_and_fail_on_regression() {
         let mk = |speedup: f64, wall: f64| PerfReport {
-            schema: "polaris-simwall/3".into(),
+            schema: "polaris-simwall/4".into(),
             eventq: EventqReport {
                 hold: 16384,
                 transactions: 131072,
@@ -923,6 +1004,26 @@ mod tests {
         let mut nondet = mk(3.0, 1.5);
         nondet.parallel.engine_deterministic = false;
         assert!(!check_gates(&nondet, &base).is_empty());
+        // A sharded engine that only manages 1.5x at 4 jobs on a 4-core
+        // machine trips the round-2 tentpole gate.
+        let mut slow_engine = mk(3.0, 1.5);
+        slow_engine.parallel.engine = vec![ParallelPoint {
+            jobs: 4,
+            wall_seconds: 1.0 / 1.5,
+            speedup: 1.5,
+            status: point_status(true),
+        }];
+        assert!(!check_gates(&slow_engine, &base).is_empty());
+        // A 2-job sweep below break-even trips sweep_parallel_floor on
+        // any machine with 2 cores (the 0.76x regression this catches).
+        let mut regressed_sweep = mk(3.0, 1.5);
+        regressed_sweep.parallel.sweep = vec![ParallelPoint {
+            jobs: 2,
+            wall_seconds: 1.0 / 0.76,
+            speedup: 0.76,
+            status: point_status(true),
+        }];
+        assert!(!check_gates(&regressed_sweep, &base).is_empty());
         // On a 1-core machine the speedup gates disarm (no hardware to
         // exhibit them) but the overhead floor still holds.
         let mut small = mk(3.0, 1.5);
@@ -937,5 +1038,52 @@ mod tests {
         let mut slow_route = mk(3.0, 1.5);
         slow_route.topo.topo_route_ns *= 2.0;
         assert!(!check_gates(&slow_route, &base).is_empty());
+    }
+
+    #[test]
+    fn require_cores_refuses_small_machines() {
+        let mut rep = PerfReport {
+            schema: "polaris-simwall/4".into(),
+            eventq: EventqReport {
+                hold: 16384,
+                transactions: 131072,
+                calendar_events_per_sec: 2.0e8,
+                heap_events_per_sec: 5.0e7,
+                speedup: 4.0,
+            },
+            engine: EngineReport {
+                events_dispatched: 1_536_000,
+                events_dispatched_per_sec: 3.0e7,
+            },
+            f3_1024: F3Report {
+                nodes: 1024,
+                wall_seconds: 1.5,
+                messages: 100_000,
+                messages_per_sec: 66_666.0,
+            },
+            parallel: mk_parallel(1, 2.1),
+            topo: mk_topo(),
+            allocs_per_message_eager: Some(0.0),
+            history: History {
+                f3_full_wall_seconds_heap_engine: 3.715,
+                f3_full_wall_seconds_this_pr: 1.734,
+                note: "n".into(),
+            },
+        };
+        assert!(cores_support_parallel_gates(&rep, 4).is_err());
+        rep.parallel.available_cores = 4;
+        assert!(cores_support_parallel_gates(&rep, 4).is_ok());
+        // And the status annotation tracks the arming line.
+        assert_eq!(mk_parallel(1, 2.1).sweep[0].status, "informational");
+        assert_eq!(mk_parallel(4, 2.1).sweep[1].status, "gated");
+    }
+
+    #[test]
+    fn old_baselines_without_status_still_parse() {
+        // schema/3 baselines predate ParallelPoint::status; the serde
+        // default must land them as informational.
+        let json = r#"{"jobs": 2, "wall_seconds": 0.5, "speedup": 1.2}"#;
+        let pt: ParallelPoint = serde_json::from_str(json).unwrap();
+        assert_eq!(pt.status, "informational");
     }
 }

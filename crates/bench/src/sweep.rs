@@ -20,6 +20,7 @@
 use polaris_obs::Obs;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// 0 = unset (fall back to `POLARIS_JOBS`, then 1).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -53,6 +54,30 @@ where
     sweep_with_jobs(points, jobs(), f)
 }
 
+/// The pool serving `jobs`-wide sweeps, built once per job count and
+/// cached for the life of the process. The vendored pool parks its
+/// workers between operations, so every sweep after the first reuses
+/// warm threads — short sweeps (a figure of 20 sub-millisecond points)
+/// no longer pay a spawn/join per point batch, which is what turned
+/// the 2-job sweep into a 0.76× regression.
+fn pool_for(jobs: usize) -> Arc<rayon::ThreadPool> {
+    type PoolCache = Mutex<Vec<(usize, Arc<rayon::ThreadPool>)>>;
+    static POOLS: OnceLock<PoolCache> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut cached = pools.lock().unwrap();
+    if let Some((_, pool)) = cached.iter().find(|(n, _)| *n == jobs) {
+        return Arc::clone(pool);
+    }
+    let pool = Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build()
+            .expect("building a sweep pool cannot fail"),
+    );
+    cached.push((jobs, Arc::clone(&pool)));
+    pool
+}
+
 /// [`sweep`] with an explicit worker count (used by the perf harness to
 /// measure specific job counts regardless of the global setting).
 pub fn sweep_with_jobs<T, R, F>(points: Vec<T>, jobs: usize, f: F) -> Vec<R>
@@ -64,11 +89,7 @@ where
     if jobs <= 1 {
         return points.into_iter().map(f).collect();
     }
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(jobs)
-        .build()
-        .expect("building a sweep pool cannot fail");
-    pool.install(|| points.into_par_iter().map(f).collect())
+    pool_for(jobs).install(|| points.into_par_iter().map(f).collect())
 }
 
 /// Run `f` over every point with a per-point isolated [`Obs`] bundle,

@@ -46,6 +46,7 @@ enum PEv {
     Arrive { from: u32, to: u32, bytes: u64, base: SimTime },
 }
 
+#[derive(Clone)]
 struct PRank {
     ops: Vec<SchedOp>,
     pc: usize,
@@ -60,6 +61,7 @@ struct PRank {
     down_busy: u64,
 }
 
+#[derive(Clone)]
 struct ParWorld {
     part: Partition,
     /// First rank owned by this shard.
@@ -220,6 +222,24 @@ pub fn simulate_collective_sharded_stats(
     link: LinkModel,
     jobs: u32,
 ) -> (SimResult, ShardRunStats) {
+    simulate_collective_sharded_opts(p, coll, bytes, params, link, jobs, true)
+}
+
+/// Like [`simulate_collective_sharded_stats`], with speculation under
+/// caller control: `speculate = false` pins the engine to conservative
+/// windows only. The result is bit-identical either way — the sentinel's
+/// rollback oracle holds that as an invariant — so the knob exists for
+/// differential testing and for measuring speculation itself, not for
+/// correctness.
+pub fn simulate_collective_sharded_opts(
+    p: u32,
+    coll: Collective,
+    bytes: u64,
+    params: ExecParams,
+    link: LinkModel,
+    jobs: u32,
+    speculate: bool,
+) -> (SimResult, ShardRunStats) {
     assert!(p > 0, "at least one rank");
     let part = Partition::block(p, jobs.max(1));
     let worlds: Vec<ParWorld> = (0..part.nshards)
@@ -250,11 +270,15 @@ pub fn simulate_collective_sharded_stats(
             }
         })
         .collect();
-    let mut sim = ShardSim::new(worlds, SimDuration(link.hop_latency.max(1)));
+    let mut sim = ShardSim::uniform(worlds, SimDuration(link.hop_latency.max(1)));
     for r in 0..p {
         sim.schedule(part.shard_of(r), SimTime::ZERO, (r as u64) << 32, PEv::Step(r));
     }
-    let stats = sim.run(jobs > 1, None);
+    let stats = if speculate {
+        sim.run_spec(jobs > 1, None)
+    } else {
+        sim.run(jobs > 1, None)
+    };
     let mut completion = SimTime::ZERO;
     let mut messages = 0;
     let mut payload_bytes = 0;
@@ -342,6 +366,26 @@ mod tests {
             assert_eq!(sharded.messages, serial.messages, "{coll:?}");
             assert_eq!(sharded.payload_bytes, serial.payload_bytes, "{coll:?}");
             assert!(sharded.completion > SimDuration::ZERO || bytes == 0);
+        }
+    }
+
+    #[test]
+    fn speculation_is_transparent_to_collectives() {
+        // Conservative-only and speculative runs must agree bit for bit
+        // on every collective shape; speculation only changes how many
+        // windows the engine needed, never what the model computed.
+        for &(coll, bytes) in CASES {
+            let p = 16u32;
+            let link = Generation::InfiniBand4x.link_model();
+            let (cons, _) = simulate_collective_sharded_opts(
+                p, coll, bytes, ExecParams::default(), link, 2, false,
+            );
+            let (spec, _) = simulate_collective_sharded_opts(
+                p, coll, bytes, ExecParams::default(), link, 2, true,
+            );
+            assert_eq!(spec.completion, cons.completion, "{coll:?}");
+            assert_eq!(spec.messages, cons.messages, "{coll:?}");
+            assert_eq!(spec.payload_bytes, cons.payload_bytes, "{coll:?}");
         }
     }
 

@@ -240,6 +240,11 @@ impl FlightRecorder {
     pub fn merge_from(&self, other: &FlightRecorder) {
         let src = other.inner.lock();
         let mut g = self.inner.lock();
+        // Pre-size for the incoming events (bounded by the ring cap) so
+        // a sweep merging hundreds of per-point recorders reallocates
+        // the destination ring once, not per growth step.
+        let incoming = src.ring.len().min(g.capacity.saturating_sub(g.ring.len()));
+        g.ring.reserve(incoming);
         for ev in &src.ring {
             if g.ring.len() == g.capacity {
                 g.ring.pop_front();

@@ -74,6 +74,14 @@ pub struct WorkloadSpec {
     pub circuit_ops: u32,
     /// Circuit-scheduler capacity for the ledger audit.
     pub circuit_capacity: u32,
+    /// Tokens seeded into the rollback oracle's straggler workload
+    /// (`#[serde(default)]`: replay artifacts from before the
+    /// speculation round parse with 0, which the oracle clamps up).
+    #[serde(default)]
+    pub spec_tokens: u32,
+    /// Hops each straggler token travels in the rollback oracle.
+    #[serde(default)]
+    pub spec_hops: u32,
 }
 
 impl WorkloadSpec {
@@ -123,6 +131,11 @@ impl WorkloadSpec {
         }
         let circuit_ops = 8 + r.next_below(120) as u32;
         let circuit_capacity = 1 + r.next_below(8) as u32;
+        // Speculation-round draws are likewise appended after every
+        // earlier field (frozen draw-order contract): the rollback
+        // oracle's straggler workload size.
+        let spec_tokens = 1 + r.next_below(4) as u32;
+        let spec_hops = 8 + r.next_below(57) as u32;
         WorkloadSpec {
             seed,
             topo_kind,
@@ -143,6 +156,8 @@ impl WorkloadSpec {
             coll_bytes,
             circuit_ops,
             circuit_capacity,
+            spec_tokens,
+            spec_hops,
         }
     }
 
@@ -213,6 +228,8 @@ impl WorkloadSpec {
             + self.corrupt_pm as u64
             + self.circuit_ops as u64
             + self.circuit_capacity as u64
+            + self.spec_tokens as u64
+            + self.spec_hops as u64
             + self.topo_a as u64 * self.topo_b.max(1) as u64 * self.topo_c.max(1) as u64
     }
 
@@ -275,6 +292,14 @@ impl WorkloadSpec {
         });
         push(WorkloadSpec {
             circuit_capacity: (self.circuit_capacity / 2).max(1),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            spec_tokens: (self.spec_tokens / 2).max(1),
+            ..self.clone()
+        });
+        push(WorkloadSpec {
+            spec_hops: (self.spec_hops / 2).max(1),
             ..self.clone()
         });
         push(WorkloadSpec {

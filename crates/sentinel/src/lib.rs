@@ -69,6 +69,7 @@ const AUDITS: &[Audit] = &[
     ("reliable-superset", oracle::reliable_superset),
     ("lifecycle-conservation", ledger::lifecycle_conservation),
     ("circuit-conservation", ledger::circuit_conservation),
+    ("rollback-oracle", oracle::rollback_oracle),
 ];
 
 /// Run every audit against one spec and collect the violations.

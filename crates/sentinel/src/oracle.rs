@@ -16,12 +16,15 @@
 
 use crate::gen::WorkloadSpec;
 use crate::Violation;
-use polaris_collectives::prelude::{simulate_collective, simulate_collective_sharded, ExecParams};
+use polaris_collectives::prelude::{
+    simulate_collective, simulate_collective_sharded, simulate_collective_sharded_opts, ExecParams,
+};
 use polaris_msg::prelude::{Endpoint, MatchSpec, MsgConfig, Protocol, Reliability};
 use polaris_nic::prelude::{ChaosParams, Fabric};
 use polaris_simnet::event::{reference::HeapQueue, EventQueue};
 use polaris_simnet::prelude::{
-    Generation, Network, SimTime, SplitMix64, Topology, TopologyKind,
+    Generation, Network, Partition, ShardCtx, ShardSim, ShardWorld, SimDuration, SimTime,
+    SplitMix64, Topology, TopologyKind,
 };
 use std::time::{Duration, Instant};
 
@@ -396,6 +399,201 @@ pub fn route_oracle(spec: &WorkloadSpec) -> Vec<Violation> {
             for &l in &plan {
                 let _ = topo.link_endpoints(l);
             }
+            if !out.is_empty() {
+                return out; // one divergence cascades; report the first
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Speculation rollback oracle
+// ---------------------------------------------------------------------
+
+/// One straggler token in flight between ranks.
+#[derive(Clone)]
+struct StragToken {
+    rank: u32,
+    hops_left: u32,
+}
+
+/// A token-passing world tuned to stress the speculation protocol:
+/// every forward lands either *exactly* on the window edge
+/// (`now + lookahead`, the worst-case straggler position — an arrival
+/// at the speculated frontier must roll the window back) or one
+/// lookahead beyond it (sparse enough for speculative windows to
+/// commit). The choice is a pure hash of `(rank, seq)`, so event
+/// times are independent of the shard layout and the run is
+/// bit-comparable across shard counts and speculation modes.
+#[derive(Clone)]
+struct StragWorld {
+    part: Partition,
+    base: u32,
+    seqs: Vec<u64>,
+    log: Vec<(u64, u32)>,
+}
+
+impl ShardWorld for StragWorld {
+    type Event = StragToken;
+    fn handle(&mut self, ctx: &mut ShardCtx<'_, StragToken>, ev: StragToken) {
+        self.log.push((ctx.now().0, ev.rank));
+        if ev.hops_left == 0 {
+            return;
+        }
+        let next = (ev.rank + 1) % self.part.hosts;
+        let seq = &mut self.seqs[(ev.rank - self.base) as usize];
+        *seq += 1;
+        let key = ((ev.rank as u64) << 32) | *seq;
+        // Straggler at the window edge, or one lookahead of slack.
+        let slack = SplitMix64::new(key ^ ctx.now().0.rotate_left(17)).next_below(2);
+        let at = SimTime(ctx.now().0 + ctx.lookahead().0 * (1 + slack));
+        ctx.send(
+            self.part.shard_of(next),
+            at,
+            key,
+            StragToken {
+                rank: next,
+                hops_left: ev.hops_left - 1,
+            },
+        );
+    }
+}
+
+/// Run the straggler workload and return the merged `(time, rank)`
+/// log plus total events dispatched.
+fn run_stragglers(
+    hosts: u32,
+    nshards: u32,
+    tokens: &[u32],
+    hops: u32,
+    speculate: bool,
+) -> (Vec<(u64, u32)>, u64) {
+    let part = Partition::block(hosts, nshards);
+    let worlds: Vec<StragWorld> = (0..part.nshards)
+        .map(|sh| {
+            let ranks = part.ranks_of(sh);
+            StragWorld {
+                part,
+                base: ranks.start,
+                seqs: ranks.map(|_| 0).collect(),
+                log: Vec::new(),
+            }
+        })
+        .collect();
+    let mut sim = ShardSim::uniform(worlds, SimDuration(5));
+    for (i, &r) in tokens.iter().enumerate() {
+        sim.schedule(
+            part.shard_of(r),
+            SimTime(r as u64),
+            ((r as u64) << 32) | (i as u64) << 16,
+            StragToken { rank: r, hops_left: hops },
+        );
+    }
+    let stats = if speculate {
+        sim.run_spec(false, None)
+    } else {
+        sim.run(false, None)
+    };
+    let mut log: Vec<(u64, u32)> = sim.worlds().flat_map(|w| w.log.iter().copied()).collect();
+    log.sort_unstable();
+    (log, stats.events_dispatched)
+}
+
+/// Speculative windows must be *transparent*: bit-identical results to
+/// conservative execution, with rolled-back work invisible in every
+/// ledger. Two halves:
+///
+/// 1. The collective engine under `speculate = true` at 1/2/4 shards
+///    vs the conservative jobs=1 baseline — completion times and the
+///    message/payload ledgers replayed per configuration must agree
+///    exactly.
+/// 2. A token workload that injects stragglers exactly at window
+///    edges (forced rollbacks) interleaved with slack hops (committed
+///    windows), across shard counts and speculation modes, with an
+///    event-conservation ledger: every token accounts for exactly
+///    `hops + 1` dispatches, no double-counted or lost events.
+pub fn rollback_oracle(spec: &WorkloadSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let inv = "rollback-divergence";
+
+    // Half 1: collective-engine transparency + ledger replay.
+    let (coll, bytes) = spec.collective();
+    let p = spec.coll_ranks.max(3);
+    let link = if spec.seed & 1 == 0 {
+        Generation::GigabitEthernet.link_model()
+    } else {
+        Generation::InfiniBand4x.link_model()
+    };
+    let (base, base_stats) =
+        simulate_collective_sharded_opts(p, coll, bytes, ExecParams::default(), link, 1, false);
+    for jobs in [1u32, 2, 4] {
+        let (run, stats) =
+            simulate_collective_sharded_opts(p, coll, bytes, ExecParams::default(), link, jobs, true);
+        check!(
+            out,
+            run.completion == base.completion,
+            inv,
+            "{coll:?} p={p} jobs={jobs}: speculative completion {:?} != conservative {:?}",
+            run.completion,
+            base.completion
+        );
+        check!(
+            out,
+            run.messages == base.messages && run.payload_bytes == base.payload_bytes,
+            inv,
+            "{coll:?} p={p} jobs={jobs}: speculative ledger ({}, {}) != conservative ({}, {})",
+            run.messages,
+            run.payload_bytes,
+            base.messages,
+            base.payload_bytes
+        );
+        check!(
+            out,
+            stats.events_dispatched == base_stats.events_dispatched,
+            inv,
+            "{coll:?} p={p} jobs={jobs}: {} events dispatched vs {} — rolled-back work leaked \
+             into the commit ledger",
+            stats.events_dispatched,
+            base_stats.events_dispatched
+        );
+    }
+
+    // Half 2: stragglers at window edges over the token workload.
+    let mut rng = SplitMix64::new(spec.seed ^ 0x726F_6C6C_6261_636B); // "rollback"
+    let hosts = 5 + rng.next_below(8) as u32;
+    let ntokens = spec.spec_tokens.clamp(1, 4) as usize;
+    let hops = spec.spec_hops.clamp(1, 64);
+    let tokens: Vec<u32> = (0..ntokens)
+        .map(|_| rng.next_below(hosts as u64) as u32)
+        .collect();
+    let expected_events = tokens.len() as u64 * (hops as u64 + 1);
+    let (reference, ref_events) = run_stragglers(hosts, 1, &tokens, hops, false);
+    check!(
+        out,
+        ref_events == expected_events,
+        "rollback-event-conservation",
+        "conservative reference dispatched {ref_events} events, ledger expects {expected_events}"
+    );
+    for nshards in [1u32, 2, 4] {
+        for speculate in [false, true] {
+            let (log, events) = run_stragglers(hosts, nshards, &tokens, hops, speculate);
+            check!(
+                out,
+                log == reference,
+                inv,
+                "straggler workload diverged at nshards={nshards} speculate={speculate}: \
+                 {} events vs {} (hosts={hosts} tokens={tokens:?} hops={hops})",
+                log.len(),
+                reference.len()
+            );
+            check!(
+                out,
+                events == expected_events,
+                "rollback-event-conservation",
+                "nshards={nshards} speculate={speculate}: dispatched {events} != ledger \
+                 {expected_events} — speculative replay double-counted or dropped events"
+            );
             if !out.is_empty() {
                 return out; // one divergence cascades; report the first
             }

@@ -84,6 +84,39 @@ impl<T> ShardChannel<T> {
         self.tail.store(tail.wrapping_add(1), Ordering::Release);
     }
 
+    /// Enqueue a whole window's worth of events from the owning producer
+    /// thread in one publication: one acquire load of `head`, slot
+    /// writes for everything that fits, and a *single* release store of
+    /// `tail` — versus one release store per event through [`push`].
+    /// Overflow moves into the spill vector under one lock acquisition.
+    /// `items` is drained (left empty, capacity retained) so the caller
+    /// can reuse its outbound buffer allocation every window.
+    ///
+    /// [`push`]: ShardChannel::push
+    pub fn push_batch(&self, items: &mut Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        let room = (self.mask + 1) - tail.wrapping_sub(head);
+        let fit = items.len().min(room);
+        if fit < items.len() {
+            self.spilled.fetch_add(items.len() - fit, Ordering::Relaxed);
+            let mut spill = self.spill.lock();
+            spill.extend(items.drain(fit..));
+        }
+        for (i, value) in items.drain(..).enumerate() {
+            // SAFETY: slots `tail..tail+fit` are vacant (the `room`
+            // check above excludes the consumer), and only this producer
+            // writes at `tail`.
+            unsafe {
+                (*self.buf[tail.wrapping_add(i) & self.mask].get()).write(value);
+            }
+        }
+        self.tail.store(tail.wrapping_add(fit), Ordering::Release);
+    }
+
     /// Drain everything currently in the channel into `out`, from the
     /// owning consumer thread. Returns the number of events moved.
     pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
@@ -162,6 +195,63 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(ch.drain_into(&mut out), 1);
         assert_eq!(out, vec![99]);
+    }
+
+    #[test]
+    fn push_batch_roundtrips_and_reuses_buffer() {
+        let ch = ShardChannel::with_capacity(8);
+        let mut batch: Vec<i32> = (0..5).collect();
+        let cap_before = batch.capacity();
+        ch.push_batch(&mut batch);
+        assert!(batch.is_empty());
+        assert_eq!(batch.capacity(), cap_before, "buffer must be reusable");
+        let mut out = Vec::new();
+        assert_eq!(ch.drain_into(&mut out), 5);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_batch_overflow_spills_the_excess() {
+        let ch = ShardChannel::with_capacity(4);
+        let mut batch: Vec<i32> = (0..11).collect();
+        ch.push_batch(&mut batch);
+        assert_eq!(ch.spilled(), 7); // ring holds 4
+        let mut out = Vec::new();
+        assert_eq!(ch.drain_into(&mut out), 11);
+        out.sort_unstable();
+        assert_eq!(out, (0..11).collect::<Vec<_>>());
+        // Ring slots freed by the drain are reused by the next batch.
+        let mut batch: Vec<i32> = (100..103).collect();
+        ch.push_batch(&mut batch);
+        let mut out = Vec::new();
+        assert_eq!(ch.drain_into(&mut out), 3);
+        assert_eq!(out, vec![100, 101, 102]);
+        assert_eq!(ch.spilled(), 7, "no new spills after drain");
+    }
+
+    #[test]
+    fn push_batch_cross_thread_transfer_is_complete() {
+        let ch = Arc::new(ShardChannel::with_capacity(64));
+        let total = 10_000u64;
+        let producer = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || {
+                let mut batch = Vec::new();
+                for chunk in 0..(total / 100) {
+                    batch.extend(chunk * 100..(chunk + 1) * 100);
+                    ch.push_batch(&mut batch);
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        while seen.len() < total as usize {
+            if ch.drain_into(&mut seen) == 0 {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..total).collect::<Vec<_>>());
     }
 
     #[test]

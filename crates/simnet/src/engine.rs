@@ -6,6 +6,12 @@
 //! [`Scheduler`] through which the handler may schedule further events.
 //! Keeping the world outside the engine sidesteps borrow conflicts between
 //! "the thing being simulated" and "the queue of things to do to it".
+//!
+//! The dispatch loop inherits the arena/structure-of-arrays layout of
+//! [`EventQueue`] for free: calendar buckets hold small `Copy` handles
+//! (time, key, arena slot) while payloads stay put in a slab, so the
+//! hot pop-compare-dispatch path walks densely packed keys instead of
+//! dragging whole events through the cache (see `crate::event`).
 
 use crate::event::EventQueue;
 use crate::time::{SimDuration, SimTime};

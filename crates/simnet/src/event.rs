@@ -20,41 +20,113 @@
 //! The calendar queue adapts its bucket width and count to the live
 //! event population (classic Brown calendar-queue resizing), so it stays
 //! O(1) amortized whether events are nanoseconds or milliseconds apart.
+//!
+//! # Storage layout
+//!
+//! The wheel, drain batch, and spill heaps hold 24-byte Copy [`Handle`]s
+//! (`time`, `seq`, arena slot); event payloads live in a slab arena and
+//! are written exactly once on push and read exactly once on pop. Every
+//! sort, heap sift, and bucket migration therefore moves fixed-size
+//! handles instead of whole events — for the fat enum payloads the NIC
+//! and collective models schedule, that is the difference between a
+//! cache-resident drain loop and one that streams the full event bodies
+//! through every `rebuild`/`advance`. Freed slots recycle through a free
+//! list, so steady-state churn performs zero allocations.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::mem::MaybeUninit;
 
-struct Scheduled<E> {
+/// Index entry for one scheduled event: the ordering key plus the arena
+/// slot holding the payload. Deliberately `Copy` and payload-free so the
+/// calendar's sorts and heap operations never touch event bodies.
+#[derive(Clone, Copy)]
+struct Handle {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> Scheduled<E> {
+impl Handle {
     #[inline]
     fn key(&self) -> (SimTime, u64) {
         (self.time, self.seq)
     }
 }
 
-impl<E> PartialEq for Scheduled<E> {
+impl PartialEq for Handle {
     fn eq(&self, other: &Self) -> bool {
         self.key() == other.key()
     }
 }
-impl<E> Eq for Scheduled<E> {}
+impl Eq for Handle {}
 
-impl<E> PartialOrd for Scheduled<E> {
+impl PartialOrd for Handle {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Scheduled<E> {
+impl Ord for Handle {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
         other.key().cmp(&self.key())
+    }
+}
+
+/// Slab of event payloads addressed by [`Handle::slot`].
+///
+/// Invariant: a slot is initialized iff exactly one live `Handle` in the
+/// owning queue's containers names it. `alloc` initializes, `take` reads
+/// out and recycles; the queue's `Drop` impl drops whatever is still
+/// live.
+struct Arena<E> {
+    slots: Vec<MaybeUninit<E>>,
+    free: Vec<u32>,
+}
+
+impl<E> Arena<E> {
+    fn with_capacity(n: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn alloc(&mut self, event: E) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = MaybeUninit::new(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("arena slot overflow");
+                self.slots.push(MaybeUninit::new(event));
+                slot
+            }
+        }
+    }
+
+    /// Read the payload out of `slot` and recycle it.
+    ///
+    /// # Safety
+    /// `slot` must come from a `Handle` just removed from the queue's
+    /// containers (so it is initialized and will not be read again).
+    #[inline]
+    unsafe fn take(&mut self, slot: u32) -> E {
+        let e = unsafe { self.slots[slot as usize].assume_init_read() };
+        self.free.push(slot);
+        e
+    }
+
+    /// Drop the payload in `slot` without recycling (queue teardown).
+    ///
+    /// # Safety
+    /// Same contract as [`Arena::take`].
+    unsafe fn drop_slot(&mut self, slot: u32) {
+        unsafe { self.slots[slot as usize].assume_init_drop() }
     }
 }
 
@@ -82,20 +154,22 @@ const CROWDED_BATCH: usize = 4 * TARGET_OCCUPANCY as usize;
 ///
 /// Calendar-queue layout:
 ///
-/// * `wheel[i]` holds events whose bucket index `k = time >> shift`
+/// * `wheel[i]` holds handles whose bucket index `k = time >> shift`
 ///   satisfies `k & mask == i` and `epoch <= k < epoch + nbuckets`.
 ///   Within a window of `nbuckets` a slot maps to exactly one `k`, so a
 ///   bucket never mixes events from different wheel laps.
 /// * `current` is the bucket being drained, sorted *descending* by
 ///   `(time, seq)` so `pop` is a `Vec::pop` from the tail.
-/// * `behind` holds events pushed "behind the cursor" (same-instant
+/// * `behind` holds handles pushed "behind the cursor" (same-instant
 ///   follow-ups, past-clamped events) in a small min-heap; `pop` takes
 ///   whichever of `current`/`behind` is earlier, so global order is
 ///   preserved without an O(batch) merge-insert per follow-up.
-/// * `far` spills events beyond the wheel horizon; they migrate into the
-///   wheel as the cursor approaches (checked once per bucket advance).
+/// * `far` spills handles beyond the wheel horizon; they migrate into
+///   the wheel as the cursor approaches (checked once per bucket
+///   advance).
+/// * `arena` owns the payloads; every container above stores handles.
 pub struct EventQueue<E> {
-    wheel: Vec<Vec<Scheduled<E>>>,
+    wheel: Vec<Vec<Handle>>,
     /// Occupancy bitmap, one bit per bucket, for O(nbuckets/64) scans.
     occupied: Vec<u64>,
     /// log2 of the bucket width in picoseconds.
@@ -108,13 +182,15 @@ pub struct EventQueue<E> {
     epoch: u64,
     /// Drain batch, sorted descending by `(time, seq)`; popped from the
     /// tail.
-    current: Vec<Scheduled<E>>,
+    current: Vec<Handle>,
     /// Events pushed behind the cursor, merged with `current` at pop
     /// time. Stays small: it only ever holds same-instant follow-ups
     /// and past-clamped events that have not fired yet.
-    behind: BinaryHeap<Scheduled<E>>,
+    behind: BinaryHeap<Handle>,
     /// Events beyond the wheel horizon, ordered by `(time, seq)`.
-    far: BinaryHeap<Scheduled<E>>,
+    far: BinaryHeap<Handle>,
+    /// Payload slab addressed by handle slots.
+    arena: Arena<E>,
     /// Events in `wheel` (excluding `current` and `far`).
     wheel_len: usize,
     len: usize,
@@ -157,6 +233,7 @@ impl<E> EventQueue<E> {
             current: Vec::new(),
             behind: BinaryHeap::new(),
             far: BinaryHeap::new(),
+            arena: Arena::with_capacity(capacity),
             wheel_len: 0,
             len: 0,
             next_seq: 0,
@@ -186,15 +263,7 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scheduled_total += 1;
-        self.insert(Scheduled { time, seq, event });
-        self.len += 1;
-        if self.wheel_len > self.nbuckets() * GROW_FACTOR && self.nbuckets() < MAX_BUCKETS {
-            // Deferred to the next `advance`, when `current` is empty:
-            // rebuilding re-bases the cursor, which is only safe with no
-            // partially drained batch in flight.
-            self.grow_pending = true;
-        }
+        self.push_with_seq(time, seq, event);
     }
 
     /// Schedule `event` at `time` with a caller-supplied tie-break key
@@ -211,37 +280,42 @@ impl<E> EventQueue<E> {
     /// `push_keyed`, never both, or the internal counter could collide
     /// with caller keys.
     pub fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        self.push_with_seq(time, key, event);
+    }
+
+    #[inline]
+    fn push_with_seq(&mut self, time: SimTime, seq: u64, event: E) {
         self.scheduled_total += 1;
-        self.insert(Scheduled {
-            time,
-            seq: key,
-            event,
-        });
+        let slot = self.arena.alloc(event);
+        self.insert(Handle { time, seq, slot });
         self.len += 1;
         if self.wheel_len > self.nbuckets() * GROW_FACTOR && self.nbuckets() < MAX_BUCKETS {
+            // Deferred to the next `advance`, when `current` is empty:
+            // rebuilding re-bases the cursor, which is only safe with no
+            // partially drained batch in flight.
             self.grow_pending = true;
         }
     }
 
-    fn insert(&mut self, s: Scheduled<E>) {
+    fn insert(&mut self, h: Handle) {
         if self.len == 0 {
             // Empty queue: rebase the cursor directly onto the event.
             debug_assert!(self.current.is_empty() && self.behind.is_empty());
-            self.epoch = s.time.0 >> self.shift;
+            self.epoch = h.time.0 >> self.shift;
         }
-        let k = s.time.0 >> self.shift;
+        let k = h.time.0 >> self.shift;
         if k < self.epoch {
             // Behind the cursor: a same-instant follow-up or an event in
             // the window being drained. Pops consult this heap alongside
             // the staged batch.
-            self.behind.push(s);
+            self.behind.push(h);
         } else if k - self.epoch < self.nbuckets() as u64 {
             let idx = (k & self.mask) as usize;
-            self.wheel[idx].push(s);
+            self.wheel[idx].push(h);
             self.set_occupied(idx);
             self.wheel_len += 1;
         } else {
-            self.far.push(s);
+            self.far.push(h);
         }
     }
 
@@ -257,18 +331,40 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Remove and return the earliest event.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.current.is_empty() && !self.advance() && self.behind.is_empty() {
-            return None;
-        }
-        let s = if self.behind_is_next() {
+    /// Pull the next handle out of the staged batch / behind heap.
+    /// Callers must have staged a batch (the `pop` preamble).
+    #[inline]
+    fn pop_handle(&mut self) -> Handle {
+        let h = if self.behind_is_next() {
             self.behind.pop().expect("checked non-empty")
         } else {
             self.current.pop().expect("advance staged a batch")
         };
         self.len -= 1;
-        Some((s.time, s.event))
+        h
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.current.is_empty() && !self.advance() && self.behind.is_empty() {
+            return None;
+        }
+        let h = self.pop_handle();
+        // SAFETY: `h` was just removed from the queue's containers.
+        Some((h.time, unsafe { self.arena.take(h.slot) }))
+    }
+
+    /// Remove and return the earliest event together with its tie-break
+    /// key. The speculative shard executor uses the key to journal
+    /// popped events so a rollback can re-insert them under the exact
+    /// `(time, key)` identity they were scheduled with.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        if self.current.is_empty() && !self.advance() && self.behind.is_empty() {
+            return None;
+        }
+        let h = self.pop_handle();
+        // SAFETY: `h` was just removed from the queue's containers.
+        Some((h.time, h.seq, unsafe { self.arena.take(h.slot) }))
     }
 
     /// Time of the earliest pending event without removing it.
@@ -276,13 +372,21 @@ impl<E> EventQueue<E> {
     /// Takes `&mut self` because finding the minimum may advance the
     /// wheel cursor and stage the next drain batch.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek_entry().map(|(t, _)| t)
+    }
+
+    /// `(time, key)` of the earliest pending event without removing it.
+    ///
+    /// The sharded engine compares this against inbound cross-shard
+    /// events to decide whether a speculative window survived the merge.
+    pub fn peek_entry(&mut self) -> Option<(SimTime, u64)> {
         if self.current.is_empty() && !self.advance() && self.behind.is_empty() {
             return None;
         }
         if self.behind_is_next() {
-            self.behind.peek().map(|s| s.time)
+            self.behind.peek().map(|h| (h.time, h.seq))
         } else {
-            self.current.last().map(|s| s.time)
+            self.current.last().map(|h| (h.time, h.seq))
         }
     }
 
@@ -300,7 +404,7 @@ impl<E> EventQueue<E> {
         if self.current.is_empty() && !self.advance() && self.behind.is_empty() {
             return None;
         }
-        let s = if self.behind_is_next() {
+        let h = if self.behind_is_next() {
             if self.behind.peek()?.time != time {
                 return None;
             }
@@ -312,7 +416,8 @@ impl<E> EventQueue<E> {
             self.current.pop().expect("checked non-empty")
         };
         self.len -= 1;
-        Some((s.time, s.event))
+        // SAFETY: `h` was just removed from the queue's containers.
+        Some((h.time, unsafe { self.arena.take(h.slot) }))
     }
 
     /// Pull far events that entered the horizon, find the next occupied
@@ -372,7 +477,8 @@ impl<E> EventQueue<E> {
             self.wheel_len -= self.current.len();
             self.clear_occupied(idx);
             // Descending so `pop` drains earliest-first from the tail.
-            self.current.sort_unstable_by_key(|s| std::cmp::Reverse(s.key()));
+            // Sorting moves 24-byte handles, never event payloads.
+            self.current.sort_unstable_by_key(|h| std::cmp::Reverse(h.key()));
             // Cursor moves past the drained bucket.
             self.epoch += 1;
             // Crowding check: many events at distinct times sharing one
@@ -380,7 +486,7 @@ impl<E> EventQueue<E> {
             // width no longer fits the density.
             if !self.refit_futile
                 && self.current.len() >= CROWDED_BATCH
-                && self.current.first().map(|s| s.time) != self.current.last().map(|s| s.time)
+                && self.current.first().map(|h| h.time) != self.current.last().map(|h| h.time)
             {
                 self.refit_pending = true;
             }
@@ -396,10 +502,10 @@ impl<E> EventQueue<E> {
             if k >= horizon {
                 break;
             }
-            let s = self.far.pop().expect("peeked");
+            let h = self.far.pop().expect("peeked");
             debug_assert!(k >= self.epoch);
             let idx = (k & self.mask) as usize;
-            self.wheel[idx].push(s);
+            self.wheel[idx].push(h);
             self.set_occupied(idx);
             self.wheel_len += 1;
         }
@@ -410,10 +516,13 @@ impl<E> EventQueue<E> {
     /// `current` empty: rebuilding re-bases the cursor onto the earliest
     /// remaining event, which would reorder a partially drained batch
     /// against pushes landing near the new epoch boundary.
+    ///
+    /// Moves handles only — payloads stay put in the arena, so a rebuild
+    /// of a queue of fat events costs the same as one of unit events.
     fn rebuild(&mut self, nbuckets: usize) {
         debug_assert!(self.current.is_empty());
         let nbuckets = nbuckets.min(MAX_BUCKETS);
-        let mut entries: Vec<Scheduled<E>> = Vec::with_capacity(self.wheel_len + self.far.len());
+        let mut entries: Vec<Handle> = Vec::with_capacity(self.wheel_len + self.far.len());
         for b in &mut self.wheel {
             entries.append(b);
         }
@@ -443,16 +552,16 @@ impl<E> EventQueue<E> {
             self.shift = (64 - (width - 1).leading_zeros()).min(40);
             self.epoch = min >> self.shift;
         }
-        for s in entries {
-            let k = s.time.0 >> self.shift;
+        for h in entries {
+            let k = h.time.0 >> self.shift;
             debug_assert!(k >= self.epoch);
             if k - self.epoch < nbuckets as u64 {
                 let idx = (k & self.mask) as usize;
-                self.wheel[idx].push(s);
+                self.wheel[idx].push(h);
                 self.set_occupied(idx);
                 self.wheel_len += 1;
             } else {
-                self.far.push(s);
+                self.far.push(h);
             }
         }
     }
@@ -471,16 +580,74 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E> Drop for EventQueue<E> {
+    fn drop(&mut self) {
+        if !std::mem::needs_drop::<E>() {
+            return;
+        }
+        // Every live handle names an initialized arena slot exactly
+        // once; walk all containers and drop the payloads in place.
+        let wheel = std::mem::take(&mut self.wheel);
+        for h in wheel
+            .into_iter()
+            .flatten()
+            .chain(self.current.drain(..))
+            .chain(std::mem::take(&mut self.behind))
+            .chain(std::mem::take(&mut self.far))
+        {
+            // SAFETY: the handle was live and is visited exactly once.
+            unsafe { self.arena.drop_slot(h.slot) };
+        }
+    }
+}
+
 /// The original binary-heap queue, kept as the ordering oracle for the
 /// determinism suite and the baseline side of the `figures -- perf`
 /// event-queue microbenchmark.
 pub mod reference {
-    use super::{Scheduled, SimTime};
+    use super::SimTime;
+    use std::cmp::Ordering;
     use std::collections::BinaryHeap;
+
+    /// AoS entry: the reference queue stores payloads inline, exactly as
+    /// the pre-arena implementation did — that contrast *is* the
+    /// baseline the `eventq` benchmark measures.
+    struct Entry<E> {
+        time: SimTime,
+        seq: u64,
+        event: E,
+    }
+
+    impl<E> Entry<E> {
+        #[inline]
+        fn key(&self) -> (SimTime, u64) {
+            (self.time, self.seq)
+        }
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.key() == other.key()
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+            other.key().cmp(&self.key())
+        }
+    }
 
     /// Binary-heap `(time, seq)` queue: the pre-calendar implementation.
     pub struct HeapQueue<E> {
-        heap: BinaryHeap<Scheduled<E>>,
+        heap: BinaryHeap<Entry<E>>,
         next_seq: u64,
     }
 
@@ -501,7 +668,7 @@ pub mod reference {
         pub fn push(&mut self, time: SimTime, event: E) {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.heap.push(Scheduled { time, seq, event });
+            self.heap.push(Entry { time, seq, event });
         }
 
         pub fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -567,6 +734,17 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime(42)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_entry_exposes_time_and_key() {
+        let mut q = EventQueue::new();
+        q.push_keyed(SimTime(9), 77, "x");
+        q.push_keyed(SimTime(4), 12, "y");
+        assert_eq!(q.peek_entry(), Some((SimTime(4), 12)));
+        assert_eq!(q.pop_entry(), Some((SimTime(4), 12, "y")));
+        assert_eq!(q.pop_entry(), Some((SimTime(9), 77, "x")));
+        assert_eq!(q.pop_entry(), None);
     }
 
     #[test]
@@ -732,6 +910,27 @@ mod tests {
         assert_eq!(n, 100);
     }
 
+    #[test]
+    fn arena_slots_recycle_under_churn() {
+        // Steady-state push/pop churn must not grow the payload slab
+        // past the peak live population — freed slots come back through
+        // the free list instead of appending.
+        let mut q = EventQueue::new();
+        for i in 0..64u64 {
+            q.push(SimTime(i), i);
+        }
+        let peak = q.arena.slots.len();
+        for round in 0..100u64 {
+            for _ in 0..32 {
+                q.pop();
+            }
+            for i in 0..32u64 {
+                q.push(SimTime(64 + round * 32 + i), i);
+            }
+        }
+        assert_eq!(q.arena.slots.len(), peak, "arena grew under churn");
+    }
+
     /// Drop correctness: queued events must drop exactly once whether
     /// popped or abandoned mid-batch.
     #[test]
@@ -748,6 +947,25 @@ mod tests {
             }
             // 250 popped (dropped here), 250 still queued.
             assert_eq!(Rc::strong_count(&marker), 251);
+        }
+        assert_eq!(Rc::strong_count(&marker), 1);
+    }
+
+    /// Same, but abandoning events in every container at once: staged
+    /// batch, behind heap, wheel, and far heap.
+    #[test]
+    fn drops_balance_across_all_containers() {
+        use std::rc::Rc;
+        let marker = Rc::new(());
+        {
+            let mut q = EventQueue::new();
+            q.push(SimTime(100), Rc::clone(&marker));
+            q.push(SimTime(100), Rc::clone(&marker));
+            q.push(SimTime(u64::MAX / 2), Rc::clone(&marker)); // far
+            q.pop(); // stages the t=100 bucket, pops one
+            q.push(SimTime(100), Rc::clone(&marker)); // behind the cursor
+            q.push(SimTime(200), Rc::clone(&marker)); // wheel
+            assert_eq!(Rc::strong_count(&marker), 5);
         }
         assert_eq!(Rc::strong_count(&marker), 1);
     }

@@ -1,27 +1,52 @@
-//! Sharded conservative-parallel discrete-event execution.
+//! Sharded parallel discrete-event execution: conservative windows from
+//! per-channel lookahead, plus speculative execution past the
+//! conservative horizon with deterministic rollback.
 //!
 //! [`ShardSim`] partitions a model across worker shards, each owning an
-//! independent calendar [`EventQueue`], and runs them in *conservative
-//! time windows*: every round, the shards agree on the global minimum
-//! pending timestamp `T` and each drains its local events in
-//! `[T, T + L)`, where the lookahead `L` is the minimum cross-shard
-//! link latency (`LinkModel::hop_latency` via `LinkModel::min_latency`
-//! in the network models built on this). Conservative synchronization
-//! is sound because an event executing at `t >= T` can only schedule a
-//! *remote* event at `t' >= t + L >= T + L` — strictly beyond the
-//! window — so when a shard drains a window, every event that could
-//! fall inside it is already in its queue.
+//! independent calendar [`EventQueue`], and runs them in windows:
 //!
-//! Cross-shard events travel through bounded lock-free SPSC
-//! [`ShardChannel`]s (one per shard pair) and are merged at the window
-//! barrier into the destination's calendar queue via
-//! [`EventQueue::push_keyed`]. Determinism — and, stronger,
-//! *shard-count invariance* — comes from the key discipline: models
-//! supply tie-break keys derived from global identities (rank, per-rank
-//! sequence), never from shard ids or arrival order, so the
-//! `(time, key)` total order every shard executes is the same whether
-//! the model runs on 1, 2, or 4 shards. The oracle suite in
-//! `tests/parallel_determinism.rs` asserts exactly that.
+//! * **Per-channel lookahead.** Every (src, dst) shard pair carries its
+//!   own minimum latency promise in a [`Lookahead`] matrix — the
+//!   null-message-style earliest-input-time (EIT) bound. Each window,
+//!   every shard publishes the minimum timestamp it could still send
+//!   (its queue minimum, adjusted for any committed-but-unflushed
+//!   speculative sends), and shard `s` derives its *own* safe window
+//!   end `wend_s = min over src≠s of (min_src + la[src][s])`. Sparsely
+//!   coupled partitions (e.g. dragonfly group-aligned shards, where
+//!   cross-group latency dwarfs local latency) get windows sized by the
+//!   channels that actually constrain them, not by the global minimum
+//!   link latency.
+//! * **Speculative windows with rollback.** After draining its
+//!   conservative window, a shard may keep executing into
+//!   `[wend_s, B_s)` against a checkpoint, where the commit bound
+//!   `B_s = min over src≠s of (wend_src + la[src][s])` is the earliest
+//!   timestamp any *future* merge could deliver (every peer's next
+//!   minimum is at least its current window end). The only events that
+//!   can invalidate the speculation are therefore in *this* window's
+//!   inbox: at the merge, if the inbox minimum `(time, key)` is ≤ the
+//!   largest speculated `(time, key)`, the shard rolls back — restores
+//!   the checkpointed world, re-inserts the journaled pops — and
+//!   re-executes conservatively next window (with deterministic
+//!   backoff). Otherwise it commits: staged local sends enter the real
+//!   queue, and speculative cross-shard sends are *deferred* to the
+//!   next window's flush point, with the published minimum adjusted by
+//!   `min(t_e - la[s][dst_e])` so no peer's window can overtake them.
+//!   Commit/rollback decisions depend only on deterministic values (the
+//!   published minima and the inbox *set*, never arrival order), so
+//!   results — and the spec commit/rollback counts themselves — are
+//!   bit-identical across shard counts and serial/threaded execution.
+//! * **Batched channel exchange.** Cross-shard sends buffer per
+//!   destination and flush once per window through
+//!   [`ShardChannel::push_batch`] — one release store per (src, dst)
+//!   pair per window instead of one per event.
+//!
+//! Determinism — and, stronger, *shard-count invariance* — comes from
+//! the key discipline: models supply tie-break keys derived from global
+//! identities (rank, per-rank sequence), never from shard ids or
+//! arrival order, so the `(time, key)` total order every shard executes
+//! is the same whether the model runs on 1, 2, or 4 shards. The oracle
+//! suite in `tests/parallel_determinism.rs` asserts exactly that, with
+//! speculation on and off.
 //!
 //! Synchronization is three `std::sync::Barrier` waits per window
 //! (publish local minima / adopt the window / exchange channels) —
@@ -33,6 +58,8 @@ use crate::event::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use polaris_obs::Obs;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -125,6 +152,184 @@ impl Partition {
 }
 
 // ---------------------------------------------------------------------
+// Per-channel lookahead
+// ---------------------------------------------------------------------
+
+/// Per-channel lookahead matrix: `get(src, dst)` is the minimum delay
+/// any event sent from shard `src` to shard `dst` carries — the EIT
+/// promise backing the conservative window computation. Off-diagonal
+/// entries must be positive; the diagonal is unused. An entry of
+/// `u64::MAX` declares "this pair never exchanges events" and removes
+/// the channel from the window computation entirely (saturating
+/// arithmetic keeps the math well-defined).
+///
+/// Window math runs on the *min-plus transitive closure* of the
+/// matrix, not on single edges: a future event at `dst` can be the end
+/// of a causal chain that relays through any sequence of shards, so
+/// the earliest possible arrival from `src`'s pending work is
+/// `mins[src] + dist(src, dst)` where `dist` is the shortest-path
+/// delay (at least one edge). Crucially the diagonal of the closure —
+/// the cheapest round trip `dst -> ... -> dst` — bounds `dst`'s own
+/// window too: with a single-edge formula, a shard whose peers have
+/// all gone idle (published minimum `u64::MAX`) would compute an
+/// unbounded window and drain events that its *own* in-flight sends
+/// were about to invalidate on the rebound. The lookahead property
+/// suite's shard-count invariance proptest caught exactly that.
+#[derive(Debug, Clone)]
+pub struct Lookahead {
+    n: u32,
+    /// `la[src * n + dst]`, picoseconds.
+    la: Vec<u64>,
+    /// Min-plus closure of `la`: `dist[src * n + dst]` is the cheapest
+    /// delay of any path `src -> ... -> dst` with at least one edge
+    /// (the diagonal holds the cheapest cycle through peers).
+    dist: Vec<u64>,
+    /// Minimum off-diagonal entry — the model-facing
+    /// [`ShardCtx::lookahead`] value. For uniform matrices this is the
+    /// construction value at any shard count (including 1), which is
+    /// what keeps models that derive send times from it shard-count
+    /// invariant.
+    min_la: u64,
+}
+
+/// Min-plus (tropical) closure of an `n x n` edge matrix whose
+/// diagonal is unused: Floyd–Warshall with saturating adds, seeded
+/// with the single edges and a `u64::MAX` diagonal so every path in
+/// the result has at least one edge.
+fn min_plus_closure(n: usize, la: &[u64]) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; n * n];
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                dist[src * n + dst] = la[src * n + dst];
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let ik = dist[i * n + k];
+            if ik == u64::MAX {
+                continue;
+            }
+            for j in 0..n {
+                let through = ik.saturating_add(dist[k * n + j]);
+                if through < dist[i * n + j] {
+                    dist[i * n + j] = through;
+                }
+            }
+        }
+    }
+    dist
+}
+
+impl Lookahead {
+    /// Every cross-shard channel promises the same minimum delay — the
+    /// pre-round-2 global-lookahead behavior.
+    pub fn uniform(nshards: u32, min_latency: SimDuration) -> Self {
+        assert!(nshards >= 1, "at least one shard required");
+        assert!(min_latency.0 > 0, "conservative lookahead must be positive");
+        let n = nshards as usize;
+        let la = vec![min_latency.0; n * n];
+        Lookahead {
+            n: nshards,
+            dist: min_plus_closure(n, &la),
+            la,
+            min_la: min_latency.0,
+        }
+    }
+
+    /// Build the matrix from a per-pair extraction function (called for
+    /// `src != dst` only). Entries must be positive.
+    pub fn from_fn(nshards: u32, mut f: impl FnMut(u32, u32) -> SimDuration) -> Self {
+        assert!(nshards >= 1, "at least one shard required");
+        let n = nshards as usize;
+        let mut la = vec![0u64; n * n];
+        let mut min_la = u64::MAX;
+        for src in 0..nshards {
+            for dst in 0..nshards {
+                if src == dst {
+                    continue;
+                }
+                let d = f(src, dst).0;
+                assert!(d > 0, "lookahead for channel {src}->{dst} must be positive");
+                la[(src * nshards + dst) as usize] = d;
+                min_la = min_la.min(d);
+            }
+        }
+        Lookahead {
+            n: nshards,
+            dist: min_plus_closure(n, &la),
+            la,
+            min_la,
+        }
+    }
+
+    #[inline]
+    pub fn nshards(&self) -> u32 {
+        self.n
+    }
+
+    /// The channel promise for `src -> dst`, in raw time units.
+    #[inline]
+    pub fn get(&self, src: u32, dst: u32) -> u64 {
+        debug_assert!(src != dst, "diagonal lookahead is meaningless");
+        self.la[(src * self.n + dst) as usize]
+    }
+
+    /// The minimum off-diagonal promise (`u64::MAX` for a 1-shard
+    /// `from_fn` matrix, which has no channels).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        self.min_la
+    }
+
+    /// The closure delay for `src -> dst`: the cheapest relay path
+    /// with at least one edge (the diagonal is the cheapest round
+    /// trip through peers).
+    #[inline]
+    pub fn dist(&self, src: u32, dst: u32) -> u64 {
+        self.dist[(src * self.n + dst) as usize]
+    }
+
+    /// Safe window end for shard `dst` given every shard's published
+    /// minimum: no event can arrive at `dst` earlier than
+    /// `min over all src of (mins[src] + dist(src, dst))`, where
+    /// `dist` is the min-plus closure — every causal chain from a
+    /// pending event to an arrival at `dst` relays through some path
+    /// of channels, and `src == dst` contributes its own round trip.
+    /// Public so the lookahead property suite can check
+    /// safety/progress bounds directly against random matrices.
+    pub fn window_end(&self, mins: &[u64], dst: usize) -> u64 {
+        let mut wend = u64::MAX;
+        for (src, &m) in mins.iter().enumerate() {
+            wend = wend.min(m.saturating_add(self.dist(src as u32, dst as u32)));
+        }
+        wend
+    }
+
+    /// Commit bound for shard `dst`: the earliest timestamp any merge
+    /// *after this window's* could deliver. Each shard's next
+    /// published minimum is at least its current window end (it
+    /// executes everything below it and inbound merges can't land
+    /// below it either), so future arrivals at `dst` sit at or above
+    /// `min over all src of (wend_src + dist(src, dst))` — the same
+    /// closure as [`window_end`], one published-minimum generation
+    /// later. Speculative events strictly below this bound are
+    /// threatened only by the current window's inbox — which the
+    /// merge inspects directly.
+    ///
+    /// [`window_end`]: Lookahead::window_end
+    pub fn commit_bound(&self, mins: &[u64], dst: usize) -> u64 {
+        let mut bound = u64::MAX;
+        for src in 0..mins.len() {
+            let wend_src = self.window_end(mins, src);
+            bound = bound.min(wend_src.saturating_add(self.dist(src as u32, dst as u32)));
+        }
+        bound
+    }
+}
+
+// ---------------------------------------------------------------------
 // World interface
 // ---------------------------------------------------------------------
 
@@ -147,15 +352,57 @@ struct Remote<E> {
     event: E,
 }
 
+/// A local event produced *during speculation*, staged outside the real
+/// calendar queue so a rollback can discard it (the calendar queue has
+/// no remove operation). Min-ordered by `(time, key)`.
+struct Staged<E> {
+    time: SimTime,
+    key: u64,
+    event: E,
+}
+
+impl<E> Staged<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.key)
+    }
+}
+
+impl<E> PartialEq for Staged<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for Staged<E> {}
+
+impl<E> PartialOrd for Staged<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Staged<E> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other.key().cmp(&self.key())
+    }
+}
+
 /// Scheduling interface handed to [`ShardWorld::handle`].
 pub struct ShardCtx<'a, E> {
     now: SimTime,
     shard: u32,
     nshards: u32,
-    lookahead: SimDuration,
+    la: &'a Lookahead,
     queue: &'a mut EventQueue<E>,
-    /// This shard's outbound channel row, indexed by destination shard.
-    outboxes: &'a [ShardChannel<Remote<E>>],
+    /// During speculation, local sends divert here instead of the real
+    /// queue (so a rollback can discard them); `None` in conservative
+    /// execution.
+    staging: Option<&'a mut BinaryHeap<Staged<E>>>,
+    /// Per-destination outbound buffers: the conservative set in normal
+    /// execution, the deferred (commit-pending) set during speculation.
+    /// Flushed in one [`ShardChannel::push_batch`] per pair per window.
+    outbufs: &'a mut [Vec<Remote<E>>],
     remote_sent: &'a mut u64,
 }
 
@@ -177,32 +424,47 @@ impl<E> ShardCtx<'_, E> {
         self.nshards
     }
 
-    /// The conservative lookahead: cross-shard events must be scheduled
-    /// at least this far past `now`.
+    /// The minimum cross-shard lookahead: cross-shard events are always
+    /// safe at `now + lookahead()` regardless of destination. Models
+    /// that derive send times from this should construct the simulator
+    /// with a *uniform* matrix so the value is shard-count invariant.
     #[inline]
     pub fn lookahead(&self) -> SimDuration {
-        self.lookahead
+        SimDuration(self.la.min())
+    }
+
+    /// The per-channel promise to `dst`: cross-shard sends to `dst`
+    /// must be scheduled at least this far past `now`.
+    #[inline]
+    pub fn lookahead_to(&self, dst: u32) -> SimDuration {
+        SimDuration(self.la.get(self.shard, dst))
     }
 
     /// Schedule `event` at `time` on shard `dst`, tie-broken by `key`.
     ///
     /// Local sends (`dst == self.shard()`) may target any `time >= now`.
-    /// Cross-shard sends must satisfy `time >= now + lookahead` — the
-    /// conservative window contract; debug builds assert it.
+    /// Cross-shard sends must satisfy `time >= now + lookahead_to(dst)`
+    /// — the per-channel window contract; debug builds assert it.
     pub fn send(&mut self, dst: u32, time: SimTime, key: u64, event: E) {
         debug_assert!(time >= self.now, "event scheduled in the past");
         if dst == self.shard {
-            self.queue.push_keyed(time.max(self.now), key, event);
+            let time = time.max(self.now);
+            match &mut self.staging {
+                Some(staging) => staging.push(Staged { time, key, event }),
+                None => self.queue.push_keyed(time, key, event),
+            }
         } else {
             debug_assert!(
-                time.0 >= self.now.0 + self.lookahead.0,
-                "cross-shard event at {} violates lookahead {} from {}",
+                time.0 >= self.now.0 + self.la.get(self.shard, dst),
+                "cross-shard event at {} violates lookahead {} from {} ({} -> {})",
                 time.0,
-                self.lookahead.0,
-                self.now.0
+                self.la.get(self.shard, dst),
+                self.now.0,
+                self.shard,
+                dst
             );
             *self.remote_sent += 1;
-            self.outboxes[dst as usize].push(Remote { time, key, event });
+            self.outbufs[dst as usize].push(Remote { time, key, event });
         }
     }
 
@@ -217,17 +479,31 @@ impl<E> ShardCtx<'_, E> {
 // The sharded simulator
 // ---------------------------------------------------------------------
 
+/// After a rollback, skip speculation for a deterministic, doubling
+/// number of windows up to this cap — bounding checkpoint-clone waste
+/// on straggler-heavy workloads without any non-deterministic input.
+const MAX_SPEC_BACKOFF: u32 = 8;
+
 /// Outcome of a sharded run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRunStats {
-    /// Events dispatched, summed over shards.
+    /// Events dispatched, summed over shards (each committed event
+    /// counts once; rolled-back speculative work is excluded).
     pub events_dispatched: u64,
     /// Events dispatched per shard, indexed by shard id.
     pub per_shard_events: Vec<u64>,
-    /// Conservative windows executed.
+    /// Windows executed.
     pub windows: u64,
     /// Events that crossed a shard boundary.
     pub remote_events: u64,
+    /// Speculative windows that committed.
+    pub spec_commits: u64,
+    /// Speculative windows rolled back by a straggler.
+    pub spec_rollbacks: u64,
+    /// Events executed speculatively and committed.
+    pub spec_events_committed: u64,
+    /// Events executed speculatively then discarded by a rollback.
+    pub spec_events_rolled_back: u64,
     /// Simulated time when the run stopped.
     pub end_time: SimTime,
     /// True if the run stopped at the horizon with events pending.
@@ -237,8 +513,10 @@ pub struct ShardRunStats {
 impl ShardRunStats {
     /// Export the run's counters through an observability registry:
     /// `shard_events_dispatched_total{shard=..}`, `shard_windows_total`,
-    /// and `shard_remote_events_total`. Counters accumulate across runs
-    /// sharing one registry, matching every other ledger in the stack.
+    /// `shard_remote_events_total`, and — when speculation ran —
+    /// `shard_spec_{commits,rollbacks,events_committed,events_rolled_back}_total`.
+    /// Counters accumulate across runs sharing one registry, matching
+    /// every other ledger in the stack.
     pub fn publish(&self, obs: &Obs) {
         for (s, &n) in self.per_shard_events.iter().enumerate() {
             let label = s.to_string();
@@ -247,6 +525,14 @@ impl ShardRunStats {
         }
         obs.counter("shard_windows_total", &[]).add(self.windows);
         obs.counter("shard_remote_events_total", &[]).add(self.remote_events);
+        if self.spec_commits > 0 || self.spec_rollbacks > 0 {
+            obs.counter("shard_spec_commits_total", &[]).add(self.spec_commits);
+            obs.counter("shard_spec_rollbacks_total", &[]).add(self.spec_rollbacks);
+            obs.counter("shard_spec_events_committed_total", &[])
+                .add(self.spec_events_committed);
+            obs.counter("shard_spec_events_rolled_back_total", &[])
+                .add(self.spec_events_rolled_back);
+        }
     }
 }
 
@@ -258,21 +544,107 @@ struct ShardSlot<W: ShardWorld> {
     remote_sent: u64,
     /// Reusable merge buffer for inbound remote events.
     inbox: Vec<Remote<W::Event>>,
+    /// Per-destination conservative outbound buffers; flushed in one
+    /// `push_batch` per pair per window.
+    outbufs: Vec<Vec<Remote<W::Event>>>,
+    /// Committed speculative cross-shard sends awaiting the next flush
+    /// point (they must not enter the channels mid-window, after peers
+    /// may already have drained).
+    deferred: Vec<Vec<Remote<W::Event>>>,
+    /// `min over deferred events e of (e.time - la[s][dst_e])`: the
+    /// published-minimum adjustment that keeps peers' windows below any
+    /// deferred event until it is delivered. `u64::MAX` when empty.
+    deferred_adj: u64,
+    /// World snapshot taken at speculation start (post-conservative
+    /// drain); `Some` only between a speculative run and its merge.
+    checkpoint: Option<W>,
+    /// Local events produced during speculation, outside the real queue.
+    staging: BinaryHeap<Staged<W::Event>>,
+    /// `(time, key, event)` journal of real-queue pops during
+    /// speculation, re-inserted verbatim on rollback.
+    undo: Vec<(SimTime, u64, W::Event)>,
+    /// Clock/tally shadows during speculation; folded in on commit.
+    spec_now: SimTime,
+    spec_max: Option<(SimTime, u64)>,
+    spec_dispatched: u64,
+    spec_remote_sent: u64,
+    /// Deterministic rollback backoff: windows left to skip, and the
+    /// next skip length.
+    spec_skip: u32,
+    next_backoff: u32,
+    // Per-shard speculation stats.
+    spec_commits: u64,
+    spec_rollbacks: u64,
+    spec_events_committed: u64,
+    spec_events_rolled_back: u64,
 }
 
-/// A model partitioned across shards, executed in conservative windows.
+/// Compile-time switch between conservative-only and speculative
+/// execution: both entry points run the identical window protocol, and
+/// the `Clone` bounds speculation needs (world checkpointing, pop
+/// journaling) attach only to the speculative instantiation.
+trait SpecPolicy<W: ShardWorld> {
+    const ENABLED: bool;
+    fn snapshot(world: &W) -> Option<W>;
+    fn clone_event(ev: &W::Event) -> W::Event;
+}
+
+/// Conservative-only execution (`ShardSim::run`).
+struct NoSpec;
+
+impl<W: ShardWorld> SpecPolicy<W> for NoSpec {
+    const ENABLED: bool = false;
+    fn snapshot(_: &W) -> Option<W> {
+        None
+    }
+    fn clone_event(_: &W::Event) -> W::Event {
+        unreachable!("speculation disabled")
+    }
+}
+
+/// Speculative execution (`ShardSim::run_spec`).
+struct WithSpec;
+
+impl<W: ShardWorld + Clone> SpecPolicy<W> for WithSpec
+where
+    W::Event: Clone,
+{
+    const ENABLED: bool = true;
+    fn snapshot(world: &W) -> Option<W> {
+        Some(world.clone())
+    }
+    fn clone_event(ev: &W::Event) -> W::Event {
+        ev.clone()
+    }
+}
+
+/// Read-only per-run context shared by every phase function.
+struct Shared<'a, W: ShardWorld> {
+    n: usize,
+    la: &'a Lookahead,
+    /// Event-granular horizon cap: events with `t.0 > hcap` never
+    /// execute (conservatively or speculatively).
+    hcap: u64,
+    channels: &'a [ShardChannel<Remote<W::Event>>],
+}
+
+/// A model partitioned across shards, executed in lookahead windows.
 pub struct ShardSim<W: ShardWorld> {
     shards: Vec<ShardSlot<W>>,
-    lookahead: SimDuration,
+    lookahead: Lookahead,
 }
 
 impl<W: ShardWorld> ShardSim<W> {
-    /// One world per shard. `lookahead` must be positive — it is the
-    /// minimum latency of any cross-shard interaction, and a zero
-    /// lookahead would make the conservative window empty.
-    pub fn new(worlds: Vec<W>, lookahead: SimDuration) -> Self {
+    /// One world per shard, with a per-channel [`Lookahead`] matrix
+    /// (`lookahead.nshards()` must match `worlds.len()`).
+    pub fn new(worlds: Vec<W>, lookahead: Lookahead) -> Self {
         assert!(!worlds.is_empty(), "at least one shard required");
-        assert!(lookahead.0 > 0, "conservative lookahead must be positive");
+        assert_eq!(
+            worlds.len(),
+            lookahead.nshards() as usize,
+            "lookahead matrix size must match shard count"
+        );
+        let n = worlds.len();
         ShardSim {
             shards: worlds
                 .into_iter()
@@ -283,10 +655,33 @@ impl<W: ShardWorld> ShardSim<W> {
                     dispatched: 0,
                     remote_sent: 0,
                     inbox: Vec::new(),
+                    outbufs: (0..n).map(|_| Vec::new()).collect(),
+                    deferred: (0..n).map(|_| Vec::new()).collect(),
+                    deferred_adj: u64::MAX,
+                    checkpoint: None,
+                    staging: BinaryHeap::new(),
+                    undo: Vec::new(),
+                    spec_now: SimTime::ZERO,
+                    spec_max: None,
+                    spec_dispatched: 0,
+                    spec_remote_sent: 0,
+                    spec_skip: 0,
+                    next_backoff: 1,
+                    spec_commits: 0,
+                    spec_rollbacks: 0,
+                    spec_events_committed: 0,
+                    spec_events_rolled_back: 0,
                 })
                 .collect(),
             lookahead,
         }
+    }
+
+    /// Convenience constructor: every channel promises the same
+    /// `min_latency` (the pre-round-2 global-lookahead behavior).
+    pub fn uniform(worlds: Vec<W>, min_latency: SimDuration) -> Self {
+        let n = worlds.len() as u32;
+        Self::new(worlds, Lookahead::uniform(n, min_latency))
     }
 
     pub fn nshards(&self) -> u32 {
@@ -304,39 +699,74 @@ impl<W: ShardWorld> ShardSim<W> {
         self.shards.iter().map(|s| &s.world)
     }
 
-    /// Run to completion (or `horizon`). With `parallel` set, each
-    /// shard gets its own worker thread; otherwise the same windowed
-    /// algorithm runs on the calling thread, shard by shard — both
-    /// paths execute the identical `(time, key)` order, so they produce
-    /// identical results by construction.
+    /// Run to completion (or `horizon`), conservative windows only.
+    /// With `parallel` set, each shard gets its own worker thread;
+    /// otherwise the same windowed algorithm runs on the calling
+    /// thread, shard by shard — both paths execute the identical
+    /// `(time, key)` order, so they produce identical results by
+    /// construction.
     pub fn run(&mut self, parallel: bool, horizon: Option<SimTime>) -> ShardRunStats {
+        self.run_inner::<NoSpec>(parallel, horizon)
+    }
+
+    /// Like [`run`], additionally executing speculative windows past
+    /// each shard's conservative horizon, rolled back deterministically
+    /// on straggler cross-shard events. Produces bit-identical model
+    /// results to [`run`] — speculation is transparent — at a fraction
+    /// of the window count when cross-shard traffic is sparse.
+    ///
+    /// [`run`]: ShardSim::run
+    pub fn run_spec(&mut self, parallel: bool, horizon: Option<SimTime>) -> ShardRunStats
+    where
+        W: Clone,
+        W::Event: Clone,
+    {
+        self.run_inner::<WithSpec>(parallel, horizon)
+    }
+
+    fn run_inner<P: SpecPolicy<W>>(
+        &mut self,
+        parallel: bool,
+        horizon: Option<SimTime>,
+    ) -> ShardRunStats {
         let n = self.shards.len();
-        let lookahead = self.lookahead;
         let channels: Vec<ShardChannel<Remote<W::Event>>> =
             (0..n * n).map(|_| ShardChannel::new()).collect();
         let windows = AtomicU64::new(0);
         let horizon_hit = AtomicBool::new(false);
+        let shared = Shared::<W> {
+            n,
+            la: &self.lookahead,
+            hcap: horizon.map_or(u64::MAX, |h| h.0),
+            channels: &channels,
+        };
 
         if !parallel || n == 1 {
+            let mut mins = vec![u64::MAX; n];
             loop {
-                let gmin = self
-                    .shards
-                    .iter_mut()
-                    .filter_map(|s| s.queue.peek_time())
-                    .map(|t| t.0)
-                    .min();
-                let Some(gmin) = gmin else { break };
+                for (m, slot) in mins.iter_mut().zip(self.shards.iter_mut()) {
+                    *m = published_min(slot);
+                }
+                let gmin = *mins.iter().min().expect("n >= 1");
+                if gmin == u64::MAX {
+                    break;
+                }
                 if horizon.is_some_and(|h| gmin > h.0) {
                     horizon_hit.store(true, Ordering::Relaxed);
                     break;
                 }
                 windows.fetch_add(1, Ordering::Relaxed);
-                let wend = gmin.saturating_add(lookahead.0);
                 for (s, slot) in self.shards.iter_mut().enumerate() {
-                    drain_window(slot, s, n, lookahead, wend, &channels);
+                    let wend = shared.la.window_end(&mins, s);
+                    drain_window(slot, s, &shared, wend);
+                    flush_outbufs(slot, s, &shared);
+                    if P::ENABLED {
+                        let bound = shared.la.commit_bound(&mins, s);
+                        speculate::<W, P>(slot, s, &shared, bound);
+                    }
                 }
                 for (s, slot) in self.shards.iter_mut().enumerate() {
-                    merge_inbox(slot, s, n, &channels);
+                    merge_inbox::<W, P>(slot, s, &shared);
                 }
             }
         } else {
@@ -344,13 +774,10 @@ impl<W: ShardWorld> ShardSim<W> {
             let mins: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
             std::thread::scope(|scope| {
                 for (s, slot) in self.shards.iter_mut().enumerate() {
-                    let (channels, mins, barrier) = (&channels, &mins, &barrier);
+                    let (shared, mins, barrier) = (&shared, &mins, &barrier);
                     let (windows, horizon_hit) = (&windows, &horizon_hit);
                     scope.spawn(move || {
-                        worker(
-                            s, n, slot, lookahead, horizon, channels, mins, barrier, windows,
-                            horizon_hit,
-                        );
+                        worker::<W, P>(s, slot, shared, horizon, mins, barrier, windows, horizon_hit);
                     });
                 }
             });
@@ -363,37 +790,49 @@ impl<W: ShardWorld> ShardSim<W> {
         } else {
             self.shards.iter().map(|s| s.now).max().unwrap_or(SimTime::ZERO)
         };
-        // Reset per-run tallies so repeated runs don't double-count.
         let stats = ShardRunStats {
             events_dispatched: per_shard_events.iter().sum(),
             per_shard_events,
             windows: windows.load(Ordering::Relaxed),
             remote_events: self.shards.iter().map(|s| s.remote_sent).sum(),
+            spec_commits: self.shards.iter().map(|s| s.spec_commits).sum(),
+            spec_rollbacks: self.shards.iter().map(|s| s.spec_rollbacks).sum(),
+            spec_events_committed: self.shards.iter().map(|s| s.spec_events_committed).sum(),
+            spec_events_rolled_back: self.shards.iter().map(|s| s.spec_events_rolled_back).sum(),
             end_time,
             horizon_reached,
         };
+        // Reset per-run tallies so repeated runs don't double-count.
         for s in &mut self.shards {
             s.dispatched = 0;
             s.remote_sent = 0;
+            s.spec_commits = 0;
+            s.spec_rollbacks = 0;
+            s.spec_events_committed = 0;
+            s.spec_events_rolled_back = 0;
+            s.spec_skip = 0;
+            s.next_backoff = 1;
         }
         stats
     }
 }
 
-/// Drain one shard's events in `[.., wend)`, routing cross-shard sends
-/// into the channel matrix row `s`.
-fn drain_window<W: ShardWorld>(
-    slot: &mut ShardSlot<W>,
-    s: usize,
-    n: usize,
-    lookahead: SimDuration,
-    wend: u64,
-    channels: &[ShardChannel<Remote<W::Event>>],
-) {
-    let outboxes = &channels[s * n..(s + 1) * n];
+/// The minimum timestamp shard `slot` could still introduce anywhere:
+/// its queue minimum, adjusted for committed-but-unflushed speculative
+/// sends (each deferred event `e` to `dst` contributes
+/// `e.time - la[s][dst]`, pre-folded into `deferred_adj` at commit) so
+/// no peer's window end can overtake a deferred delivery.
+fn published_min<W: ShardWorld>(slot: &mut ShardSlot<W>) -> u64 {
+    let qmin = slot.queue.peek_time().map_or(u64::MAX, |t| t.0);
+    qmin.min(slot.deferred_adj)
+}
+
+/// Drain one shard's events strictly below `wend` (and at or below the
+/// horizon cap), buffering cross-shard sends per destination.
+fn drain_window<W: ShardWorld>(slot: &mut ShardSlot<W>, s: usize, sh: &Shared<'_, W>, wend: u64) {
     loop {
         match slot.queue.peek_time() {
-            Some(t) if t.0 < wend => {}
+            Some(t) if t.0 < wend && t.0 <= sh.hcap => {}
             _ => break,
         }
         let (t, event) = slot.queue.pop().expect("peeked");
@@ -402,10 +841,11 @@ fn drain_window<W: ShardWorld>(
         let mut ctx = ShardCtx {
             now: t,
             shard: s as u32,
-            nshards: n as u32,
-            lookahead,
+            nshards: sh.n as u32,
+            la: sh.la,
             queue: &mut slot.queue,
-            outboxes,
+            staging: None,
+            outbufs: &mut slot.outbufs,
             remote_sent: &mut slot.remote_sent,
         };
         slot.world.handle(&mut ctx, event);
@@ -413,17 +853,154 @@ fn drain_window<W: ShardWorld>(
     }
 }
 
-/// Merge everything other shards sent to shard `s` into its queue.
-/// Arrival order is irrelevant: `push_keyed` restores the global
-/// `(time, key)` order.
-fn merge_inbox<W: ShardWorld>(
+/// Publish this window's outbound buffers — last window's committed
+/// speculative sends first, then the conservative sends — one
+/// `push_batch` per non-empty buffer: a single release store per
+/// (src, dst) pair per window.
+fn flush_outbufs<W: ShardWorld>(slot: &mut ShardSlot<W>, s: usize, sh: &Shared<'_, W>) {
+    for dst in 0..sh.n {
+        if dst == s {
+            continue;
+        }
+        let ch = &sh.channels[s * sh.n + dst];
+        if !slot.deferred[dst].is_empty() {
+            ch.push_batch(&mut slot.deferred[dst]);
+        }
+        if !slot.outbufs[dst].is_empty() {
+            ch.push_batch(&mut slot.outbufs[dst]);
+        }
+    }
+    slot.deferred_adj = u64::MAX;
+}
+
+/// Execute past the conservative horizon, strictly below the commit
+/// `bound`, against a checkpoint: pops from the real queue are
+/// journaled (with a payload clone) for rollback, locally produced
+/// events stage outside the queue, and cross-shard sends buffer in
+/// `deferred` pending the commit decision at the merge.
+fn speculate<W: ShardWorld, P: SpecPolicy<W>>(
     slot: &mut ShardSlot<W>,
     s: usize,
-    n: usize,
-    channels: &[ShardChannel<Remote<W::Event>>],
+    sh: &Shared<'_, W>,
+    bound: u64,
 ) {
-    for src in 0..n {
-        channels[src * n + s].drain_into(&mut slot.inbox);
+    if slot.spec_skip > 0 {
+        slot.spec_skip -= 1;
+        return;
+    }
+    // Only checkpoint when there is something to speculate on.
+    match slot.queue.peek_time() {
+        Some(t) if t.0 < bound && t.0 <= sh.hcap => {}
+        _ => return,
+    }
+    debug_assert!(slot.staging.is_empty() && slot.undo.is_empty());
+    slot.checkpoint = P::snapshot(&slot.world);
+    slot.spec_now = slot.now;
+    slot.spec_max = None;
+    slot.spec_dispatched = 0;
+    slot.spec_remote_sent = 0;
+    loop {
+        let from_queue = {
+            let qn = slot.queue.peek_entry();
+            let sn = slot.staging.peek().map(|st| (st.time, st.key));
+            let ((t, k), from_queue) = match (qn, sn) {
+                (None, None) => break,
+                (Some(q), None) => (q, true),
+                (None, Some(st)) => (st, false),
+                (Some(q), Some(st)) => {
+                    if q <= st {
+                        (q, true)
+                    } else {
+                        (st, false)
+                    }
+                }
+            };
+            if t.0 >= bound || t.0 > sh.hcap {
+                break;
+            }
+            slot.spec_now = t;
+            slot.spec_max = Some((t, k));
+            from_queue
+        };
+        let (t, event) = if from_queue {
+            let (t, k, event) = slot.queue.pop_entry().expect("peeked");
+            slot.undo.push((t, k, P::clone_event(&event)));
+            (t, event)
+        } else {
+            let st = slot.staging.pop().expect("peeked");
+            (st.time, st.event)
+        };
+        let mut ctx = ShardCtx {
+            now: t,
+            shard: s as u32,
+            nshards: sh.n as u32,
+            la: sh.la,
+            queue: &mut slot.queue,
+            staging: Some(&mut slot.staging),
+            outbufs: &mut slot.deferred,
+            remote_sent: &mut slot.spec_remote_sent,
+        };
+        slot.world.handle(&mut ctx, event);
+        slot.spec_dispatched += 1;
+    }
+}
+
+/// Merge everything other shards sent to shard `s` into its queue,
+/// first resolving any pending speculation: a rollback restores the
+/// checkpoint and the pop journal; a commit folds the staged local
+/// events into the queue, defers the speculative cross-shard sends to
+/// the next flush, and advances the clock. Arrival order is
+/// irrelevant: the decision reads the inbox *minimum*, and
+/// `push_keyed` restores the global `(time, key)` order.
+fn merge_inbox<W: ShardWorld, P: SpecPolicy<W>>(
+    slot: &mut ShardSlot<W>,
+    s: usize,
+    sh: &Shared<'_, W>,
+) {
+    for src in 0..sh.n {
+        sh.channels[src * sh.n + s].drain_into(&mut slot.inbox);
+    }
+    if P::ENABLED && slot.checkpoint.is_some() {
+        let spec_max = slot.spec_max.expect("speculation executed at least one event");
+        let inbox_min = slot.inbox.iter().map(|r| (r.time, r.key)).min();
+        if inbox_min.is_some_and(|im| im <= spec_max) {
+            // Straggler at or below the speculated frontier: discard.
+            slot.world = slot.checkpoint.take().expect("checked");
+            for (t, k, ev) in slot.undo.drain(..) {
+                slot.queue.push_keyed(t, k, ev);
+            }
+            slot.staging.clear();
+            for d in &mut slot.deferred {
+                d.clear();
+            }
+            slot.spec_rollbacks += 1;
+            slot.spec_events_rolled_back += slot.spec_dispatched;
+            slot.spec_skip = slot.next_backoff;
+            slot.next_backoff = (slot.next_backoff * 2).min(MAX_SPEC_BACKOFF);
+        } else {
+            slot.checkpoint = None;
+            slot.undo.clear();
+            while let Some(st) = slot.staging.pop() {
+                slot.queue.push_keyed(st.time, st.key, st.event);
+            }
+            let mut adj = u64::MAX;
+            for (dst, d) in slot.deferred.iter().enumerate() {
+                if dst == s {
+                    continue;
+                }
+                for r in d {
+                    adj = adj.min(r.time.0 - sh.la.get(s as u32, dst as u32));
+                }
+            }
+            slot.deferred_adj = adj;
+            slot.now = slot.spec_now;
+            slot.dispatched += slot.spec_dispatched;
+            slot.remote_sent += slot.spec_remote_sent;
+            slot.spec_commits += 1;
+            slot.spec_events_committed += slot.spec_dispatched;
+            slot.next_backoff = 1;
+        }
+        slot.spec_max = None;
     }
     for r in slot.inbox.drain(..) {
         debug_assert!(r.time >= slot.now, "remote event inside a drained window");
@@ -434,27 +1011,27 @@ fn merge_inbox<W: ShardWorld>(
 /// One shard's worker loop: three barrier waits per window.
 ///
 /// 1. publish the local minimum, barrier, so every shard sees all minima;
-/// 2. compute the window (identically on every shard), barrier, so no
-///    shard can republish its minimum for the *next* window while a
-///    peer is still reading this one's;
-/// 3. drain the window, barrier, then merge inbound channels — the
-///    barrier orders every producer's channel pushes before every
-///    consumer's drain.
+/// 2. compute the window bounds (identically on every shard), barrier,
+///    so no shard can republish its minimum for the *next* window while
+///    a peer is still reading this one's;
+/// 3. drain the window, flush, speculate, barrier, then merge inbound
+///    channels — the barrier orders every producer's channel pushes
+///    before every consumer's drain, and speculation touches only
+///    shard-local state, so it overlaps peers' drains for free.
 #[allow(clippy::too_many_arguments)]
-fn worker<W: ShardWorld>(
+fn worker<W: ShardWorld, P: SpecPolicy<W>>(
     s: usize,
-    n: usize,
     slot: &mut ShardSlot<W>,
-    lookahead: SimDuration,
+    sh: &Shared<'_, W>,
     horizon: Option<SimTime>,
-    channels: &[ShardChannel<Remote<W::Event>>],
     mins: &[AtomicU64],
     barrier: &Barrier,
     windows: &AtomicU64,
     horizon_hit: &AtomicBool,
 ) {
+    let mut local_mins = vec![u64::MAX; sh.n];
     loop {
-        let local_min = slot.queue.peek_time().map_or(u64::MAX, |t| t.0);
+        let local_min = published_min(slot);
         // Release/Acquire pairs the min publication with its reads: every
         // shard's window computation observes every peer's freshly stored
         // minimum, independent of what ordering the barrier implementation
@@ -464,8 +1041,11 @@ fn worker<W: ShardWorld>(
         // conservative window and violate lookahead.
         mins[s].store(local_min, Ordering::Release);
         barrier.wait();
-        let gmin = mins.iter().map(|m| m.load(Ordering::Acquire)).min().expect("n >= 1");
+        for (lm, m) in local_mins.iter_mut().zip(mins.iter()) {
+            *lm = m.load(Ordering::Acquire);
+        }
         barrier.wait();
+        let gmin = *local_mins.iter().min().expect("n >= 1");
         if gmin == u64::MAX {
             break;
         }
@@ -478,10 +1058,15 @@ fn worker<W: ShardWorld>(
         if s == 0 {
             windows.fetch_add(1, Ordering::Relaxed);
         }
-        let wend = gmin.saturating_add(lookahead.0);
-        drain_window(slot, s, n, lookahead, wend, channels);
+        let wend = sh.la.window_end(&local_mins, s);
+        drain_window(slot, s, sh, wend);
+        flush_outbufs(slot, s, sh);
+        if P::ENABLED {
+            let bound = sh.la.commit_bound(&local_mins, s);
+            speculate::<W, P>(slot, s, sh, bound);
+        }
         barrier.wait();
-        merge_inbox(slot, s, n, channels);
+        merge_inbox::<W, P>(slot, s, sh);
     }
 }
 
@@ -493,6 +1078,7 @@ mod tests {
     /// `hops` times, one hop per lookahead-multiple. Rank state is the
     /// hop count; keys are rank-derived, so any shard count must
     /// produce the identical trace.
+    #[derive(Clone)]
     struct PingWorld {
         part: Partition,
         base: u32,
@@ -501,7 +1087,7 @@ mod tests {
         log: Vec<(u64, u32)>,
     }
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Token {
         rank: u32,
         hops_left: u32,
@@ -538,9 +1124,8 @@ mod tests {
         }
     }
 
-    fn run_ping(hosts: u32, nshards: u32, parallel: bool) -> (ShardRunStats, Vec<(u64, u32)>) {
-        let part = Partition::block(hosts, nshards);
-        let worlds: Vec<PingWorld> = (0..part.nshards)
+    fn ping_worlds(part: Partition) -> Vec<PingWorld> {
+        (0..part.nshards)
             .map(|sh| {
                 let ranks = part.ranks_of(sh);
                 PingWorld {
@@ -550,8 +1135,10 @@ mod tests {
                     log: Vec::new(),
                 }
             })
-            .collect();
-        let mut sim = ShardSim::new(worlds, SimDuration(100));
+            .collect()
+    }
+
+    fn seed_ping(sim: &mut ShardSim<PingWorld>, part: Partition, hosts: u32, hops: u32) {
         for r in 0..hosts {
             sim.schedule(
                 part.shard_of(r),
@@ -559,12 +1146,58 @@ mod tests {
                 (r as u64) << 32,
                 Token {
                     rank: r,
-                    hops_left: 40,
+                    hops_left: hops,
                 },
             );
         }
-        let stats = sim.run(parallel, None);
+    }
+
+    fn run_ping(
+        hosts: u32,
+        nshards: u32,
+        parallel: bool,
+        spec: bool,
+    ) -> (ShardRunStats, Vec<(u64, u32)>) {
+        let part = Partition::block(hosts, nshards);
+        let mut sim = ShardSim::uniform(ping_worlds(part), SimDuration(100));
+        seed_ping(&mut sim, part, hosts, 40);
+        let stats = if spec {
+            sim.run_spec(parallel, None)
+        } else {
+            sim.run(parallel, None)
+        };
         // Merge per-shard logs into one global trace ordered by (time, rank).
+        let mut log: Vec<(u64, u32)> = sim.worlds().flat_map(|w| w.log.iter().copied()).collect();
+        log.sort_unstable();
+        (stats, log)
+    }
+
+    /// Like [`run_ping`] but with only two tokens on the 8-rank ring —
+    /// one per shard at 2 shards, so cross-shard hops happen 1 window
+    /// in 4 instead of every window. The sparse traffic is what lets
+    /// speculative windows commit (the full ring stragglers every
+    /// single merge by construction).
+    fn run_two_tokens(
+        hops: u32,
+        parallel: bool,
+        spec: bool,
+    ) -> (ShardRunStats, Vec<(u64, u32)>) {
+        let hosts = 8;
+        let part = Partition::block(hosts, 2);
+        let mut sim = ShardSim::uniform(ping_worlds(part), SimDuration(100));
+        for r in [0, hosts / 2] {
+            sim.schedule(
+                part.shard_of(r),
+                SimTime(r as u64),
+                (r as u64) << 32,
+                Token { rank: r, hops_left: hops },
+            );
+        }
+        let stats = if spec {
+            sim.run_spec(parallel, None)
+        } else {
+            sim.run(parallel, None)
+        };
         let mut log: Vec<(u64, u32)> = sim.worlds().flat_map(|w| w.log.iter().copied()).collect();
         log.sort_unstable();
         (stats, log)
@@ -590,22 +1223,282 @@ mod tests {
     }
 
     #[test]
+    fn lookahead_window_math() {
+        // 3 shards; la[src][dst] asymmetric. Direct edges are always
+        // the cheapest path here, so off-diagonal closure == edges;
+        // the diagonal picks up the cheapest round trip.
+        let la = Lookahead::from_fn(3, |src, dst| SimDuration(100 * (src as u64 + 1) + dst as u64));
+        assert_eq!(la.dist(1, 0), 200);
+        assert_eq!(la.dist(0, 0), 301); // 0 -> 1 -> 0 = 101 + 200
+        assert_eq!(la.dist(2, 2), 402); // 2 -> 0 -> 2 = 300 + 102
+        // mins: shard 0 at 1000, shard 1 at 2000, shard 2 empty.
+        let mins = [1000u64, 2000, u64::MAX];
+        // wend_0 = min(m0 + rt_0, m1 + la[1][0], m2 + la[2][0])
+        //        = min(1000+301, 2000+200, MAX) = 1301
+        assert_eq!(la.window_end(&mins, 0), 1301);
+        // wend_1 = min(1000+101, 2000+301, MAX) = 1101
+        assert_eq!(la.window_end(&mins, 1), 1101);
+        // wend_2 = min(1000+102, 2000+202, MAX) = 1102
+        assert_eq!(la.window_end(&mins, 2), 1102);
+        // bound_0 = min(wend_0 + rt_0, wend_1 + la[1][0], wend_2 + la[2][0])
+        //         = min(1301+301, 1101+200, 1102+300) = 1301
+        assert_eq!(la.commit_bound(&mins, 0), 1301);
+        // With every peer idle, a shard's own pending work still bounds
+        // its window through the cheapest round trip — the single-edge
+        // formula returned MAX here and drained events its own
+        // in-flight sends were about to invalidate.
+        let solo = [1000u64, u64::MAX, u64::MAX];
+        assert_eq!(la.window_end(&solo, 0), 1301);
+        // An empty system never schedules a window.
+        let empty = [u64::MAX, u64::MAX, u64::MAX];
+        assert_eq!(la.window_end(&empty, 0), u64::MAX);
+        // Uniform matrix minimum is the construction value at any n.
+        assert_eq!(Lookahead::uniform(1, SimDuration(7)).min(), 7);
+        assert_eq!(Lookahead::uniform(4, SimDuration(7)).min(), 7);
+    }
+
+    #[test]
     fn shard_counts_produce_identical_traces() {
-        let (base_stats, base_log) = run_ping(8, 1, false);
+        let (base_stats, base_log) = run_ping(8, 1, false, false);
         assert_eq!(base_stats.events_dispatched, 8 * 41);
         for nshards in [2u32, 4] {
             for parallel in [false, true] {
-                let (stats, log) = run_ping(8, nshards, parallel);
-                assert_eq!(log, base_log, "nshards={nshards} parallel={parallel}");
-                assert_eq!(stats.events_dispatched, base_stats.events_dispatched);
-                assert_eq!(stats.end_time, base_stats.end_time);
+                for spec in [false, true] {
+                    let (stats, log) = run_ping(8, nshards, parallel, spec);
+                    assert_eq!(log, base_log, "nshards={nshards} parallel={parallel} spec={spec}");
+                    assert_eq!(stats.events_dispatched, base_stats.events_dispatched);
+                    assert_eq!(stats.end_time, base_stats.end_time);
+                }
             }
         }
     }
 
     #[test]
+    fn speculation_commits_and_is_jobs_invariant() {
+        // Two tokens on the 8-rank ring make cross-shard traffic sparse
+        // (1 hop in 4 crosses a boundary), so speculative windows must
+        // commit, and the spec stats themselves (decided by published
+        // minima and inbox sets, never thread timing) must agree between
+        // serial and threaded runs.
+        let (serial, log_serial) = run_two_tokens(40, false, true);
+        let (threaded, log_threaded) = run_two_tokens(40, true, true);
+        assert!(serial.spec_commits > 0, "expected committed speculation");
+        assert!(serial.spec_events_committed > 0);
+        assert_eq!(serial.spec_commits, threaded.spec_commits);
+        assert_eq!(serial.spec_rollbacks, threaded.spec_rollbacks);
+        assert_eq!(serial.spec_events_committed, threaded.spec_events_committed);
+        assert_eq!(serial.windows, threaded.windows);
+        assert_eq!(log_serial, log_threaded);
+        // Speculation commits whole conservative windows early, so the
+        // windowed run count must strictly drop vs the conservative run.
+        let (conservative, cons_log) = run_two_tokens(40, false, false);
+        assert_eq!(log_serial, cons_log, "speculation must be transparent");
+        assert_eq!(serial.events_dispatched, conservative.events_dispatched);
+        assert!(
+            serial.windows < conservative.windows,
+            "speculation should reduce windows: spec={} conservative={}",
+            serial.windows,
+            conservative.windows
+        );
+    }
+
+    /// Two chains engineered so a speculative window meets a straggler:
+    /// rank 0 (shard 0) ticks at t=100,200,... and fires a remote
+    /// notification at `tick+100` into shard 1; rank 1 (shard 1) ticks
+    /// at t=150,250,... — shard 1's speculative execution of its
+    /// t=250 tick is invalidated by shard 0's t=200 notification
+    /// arriving in the same merge.
+    #[derive(Clone)]
+    struct StragglerWorld {
+        part: Partition,
+        base: u32,
+        /// (ticks remaining, send seq) per local rank.
+        ranks: Vec<(u32, u64)>,
+        log: Vec<(u64, u64, u8)>,
+    }
+
+    #[derive(Clone, Debug)]
+    enum SEv {
+        Tick { rank: u32 },
+        Note { rank: u32 },
+    }
+
+    impl ShardWorld for StragglerWorld {
+        type Event = SEv;
+        fn handle(&mut self, ctx: &mut ShardCtx<'_, SEv>, ev: SEv) {
+            match ev {
+                SEv::Tick { rank } => {
+                    let st = &mut self.ranks[(rank - self.base) as usize];
+                    st.0 -= 1;
+                    st.1 += 1;
+                    let key = ((rank as u64) << 32) | st.1;
+                    self.log.push((ctx.now().0, key, 0));
+                    let remaining = st.0;
+                    if remaining > 0 {
+                        ctx.at(SimTime(ctx.now().0 + 100), key, SEv::Tick { rank });
+                    }
+                    if rank == 0 {
+                        // Cross-shard straggler: lands exactly at the
+                        // receiving shard's next window edge.
+                        let st = &mut self.ranks[(rank - self.base) as usize];
+                        st.1 += 1;
+                        let nkey = ((rank as u64) << 32) | st.1;
+                        ctx.send(
+                            self.part.shard_of(1),
+                            SimTime(ctx.now().0 + 100),
+                            nkey,
+                            SEv::Note { rank: 1 },
+                        );
+                    }
+                }
+                SEv::Note { rank } => {
+                    self.log.push((ctx.now().0, (rank as u64) << 48, 1));
+                }
+            }
+        }
+    }
+
+    fn run_straggler(nshards: u32, parallel: bool, spec: bool) -> (ShardRunStats, Vec<(u64, u64, u8)>) {
+        let part = Partition::block(2, nshards);
+        let worlds: Vec<StragglerWorld> = (0..part.nshards)
+            .map(|sh| {
+                let ranks = part.ranks_of(sh);
+                StragglerWorld {
+                    part,
+                    base: ranks.start,
+                    ranks: ranks.map(|_| (10, 0)).collect(),
+                    log: Vec::new(),
+                }
+            })
+            .collect();
+        let mut sim = ShardSim::uniform(worlds, SimDuration(100));
+        sim.schedule(part.shard_of(0), SimTime(100), 0, SEv::Tick { rank: 0 });
+        sim.schedule(part.shard_of(1), SimTime(150), 1 << 32, SEv::Tick { rank: 1 });
+        let stats = if spec {
+            sim.run_spec(parallel, None)
+        } else {
+            sim.run(parallel, None)
+        };
+        let mut log: Vec<(u64, u64, u8)> =
+            sim.worlds().flat_map(|w| w.log.iter().copied()).collect();
+        log.sort_unstable();
+        (stats, log)
+    }
+
+    #[test]
+    fn straggler_at_window_edge_rolls_back_and_stays_deterministic() {
+        let (stats, log) = run_straggler(2, false, true);
+        assert!(stats.spec_rollbacks > 0, "expected at least one rollback");
+        assert!(stats.spec_events_rolled_back > 0);
+        // Rolled-back work never counts as dispatched, and the final
+        // trace matches both the 1-shard run and the conservative run.
+        let (base_stats, base_log) = run_straggler(1, false, false);
+        assert_eq!(log, base_log);
+        assert_eq!(stats.events_dispatched, base_stats.events_dispatched);
+        assert_eq!(stats.end_time, base_stats.end_time);
+        let (cons_stats, cons_log) = run_straggler(2, false, false);
+        assert_eq!(log, cons_log);
+        assert_eq!(stats.events_dispatched, cons_stats.events_dispatched);
+        // And the threaded run agrees on the rollback accounting too.
+        let (threaded, tlog) = run_straggler(2, true, true);
+        assert_eq!(tlog, log);
+        assert_eq!(threaded.spec_rollbacks, stats.spec_rollbacks);
+        assert_eq!(threaded.spec_commits, stats.spec_commits);
+    }
+
+    /// A 2-rank exchange with asymmetric per-channel latency: rank 0
+    /// messages rank 1 with a 100-tick delay, rank 1 replies with a
+    /// 700-tick delay. The per-channel matrix lets shard 0 run 700-wide
+    /// windows where the old global minimum (100) would have forced
+    /// 7× as many.
+    #[derive(Clone)]
+    struct AsymWorld {
+        part: Partition,
+        seq: u64,
+        log: Vec<(u64, u32)>,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Ball {
+        rank: u32,
+        bounces_left: u32,
+    }
+
+    const A_TO_B: u64 = 100;
+    const B_TO_A: u64 = 700;
+
+    impl ShardWorld for AsymWorld {
+        type Event = Ball;
+        fn handle(&mut self, ctx: &mut ShardCtx<'_, Ball>, ev: Ball) {
+            self.log.push((ctx.now().0, ev.rank));
+            if ev.bounces_left == 0 {
+                return;
+            }
+            let (next, delay) = if ev.rank == 0 { (1, A_TO_B) } else { (0, B_TO_A) };
+            self.seq += 1;
+            let key = ((ev.rank as u64) << 32) | self.seq;
+            ctx.send(
+                self.part.shard_of(next),
+                SimTime(ctx.now().0 + delay),
+                key,
+                Ball {
+                    rank: next,
+                    bounces_left: ev.bounces_left - 1,
+                },
+            );
+        }
+    }
+
+    fn run_asym(nshards: u32, spec: bool) -> (ShardRunStats, Vec<(u64, u32)>) {
+        let part = Partition::block(2, nshards);
+        let la = if part.nshards == 1 {
+            Lookahead::uniform(1, SimDuration(A_TO_B))
+        } else {
+            Lookahead::from_fn(2, |src, _| {
+                SimDuration(if src == 0 { A_TO_B } else { B_TO_A })
+            })
+        };
+        let worlds: Vec<AsymWorld> = (0..part.nshards)
+            .map(|_| AsymWorld {
+                part,
+                seq: 0,
+                log: Vec::new(),
+            })
+            .collect();
+        let mut sim = ShardSim::new(worlds, la);
+        sim.schedule(part.shard_of(0), SimTime(0), 0, Ball { rank: 0, bounces_left: 30 });
+        let stats = if spec {
+            sim.run_spec(true, None)
+        } else {
+            sim.run(true, None)
+        };
+        let mut log: Vec<(u64, u32)> = sim.worlds().flat_map(|w| w.log.iter().copied()).collect();
+        log.sort_unstable();
+        (stats, log)
+    }
+
+    #[test]
+    fn per_channel_lookahead_widens_windows_without_changing_results() {
+        let (wide_stats, wide_log) = run_asym(2, false);
+        let (base_stats, base_log) = run_asym(1, false);
+        assert_eq!(wide_log, base_log);
+        assert_eq!(wide_stats.events_dispatched, base_stats.events_dispatched);
+        // Each 800-tick round trip costs at most 2 windows under the
+        // per-channel matrix; the old uniform-100 window would have
+        // needed ~8. Bound it loosely to stay robust.
+        assert!(
+            wide_stats.windows <= 2 * 31 + 4,
+            "windows should scale with per-channel latency, got {}",
+            wide_stats.windows
+        );
+        let (spec_stats, spec_log) = run_asym(2, true);
+        assert_eq!(spec_log, base_log);
+        assert_eq!(spec_stats.events_dispatched, base_stats.events_dispatched);
+    }
+
+    #[test]
     fn remote_events_counted_and_published() {
-        let (stats, _) = run_ping(8, 4, true);
+        let (stats, _) = run_ping(8, 4, true, false);
         // Hops from the last rank of one shard to the first of the next
         // cross a boundary; with 8 ranks on 4 shards half of all hops do.
         assert!(stats.remote_events > 0);
@@ -626,6 +1519,23 @@ mod tests {
         assert_eq!(
             obs.registry.counter_value("shard_windows_total", &[]),
             stats.windows
+        );
+    }
+
+    #[test]
+    fn spec_counters_published_when_speculating() {
+        let (stats, _) = run_two_tokens(40, false, true);
+        assert!(stats.spec_commits > 0);
+        let obs = Obs::new();
+        stats.publish(&obs);
+        assert_eq!(
+            obs.registry.counter_value("shard_spec_commits_total", &[]),
+            stats.spec_commits
+        );
+        assert_eq!(
+            obs.registry
+                .counter_value("shard_spec_events_committed_total", &[]),
+            stats.spec_events_committed
         );
     }
 
@@ -678,22 +1588,32 @@ mod tests {
     #[test]
     fn horizon_stops_windows() {
         let part = Partition::block(4, 2);
-        let worlds: Vec<PingWorld> = (0..2)
-            .map(|sh| {
-                let ranks = part.ranks_of(sh);
-                PingWorld {
-                    part,
-                    base: ranks.start,
-                    ranks: ranks.map(|_| (0, 0)).collect(),
-                    log: Vec::new(),
-                }
-            })
-            .collect();
-        let mut sim = ShardSim::new(worlds, SimDuration(100));
+        let worlds = ping_worlds(part);
+        let mut sim = ShardSim::uniform(worlds, SimDuration(100));
         sim.schedule(0, SimTime::ZERO, 0, Token { rank: 0, hops_left: 1000 });
         let stats = sim.run(true, Some(SimTime(500)));
         assert!(stats.horizon_reached);
         assert_eq!(stats.end_time, SimTime(500));
         assert!(stats.events_dispatched <= 7);
+    }
+
+    #[test]
+    fn horizon_is_event_granular() {
+        // Events land at 0,100,...; horizon 500 admits exactly t <= 500
+        // (six events), never a "same window but past the horizon"
+        // straggler — and the identical count with speculation on.
+        for spec in [false, true] {
+            let part = Partition::block(4, 2);
+            let worlds = ping_worlds(part);
+            let mut sim = ShardSim::uniform(worlds, SimDuration(100));
+            sim.schedule(0, SimTime::ZERO, 0, Token { rank: 0, hops_left: 1000 });
+            let stats = if spec {
+                sim.run_spec(true, Some(SimTime(500)))
+            } else {
+                sim.run(true, Some(SimTime(500)))
+            };
+            assert_eq!(stats.events_dispatched, 6, "spec={spec}");
+            assert!(stats.horizon_reached);
+        }
     }
 }

@@ -39,6 +39,8 @@ fn nic_attribution_regression_spec() -> WorkloadSpec {
         coll_bytes: 64,
         circuit_ops: 8,
         circuit_capacity: 2,
+        spec_tokens: 1,
+        spec_hops: 8,
     }
 }
 
@@ -162,6 +164,8 @@ fn lifecycle_occupied_recovery_regression() {
         coll_bytes: 1024,
         circuit_ops: 8,
         circuit_capacity: 1,
+        spec_tokens: 2,
+        spec_hops: 16,
     };
     let v = ledger::lifecycle_conservation(&spec);
     assert!(v.is_empty(), "violations: {v:?}");
@@ -219,6 +223,20 @@ fn circuit_conservation_pinned_seeds() {
     for base in 0..6u64 {
         let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(base, 5));
         let v = ledger::circuit_conservation(&spec);
+        assert!(v.is_empty(), "base {base}: {v:?}");
+    }
+}
+
+/// Speculation transparency over pinned seeds: the collective engine
+/// with speculative windows enabled, and a token workload injecting
+/// stragglers exactly at window edges, must both be bit-identical to
+/// conservative execution at every shard count, with event-conservation
+/// ledgers intact.
+#[test]
+fn rollback_oracle_pinned_seeds() {
+    for base in 0..4u64 {
+        let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(base, 6));
+        let v = oracle::rollback_oracle(&spec);
         assert!(v.is_empty(), "base {base}: {v:?}");
     }
 }

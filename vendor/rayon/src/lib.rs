@@ -4,11 +4,21 @@
 //! workspace vendors the narrow slice of the `rayon` API it uses:
 //! `ThreadPoolBuilder`/`ThreadPool::install`, `join`, and indexed
 //! parallel iterators over owned `Vec`s, slices, and `usize` ranges
-//! with `map`/`for_each`/`collect`. Everything runs on scoped
-//! `std::thread` workers pulling indices from one atomic counter, and
-//! results are written into index-addressed slots — so the output
-//! order is the input order regardless of which worker ran which item,
-//! exactly the guarantee real rayon's indexed iterators give.
+//! with `map`/`for_each`/`collect`. Results are written into
+//! index-addressed slots, so the output order is the input order
+//! regardless of which worker ran which item — exactly the guarantee
+//! real rayon's indexed iterators give.
+//!
+//! Worker threads are **persistent**: a [`ThreadPool`] spawns its
+//! workers once at `build()` and parks them between parallel
+//! operations, so a sweep that runs hundreds of short points through
+//! `install` pays the thread-spawn cost once, not per point. (The
+//! first shim generation spawned scoped threads per operation; on
+//! two-job sweeps of sub-millisecond simulations the spawn/join cost
+//! exceeded the parallel win and produced a 0.76× "speedup".) Code
+//! that calls the parallel iterators with *no* installed pool still
+//! works — it falls back to scoped one-shot threads sized by
+//! `available_parallelism`.
 //!
 //! Two deliberate simplifications, both semantics-preserving for the
 //! sweep workloads this crate serves:
@@ -18,16 +28,18 @@
 //! * `join(a, b)` runs its closures sequentially on the caller.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 // ---------------------------------------------------------------------
 // Thread-pool surface
 // ---------------------------------------------------------------------
 
-// Worker count `install` pins for the duration of a closure; 0 means
-// "no pool installed, use the machine default".
+// Pool `install` pins for the duration of a closure: the worker count
+// (0 = "no pool installed, use the machine default") and, when the
+// pool has persistent workers, a handle to them.
 thread_local! {
-    static CURRENT_POOL: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    static CURRENT_POOL: std::cell::RefCell<(usize, Option<Arc<PoolInner>>)> =
+        const { std::cell::RefCell::new((0, None)) };
 }
 
 fn default_threads() -> usize {
@@ -36,7 +48,7 @@ fn default_threads() -> usize {
 
 /// Threads a parallel operation started on this thread will use.
 pub fn current_num_threads() -> usize {
-    let pinned = CURRENT_POOL.with(|c| c.get());
+    let pinned = CURRENT_POOL.with(|c| c.borrow().0);
     if pinned == 0 {
         default_threads()
     } else {
@@ -77,17 +89,29 @@ impl ThreadPoolBuilder {
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { threads })
+        // One worker per thread beyond the caller: `run` executes the
+        // task on the submitting thread too, so a 2-thread pool is the
+        // caller plus one parked worker.
+        let inner = if threads > 1 {
+            Some(PoolInner::spawn(threads - 1))
+        } else {
+            None
+        };
+        Ok(ThreadPool { threads, inner })
     }
 }
 
-/// A sized pool. Workers are not persistent: each parallel operation
-/// spawns scoped threads, which keeps the shim free of global state and
-/// shutdown ordering concerns at a per-op cost that is noise next to
-/// the simulation workloads it runs.
-#[derive(Debug)]
+/// A sized pool of persistent, parked worker threads (plus the
+/// submitting thread, which always participates in each operation).
 pub struct ThreadPool {
     threads: usize,
+    inner: Option<Arc<PoolInner>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
 }
 
 impl ThreadPool {
@@ -95,17 +119,155 @@ impl ThreadPool {
         self.threads
     }
 
-    /// Run `op` with this pool's thread count pinned for any parallel
-    /// iterators it creates.
+    /// Run `op` with this pool pinned for any parallel iterators it
+    /// creates.
     pub fn install<R, F>(&self, op: F) -> R
     where
         F: FnOnce() -> R + Send,
         R: Send,
     {
-        let prev = CURRENT_POOL.with(|c| c.replace(self.threads));
+        let prev = CURRENT_POOL
+            .with(|c| c.replace((self.threads, self.inner.clone())));
         let out = op();
-        CURRENT_POOL.with(|c| c.set(prev));
+        CURRENT_POOL.with(|c| {
+            *c.borrow_mut() = prev;
+        });
         out
+    }
+}
+
+/// Type-erased reference to the current operation's task closure. The
+/// pointer is only dereferenced between job publication and the
+/// completion handshake in [`PoolInner::run`], which outlives neither
+/// the closure nor its borrows.
+#[derive(Clone, Copy)]
+struct JobRef(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (asserted at construction in `run`) and
+// `run` keeps it alive until every worker has finished with it.
+unsafe impl Send for JobRef {}
+
+struct PoolState {
+    /// Current job, `None` between operations.
+    job: Option<JobRef>,
+    /// Bumped once per published job so each worker runs it exactly once.
+    epoch: u64,
+    /// Workers still executing the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+/// The persistent-worker core: a one-slot job queue guarded by a mutex,
+/// one condvar to wake parked workers and one to wake the submitter.
+struct PoolInner {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    workers: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Serializes operations: the one-slot job queue admits a single
+    /// operation at a time. A contender that cannot take the lock
+    /// (another thread's sweep, or a nested parallel op on the
+    /// submitting thread) runs its task inline instead of deadlocking.
+    op_lock: Mutex<()>,
+}
+
+impl PoolInner {
+    fn spawn(workers: usize) -> Arc<Self> {
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState { job: None, epoch: 0, active: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            workers,
+            handles: Mutex::new(Vec::with_capacity(workers)),
+            op_lock: Mutex::new(()),
+        });
+        let mut handles = inner.handles.lock().unwrap();
+        for _ in 0..workers {
+            let me = Arc::clone(&inner);
+            handles.push(std::thread::spawn(move || me.worker_loop()));
+        }
+        drop(handles);
+        inner
+    }
+
+    fn worker_loop(&self) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch != seen_epoch {
+                        if let Some(job) = st.job {
+                            seen_epoch = st.epoch;
+                            break job;
+                        }
+                    }
+                    st = self.work_cv.wait(st).unwrap();
+                }
+            };
+            // SAFETY: `run` holds the closure alive until `active`
+            // returns to zero, which happens strictly after this call.
+            (unsafe { &*job.0 })();
+            let mut st = self.state.lock().unwrap();
+            st.active -= 1;
+            if st.active == 0 {
+                st.job = None;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Publish `task` to every worker, run it on the calling thread
+    /// too, and return once all workers have finished it. `task` is the
+    /// shared index-pulling loop, so "run on everyone" is how items get
+    /// distributed, not duplicated.
+    fn run(&self, task: &(dyn Fn() + Sync)) {
+        let Ok(_op) = self.op_lock.try_lock() else {
+            // Pool busy with another operation: the index-claiming task
+            // is complete on its own, just not parallel.
+            task();
+            return;
+        };
+        // SAFETY (lifetime erasure): workers only touch the pointer
+        // inside this call — publication happens below, and this
+        // function does not return until `active == 0` again.
+        let job = JobRef(unsafe {
+            std::mem::transmute::<*const (dyn Fn() + Sync + '_), *const (dyn Fn() + Sync + 'static)>(
+                task as *const (dyn Fn() + Sync),
+            )
+        });
+        {
+            let mut st = self.state.lock().unwrap();
+            debug_assert!(st.job.is_none(), "one operation at a time per pool");
+            st.job = Some(job);
+            st.epoch += 1;
+            st.active = self.workers;
+            self.work_cv.notify_all();
+        }
+        task();
+        let mut st = self.state.lock().unwrap();
+        while st.active != 0 {
+            st = self.done_cv.wait(st).unwrap();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        {
+            let mut st = inner.state.lock().unwrap();
+            st.shutdown = true;
+            inner.work_cv.notify_all();
+        }
+        let handles = std::mem::take(&mut *inner.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
     }
 }
 
@@ -135,26 +297,36 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = current_num_threads().min(n).max(1);
+    let (pinned, inner) = CURRENT_POOL.with(|c| c.borrow().clone());
+    let threads = (if pinned == 0 { default_threads() } else { pinned }).min(n).max(1);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+    let task = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let item = slots[i].lock().unwrap().take().expect("each slot claimed once");
+        let r = f(item);
+        *out[i].lock().unwrap() = Some(r);
+    };
+    match inner {
+        // Persistent workers: publish the claiming loop, no spawns.
+        Some(pool) => pool.run(&task),
+        // No installed pool (bare par_iter use): scoped one-shot threads.
+        None => {
+            std::thread::scope(|scope| {
+                for _ in 0..threads - 1 {
+                    scope.spawn(task);
                 }
-                let item = slots[i].lock().unwrap().take().expect("each slot claimed once");
-                let r = f(item);
-                *out[i].lock().unwrap() = Some(r);
+                task();
             });
         }
-    });
+    }
     out.into_iter()
         .map(|m| m.into_inner().unwrap().expect("every slot filled"))
         .collect()
@@ -297,5 +469,44 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let out: Vec<usize> = pool.install(|| (0..10usize).into_par_iter().map(|i| i + 1).collect());
         assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_reuse_spawns_no_new_threads() {
+        // Many operations through one pool must reuse its parked
+        // workers: every op sees the same worker-thread ids.
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let ids: StdMutex<HashSet<std::thread::ThreadId>> = StdMutex::new(HashSet::new());
+        for _ in 0..50 {
+            pool.install(|| {
+                (0..32usize).into_par_iter().for_each(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                });
+            });
+        }
+        // 3 persistent workers + the submitting thread at most.
+        assert!(ids.lock().unwrap().len() <= 4, "workers must persist across ops");
+    }
+
+    #[test]
+    fn pool_survives_many_small_ops() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        for round in 0..200usize {
+            let out: Vec<usize> =
+                pool.install(|| (0..8usize).into_par_iter().map(|i| i + round).collect());
+            assert_eq!(out, (0..8).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        for _ in 0..20 {
+            let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+            let s: u64 = pool.install(|| (0..100u32).into_par_iter().map(u64::from).sum());
+            assert_eq!(s, 4950);
+            drop(pool);
+        }
     }
 }

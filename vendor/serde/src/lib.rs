@@ -69,6 +69,22 @@ pub mod value {
             }
         }
 
+        /// Like [`field`], but a missing key is `Ok(None)` rather than
+        /// an error — the lookup for `#[serde(default)]` fields.
+        ///
+        /// [`field`]: Value::field
+        pub fn field_opt(&self, name: &str) -> Result<Option<&Value>, DeError> {
+            match self {
+                Value::Object(fields) => {
+                    Ok(fields.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+                }
+                other => Err(DeError(format!(
+                    "expected object with field `{name}`, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
         pub fn kind(&self) -> &'static str {
             match self {
                 Value::Null => "null",

@@ -7,17 +7,22 @@
 //! - structs with named fields,
 //! - enums with unit variants, tuple variants, and struct variants.
 //!
-//! Not supported (compile error): generics, tuple/unit structs, unions,
-//! and `#[serde(...)]` attributes.
+//! Supported `#[serde(...)]` attributes: `default` and
+//! `default = "path"` on named struct fields (a missing field
+//! deserializes via `Default::default()` or `path()`); everything else
+//! in a `#[serde(...)]` list is ignored rather than rejected.
+//!
+//! Not supported (compile error): generics, tuple/unit structs, and
+//! unions.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Deserialize)
 }
@@ -29,8 +34,16 @@ enum Mode {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<FieldSpec> },
     Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One named struct field plus its `#[serde(default...)]` handling:
+/// `None` = required, `Some(None)` = `Default::default()`,
+/// `Some(Some(path))` = call `path()`.
+struct FieldSpec {
+    name: String,
+    default: Option<Option<String>>,
 }
 
 struct Variant {
@@ -122,19 +135,55 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
 }
 
+/// If `attr` is the bracket group of a `#[serde(...)]` attribute,
+/// extract the `default` / `default = "path"` spec it carries.
+fn serde_default_of(attr: &TokenStream) -> Option<Option<String>> {
+    let mut toks = attr.clone().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = toks.next() else { return None };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tok) = args.next() {
+        let TokenTree::Ident(id) = tok else { continue };
+        if id.to_string() != "default" {
+            continue;
+        }
+        match args.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                args.next();
+                if let Some(TokenTree::Literal(lit)) = args.next() {
+                    let path = lit.to_string();
+                    return Some(Some(path.trim_matches('"').to_string()));
+                }
+                return Some(None);
+            }
+            _ => return Some(None),
+        }
+    }
+    None
+}
+
 /// Split a brace-group body into the field names of a named-field list.
 /// Types are skipped token-wise (angle-bracket depth tracked so commas
 /// inside `Foo<A, B>` don't split fields).
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(body: TokenStream) -> Result<Vec<FieldSpec>, String> {
     let mut fields = Vec::new();
     let mut toks = body.into_iter().peekable();
     loop {
-        // Skip attributes (incl. doc comments) and visibility.
+        // Skip attributes (incl. doc comments) and visibility, keeping
+        // any `#[serde(default...)]` spec for the field that follows.
+        let mut default = None;
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
-                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        if let Some(d) = serde_default_of(&g.stream()) {
+                            default = Some(d);
+                        }
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     toks.next();
@@ -151,7 +200,8 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         let TokenTree::Ident(field) = tok else {
             return Err(format!("serde shim derive: expected field name, got {tok:?}"));
         };
-        fields.push(field.to_string());
+        fields.push(FieldSpec { name: field.to_string(), default });
+        let field = fields.last().expect("just pushed").name.clone();
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => {
@@ -199,7 +249,11 @@ fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
                 VariantShape::Tuple(arity)
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                let fields = parse_named_fields(g.stream())?;
+                // Struct variants keep names only (no default support).
+                let fields = parse_named_fields(g.stream())?
+                    .into_iter()
+                    .map(|f| f.name)
+                    .collect();
                 toks.next();
                 VariantShape::Struct(fields)
             }
@@ -257,9 +311,10 @@ fn count_top_level_fields(body: TokenStream) -> usize {
 // Code generation
 // ---------------------------------------------------------------------
 
-fn gen_struct_ser(name: &str, fields: &[String]) -> String {
+fn gen_struct_ser(name: &str, fields: &[FieldSpec]) -> String {
     let mut entries = String::new();
     for f in fields {
+        let f = &f.name;
         entries.push_str(&format!(
             "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
         ));
@@ -273,12 +328,27 @@ fn gen_struct_ser(name: &str, fields: &[String]) -> String {
     )
 }
 
-fn gen_struct_de(name: &str, fields: &[String]) -> String {
+fn gen_struct_de(name: &str, fields: &[FieldSpec]) -> String {
     let mut inits = String::new();
-    for f in fields {
-        inits.push_str(&format!(
-            "{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"
-        ));
+    for spec in fields {
+        let f = &spec.name;
+        match &spec.default {
+            None => inits.push_str(&format!(
+                "{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"
+            )),
+            Some(d) => {
+                let fallback = match d {
+                    None => "::std::default::Default::default()".to_string(),
+                    Some(path) => format!("{path}()"),
+                };
+                inits.push_str(&format!(
+                    "{f}: match v.field_opt({f:?})? {{\n\
+                         ::std::option::Option::Some(val) => ::serde::Deserialize::from_value(val)?,\n\
+                         ::std::option::Option::None => {fallback},\n\
+                     }},"
+                ));
+            }
+        }
     }
     format!(
         "impl ::serde::Deserialize for {name} {{\n\
