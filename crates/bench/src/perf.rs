@@ -239,6 +239,53 @@ pub struct TopoReport {
     pub routes_per_sec: f64,
 }
 
+/// The serving plane under load: the content-addressed cache, the
+/// checkpoint/restore engine contract, and incremental re-simulation,
+/// measured the way a deployment would feel them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Size of the spec space the sweep and the Zipf population draw
+    /// from.
+    pub distinct_specs: u64,
+    /// Requests the open-loop client population issued.
+    pub requests: u64,
+    /// Concurrent client threads.
+    pub clients: u64,
+    /// Full figure sweep against an empty cache (every point
+    /// simulates).
+    pub cold_sweep_wall_seconds: f64,
+    /// The same sweep repeated against the warm cache (every point is
+    /// a hit).
+    pub warm_sweep_wall_seconds: f64,
+    /// cold / warm — a same-machine ratio, gated >= 20x (the serving
+    /// tentpole acceptance criterion).
+    pub warm_vs_cold_speedup: f64,
+    /// The warm render is byte-identical to the cold one (a cache that
+    /// changes answers is worse than no cache). Always gated.
+    pub warm_tables_identical: bool,
+    /// Cache hit ratio over the Zipf drive, gated >= 0.9.
+    pub hit_ratio: f64,
+    /// Exact p99 service latency over the drive, nanoseconds
+    /// (normalized latency gate, wide band — scheduler tails are
+    /// noisy even at a million samples).
+    pub p99_service_latency_ns: u64,
+    /// Open-loop saturation throughput, requests/sec (normalized wall
+    /// gate).
+    pub saturation_rps: f64,
+    /// Engine contract: a `ShardSim` checkpointed mid-run, pushed
+    /// through JSON, restored, and resumed matches the uninterrupted
+    /// run at 1/2/4 shards. Machine-independent, always gated.
+    pub snapshot_restore_identical: bool,
+    /// A point-mutated phased spec answered from the longest
+    /// unaffected prefix checkpoint matches the from-scratch answer.
+    /// Machine-independent, always gated.
+    pub incremental_identical: bool,
+    /// Fraction of simulation events the prefix restore skipped for
+    /// the mutated spec — deterministic event counts, so this gates
+    /// absolutely (>= 0.25) on any machine.
+    pub incremental_events_saved_ratio: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct History {
     /// Full `figures f3` wall on the pre-calendar binary-heap engine
@@ -257,6 +304,7 @@ pub struct PerfReport {
     pub f3_1024: F3Report,
     pub parallel: ParallelReport,
     pub topo: TopoReport,
+    pub serving: ServingReport,
     /// `None` when the binary did not install [`CountingAlloc`].
     pub allocs_per_message_eager: Option<f64>,
     pub history: History,
@@ -428,6 +476,11 @@ fn measure_parallel(samples: usize) -> ParallelReport {
     let sweep = job_counts
         .iter()
         .map(|&j| {
+            // Warm the persistent pool outside the timed region: the
+            // first use of a job count spawns its worker threads, and
+            // charging that to the measured wall is what held the
+            // 2-job point below break-even.
+            crate::sweep::warm_pool(j as usize);
             let wall = best_of(samples, || f3_1024_sweep(j as usize));
             // jobs=2 carries the sweep_parallel_floor gate (needs 2
             // cores), jobs=4 the 4-way speedup gate (needs 4).
@@ -508,6 +561,101 @@ fn measure_topo(samples: usize) -> TopoReport {
         build_allocs,
         topo_route_ns: best * 1e9 / TOPO_ROUTE_PAIRS as f64,
         routes_per_sec: TOPO_ROUTE_PAIRS as f64 / best,
+    }
+}
+
+/// Scales whose F3-style cells make up the serving spec space (big
+/// enough that a cold sweep is real engine work, small enough that the
+/// harness stays interactive).
+const SERVING_SCALES: [u32; 3] = [4, 16, 64];
+
+/// Requests the open-loop Zipf population issues.
+const SERVING_REQUESTS: u64 = 1_000_000;
+
+/// Concurrent client threads driving the server.
+const SERVING_CLIENTS: u32 = 4;
+
+fn measure_serving(samples: usize) -> ServingReport {
+    use polaris_serve::client::{drive, LoadConfig};
+    use polaris_serve::incremental::{run_cold, IncrementalRunner, PhaseCfg, PhasedSpec};
+    use polaris_serve::server::SweepServer;
+    use polaris_serve::spec::figure_specs;
+
+    let specs = figure_specs(&SERVING_SCALES);
+
+    // Cold vs warm figure sweep. A cold sweep needs an empty cache, so
+    // each cold sample gets a fresh server; the warm samples then
+    // repeat the sweep against the last server's full cache. The
+    // renders must also be byte-identical — a cache that changes
+    // answers is worse than no cache.
+    let mut cold = f64::INFINITY;
+    let mut warm = f64::INFINITY;
+    let mut identical = true;
+    for _ in 0..samples.max(1) {
+        let server = SweepServer::new(64 << 20, polaris_obs::Obs::new());
+        let t0 = Instant::now();
+        let cold_tables = server.run_figure(&SERVING_SCALES);
+        cold = cold.min(t0.elapsed().as_secs_f64());
+        for _ in 0..samples.max(1) {
+            let t0 = Instant::now();
+            let warm_tables = server.run_figure(&SERVING_SCALES);
+            warm = warm.min(t0.elapsed().as_secs_f64());
+            identical &= warm_tables == cold_tables;
+        }
+    }
+
+    // The million-request open-loop Zipf drive, on a fresh server so
+    // the measured hit ratio is earned under load, not pre-seeded.
+    let server = SweepServer::new(64 << 20, polaris_obs::Obs::new());
+    let load = drive(
+        &server,
+        &specs,
+        LoadConfig {
+            requests: SERVING_REQUESTS,
+            clients: SERVING_CLIENTS,
+            zipf_s: 1.0,
+            seed: 0x5e21_e011,
+        },
+    );
+
+    // Engine checkpoint contract + incremental re-simulation, both
+    // deterministic (event counts, not wall time).
+    let snapshot_ok = polaris_serve::incremental::snapshot_identity_check();
+    let runner = IncrementalRunner::new(polaris_obs::Obs::new());
+    let base_spec = PhasedSpec {
+        hosts: 12,
+        nshards: 2,
+        phase_len: 400,
+        phases: vec![
+            PhaseCfg { tokens: 6, hops: 40, stagger: 1 },
+            PhaseCfg { tokens: 4, hops: 60, stagger: 0 },
+            PhaseCfg { tokens: 8, hops: 25, stagger: 3 },
+            PhaseCfg { tokens: 5, hops: 45, stagger: 2 },
+        ],
+    };
+    runner.run(&base_spec);
+    let mut mutated = base_spec.clone();
+    mutated.phases[3].hops += 16;
+    let incremental = runner.run(&mutated);
+    let reference = run_cold(&mutated);
+    let incremental_ok = incremental.digest == reference.digest
+        && incremental.events_total == reference.events_total;
+    let saved = 1.0 - incremental.events_executed as f64 / incremental.events_total.max(1) as f64;
+
+    ServingReport {
+        distinct_specs: specs.len() as u64,
+        requests: load.requests,
+        clients: SERVING_CLIENTS as u64,
+        cold_sweep_wall_seconds: cold,
+        warm_sweep_wall_seconds: warm,
+        warm_vs_cold_speedup: cold / warm,
+        warm_tables_identical: identical,
+        hit_ratio: load.hit_ratio,
+        p99_service_latency_ns: load.p99_latency_ns,
+        saturation_rps: load.requests_per_sec,
+        snapshot_restore_identical: snapshot_ok,
+        incremental_identical: incremental_ok,
+        incremental_events_saved_ratio: saved,
     }
 }
 
@@ -610,6 +758,27 @@ const TOPO_BUILD_ALLOC_CAP: u64 = 4096;
 /// (spinning, convoying) without demanding real parallel hardware.
 const PARALLEL_FLOOR: f64 = 0.5;
 
+/// Serving tentpole: a warm-cache repeat of the full figure sweep must
+/// be at least this much faster than the cold sweep. A same-machine
+/// ratio, armed on any hardware.
+const MIN_WARM_SWEEP_SPEEDUP: f64 = 20.0;
+
+/// Required cache hit ratio over the million-request Zipf drive.
+/// Deterministic given the seed and spec space, so armed absolutely.
+const MIN_SERVING_HIT_RATIO: f64 = 0.9;
+
+/// Required fraction of events the incremental path skips for the
+/// tail-mutated reference spec. Event counts are deterministic, so
+/// this is machine-independent.
+const MIN_INCREMENTAL_SAVED: f64 = 0.25;
+
+/// Band for the normalized p99 service latency. Much wider than
+/// [`WALL_TOLERANCE`]: tail latency folds in scheduler jitter that the
+/// machine-speed normalizer cannot cancel, so only order-of-magnitude
+/// regressions (a hit path that starts simulating, a lock convoy)
+/// should trip it.
+const SERVING_P99_TOLERANCE: f64 = 3.0;
+
 pub fn measure(samples: usize) -> PerfReport {
     let obs = polaris_obs::Obs::new();
     let eventq = measure_eventq(samples);
@@ -618,6 +787,7 @@ pub fn measure(samples: usize) -> PerfReport {
     let f3 = measure_f3(samples.min(2));
     let parallel = measure_parallel(samples.min(2));
     let topo = measure_topo(samples);
+    let serving = measure_serving(samples.min(2));
     let allocs = measure_allocs_per_message();
     eprintln!(
         "[perf] obs exposition:\n{}",
@@ -628,12 +798,13 @@ pub fn measure(samples: usize) -> PerfReport {
             .join("\n")
     );
     PerfReport {
-        schema: "polaris-simwall/4".to_string(),
+        schema: "polaris-simwall/5".to_string(),
         eventq,
         engine,
         f3_1024: f3,
         parallel,
         topo,
+        serving,
         allocs_per_message_eager: allocs,
         history: History {
             f3_full_wall_seconds_heap_engine: 4.02,
@@ -764,6 +935,68 @@ pub fn check_gates(cur: &PerfReport, base: &PerfReport) -> Vec<String> {
             );
         }
     }
+    // Serving gates. The warm/cold speedup, hit ratio, and the two
+    // identity bits are same-machine ratios or deterministic facts, so
+    // they arm on any hardware; only the throughput/latency pair needs
+    // baseline normalization.
+    let s = &cur.serving;
+    gate(
+        "serving warm sweep >= 20x cold",
+        s.warm_vs_cold_speedup >= MIN_WARM_SWEEP_SPEEDUP,
+        format!(
+            "measured {:.1}x (cold {:.4}s, warm {:.6}s)",
+            s.warm_vs_cold_speedup, s.cold_sweep_wall_seconds, s.warm_sweep_wall_seconds
+        ),
+    );
+    gate(
+        "serving warm tables byte-identical",
+        s.warm_tables_identical,
+        "cold and warm figure renders must match".to_string(),
+    );
+    gate(
+        "serving zipf hit ratio >= 0.9",
+        s.hit_ratio >= MIN_SERVING_HIT_RATIO,
+        format!("measured {:.4} over {} requests", s.hit_ratio, s.requests),
+    );
+    gate(
+        "snapshot restore bit-identical (1/2/4 shards)",
+        s.snapshot_restore_identical,
+        "checkpoint -> JSON -> restore -> resume == uninterrupted".to_string(),
+    );
+    gate(
+        "incremental re-simulation identical",
+        s.incremental_identical,
+        "prefix-restored mutation == from-scratch".to_string(),
+    );
+    gate(
+        "incremental events saved >= 0.25",
+        s.incremental_events_saved_ratio >= MIN_INCREMENTAL_SAVED,
+        format!("saved ratio {:.3}", s.incremental_events_saved_ratio),
+    );
+    let rps_norm = s.saturation_rps / scale;
+    gate(
+        "serving saturation rps (normalized)",
+        rps_norm >= base.serving.saturation_rps / WALL_TOLERANCE,
+        format!(
+            "normalized {:.0}/s (raw {:.0}/s, machine scale {:.2}), floor {:.0}/s",
+            rps_norm,
+            s.saturation_rps,
+            scale,
+            base.serving.saturation_rps / WALL_TOLERANCE
+        ),
+    );
+    let p99_norm = s.p99_service_latency_ns as f64 * scale;
+    gate(
+        "serving p99 latency (normalized, wide band)",
+        p99_norm <= base.serving.p99_service_latency_ns as f64 * SERVING_P99_TOLERANCE,
+        format!(
+            "normalized {:.0}ns (raw {}ns), ceiling {:.0}ns",
+            p99_norm,
+            s.p99_service_latency_ns,
+            base.serving.p99_service_latency_ns as f64 * SERVING_P99_TOLERANCE
+        ),
+    );
+
     if p.available_cores >= 4 {
         if let Some(pt) = p.sweep.iter().find(|pt| pt.jobs == 4) {
             gate(
@@ -918,10 +1151,28 @@ mod tests {
         }
     }
 
+    fn mk_serving() -> ServingReport {
+        ServingReport {
+            distinct_specs: 30,
+            requests: 1_000_000,
+            clients: 4,
+            cold_sweep_wall_seconds: 0.2,
+            warm_sweep_wall_seconds: 0.0004,
+            warm_vs_cold_speedup: 500.0,
+            warm_tables_identical: true,
+            hit_ratio: 0.99997,
+            p99_service_latency_ns: 2_000,
+            saturation_rps: 800_000.0,
+            snapshot_restore_identical: true,
+            incremental_identical: true,
+            incremental_events_saved_ratio: 0.6,
+        }
+    }
+
     #[test]
     fn report_roundtrips_through_json() {
         let rep = PerfReport {
-            schema: "polaris-simwall/4".into(),
+            schema: "polaris-simwall/5".into(),
             eventq: EventqReport {
                 hold: 16384,
                 transactions: 131072,
@@ -941,6 +1192,7 @@ mod tests {
             },
             parallel: mk_parallel(4, 2.1),
             topo: mk_topo(),
+            serving: mk_serving(),
             allocs_per_message_eager: Some(0.0),
             history: History {
                 f3_full_wall_seconds_heap_engine: 3.715,
@@ -959,7 +1211,7 @@ mod tests {
     #[test]
     fn gates_pass_on_self_and_fail_on_regression() {
         let mk = |speedup: f64, wall: f64| PerfReport {
-            schema: "polaris-simwall/4".into(),
+            schema: "polaris-simwall/5".into(),
             eventq: EventqReport {
                 hold: 16384,
                 transactions: 131072,
@@ -979,6 +1231,7 @@ mod tests {
             },
             parallel: mk_parallel(4, 2.1),
             topo: mk_topo(),
+            serving: mk_serving(),
             allocs_per_message_eager: Some(0.0),
             history: History {
                 f3_full_wall_seconds_heap_engine: 3.715,
@@ -1043,7 +1296,7 @@ mod tests {
     #[test]
     fn require_cores_refuses_small_machines() {
         let mut rep = PerfReport {
-            schema: "polaris-simwall/4".into(),
+            schema: "polaris-simwall/5".into(),
             eventq: EventqReport {
                 hold: 16384,
                 transactions: 131072,
@@ -1063,6 +1316,7 @@ mod tests {
             },
             parallel: mk_parallel(1, 2.1),
             topo: mk_topo(),
+            serving: mk_serving(),
             allocs_per_message_eager: Some(0.0),
             history: History {
                 f3_full_wall_seconds_heap_engine: 3.715,

@@ -70,6 +70,7 @@ const AUDITS: &[Audit] = &[
     ("lifecycle-conservation", ledger::lifecycle_conservation),
     ("circuit-conservation", ledger::circuit_conservation),
     ("rollback-oracle", oracle::rollback_oracle),
+    ("snapshot-oracle", oracle::snapshot_oracle),
 ];
 
 /// Run every audit against one spec and collect the violations.

@@ -13,6 +13,9 @@
 //! * Raw vs reliable delivery under the same chaos plan — whatever the
 //!   raw channel happens to deliver, the reliable channel must deliver
 //!   a superset: all of it, exactly once, in order.
+//! * Interrupted vs uninterrupted execution — a run cut at an arbitrary
+//!   horizon, snapshotted, restored into a fresh engine, and resumed
+//!   must be bit-identical to one that never stopped.
 
 use crate::gen::WorkloadSpec;
 use crate::Violation;
@@ -23,8 +26,8 @@ use polaris_msg::prelude::{Endpoint, MatchSpec, MsgConfig, Protocol, Reliability
 use polaris_nic::prelude::{ChaosParams, Fabric};
 use polaris_simnet::event::{reference::HeapQueue, EventQueue};
 use polaris_simnet::prelude::{
-    Generation, Network, Partition, ShardCtx, ShardSim, ShardWorld, SimDuration, SimTime,
-    SplitMix64, Topology, TopologyKind,
+    Generation, Network, Partition, ShardCtx, ShardSim, ShardSnapshot, ShardWorld, SimDuration,
+    SimTime, SplitMix64, Topology, TopologyKind,
 };
 use std::time::{Duration, Instant};
 
@@ -599,5 +602,175 @@ pub fn rollback_oracle(spec: &WorkloadSpec) -> Vec<Violation> {
             }
         }
     }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Snapshot replay oracle
+// ---------------------------------------------------------------------
+
+/// Run the straggler workload with an interruption: execute to the
+/// `cut` horizon, snapshot, restore into a *fresh* engine, and resume
+/// to completion there. Returns the merged `(time, rank)` log and the
+/// total events dispatched across both halves.
+fn run_stragglers_split(
+    hosts: u32,
+    nshards: u32,
+    tokens: &[u32],
+    hops: u32,
+    speculate: bool,
+    cut: SimTime,
+) -> (Vec<(u64, u32)>, u64) {
+    let part = Partition::block(hosts, nshards);
+    let worlds: Vec<StragWorld> = (0..part.nshards)
+        .map(|sh| {
+            let ranks = part.ranks_of(sh);
+            StragWorld {
+                part,
+                base: ranks.start,
+                seqs: ranks.map(|_| 0).collect(),
+                log: Vec::new(),
+            }
+        })
+        .collect();
+    let mut sim = ShardSim::uniform(worlds, SimDuration(5));
+    for (i, &r) in tokens.iter().enumerate() {
+        sim.schedule(
+            part.shard_of(r),
+            SimTime(r as u64),
+            ((r as u64) << 32) | (i as u64) << 16,
+            StragToken { rank: r, hops_left: hops },
+        );
+    }
+    let first = if speculate {
+        sim.run_spec(false, Some(cut))
+    } else {
+        sim.run(false, Some(cut))
+    };
+    let snap = sim.snapshot();
+    drop(sim); // the restored engine must not lean on the original
+    let mut resumed = snap.restore();
+    let second = if speculate {
+        resumed.run_spec(false, None)
+    } else {
+        resumed.run(false, None)
+    };
+    let mut log: Vec<(u64, u32)> =
+        resumed.worlds().flat_map(|w| w.log.iter().copied()).collect();
+    log.sort_unstable();
+    (log, first.events_dispatched + second.events_dispatched)
+}
+
+/// Checkpoint/restore must be *invisible*: a run interrupted at an
+/// arbitrary horizon, snapshotted, restored into a fresh engine, and
+/// resumed must produce the bit-identical event log and event count of
+/// an uninterrupted conservative 1-shard run — at every shard count,
+/// with and without speculative windows, and regardless of where the
+/// cut lands (mid-window, with deferred cross-shard sends in flight).
+/// The snapshot itself must be reusable: two restores from the same
+/// snapshot resume to the same result.
+pub fn snapshot_oracle(spec: &WorkloadSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let inv = "snapshot-divergence";
+
+    let mut rng = SplitMix64::new(spec.seed ^ 0x736E_6170_5F63_7574); // "snap_cut"
+    let hosts = 5 + rng.next_below(8) as u32;
+    let ntokens = spec.spec_tokens.clamp(1, 4) as usize;
+    let hops = spec.spec_hops.clamp(1, 64);
+    let tokens: Vec<u32> = (0..ntokens)
+        .map(|_| rng.next_below(hosts as u64) as u32)
+        .collect();
+    let expected_events = tokens.len() as u64 * (hops as u64 + 1);
+
+    let (reference, ref_events) = run_stragglers(hosts, 1, &tokens, hops, false);
+    check!(
+        out,
+        ref_events == expected_events,
+        "snapshot-event-conservation",
+        "uninterrupted reference dispatched {ref_events} events, ledger expects {expected_events}"
+    );
+    let end = reference.last().map(|&(t, _)| t).unwrap_or(0).max(2);
+    // Two seed-derived cut points: one in the first half of virtual
+    // time (deferred sends still in flight), one in the second (most
+    // tokens retired, queues draining).
+    let cuts = [
+        SimTime(1 + rng.next_below(end / 2)),
+        SimTime(end / 2 + 1 + rng.next_below(end - end / 2)),
+    ];
+    for &cut in &cuts {
+        for nshards in [1u32, 2, 4] {
+            for speculate in [false, true] {
+                let (log, events) =
+                    run_stragglers_split(hosts, nshards, &tokens, hops, speculate, cut);
+                check!(
+                    out,
+                    log == reference,
+                    inv,
+                    "resumed run diverged at nshards={nshards} speculate={speculate} \
+                     cut={}: {} events vs {} (hosts={hosts} tokens={tokens:?} hops={hops})",
+                    cut.0,
+                    log.len(),
+                    reference.len()
+                );
+                check!(
+                    out,
+                    events == expected_events,
+                    "snapshot-event-conservation",
+                    "nshards={nshards} speculate={speculate} cut={}: dispatched {events} != \
+                     ledger {expected_events} — the cut double-counted or dropped events",
+                    cut.0
+                );
+                if !out.is_empty() {
+                    return out; // one divergence cascades; report the first
+                }
+            }
+        }
+    }
+
+    // A snapshot is a value, not a transfer of ownership: restoring it
+    // twice must yield the same resumed result both times.
+    let part = Partition::block(hosts, 2);
+    let worlds: Vec<StragWorld> = (0..part.nshards)
+        .map(|sh| {
+            let ranks = part.ranks_of(sh);
+            StragWorld {
+                part,
+                base: ranks.start,
+                seqs: ranks.map(|_| 0).collect(),
+                log: Vec::new(),
+            }
+        })
+        .collect();
+    let mut sim = ShardSim::uniform(worlds, SimDuration(5));
+    for (i, &r) in tokens.iter().enumerate() {
+        sim.schedule(
+            part.shard_of(r),
+            SimTime(r as u64),
+            ((r as u64) << 32) | (i as u64) << 16,
+            StragToken { rank: r, hops_left: hops },
+        );
+    }
+    sim.run(false, Some(cuts[0]));
+    let snap = sim.snapshot();
+    let resume = |snap: &ShardSnapshot<StragWorld>| {
+        let mut sim = snap.restore();
+        sim.run(false, None);
+        let mut log: Vec<(u64, u32)> =
+            sim.worlds().flat_map(|w| w.log.iter().copied()).collect();
+        log.sort_unstable();
+        log
+    };
+    let (a, b) = (resume(&snap), resume(&snap));
+    check!(
+        out,
+        a == b && a == reference,
+        inv,
+        "two restores from one snapshot disagree (or diverge from the reference): \
+         {} vs {} vs {} events (hosts={hosts} cut={})",
+        a.len(),
+        b.len(),
+        reference.len(),
+        cuts[0].0
+    );
     out
 }

@@ -1,0 +1,175 @@
+//! Canonical spec encoding and content addresses.
+//!
+//! A cache that answers "have I simulated this before?" is only as
+//! good as its notion of *this*. Two requests must collide exactly
+//! when they describe the same simulation, so the address is computed
+//! from a **canonical byte encoding**: every spec writes its fields in
+//! declaration order, each tagged with its name, with unambiguous
+//! length-prefixed framing — no maps with nondeterministic iteration
+//! order, no floating-point text formatting, no derive(Hash) (whose
+//! layout silently changes with field reordering and is not stable
+//! across compiler versions).
+//!
+//! The address itself is a 128-bit FNV-1a over those bytes
+//! ([`SpecHash`]). 128 bits makes accidental collision over a
+//! million-entry spec space vanishingly improbable (birthday bound
+//! ~2^-90), and FNV needs no tables or vendored crypto.
+
+use std::fmt;
+
+/// A content address: 128-bit FNV-1a of a spec's canonical bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecHash(pub u128);
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+impl SpecHash {
+    /// Hash raw canonical bytes.
+    pub fn of_bytes(bytes: &[u8]) -> SpecHash {
+        let mut h = FNV_OFFSET;
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        SpecHash(h)
+    }
+
+    /// Hash a spec via its canonical encoding.
+    pub fn of<T: Canonical + ?Sized>(spec: &T) -> SpecHash {
+        let mut buf = CanonicalBuf::new();
+        spec.encode(&mut buf);
+        SpecHash::of_bytes(&buf.bytes)
+    }
+}
+
+impl fmt::Debug for SpecHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpecHash({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for SpecHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Accumulates a spec's canonical bytes. Every write is framed — field
+/// names length-prefixed, integers fixed-width little-endian — so no
+/// concatenation of two different field sequences can produce the same
+/// byte stream.
+#[derive(Default)]
+pub struct CanonicalBuf {
+    bytes: Vec<u8>,
+}
+
+impl CanonicalBuf {
+    pub fn new() -> Self {
+        CanonicalBuf::default()
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn tag(&mut self, name: &str) {
+        self.bytes.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        self.bytes.extend_from_slice(name.as_bytes());
+    }
+
+    /// A named unsigned field.
+    pub fn u64(&mut self, name: &str, v: u64) {
+        self.tag(name);
+        self.bytes.push(b'u');
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A named string field (length-prefixed UTF-8).
+    pub fn str(&mut self, name: &str, v: &str) {
+        self.tag(name);
+        self.bytes.push(b's');
+        self.bytes.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.bytes.extend_from_slice(v.as_bytes());
+    }
+
+    /// A named nested list: each element encodes into its own framed
+    /// sub-buffer, so element boundaries are unambiguous.
+    pub fn list<T: Canonical>(&mut self, name: &str, items: &[T]) {
+        self.tag(name);
+        self.bytes.push(b'l');
+        self.bytes.extend_from_slice(&(items.len() as u32).to_le_bytes());
+        for item in items {
+            let mut sub = CanonicalBuf::new();
+            item.encode(&mut sub);
+            self.bytes.extend_from_slice(&(sub.bytes.len() as u32).to_le_bytes());
+            self.bytes.extend_from_slice(&sub.bytes);
+        }
+    }
+}
+
+/// A spec that can write itself into a [`CanonicalBuf`].
+///
+/// Contract: `a.encode(..) == b.encode(..)` **iff** `a` and `b`
+/// describe the same simulation. Implementations write every
+/// semantically meaningful field (in declaration order, by name) and
+/// nothing else — no timestamps, no request IDs, no client identity.
+pub trait Canonical {
+    fn encode(&self, buf: &mut CanonicalBuf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair(u64, u64);
+    impl Canonical for Pair {
+        fn encode(&self, buf: &mut CanonicalBuf) {
+            buf.u64("a", self.0);
+            buf.u64("b", self.1);
+        }
+    }
+
+    #[test]
+    fn known_fnv_vectors() {
+        // FNV-1a 128 of the empty string is the offset basis.
+        assert_eq!(SpecHash::of_bytes(b"").0, FNV_OFFSET);
+        // And hashing is sensitive to every byte.
+        assert_ne!(SpecHash::of_bytes(b"a"), SpecHash::of_bytes(b"b"));
+    }
+
+    #[test]
+    fn equal_specs_collide_distinct_specs_do_not() {
+        assert_eq!(SpecHash::of(&Pair(1, 2)), SpecHash::of(&Pair(1, 2)));
+        // Framing keeps field contents from bleeding into each other:
+        // (1, 2) vs (2, 1) and adjacent-byte confusions all differ.
+        assert_ne!(SpecHash::of(&Pair(1, 2)), SpecHash::of(&Pair(2, 1)));
+        assert_ne!(SpecHash::of(&Pair(0x0102, 0)), SpecHash::of(&Pair(0x01, 0x02)));
+    }
+
+    #[test]
+    fn strings_are_length_framed() {
+        struct S(&'static str, &'static str);
+        impl Canonical for S {
+            fn encode(&self, buf: &mut CanonicalBuf) {
+                buf.str("x", self.0);
+                buf.str("y", self.1);
+            }
+        }
+        assert_ne!(SpecHash::of(&S("ab", "c")), SpecHash::of(&S("a", "bc")));
+    }
+
+    #[test]
+    fn lists_frame_their_elements() {
+        struct L(Vec<Pair>);
+        impl Canonical for L {
+            fn encode(&self, buf: &mut CanonicalBuf) {
+                buf.list("items", &self.0);
+            }
+        }
+        let one = L(vec![Pair(1, 2), Pair(3, 4)]);
+        let other = L(vec![Pair(1, 2), Pair(3, 5)]);
+        assert_ne!(SpecHash::of(&one), SpecHash::of(&other));
+        assert_eq!(SpecHash::of(&one), SpecHash::of(&L(vec![Pair(1, 2), Pair(3, 4)])));
+    }
+}

@@ -580,6 +580,142 @@ impl<E> EventQueue<E> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------
+
+/// Portable snapshot of an [`EventQueue`]: every pending entry in
+/// `(time, key)` order, plus the counters that make pushes after a
+/// restore reproduce the original queue's tie-break sequence.
+///
+/// Entries are stored behind their stable `(time, key)` identities in
+/// parallel arrays — arena slot numbers, wheel geometry, and cursor
+/// position (all of which depend on allocation and drain history) never
+/// escape into a snapshot. Because pop order is a pure function of the
+/// `(time, key)` total order, a queue restored from a snapshot pops the
+/// byte-identical event sequence the original would have, whatever
+/// internal layout either happens to hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueSnapshot<E> {
+    /// Entry times, ascending by `(time, key)`.
+    pub times: Vec<u64>,
+    /// Entry tie-break keys, parallel to `times`.
+    pub keys: Vec<u64>,
+    /// Entry payloads, parallel to `times`.
+    pub events: Vec<E>,
+    /// Internal sequence counter, so post-restore `push` calls tie-break
+    /// exactly as post-snapshot pushes would have.
+    pub next_seq: u64,
+    /// Lifetime scheduling statistic, preserved across restore.
+    pub scheduled_total: u64,
+}
+
+impl<E> QueueSnapshot<E> {
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// Capture every pending entry in `(time, key)` order. Non-consuming
+    /// (payloads are cloned): the queue keeps running after the snapshot
+    /// — the checkpoint pattern of a long simulation.
+    pub fn snapshot(&self) -> QueueSnapshot<E> {
+        let mut handles: Vec<Handle> = Vec::with_capacity(self.len);
+        for bucket in &self.wheel {
+            handles.extend_from_slice(bucket);
+        }
+        handles.extend_from_slice(&self.current);
+        handles.extend(self.behind.iter().copied());
+        handles.extend(self.far.iter().copied());
+        debug_assert_eq!(handles.len(), self.len, "containers must cover len");
+        handles.sort_unstable_by_key(|h| h.key());
+        let mut times = Vec::with_capacity(handles.len());
+        let mut keys = Vec::with_capacity(handles.len());
+        let mut events = Vec::with_capacity(handles.len());
+        for h in handles {
+            times.push(h.time.0);
+            keys.push(h.seq);
+            // SAFETY: `h` is live in exactly one container, so its slot
+            // is initialized; the payload is only borrowed for a clone.
+            events.push(unsafe { self.arena.slots[h.slot as usize].assume_init_ref() }.clone());
+        }
+        QueueSnapshot {
+            times,
+            keys,
+            events,
+            next_seq: self.next_seq,
+            scheduled_total: self.scheduled_total,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Rebuild a queue from a snapshot. The result pops the identical
+    /// `(time, key, event)` sequence the snapshotted queue would have,
+    /// and assigns subsequent `push` calls the same internal sequence
+    /// numbers — restored runs are bit-identical to uninterrupted ones.
+    pub fn from_snapshot(snap: QueueSnapshot<E>) -> Self {
+        assert!(
+            snap.times.len() == snap.keys.len() && snap.keys.len() == snap.events.len(),
+            "queue snapshot arrays must be parallel ({}/{}/{})",
+            snap.times.len(),
+            snap.keys.len(),
+            snap.events.len()
+        );
+        let mut q = EventQueue::with_capacity(snap.times.len());
+        let mut prev: Option<(u64, u64)> = None;
+        for ((&t, &k), e) in snap.times.iter().zip(&snap.keys).zip(snap.events) {
+            debug_assert!(
+                prev.is_none_or(|p| p < (t, k)),
+                "snapshot entries must be strictly ordered by (time, key)"
+            );
+            prev = Some((t, k));
+            q.push_with_seq(SimTime(t), k, e);
+        }
+        q.next_seq = snap.next_seq;
+        q.scheduled_total = snap.scheduled_total;
+        q
+    }
+}
+
+impl<E: serde::Serialize> serde::Serialize for QueueSnapshot<E> {
+    fn to_value(&self) -> serde::value::Value {
+        use serde::value::Value;
+        // Hand-written (the vendored derive does not support generics):
+        // field-ordered object matching the struct declaration.
+        Value::Object(vec![
+            ("times".to_string(), self.times.to_value()),
+            ("keys".to_string(), self.keys.to_value()),
+            ("events".to_string(), self.events.to_value()),
+            ("next_seq".to_string(), self.next_seq.to_value()),
+            ("scheduled_total".to_string(), self.scheduled_total.to_value()),
+        ])
+    }
+}
+
+impl<E: serde::Deserialize> serde::Deserialize for QueueSnapshot<E> {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        let snap = QueueSnapshot {
+            times: Vec::<u64>::from_value(v.field("times")?)?,
+            keys: Vec::<u64>::from_value(v.field("keys")?)?,
+            events: Vec::<E>::from_value(v.field("events")?)?,
+            next_seq: u64::from_value(v.field("next_seq")?)?,
+            scheduled_total: u64::from_value(v.field("scheduled_total")?)?,
+        };
+        if snap.times.len() != snap.keys.len() || snap.keys.len() != snap.events.len() {
+            return Err(serde::DeError::new(
+                "queue snapshot arrays are not parallel",
+            ));
+        }
+        Ok(snap)
+    }
+}
+
 impl<E> Drop for EventQueue<E> {
     fn drop(&mut self) {
         if !std::mem::needs_drop::<E>() {

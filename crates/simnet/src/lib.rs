@@ -63,7 +63,10 @@ pub mod prelude {
     pub use crate::network::{Delivery, LossConfig, Network};
     pub use crate::packetnet::{simulate_packets, Completion, Injection};
     pub use crate::rng::SplitMix64;
-    pub use crate::shard::{Lookahead, Partition, ShardCtx, ShardRunStats, ShardSim, ShardWorld};
+    pub use crate::event::{EventQueue, QueueSnapshot};
+    pub use crate::shard::{
+        Lookahead, Partition, ShardCtx, ShardRunStats, ShardSim, ShardSnapshot, ShardWorld,
+    };
     pub use crate::stats::{Log2Histogram, Summary};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{RoutePlan, Routing, Topology, TopologyKind, Vertex};

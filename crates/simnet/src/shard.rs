@@ -54,10 +54,11 @@
 //! hosts degrade gracefully instead of livelocking.
 
 use crate::channel::ShardChannel;
-use crate::event::EventQueue;
+use crate::event::{EventQueue, QueueSnapshot};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use polaris_obs::Obs;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -72,7 +73,7 @@ use std::sync::Barrier;
 /// `ceil(s*hosts/n) .. ceil((s+1)*hosts/n)`. Contiguity keeps each
 /// shard's working set dense, and the arithmetic is exact for any
 /// (hosts, nshards) pair — shard sizes differ by at most one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Partition {
     pub hosts: u32,
     pub nshards: u32,
@@ -484,6 +485,19 @@ impl<E> ShardCtx<'_, E> {
 /// on straggler-heavy workloads without any non-deterministic input.
 const MAX_SPEC_BACKOFF: u32 = 8;
 
+/// Adaptive speculation depth: each shard caps how many events one
+/// speculative window may execute, scaling the cap by the observed
+/// commit/rollback outcome — multiplicative increase on commit,
+/// multiplicative decrease on rollback (AIMD on the rollback rate). A
+/// shard whose speculation keeps committing earns deep windows; one
+/// whose peers keep straggling stops cloning worlds it will throw away.
+/// The trajectory is a pure function of the (deterministic) commit and
+/// rollback sequence, so depths — like every other speculation decision
+/// — are identical across serial and threaded execution.
+const SPEC_DEPTH_INIT: u64 = 64;
+const SPEC_DEPTH_MIN: u64 = 8;
+const SPEC_DEPTH_MAX: u64 = 4096;
+
 /// Outcome of a sharded run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRunStats {
@@ -504,6 +518,11 @@ pub struct ShardRunStats {
     pub spec_events_committed: u64,
     /// Events executed speculatively then discarded by a rollback.
     pub spec_events_rolled_back: u64,
+    /// Adaptive speculation depth each shard ended the run at, indexed
+    /// by shard id (all `SPEC_DEPTH_INIT` when speculation never ran).
+    /// Deterministic: the depth trajectory is a pure function of the
+    /// commit/rollback sequence.
+    pub spec_final_depth: Vec<u64>,
     /// Simulated time when the run stopped.
     pub end_time: SimTime,
     /// True if the run stopped at the horizon with events pending.
@@ -572,6 +591,9 @@ struct ShardSlot<W: ShardWorld> {
     /// next skip length.
     spec_skip: u32,
     next_backoff: u32,
+    /// Adaptive cap on events per speculative window (AIMD-adjusted at
+    /// each commit/rollback; see [`SPEC_DEPTH_INIT`]).
+    spec_depth: u64,
     // Per-shard speculation stats.
     spec_commits: u64,
     spec_rollbacks: u64,
@@ -667,6 +689,7 @@ impl<W: ShardWorld> ShardSim<W> {
                     spec_remote_sent: 0,
                     spec_skip: 0,
                     next_backoff: 1,
+                    spec_depth: SPEC_DEPTH_INIT,
                     spec_commits: 0,
                     spec_rollbacks: 0,
                     spec_events_committed: 0,
@@ -799,6 +822,7 @@ impl<W: ShardWorld> ShardSim<W> {
             spec_rollbacks: self.shards.iter().map(|s| s.spec_rollbacks).sum(),
             spec_events_committed: self.shards.iter().map(|s| s.spec_events_committed).sum(),
             spec_events_rolled_back: self.shards.iter().map(|s| s.spec_events_rolled_back).sum(),
+            spec_final_depth: self.shards.iter().map(|s| s.spec_depth).collect(),
             end_time,
             horizon_reached,
         };
@@ -812,8 +836,247 @@ impl<W: ShardWorld> ShardSim<W> {
             s.spec_events_rolled_back = 0;
             s.spec_skip = 0;
             s.next_backoff = 1;
+            s.spec_depth = SPEC_DEPTH_INIT;
         }
         stats
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------
+
+/// Full serializable state of a [`ShardSim`] at a quiescent point
+/// (between runs): the lookahead matrix, every shard's world, its
+/// calendar queue (as a [`QueueSnapshot`] — entries behind stable
+/// `(time, key)` identities, never arena slots), its clock, and any
+/// committed-but-undelivered speculative cross-shard sends.
+///
+/// Stable-ID rules: nothing in a snapshot refers to process state —
+/// no arena slot numbers, thread ids, channel indices, or `Weak`
+/// custody. Shards are named by their dense shard id, events by their
+/// `(time, key)` identity, and deferred sends by `(src, dst)` shard
+/// ids, so a snapshot restores into a fresh process bit-identically.
+///
+/// Transient intra-window state (speculation checkpoints, staging,
+/// undo journals, un-flushed outbufs, inboxes) is empty by
+/// construction at every quiescent point; [`ShardSim::snapshot`]
+/// asserts that rather than serializing it.
+pub struct ShardSnapshot<W: ShardWorld> {
+    nshards: u32,
+    /// Row-major `nshards x nshards` lookahead edge matrix (the
+    /// closure is recomputed on restore — it is a pure function of
+    /// the edges).
+    la: Vec<u64>,
+    /// Serialized explicitly: `Lookahead::uniform(1, d)` carries
+    /// `min_la = d` while a 1-shard `from_fn` matrix carries
+    /// `u64::MAX`, and models that derive send times from
+    /// [`ShardCtx::lookahead`] would diverge if a restore guessed.
+    min_la: u64,
+    worlds: Vec<W>,
+    queues: Vec<QueueSnapshot<W::Event>>,
+    /// Per-shard clock, picoseconds.
+    nows: Vec<u64>,
+    /// Per-shard published-minimum adjustment for the deferred sends.
+    deferred_adjs: Vec<u64>,
+    /// Committed speculative cross-shard sends awaiting delivery,
+    /// flattened in (src, dst, buffer-order) order behind stable ids.
+    deferred_src: Vec<u32>,
+    deferred_dst: Vec<u32>,
+    deferred_time: Vec<u64>,
+    deferred_key: Vec<u64>,
+    deferred_event: Vec<W::Event>,
+}
+
+impl<W: ShardWorld> ShardSnapshot<W> {
+    pub fn nshards(&self) -> u32 {
+        self.nshards
+    }
+
+    /// Pending events across all shard queues.
+    pub fn pending_events(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// The latest shard clock in the snapshot, picoseconds.
+    pub fn time(&self) -> SimTime {
+        SimTime(self.nows.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Rebuild a simulator from this snapshot. The result — worlds,
+    /// queue contents, clocks, deferred sends, lookahead — continues
+    /// exactly as the snapshotted simulator would have: `run` /
+    /// `run_spec` from here produce bit-identical model results to the
+    /// uninterrupted run (the snapshot round-trip proptests pin this).
+    pub fn restore(&self) -> ShardSim<W>
+    where
+        W: Clone,
+        W::Event: Clone,
+    {
+        let n = self.nshards as usize;
+        assert!(n >= 1, "snapshot must hold at least one shard");
+        assert_eq!(self.la.len(), n * n, "lookahead matrix size mismatch");
+        assert!(
+            self.worlds.len() == n
+                && self.queues.len() == n
+                && self.nows.len() == n
+                && self.deferred_adjs.len() == n,
+            "per-shard snapshot arrays must match the shard count"
+        );
+        let d = self.deferred_src.len();
+        assert!(
+            self.deferred_dst.len() == d
+                && self.deferred_time.len() == d
+                && self.deferred_key.len() == d
+                && self.deferred_event.len() == d,
+            "deferred-send snapshot arrays must be parallel"
+        );
+        let lookahead = Lookahead {
+            n: self.nshards,
+            dist: min_plus_closure(n, &self.la),
+            la: self.la.clone(),
+            min_la: self.min_la,
+        };
+        let mut sim = ShardSim::new(self.worlds.clone(), lookahead);
+        for (s, slot) in sim.shards.iter_mut().enumerate() {
+            slot.queue = EventQueue::from_snapshot(self.queues[s].snapshot_clone());
+            slot.now = SimTime(self.nows[s]);
+            slot.deferred_adj = self.deferred_adjs[s];
+        }
+        for i in 0..d {
+            let (src, dst) = (self.deferred_src[i] as usize, self.deferred_dst[i] as usize);
+            assert!(src < n && dst < n && src != dst, "deferred send has invalid shard ids");
+            sim.shards[src].deferred[dst].push(Remote {
+                time: SimTime(self.deferred_time[i]),
+                key: self.deferred_key[i],
+                event: self.deferred_event[i].clone(),
+            });
+        }
+        sim
+    }
+}
+
+impl<E: Clone> QueueSnapshot<E> {
+    /// Owned copy (the snapshot type deliberately has no public
+    /// `Clone` bound on its generic, so restores clone explicitly).
+    fn snapshot_clone(&self) -> QueueSnapshot<E> {
+        QueueSnapshot {
+            times: self.times.clone(),
+            keys: self.keys.clone(),
+            events: self.events.clone(),
+            next_seq: self.next_seq,
+            scheduled_total: self.scheduled_total,
+        }
+    }
+}
+
+impl<W: ShardWorld + Clone> ShardSim<W>
+where
+    W::Event: Clone,
+{
+    /// Capture the full simulator state behind stable IDs. Must be
+    /// called at a quiescent point — before any run, or after a run
+    /// returned (including a horizon stop); panics if transient
+    /// intra-window state is live.
+    pub fn snapshot(&self) -> ShardSnapshot<W> {
+        let n = self.shards.len();
+        let mut deferred_src = Vec::new();
+        let mut deferred_dst = Vec::new();
+        let mut deferred_time = Vec::new();
+        let mut deferred_key = Vec::new();
+        let mut deferred_event = Vec::new();
+        for (s, slot) in self.shards.iter().enumerate() {
+            assert!(
+                slot.checkpoint.is_none()
+                    && slot.staging.is_empty()
+                    && slot.undo.is_empty()
+                    && slot.inbox.is_empty()
+                    && slot.outbufs.iter().all(Vec::is_empty),
+                "snapshot requires a quiescent simulator (between runs)"
+            );
+            for (dst, buf) in slot.deferred.iter().enumerate() {
+                for r in buf {
+                    deferred_src.push(s as u32);
+                    deferred_dst.push(dst as u32);
+                    deferred_time.push(r.time.0);
+                    deferred_key.push(r.key);
+                    deferred_event.push(r.event.clone());
+                }
+            }
+        }
+        ShardSnapshot {
+            nshards: n as u32,
+            la: self.lookahead.la.clone(),
+            min_la: self.lookahead.min_la,
+            worlds: self.shards.iter().map(|s| s.world.clone()).collect(),
+            queues: self.shards.iter().map(|s| s.queue.snapshot()).collect(),
+            nows: self.shards.iter().map(|s| s.now.0).collect(),
+            deferred_adjs: self.shards.iter().map(|s| s.deferred_adj).collect(),
+            deferred_src,
+            deferred_dst,
+            deferred_time,
+            deferred_key,
+            deferred_event,
+        }
+    }
+}
+
+/// Snapshot wire-format version tag (bump on layout changes).
+const SHARD_SNAPSHOT_SCHEMA: &str = "polaris-shardsim-snapshot/1";
+
+impl<W> Serialize for ShardSnapshot<W>
+where
+    W: ShardWorld + Serialize,
+    W::Event: Serialize,
+{
+    fn to_value(&self) -> serde::value::Value {
+        use serde::value::Value;
+        // Hand-written (the vendored derive does not support
+        // generics): field-ordered object matching the declaration.
+        Value::Object(vec![
+            ("schema".to_string(), Value::Str(SHARD_SNAPSHOT_SCHEMA.to_string())),
+            ("nshards".to_string(), self.nshards.to_value()),
+            ("la".to_string(), self.la.to_value()),
+            ("min_la".to_string(), self.min_la.to_value()),
+            ("worlds".to_string(), self.worlds.to_value()),
+            ("queues".to_string(), self.queues.to_value()),
+            ("nows".to_string(), self.nows.to_value()),
+            ("deferred_adjs".to_string(), self.deferred_adjs.to_value()),
+            ("deferred_src".to_string(), self.deferred_src.to_value()),
+            ("deferred_dst".to_string(), self.deferred_dst.to_value()),
+            ("deferred_time".to_string(), self.deferred_time.to_value()),
+            ("deferred_key".to_string(), self.deferred_key.to_value()),
+            ("deferred_event".to_string(), self.deferred_event.to_value()),
+        ])
+    }
+}
+
+impl<W> Deserialize for ShardSnapshot<W>
+where
+    W: ShardWorld + Deserialize,
+    W::Event: Deserialize,
+{
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        let schema = String::from_value(v.field("schema")?)?;
+        if schema != SHARD_SNAPSHOT_SCHEMA {
+            return Err(serde::DeError::new(format!(
+                "unsupported shard snapshot schema {schema:?} (expected {SHARD_SNAPSHOT_SCHEMA:?})"
+            )));
+        }
+        Ok(ShardSnapshot {
+            nshards: u32::from_value(v.field("nshards")?)?,
+            la: Vec::<u64>::from_value(v.field("la")?)?,
+            min_la: u64::from_value(v.field("min_la")?)?,
+            worlds: Vec::<W>::from_value(v.field("worlds")?)?,
+            queues: Vec::<QueueSnapshot<W::Event>>::from_value(v.field("queues")?)?,
+            nows: Vec::<u64>::from_value(v.field("nows")?)?,
+            deferred_adjs: Vec::<u64>::from_value(v.field("deferred_adjs")?)?,
+            deferred_src: Vec::<u32>::from_value(v.field("deferred_src")?)?,
+            deferred_dst: Vec::<u32>::from_value(v.field("deferred_dst")?)?,
+            deferred_time: Vec::<u64>::from_value(v.field("deferred_time")?)?,
+            deferred_key: Vec::<u64>::from_value(v.field("deferred_key")?)?,
+            deferred_event: Vec::<W::Event>::from_value(v.field("deferred_event")?)?,
+        })
     }
 }
 
@@ -900,6 +1163,14 @@ fn speculate<W: ShardWorld, P: SpecPolicy<W>>(
     slot.spec_dispatched = 0;
     slot.spec_remote_sent = 0;
     loop {
+        if slot.spec_dispatched >= slot.spec_depth {
+            // Adaptive depth cap: stop extending a window whose
+            // rollback would discard ever more work. The cap only cuts
+            // a window short — never below one event — so results stay
+            // identical; only how far ahead the shard risks running
+            // changes.
+            break;
+        }
         let from_queue = {
             let qn = slot.queue.peek_entry();
             let sn = slot.staging.peek().map(|st| (st.time, st.key));
@@ -977,6 +1248,7 @@ fn merge_inbox<W: ShardWorld, P: SpecPolicy<W>>(
             slot.spec_events_rolled_back += slot.spec_dispatched;
             slot.spec_skip = slot.next_backoff;
             slot.next_backoff = (slot.next_backoff * 2).min(MAX_SPEC_BACKOFF);
+            slot.spec_depth = (slot.spec_depth / 2).max(SPEC_DEPTH_MIN);
         } else {
             slot.checkpoint = None;
             slot.undo.clear();
@@ -999,6 +1271,7 @@ fn merge_inbox<W: ShardWorld, P: SpecPolicy<W>>(
             slot.spec_commits += 1;
             slot.spec_events_committed += slot.spec_dispatched;
             slot.next_backoff = 1;
+            slot.spec_depth = (slot.spec_depth * 2).min(SPEC_DEPTH_MAX);
         }
         slot.spec_max = None;
     }

@@ -241,6 +241,20 @@ fn rollback_oracle_pinned_seeds() {
     }
 }
 
+/// Checkpoint/restore transparency over pinned seeds: the straggler
+/// workload interrupted at seed-derived horizons, snapshotted, restored
+/// into a fresh engine, and resumed must match the uninterrupted
+/// conservative reference bit-for-bit at 1/2/4 shards with speculation
+/// on and off, and two restores from one snapshot must agree.
+#[test]
+fn snapshot_oracle_pinned_seeds() {
+    for base in 0..4u64 {
+        let spec = WorkloadSpec::from_seed(WorkloadSpec::case_seed(base, 8));
+        let v = oracle::snapshot_oracle(&spec);
+        assert!(v.is_empty(), "base {base}: {v:?}");
+    }
+}
+
 /// Capacity-1 circuit scheduler under a long op stream — the edge case
 /// where every reserve contends and preemption is the only way in.
 #[test]
