@@ -20,7 +20,8 @@ pub mod prelude {
     pub use crate::memory::{Level, MemoryHierarchy};
     pub use crate::node::{NodeKind, NodeModel};
     pub use crate::projection::{
-        cluster_at, crossover_year, curve, ClusterPoint, Constraint, PETAFLOPS,
+        cluster_at, crossing_in, crossover_year, crossover_year_in, curve, ClusterPoint,
+        Constraint, Crossing, DEFAULT_HORIZON, PETAFLOPS,
     };
     pub use crate::roofline::{attainable, efficiency, knee};
 }

@@ -83,15 +83,97 @@ pub fn curve(
     years.map(|y| cluster_at(proj, kind, constraint, y)).collect()
 }
 
-/// First year (searching 2002..=2020) the track reaches `target` FLOP/s
-/// under the constraint, if any.
+/// The default crossover search range, the keynote's planning horizon.
+pub const DEFAULT_HORIZON: std::ops::RangeInclusive<u32> = 2002..=2020;
+
+/// Outcome of a crossover search over an explicit year range. The old
+/// `Option<u32>` API collapsed two very different "no" answers into
+/// `None`; this keeps them apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Crossing {
+    /// First year inside the range the curve reaches the target.
+    At(u32),
+    /// The curve is still growing at the end of the range but has not
+    /// reached the target — a longer horizon may cross.
+    BeyondHorizon,
+    /// The curve has stopped growing (or never produced anything)
+    /// short of the target: no horizon extension crosses.
+    Never,
+}
+
+impl Crossing {
+    /// Render for tables: the year, `>H` for growth past the horizon
+    /// `H`, or `never`.
+    pub fn label(self, horizon: u32) -> String {
+        match self {
+            Crossing::At(y) => y.to_string(),
+            Crossing::BeyondHorizon => format!(">{horizon}"),
+            Crossing::Never => "never".into(),
+        }
+    }
+
+    pub fn year(self) -> Option<u32> {
+        match self {
+            Crossing::At(y) => Some(y),
+            _ => None,
+        }
+    }
+}
+
+/// Generic crossover search: the first year in `years` where
+/// `value_at(year) >= target`. When nothing in the range crosses, the
+/// last two years decide between [`Crossing::BeyondHorizon`] (still
+/// growing) and [`Crossing::Never`] (flat, shrinking, or zero). Used by
+/// the peak-FLOP/s search below and by F14's *effective*-FLOP/s curves.
+pub fn crossing_in(
+    years: std::ops::RangeInclusive<u32>,
+    target: f64,
+    mut value_at: impl FnMut(u32) -> f64,
+) -> Crossing {
+    let (start, end) = (*years.start(), *years.end());
+    for y in years {
+        if value_at(y) >= target {
+            return Crossing::At(y);
+        }
+    }
+    let last = value_at(end);
+    let growing = if end > start {
+        last > value_at(end - 1)
+    } else {
+        last > 0.0
+    };
+    if growing {
+        Crossing::BeyondHorizon
+    } else {
+        Crossing::Never
+    }
+}
+
+/// First year in `years` the track's peak reaches `target` FLOP/s under
+/// the constraint.
+pub fn crossover_year_in(
+    proj: &Projection,
+    kind: NodeKind,
+    constraint: Constraint,
+    target: f64,
+    years: std::ops::RangeInclusive<u32>,
+) -> Crossing {
+    crossing_in(years, target, |y| {
+        cluster_at(proj, kind, constraint, y).peak_flops
+    })
+}
+
+/// First year (searching the default 2002..=2020 horizon) the track
+/// reaches `target` FLOP/s under the constraint, if any. Thin wrapper
+/// over [`crossover_year_in`] kept for callers that don't care *why*
+/// the target was missed.
 pub fn crossover_year(
     proj: &Projection,
     kind: NodeKind,
     constraint: Constraint,
     target: f64,
 ) -> Option<u32> {
-    (2002..=2020).find(|&y| cluster_at(proj, kind, constraint, y).peak_flops >= target)
+    crossover_year_in(proj, kind, constraint, target, DEFAULT_HORIZON).year()
 }
 
 /// One petaflops, the keynote's "trans-Petaflops regime" threshold.
@@ -164,6 +246,52 @@ mod tests {
         assert_eq!(
             crossover_year(&proj(), NodeKind::Pc, c, 1e30),
             None
+        );
+    }
+
+    #[test]
+    fn crossing_distinguishes_horizon_from_never() {
+        // A growing curve that misses an absurd target: the horizon is
+        // the problem, not the curve.
+        let c = Constraint::Budget(10e6);
+        assert_eq!(
+            crossover_year_in(&proj(), NodeKind::Pc, c, 1e30, DEFAULT_HORIZON),
+            Crossing::BeyondHorizon
+        );
+        // A budget below one node's cost for the whole range: the curve
+        // is zero forever — no horizon extension helps.
+        let tiny = Constraint::Budget(1.0);
+        assert_eq!(
+            crossover_year_in(&proj(), NodeKind::Pc, tiny, PETAFLOPS, 2002..=2005),
+            Crossing::Never
+        );
+        // Labels for the figure columns.
+        assert_eq!(Crossing::At(2008).label(2020), "2008");
+        assert_eq!(Crossing::BeyondHorizon.label(2020), ">2020");
+        assert_eq!(Crossing::Never.label(2020), "never");
+    }
+
+    #[test]
+    fn crossover_range_is_honoured() {
+        let c = Constraint::Budget(10e6);
+        let full = crossover_year(&proj(), NodeKind::SmpOnChip, c, PETAFLOPS)
+            .expect("cmp crosses inside the default horizon");
+        // A range ending before the crossing year must not find it…
+        assert_eq!(
+            crossover_year_in(&proj(), NodeKind::SmpOnChip, c, PETAFLOPS, 2002..=full - 1),
+            Crossing::BeyondHorizon
+        );
+        // …and a range starting after it finds the range's first year.
+        assert_eq!(
+            crossover_year_in(&proj(), NodeKind::SmpOnChip, c, PETAFLOPS, full + 1..=2020),
+            Crossing::At(full + 1)
+        );
+        // The generic search agrees with the specialised one.
+        assert_eq!(
+            crossing_in(DEFAULT_HORIZON, PETAFLOPS, |y| {
+                cluster_at(&proj(), NodeKind::SmpOnChip, c, y).peak_flops
+            }),
+            Crossing::At(full)
         );
     }
 

@@ -24,6 +24,26 @@ const RANDOM_ACCESS_BYTES: f64 = 16.0;
 const MLP: f64 = 4.0;
 
 /// Attainable FLOP/s of `kernel` on `node`.
+///
+/// The mixed-kernel formula is a *two-phase time accounting*, which is
+/// why the harmonic mean is the right combinator and not a bias. Let a
+/// run perform `F` total flops, of which the fraction `f` is tied to
+/// dependent random accesses and `1-f` streams. The random phase
+/// proceeds at rate `R_lat = min(latency_roof, streaming)` (random
+/// access can never outrun the streaming roofs) and the streaming
+/// phase at `R_str = streaming`, so
+///
+/// ```text
+/// time  = F·f / R_lat + F·(1-f) / R_str
+/// rate  = F / time = 1 / (f / R_lat + (1-f) / R_str)
+/// ```
+///
+/// — exactly the expression below. A *flop-share arithmetic* mean
+/// (`f·R_lat + (1-f)·R_str`) would overstate performance whenever
+/// `R_lat ≪ R_str`, because it lets the fast phase hide the slow
+/// phase's wall-clock time. The property suite in `tests` pins the
+/// limits: equals the streaming roof at `f = 0`, continuous as
+/// `f → 0⁺`, never exceeds either roof, and monotone in `mem_bw`.
 pub fn attainable(node: &NodeModel, kernel: &Kernel) -> f64 {
     let compute_roof = node.flops;
     let bandwidth_roof = kernel.intensity * node.mem_bw;
@@ -112,6 +132,111 @@ mod tests {
         assert!(a <= latency_roof * 1.01);
         // The pure-bandwidth estimate would be higher.
         assert!(GUPS.intensity * n.mem_bw > a);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn synth_node(flops: f64, mem_bw: f64, mem_latency: f64) -> NodeModel {
+            NodeModel {
+                kind: NodeKind::Pc,
+                year: 2002,
+                flops,
+                mem_bw,
+                mem_latency,
+                mem_capacity: 1e9,
+                cost: 1e3,
+                power: 1e2,
+                per_rack: 42,
+            }
+        }
+
+        fn kernel(intensity: f64, random_fraction: f64) -> Kernel {
+            Kernel { name: "synthetic", intensity, random_fraction }
+        }
+
+        proptest! {
+            // `attainable <= min(compute, bandwidth)` and efficiency
+            // is at most 1: the harmonic mean can only slow a kernel
+            // down relative to its streaming roofs.
+            #[test]
+            fn efficiency_at_most_one(
+                flops in 1e8f64..1e13,
+                bw in 1e7f64..1e12,
+                lat in 1e-8f64..1e-5,
+                intensity in 1e-3f64..1e3,
+                f in 0.0f64..=1.0,
+            ) {
+                let n = synth_node(flops, bw, lat);
+                let k = kernel(intensity, f);
+                let a = attainable(&n, &k);
+                let streaming = n.flops.min(k.intensity * n.mem_bw);
+                prop_assert!(a > 0.0);
+                prop_assert!(a <= streaming * (1.0 + 1e-12), "{a} vs {streaming}");
+                prop_assert!(efficiency(&n, &k) <= 1.0 + 1e-12);
+            }
+
+            // More memory bandwidth never makes a kernel slower: the
+            // streaming roof is nondecreasing in `mem_bw` and the
+            // latency roof is independent of it.
+            #[test]
+            fn monotone_in_mem_bw(
+                flops in 1e8f64..1e13,
+                bw in 1e7f64..1e12,
+                factor in 1.0f64..100.0,
+                lat in 1e-8f64..1e-5,
+                intensity in 1e-3f64..1e3,
+                f in 0.0f64..=1.0,
+            ) {
+                let k = kernel(intensity, f);
+                let slow = attainable(&synth_node(flops, bw, lat), &k);
+                let fast = attainable(&synth_node(flops, bw * factor, lat), &k);
+                prop_assert!(fast >= slow * (1.0 - 1e-12), "{slow} -> {fast}");
+            }
+
+            // At `random_fraction = 0` the formula reduces *exactly*
+            // to the streaming roof, and it is continuous there: a
+            // vanishing random fraction must not jump the result.
+            #[test]
+            fn reduces_to_streaming_and_continuous_at_zero(
+                flops in 1e8f64..1e13,
+                bw in 1e7f64..1e12,
+                lat in 1e-8f64..1e-5,
+                intensity in 1e-3f64..1e3,
+            ) {
+                let n = synth_node(flops, bw, lat);
+                let streaming = n.flops.min(intensity * n.mem_bw);
+                let at_zero = attainable(&n, &kernel(intensity, 0.0));
+                prop_assert_eq!(at_zero, streaming);
+                // f → 0⁺: the two branches must agree in the limit.
+                // With f = 1e-12 the random term contributes at most
+                // f·streaming/latency_roof ≈ 1e-12·(ratio) of the time,
+                // and the roofs here are within ~1e7 of each other.
+                let near_zero = attainable(&n, &kernel(intensity, 1e-12));
+                let rel = (near_zero - streaming).abs() / streaming;
+                prop_assert!(rel < 1e-4, "discontinuity at f→0: rel {rel}");
+            }
+
+            // The result is a time-share mean: it always lands between
+            // the slower and faster of the two phase rates.
+            #[test]
+            fn between_phase_rates(
+                flops in 1e8f64..1e13,
+                bw in 1e7f64..1e12,
+                lat in 1e-8f64..1e-5,
+                intensity in 1e-3f64..1e3,
+                f in 1e-6f64..1.0,
+            ) {
+                let n = synth_node(flops, bw, lat);
+                let streaming = n.flops.min(intensity * n.mem_bw);
+                let latency_roof = (MLP / n.mem_latency) * RANDOM_ACCESS_BYTES * intensity;
+                let r_lat = latency_roof.min(streaming);
+                let a = attainable(&n, &kernel(intensity, f));
+                prop_assert!(a >= r_lat.min(streaming) * (1.0 - 1e-12));
+                prop_assert!(a <= r_lat.max(streaming) * (1.0 + 1e-12));
+            }
+        }
     }
 
     #[test]

@@ -50,10 +50,9 @@ pub fn generate() -> Vec<Table> {
     for kind in NodeKind::ALL {
         let mut cells = vec![kind.name().to_string()];
         for c in constraints {
-            let y = crossover_year(&proj, kind, c, PETAFLOPS)
-                .map(|y| y.to_string())
-                .unwrap_or_else(|| ">2020".into());
-            cells.push(y);
+            // ">2020" = still growing at the horizon; "never" = the
+            // curve has stopped growing short of the target.
+            cells.push(crossover_year_in(&proj, kind, c, PETAFLOPS, DEFAULT_HORIZON).label(2020));
         }
         crossing.row(cells);
     }

@@ -15,4 +15,5 @@ pub mod f10_sustained;
 pub mod f11_chaos;
 pub mod f12_lifecycle;
 pub mod f13_interconnect;
+pub mod f14_workloads;
 pub mod t2_rms;

@@ -113,6 +113,7 @@ pub fn all_experiments() -> Vec<(&'static str, Generator)> {
         ("f11", figures::f11_chaos::generate),
         ("f12", figures::f12_lifecycle::generate),
         ("f13", figures::f13_interconnect::generate),
+        ("f14", figures::f14_workloads::generate),
         ("a2", figures::a2_threshold::generate),
     ]
 }

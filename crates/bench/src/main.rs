@@ -92,7 +92,7 @@ fn main() {
         eprintln!("[{id} regenerated in {:?}]\n", t0.elapsed());
     }
     if ran == 0 {
-        eprintln!("unknown experiment id(s) {wanted:?}; known: f1 f2 f3 f4 f5 t2 f6 f7 f8 f9 f10 f11 f12 f13 a2 all perf");
+        eprintln!("unknown experiment id(s) {wanted:?}; known: f1 f2 f3 f4 f5 t2 f6 f7 f8 f9 f10 f11 f12 f13 f14 a2 all perf");
         std::process::exit(2);
     }
     eprintln!("JSON series written to {}", out_dir.display());

@@ -36,6 +36,44 @@ use polaris_simnet::link::LinkModel;
 use polaris_simnet::shard::{Partition, ShardCtx, ShardRunStats, ShardSim, ShardWorld};
 use polaris_simnet::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What one message pays for its route across the fabric, beyond the
+/// queueing charged at its endpoint links: the hop count fed to
+/// [`LinkModel::message_time`] and a fixed extra latency (e.g. an
+/// optical circuit reconfiguration) added once per message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathCost {
+    /// Hops on the contention-free route; must be >= 1 so arrivals
+    /// never undercut the engine's `hop_latency` lookahead.
+    pub hops: u32,
+    /// Fixed extra picoseconds added to the message's arrival.
+    pub extra_ps: u64,
+}
+
+impl PathCost {
+    /// The partitioned-crossbar default: host, switch, host.
+    pub const CROSSBAR: PathCost = PathCost { hops: 2, extra_ps: 0 };
+}
+
+/// Per-message route costs for a fabric, as a pure `(src, dst)`
+/// function so it can be shared (and cloned) across shard worlds
+/// without any mutable routing state.
+#[derive(Clone)]
+pub struct PathModel(Arc<dyn Fn(u32, u32) -> PathCost + Send + Sync>);
+
+impl PathModel {
+    pub fn new(f: impl Fn(u32, u32) -> PathCost + Send + Sync + 'static) -> Self {
+        PathModel(Arc::new(f))
+    }
+
+    #[inline]
+    pub fn cost(&self, src: u32, dst: u32) -> PathCost {
+        let c = (self.0)(src, dst);
+        debug_assert!(c.hops >= 1, "a route has at least one hop");
+        c
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum PEv {
@@ -68,6 +106,8 @@ struct ParWorld {
     base: u32,
     params: ExecParams,
     link: LinkModel,
+    /// Route costs; `None` is the 2-hop crossbar.
+    path: Option<PathModel>,
     ranks: Vec<PRank>,
     mailboxes: Vec<FastHashMap<u32, VecDeque<SimTime>>>,
     waiting_on: Vec<Option<u32>>,
@@ -159,6 +199,11 @@ impl ParWorld {
                 let key = self.next_key(r);
                 ctx.at(now + d, key, PEv::Step(r));
             }
+            SchedOp::Work { ps } => {
+                self.ranks[local].pc += 1;
+                let key = self.next_key(r);
+                ctx.at(now + SimDuration::from_ps(ps), key, PEv::Step(r));
+            }
         }
     }
 
@@ -171,7 +216,12 @@ impl ParWorld {
         let start1 = now.0.max(st.down_busy);
         st.down_busy = start1 + ser;
         let extra1 = start1 - now.0;
-        let arrival = SimTime(base.0 + extra1) + self.link.message_time(bytes, 2);
+        let cost = self
+            .path
+            .as_ref()
+            .map_or(PathCost::CROSSBAR, |p| p.cost(from, to));
+        let arrival =
+            SimTime(base.0 + extra1 + cost.extra_ps) + self.link.message_time(bytes, cost.hops);
         self.mailboxes[local].entry(from).or_default().push_back(arrival);
         if self.waiting_on[local] == Some(from) {
             self.waiting_on[local] = None;
@@ -241,6 +291,43 @@ pub fn simulate_collective_sharded_opts(
     speculate: bool,
 ) -> (SimResult, ShardRunStats) {
     assert!(p > 0, "at least one rank");
+    let programs = (0..p).map(|r| schedule(coll, r, p, bytes)).collect();
+    simulate_programs_sharded_opts(programs, params, link, None, jobs, speculate)
+}
+
+/// Execute arbitrary per-rank schedules (`programs[r]` is rank `r`'s
+/// ops) over the partitioned fabric, sharded across `jobs` engine
+/// shards. This is the entry point the workload compilers use: they
+/// build programs out of collective schedules, halo exchanges, and
+/// roofline-priced [`SchedOp::Work`] phases, then run them through the
+/// same engine and determinism contract as the collectives. `path`
+/// supplies per-message route costs (hop counts + fixed extras) for
+/// non-crossbar fabrics; `None` keeps the 2-hop crossbar.
+///
+/// Results are bit-identical for every `jobs` value. Panics if any
+/// rank's program deadlocks (a program-generation bug).
+pub fn simulate_programs_sharded(
+    programs: Vec<Vec<SchedOp>>,
+    params: ExecParams,
+    link: LinkModel,
+    path: Option<PathModel>,
+    jobs: u32,
+) -> (SimResult, ShardRunStats) {
+    simulate_programs_sharded_opts(programs, params, link, path, jobs, true)
+}
+
+/// [`simulate_programs_sharded`] with speculation under caller control.
+pub fn simulate_programs_sharded_opts(
+    programs: Vec<Vec<SchedOp>>,
+    params: ExecParams,
+    link: LinkModel,
+    path: Option<PathModel>,
+    jobs: u32,
+    speculate: bool,
+) -> (SimResult, ShardRunStats) {
+    let p = programs.len() as u32;
+    assert!(p > 0, "at least one rank");
+    let mut programs = programs;
     let part = Partition::block(p, jobs.max(1));
     let worlds: Vec<ParWorld> = (0..part.nshards)
         .map(|sh| {
@@ -252,9 +339,10 @@ pub fn simulate_collective_sharded_opts(
                 base,
                 params,
                 link,
+                path: path.clone(),
                 ranks: ranks
                     .map(|r| PRank {
-                        ops: schedule(coll, r, p, bytes),
+                        ops: std::mem::take(&mut programs[r as usize]),
                         pc: 0,
                         time: SimTime::ZERO,
                         finished: None,
@@ -287,7 +375,7 @@ pub fn simulate_collective_sharded_opts(
         payload_bytes += w.payload_bytes;
         for (i, st) in w.ranks.iter().enumerate() {
             let done = st.finished.unwrap_or_else(|| {
-                panic!("rank {} deadlocked at op {} of {:?}", w.base + i as u32, st.pc, coll)
+                panic!("rank {} deadlocked at op {}", w.base + i as u32, st.pc)
             });
             completion = completion.max(done);
         }

@@ -30,6 +30,11 @@ pub enum SchedOp {
     Recv { from: u32 },
     /// Local work proportional to `bytes` (reduction arithmetic).
     Compute { bytes: u64 },
+    /// Local work for an explicit virtual-time duration. Workload
+    /// compute phases priced by the roofline model compile to this —
+    /// the duration is fixed at schedule time, so the executor never
+    /// needs the node model.
+    Work { ps: u64 },
 }
 
 /// Which collective to schedule.
@@ -428,6 +433,10 @@ impl World for SimExec<'_> {
                 self.ranks[rank].pc += 1;
                 sched.at(now + d, Ev::Step(r));
             }
+            SchedOp::Work { ps } => {
+                self.ranks[rank].pc += 1;
+                sched.at(now + SimDuration::from_ps(ps), Ev::Step(r));
+            }
         }
     }
 }
@@ -549,7 +558,7 @@ mod tests {
                 .filter_map(|op| match *op {
                     SchedOp::Send { to, bytes } => Some(TraceEvent::Send { to, bytes }),
                     SchedOp::Recv { from } => Some(TraceEvent::Recv { from, bytes: 0 }),
-                    SchedOp::Compute { .. } => None,
+                    SchedOp::Compute { .. } | SchedOp::Work { .. } => None,
                 })
                 .collect();
             let trace_shape: Vec<TraceEvent> = trace

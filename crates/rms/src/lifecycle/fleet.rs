@@ -29,6 +29,7 @@
 use super::controller::{Controller, ControllerConfig, StartedOp};
 use super::health::{HealthAggregator, HealthConfig};
 use super::state::NodeState;
+use crate::sched::{plan_admissions, Policy, QueuedReq, RunningRes};
 use polaris_obs::{Counter, Obs};
 use polaris_simnet::engine::{self, Scheduler, World};
 use polaris_simnet::fault::{FaultKind, FaultPlan, FaultScope};
@@ -136,6 +137,9 @@ pub struct FleetConfig {
     pub checkpoint_interval: SimDuration,
     /// Overhead added to a job's next run after an eviction.
     pub restart_cost: SimDuration,
+    /// Admission policy — the *same* [`Policy`] the batch scheduler
+    /// implements, routed through [`plan_admissions`].
+    pub policy: Policy,
     /// Record the audit event log (the sentinel ledger's input).
     pub record_audit: bool,
 }
@@ -157,6 +161,7 @@ impl Default for FleetConfig {
             arrival_window: SimDuration::from_secs(1200),
             checkpoint_interval: SimDuration::from_secs(120),
             restart_cost: SimDuration::from_secs(30),
+            policy: Policy::EasyBackfill,
             record_audit: false,
         }
     }
@@ -190,6 +195,8 @@ pub struct FleetReport {
     pub requeues: u64,
     pub jobs_total: u32,
     pub jobs_completed: u32,
+    /// Mean queue wait from arrival to first start, over started jobs.
+    pub mean_wait_s: f64,
     /// Mean / max control-plane convergence: disturbance onset to the
     /// disturbed node's final transition, over settled disturbed nodes.
     pub conv_mean_s: f64,
@@ -236,6 +243,10 @@ struct JobRec {
     #[allow(dead_code)]
     tenant: u32,
     total: SimDuration,
+    /// The user's runtime estimate (>= `total`; what backfill plans
+    /// against — the scheduler never sees true runtimes).
+    estimate: SimDuration,
+    arrival: SimTime,
     /// Checkpointed (durable) progress.
     durable: SimDuration,
     /// Overhead the next run pays before doing useful work.
@@ -245,6 +256,7 @@ struct JobRec {
     epoch: u32,
     nodes: Vec<u32>,
     done: bool,
+    started_once: bool,
 }
 
 /// Pre-resolved metric handles (handles are `Arc`-backed; resolving
@@ -299,6 +311,8 @@ pub struct FleetSim {
     hb_live: Vec<bool>,
     jobs: Vec<JobRec>,
     queue: VecDeque<u32>,
+    /// Jobs currently holding nodes (the planner's reservation view).
+    running: Vec<u32>,
     /// Free-list of schedulable nodes, with lazy deletion.
     free: Vec<u32>,
     in_free: Vec<bool>,
@@ -313,9 +327,23 @@ pub struct FleetSim {
     false_evictions: u64,
     requeues: u64,
     jobs_completed: u32,
+    /// First-start queue-wait picoseconds, and how many jobs started.
+    wait_ps: u128,
+    waited: u32,
     /// Node-picoseconds consumed by runs / banked as durable progress.
     consumed_ps: u128,
     useful_ps: u128,
+}
+
+/// What the scheduler believes one more run of this job costs: the
+/// restart overhead plus the *estimated* (not true) remaining work.
+fn est_remaining(rec: &JobRec) -> SimDuration {
+    let left = rec.estimate.as_ps().saturating_sub(rec.durable.as_ps()).max(1);
+    rec.restart_cost + SimDuration::from_ps(left)
+}
+
+fn secs_of(d: SimDuration) -> f64 {
+    d.as_ps() as f64 / PS_PER_SEC as f64
 }
 
 impl FleetSim {
@@ -504,42 +532,85 @@ impl FleetSim {
         }
     }
 
+    /// Admission: route the queue through the configured
+    /// [`Policy`] via [`plan_admissions`] — the *same* planner the batch
+    /// scheduler runs — instead of the strict-FCFS loop this method
+    /// used to hard-code (which silently ignored `cfg.policy` and let
+    /// a wide requeued head block the whole machine).
     fn dispatch(&mut self, sched: &mut Scheduler<FleetEvent>) {
         let now = sched.now();
-        while let Some(&job) = self.queue.front() {
-            let rec = &self.jobs[job as usize];
-            if rec.done {
-                self.queue.pop_front();
-                continue;
-            }
-            let width = rec.width;
-            if self.avail < width {
-                // Strict FCFS: the head blocks until capacity frees up.
-                break;
-            }
+        while matches!(self.queue.front(), Some(&j) if self.jobs[j as usize].done) {
             self.queue.pop_front();
-            let mut got = Vec::with_capacity(width as usize);
-            while got.len() < width as usize {
-                let n = self.free.pop().expect("avail said enough free nodes");
-                if !self.in_free[n as usize] {
-                    continue; // lazily deleted entry
+        }
+        if self.queue.is_empty() || self.avail == 0 {
+            return;
+        }
+        // The planner sees user estimates, never true runtimes.
+        let queued: Vec<QueuedReq> = self
+            .queue
+            .iter()
+            .map(|&j| {
+                let rec = &self.jobs[j as usize];
+                debug_assert!(!rec.done, "done jobs never sit in the queue");
+                QueuedReq { width: rec.width, estimate: secs_of(est_remaining(rec)) }
+            })
+            .collect();
+        let running: Vec<RunningRes> = self
+            .running
+            .iter()
+            .map(|&j| {
+                let rec = &self.jobs[j as usize];
+                let since = rec.running_since.expect("running-set job has a start time");
+                // `durable`/`restart_cost` are only updated at evict or
+                // completion, so this is the estimate as of job start.
+                RunningRes {
+                    width: rec.width,
+                    est_end: secs_of(since.since(SimTime::ZERO) + est_remaining(rec)),
                 }
-                debug_assert!(self.controller.state(n).schedulable());
-                debug_assert!(self.node_job[n as usize].is_none());
-                self.in_free[n as usize] = false;
-                self.avail -= 1;
-                self.node_job[n as usize] = Some(job);
-                got.push(n);
+            })
+            .collect();
+        let now_s = now.as_ps() as f64 / PS_PER_SEC as f64;
+        let picks = plan_admissions(self.cfg.policy, now_s, &queued, &running, self.avail);
+        let admitted: Vec<u32> = picks.iter().map(|&i| self.queue[i]).collect();
+        for &i in picks.iter().rev() {
+            self.queue.remove(i);
+        }
+        for job in admitted {
+            self.start_job(sched, now, job);
+        }
+    }
+
+    fn start_job(&mut self, sched: &mut Scheduler<FleetEvent>, now: SimTime, job: u32) {
+        let width = self.jobs[job as usize].width;
+        debug_assert!(self.avail >= width, "planner admitted past capacity");
+        let mut got = Vec::with_capacity(width as usize);
+        while got.len() < width as usize {
+            let n = self.free.pop().expect("avail said enough free nodes");
+            if !self.in_free[n as usize] {
+                continue; // lazily deleted entry
             }
-            let rec = &mut self.jobs[job as usize];
-            rec.epoch = rec.epoch.wrapping_add(1);
-            rec.running_since = Some(now);
-            rec.nodes = got.clone();
-            let run = rec.restart_cost + (rec.total - rec.durable);
-            sched.after(run, FleetEvent::JobDone { job, epoch: rec.epoch });
-            if self.cfg.record_audit {
-                self.audit.push(AuditEvent::JobStart { at_ps: now.as_ps(), job, nodes: got });
-            }
+            debug_assert!(self.controller.state(n).schedulable());
+            debug_assert!(self.node_job[n as usize].is_none());
+            self.in_free[n as usize] = false;
+            self.avail -= 1;
+            self.node_job[n as usize] = Some(job);
+            got.push(n);
+        }
+        let rec = &mut self.jobs[job as usize];
+        let first_wait = (!rec.started_once).then(|| now.since(rec.arrival));
+        rec.started_once = true;
+        rec.epoch = rec.epoch.wrapping_add(1);
+        rec.running_since = Some(now);
+        rec.nodes = got.clone();
+        let run = rec.restart_cost + (rec.total - rec.durable);
+        sched.after(run, FleetEvent::JobDone { job, epoch: rec.epoch });
+        if let Some(w) = first_wait {
+            self.wait_ps += w.as_ps() as u128;
+            self.waited += 1;
+        }
+        self.running.push(job);
+        if self.cfg.record_audit {
+            self.audit.push(AuditEvent::JobStart { at_ps: now.as_ps(), job, nodes: got });
         }
     }
 
@@ -575,6 +646,7 @@ impl FleetSim {
                 self.mark_available(n);
             }
         }
+        self.running.retain(|&j| j != job);
         self.requeues += 1;
         if let Some(m) = &self.metrics {
             m.requeues.inc();
@@ -599,6 +671,7 @@ impl FleetSim {
         rec.durable = rec.total;
         rec.done = true;
         let nodes = std::mem::take(&mut rec.nodes);
+        self.running.retain(|&j| j != job);
         self.jobs_completed += 1;
         if let Some(m) = &self.metrics {
             m.jobs_completed.inc();
@@ -699,21 +772,31 @@ pub fn run_fleet(cfg: FleetConfig, plan: &FaultPlan, obs: Option<&Obs>) -> Fleet
     let runtime_span = cfg.max_runtime.as_ps().saturating_sub(cfg.min_runtime.as_ps()).max(1);
     let mut jobs = Vec::with_capacity(cfg.jobs as usize);
     let mut arrivals = Vec::with_capacity(cfg.jobs as usize);
+    // Estimates ride a separate stream so the job population (widths,
+    // runtimes, tenants, arrivals) is identical across policy knobs.
+    let mut est_rng = SplitMix64::new(cfg.seed ^ 0x6573_7469_6D61_7465); // "estimate"
     for _ in 0..cfg.jobs {
         let width = 1 + job_rng.next_below(width_bound) as u32;
         let total = cfg.min_runtime + SimDuration::from_ps(job_rng.next_below(runtime_span));
         let tenant = job_rng.next_below(cfg.tenants.max(1) as u64) as u32;
-        arrivals.push(SimTime(job_rng.next_below(cfg.arrival_window.as_ps().max(1))));
+        let arrival = SimTime(job_rng.next_below(cfg.arrival_window.as_ps().max(1)));
+        arrivals.push(arrival);
+        // Users overestimate: 1–3× the true runtime, never under.
+        let estimate =
+            SimDuration::from_ps((total.as_ps() as f64 * (1.0 + 2.0 * est_rng.next_f64())) as u64);
         jobs.push(JobRec {
             width,
             tenant,
             total,
+            estimate,
+            arrival,
             durable: SimDuration::ZERO,
             restart_cost: SimDuration::ZERO,
             running_since: None,
             epoch: 0,
             nodes: Vec::new(),
             done: false,
+            started_once: false,
         });
     }
 
@@ -725,6 +808,7 @@ pub fn run_fleet(cfg: FleetConfig, plan: &FaultPlan, obs: Option<&Obs>) -> Fleet
         hb_live: vec![false; n],
         jobs,
         queue: VecDeque::new(),
+        running: Vec::new(),
         free: Vec::with_capacity(n),
         in_free: vec![false; n],
         avail: 0,
@@ -736,6 +820,8 @@ pub fn run_fleet(cfg: FleetConfig, plan: &FaultPlan, obs: Option<&Obs>) -> Fleet
         false_evictions: 0,
         requeues: 0,
         jobs_completed: 0,
+        wait_ps: 0,
+        waited: 0,
         consumed_ps: 0,
         useful_ps: 0,
         cfg,
@@ -793,6 +879,11 @@ pub fn run_fleet(cfg: FleetConfig, plan: &FaultPlan, obs: Option<&Obs>) -> Fleet
         requeues: sim.requeues,
         jobs_total: cfg.jobs,
         jobs_completed: sim.jobs_completed,
+        mean_wait_s: if sim.waited > 0 {
+            sim.wait_ps as f64 / sim.waited as f64 / PS_PER_SEC as f64
+        } else {
+            0.0
+        },
         conv_mean_s: if conv_n > 0 { conv_sum / conv_n as f64 } else { 0.0 },
         conv_max_s: conv_max,
         goodput_pct: if sim.consumed_ps == 0 {
@@ -922,6 +1013,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Regression for the FCFS bypass: `run_fleet` used to ignore
+    /// `cfg.policy` and run a hard-coded strict-FCFS loop, so a wide
+    /// requeued head blocked the whole machine. Routed through
+    /// [`plan_admissions`], EASY backfill must produce a different —
+    /// and shorter — mean queue wait than FCFS on the identical job
+    /// population and churn plan.
+    #[test]
+    fn backfill_policy_beats_fcfs_under_churn() {
+        let base = FleetConfig {
+            nodes: 32,
+            jobs: 64,
+            max_job_width: 24, // wide jobs head-block a 32-node fleet
+            arrival_window: SimDuration::from_secs(600),
+            horizon: SimDuration::from_secs(40_000),
+            seed: 11,
+            ..FleetConfig::default()
+        };
+        let plan = churn_plan(77, base.nodes, &ChurnSpec { events: 5, ..ChurnSpec::default() });
+        let fcfs = run_fleet(FleetConfig { policy: Policy::Fcfs, ..base }, &plan, None);
+        let easy = run_fleet(FleetConfig { policy: Policy::EasyBackfill, ..base }, &plan, None);
+        assert_eq!(fcfs.jobs_completed, base.jobs, "horizon covers the FCFS schedule: {fcfs:?}");
+        assert_eq!(easy.jobs_completed, base.jobs, "{easy:?}");
+        assert!(
+            easy.mean_wait_s < fcfs.mean_wait_s,
+            "EASY must backfill around wide heads: easy {:.1}s vs fcfs {:.1}s",
+            easy.mean_wait_s,
+            fcfs.mean_wait_s
+        );
     }
 
     /// Regression (found by the sentinel lifecycle ledger): a draining

@@ -116,29 +116,100 @@ fn schedule_pass(
     running: &mut Vec<Running>,
     free: &mut u32,
 ) {
-    // Start queue heads while they fit (common to both policies).
-    while let Some(&head) = queue.front() {
-        if head.width <= *free {
-            queue.pop_front();
-            start(now, head, running, free);
-        } else {
-            break;
-        }
+    let q: Vec<QueuedReq> = queue
+        .iter()
+        .map(|j| QueuedReq { width: j.width, estimate: j.estimate })
+        .collect();
+    let r: Vec<RunningRes> = running
+        .iter()
+        .map(|r| RunningRes { width: r.job.width, est_end: r.est_end })
+        .collect();
+    let picks = plan_admissions(policy, now, &q, &r, *free);
+    // Remove picked indices back to front so earlier indices stay
+    // valid, then start in queue order.
+    let mut jobs: Vec<Job> = picks
+        .iter()
+        .rev()
+        .map(|&i| queue.remove(i).expect("planned index in range"))
+        .collect();
+    jobs.reverse();
+    for job in jobs {
+        start(now, job, running, free);
     }
-    if policy == Policy::Fcfs || queue.is_empty() {
-        return;
+}
+
+/// A queued admission request, as the planner sees it: how many nodes,
+/// and the user's runtime estimate (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedReq {
+    pub width: u32,
+    pub estimate: f64,
+}
+
+/// A running allocation, as the planner sees it: how many nodes it
+/// holds and when the scheduler believes they free up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningRes {
+    pub width: u32,
+    pub est_end: f64,
+}
+
+/// How deep into the queue conservative backfill looks per pass.
+/// Production schedulers bound this scan: reservations beyond a few
+/// dozen queue positions cost quadratic work and almost never start a
+/// job (jobs deeper in the queue stay queued, which is safe — strictly
+/// *more* conservative).
+const CONSERVATIVE_DEPTH: usize = 32;
+
+/// The single admission authority: given the queue (arrival order),
+/// the running allocations, and the free-node count, decide which
+/// queued requests start *now* under `policy`. Returns their queue
+/// indices in ascending order.
+///
+/// This is a pure planning function — it mutates nothing — so both the
+/// batch simulator ([`simulate`]) and the node-lifecycle fleet
+/// (`lifecycle::fleet`) route admission through the identical policy
+/// logic; the fleet keeping its own FCFS loop was exactly the bug that
+/// made F12 policy-blind.
+pub fn plan_admissions(
+    policy: Policy,
+    now: f64,
+    queue: &[QueuedReq],
+    running: &[RunningRes],
+    free: u32,
+) -> Vec<usize> {
+    let mut picks = Vec::new();
+    let mut free = free;
+    // Queue heads start while they fit, under every policy.
+    let mut started: Vec<RunningRes> = Vec::new();
+    let mut next = 0usize;
+    while next < queue.len() && queue[next].width <= free {
+        free -= queue[next].width;
+        started.push(RunningRes {
+            width: queue[next].width,
+            est_end: now + queue[next].estimate,
+        });
+        picks.push(next);
+        next += 1;
+    }
+    if policy == Policy::Fcfs || next >= queue.len() {
+        return picks;
     }
     if policy == Policy::ConservativeBackfill {
-        conservative_pass(now, queue, running, free);
-        return;
+        conservative_plan(now, queue, running, &started, free, next, &mut picks);
+        return picks;
     }
-    // EASY: reserve for the head, then backfill behind it.
-    let head = *queue.front().expect("nonempty");
-    // When can the head start? Walk estimated completions in time order,
-    // accumulating freed nodes.
-    let mut ends: Vec<(f64, u32)> = running.iter().map(|r| (r.est_end, r.job.width)).collect();
+    // EASY: reserve for the head, then backfill behind it. When can the
+    // head start? Walk estimated completions in time order, accumulating
+    // freed nodes.
+    let head = queue[next];
+    let mut ends: Vec<(f64, u32)> = running
+        .iter()
+        .chain(started.iter())
+        .map(|r| (r.est_end, r.width))
+        .collect();
     ends.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut avail = *free;
+    let mut avail = free;
     let mut shadow = now;
     let mut extra = 0u32; // nodes idle at shadow time beyond the head's need
     for (t, w) in ends {
@@ -154,62 +225,55 @@ fn schedule_pass(
     // Backfill: any queued job (after the head) that fits free nodes now
     // and either finishes (by estimate) before the shadow time or uses
     // only nodes the reservation does not need.
-    let mut idx = 1;
-    while idx < queue.len() {
-        let cand = queue[idx];
-        let fits_now = cand.width <= *free;
+    for (idx, cand) in queue.iter().enumerate().skip(next + 1) {
+        let fits_now = cand.width <= free;
         let respects_reservation =
-            now + cand.estimate <= shadow || cand.width <= extra.min(*free);
+            now + cand.estimate <= shadow || cand.width <= extra.min(free);
         if fits_now && respects_reservation {
-            queue.remove(idx);
-            start(now, cand, running, free);
+            picks.push(idx);
+            free -= cand.width;
             if cand.width <= extra {
                 extra -= cand.width;
             }
-            // A started job may change nothing for earlier candidates;
-            // continue scanning from the same index.
-        } else {
-            idx += 1;
         }
     }
+    picks
 }
 
-/// How deep into the queue conservative backfill looks per pass.
-/// Production schedulers bound this scan: reservations beyond a few
-/// dozen queue positions cost quadratic work and almost never start a
-/// job (jobs deeper in the queue stay queued, which is safe — strictly
-/// *more* conservative).
-const CONSERVATIVE_DEPTH: usize = 32;
-
 /// Conservative backfill: give each queued job (in arrival order, up to
-/// [`CONSERVATIVE_DEPTH`]) a reservation on an availability timeline
-/// built from running jobs' estimated ends; start exactly those whose
-/// reservation is "now".
-fn conservative_pass(
+/// [`CONSERVATIVE_DEPTH`] deferred reservations) a reservation on an
+/// availability timeline built from estimated ends; pick exactly those
+/// whose reservation is "now".
+fn conservative_plan(
     now: f64,
-    queue: &mut VecDeque<Job>,
-    running: &mut Vec<Running>,
-    free: &mut u32,
+    queue: &[QueuedReq],
+    running: &[RunningRes],
+    started: &[RunningRes],
+    free_in: u32,
+    next: usize,
+    picks: &mut Vec<usize>,
 ) {
-    let mut tl = Timeline::new(now, *free);
-    for r in running.iter() {
-        tl.release_at(r.est_end, r.job.width);
+    let mut free = free_in;
+    let mut tl = Timeline::new(now, free);
+    for r in running.iter().chain(started.iter()) {
+        tl.release_at(r.est_end, r.width);
     }
-    let mut idx = 0;
-    while idx < queue.len().min(CONSERVATIVE_DEPTH) {
-        let job = queue[idx];
+    let mut deferred = 0usize;
+    for (idx, job) in queue.iter().enumerate().skip(next) {
+        if deferred >= CONSERVATIVE_DEPTH {
+            break;
+        }
         let start_at = tl.earliest_fit(job.width, job.estimate);
-        if start_at <= now && job.width <= *free {
-            queue.remove(idx);
-            start(now, job, running, free);
+        if start_at <= now && job.width <= free {
+            picks.push(idx);
+            free -= job.width;
             tl.commit(now, job.estimate, job.width);
-            // Restart placement: earlier reservations are unaffected
-            // (we only consumed a window that fit), later ones must be
-            // recomputed against the updated timeline anyway, which the
-            // continuing loop does naturally.
+            // Earlier reservations are unaffected (we only consumed a
+            // window that fit); later ones are recomputed against the
+            // updated timeline as the loop continues.
         } else {
             tl.commit(start_at.min(f64::MAX), job.estimate, job.width);
-            idx += 1;
+            deferred += 1;
         }
     }
 }
